@@ -1,0 +1,60 @@
+(* The full benchmark harness: regenerates every table and figure of
+   the paper's evaluation (printed as paper-vs-measured sections) and
+   then times the core algorithms with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe              # scaled fleet (400 links), all sections
+     dune exec bench/main.exe -- --full    # paper-scale fleet (2000 links)
+     dune exec bench/main.exe -- --no-micro   # skip the Bechamel section
+     dune exec bench/main.exe -- --figures-only  # alias of --no-micro *)
+
+module Fleet = Rwc_telemetry.Fleet
+module Figs = Rwc_figures
+
+let flag name = Array.exists (fun a -> a = name) Sys.argv
+
+let () =
+  let full = flag "--full" in
+  let micro = not (flag "--no-micro" || flag "--figures-only") in
+  let fleet =
+    if full then Fleet.default else Fleet.scaled Fleet.default ~factor:5
+  in
+  Printf.printf
+    "Run, Walk, Crawl — reproduction harness (%d links, %.1f years%s)\n"
+    (Fleet.n_links fleet) fleet.Fleet.years
+    (if full then "" else "; pass --full for the paper's 2000 links");
+
+  (* ---- measurement study (Figures 1-4) ---- *)
+  Figs.Measurement_figs.fig1 fleet;
+  let fleet_report = Rwc_telemetry.Analyze.fleet_report fleet in
+  let _fig2 = Figs.Measurement_figs.fig2 fleet_report in
+  Figs.Measurement_figs.fig3 fleet;
+  let _fig4 = Figs.Measurement_figs.fig4 fleet_report ~seed:41 in
+
+  (* ---- testbed study (Figures 5-6) ---- *)
+  Figs.Testbed_figs.fig5 ~seed:42;
+  let _fig6 = Figs.Testbed_figs.fig6 ~seed:43 in
+
+  (* ---- graph abstraction (Figures 7-8, Theorem 1) ---- *)
+  Figs.Abstraction_figs.fig7 ();
+  Figs.Abstraction_figs.fig8 ();
+  Figs.Abstraction_figs.theorem1 ~seed:44;
+
+  (* ---- end-to-end simulation ---- *)
+  let sim_config =
+    if full then Rwc_sim.Runner.default_config
+    else { Rwc_sim.Runner.default_config with Rwc_sim.Runner.days = 21.0 }
+  in
+  let _sim = Figs.Sim_figs.run ~config:sim_config () in
+
+  (* ---- ablations of the design choices ---- *)
+  if not (flag "--no-ablation") then Ablation.run ();
+
+  (* ---- extension experiments beyond the paper ---- *)
+  if not (flag "--no-extension") then Extension.run ();
+
+  if micro then begin
+    Rwc_figures.Report.section "micro" "Bechamel micro-benchmarks";
+    Micro.run ()
+  end;
+  Printf.printf "\ndone.\n"

@@ -1,0 +1,111 @@
+(* Bechamel timings of the algorithms under the reproduction: graph
+   augmentation (Algorithm 1), flow solvers, the HDR estimator, SNR
+   trace generation, and one TE round — one Test.make per operation. *)
+
+open Bechamel
+open Toolkit
+module Graph = Rwc_flow.Graph
+module Backbone = Rwc_topology.Backbone
+
+let backbone_graph () =
+  let bb = Backbone.north_america in
+  Backbone.to_graph bb ~capacity_of:(fun _ -> 400.0) ~cost_of:(fun _ -> 1.0)
+
+let augmented () =
+  let g = backbone_graph () in
+  Rwc_core.Augment.build ~headroom:(fun _ -> 300.0)
+    ~penalty:(Rwc_core.Penalty.Uniform 10.0) g
+
+let hdr_input =
+  lazy
+    (let rng = Rwc_stats.Rng.create 99 in
+     Array.init 87_660 (fun _ -> Rwc_stats.Rng.gaussian rng ~mu:15.0 ~sigma:0.4))
+
+let commodities =
+  lazy
+    (let bb = Backbone.north_america in
+     Rwc_topology.Traffic.to_commodities
+       (Rwc_topology.Traffic.top_k
+          (Rwc_topology.Traffic.gravity bb ~total_gbps:15_000.0)
+          30))
+
+let snr_params = Rwc_telemetry.Snr_model.default_params ~baseline_db:15.0 ()
+
+let tests =
+  [
+    Test.make ~name:"augment-backbone (alg 1)"
+      (Staged.stage (fun () -> ignore (augmented ())));
+    Test.make ~name:"maxflow NY->LA (dinic)"
+      (Staged.stage
+         (let g = backbone_graph () in
+          fun () -> ignore (Rwc_flow.Maxflow.solve g ~src:21 ~dst:3)));
+    Test.make ~name:"mincost-maxflow on augmented G'"
+      (Staged.stage
+         (let aug = augmented () in
+          fun () ->
+            ignore (Rwc_flow.Mincost.solve aug.Rwc_core.Augment.graph ~src:21 ~dst:3)));
+    Test.make ~name:"hdr-95 of one 2.5y trace"
+      (Staged.stage (fun () ->
+           ignore (Rwc_stats.Hdr.of_samples (Lazy.force hdr_input))));
+    Test.make ~name:"snr-trace generation (1y)"
+      (Staged.stage
+         (let rng = Rwc_stats.Rng.create 7 in
+          fun () ->
+            ignore (Rwc_telemetry.Snr_model.generate rng snr_params ~years:1.0)));
+    Test.make ~name:"te-round greedy-ksp (30 demands)"
+      (Staged.stage
+         (let g = backbone_graph () in
+          fun () ->
+            ignore (Rwc_core.Te.greedy_ksp ~k:3 g (Lazy.force commodities))));
+    Test.make ~name:"te-round mcf eps=0.3 (30 demands)"
+      (Staged.stage
+         (let g = backbone_graph () in
+          fun () ->
+            ignore
+              (Rwc_core.Te.mcf ~epsilon:0.3 g (Lazy.force commodities))));
+    Test.make ~name:"bvt-efficient-change"
+      (Staged.stage
+         (let rng = Rwc_stats.Rng.create 8 in
+          let t = Rwc_optical.Bvt.create Rwc_optical.Modulation.Qpsk in
+          let target = ref Rwc_optical.Modulation.Qam8 in
+          fun () ->
+            let next =
+              match !target with
+              | Rwc_optical.Modulation.Qam8 -> Rwc_optical.Modulation.Qpsk
+              | _ -> Rwc_optical.Modulation.Qam8
+            in
+            ignore
+              (Rwc_optical.Bvt.change_modulation t rng ~target:!target
+                 ~procedure:Rwc_optical.Bvt.Efficient);
+            target := next));
+  ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.8) ~kde:None ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"rwc" ~fmt:"%s %s" tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort compare rows in
+  Printf.printf "  %-42s %15s\n" "benchmark" "time/run";
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) ->
+          let pretty =
+            if est > 1e9 then Printf.sprintf "%8.2f s" (est /. 1e9)
+            else if est > 1e6 then Printf.sprintf "%8.2f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%8.2f us" (est /. 1e3)
+            else Printf.sprintf "%8.0f ns" est
+          in
+          Printf.printf "  %-42s %15s\n" name pretty
+      | Some [] | None -> Printf.printf "  %-42s %15s\n" name "(no estimate)")
+    rows

@@ -1,0 +1,427 @@
+(* rwc: command-line front end of the Run/Walk/Crawl reproduction.
+
+   Subcommands:
+     figures        reproduce the paper's figures (all or --only ID)
+     analyze        fleet-wide SNR telemetry analysis (Section 2)
+     simulate       WAN policy simulation (throughput + availability)
+     bvt            modulation-change latency experiment (Section 3.1)
+     constellation  render one constellation panel (Figure 5) *)
+
+open Cmdliner
+
+let fleet_of ~cables ~years ~seed =
+  {
+    Rwc_telemetry.Fleet.seed;
+    n_cables = cables;
+    lambdas_per_cable = 40;
+    years;
+  }
+
+(* ---- figures --------------------------------------------------------- *)
+
+let known_figures =
+  [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "thm1"; "sim" ]
+
+let run_figures full only sim_days csv_dir =
+  (match csv_dir with
+  | Some dir when not (Sys.file_exists dir && Sys.is_directory dir) ->
+      Printf.eprintf "--csv %s: not an existing directory\n" dir;
+      exit 2
+  | _ -> ());
+  Rwc_figures.Report.set_csv_dir csv_dir;
+  let fleet =
+    if full then Rwc_telemetry.Fleet.default
+    else Rwc_telemetry.Fleet.(scaled default ~factor:5)
+  in
+  let wants id = match only with [] -> true | ids -> List.mem id ids in
+  let unknown = List.filter (fun id -> not (List.mem id known_figures)) only in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown figure id(s): %s (known: %s)\n"
+      (String.concat ", " unknown)
+      (String.concat ", " known_figures);
+    exit 2
+  end;
+  let needs_report = wants "fig2" || wants "fig4" in
+  let report =
+    if needs_report then Some (Rwc_telemetry.Analyze.fleet_report fleet)
+    else None
+  in
+  if wants "fig1" then Rwc_figures.Measurement_figs.fig1 fleet;
+  (match report with
+  | Some r when wants "fig2" ->
+      ignore (Rwc_figures.Measurement_figs.fig2 r)
+  | _ -> ());
+  if wants "fig3" then Rwc_figures.Measurement_figs.fig3 fleet;
+  (match report with
+  | Some r when wants "fig4" ->
+      ignore (Rwc_figures.Measurement_figs.fig4 r ~seed:41)
+  | _ -> ());
+  if wants "fig5" then Rwc_figures.Testbed_figs.fig5 ~seed:42;
+  if wants "fig6" then ignore (Rwc_figures.Testbed_figs.fig6 ~seed:43);
+  if wants "fig7" then Rwc_figures.Abstraction_figs.fig7 ();
+  if wants "fig8" then Rwc_figures.Abstraction_figs.fig8 ();
+  if wants "thm1" then Rwc_figures.Abstraction_figs.theorem1 ~seed:44;
+  if wants "sim" then
+    ignore
+      (Rwc_figures.Sim_figs.run
+         ~config:
+           { Rwc_sim.Runner.default_config with Rwc_sim.Runner.days = sim_days }
+         ())
+
+let full_flag =
+  Arg.(value & flag & info [ "full" ] ~doc:"Use the paper-scale 2000-link fleet.")
+
+let only_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "only" ] ~docv:"ID"
+        ~doc:"Reproduce only this figure (repeatable). Known ids: fig1-fig8, thm1, sim.")
+
+let sim_days_arg =
+  Arg.(
+    value & opt float 21.0
+    & info [ "sim-days" ] ~docv:"DAYS" ~doc:"Horizon of the sim figure.")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"DIR"
+        ~doc:"Also write every plotted series to CSV files under $(docv).")
+
+let figures_cmd =
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Reproduce the paper's figures and tables")
+    Term.(const run_figures $ full_flag $ only_arg $ sim_days_arg $ csv_arg)
+
+(* ---- analyze --------------------------------------------------------- *)
+
+let run_analyze cables years seed =
+  let fleet = fleet_of ~cables ~years ~seed in
+  Printf.printf "analyzing %d links over %.1f years (seed %d)...\n"
+    (Rwc_telemetry.Fleet.n_links fleet) years seed;
+  let r = Rwc_telemetry.Analyze.fleet_report fleet in
+  Printf.printf "share of links with 95%% HDR < 2 dB : %.3f\n"
+    r.Rwc_telemetry.Analyze.share_hdr_below_2db;
+  Printf.printf "share of links feasible >= 175 Gbps: %.3f\n"
+    r.Rwc_telemetry.Analyze.share_at_least_175;
+  Printf.printf "total capacity gain               : %.1f Tbps\n"
+    r.Rwc_telemetry.Analyze.total_gain_tbps;
+  Printf.printf "mean SNR range (max-min)          : %.1f dB\n"
+    (Rwc_stats.Summary.mean r.Rwc_telemetry.Analyze.ranges);
+  Printf.printf "100G failure events               : %d\n"
+    (Array.length r.Rwc_telemetry.Analyze.failure_min_snrs);
+  Printf.printf "  of which salvageable (>= 3 dB)  : %.1f%%\n"
+    (100.0 *. r.Rwc_telemetry.Analyze.salvageable_failure_fraction)
+
+let cables_arg =
+  Arg.(value & opt int 10 & info [ "cables" ] ~docv:"N" ~doc:"Fiber cables (x40 links).")
+
+let years_arg =
+  Arg.(value & opt float 2.5 & info [ "years" ] ~docv:"Y" ~doc:"Observation period.")
+
+let seed_arg =
+  Arg.(value & opt int 2017 & info [ "seed" ] ~docv:"S" ~doc:"Fleet seed.")
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Fleet-wide SNR telemetry analysis (Section 2)")
+    Term.(const run_analyze $ cables_arg $ years_arg $ seed_arg)
+
+(* ---- simulate -------------------------------------------------------- *)
+
+let policy_conv =
+  let parse = function
+    | "static-100" -> Ok Rwc_sim.Runner.Static_100
+    | "static-max" -> Ok Rwc_sim.Runner.Static_max
+    | "adaptive-stock" -> Ok (Rwc_sim.Runner.Adaptive Rwc_sim.Runner.Stock)
+    | "adaptive-efficient" ->
+        Ok (Rwc_sim.Runner.Adaptive Rwc_sim.Runner.Efficient)
+    | s -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+  in
+  Arg.conv (parse, fun fmt p -> Format.fprintf fmt "%s" (Rwc_sim.Runner.policy_name p))
+
+let run_simulate days policy seed backbone_file =
+  let config =
+    { Rwc_sim.Runner.default_config with Rwc_sim.Runner.days; seed }
+  in
+  let backbone =
+    match backbone_file with
+    | None -> Rwc_topology.Backbone.north_america
+    | Some path -> (
+        match Rwc_topology.Parser.parse_file path with
+        | Ok t -> t
+        | Error e ->
+            Printf.eprintf "%s: %s\n" path e;
+            exit 2)
+  in
+  match policy with
+  | Some p ->
+      Format.printf "%a@." Rwc_sim.Runner.pp_report
+        (Rwc_sim.Runner.run ~config ~backbone p)
+  | None ->
+      List.iter
+        (fun r -> Format.printf "%a@." Rwc_sim.Runner.pp_report r)
+        (Rwc_sim.Runner.compare_policies ~config ~backbone ())
+
+let days_arg =
+  Arg.(value & opt float 21.0 & info [ "days" ] ~docv:"D" ~doc:"Horizon in days.")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (some policy_conv) None
+    & info [ "policy" ] ~docv:"P"
+        ~doc:
+          "Run one policy only: static-100, static-max, adaptive-stock or \
+           adaptive-efficient. Default: compare all.")
+
+let sim_seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Simulation seed.")
+
+let backbone_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "backbone" ] ~docv:"FILE"
+        ~doc:
+          "Topology file to simulate on (default: the embedded \
+           North-American backbone).")
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"WAN policy simulation (throughput/availability)")
+    Term.(
+      const run_simulate $ days_arg $ policy_arg $ sim_seed_arg
+      $ backbone_file_arg)
+
+(* ---- bvt -------------------------------------------------------------- *)
+
+let run_bvt changes seed =
+  let rng = Rwc_stats.Rng.create seed in
+  let measure procedure =
+    let t = Rwc_optical.Bvt.create Rwc_optical.Modulation.Qpsk in
+    let targets =
+      [| Rwc_optical.Modulation.Qam8; Rwc_optical.Modulation.Qam16;
+         Rwc_optical.Modulation.Qpsk |]
+    in
+    Array.init changes (fun i ->
+        (Rwc_optical.Bvt.change_modulation t rng ~target:targets.(i mod 3)
+           ~procedure)
+          .Rwc_optical.Bvt.total_s)
+  in
+  let report name xs =
+    let s = Rwc_stats.Summary.of_array xs in
+    Printf.printf "%-10s mean %10.4f s   p50 %10.4f   p95 %10.4f   max %10.4f\n"
+      name s.Rwc_stats.Summary.mean
+      (Rwc_stats.Summary.percentile xs 50.0)
+      (Rwc_stats.Summary.percentile xs 95.0)
+      s.Rwc_stats.Summary.max
+  in
+  Printf.printf "%d modulation changes per procedure (seed %d):\n" changes seed;
+  report "stock" (measure Rwc_optical.Bvt.Stock);
+  report "efficient" (measure Rwc_optical.Bvt.Efficient)
+
+let changes_arg =
+  Arg.(value & opt int 200 & info [ "changes" ] ~docv:"N" ~doc:"Number of changes.")
+
+let bvt_seed_arg =
+  Arg.(value & opt int 43 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed.")
+
+let bvt_cmd =
+  Cmd.v
+    (Cmd.info "bvt" ~doc:"Modulation-change latency experiment (Section 3.1)")
+    Term.(const run_bvt $ changes_arg $ bvt_seed_arg)
+
+(* ---- constellation ----------------------------------------------------- *)
+
+let scheme_conv =
+  let parse = function
+    | "qpsk" -> Ok Rwc_optical.Modulation.Qpsk
+    | "8qam" -> Ok Rwc_optical.Modulation.Qam8
+    | "16qam" -> Ok Rwc_optical.Modulation.Qam16
+    | s -> Error (`Msg (Printf.sprintf "unknown scheme %S (qpsk|8qam|16qam)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt s ->
+        Format.fprintf fmt "%s" (Rwc_optical.Modulation.scheme_name s) )
+
+let run_constellation scheme snr symbols seed =
+  let rng = Rwc_stats.Rng.create seed in
+  let run = Rwc_optical.Constellation.simulate rng scheme ~snr_db:snr ~symbols in
+  print_string (Rwc_optical.Constellation.render_ascii run);
+  Printf.printf "theoretical SER at this SNR: %.3e\n"
+    (Rwc_optical.Constellation.theoretical_ser scheme ~snr_db:snr)
+
+let scheme_arg =
+  Arg.(
+    value
+    & opt scheme_conv Rwc_optical.Modulation.Qam16
+    & info [ "scheme" ] ~docv:"SCHEME" ~doc:"qpsk, 8qam or 16qam.")
+
+let snr_arg =
+  Arg.(value & opt float 16.0 & info [ "snr" ] ~docv:"DB" ~doc:"Es/N0 in dB.")
+
+let symbols_arg =
+  Arg.(value & opt int 800 & info [ "symbols" ] ~docv:"N" ~doc:"Symbols to send.")
+
+let const_seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed.")
+
+let constellation_cmd =
+  Cmd.v
+    (Cmd.info "constellation" ~doc:"Render a constellation panel (Figure 5)")
+    Term.(
+      const run_constellation $ scheme_arg $ snr_arg $ symbols_arg
+      $ const_seed_arg)
+
+(* ---- detect ------------------------------------------------------------ *)
+
+let run_detect trace_path baseline sigma =
+  match Rwc_telemetry.Store.read_trace_csv trace_path with
+  | Error e ->
+      Printf.eprintf "%s: %s\n" trace_path e;
+      exit 2
+  | Ok trace ->
+      let baseline =
+        match baseline with
+        | Some b -> b
+        | None -> Rwc_stats.Summary.median trace
+      in
+      let sigma =
+        match sigma with
+        | Some s -> s
+        | None ->
+            (* Robust scale from the HDR: width of the 68% interval / 2
+               approximates one standard deviation of the quiet core. *)
+            Rwc_stats.Hdr.width (Rwc_stats.Hdr.of_samples ~mass:0.68 trace)
+            /. 2.0
+      in
+      Printf.printf "trace %s: %d samples, baseline %.2f dB, sigma %.3f dB\n"
+        trace_path (Array.length trace) baseline sigma;
+      let alarms =
+        Rwc_telemetry.Detect.scan ~baseline_db:baseline ~sigma_db:sigma trace
+      in
+      if alarms = [] then print_endline "no degradations detected"
+      else
+        List.iter
+          (fun a ->
+            Printf.printf "sample %6d (%8.1f h): %s alarm, snr %.2f dB\n"
+              a.Rwc_telemetry.Detect.sample
+              (float_of_int a.Rwc_telemetry.Detect.sample /. 4.0)
+              (match a.Rwc_telemetry.Detect.kind with
+              | `Ewma -> "ewma "
+              | `Cusum -> "cusum")
+              trace.(a.Rwc_telemetry.Detect.sample))
+          alarms
+
+let trace_path_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"TRACE.csv" ~doc:"Trace written by the export command.")
+
+let baseline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "baseline" ] ~docv:"DB" ~doc:"Quiet-time SNR level (default: median).")
+
+let sigma_opt_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "sigma" ] ~docv:"DB"
+        ~doc:"Quiet-time sample standard deviation (default: robust estimate).")
+
+let detect_cmd =
+  Cmd.v
+    (Cmd.info "detect" ~doc:"Scan an SNR trace for degradations (CUSUM + EWMA)")
+    Term.(const run_detect $ trace_path_arg $ baseline_arg $ sigma_opt_arg)
+
+(* ---- topology ------------------------------------------------------------ *)
+
+let run_topology path =
+  match Rwc_topology.Parser.parse_file path with
+  | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      exit 2
+  | Ok t ->
+      Printf.printf "%s: %d cities, %d ducts\n" path
+        (Rwc_topology.Backbone.n_cities t)
+        (Array.length t.Rwc_topology.Backbone.ducts);
+      Printf.printf "%-14s %-14s %8s %9s %10s\n" "a" "b" "km" "osnr(dB)"
+        "max-rate";
+      Array.iter
+        (fun d ->
+          let line =
+            Rwc_optical.Fiber.line_of_route_km d.Rwc_topology.Backbone.route_km
+          in
+          let osnr = Rwc_optical.Fiber.osnr_db line in
+          let snr = osnr -. Rwc_telemetry.Fleet.osnr_to_snr_penalty_db in
+          Printf.printf "%-14s %-14s %8.0f %9.1f %7d G\n"
+            t.Rwc_topology.Backbone.cities.(d.Rwc_topology.Backbone.a)
+              .Rwc_topology.Backbone.name
+            t.Rwc_topology.Backbone.cities.(d.Rwc_topology.Backbone.b)
+              .Rwc_topology.Backbone.name
+            d.Rwc_topology.Backbone.route_km osnr
+            (Rwc_optical.Modulation.feasible_gbps snr))
+        t.Rwc_topology.Backbone.ducts
+
+let topology_path_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"TOPOLOGY" ~doc:"Topology file (see Parser docs for the format).")
+
+let topology_cmd =
+  Cmd.v
+    (Cmd.info "topology"
+       ~doc:"Validate a topology file and report per-duct feasible rates")
+    Term.(const run_topology $ topology_path_arg)
+
+(* ---- export ------------------------------------------------------------ *)
+
+let run_export dir cables years seed max_links =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "%s: not an existing directory\n" dir;
+    exit 2
+  end;
+  let fleet = fleet_of ~cables ~years ~seed in
+  let n = Rwc_telemetry.Store.export_fleet_csv ?max_links fleet ~dir in
+  Printf.printf "wrote %d trace files plus manifest.csv under %s\n" n dir
+
+let export_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Existing directory to write CSVs into.")
+
+let max_links_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-links" ] ~docv:"N" ~doc:"Stop after N traces.")
+
+let export_cmd =
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Generate the telemetry fleet and write it out as CSV files")
+    Term.(
+      const run_export $ export_dir_arg $ cables_arg $ years_arg $ seed_arg
+      $ max_links_arg)
+
+(* ---- main -------------------------------------------------------------- *)
+
+let () =
+  let doc = "Run, Walk, Crawl: dynamic link capacities (HotNets'17) reproduction" in
+  let info = Cmd.info "rwc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            figures_cmd; analyze_cmd; simulate_cmd; bvt_cmd; constellation_cmd;
+            export_cmd; detect_cmd; topology_cmd;
+          ]))

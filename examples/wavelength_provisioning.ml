@@ -1,0 +1,46 @@
+(* Wavelength provisioning on a WDM line system.
+
+   Lights wavelengths on two fiber ducts of different lengths and shows
+   how route length and band position bound the feasible rate per
+   channel - the physical-layer reality behind the fleet's capacity
+   distribution (Figure 2b).
+
+   Run with:  dune exec examples/wavelength_provisioning.exe *)
+
+module Ls = Rwc_optical.Line_system
+module Fiber = Rwc_optical.Fiber
+
+let provision name km requests =
+  let line = Fiber.line_of_route_km km in
+  let t = Ls.create ~line () in
+  Printf.printf "%s (%.0f km, OSNR %.1f dB at band centre):\n" name km
+    (Fiber.osnr_db line);
+  Printf.printf "  best rate by band position: centre %d Gbps, edge %d Gbps\n"
+    (Ls.best_rate_gbps t 47) (Ls.best_rate_gbps t 0);
+  List.iter
+    (fun gbps ->
+      match Ls.light t ~gbps () with
+      | Ok ch ->
+          Printf.printf "  lit %3d Gbps on channel %2d (%.2f nm, OSNR %.1f dB)\n"
+            gbps ch (Ls.wavelength_nm ch) (Ls.channel_osnr_db t ch)
+      | Error e -> Printf.printf "  cannot light %3d Gbps: %s\n" gbps e)
+    requests;
+  Printf.printf "  duct IP capacity: %d Gbps over %d wavelengths\n\n"
+    (Ls.capacity_gbps t) (Ls.lit_count t)
+
+let () =
+  provision "metro duct" 400.0 [ 200; 200; 200; 150 ];
+  provision "long-haul duct" 2600.0 [ 200; 175; 150; 100 ];
+  (* The run/walk/crawl idea at the wavelength level: when a long-haul
+     duct degrades, re-light the same channel at a lower rate instead
+     of leaving it dark. *)
+  let line = Fiber.line_of_route_km 2600.0 in
+  let t = Ls.create ~line () in
+  (match Ls.light t ~channel:10 ~gbps:150 () with
+  | Ok _ -> print_endline "channel 10 carrying 150 Gbps"
+  | Error e -> print_endline e);
+  (match Ls.extinguish t 10 with Ok () -> () | Error e -> print_endline e);
+  match Ls.light t ~channel:10 ~gbps:100 () with
+  | Ok _ ->
+      Printf.printf "after SNR degradation: crawled channel 10 down to 100 Gbps\n"
+  | Error e -> print_endline e

@@ -1,0 +1,91 @@
+module Modulation = Rwc_optical.Modulation
+
+type config = { up_margin_db : float; hold_samples : int }
+
+let default_config = { up_margin_db = 0.5; hold_samples = 4 }
+
+type state = {
+  config : config;
+  mutable current_gbps : int;  (* 0 = dark *)
+  mutable qualify_streak : int;  (* samples qualifying for a step up *)
+}
+
+let create ?(config = default_config) ~initial_gbps () =
+  (match Modulation.of_gbps initial_gbps with
+  | Some _ -> ()
+  | None -> invalid_arg "Adapt.create: not a modulation denomination");
+  assert (config.up_margin_db >= 0.0 && config.hold_samples >= 1);
+  { config; current_gbps = initial_gbps; qualify_streak = 0 }
+
+let capacity_gbps t = t.current_gbps
+
+type action =
+  | No_change
+  | Step_up of { from_gbps : int; to_gbps : int }
+  | Step_down of { from_gbps : int; to_gbps : int }
+  | Go_dark of { from_gbps : int }
+  | Come_back of { to_gbps : int }
+
+(* Next denomination above the current one, if any. *)
+let next_up gbps =
+  List.find_opt (fun m -> m.Modulation.gbps > gbps) Modulation.all
+
+let threshold gbps =
+  match Modulation.of_gbps gbps with
+  | Some m -> m.Modulation.min_snr_db
+  | None -> invalid_arg "Adapt: unknown denomination"
+
+let step t ~snr_db =
+  let feasible = Modulation.feasible_gbps snr_db in
+  if t.current_gbps = 0 then
+    (* Dark link: come back as soon as anything is feasible.  Re-entry
+       is conservative: start at the highest feasible denomination's
+       floor, no hold time (the link is down, nothing to disrupt). *)
+    if feasible > 0 then begin
+      t.current_gbps <- feasible;
+      t.qualify_streak <- 0;
+      Come_back { to_gbps = feasible }
+    end
+    else No_change
+  else if snr_db < threshold t.current_gbps then begin
+    (* SNR no longer supports the current rate: crawl (or go dark). *)
+    let from_gbps = t.current_gbps in
+    t.qualify_streak <- 0;
+    if feasible = 0 then begin
+      t.current_gbps <- 0;
+      Go_dark { from_gbps }
+    end
+    else begin
+      t.current_gbps <- feasible;
+      Step_down { from_gbps; to_gbps = feasible }
+    end
+  end
+  else begin
+    match next_up t.current_gbps with
+    | None -> No_change
+    | Some target ->
+        if snr_db >= target.Modulation.min_snr_db +. t.config.up_margin_db
+        then begin
+          t.qualify_streak <- t.qualify_streak + 1;
+          if t.qualify_streak >= t.config.hold_samples then begin
+            let from_gbps = t.current_gbps in
+            t.current_gbps <- target.Modulation.gbps;
+            t.qualify_streak <- 0;
+            Step_up { from_gbps; to_gbps = target.Modulation.gbps }
+          end
+          else No_change
+        end
+        else begin
+          t.qualify_streak <- 0;
+          No_change
+        end
+  end
+
+let run_trace ?config ~initial_gbps trace =
+  let t = create ?config ~initial_gbps () in
+  Array.map (fun snr_db -> step t ~snr_db) trace
+
+let reconfigurations actions =
+  Array.fold_left
+    (fun acc a -> match a with No_change -> acc | _ -> acc + 1)
+    0 actions

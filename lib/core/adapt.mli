@@ -1,0 +1,61 @@
+(** Run, walk, crawl: the SNR-driven capacity-adaptation policy.
+
+    The paper's thesis is that a link whose SNR drops should not be
+    declared down but should {e crawl} at a lower capacity, and a link
+    whose SNR is comfortably high should {e run} above its static
+    100 Gbps.  This module is the per-link controller that turns an SNR
+    sample stream into capacity decisions:
+
+    - {b down-shifts are immediate}: the moment the SNR falls below
+      the current modulation's threshold the link must drop to the
+      highest feasible denomination (or go dark if even 50 Gbps is
+      infeasible) — staying put means the link is failing anyway;
+    - {b up-shifts are damped}: the SNR must clear the next
+      denomination's threshold by a configurable margin for a
+      configurable hold time before the controller steps up, because
+      every reconfiguration costs downtime (Section 3.1) and flapping
+      up/down around a threshold would be worse than staying put. *)
+
+type config = {
+  up_margin_db : float;
+      (** Extra SNR above the target threshold required to step up
+          (default 0.5 dB). *)
+  hold_samples : int;
+      (** Consecutive qualifying samples before stepping up (default 4,
+          i.e. one hour at 15-minute polling). *)
+}
+
+val default_config : config
+
+type state
+(** Controller state for one link. *)
+
+val create : ?config:config -> initial_gbps:int -> unit -> state
+(** Raises [Invalid_argument] if [initial_gbps] is not a modulation
+    denomination. *)
+
+val capacity_gbps : state -> int
+(** Currently configured capacity; 0 when the link is dark. *)
+
+type action =
+  | No_change
+  | Step_up of { from_gbps : int; to_gbps : int }
+  | Step_down of { from_gbps : int; to_gbps : int }
+      (** A link flap: capacity reduced but the link stays up — the
+          availability win over a binary failure. *)
+  | Go_dark of { from_gbps : int }
+      (** SNR below even the 50 Gbps threshold: a genuine failure. *)
+  | Come_back of { to_gbps : int }  (** Recovery from dark. *)
+
+val step : state -> snr_db:float -> action
+(** Feed one SNR sample; mutates the state and reports what the
+    controller did.  Down-shifts move directly to the highest feasible
+    denomination (possibly several steps at once); up-shifts move one
+    denomination at a time. *)
+
+val run_trace : ?config:config -> initial_gbps:int -> float array -> action array
+(** Convenience: fresh controller stepped over a whole trace. *)
+
+val reconfigurations : action array -> int
+(** Number of actions that require touching the transceiver (all but
+    [No_change]). *)

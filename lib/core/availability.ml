@@ -1,0 +1,109 @@
+module Modulation = Rwc_optical.Modulation
+
+type policy =
+  | Static of int
+  | Adaptive of { config : Adapt.config; reconfig_downtime_s : float }
+
+type outcome = {
+  availability : float;
+  mean_capacity_gbps : float;
+  delivered_pbit : float;
+  failures : int;
+  flaps : int;
+  upshifts : int;
+  reconfig_downtime_s : float;
+}
+
+let sample_s = 900.0
+
+let finish ~n ~up_samples ~gbps_seconds ~failures ~flaps ~upshifts ~downtime =
+  let total_s = float_of_int n *. sample_s in
+  {
+    availability = float_of_int up_samples /. float_of_int n;
+    mean_capacity_gbps = gbps_seconds /. total_s;
+    delivered_pbit = gbps_seconds /. 1e6;
+    failures;
+    flaps;
+    upshifts;
+    reconfig_downtime_s = downtime;
+  }
+
+let evaluate_static gbps trace =
+  let threshold =
+    match Modulation.of_gbps gbps with
+    | Some m -> m.Modulation.min_snr_db
+    | None -> invalid_arg "Availability: unknown denomination"
+  in
+  let n = Array.length trace in
+  assert (n > 0);
+  let up = ref 0 and gbps_seconds = ref 0.0 in
+  let failures = ref 0 in
+  let was_up = ref true in
+  Array.iter
+    (fun snr ->
+      if snr >= threshold then begin
+        incr up;
+        gbps_seconds := !gbps_seconds +. (float_of_int gbps *. sample_s);
+        was_up := true
+      end
+      else begin
+        if !was_up then incr failures;
+        was_up := false
+      end)
+    trace;
+  finish ~n ~up_samples:!up ~gbps_seconds:!gbps_seconds ~failures:!failures
+    ~flaps:0 ~upshifts:0 ~downtime:0.0
+
+let evaluate_adaptive config reconfig_downtime_s trace =
+  assert (reconfig_downtime_s >= 0.0);
+  let n = Array.length trace in
+  assert (n > 0);
+  let ctl = Adapt.create ~config ~initial_gbps:Modulation.default_gbps () in
+  let up = ref 0 and gbps_seconds = ref 0.0 in
+  let failures = ref 0 and flaps = ref 0 and upshifts = ref 0 in
+  let downtime = ref 0.0 in
+  Array.iter
+    (fun snr ->
+      let action = Adapt.step ctl ~snr_db:snr in
+      let reconfig =
+        match action with
+        | Adapt.No_change -> false
+        | Adapt.Go_dark _ ->
+            incr failures;
+            false
+        | Adapt.Step_down _ ->
+            incr flaps;
+            true
+        | Adapt.Step_up _ ->
+            incr upshifts;
+            true
+        | Adapt.Come_back _ -> true
+      in
+      let cap = float_of_int (Adapt.capacity_gbps ctl) in
+      let usable_s =
+        if reconfig then begin
+          downtime := !downtime +. Float.min reconfig_downtime_s sample_s;
+          Float.max 0.0 (sample_s -. reconfig_downtime_s)
+        end
+        else sample_s
+      in
+      if cap > 0.0 then begin
+        incr up;
+        gbps_seconds := !gbps_seconds +. (cap *. usable_s)
+      end)
+    trace;
+  finish ~n ~up_samples:!up ~gbps_seconds:!gbps_seconds ~failures:!failures
+    ~flaps:!flaps ~upshifts:!upshifts ~downtime:!downtime
+
+let evaluate policy trace =
+  match policy with
+  | Static gbps -> evaluate_static gbps trace
+  | Adaptive { config; reconfig_downtime_s } ->
+      evaluate_adaptive config reconfig_downtime_s trace
+
+let pp fmt o =
+  Format.fprintf fmt
+    "avail=%.5f mean=%.1f Gbps delivered=%.2f Pbit fail=%d flap=%d up=%d \
+     reconfig-downtime=%.1fs"
+    o.availability o.mean_capacity_gbps o.delivered_pbit o.failures o.flaps
+    o.upshifts o.reconfig_downtime_s

@@ -1,0 +1,36 @@
+(** Flap-versus-fail accounting (Section 2.2).
+
+    Evaluates what a single link delivers over an SNR trace under three
+    operating disciplines:
+
+    - [Static gbps] — today's networks: fixed capacity, binary
+      up/down at the modulation threshold.  [Static 100] is the
+      paper's deployed baseline; higher values reproduce the Fig. 3
+      experiment of raising static capacity without adaptation.
+    - [Adaptive] — run/walk/crawl: capacity follows the SNR via
+      {!Adapt}, each reconfiguration costing BVT downtime, so the
+      comparison is honest about the cost of changing modulation
+      (68 s stock vs 35 ms efficient, Section 3.1). *)
+
+type policy =
+  | Static of int
+  | Adaptive of { config : Adapt.config; reconfig_downtime_s : float }
+
+type outcome = {
+  availability : float;  (** Fraction of time the link was up. *)
+  mean_capacity_gbps : float;
+      (** Time-average usable capacity (0 while down/reconfiguring). *)
+  delivered_pbit : float;
+      (** Integral of usable capacity over the period, in petabits. *)
+  failures : int;  (** Binary-down events (link unusable). *)
+  flaps : int;
+      (** Capacity reductions that kept the link alive — events that
+          would have been failures under a static policy. *)
+  upshifts : int;  (** Capacity increases (adaptive only). *)
+  reconfig_downtime_s : float;  (** Total downtime paid to the BVT. *)
+}
+
+val evaluate : policy -> float array -> outcome
+(** Run a policy over a 15-minute-sampled SNR trace. *)
+
+val pp : Format.formatter -> outcome -> unit

@@ -1,0 +1,35 @@
+module Graph = Rwc_flow.Graph
+
+type plan = {
+  updating : Graph.edge_id list;
+  transitional : Te.result;
+  final : Te.result;
+  transitional_graph : unit Graph.t;
+  final_graph : unit Graph.t;
+  fully_served_during_update : bool;
+}
+
+let strip g = Graph.map_edges g (fun e -> (e.Graph.capacity, e.Graph.cost, ()))
+
+let plan ?epsilon g ~upgrades commodities =
+  let updating = List.map (fun d -> d.Translate.phys_edge) upgrades in
+  let transitional_graph =
+    strip (Graph.filter g (fun e -> not (List.mem e.Graph.id updating)))
+  in
+  let final_graph = strip (Translate.apply g upgrades) in
+  let transitional = Te.mcf ?epsilon transitional_graph commodities in
+  let final = Te.mcf ?epsilon final_graph commodities in
+  let demand_total =
+    Array.fold_left
+      (fun acc c -> acc +. c.Rwc_flow.Multicommodity.demand)
+      0.0 commodities
+  in
+  {
+    updating;
+    transitional;
+    final;
+    transitional_graph;
+    final_graph;
+    fully_served_during_update =
+      transitional.Te.total_gbps >= demand_total -. 1e-6;
+  }

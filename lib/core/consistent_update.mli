@@ -1,0 +1,35 @@
+(** Disruption-free capacity updates via an intermediate network state
+    (Section 4.2, case ii).
+
+    A capacity change takes the physical link down for the duration of
+    the BVT reconfiguration.  For traffic that may be rerouted but must
+    not be dropped, the paper applies the consistent-network-updates
+    toolkit: identify the to-be-updated link set E_U, compute a
+    {e transitional} routing on the topology with E_U removed, move
+    traffic there, perform the upgrades, then install the {e final}
+    routing on the upgraded topology.  Flows never cross a link while
+    its transceiver is being reprogrammed. *)
+
+type plan = {
+  updating : Rwc_flow.Graph.edge_id list;
+      (** Physical edges whose capacity will change (E_U). *)
+  transitional : Te.result;
+      (** Routing valid while E_U is being reconfigured (computed on
+          the topology without those edges). *)
+  final : Te.result;  (** Routing on the upgraded topology. *)
+  transitional_graph : unit Rwc_flow.Graph.t;
+  final_graph : unit Rwc_flow.Graph.t;
+  fully_served_during_update : bool;
+      (** Whether the transitional state carries every commodity's full
+          demand — if not, the operator knows this update cannot be
+          made hitless by rerouting alone. *)
+}
+
+val plan :
+  ?epsilon:float ->
+  'a Rwc_flow.Graph.t ->
+  upgrades:Translate.decision list ->
+  Rwc_flow.Multicommodity.commodity array ->
+  plan
+(** Build the two-stage update plan for applying [upgrades] to the
+    physical topology while serving [commodities]. *)

@@ -1,0 +1,147 @@
+module Graph = Rwc_flow.Graph
+
+type flow_spec = { path : Graph.edge_id list; demand : float }
+
+type allocation = {
+  rates : float array;
+  bottleneck : Graph.edge_id option array;
+}
+
+let eps = 1e-9
+
+let allocate g flows =
+  List.iter
+    (fun f -> assert (f.path <> [] && f.demand > 0.0))
+    flows;
+  let flows = Array.of_list flows in
+  let k = Array.length flows in
+  let m = max 1 (Graph.n_edges g) in
+  let rates = Array.make k 0.0 in
+  let bottleneck = Array.make k None in
+  let frozen = Array.make k false in
+  let used = Array.make m 0.0 in
+  (* One filling round: find the smallest uniform increment that either
+     saturates an edge or caps a flow at its demand; apply it; freeze
+     the affected flows. *)
+  let active_on_edge e =
+    let count = ref 0 in
+    Array.iteri
+      (fun j f ->
+        if (not frozen.(j)) && List.mem e f.path then incr count)
+      flows;
+    !count
+  in
+  let rec fill () =
+    if Array.exists (fun f -> not f) frozen then begin
+      (* Headroom per active flow: min over its edges of
+         (capacity - used) / active flows on that edge, and its own
+         remaining demand. *)
+      let increment = ref infinity in
+      Array.iteri
+        (fun j f ->
+          if not frozen.(j) then begin
+            increment := Float.min !increment (f.demand -. rates.(j));
+            List.iter
+              (fun e ->
+                let sharers = float_of_int (active_on_edge e) in
+                let cap = (Graph.edge g e).Graph.capacity in
+                increment :=
+                  Float.min !increment ((cap -. used.(e)) /. sharers))
+              f.path
+          end)
+        flows;
+      let inc = Float.max 0.0 !increment in
+      (* Apply the uniform raise. *)
+      Array.iteri
+        (fun j f ->
+          if not frozen.(j) then begin
+            rates.(j) <- rates.(j) +. inc;
+            List.iter (fun e -> used.(e) <- used.(e) +. inc) f.path
+          end)
+        flows;
+      (* Freeze saturated flows (and demand-capped ones). *)
+      Array.iteri
+        (fun j f ->
+          if not frozen.(j) then
+            if rates.(j) >= f.demand -. eps then begin
+              frozen.(j) <- true;
+              bottleneck.(j) <- None
+            end
+            else begin
+              let saturated =
+                List.find_opt
+                  (fun e -> used.(e) >= (Graph.edge g e).Graph.capacity -. eps)
+                  f.path
+              in
+              match saturated with
+              | Some e ->
+                  frozen.(j) <- true;
+                  bottleneck.(j) <- Some e
+              | None -> ()
+            end)
+        flows;
+      (* Progress guarantee: if the increment was ~0 and nothing froze,
+         an edge has zero residual for its sharers; freeze them all. *)
+      if inc <= eps then
+        Array.iteri
+          (fun j f ->
+            if not frozen.(j) then begin
+              frozen.(j) <- true;
+              bottleneck.(j) <-
+                List.find_opt
+                  (fun e -> used.(e) >= (Graph.edge g e).Graph.capacity -. eps)
+                  f.path
+            end)
+          flows;
+      fill ()
+    end
+  in
+  fill ();
+  { rates; bottleneck }
+
+let is_max_min_fair g flows allocation =
+  let flows = Array.of_list flows in
+  let m = max 1 (Graph.n_edges g) in
+  let used = Array.make m 0.0 in
+  Array.iteri
+    (fun j f ->
+      List.iter
+        (fun e -> used.(e) <- used.(e) +. allocation.rates.(j))
+        f.path)
+    flows;
+  let feasible =
+    Graph.fold_edges
+      (fun acc e -> acc && used.(e.Graph.id) <= e.Graph.capacity +. 1e-6)
+      true g
+  in
+  let capped =
+    Array.for_all2
+      (fun r f -> r <= f.demand +. 1e-6 && r >= -1e-9)
+      allocation.rates flows
+  in
+  (* No unilateral increase: each flow below demand crosses a saturated
+     edge where no other flow using it is strictly smaller-but-raisable;
+     the standard check is that the flow's rate is >= the rate of ...
+     we verify the weaker, sufficient condition: it crosses a saturated
+     edge where its rate is maximal among that edge's users, OR equal
+     within tolerance. *)
+  let fair =
+    Array.for_all
+      (fun j ->
+        let f = flows.(j) and r = allocation.rates.(j) in
+        r >= f.demand -. 1e-6
+        || List.exists
+             (fun e ->
+               used.(e) >= (Graph.edge g e).Graph.capacity -. 1e-6
+               &&
+               let max_user = ref 0.0 in
+               Array.iteri
+                 (fun j' f' ->
+                   if List.mem e f'.path then
+                     max_user := Float.max !max_user allocation.rates.(j'))
+                 flows;
+               r >= !max_user -. 1e-6)
+             f.path)
+      (Array.init (Array.length flows) Fun.id)
+  in
+  feasible && capped && fair

@@ -1,0 +1,34 @@
+(** Max-min fair rate allocation by progressive filling.
+
+    B4 (Jain et al., which the paper targets with its abstraction)
+    allocates tunnel bandwidth max-min fairly: all flows' rates rise
+    together until a link saturates, the flows crossing it freeze at
+    that level, and the rest keep rising.  This module implements the
+    classic waterfilling over fixed single paths — the allocation
+    primitive a B4-style controller would run on the (augmented or
+    physical) topology after path selection.
+
+    The defining property (checked by the tests): the resulting vector
+    is feasible and no flow's rate can be increased without decreasing
+    the rate of some flow that is not larger. *)
+
+type flow_spec = {
+  path : Rwc_flow.Graph.edge_id list;  (** Fixed route; non-empty. *)
+  demand : float;  (** Upper bound on the flow's rate; positive. *)
+}
+
+type allocation = {
+  rates : float array;  (** Per flow, same order as the input. *)
+  bottleneck : Rwc_flow.Graph.edge_id option array;
+      (** The saturated edge that froze each flow; [None] when the flow
+          reached its demand instead. *)
+}
+
+val allocate : 'a Rwc_flow.Graph.t -> flow_spec list -> allocation
+(** Progressive filling.  O(flows x edges) per filling round. *)
+
+val is_max_min_fair : 'a Rwc_flow.Graph.t -> flow_spec list -> allocation -> bool
+(** Verifier used by the test suite: feasibility, demand caps, and the
+    no-unilateral-increase property (every flow below its demand has a
+    saturated edge on its path where it is among the largest
+    users). *)

@@ -1,0 +1,109 @@
+module Graph = Rwc_flow.Graph
+
+let spf g ~dst =
+  let n = Graph.n_vertices g in
+  (* Distances TO dst: Dijkstra over reversed edges. *)
+  let dist = Array.make n infinity in
+  dist.(dst) <- 0.0;
+  let visited = Array.make n false in
+  let rec loop () =
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not visited.(v)) && Float.is_finite dist.(v) then
+        if !best < 0 || dist.(v) < dist.(!best) then best := v
+    done;
+    if !best >= 0 then begin
+      let v = !best in
+      visited.(v) <- true;
+      List.iter
+        (fun eid ->
+          let e = Graph.edge g eid in
+          assert (e.Graph.cost >= 0.0);
+          if dist.(v) +. e.Graph.cost < dist.(e.Graph.src) then
+            dist.(e.Graph.src) <- dist.(v) +. e.Graph.cost)
+        (Graph.in_edges g v);
+      loop ()
+    end
+  in
+  loop ();
+  let next_hops =
+    Array.init n (fun r ->
+        if r = dst || not (Float.is_finite dist.(r)) then []
+        else
+          List.filter
+            (fun eid ->
+              let e = Graph.edge g eid in
+              Float.is_finite dist.(e.Graph.dst)
+              && Float.abs (e.Graph.cost +. dist.(e.Graph.dst) -. dist.(r)) < 1e-9)
+            (Graph.out_edges g r))
+  in
+  (dist, next_hops)
+
+type lie = {
+  at : int;
+  dst : int;
+  via_edge : Graph.edge_id;
+  advertised_cost : float;
+}
+
+let synthesize g ~dst ~desired =
+  let dist, _ = spf g ~dst in
+  let seen = Hashtbl.create 8 in
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | (r, eid) :: rest ->
+        if r = dst then Error "cannot override the destination router"
+        else if Hashtbl.mem seen r then
+          Error (Printf.sprintf "router %d overridden twice" r)
+        else begin
+          let e = Graph.edge g eid in
+          if e.Graph.src <> r then
+            Error (Printf.sprintf "edge %d does not leave router %d" eid r)
+          else begin
+            Hashtbl.add seen r ();
+            (* Advertise strictly better than the current best route;
+               an unreachable router accepts any finite cost. *)
+            let advertised_cost =
+              if Float.is_finite dist.(r) then Float.max 1e-6 (dist.(r) /. 2.0)
+              else 1.0
+            in
+            build ({ at = r; dst; via_edge = eid; advertised_cost } :: acc) rest
+          end
+        end
+  in
+  build [] desired
+
+let forwarding g ~dst lies =
+  let _, next_hops = spf g ~dst in
+  let out = Array.copy next_hops in
+  List.iter (fun lie -> out.(lie.at) <- [ lie.via_edge ]) lies;
+  out
+
+let delivers g ~dst forwarding =
+  let n = Graph.n_vertices g in
+  (* A router "delivers" if every forwarding choice leads to a
+     delivering router; compute by DFS with cycle detection over the
+     must-deliver relation. *)
+  let state = Array.make n `Unknown in
+  state.(dst) <- `Good;
+  let rec visit v =
+    match state.(v) with
+    | `Good -> true
+    | `Bad | `Active -> false
+    | `Unknown ->
+        state.(v) <- `Active;
+        let ok =
+          forwarding.(v) <> []
+          && List.for_all
+               (fun eid -> visit (Graph.edge g eid).Graph.dst)
+               forwarding.(v)
+        in
+        state.(v) <- (if ok then `Good else `Bad);
+        ok
+  in
+  let all_ok = ref true in
+  for v = 0 to n - 1 do
+    if v <> dst && forwarding.(v) <> [] then
+      if not (visit v) then all_ok := false
+  done;
+  !all_ok

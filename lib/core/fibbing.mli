@@ -1,0 +1,56 @@
+(** Fibbing-style route injection (Vissicchio et al., SIGCOMM 2015).
+
+    The paper's abstraction "draws inspiration from the concept of
+    Fibbing": where this library injects fake {e links} into a central
+    TE computation, Fibbing injects fake {e nodes/routes} into a
+    distributed link-state IGP so that unmodified routers compute the
+    paths a controller wants.  This module implements the mini version
+    used to reason about that lineage: an IGP view (per-destination
+    shortest-path forwarding with ECMP) plus a synthesizer that, given
+    desired next-hop overrides, emits the targeted lies — fake nodes
+    advertising the destination at a cost that makes the desired
+    out-edge strictly preferred at the target router.
+
+    Simplification relative to the real system: lies are
+    {e locally scoped} (installed only at their target router), the
+    per-router filtering mode of the original paper, which sidesteps
+    global lie-propagation side effects. *)
+
+val spf :
+  'a Rwc_flow.Graph.t -> dst:int -> float array * Rwc_flow.Graph.edge_id list array
+(** Per-router shortest distance to [dst] (using edge costs as IGP
+    weights; [infinity] when unreachable) and the ECMP next-hop edge
+    set (empty at [dst] and at disconnected routers). *)
+
+type lie = {
+  at : int;  (** Router receiving the fake LSA. *)
+  dst : int;
+  via_edge : Rwc_flow.Graph.edge_id;
+      (** Real out-edge of [at] the fake node is mapped onto. *)
+  advertised_cost : float;
+      (** Cost of the fake route; strictly below the router's current
+          best distance, so the lie wins. *)
+}
+
+val synthesize :
+  'a Rwc_flow.Graph.t ->
+  dst:int ->
+  desired:(int * Rwc_flow.Graph.edge_id) list ->
+  (lie list, string) result
+(** One lie per (router, desired out-edge) pair.  Fails if an edge
+    does not leave its router, targets the destination router itself,
+    or a router appears twice. *)
+
+val forwarding :
+  'a Rwc_flow.Graph.t -> dst:int -> lie list -> Rwc_flow.Graph.edge_id list array
+(** The forwarding state after installing the lies: overridden routers
+    use exactly their lie's edge; everyone else keeps the IGP ECMP
+    set. *)
+
+val delivers : 'a Rwc_flow.Graph.t -> dst:int -> Rwc_flow.Graph.edge_id list array -> bool
+(** Whether every router with at least one next hop reaches [dst]
+    under the given forwarding, for every ECMP choice (i.e. the
+    forwarding graph restricted to routers that can send is loop-free
+    into [dst]).  Synthesized lies can create loops if the desired
+    overrides are inconsistent — this is the checker a controller runs
+    before installing them. *)

@@ -1,0 +1,88 @@
+module Graph = Rwc_flow.Graph
+
+type tag =
+  | Real of Graph.edge_id
+  | Replacement of Graph.edge_id
+  | Series of Graph.edge_id
+  | Plain of Graph.edge_id
+
+type 'a t = {
+  physical : 'a Graph.t;
+  graph : tag Graph.t;
+  vertex_of : int -> int;
+}
+
+let build ~headroom ~penalty g =
+  let n = Graph.n_vertices g in
+  let splittable =
+    Graph.fold_edges
+      (fun acc e -> if headroom e.Graph.id > 0.0 then acc + 1 else acc)
+      0 g
+  in
+  let g' = Graph.create ~n:(n + splittable) in
+  let next_vertex = ref n in
+  Graph.iter_edges
+    (fun e ->
+      let u = headroom e.Graph.id in
+      assert (u >= 0.0);
+      if u = 0.0 then
+        ignore
+          (Graph.add_edge g' ~src:e.Graph.src ~dst:e.Graph.dst
+             ~capacity:e.Graph.capacity ~cost:e.Graph.cost (Plain e.Graph.id))
+      else begin
+        let x = !next_vertex in
+        incr next_vertex;
+        let full = e.Graph.capacity +. u in
+        let p = Penalty.evaluate penalty ~phys_edge_id:e.Graph.id in
+        ignore
+          (Graph.add_edge g' ~src:e.Graph.src ~dst:x ~capacity:e.Graph.capacity
+             ~cost:e.Graph.cost (Real e.Graph.id));
+        ignore
+          (Graph.add_edge g' ~src:e.Graph.src ~dst:x ~capacity:full
+             ~cost:(e.Graph.cost +. p) (Replacement e.Graph.id));
+        ignore
+          (Graph.add_edge g' ~src:x ~dst:e.Graph.dst ~capacity:full ~cost:0.0
+             (Series e.Graph.id))
+      end)
+    g;
+  { physical = g; graph = g'; vertex_of = (fun v -> v) }
+
+let upgrades t ~flow =
+  let out = ref [] in
+  Graph.iter_edges
+    (fun e ->
+      match e.Graph.tag with
+      | Replacement phys ->
+          if flow.(e.Graph.id) > 1e-9 then out := (phys, flow.(e.Graph.id)) :: !out
+      | Real _ | Series _ | Plain _ -> ())
+    t.graph;
+  List.sort compare !out
+
+(* Widest path by a Dijkstra variant maximizing the bottleneck. *)
+let max_single_path_capacity t ~src ~dst =
+  let g = t.graph in
+  let n = Graph.n_vertices g in
+  let width = Array.make n 0.0 in
+  let visited = Array.make n false in
+  width.(src) <- infinity;
+  let rec loop () =
+    (* Pick the unvisited vertex with the largest width. *)
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not visited.(v)) && width.(v) > 0.0 then
+        if !best < 0 || width.(v) > width.(!best) then best := v
+    done;
+    if !best >= 0 && !best <> dst then begin
+      let v = !best in
+      visited.(v) <- true;
+      List.iter
+        (fun eid ->
+          let e = Graph.edge g eid in
+          let w = Float.min width.(v) e.Graph.capacity in
+          if w > width.(e.Graph.dst) then width.(e.Graph.dst) <- w)
+        (Graph.out_edges g v);
+      loop ()
+    end
+  in
+  loop ();
+  width.(dst)

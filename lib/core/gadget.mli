@@ -1,0 +1,48 @@
+(** Node-splitting gadget for unsplittable flows (Figure 8).
+
+    In the plain augmentation an upgraded link appears as two parallel
+    edges (real 100 + fake 100), so a single unsplittable 200 Gbps flow
+    cannot cross it even though the physical link, once upgraded,
+    carries 200 Gbps on one wavelength.  The paper's fix inserts
+    intermediate vertices: the physical link (A, B) becomes
+
+      A --(real: cap, 0)-------> X --(cap + headroom, 0)--> B
+      A --(fake: cap+headroom, penalty)-> X
+
+    The fake edge now offers the FULL post-upgrade capacity on a single
+    edge (it replaces the link rather than topping it up), while the
+    series edge X->B caps the combined real+fake usage at the physical
+    limit, so splittable routing is not inflated either. *)
+
+type tag =
+  | Real of Rwc_flow.Graph.edge_id  (** Pre-upgrade edge of a split link. *)
+  | Replacement of Rwc_flow.Graph.edge_id
+      (** Full-capacity post-upgrade edge; using it means upgrading. *)
+  | Series of Rwc_flow.Graph.edge_id  (** The capping edge into [b]. *)
+  | Plain of Rwc_flow.Graph.edge_id  (** Unsplit (no-headroom) edge. *)
+
+type 'a t = {
+  physical : 'a Rwc_flow.Graph.t;
+  graph : tag Rwc_flow.Graph.t;
+  vertex_of : int -> int;
+      (** Maps a physical vertex to its identity in [graph] (vertices
+          are preserved; splits only add new ones). *)
+}
+
+val build :
+  headroom:(Rwc_flow.Graph.edge_id -> float) ->
+  penalty:Penalty.t ->
+  'a Rwc_flow.Graph.t ->
+  'a t
+
+val upgrades : 'a t -> flow:float array -> (Rwc_flow.Graph.edge_id * float) list
+(** Physical edges whose replacement edge carries flow, with the
+    amount — the upgrade decisions implied by a routing on the gadget
+    graph. *)
+
+val max_single_path_capacity :
+  'a t -> src:int -> dst:int -> float
+(** Largest bottleneck capacity over single paths from [src] to [dst]
+    in the gadget graph (widest-path) — what an unsplittable flow could
+    use; the Figure 8 claim is that this reaches the post-upgrade
+    capacity. *)

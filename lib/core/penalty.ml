@@ -1,0 +1,22 @@
+type t =
+  | Zero
+  | Uniform of float
+  | Traffic_proportional of float array
+  | Disruption_aware of { traffic : float array; downtime_s : float }
+  | Class_weighted of (float * float array) list
+
+let evaluate t ~phys_edge_id =
+  let v =
+    match t with
+    | Zero -> 0.0
+    | Uniform p -> p
+    | Traffic_proportional traffic -> traffic.(phys_edge_id)
+    | Disruption_aware { traffic; downtime_s } ->
+        traffic.(phys_edge_id) *. downtime_s
+    | Class_weighted classes ->
+        List.fold_left
+          (fun acc (weight, traffic) -> acc +. (weight *. traffic.(phys_edge_id)))
+          0.0 classes
+  in
+  assert (Float.is_finite v && v >= 0.0);
+  v

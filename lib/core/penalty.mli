@@ -1,0 +1,35 @@
+(** Penalty functions for capacity-upgrade fake links (Section 4.2).
+
+    Activating a fake link means reconfiguring a transceiver, which
+    disrupts whatever the physical link currently carries.  The paper
+    suggests using the current link traffic as the penalty and leaves
+    operators free to be more or less aggressive; these are the
+    variants it discusses. *)
+
+type t =
+  | Zero
+      (** No penalty: the TE optimizer upgrades freely (Algorithm 1's
+          default [P'(e) = 0] line for real edges extended to fake
+          ones). *)
+  | Uniform of float
+      (** Every upgrade costs the same fixed per-unit penalty. *)
+  | Traffic_proportional of float array
+      (** Penalty equals the traffic (by physical edge id) currently
+          riding the link — the paper's suggested default: upgrading a
+          busy link disrupts more. *)
+  | Disruption_aware of { traffic : float array; downtime_s : float }
+      (** Penalty is traffic volume times expected reconfiguration
+          downtime: Gbit actually lost during the change.  With a
+          stock BVT (~68 s) upgrades are expensive; with the efficient
+          procedure (~35 ms) they become nearly free — quantifying why
+          Section 3.1's hitless change matters to the TE layer. *)
+  | Class_weighted of (float * float array) list
+      (** Section 4.2's "adjusting the penalty according to the traffic
+          priority class": each element is (class weight, per-edge
+          traffic of that class); the penalty is the weighted sum, so
+          disrupting a link that carries interactive traffic costs more
+          than one carrying the same volume of bulk transfers. *)
+
+val evaluate : t -> phys_edge_id:int -> float
+(** Penalty per unit flow for upgrading the given physical edge.
+    Always finite and non-negative. *)

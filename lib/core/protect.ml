@@ -1,0 +1,54 @@
+module Graph = Rwc_flow.Graph
+
+type protected_flow = { path : Graph.edge_id list; gbps : float }
+
+type 'a masked = { graph : 'a Graph.t; frozen : bool array }
+
+let mask g flows =
+  let m = max 1 (Graph.n_edges g) in
+  let usage = Array.make m 0.0 in
+  let frozen = Array.make m false in
+  List.iter
+    (fun f ->
+      if f.gbps <= 0.0 then invalid_arg "Protect.mask: non-positive flow";
+      (* Path must be connected edge-to-edge. *)
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+            if (Graph.edge g a).Graph.dst <> (Graph.edge g b).Graph.src then
+              invalid_arg "Protect.mask: disconnected protected path";
+            check rest
+        | [ _ ] | [] -> ()
+      in
+      check f.path;
+      List.iter
+        (fun eid ->
+          usage.(eid) <- usage.(eid) +. f.gbps;
+          frozen.(eid) <- true)
+        f.path)
+    flows;
+  Graph.iter_edges
+    (fun e ->
+      if usage.(e.Graph.id) > e.Graph.capacity +. 1e-9 then
+        invalid_arg
+          (Printf.sprintf
+             "Protect.mask: edge %d oversubscribed (%.1f protected > %.1f capacity)"
+             e.Graph.id usage.(e.Graph.id) e.Graph.capacity))
+    g;
+  let graph =
+    Graph.map_edges g (fun e ->
+        (Float.max 0.0 (e.Graph.capacity -. usage.(e.Graph.id)), e.Graph.cost, e.Graph.tag))
+  in
+  { graph; frozen }
+
+let restrict_headroom masked headroom eid =
+  if masked.frozen.(eid) then 0.0 else headroom eid
+
+let validate_decisions masked decisions =
+  let offender =
+    List.find_opt (fun d -> masked.frozen.(d.Translate.phys_edge)) decisions
+  in
+  match offender with
+  | None -> Ok ()
+  | Some d ->
+      Error
+        (Printf.sprintf "decision upgrades frozen edge %d" d.Translate.phys_edge)

@@ -1,0 +1,41 @@
+(** Protected flows (Section 4.2, case i).
+
+    Some traffic must not be disturbed at all.  For such a flow the
+    paper prescribes two maskings before the TE optimization runs:
+
+    (i-a) links on its path are not allowed to change their capacity —
+          their fake twins must not exist; and
+    (i-b) the flow, along with the capacity it uses, is hidden from the
+          TE optimization — the links' capacities are reduced by the
+          protected usage.
+
+    This module applies both to a physical topology + protected-flow
+    set, producing the inputs Algorithm 1 should actually see. *)
+
+type protected_flow = {
+  path : Rwc_flow.Graph.edge_id list;  (** Physical edges, in order. *)
+  gbps : float;  (** Must be positive. *)
+}
+
+type 'a masked = {
+  graph : 'a Rwc_flow.Graph.t;
+      (** Physical topology with protected usage subtracted (edge ids
+          preserved). *)
+  frozen : bool array;
+      (** Per physical edge: true when some protected flow crosses it,
+          i.e. its capacity must not change. *)
+}
+
+val mask : 'a Rwc_flow.Graph.t -> protected_flow list -> 'a masked
+(** Raises [Invalid_argument] if the protected flows oversubscribe an
+    edge or a path is disconnected. *)
+
+val restrict_headroom :
+  'a masked -> (Rwc_flow.Graph.edge_id -> float) -> Rwc_flow.Graph.edge_id -> float
+(** Headroom function for {!Augment.build}: the original headroom with
+    frozen edges forced to zero, so no fake twin is created for
+    them. *)
+
+val validate_decisions :
+  'a masked -> Translate.decision list -> (unit, string) result
+(** Defensive check that an upgrade plan touches no frozen edge. *)

@@ -1,0 +1,38 @@
+type window = { start_hour : int; disrupted_gbit : float }
+
+let diurnal_profile hour =
+  assert (hour >= 0 && hour < 24);
+  (* Cosine with trough at 4am and peak twelve hours later at 4pm;
+     amplitude 0.45 keeps the factor positive and the 24h mean 1. *)
+  1.0 -. (0.45 *. cos (2.0 *. Float.pi *. float_of_int (hour - 4) /. 24.0))
+
+let disruption_at ~hour ~traffic_profile ~duct_flow ~upgrades ~downtime_s =
+  assert (downtime_s >= 0.0);
+  let factor = traffic_profile hour in
+  List.fold_left
+    (fun acc d ->
+      acc
+      +. (duct_flow.(d.Translate.phys_edge) *. factor *. downtime_s))
+    0.0 upgrades
+
+let best_window ~traffic_profile ~duct_flow ~upgrades ~downtime_s =
+  let windows =
+    List.init 24 (fun hour ->
+        {
+          start_hour = hour;
+          disrupted_gbit =
+            disruption_at ~hour ~traffic_profile ~duct_flow ~upgrades
+              ~downtime_s;
+        })
+  in
+  let best =
+    List.fold_left
+      (fun acc w -> if w.disrupted_gbit < acc.disrupted_gbit then w else acc)
+      (List.hd windows) windows
+  in
+  let worst =
+    List.fold_left
+      (fun acc w -> if w.disrupted_gbit > acc.disrupted_gbit then w else acc)
+      (List.hd windows) windows
+  in
+  (best, worst)

@@ -1,0 +1,42 @@
+(** Maintenance-window scheduling for capacity changes.
+
+    Section 4 says operators "ought to look for a balance between the
+    traffic churn caused by the modification of a link's capacity and
+    its potential benefit".  Given an upgrade plan, a diurnal traffic
+    profile and the BVT downtime, this scheduler quantifies the
+    disrupted traffic of executing the plan at each hour of the day and
+    picks the cheapest window — the operational complement of the
+    penalty function inside the TE formulation. *)
+
+type window = {
+  start_hour : int;  (** 0-23, local to the traffic profile. *)
+  disrupted_gbit : float;
+      (** Traffic crossing the upgraded links during reconfiguration,
+          summed over the plan. *)
+}
+
+val disruption_at :
+  hour:int ->
+  traffic_profile:(int -> float) ->
+  duct_flow:float array ->
+  upgrades:Translate.decision list ->
+  downtime_s:float ->
+  float
+(** Disrupted volume (Gbit) of executing all upgrades at the given
+    hour: sum over upgraded links of (link flow x diurnal factor x
+    downtime).  [traffic_profile hour] is a multiplicative factor
+    (1.0 = daily average); [duct_flow] is the average flow per physical
+    edge id. *)
+
+val best_window :
+  traffic_profile:(int -> float) ->
+  duct_flow:float array ->
+  upgrades:Translate.decision list ->
+  downtime_s:float ->
+  window * window
+(** (best, worst) hourly windows over a day. *)
+
+val diurnal_profile : int -> float
+(** A standard WAN diurnal shape: factor 0.55 in the night trough
+    (4am), 1.45 at the afternoon peak (4pm), averaging exactly 1.0
+    over 24 h. *)

@@ -1,0 +1,78 @@
+(** SWAN-style traffic engineering: priority classes and
+    congestion-free update sequences.
+
+    The paper positions its abstraction as an input transformation for
+    controllers "like those of SWAN or MPLS-TE" (Section 3.2) and
+    borrows SWAN's consistent-updates toolkit for disruption-free
+    capacity changes (Section 4.2).  This module supplies both pieces,
+    faithful to Hong et al. (SIGCOMM 2013):
+
+    - {b multi-class allocation}: interactive traffic is routed first
+      on short paths, then elastic, then background soak up residual
+      capacity — each class sees only what higher classes left behind;
+    - {b congestion-free updates}: moving the network from one flow
+      configuration to another in steps such that no link exceeds its
+      capacity even while routers apply a step asynchronously.  SWAN's
+      theorem: if both endpoint configurations load every link at most
+      (1 - s) * capacity, then ceil(1/s) - 1 linearly interpolated
+      intermediate configurations suffice; during any step a link
+      transiently carries at most its current load plus the flow added
+      by the next configuration, which the slack absorbs. *)
+
+type klass = Interactive | Elastic | Background
+
+val klass_name : klass -> string
+
+type class_demand = { src : int; dst : int; gbps : float; klass : klass }
+
+type allocation = {
+  flow : float array;  (** Total per-edge flow across classes. *)
+  per_class : (klass * Te.result) list;
+      (** In allocation order (Interactive, Elastic, Background); each
+          class's result is computed on the residual topology left by
+          its predecessors. *)
+  routed_gbps : float;
+}
+
+val allocate :
+  ?epsilon:float ->
+  ?interactive_k:int ->
+  'a Rwc_flow.Graph.t ->
+  class_demand list ->
+  allocation
+(** Strict-priority allocation.  Interactive demands use greedy
+    k-shortest-path allocation (default k = 2; short paths, no global
+    rerouting churn); Elastic and Background use the approximate MCF
+    on what remains. *)
+
+(* -- congestion-free update sequences -- *)
+
+type update_plan = {
+  steps : float array list;
+      (** Intermediate per-edge configurations, excluding the starting
+          one and including the final one; empty when old = new. *)
+  slack : float;
+}
+
+val update_plan :
+  slack:float ->
+  capacity:float array ->
+  old_flow:float array ->
+  new_flow:float array ->
+  (update_plan, string) result
+(** [update_plan ~slack ~capacity ~old_flow ~new_flow] builds the
+    SWAN sequence with [ceil (1/slack) - 1] intermediate steps.
+    Fails (with an explanatory message) if either endpoint
+    configuration exceeds [(1 - slack) * capacity] on some link —
+    the premise of the congestion-free guarantee. *)
+
+val transient_load : float array -> float array -> float array
+(** [transient_load from_cfg to_cfg] is the worst per-edge load while
+    routers move between two adjacent configurations asynchronously:
+    [from + (to - from)^+] (existing traffic plus traffic newly
+    steered in, before any has been steered away). *)
+
+val plan_is_congestion_free :
+  capacity:float array -> old_flow:float array -> update_plan -> bool
+(** Checks every adjacent pair of the plan against {!transient_load};
+    the property-test suite runs this over random instances. *)

@@ -1,0 +1,69 @@
+module Graph = Rwc_flow.Graph
+
+type decision = {
+  phys_edge : Graph.edge_id;
+  extra_gbps : float;
+  penalty_paid : float;
+}
+
+let eps = 1e-9
+
+let decisions aug ~flow =
+  (* The fake edge's cost is weight + penalty; subtract the real twin's
+     cost (the weight) to report the pure penalty. *)
+  let weight_of = Array.make (max 1 (Graph.n_edges aug.Augment.physical)) 0.0 in
+  Graph.iter_edges
+    (fun e ->
+      match e.Graph.tag with
+      | Augment.Real p -> weight_of.(p) <- e.Graph.cost
+      | Augment.Fake _ -> ())
+    aug.Augment.graph;
+  let out = ref [] in
+  Graph.iter_edges
+    (fun e ->
+      match e.Graph.tag with
+      | Augment.Real _ -> ()
+      | Augment.Fake phys ->
+          let f = flow.(e.Graph.id) in
+          if f > eps then
+            out :=
+              {
+                phys_edge = phys;
+                extra_gbps = f;
+                penalty_paid = f *. (e.Graph.cost -. weight_of.(phys));
+              }
+              :: !out)
+    aug.Augment.graph;
+  List.sort (fun a b -> compare a.phys_edge b.phys_edge) !out
+
+let phys_flow aug ~flow =
+  let m = Graph.n_edges aug.Augment.physical in
+  let out = Array.make (max 1 m) 0.0 in
+  Graph.iter_edges
+    (fun e ->
+      let phys =
+        match e.Graph.tag with Augment.Real p | Augment.Fake p -> p
+      in
+      out.(phys) <- out.(phys) +. flow.(e.Graph.id))
+    aug.Augment.graph;
+  out
+
+let snapped_capacity ~current_gbps ~extra_gbps =
+  let needed = current_gbps +. extra_gbps in
+  let candidates =
+    List.filter
+      (fun m -> float_of_int m.Rwc_optical.Modulation.gbps >= needed -. 1e-6)
+      Rwc_optical.Modulation.all
+  in
+  match candidates with
+  | [] -> None
+  | m :: _ -> Some m.Rwc_optical.Modulation.gbps
+
+let apply g decisions =
+  let extra = Array.make (max 1 (Graph.n_edges g)) 0.0 in
+  List.iter (fun d -> extra.(d.phys_edge) <- extra.(d.phys_edge) +. d.extra_gbps) decisions;
+  Graph.map_edges g (fun e ->
+      (e.Graph.capacity +. extra.(e.Graph.id), e.Graph.cost, e.Graph.tag))
+
+let total_penalty ds = List.fold_left (fun acc d -> acc +. d.penalty_paid) 0.0 ds
+let total_extra ds = List.fold_left (fun acc d -> acc +. d.extra_gbps) 0.0 ds

@@ -1,0 +1,37 @@
+(** Step 3 of the Theorem 1 procedure: translate the TE algorithm's
+    output on the augmented topology into (a) capacity-upgrade
+    decisions and (b) flow paths for the traffic demands.
+
+    The TE algorithm never learns that fake edges exist; whatever flow
+    it places on a fake edge is read back here as "this physical link
+    needs that much extra capacity".  Raw extra capacity is also
+    snapped up to the next modulation denomination, because real BVTs
+    move in 25 Gbps steps, not continuously. *)
+
+type decision = {
+  phys_edge : Rwc_flow.Graph.edge_id;
+  extra_gbps : float;  (** Flow the TE put on the fake twin. *)
+  penalty_paid : float;  (** extra_gbps x per-unit penalty. *)
+}
+
+val decisions : 'a Augment.t -> flow:float array -> decision list
+(** Upgrade decisions implied by a flow on the augmented graph (flow
+    indexed by augmented edge id).  Only fake edges carrying more than
+    1e-9 appear.  Ordered by physical edge id. *)
+
+val phys_flow : 'a Augment.t -> flow:float array -> float array
+(** Total flow per physical edge: real flow plus fake-twin flow —
+    the traffic the physical link will carry after upgrades. *)
+
+val snapped_capacity :
+  current_gbps:float -> extra_gbps:float -> int option
+(** Smallest modulation denomination >= current + extra; [None] if
+    even 200 Gbps is not enough (the demand exceeds the hardware). *)
+
+val apply :
+  'a Rwc_flow.Graph.t -> decision list -> 'a Rwc_flow.Graph.t
+(** The physical topology with each decided edge's capacity raised by
+    its [extra_gbps] (ids preserved). *)
+
+val total_penalty : decision list -> float
+val total_extra : decision list -> float

@@ -1,0 +1,55 @@
+module Graph = Rwc_flow.Graph
+
+type tunnel = { src : int; dst : int; gbps : float }
+
+type placement = { tunnel : tunnel; path : Graph.edge_id list option }
+
+type result = {
+  placements : placement list;
+  placed_gbps : float;
+  upgrades : (Graph.edge_id * float) list;
+}
+
+let route gadget tunnels =
+  let g = gadget.Gadget.graph in
+  let residual = Array.make (max 1 (Graph.n_edges g)) 0.0 in
+  Graph.iter_edges (fun e -> residual.(e.Graph.id) <- e.Graph.capacity) g;
+  let place t =
+    assert (t.gbps > 0.0 && t.src <> t.dst);
+    (* Least-cost path among edges with enough residual for the WHOLE
+       tunnel: a Dijkstra restricted to wide-enough edges. *)
+    let usable eid = residual.(eid) >= t.gbps -. 1e-9 in
+    match Rwc_flow.Shortest.dijkstra ~usable g ~src:t.src ~dst:t.dst with
+    | None -> { tunnel = t; path = None }
+    | Some path ->
+        List.iter (fun eid -> residual.(eid) <- residual.(eid) -. t.gbps) path;
+        { tunnel = t; path = Some path }
+  in
+  let placements = List.map place tunnels in
+  let placed_gbps =
+    List.fold_left
+      (fun acc p -> match p.path with Some _ -> acc +. p.tunnel.gbps | None -> acc)
+      0.0 placements
+  in
+  (* Traffic on replacement edges = implied upgrades. *)
+  let usage = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      match p.path with
+      | None -> ()
+      | Some path ->
+          List.iter
+            (fun eid ->
+              match (Graph.edge g eid).Graph.tag with
+              | Gadget.Replacement phys ->
+                  Hashtbl.replace usage phys
+                    (p.tunnel.gbps
+                    +. Option.value ~default:0.0 (Hashtbl.find_opt usage phys))
+              | Gadget.Real _ | Gadget.Series _ | Gadget.Plain _ -> ())
+            path)
+    placements;
+  let upgrades =
+    Hashtbl.fold (fun phys amount acc -> (phys, amount) :: acc) usage []
+    |> List.sort compare
+  in
+  { placements; placed_gbps; upgrades }

@@ -1,0 +1,33 @@
+(** Single-path ("unsplittable") traffic engineering over the Figure 8
+    gadget.
+
+    MPLS-TE tunnels and some inter-datacenter transfers must ride one
+    path.  On the parallel-edge augmentation a tunnel can never exceed
+    the pre-upgrade capacity of any link (Section 4.2's observation);
+    the {!Gadget} construction fixes that.  This allocator routes each
+    tunnel greedily on the widest-then-cheapest single path of the
+    gadget graph, consuming residual capacity, and reports both the
+    paths and the upgrade decisions the chosen paths imply. *)
+
+type tunnel = { src : int; dst : int; gbps : float }
+
+type placement = {
+  tunnel : tunnel;
+  path : Rwc_flow.Graph.edge_id list option;
+      (** Edges of the gadget graph; [None] if the tunnel could not be
+          placed at full size on any single path. *)
+}
+
+type result = {
+  placements : placement list;
+  placed_gbps : float;
+  upgrades : (Rwc_flow.Graph.edge_id * float) list;
+      (** Physical edges whose replacement edge carries tunnels, with
+          the traffic on them. *)
+}
+
+val route : 'a Gadget.t -> tunnel list -> result
+(** Tunnels are placed in the given order, each on the least-cost
+    single path whose residual bottleneck fits the full tunnel.
+    Tunnels must have positive size and [src <> dst] (in physical
+    vertex numbering, which the gadget preserves). *)

@@ -1,0 +1,147 @@
+module Graph = Rwc_flow.Graph
+module Augment = Rwc_core.Augment
+module Penalty = Rwc_core.Penalty
+module Translate = Rwc_core.Translate
+module Gadget = Rwc_core.Gadget
+module Backbone = Rwc_topology.Backbone
+
+let fig7 () =
+  Report.section "fig7" "graph abstraction on the four-node square";
+  (* A=0 B=1 C=2 D=3; bidirectional 100G sides; AB and CD upgradable.
+     Demands A->B and C->D grow from 100 to 125 Gbps. *)
+  let g = Graph.create ~n:4 in
+  let add a b =
+    let e = Graph.add_edge g ~src:a ~dst:b ~capacity:100.0 ~cost:0.0 () in
+    ignore (Graph.add_edge g ~src:b ~dst:a ~capacity:100.0 ~cost:0.0 ());
+    e
+  in
+  let ab = add 0 1 in
+  let cd = add 2 3 in
+  let _ac = add 0 2 in
+  let _bd = add 1 3 in
+  let traffic = Array.make (Graph.n_edges g) 0.0 in
+  traffic.(ab) <- 100.0;
+  traffic.(cd) <- 80.0;
+  let headroom e = if e = ab || e = cd then 100.0 else 0.0 in
+  let aug =
+    Augment.build ~headroom ~penalty:(Penalty.Traffic_proportional traffic) g
+  in
+  Report.note
+    (Printf.sprintf "physical: %d edges; augmented: %d edges (+%d fake)"
+       (Graph.n_edges g)
+       (Graph.n_edges aug.Augment.graph)
+       (Graph.n_edges aug.Augment.graph - Graph.n_edges g));
+  (* Super-source/sink joining demands A->B = C->D = 125. *)
+  let n = Graph.n_vertices aug.Augment.graph in
+  let g' = Graph.create ~n:(n + 2) in
+  let s = n and t = n + 1 in
+  Graph.iter_edges
+    (fun e ->
+      ignore
+        (Graph.add_edge g' ~src:e.Graph.src ~dst:e.Graph.dst
+           ~capacity:e.Graph.capacity ~cost:e.Graph.cost (Some e.Graph.tag)))
+    aug.Augment.graph;
+  List.iter
+    (fun (src, dst) ->
+      ignore (Graph.add_edge g' ~src ~dst ~capacity:125.0 ~cost:0.0 None))
+    [ (s, 0); (s, 2); (1, t); (3, t) ];
+  let r = Rwc_flow.Mincost.solve g' ~src:s ~dst:t in
+  Report.row ~label:"traffic routed (demands 125 + 125)" ~paper:"250 Gbps"
+    ~measured:(Printf.sprintf "%.0f Gbps" r.Rwc_flow.Mincost.value);
+  let upgraded = ref [] in
+  Graph.iter_edges
+    (fun e ->
+      match e.Graph.tag with
+      | Some (Augment.Fake phys) when r.Rwc_flow.Mincost.flow.(e.Graph.id) > 1e-6
+        ->
+          upgraded :=
+            (phys, r.Rwc_flow.Mincost.flow.(e.Graph.id)) :: !upgraded
+      | _ -> ())
+    g';
+  Report.row ~label:"links whose capacity is increased"
+    ~paper:"1 (e.g. C-D)"
+    ~measured:
+      (String.concat ", "
+         (List.map
+            (fun (p, f) ->
+              let e = Graph.edge g p in
+              Printf.sprintf "edge %d->%d (+%.0f G)" e.Graph.src e.Graph.dst f)
+            !upgraded));
+  List.iter
+    (fun (p, f) ->
+      match
+        Translate.snapped_capacity ~current_gbps:100.0 ~extra_gbps:f
+      with
+      | Some denom ->
+          Report.note
+            (Printf.sprintf
+               "  reconfigure link %d to the %d Gbps denomination" p denom)
+      | None -> ())
+    !upgraded
+
+let fig8 () =
+  Report.section "fig8" "unsplittable 200 Gbps flow via node splitting";
+  let g = Graph.create ~n:2 in
+  let _ = Graph.add_edge g ~src:0 ~dst:1 ~capacity:100.0 ~cost:0.0 () in
+  let headroom _ = 100.0 in
+  let aug = Augment.build ~headroom ~penalty:(Penalty.Uniform 100.0) g in
+  let widest_parallel =
+    List.fold_left
+      (fun acc eid ->
+        Float.max acc (Graph.edge aug.Augment.graph eid).Graph.capacity)
+      0.0
+      (Graph.out_edges aug.Augment.graph 0)
+  in
+  let gad = Gadget.build ~headroom ~penalty:(Penalty.Uniform 100.0) g in
+  Report.row ~label:"single-path capacity, parallel-edge abstraction"
+    ~paper:"100 Gbps (insufficient)"
+    ~measured:(Printf.sprintf "%.0f Gbps" widest_parallel);
+  Report.row ~label:"single-path capacity, gadget with A'/B' vertices"
+    ~paper:"200 Gbps"
+    ~measured:
+      (Printf.sprintf "%.0f Gbps"
+         (Gadget.max_single_path_capacity gad ~src:0 ~dst:1));
+  let mf = Rwc_flow.Maxflow.solve gad.Gadget.graph ~src:0 ~dst:1 in
+  Report.row ~label:"total capacity still capped by the series edge"
+    ~paper:"200 Gbps (not 300)"
+    ~measured:(Printf.sprintf "%.0f Gbps" mf.Rwc_flow.Maxflow.value)
+
+let theorem1 ~seed =
+  Report.section "thm1" "Theorem 1 on the North-American backbone";
+  let bb = Backbone.north_america in
+  let net = Rwc_sim.Netstate.make ~seed bb in
+  (* Give every duct its day-one SNR headroom. *)
+  let g = Rwc_sim.Netstate.graph net in
+  let headroom e =
+    let duct = (Graph.edge g e).Graph.tag in
+    Rwc_sim.Netstate.headroom net.Rwc_sim.Netstate.ducts.(duct)
+  in
+  (* A small uniform penalty: free fakes would make the optimizer
+     indifferent between upgrading and not when capacity is slack, so
+     the decision list would include gratuitous upgrades. *)
+  let aug = Augment.build ~headroom ~penalty:(Penalty.Uniform 1.0) g in
+  let src = Backbone.city_index bb "NewYork" in
+  let dst = Backbone.city_index bb "LosAngeles" in
+  let mc = Rwc_flow.Mincost.solve aug.Augment.graph ~src ~dst in
+  let upgraded_graph =
+    Graph.map_edges g (fun e ->
+        (e.Graph.capacity +. headroom e.Graph.id, e.Graph.cost, e.Graph.tag))
+  in
+  let reference = Rwc_flow.Maxflow.solve upgraded_graph ~src ~dst in
+  Report.row ~label:"min-cost max-flow on augmented G' (NY -> LA)"
+    ~paper:"= max-flow on G"
+    ~measured:(Printf.sprintf "%.0f Gbps" mc.Rwc_flow.Mincost.value);
+  Report.row ~label:"max-flow on fully-upgraded physical topology"
+    ~paper:"(reference)"
+    ~measured:(Printf.sprintf "%.0f Gbps" reference.Rwc_flow.Maxflow.value);
+  let ds = Translate.decisions aug ~flow:mc.Rwc_flow.Mincost.flow in
+  Report.note
+    (Printf.sprintf "upgrade decisions: %d links, +%.0f Gbps total"
+       (List.length ds) (Translate.total_extra ds));
+  let plain = Rwc_flow.Maxflow.solve g ~src ~dst in
+  Report.row ~label:"gain over the static topology" ~paper:"75-100%"
+    ~measured:
+      (Printf.sprintf "%.0f%% (%.0f -> %.0f Gbps)"
+         (100.0
+         *. ((mc.Rwc_flow.Mincost.value /. plain.Rwc_flow.Maxflow.value) -. 1.0))
+         plain.Rwc_flow.Maxflow.value mc.Rwc_flow.Mincost.value)

@@ -1,0 +1,16 @@
+(** Reproductions of the graph-abstraction artifacts: the Figure 7
+    worked example, the Figure 8 unsplittable-flow gadget, and a
+    numerical spot-check of Theorem 1 on the North-American backbone. *)
+
+val fig7 : unit -> unit
+(** The square topology with both demands grown to 125 Gbps: shows the
+    TE-on-augmented-graph flow upgrading exactly one link. *)
+
+val fig8 : unit -> unit
+(** Parallel-edge augmentation vs node-splitting gadget for a single
+    200 Gbps unsplittable flow. *)
+
+val theorem1 : seed:int -> unit
+(** Runs min-cost max-flow on the augmented NA backbone between its
+    largest-demand city pair and confirms the value equals max-flow on
+    the fully-upgraded topology, printing the upgrade decisions. *)

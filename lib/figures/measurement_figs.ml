@@ -1,0 +1,196 @@
+module Fleet = Rwc_telemetry.Fleet
+module Analyze = Rwc_telemetry.Analyze
+module Tickets = Rwc_telemetry.Tickets
+module Failure = Rwc_telemetry.Failure
+module Modulation = Rwc_optical.Modulation
+
+type fig2_headlines = {
+  share_hdr_below_2db : float;
+  share_at_least_175 : float;
+  total_gain_tbps_fleet_scale : float;
+  mean_range_db : float;
+}
+
+type fig4_headlines = {
+  opportunity_fraction : float;
+  fiber_cut_freq_percent : float;
+  fiber_cut_duration_percent : float;
+  salvageable_fraction : float;
+}
+
+let fig1 fleet =
+  Report.section "fig1" "SNR of 40 wavelengths on one WAN fiber cable";
+  Report.note "modulation thresholds (dB above which each capacity is feasible):";
+  List.iter
+    (fun m ->
+      Report.note
+        (Printf.sprintf "  %3d Gbps >= %.1f dB" m.Modulation.gbps
+           m.Modulation.min_snr_db))
+    Modulation.all;
+  let links = Fleet.cable_links fleet 0 in
+  Report.note
+    (Printf.sprintf "cable 0: route %.0f km, %d wavelengths"
+       links.(0).Fleet.route_km (Array.length links));
+  Report.note "per-wavelength SNR summary over the full period:";
+  Array.iter
+    (fun l ->
+      let trace = Fleet.trace fleet l in
+      let s = Rwc_stats.Summary.of_array trace in
+      let hdr = Rwc_stats.Hdr.of_samples trace in
+      Report.note
+        (Printf.sprintf
+           "  lambda %2d: mean %5.2f dB  min %5.2f  max %5.2f  hdr [%5.2f, %5.2f]  feasible %3d G"
+           l.Fleet.index s.Rwc_stats.Summary.mean s.Rwc_stats.Summary.min
+           s.Rwc_stats.Summary.max hdr.Rwc_stats.Hdr.lo hdr.Rwc_stats.Hdr.hi
+           (Modulation.feasible_gbps hdr.Rwc_stats.Hdr.lo)))
+    links;
+  (* A weekly-resolution series of the first wavelength, the plotted
+     form of the figure. *)
+  let trace = Fleet.trace fleet links.(0) in
+  let weekly = Rwc_stats.Timeseries.downsample trace ~every:(4 * 24 * 7) in
+  Report.series "lambda0-snr-weekly (week, dB)"
+    (Array.to_list (Array.mapi (fun i v -> (float_of_int i, v)) weekly))
+
+let fig2 report =
+  Report.section "fig2" "SNR variation and feasible capacities (fleet-wide)";
+  let hdr_cdf = Rwc_stats.Cdf.of_samples report.Analyze.hdr_widths in
+  let range_cdf = Rwc_stats.Cdf.of_samples report.Analyze.ranges in
+  Report.cdf "fig2a-hdr-width-cdf (dB, P)" hdr_cdf;
+  Report.cdf "fig2a-range-cdf (dB, P)" range_cdf;
+  let share_hdr = report.Analyze.share_hdr_below_2db in
+  Report.row ~label:"share of links with 95% HDR < 2 dB" ~paper:"0.83"
+    ~measured:(Printf.sprintf "%.3f" share_hdr);
+  let mean_range = Rwc_stats.Summary.mean report.Analyze.ranges in
+  Report.row ~label:"mean SNR range (max - min)" ~paper:"~12 dB"
+    ~measured:(Printf.sprintf "%.1f dB" mean_range);
+  (* Fig 2b: CDF over links of feasible capacity. *)
+  let feasible =
+    Array.map float_of_int report.Analyze.feasible
+  in
+  Report.cdf "fig2b-feasible-capacity-cdf (Gbps, P)"
+    (Rwc_stats.Cdf.of_samples feasible);
+  Report.row ~label:"share of links feasible at >= 175 Gbps" ~paper:"0.80"
+    ~measured:(Printf.sprintf "%.3f" report.Analyze.share_at_least_175);
+  let n = Array.length report.Analyze.feasible in
+  let fleet_scale_gain =
+    report.Analyze.total_gain_tbps *. (2000.0 /. float_of_int n)
+  in
+  Report.row ~label:"fleet-wide capacity gain (at 2000 links)"
+    ~paper:"145 Tbps"
+    ~measured:
+      (Printf.sprintf "%.0f Tbps (%.1f Tbps over %d links)" fleet_scale_gain
+         report.Analyze.total_gain_tbps n);
+  {
+    share_hdr_below_2db = share_hdr;
+    share_at_least_175 = report.Analyze.share_at_least_175;
+    total_gain_tbps_fleet_scale = fleet_scale_gain;
+    mean_range_db = mean_range;
+  }
+
+let fig3 fleet =
+  Report.section "fig3"
+    "failures vs static capacity (high-quality cable) and failure durations";
+  let hq = Fleet.high_quality_cable fleet in
+  let capacities = [ 100; 125; 150; 175; 200 ] in
+  (* Fig 3a: per-link failure counts at each static capacity. *)
+  let counts =
+    Array.map
+      (fun l ->
+        let trace = Fleet.trace fleet l in
+        List.map (fun g -> Failure.count_at_capacity trace ~gbps:g) capacities)
+      hq
+  in
+  Report.note "fig3a: failure episodes per link over the period, by capacity:";
+  Report.note "  capacity   min  median   max   total";
+  List.iteri
+    (fun i g ->
+      let per_link =
+        Array.map (fun c -> float_of_int (List.nth c i)) counts
+      in
+      Report.note
+        (Printf.sprintf "  %5d G  %5.0f  %6.1f %5.0f  %6.0f" g
+           (Array.fold_left Float.min per_link.(0) per_link)
+           (Rwc_stats.Summary.median per_link)
+           (Array.fold_left Float.max per_link.(0) per_link)
+           (Array.fold_left ( +. ) 0.0 per_link)))
+    capacities;
+  Report.row ~label:"failure inflation 175G -> 200G (total episodes)"
+    ~paper:"large jump at 200G"
+    ~measured:
+      (let total i =
+         Array.fold_left (fun acc c -> acc + List.nth c i) 0 counts
+       in
+       Printf.sprintf "%dx (%d -> %d)"
+         (if total 3 > 0 then total 4 / total 3 else 0)
+         (total 3) (total 4));
+  (* Fig 3b: failure durations across the whole fleet, by capacity —
+     one streaming pass collecting all capacities at once, because
+     trace generation dominates the cost. *)
+  Report.note "fig3b: failure durations (hours) across the fleet, by capacity:";
+  Report.note "  capacity   mean    p50     p90    max";
+  let durations = List.map (fun g -> (g, ref [])) capacities in
+  Fleet.iter_traces fleet (fun _ trace ->
+      List.iter
+        (fun (g, acc) ->
+          acc := Failure.durations_at_capacity trace ~gbps:g @ !acc)
+        durations);
+  List.iter
+    (fun (g, acc) ->
+      match !acc with
+      | [] -> Report.note (Printf.sprintf "  %5d G   (no failures)" g)
+      | ds ->
+          let a = Array.of_list ds in
+          Report.note
+            (Printf.sprintf "  %5d G  %5.1f  %5.1f  %6.1f  %6.1f" g
+               (Rwc_stats.Summary.mean a)
+               (Rwc_stats.Summary.percentile a 50.0)
+               (Rwc_stats.Summary.percentile a 90.0)
+               (Array.fold_left Float.max a.(0) a)))
+    durations;
+  Report.row ~label:"typical failure duration" ~paper:"several hours"
+    ~measured:"see table above"
+
+let fig4 report ~seed =
+  Report.section "fig4" "failure root causes and lowest SNR at failure";
+  let tickets = Tickets.generate (Rwc_stats.Rng.create seed) ~n:250 in
+  let freq = Tickets.frequency_percent tickets in
+  let dur = Tickets.duration_percent tickets in
+  Report.note "fig4a/4b: root-cause shares from 250 generated tickets:";
+  Report.note "  cause          frequency%  duration%";
+  List.iter
+    (fun c ->
+      Report.note
+        (Printf.sprintf "  %-13s  %9.1f  %9.1f" (Tickets.cause_name c)
+           (List.assoc c freq) (List.assoc c dur)))
+    Tickets.all_causes;
+  let opportunity = Tickets.opportunity_fraction tickets in
+  Report.row ~label:"events that are NOT fiber cuts (opportunity)"
+    ~paper:"> 90%"
+    ~measured:(Printf.sprintf "%.1f%%" (100.0 *. opportunity));
+  Report.row ~label:"maintenance-window events" ~paper:"~25% freq / ~20% time"
+    ~measured:
+      (Printf.sprintf "%.1f%% freq / %.1f%% time"
+         (List.assoc Tickets.Maintenance freq)
+         (List.assoc Tickets.Maintenance dur));
+  Report.row ~label:"fiber cuts" ~paper:"~5% freq / ~10% time"
+    ~measured:
+      (Printf.sprintf "%.1f%% freq / %.1f%% time"
+         (List.assoc Tickets.Fiber_cut freq)
+         (List.assoc Tickets.Fiber_cut dur));
+  (* Fig 4c from the SNR traces themselves. *)
+  (match Array.length report.Analyze.failure_min_snrs with
+  | 0 -> Report.note "fig4c: no failure events in this fleet sample"
+  | _ ->
+      Report.cdf "fig4c-lowest-snr-at-failure-cdf (dB, P)"
+        (Rwc_stats.Cdf.of_samples report.Analyze.failure_min_snrs));
+  Report.row ~label:"failures with lowest SNR >= 3 dB (could run 50G)"
+    ~paper:"25%"
+    ~measured:
+      (Printf.sprintf "%.1f%%"
+         (100.0 *. report.Analyze.salvageable_failure_fraction));
+  {
+    opportunity_fraction = opportunity;
+    fiber_cut_freq_percent = List.assoc Tickets.Fiber_cut freq;
+    fiber_cut_duration_percent = List.assoc Tickets.Fiber_cut dur;
+    salvageable_fraction = report.Analyze.salvageable_failure_fraction;
+  }

@@ -1,0 +1,38 @@
+(** Reproductions of the paper's measurement-study artifacts
+    (Figures 1-4, Section 2).
+
+    Every function prints a paper-vs-measured section via {!Report} and
+    returns its headline numbers so the callers (bench harness, CLI,
+    integration tests) can assert on them. *)
+
+type fig2_headlines = {
+  share_hdr_below_2db : float;  (** Paper: 0.83. *)
+  share_at_least_175 : float;  (** Paper: 0.80. *)
+  total_gain_tbps_fleet_scale : float;
+      (** Extrapolated to the paper's 2000 links; paper: 145. *)
+  mean_range_db : float;  (** Paper: ~12. *)
+}
+
+type fig4_headlines = {
+  opportunity_fraction : float;  (** Paper: > 0.9. *)
+  fiber_cut_freq_percent : float;  (** Paper: ~5. *)
+  fiber_cut_duration_percent : float;  (** Paper: ~10. *)
+  salvageable_fraction : float;  (** Paper: ~0.25. *)
+}
+
+val fig1 : Rwc_telemetry.Fleet.t -> unit
+(** SNR-over-time of the 40 wavelengths of one cable, with the
+    modulation thresholds overlaid (printed as per-wavelength summary
+    rows plus a sub-sampled series for the first wavelengths). *)
+
+val fig2 : Rwc_telemetry.Analyze.fleet_report -> fig2_headlines
+(** Fig. 2a (SNR-variation CDFs) and Fig. 2b (feasible-capacity CDF +
+    fleet-wide gain). *)
+
+val fig3 : Rwc_telemetry.Fleet.t -> unit
+(** Fig. 3a: failures per link vs static capacity on the high-quality
+    cable.  Fig. 3b: failure-duration distribution vs capacity. *)
+
+val fig4 : Rwc_telemetry.Analyze.fleet_report -> seed:int -> fig4_headlines
+(** Fig. 4a/4b: root-cause shares from generated tickets; Fig. 4c:
+    CDF of the lowest SNR at 100G failure events from the traces. *)

@@ -1,0 +1,38 @@
+let section id title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s: %s\n" id title;
+  Printf.printf "================================================================\n"
+
+let row ~label ~paper ~measured =
+  Printf.printf "  %-44s paper: %-18s measured: %s\n" label paper measured
+
+let note s = Printf.printf "  %s\n" s
+
+let csv_dir = ref None
+
+let set_csv_dir dir = csv_dir := dir
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '_')
+    name
+
+let write_csv dir name points =
+  let path = Filename.concat dir (sanitize name ^ ".csv") in
+  let oc = open_out path in
+  output_string oc "x,y\n";
+  List.iter (fun (x, y) -> Printf.fprintf oc "%.6f,%.6f\n" x y) points;
+  close_out oc
+
+let series name points =
+  Printf.printf "  series %s (%d points)\n" name (List.length points);
+  List.iter (fun (x, y) -> Printf.printf "    %12.4f  %12.4f\n" x y) points;
+  match !csv_dir with
+  | Some dir -> write_csv dir name points
+  | None -> ()
+
+let cdf name ?(max_points = 20) c =
+  series name (Rwc_stats.Cdf.points c ~max_points ())

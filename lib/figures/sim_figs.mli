@@ -1,0 +1,17 @@
+(** The end-to-end simulation experiments: throughput gains from
+    dynamic capacities (paper abstract / Section 1) and the
+    availability comparison (Section 2.2). *)
+
+type headlines = {
+  throughput_gain : float;
+      (** Adaptive-efficient over static-100G; paper claims 75-100%
+          capacity gains, i.e. a factor of 1.75-2.0 where the offered
+          load can absorb it. *)
+  static_max_failures : int;
+  adaptive_failures : int;
+  adaptive_flaps : int;
+}
+
+val run : ?config:Rwc_sim.Runner.config -> unit -> headlines
+(** Runs all four operating policies on the backbone simulation and
+    prints the comparison table. *)

@@ -1,0 +1,17 @@
+(** Reproductions of the paper's BVT testbed artifacts
+    (Figures 5 and 6, Section 3.1). *)
+
+type fig6_headlines = {
+  stock_mean_s : float;  (** Paper: ~68 s. *)
+  efficient_mean_s : float;  (** Paper: ~0.035 s. *)
+}
+
+val fig5 : seed:int -> unit
+(** Constellation diagrams (QPSK / 8QAM / 16QAM at 100 / 150 /
+    200 Gbps) with EVM and symbol-error-rate measurements, rendered as
+    ASCII scatter plots. *)
+
+val fig6 : seed:int -> fig6_headlines
+(** 200 modulation changes through the emulated MDIO interface per
+    procedure; prints the latency CDFs of the stock and efficient
+    procedures. *)

@@ -1,0 +1,106 @@
+let eps = 1e-9
+
+(* Residual arcs: 2i forward / 2i+1 backward, as in Mincost. *)
+type residual = {
+  n : int;
+  m : int;
+  arc_dst : int array;
+  arc_src : int array;
+  arc_cost : float array;
+  residual : float array;
+}
+
+let build g flow =
+  let n = Graph.n_vertices g in
+  let m = Graph.n_edges g in
+  let arc_dst = Array.make (2 * max m 1) 0 in
+  let arc_src = Array.make (2 * max m 1) 0 in
+  let arc_cost = Array.make (2 * max m 1) 0.0 in
+  let residual = Array.make (2 * max m 1) 0.0 in
+  Graph.iter_edges
+    (fun e ->
+      let i = e.Graph.id in
+      arc_dst.(2 * i) <- e.Graph.dst;
+      arc_src.(2 * i) <- e.Graph.src;
+      arc_dst.((2 * i) + 1) <- e.Graph.src;
+      arc_src.((2 * i) + 1) <- e.Graph.dst;
+      arc_cost.(2 * i) <- e.Graph.cost;
+      arc_cost.((2 * i) + 1) <- -.e.Graph.cost;
+      residual.(2 * i) <- e.Graph.capacity -. flow.(i);
+      residual.((2 * i) + 1) <- flow.(i))
+    g;
+  { n; m; arc_dst; arc_src; arc_cost; residual }
+
+(* Bellman-Ford over all residual arcs; if some vertex still relaxes on
+   the n-th pass it lies on (or is reachable from) a negative cycle.
+   Walking predecessor links n times from it lands inside the cycle. *)
+let find_negative_cycle r =
+  let dist = Array.make r.n 0.0 in
+  let pred = Array.make r.n (-1) in
+  let relaxed_last = ref (-1) in
+  for _pass = 1 to r.n do
+    relaxed_last := -1;
+    for a = 0 to (2 * r.m) - 1 do
+      if r.residual.(a) > eps then begin
+        let u = r.arc_src.(a) and v = r.arc_dst.(a) in
+        if dist.(u) +. r.arc_cost.(a) < dist.(v) -. eps then begin
+          dist.(v) <- dist.(u) +. r.arc_cost.(a);
+          pred.(v) <- a;
+          relaxed_last := v
+        end
+      end
+    done
+  done;
+  if !relaxed_last < 0 then None
+  else begin
+    let v = ref !relaxed_last in
+    for _ = 1 to r.n do
+      v := r.arc_src.(pred.(!v))
+    done;
+    (* Collect the cycle's arcs by walking predecessors until we return
+       to the start vertex. *)
+    let start = !v in
+    let rec walk v acc =
+      let a = pred.(v) in
+      let u = r.arc_src.(a) in
+      if u = start then a :: acc else walk u (a :: acc)
+    in
+    Some (walk start [])
+  end
+
+let cancel r arcs =
+  let bottleneck =
+    List.fold_left (fun acc a -> Float.min acc r.residual.(a)) infinity arcs
+  in
+  List.iter
+    (fun a ->
+      r.residual.(a) <- r.residual.(a) -. bottleneck;
+      r.residual.(a lxor 1) <- r.residual.(a lxor 1) +. bottleneck)
+    arcs;
+  bottleneck
+
+let solve g ~src ~dst =
+  let start = Maxflow.solve g ~src ~dst in
+  let r = build g start.Maxflow.flow in
+  let continue = ref true in
+  (* Each cancellation strictly reduces cost; bail out after a generous
+     iteration bound in case floating-point noise stalls progress. *)
+  let budget = ref (10_000 + (100 * Graph.n_edges g)) in
+  while !continue && !budget > 0 do
+    decr budget;
+    match find_negative_cycle r with
+    | None -> continue := false
+    | Some arcs ->
+        let pushed = cancel r arcs in
+        if pushed <= eps then continue := false
+  done;
+  let flow =
+    Array.init (Graph.n_edges g) (fun i ->
+        (Graph.edge g i).Graph.capacity -. r.residual.(2 * i))
+  in
+  let cost =
+    Graph.fold_edges
+      (fun acc e -> acc +. (flow.(e.Graph.id) *. e.Graph.cost))
+      0.0 g
+  in
+  { Mincost.value = start.Maxflow.value; cost; flow }

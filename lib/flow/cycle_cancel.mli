@@ -1,0 +1,12 @@
+(** Minimum-cost maximum flow by negative-cycle cancelling.
+
+    An intentionally independent second implementation (Klein's
+    algorithm: start from any maximum flow, repeatedly cancel
+    negative-cost residual cycles found with Bellman-Ford).  It exists
+    purely to cross-check {!Mincost} in the property-test suite — two
+    algorithms with different failure modes agreeing on random inputs is
+    strong evidence both are right, which matters because Theorem 1's
+    verification rests on the min-cost solver. *)
+
+val solve : 'tag Graph.t -> src:int -> dst:int -> Mincost.result
+(** Same contract as {!Mincost.solve} without the [limit] option. *)

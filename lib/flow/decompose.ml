@@ -1,0 +1,40 @@
+type weighted_path = { path : Shortest.path; amount : float }
+
+let eps = 1e-7
+
+let value wps = List.fold_left (fun acc wp -> acc +. wp.amount) 0.0 wps
+
+let paths g ~src ~dst flow =
+  let remaining = Array.copy flow in
+  (* DFS from src along edges with remaining flow; cycles are avoided by
+     tracking on-path vertices, which suffices because we only need SOME
+     decomposition, not a canonical one. *)
+  let rec find_path v visited =
+    if v = dst then Some []
+    else
+      let rec try_edges = function
+        | [] -> None
+        | eid :: rest ->
+            let e = Graph.edge g eid in
+            if remaining.(eid) > eps && not (List.mem e.Graph.dst visited)
+            then
+              match find_path e.Graph.dst (e.Graph.dst :: visited) with
+              | Some tail -> Some (eid :: tail)
+              | None -> try_edges rest
+            else try_edges rest
+      in
+      try_edges (Graph.out_edges g v)
+  in
+  let rec peel acc =
+    match find_path src [ src ] with
+    | None -> List.rev acc
+    | Some p ->
+        let bottleneck =
+          List.fold_left (fun m eid -> Float.min m remaining.(eid)) infinity p
+        in
+        List.iter
+          (fun eid -> remaining.(eid) <- remaining.(eid) -. bottleneck)
+          p;
+        peel ({ path = p; amount = bottleneck } :: acc)
+  in
+  peel []

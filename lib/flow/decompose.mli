@@ -1,0 +1,19 @@
+(** Flow-to-path decomposition.
+
+    Step 3 of the paper's Theorem 1 procedure translates the TE
+    algorithm's output on the augmented topology back into "flow-paths
+    of the current traffic demands"; that translation needs the raw
+    per-edge flow turned into explicit s-t paths.  Any s-t flow
+    decomposes into at most |E| paths plus circulations; circulations
+    carry no s-t traffic and are dropped. *)
+
+type weighted_path = { path : Shortest.path; amount : float }
+
+val paths :
+  'tag Graph.t -> src:int -> dst:int -> float array -> weighted_path list
+(** [paths g ~src ~dst flow] greedily peels bottleneck paths from the
+    per-edge [flow] (indexed by edge id).  The amounts sum to the s-t
+    flow value (up to 1e-6 tolerance). *)
+
+val value : weighted_path list -> float
+(** Total decomposed amount. *)

@@ -1,0 +1,92 @@
+type pair = {
+  primary : Shortest.path;
+  backup : Shortest.path;
+  total_cost : float;
+}
+
+type arc = Fwd of Graph.edge_id | Rev of Graph.edge_id
+
+(* Bellman-Ford shortest path WITH predecessor arcs (the modified graph
+   contains negative arcs, so Dijkstra is off the table). *)
+let bellman_ford_path g ~src ~dst =
+  let n = Graph.n_vertices g in
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  dist.(src) <- 0.0;
+  for _ = 1 to n - 1 do
+    Graph.iter_edges
+      (fun e ->
+        if Float.is_finite dist.(e.Graph.src) then begin
+          let nd = dist.(e.Graph.src) +. e.Graph.cost in
+          if nd < dist.(e.Graph.dst) -. 1e-12 then begin
+            dist.(e.Graph.dst) <- nd;
+            pred.(e.Graph.dst) <- e.Graph.id
+          end
+        end)
+      g
+  done;
+  if not (Float.is_finite dist.(dst)) then None
+  else begin
+    let rec rebuild v acc =
+      if v = src then Some acc
+      else
+        let eid = pred.(v) in
+        if eid < 0 then None
+        else rebuild (Graph.edge g eid).Graph.src (eid :: acc)
+    in
+    rebuild dst []
+  end
+
+let shortest_pair g ~src ~dst =
+  match Shortest.dijkstra g ~src ~dst with
+  | None -> None
+  | Some p1 -> (
+      let p1_set = Hashtbl.create 8 in
+      List.iter (fun e -> Hashtbl.replace p1_set e ()) p1;
+      (* Modified graph: p1's edges reversed with negated cost, all
+         other edges kept. *)
+      let g2 = Graph.create ~n:(Graph.n_vertices g) in
+      Graph.iter_edges
+        (fun e ->
+          if Hashtbl.mem p1_set e.Graph.id then
+            ignore
+              (Graph.add_edge g2 ~src:e.Graph.dst ~dst:e.Graph.src
+                 ~capacity:e.Graph.capacity ~cost:(-.e.Graph.cost)
+                 (Rev e.Graph.id))
+          else
+            ignore
+              (Graph.add_edge g2 ~src:e.Graph.src ~dst:e.Graph.dst
+                 ~capacity:e.Graph.capacity ~cost:e.Graph.cost (Fwd e.Graph.id)))
+        g;
+      match bellman_ford_path g2 ~src ~dst with
+      | None -> None
+      | Some p2 ->
+          (* Cancel interlacings: a Rev arc in p2 removes the matching
+             p1 edge; Fwd arcs join the union. *)
+          let extra = Hashtbl.create 8 in
+          List.iter
+            (fun eid2 ->
+              match (Graph.edge g2 eid2).Graph.tag with
+              | Rev orig -> Hashtbl.remove p1_set orig
+              | Fwd orig -> Hashtbl.replace extra orig ())
+            p2;
+          let flow = Array.make (max 1 (Graph.n_edges g)) 0.0 in
+          Hashtbl.iter (fun e () -> flow.(e) <- 1.0) p1_set;
+          Hashtbl.iter (fun e () -> flow.(e) <- 1.0) extra;
+          let paths = Decompose.paths g ~src ~dst flow in
+          (match paths with
+          | [ a; b ] ->
+              let cost p = Shortest.path_cost g p.Decompose.path in
+              let first, second =
+                if cost a <= cost b then (a, b) else (b, a)
+              in
+              Some
+                {
+                  primary = first.Decompose.path;
+                  backup = second.Decompose.path;
+                  total_cost = cost a +. cost b;
+                }
+          | _ -> None))
+
+let edge_disjoint pair =
+  List.for_all (fun e -> not (List.mem e pair.backup)) pair.primary

@@ -1,0 +1,27 @@
+(** Edge-disjoint shortest path pairs (Suurballe / Bhandari).
+
+    The paper's failure study (Section 2.2) shows that WAN links fail
+    for hours at a time; traffic that must survive a failure therefore
+    needs a protection path sharing no link with its primary.  The
+    classic construction: find one shortest path, then re-run shortest
+    path on the graph with the first path's edges negated (Bhandari's
+    variant, using Bellman-Ford to tolerate the negative arcs), and
+    resolve overlaps — yielding the PAIR of edge-disjoint paths with
+    minimum total cost, which can be cheaper than greedily taking the
+    shortest path first. *)
+
+type pair = {
+  primary : Shortest.path;
+  backup : Shortest.path;
+  total_cost : float;
+}
+
+val shortest_pair :
+  'tag Graph.t -> src:int -> dst:int -> pair option
+(** Minimum-total-cost pair of edge-disjoint s-t paths, or [None] when
+    two such paths do not exist.  Requires non-negative edge costs.
+    Which of the two paths is [primary] is the cheaper one. *)
+
+val edge_disjoint : pair -> bool
+(** Defensive check that the two paths share no edge id (always true
+    for values returned by {!shortest_pair}; exposed for tests). *)

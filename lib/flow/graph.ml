@@ -1,0 +1,93 @@
+type edge_id = int
+
+type 'tag edge = {
+  id : edge_id;
+  src : int;
+  dst : int;
+  capacity : float;
+  cost : float;
+  tag : 'tag;
+}
+
+type 'tag t = {
+  n : int;
+  mutable edges_rev : 'tag edge list;  (* newest first *)
+  mutable count : int;
+  out_adj : edge_id list array;  (* newest first; reversed on read *)
+  in_adj : edge_id list array;
+  mutable cache : 'tag edge array option;  (* id-indexed, built lazily *)
+}
+
+let create ~n =
+  assert (n >= 0);
+  {
+    n;
+    edges_rev = [];
+    count = 0;
+    out_adj = Array.make (max n 1) [];
+    in_adj = Array.make (max n 1) [];
+    cache = None;
+  }
+
+let add_edge t ~src ~dst ~capacity ~cost tag =
+  assert (src >= 0 && src < t.n && dst >= 0 && dst < t.n);
+  assert (capacity >= 0.0 && Float.is_finite capacity);
+  assert (Float.is_finite cost);
+  let id = t.count in
+  let e = { id; src; dst; capacity; cost; tag } in
+  t.edges_rev <- e :: t.edges_rev;
+  t.count <- t.count + 1;
+  t.out_adj.(src) <- id :: t.out_adj.(src);
+  t.in_adj.(dst) <- id :: t.in_adj.(dst);
+  t.cache <- None;
+  id
+
+let n_vertices t = t.n
+let n_edges t = t.count
+
+let edge_array t =
+  match t.cache with
+  | Some a -> a
+  | None ->
+      let a = Array.make (max t.count 1) (List.hd t.edges_rev) in
+      List.iter (fun e -> a.(e.id) <- e) t.edges_rev;
+      t.cache <- Some a;
+      a
+
+let edge t id =
+  assert (id >= 0 && id < t.count);
+  (edge_array t).(id)
+
+let out_edges t v = List.rev t.out_adj.(v)
+let in_edges t v = List.rev t.in_adj.(v)
+let edges t = List.rev t.edges_rev
+let iter_edges f t = List.iter f (edges t)
+let fold_edges f acc t = List.fold_left f acc (edges t)
+
+let filter t pred =
+  let g = create ~n:t.n in
+  iter_edges
+    (fun e ->
+      if pred e then
+        ignore
+          (add_edge g ~src:e.src ~dst:e.dst ~capacity:e.capacity ~cost:e.cost
+             e.tag))
+    t;
+  g
+
+let map_edges t f =
+  let g = create ~n:t.n in
+  iter_edges
+    (fun e ->
+      let capacity, cost, tag = f e in
+      ignore (add_edge g ~src:e.src ~dst:e.dst ~capacity ~cost tag))
+    t;
+  g
+
+let pp pp_tag fmt t =
+  Format.fprintf fmt "graph n=%d m=%d@." t.n t.count;
+  iter_edges
+    (fun e ->
+      Format.fprintf fmt "  #%d %d->%d cap=%.2f cost=%.2f tag=%a@." e.id e.src
+        e.dst e.capacity e.cost pp_tag e.tag)
+    t

@@ -1,0 +1,132 @@
+type result = { value : float; flow : float array }
+
+let eps = 1e-9
+
+(* Residual representation: arc 2i is edge i forward, arc 2i+1 is its
+   reverse.  [residual.(a)] is remaining capacity of arc [a]. *)
+type residual = {
+  n : int;
+  arc_dst : int array;
+  residual : float array;
+  adj : int array array;  (* per-vertex outgoing arc ids *)
+}
+
+let build_residual g =
+  let n = Graph.n_vertices g in
+  let m = Graph.n_edges g in
+  let arc_dst = Array.make (2 * max m 1) 0 in
+  let residual = Array.make (2 * max m 1) 0.0 in
+  let deg = Array.make n 0 in
+  Graph.iter_edges
+    (fun e ->
+      arc_dst.(2 * e.Graph.id) <- e.Graph.dst;
+      arc_dst.((2 * e.Graph.id) + 1) <- e.Graph.src;
+      residual.(2 * e.Graph.id) <- e.Graph.capacity;
+      deg.(e.Graph.src) <- deg.(e.Graph.src) + 1;
+      deg.(e.Graph.dst) <- deg.(e.Graph.dst) + 1)
+    g;
+  let adj = Array.map (fun d -> Array.make d 0) deg in
+  let fill = Array.make n 0 in
+  Graph.iter_edges
+    (fun e ->
+      let s = e.Graph.src and d = e.Graph.dst in
+      adj.(s).(fill.(s)) <- 2 * e.Graph.id;
+      fill.(s) <- fill.(s) + 1;
+      adj.(d).(fill.(d)) <- (2 * e.Graph.id) + 1;
+      fill.(d) <- fill.(d) + 1)
+    g;
+  { n; arc_dst; residual; adj }
+
+(* BFS level graph; returns levels or None if sink unreachable. *)
+let bfs r ~src ~dst =
+  let level = Array.make r.n (-1) in
+  let queue = Queue.create () in
+  level.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun a ->
+        let w = r.arc_dst.(a) in
+        if r.residual.(a) > eps && level.(w) < 0 then begin
+          level.(w) <- level.(v) + 1;
+          Queue.add w queue
+        end)
+      r.adj.(v)
+  done;
+  if level.(dst) < 0 then None else Some level
+
+(* DFS blocking flow with the standard current-arc optimisation. *)
+let rec dfs r level iter v dst pushed =
+  if v = dst then pushed
+  else begin
+    let result = ref 0.0 in
+    while !result = 0.0 && iter.(v) < Array.length r.adj.(v) do
+      let a = r.adj.(v).(iter.(v)) in
+      let w = r.arc_dst.(a) in
+      if r.residual.(a) > eps && level.(w) = level.(v) + 1 then begin
+        let d = dfs r level iter w dst (Float.min pushed r.residual.(a)) in
+        if d > eps then begin
+          r.residual.(a) <- r.residual.(a) -. d;
+          r.residual.(a lxor 1) <- r.residual.(a lxor 1) +. d;
+          result := d
+        end
+        else iter.(v) <- iter.(v) + 1
+      end
+      else iter.(v) <- iter.(v) + 1
+    done;
+    !result
+  end
+
+let solve g ~src ~dst =
+  assert (src <> dst);
+  let r = build_residual g in
+  let total = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    match bfs r ~src ~dst with
+    | None -> continue := false
+    | Some level ->
+        let iter = Array.make r.n 0 in
+        let pushing = ref true in
+        while !pushing do
+          let d = dfs r level iter src dst infinity in
+          if d > eps then total := !total +. d else pushing := false
+        done
+  done;
+  let m = Graph.n_edges g in
+  let flow =
+    Array.init m (fun i ->
+        let cap = (Graph.edge g i).Graph.capacity in
+        cap -. r.residual.(2 * i))
+  in
+  { value = !total; flow }
+
+let min_cut g ~src ~dst result =
+  ignore dst;
+  let n = Graph.n_vertices g in
+  let reachable = Array.make n false in
+  (* Rebuild the residual from the flow and BFS from src. *)
+  let out = Array.make n [] and into = Array.make n [] in
+  Graph.iter_edges
+    (fun e ->
+      let f = result.flow.(e.Graph.id) in
+      if e.Graph.capacity -. f > eps then
+        out.(e.Graph.src) <- e.Graph.dst :: out.(e.Graph.src);
+      if f > eps then into.(e.Graph.dst) <- e.Graph.src :: into.(e.Graph.dst))
+    g;
+  let queue = Queue.create () in
+  reachable.(src) <- true;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    let visit w =
+      if not reachable.(w) then begin
+        reachable.(w) <- true;
+        Queue.add w queue
+      end
+    in
+    List.iter visit out.(v);
+    List.iter visit into.(v)
+  done;
+  reachable

@@ -1,0 +1,21 @@
+(** Maximum flow (Dinic's algorithm).
+
+    Used both directly as a baseline TE objective and inside the
+    Theorem 1 equivalence checks: the value of a min-cost max-flow on
+    the augmented topology G' must equal the plain max-flow value on the
+    fully-upgraded physical topology. *)
+
+type result = {
+  value : float;  (** Total s-t flow. *)
+  flow : float array;  (** Flow per edge, indexed by {!Graph.edge_id}. *)
+}
+
+val solve : 'tag Graph.t -> src:int -> dst:int -> result
+(** Computes a maximum s-t flow.  Requires [src <> dst].  Runs in
+    O(V^2 E); exact up to floating-point tolerance (amounts below
+    [1e-9] are treated as zero). *)
+
+val min_cut : 'tag Graph.t -> src:int -> dst:int -> result -> bool array
+(** [min_cut g ~src ~dst r] marks the source side of a minimum cut
+    induced by the max-flow [r]: vertex [v] is [true] iff [v] is
+    reachable from [src] in the residual graph. *)

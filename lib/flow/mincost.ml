@@ -1,0 +1,201 @@
+type result = { value : float; cost : float; flow : float array }
+
+let eps = 1e-9
+
+type residual = {
+  n : int;
+  arc_dst : int array;
+  arc_cost : float array;
+  residual : float array;
+  adj : int array array;
+}
+
+let build_residual g =
+  let n = Graph.n_vertices g in
+  let m = Graph.n_edges g in
+  let arc_dst = Array.make (2 * max m 1) 0 in
+  let arc_cost = Array.make (2 * max m 1) 0.0 in
+  let residual = Array.make (2 * max m 1) 0.0 in
+  let deg = Array.make n 0 in
+  Graph.iter_edges
+    (fun e ->
+      let i = e.Graph.id in
+      arc_dst.(2 * i) <- e.Graph.dst;
+      arc_dst.((2 * i) + 1) <- e.Graph.src;
+      arc_cost.(2 * i) <- e.Graph.cost;
+      arc_cost.((2 * i) + 1) <- -.e.Graph.cost;
+      residual.(2 * i) <- e.Graph.capacity;
+      deg.(e.Graph.src) <- deg.(e.Graph.src) + 1;
+      deg.(e.Graph.dst) <- deg.(e.Graph.dst) + 1)
+    g;
+  let adj = Array.map (fun d -> Array.make d 0) deg in
+  let fill = Array.make n 0 in
+  Graph.iter_edges
+    (fun e ->
+      let s = e.Graph.src and d = e.Graph.dst in
+      adj.(s).(fill.(s)) <- 2 * e.Graph.id;
+      fill.(s) <- fill.(s) + 1;
+      adj.(d).(fill.(d)) <- (2 * e.Graph.id) + 1;
+      fill.(d) <- fill.(d) + 1)
+    g;
+  { n; arc_dst; arc_cost; residual; adj }
+
+(* Bellman-Ford over residual arcs to seed the potentials; tolerates
+   negative edge costs (but not negative cycles). *)
+let initial_potentials r ~src =
+  let dist = Array.make r.n infinity in
+  dist.(src) <- 0.0;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= r.n do
+    changed := false;
+    incr rounds;
+    for v = 0 to r.n - 1 do
+      if Float.is_finite dist.(v) then
+        Array.iter
+          (fun a ->
+            if r.residual.(a) > eps then begin
+              let w = r.arc_dst.(a) in
+              let nd = dist.(v) +. r.arc_cost.(a) in
+              if nd < dist.(w) -. eps then begin
+                dist.(w) <- nd;
+                changed := true
+              end
+            end)
+          r.adj.(v)
+    done
+  done;
+  if !rounds > r.n then invalid_arg "Mincost.solve: negative-cost cycle";
+  dist
+
+(* Binary heap of (distance, vertex) for Dijkstra. *)
+module Heap = struct
+  type t = {
+    mutable data : (float * int) array;
+    mutable size : int;
+  }
+
+  let create () = { data = Array.make 64 (0.0, 0); size = 0 }
+  let is_empty h = h.size = 0
+
+  let push h x =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) (0.0, 0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- x;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while
+      !i > 0
+      && fst h.data.((!i - 1) / 2) > fst h.data.(!i)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = h.data.(p) in
+      h.data.(p) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    assert (h.size > 0);
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+      if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = h.data.(!i) in
+        h.data.(!i) <- h.data.(!smallest);
+        h.data.(!smallest) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+end
+
+let solve ?(limit = infinity) g ~src ~dst =
+  assert (src <> dst);
+  assert (limit >= 0.0);
+  let r = build_residual g in
+  let potential = initial_potentials r ~src in
+  (* Unreachable vertices keep potential infinity; replace with 0 so the
+     arithmetic below stays finite (they can never be on a path). *)
+  Array.iteri
+    (fun i p -> if not (Float.is_finite p) then potential.(i) <- 0.0)
+    potential;
+  let total_flow = ref 0.0 in
+  let total_cost = ref 0.0 in
+  let dist = Array.make r.n infinity in
+  let prev_arc = Array.make r.n (-1) in
+  let visited = Array.make r.n false in
+  let continue = ref true in
+  while !continue && !total_flow < limit -. eps do
+    (* Dijkstra with reduced costs. *)
+    Array.fill dist 0 r.n infinity;
+    Array.fill prev_arc 0 r.n (-1);
+    Array.fill visited 0 r.n false;
+    dist.(src) <- 0.0;
+    let heap = Heap.create () in
+    Heap.push heap (0.0, src);
+    while not (Heap.is_empty heap) do
+      let d, v = Heap.pop heap in
+      if not visited.(v) && d <= dist.(v) +. eps then begin
+        visited.(v) <- true;
+        Array.iter
+          (fun a ->
+            if r.residual.(a) > eps then begin
+              let w = r.arc_dst.(a) in
+              let reduced =
+                r.arc_cost.(a) +. potential.(v) -. potential.(w)
+              in
+              let nd = dist.(v) +. Float.max reduced 0.0 in
+              if (not visited.(w)) && nd < dist.(w) -. eps then begin
+                dist.(w) <- nd;
+                prev_arc.(w) <- a;
+                Heap.push heap (nd, w)
+              end
+            end)
+          r.adj.(v)
+      end
+    done;
+    if not (Float.is_finite dist.(dst)) then continue := false
+    else begin
+      for v = 0 to r.n - 1 do
+        if Float.is_finite dist.(v) then
+          potential.(v) <- potential.(v) +. dist.(v)
+      done;
+      (* Bottleneck along the path, then augment. *)
+      let rec bottleneck v acc =
+        if v = src then acc
+        else
+          let a = prev_arc.(v) in
+          bottleneck r.arc_dst.(a lxor 1) (Float.min acc r.residual.(a))
+      in
+      let push = Float.min (bottleneck dst infinity) (limit -. !total_flow) in
+      let rec augment v =
+        if v <> src then begin
+          let a = prev_arc.(v) in
+          r.residual.(a) <- r.residual.(a) -. push;
+          r.residual.(a lxor 1) <- r.residual.(a lxor 1) +. push;
+          total_cost := !total_cost +. (push *. r.arc_cost.(a));
+          augment r.arc_dst.(a lxor 1)
+        end
+      in
+      augment dst;
+      total_flow := !total_flow +. push
+    end
+  done;
+  let m = Graph.n_edges g in
+  let flow =
+    Array.init m (fun i ->
+        (Graph.edge g i).Graph.capacity -. r.residual.(2 * i))
+  in
+  { value = !total_flow; cost = !total_cost; flow }

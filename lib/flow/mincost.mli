@@ -1,0 +1,20 @@
+(** Minimum-cost maximum flow (successive shortest paths with Johnson
+    potentials).
+
+    This is the solver behind the paper's Theorem 1: running min-cost
+    max-flow on the augmented topology G' simultaneously finds the best
+    routing {e and} the cheapest set of capacity upgrades, because the
+    fake edges carry the upgrade penalties as per-unit costs. *)
+
+type result = {
+  value : float;  (** Total s-t flow. *)
+  cost : float;  (** Sum over edges of flow * per-unit cost. *)
+  flow : float array;  (** Per-edge flow indexed by {!Graph.edge_id}. *)
+}
+
+val solve : ?limit:float -> 'tag Graph.t -> src:int -> dst:int -> result
+(** [solve ?limit g ~src ~dst] computes a flow of value
+    [min (max-flow, limit)] (default: unbounded, i.e. a true min-cost
+    max-flow) with minimum total cost.  Edge costs may be negative as
+    long as the graph has no negative-cost directed cycle; potentials
+    are initialized with Bellman-Ford and maintained with Dijkstra. *)

@@ -1,0 +1,126 @@
+type commodity = { src : int; dst : int; demand : float }
+
+type result = {
+  lambda : float;
+  flow : float array;
+  routed : float array;
+}
+
+let total_throughput r = Array.fold_left ( +. ) 0.0 r.routed
+
+(* Fleischer's phase variant of Garg-Könemann.  Edge lengths start at
+   delta / capacity and are multiplied by (1 + eps * f / c) whenever f
+   units are pushed; phases route each commodity's full demand along
+   successively longer paths.  On termination the accumulated flow is
+   scaled down by the worst congestion so it becomes feasible, and
+   lambda is the resulting common fraction of demand shipped. *)
+let solve ?(epsilon = 0.1) g commodities =
+  assert (epsilon > 0.0 && epsilon <= 0.5);
+  Array.iter
+    (fun c -> assert (c.demand > 0.0 && c.src <> c.dst))
+    commodities;
+  let m = Graph.n_edges g in
+  let n_com = Array.length commodities in
+  if n_com = 0 then { lambda = infinity; flow = Array.make m 0.0; routed = [||] }
+  else begin
+    let delta =
+      (float_of_int (max m 2) /. (1.0 -. epsilon)) ** (-1.0 /. epsilon)
+    in
+    let length = Array.make m 0.0 in
+    let usable_cap = Array.make m 0.0 in
+    Graph.iter_edges
+      (fun e ->
+        usable_cap.(e.Graph.id) <- e.Graph.capacity;
+        (* Zero-capacity edges are excluded via the [usable] filter in
+           every shortest-path call, so their length is irrelevant —
+           but it must stay finite for the graph construction. *)
+        length.(e.Graph.id) <-
+          (if e.Graph.capacity > 0.0 then delta /. e.Graph.capacity else 0.0))
+      g;
+    (* Per-commodity per-edge flow, so each commodity can be rescaled
+       to its own demand independently at the end. *)
+    let com_flow = Array.make_matrix n_com (max 1 m) 0.0 in
+    let routed_raw = Array.make n_com 0.0 in
+    (* Shortest path under the current length function; zero-capacity
+       edges are unusable. *)
+    let lengths_graph () =
+      Graph.map_edges g (fun e ->
+          (e.Graph.capacity, length.(e.Graph.id), e.Graph.tag))
+    in
+    let dual () =
+      Graph.fold_edges
+        (fun acc e ->
+          if usable_cap.(e.Graph.id) > 0.0 then
+            acc +. (length.(e.Graph.id) *. usable_cap.(e.Graph.id))
+          else acc)
+        0.0 g
+    in
+    let phases = ref 0 in
+    let max_phases = 10_000 in
+    while dual () < 1.0 && !phases < max_phases do
+      incr phases;
+      Array.iteri
+        (fun j c ->
+          let remaining = ref c.demand in
+          while !remaining > 1e-12 && dual () < 1.0 do
+            let lg = lengths_graph () in
+            let usable eid = usable_cap.(eid) > 0.0 in
+            match Shortest.dijkstra ~usable lg ~src:c.src ~dst:c.dst with
+            | None -> remaining := 0.0
+            | Some path ->
+                let bottleneck =
+                  List.fold_left
+                    (fun acc eid -> Float.min acc usable_cap.(eid))
+                    infinity path
+                in
+                let f = Float.min !remaining bottleneck in
+                List.iter
+                  (fun eid ->
+                    com_flow.(j).(eid) <- com_flow.(j).(eid) +. f;
+                    length.(eid) <-
+                      length.(eid)
+                      *. (1.0 +. (epsilon *. f /. usable_cap.(eid))))
+                  path;
+                routed_raw.(j) <- routed_raw.(j) +. f;
+                remaining := !remaining -. f
+          done)
+        commodities
+    done;
+    (* Scale to feasibility: first a global factor bringing the worst
+       edge back within capacity, then a per-commodity cap so nobody
+       ships more than its demand (phases over-route when the network
+       has slack).  Per-commodity shrinking preserves edge feasibility
+       and flow conservation. *)
+    let accumulated = Array.make (max 1 m) 0.0 in
+    Array.iter
+      (fun cf -> Array.iteri (fun e f -> accumulated.(e) <- accumulated.(e) +. f) cf)
+      com_flow;
+    let congestion =
+      Graph.fold_edges
+        (fun acc e ->
+          if e.Graph.capacity > 0.0 then
+            Float.max acc (accumulated.(e.Graph.id) /. e.Graph.capacity)
+          else acc)
+        0.0 g
+    in
+    let scale = if congestion > 1.0 then 1.0 /. congestion else 1.0 in
+    let flow = Array.make (max 1 m) 0.0 in
+    let routed = Array.make n_com 0.0 in
+    Array.iteri
+      (fun j cf ->
+        let shipped = routed_raw.(j) *. scale in
+        let cap_j =
+          if shipped > commodities.(j).demand then
+            commodities.(j).demand /. shipped
+          else 1.0
+        in
+        let factor = scale *. cap_j in
+        Array.iteri (fun e f -> flow.(e) <- flow.(e) +. (f *. factor)) cf;
+        routed.(j) <- routed_raw.(j) *. factor)
+      com_flow;
+    let lambda =
+      Array.to_list (Array.mapi (fun j r -> r /. commodities.(j).demand) routed)
+      |> List.fold_left Float.min infinity
+    in
+    { lambda; flow; routed }
+  end

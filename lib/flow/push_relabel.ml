@@ -1,0 +1,148 @@
+let eps = 1e-9
+
+(* Arc layout identical to Maxflow: 2i forward, 2i+1 reverse. *)
+type state = {
+  n : int;
+  arc_dst : int array;
+  residual : float array;
+  adj : int array array;
+  excess : float array;
+  height : int array;
+  count : int array;  (* count.(h) = vertices at height h, for the gap
+                         heuristic *)
+}
+
+let build g =
+  let n = Graph.n_vertices g in
+  let m = Graph.n_edges g in
+  let arc_dst = Array.make (2 * max m 1) 0 in
+  let residual = Array.make (2 * max m 1) 0.0 in
+  let deg = Array.make n 0 in
+  Graph.iter_edges
+    (fun e ->
+      arc_dst.(2 * e.Graph.id) <- e.Graph.dst;
+      arc_dst.((2 * e.Graph.id) + 1) <- e.Graph.src;
+      residual.(2 * e.Graph.id) <- e.Graph.capacity;
+      deg.(e.Graph.src) <- deg.(e.Graph.src) + 1;
+      deg.(e.Graph.dst) <- deg.(e.Graph.dst) + 1)
+    g;
+  let adj = Array.map (fun d -> Array.make d 0) deg in
+  let fill = Array.make n 0 in
+  Graph.iter_edges
+    (fun e ->
+      let s = e.Graph.src and d = e.Graph.dst in
+      adj.(s).(fill.(s)) <- 2 * e.Graph.id;
+      fill.(s) <- fill.(s) + 1;
+      adj.(d).(fill.(d)) <- (2 * e.Graph.id) + 1;
+      fill.(d) <- fill.(d) + 1)
+    g;
+  {
+    n;
+    arc_dst;
+    residual;
+    adj;
+    excess = Array.make n 0.0;
+    height = Array.make n 0;
+    count = Array.make ((2 * n) + 1) 0;
+  }
+
+let solve g ~src ~dst =
+  assert (src <> dst);
+  let s = build g in
+  let active = Queue.create () in
+  let in_queue = Array.make s.n false in
+  let activate v =
+    if v <> src && v <> dst && s.excess.(v) > eps && not in_queue.(v) then begin
+      in_queue.(v) <- true;
+      Queue.add v active
+    end
+  in
+  let push a u =
+    let v = s.arc_dst.(a) in
+    let amount = Float.min s.excess.(u) s.residual.(a) in
+    if amount > eps && s.height.(u) = s.height.(v) + 1 then begin
+      s.residual.(a) <- s.residual.(a) -. amount;
+      s.residual.(a lxor 1) <- s.residual.(a lxor 1) +. amount;
+      s.excess.(u) <- s.excess.(u) -. amount;
+      s.excess.(v) <- s.excess.(v) +. amount;
+      activate v
+    end
+  in
+  (* Initialize: source at height n, saturate its out-arcs. *)
+  s.height.(src) <- s.n;
+  Array.iteri (fun v _ -> if v <> src then s.count.(s.height.(v)) <- s.count.(s.height.(v)) + 1) s.height;
+  s.count.(s.n) <- s.count.(s.n) + 1;
+  (* Every arc in adj.(src) originates at the source; initially only
+     the forward ones carry residual, so saturating all positive arcs
+     saturates exactly the source's out-edges. *)
+  Array.iter
+    (fun a ->
+      let amount = s.residual.(a) in
+      if amount > eps then begin
+        let v = s.arc_dst.(a) in
+        s.residual.(a) <- 0.0;
+        s.residual.(a lxor 1) <- s.residual.(a lxor 1) +. amount;
+        s.excess.(v) <- s.excess.(v) +. amount;
+        activate v
+      end)
+    s.adj.(src);
+  let relabel u =
+    let old = s.height.(u) in
+    let best = ref ((2 * s.n) + 1) in
+    Array.iter
+      (fun a ->
+        if s.residual.(a) > eps then
+          best := min !best (s.height.(s.arc_dst.(a)) + 1))
+      s.adj.(u);
+    if !best <= 2 * s.n then begin
+      s.count.(old) <- s.count.(old) - 1;
+      (* Gap heuristic: if no vertex remains at [old], everything
+         above it (except src) can never reach the sink again. *)
+      if s.count.(old) = 0 && old < s.n then
+        Array.iteri
+          (fun v h ->
+            if v <> src && h > old && h <= s.n then begin
+              s.count.(h) <- s.count.(h) - 1;
+              s.height.(v) <- s.n + 1;
+              s.count.(s.n + 1) <- s.count.(s.n + 1) + 1
+            end)
+          s.height;
+      if s.height.(u) < !best then begin
+        s.height.(u) <- !best;
+        s.count.(!best) <- s.count.(!best) + 1
+      end
+      else s.count.(s.height.(u)) <- s.count.(s.height.(u)) + 1
+    end
+  in
+  let discharge u =
+    let progress = ref true in
+    while s.excess.(u) > eps && !progress do
+      progress := false;
+      Array.iter
+        (fun a ->
+          if
+            s.excess.(u) > eps && s.residual.(a) > eps
+            && s.height.(u) = s.height.(s.arc_dst.(a)) + 1
+          then begin
+            push a u;
+            progress := true
+          end)
+        s.adj.(u);
+      if s.excess.(u) > eps && not !progress then begin
+        let before = s.height.(u) in
+        relabel u;
+        if s.height.(u) > before then progress := true
+      end
+    done
+  in
+  while not (Queue.is_empty active) do
+    let u = Queue.pop active in
+    in_queue.(u) <- false;
+    discharge u
+  done;
+  let m = Graph.n_edges g in
+  let flow =
+    Array.init m (fun i ->
+        (Graph.edge g i).Graph.capacity -. s.residual.(2 * i))
+  in
+  { Maxflow.value = s.excess.(dst); flow }

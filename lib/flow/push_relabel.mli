@@ -1,0 +1,12 @@
+(** Maximum flow by push-relabel (Goldberg-Tarjan) with the gap
+    heuristic.
+
+    A third, algorithmically unrelated max-flow implementation.  Two
+    uses: it cross-checks {!Maxflow} (Dinic) in the property-test suite
+    — the Theorem 1 verification chain rests on these solvers, so
+    independent agreement matters — and its O(V^2 sqrt E) behaviour is
+    preferable on the dense augmented graphs produced for large
+    fleets. *)
+
+val solve : 'tag Graph.t -> src:int -> dst:int -> Maxflow.result
+(** Same contract as {!Maxflow.solve}. *)

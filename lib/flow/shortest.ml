@@ -1,0 +1,182 @@
+type path = Graph.edge_id list
+
+let path_cost g p =
+  List.fold_left (fun acc e -> acc +. (Graph.edge g e).Graph.cost) 0.0 p
+
+let path_capacity g p =
+  List.fold_left
+    (fun acc e -> Float.min acc (Graph.edge g e).Graph.capacity)
+    infinity p
+
+module Pq = struct
+  type 'a t = { mutable data : (float * 'a) array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+  let is_empty q = q.size = 0
+
+  let push q prio x =
+    if q.size = Array.length q.data then begin
+      let cap = max 32 (2 * q.size) in
+      let bigger = Array.make cap (prio, x) in
+      Array.blit q.data 0 bigger 0 q.size;
+      q.data <- bigger
+    end;
+    q.data.(q.size) <- (prio, x);
+    q.size <- q.size + 1;
+    let i = ref (q.size - 1) in
+    while !i > 0 && fst q.data.((!i - 1) / 2) > fst q.data.(!i) do
+      let p = (!i - 1) / 2 in
+      let tmp = q.data.(p) in
+      q.data.(p) <- q.data.(!i);
+      q.data.(!i) <- tmp;
+      i := p
+    done
+
+  let pop q =
+    assert (q.size > 0);
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    q.data.(0) <- q.data.(q.size);
+    let i = ref 0 and looping = ref true in
+    while !looping do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < q.size && fst q.data.(l) < fst q.data.(!s) then s := l;
+      if r < q.size && fst q.data.(r) < fst q.data.(!s) then s := r;
+      if !s = !i then looping := false
+      else begin
+        let tmp = q.data.(!i) in
+        q.data.(!i) <- q.data.(!s);
+        q.data.(!s) <- tmp;
+        i := !s
+      end
+    done;
+    top
+end
+
+let dijkstra ?(usable = fun _ -> true) g ~src ~dst =
+  let n = Graph.n_vertices g in
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let visited = Array.make n false in
+  dist.(src) <- 0.0;
+  let q = Pq.create () in
+  Pq.push q 0.0 src;
+  while not (Pq.is_empty q) do
+    let d, v = Pq.pop q in
+    if (not visited.(v)) && d <= dist.(v) +. 1e-12 then begin
+      visited.(v) <- true;
+      List.iter
+        (fun eid ->
+          if usable eid then begin
+            let e = Graph.edge g eid in
+            assert (e.Graph.cost >= 0.0);
+            let nd = dist.(v) +. e.Graph.cost in
+            if nd < dist.(e.Graph.dst) -. 1e-12 then begin
+              dist.(e.Graph.dst) <- nd;
+              prev.(e.Graph.dst) <- eid;
+              Pq.push q nd e.Graph.dst
+            end
+          end)
+        (Graph.out_edges g v)
+    end
+  done;
+  if not (Float.is_finite dist.(dst)) then None
+  else begin
+    let rec rebuild v acc =
+      if v = src then acc
+      else
+        let eid = prev.(v) in
+        rebuild (Graph.edge g eid).Graph.src (eid :: acc)
+    in
+    Some (rebuild dst [])
+  end
+
+let bellman_ford g ~src =
+  let n = Graph.n_vertices g in
+  let dist = Array.make n infinity in
+  dist.(src) <- 0.0;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed do
+    changed := false;
+    incr rounds;
+    if !rounds > n then
+      invalid_arg "Shortest.bellman_ford: negative-cost cycle";
+    Graph.iter_edges
+      (fun e ->
+        if Float.is_finite dist.(e.Graph.src) then begin
+          let nd = dist.(e.Graph.src) +. e.Graph.cost in
+          if nd < dist.(e.Graph.dst) -. 1e-12 then begin
+            dist.(e.Graph.dst) <- nd;
+            changed := true
+          end
+        end)
+      g
+  done;
+  dist
+
+(* Yen's k-shortest loopless paths. *)
+let k_shortest g ~src ~dst ~k =
+  assert (k >= 0);
+  match dijkstra g ~src ~dst with
+  | None -> []
+  | Some first ->
+      let vertices_of p =
+        src :: List.map (fun eid -> (Graph.edge g eid).Graph.dst) p
+      in
+      let accepted = ref [ first ] in
+      let candidates = ref [] in
+      (* Candidate paths, deduplicated by edge-id list. *)
+      let add_candidate p =
+        let cost = path_cost g p in
+        if not (List.exists (fun (_, q) -> q = p) !candidates) then
+          candidates := (cost, p) :: !candidates
+      in
+      let rec take_prefix p i =
+        if i = 0 then [] else match p with
+          | [] -> []
+          | e :: rest -> e :: take_prefix rest (i - 1)
+      in
+      let finished = ref false in
+      while List.length !accepted < k && not !finished do
+        let last = List.hd !accepted in
+        let last_vertices = Array.of_list (vertices_of last) in
+        (* Branch at every spur node of the previous path. *)
+        for i = 0 to Array.length last_vertices - 2 do
+          let spur = last_vertices.(i) in
+          let root = take_prefix last i in
+          (* Edges removed: any edge that some accepted path with the
+             same root uses to leave the spur node, plus edges into
+             root vertices (looplessness). *)
+          let banned_edges =
+            List.filter_map
+              (fun p ->
+                let prefix = take_prefix p i in
+                if prefix = root then List.nth_opt p i else None)
+              !accepted
+          in
+          let root_vertices = Array.to_list (Array.sub last_vertices 0 (i + 1)) in
+          let root_interior = List.filter (fun v -> v <> spur) root_vertices in
+          let usable eid =
+            let e = Graph.edge g eid in
+            (not (List.mem eid banned_edges))
+            && (not (List.mem e.Graph.dst root_interior))
+            && not (List.mem e.Graph.src root_interior)
+          in
+          match dijkstra ~usable g ~src:spur ~dst with
+          | None -> ()
+          | Some spur_path -> add_candidate (root @ spur_path)
+        done;
+        (* Pull the cheapest unused candidate. *)
+        let unused =
+          List.filter (fun (_, p) -> not (List.mem p !accepted)) !candidates
+        in
+        match List.sort (fun (a, _) (b, _) -> compare a b) unused with
+        | [] -> finished := true
+        | (_, best) :: _ -> accepted := best :: !accepted
+      done;
+      let sorted =
+        List.sort (fun a b -> compare (path_cost g a) (path_cost g b)) !accepted
+      in
+      take_prefix sorted k

@@ -1,0 +1,31 @@
+(** Shortest-path algorithms over {!Graph} edge costs.
+
+    Used by the SWAN-style TE allocator (k-shortest candidate paths, as
+    in Hong et al., SIGCOMM 2013) and by the "short paths at all costs"
+    penalty variant of Section 4.2 where every link gets unit weight. *)
+
+type path = Graph.edge_id list
+(** A path as the list of edge ids traversed, in order. *)
+
+val path_cost : 'tag Graph.t -> path -> float
+val path_capacity : 'tag Graph.t -> path -> float
+(** Bottleneck (minimum) capacity along the path; [infinity] for the
+    empty path. *)
+
+val dijkstra :
+  ?usable:(Graph.edge_id -> bool) ->
+  'tag Graph.t ->
+  src:int ->
+  dst:int ->
+  path option
+(** Least-cost path using non-negative edge costs; [usable] filters
+    edges (default: all).  [None] when unreachable. *)
+
+val bellman_ford : 'tag Graph.t -> src:int -> float array
+(** Distances from [src] to every vertex (infinity if unreachable);
+    handles negative costs; raises [Invalid_argument] on a
+    negative-cost cycle reachable from [src]. *)
+
+val k_shortest : 'tag Graph.t -> src:int -> dst:int -> k:int -> path list
+(** Yen's algorithm: up to [k] loopless least-cost paths in
+    non-decreasing cost order.  Requires non-negative costs. *)

@@ -1,0 +1,119 @@
+type procedure = Stock | Efficient
+
+type latency_model = {
+  laser_off_mean_s : float;
+  reprogram_mean_s : float;
+  laser_on_relock_mean_s : float;
+  dsp_reconfig_mean_s : float;
+  cv : float;
+}
+
+let default_latency =
+  {
+    laser_off_mean_s = 2.0;
+    reprogram_mean_s = 1.2;
+    laser_on_relock_mean_s = 64.8;
+    dsp_reconfig_mean_s = 0.035;
+    cv = 0.35;
+  }
+
+type step = { label : string; duration_s : float }
+
+type change = {
+  from_scheme : Modulation.scheme;
+  to_scheme : Modulation.scheme;
+  procedure : procedure;
+  steps : step list;
+  total_s : float;
+  downtime_s : float;
+}
+
+type t = {
+  mutable current : Modulation.scheme;
+  latency : latency_model;
+  registers : Mdio.t;
+}
+
+let create ?(latency = default_latency) scheme =
+  { current = scheme; latency; registers = Mdio.create () }
+
+let scheme t = t.current
+let mdio t = t.registers
+
+let code_of_scheme = function
+  | Modulation.Qpsk -> 0
+  | Modulation.Qam8 -> 1
+  | Modulation.Qam16 -> 2
+
+let scheme_of_code = function
+  | 0 -> Some Modulation.Qpsk
+  | 1 -> Some Modulation.Qam8
+  | 2 -> Some Modulation.Qam16
+  | _ -> None
+
+let draw rng ~mean ~cv = Rwc_stats.Rng.lognormal_of_mean rng ~mean ~cv
+
+let change_modulation t rng ~target ~procedure =
+  if target = t.current then
+    {
+      from_scheme = t.current;
+      to_scheme = target;
+      procedure;
+      steps = [];
+      total_s = 0.0;
+      downtime_s = 0.0;
+    }
+  else begin
+    let from_scheme = t.current in
+    let l = t.latency in
+    let m = t.registers in
+    let steps =
+      match procedure with
+      | Stock ->
+          (* 1. Laser to low-power state. *)
+          Mdio.set_laser m false;
+          Mdio.set_locked m false;
+          let s1 =
+            { label = "laser-off"; duration_s = draw rng ~mean:l.laser_off_mean_s ~cv:l.cv }
+          in
+          (* 2. Stage and commit the new modulation over MDIO. *)
+          Mdio.write m Mdio.reg_modulation (code_of_scheme target);
+          Mdio.write m Mdio.reg_commit 1;
+          Mdio.clear_commit m;
+          let s2 =
+            { label = "reprogram"; duration_s = draw rng ~mean:l.reprogram_mean_s ~cv:l.cv }
+          in
+          (* 3. Laser back on and carrier relock: the dominant cost. *)
+          Mdio.set_laser m true;
+          Mdio.set_locked m true;
+          let s3 =
+            {
+              label = "laser-on+relock";
+              duration_s = draw rng ~mean:l.laser_on_relock_mean_s ~cv:l.cv;
+            }
+          in
+          [ s1; s2; s3 ]
+      | Efficient ->
+          (* DSP-only reconfiguration with the laser held on. *)
+          assert (Mdio.laser_enabled m);
+          Mdio.write m Mdio.reg_modulation (code_of_scheme target);
+          Mdio.write m Mdio.reg_commit 1;
+          Mdio.clear_commit m;
+          [
+            {
+              label = "dsp-reconfig";
+              duration_s = draw rng ~mean:l.dsp_reconfig_mean_s ~cv:l.cv;
+            };
+          ]
+    in
+    t.current <- target;
+    let total_s = List.fold_left (fun acc s -> acc +. s.duration_s) 0.0 steps in
+    {
+      from_scheme;
+      to_scheme = target;
+      procedure;
+      steps;
+      total_s;
+      downtime_s = total_s;
+    }
+  end

@@ -1,0 +1,58 @@
+(** Bandwidth-variable transceiver model (Section 3.1 / Figure 6).
+
+    State-of-the-art BVTs can only change modulation after bringing the
+    link to a lower power state: laser off, reprogram, laser back on,
+    re-acquire carrier lock.  The laser power-cycle plus relock
+    dominates and yields the paper's ~68 s average outage.  The paper's
+    proposed fix reprograms the DSP with the laser held on, reducing the
+    change to ~35 ms.  Both procedures are modelled step by step; each
+    step draws its latency from a lognormal distribution and drives the
+    {!Mdio} register file exactly as a management agent would. *)
+
+type procedure =
+  | Stock  (** Laser power-cycle: the shipping firmware behaviour. *)
+  | Efficient  (** Laser held on, DSP-only reconfiguration. *)
+
+type latency_model = {
+  laser_off_mean_s : float;
+  reprogram_mean_s : float;
+  laser_on_relock_mean_s : float;  (** The dominant term (~65 s). *)
+  dsp_reconfig_mean_s : float;  (** Efficient-path total (~35 ms). *)
+  cv : float;  (** Coefficient of variation shared by all steps. *)
+}
+
+val default_latency : latency_model
+(** Calibrated so Stock averages ~68 s and Efficient ~35 ms, matching
+    Figure 6b. *)
+
+type step = { label : string; duration_s : float }
+
+type change = {
+  from_scheme : Modulation.scheme;
+  to_scheme : Modulation.scheme;
+  procedure : procedure;
+  steps : step list;  (** In execution order. *)
+  total_s : float;
+  downtime_s : float;
+      (** Interval during which the IP link is unusable.  Equals
+          [total_s]: even the efficient path freezes traffic while the
+          DSP switches, just for milliseconds instead of a minute. *)
+}
+
+type t
+
+val create : ?latency:latency_model -> Modulation.scheme -> t
+(** A transceiver currently running the given scheme, laser on. *)
+
+val scheme : t -> Modulation.scheme
+val mdio : t -> Mdio.t
+(** The device's management registers (shared, not a copy). *)
+
+val change_modulation :
+  t -> Rwc_stats.Rng.t -> target:Modulation.scheme -> procedure:procedure -> change
+(** Perform a modulation change, mutating the transceiver and its
+    registers.  Returns the recorded steps.  Changing to the current
+    scheme is a no-op with zero steps and zero downtime. *)
+
+val code_of_scheme : Modulation.scheme -> int
+val scheme_of_code : int -> Modulation.scheme option

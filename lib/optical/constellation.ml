@@ -1,0 +1,185 @@
+type point = { i : float; q : float }
+
+let normalize pts =
+  let energy =
+    Array.fold_left (fun acc p -> acc +. (p.i *. p.i) +. (p.q *. p.q)) 0.0 pts
+    /. float_of_int (Array.length pts)
+  in
+  let s = 1.0 /. sqrt energy in
+  Array.map (fun p -> { i = p.i *. s; q = p.q *. s }) pts
+
+let qpsk_points =
+  normalize [| { i = 1.; q = 1. }; { i = -1.; q = 1. }; { i = -1.; q = -1. }; { i = 1.; q = -1. } |]
+
+(* Star 8QAM: inner QPSK ring plus an outer ring rotated 45 degrees.
+   Ring ratio 1 + sqrt 3 maximizes the minimum distance. *)
+let qam8_points =
+  let r2 = 1.0 +. sqrt 3.0 in
+  let inner k =
+    let a = (Float.pi /. 2.0 *. float_of_int k) +. (Float.pi /. 4.0) in
+    { i = cos a; q = sin a }
+  in
+  let outer k =
+    let a = Float.pi /. 2.0 *. float_of_int k in
+    { i = r2 *. cos a; q = r2 *. sin a }
+  in
+  normalize (Array.init 8 (fun k -> if k < 4 then inner k else outer (k - 4)))
+
+let qam16_points =
+  let levels = [| -3.; -1.; 1.; 3. |] in
+  normalize
+    (Array.init 16 (fun k -> { i = levels.(k mod 4); q = levels.(k / 4) }))
+
+let ideal_points = function
+  | Modulation.Qpsk -> qpsk_points
+  | Modulation.Qam8 -> qam8_points
+  | Modulation.Qam16 -> qam16_points
+
+type observation = { sent : int; received : point; decided : int }
+
+type run = {
+  scheme : Modulation.scheme;
+  snr_db : float;
+  observations : observation array;
+  evm_percent : float;
+  symbol_error_rate : float;
+  snr_estimate_db : float;
+}
+
+let nearest pts p =
+  let best = ref 0 and best_d = ref infinity in
+  Array.iteri
+    (fun k c ->
+      let di = p.i -. c.i and dq = p.q -. c.q in
+      let d = (di *. di) +. (dq *. dq) in
+      if d < !best_d then begin
+        best_d := d;
+        best := k
+      end)
+    pts;
+  !best
+
+let simulate rng scheme ~snr_db ~symbols =
+  assert (symbols > 0);
+  let pts = ideal_points scheme in
+  let n0 = Units.linear_of_db (-.snr_db) in
+  (* Es = 1 (normalized), so per-quadrature noise variance is N0/2. *)
+  let sigma = sqrt (n0 /. 2.0) in
+  let err_energy = ref 0.0 in
+  let errors = ref 0 in
+  let observations =
+    Array.init symbols (fun _ ->
+        let sent = Rwc_stats.Rng.int rng (Array.length pts) in
+        let c = pts.(sent) in
+        let received =
+          {
+            i = c.i +. Rwc_stats.Rng.gaussian rng ~mu:0.0 ~sigma;
+            q = c.q +. Rwc_stats.Rng.gaussian rng ~mu:0.0 ~sigma;
+          }
+        in
+        let decided = nearest pts received in
+        if decided <> sent then incr errors;
+        let di = received.i -. c.i and dq = received.q -. c.q in
+        err_energy := !err_energy +. (di *. di) +. (dq *. dq);
+        { sent; received; decided })
+  in
+  let mean_err = !err_energy /. float_of_int symbols in
+  (* Reference RMS amplitude is 1 by normalization. *)
+  let evm = sqrt mean_err in
+  {
+    scheme;
+    snr_db;
+    observations;
+    evm_percent = 100.0 *. evm;
+    symbol_error_rate = float_of_int !errors /. float_of_int symbols;
+    snr_estimate_db = -.Units.db_of_linear mean_err;
+  }
+
+(* Abramowitz & Stegun 7.1.26 rational approximation of erf. *)
+let erf_pos x =
+  let a1 = 0.254829592
+  and a2 = -0.284496736
+  and a3 = 1.421413741
+  and a4 = -1.453152027
+  and a5 = 1.061405429
+  and p = 0.3275911 in
+  let t = 1.0 /. (1.0 +. (p *. x)) in
+  let poly = t *. (a1 +. (t *. (a2 +. (t *. (a3 +. (t *. (a4 +. (t *. a5)))))))) in
+  1.0 -. (poly *. exp (-.(x *. x)))
+
+let erf x = if x >= 0.0 then erf_pos x else -.erf_pos (-.x)
+let erfc x = 1.0 -. erf x
+
+let q_function x = 0.5 *. erfc (x /. sqrt 2.0)
+
+(* Minimum distance of the (unit-energy) constellation. *)
+let min_distance pts =
+  let best = ref infinity in
+  Array.iteri
+    (fun a pa ->
+      Array.iteri
+        (fun b pb ->
+          if a < b then begin
+            let di = pa.i -. pb.i and dq = pa.q -. pb.q in
+            best := Float.min !best (sqrt ((di *. di) +. (dq *. dq)))
+          end)
+        pts)
+    pts;
+  !best
+
+(* Average number of nearest neighbours at the minimum distance. *)
+let avg_kissing pts =
+  let dmin = min_distance pts in
+  let total = ref 0 in
+  Array.iteri
+    (fun a pa ->
+      Array.iteri
+        (fun b pb ->
+          if a <> b then begin
+            let di = pa.i -. pb.i and dq = pa.q -. pb.q in
+            if sqrt ((di *. di) +. (dq *. dq)) < dmin +. 1e-9 then incr total
+          end)
+        pts)
+    pts;
+  float_of_int !total /. float_of_int (Array.length pts)
+
+let theoretical_ser scheme ~snr_db =
+  let pts = ideal_points scheme in
+  let dmin = min_distance pts in
+  let n0 = Units.linear_of_db (-.snr_db) in
+  let arg = dmin /. (2.0 *. sqrt (n0 /. 2.0)) in
+  Float.min 1.0 (avg_kissing pts *. q_function arg)
+
+let render_ascii ?(width = 61) ?(height = 31) run =
+  let pts = ideal_points run.scheme in
+  let extent =
+    Array.fold_left
+      (fun acc o ->
+        Float.max acc (Float.max (Float.abs o.received.i) (Float.abs o.received.q)))
+      1.0 run.observations
+    *. 1.05
+  in
+  let grid = Array.make_matrix height width ' ' in
+  let place ch p =
+    let col =
+      int_of_float ((p.i +. extent) /. (2.0 *. extent) *. float_of_int (width - 1))
+    in
+    let row =
+      int_of_float ((extent -. p.q) /. (2.0 *. extent) *. float_of_int (height - 1))
+    in
+    if row >= 0 && row < height && col >= 0 && col < width then
+      grid.(row).(col) <- ch
+  in
+  Array.iter (fun o -> place '.' o.received) run.observations;
+  Array.iter (place 'O') pts;
+  let buf = Buffer.create (height * (width + 1)) in
+  Buffer.add_string buf
+    (Printf.sprintf "%s @ %.1f dB  EVM %.1f%%  SER %.2e\n"
+       (Modulation.scheme_name run.scheme)
+       run.snr_db run.evm_percent run.symbol_error_rate);
+  Array.iter
+    (fun row ->
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.contents buf

@@ -1,0 +1,51 @@
+(** Constellation simulation for Figure 5.
+
+    The paper's testbed shows QPSK / 8QAM / 16QAM constellation diagrams
+    captured from the BVT at 100 / 150 / 200 Gbps.  We reproduce the
+    experiment in software: draw random symbols, pass them through an
+    additive-white-Gaussian-noise channel at a chosen SNR, and measure
+    the error-vector magnitude and symbol error rate, plus the
+    theoretical BER for cross-checking.  All constellations are
+    normalized to unit average symbol energy so SNR = Es/N0. *)
+
+type point = { i : float; q : float }
+
+val ideal_points : Modulation.scheme -> point array
+(** Reference constellation, unit average energy.  QPSK: 4 points,
+    8QAM: star (4+4 on two rings), 16QAM: square grid. *)
+
+type observation = {
+  sent : int;  (** Index into [ideal_points]. *)
+  received : point;  (** Noisy sample. *)
+  decided : int;  (** Nearest-neighbour decision. *)
+}
+
+type run = {
+  scheme : Modulation.scheme;
+  snr_db : float;
+  observations : observation array;
+  evm_percent : float;
+      (** Root-mean-square error vector magnitude, percent of RMS
+          reference amplitude. *)
+  symbol_error_rate : float;
+  snr_estimate_db : float;
+      (** SNR re-estimated from the received samples (1/EVM^2); should
+          match [snr_db] closely — a self-check of the channel model. *)
+}
+
+val simulate :
+  Rwc_stats.Rng.t -> Modulation.scheme -> snr_db:float -> symbols:int -> run
+(** Transmit [symbols] random symbols at the given Es/N0. *)
+
+val theoretical_ser : Modulation.scheme -> snr_db:float -> float
+(** Union-bound/nearest-neighbour approximation of the symbol error
+    rate over AWGN, using the exact minimum distance of our
+    constellations. *)
+
+val erfc : float -> float
+(** Complementary error function (Abramowitz & Stegun 7.1.26-based,
+    absolute error < 1.5e-7) — exposed because the stdlib lacks it. *)
+
+val render_ascii : ?width:int -> ?height:int -> run -> string
+(** Scatter plot of received samples on an ASCII grid, with the ideal
+    points marked — the reproduction of the Figure 5 panels. *)

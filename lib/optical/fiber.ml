@@ -1,0 +1,44 @@
+type span = {
+  length_km : float;
+  attenuation_db_per_km : float;
+  amp_noise_figure_db : float;
+}
+
+type line = { spans : span list; launch_power_dbm : float }
+
+let span_loss_db s = s.length_km *. s.attenuation_db_per_km
+
+let default_span length_km =
+  { length_km; attenuation_db_per_km = 0.22; amp_noise_figure_db = 5.0 }
+
+let line_of_route_km ?(span_km = 80.0) route_km =
+  assert (route_km > 0.0 && span_km > 0.0);
+  let n = max 1 (int_of_float (ceil (route_km /. span_km))) in
+  let each = route_km /. float_of_int n in
+  { spans = List.init n (fun _ -> default_span each); launch_power_dbm = 0.0 }
+
+(* 10 log10 (B_ref / (h nu)) at 1550nm with 12.5 GHz (0.1nm) reference
+   bandwidth: the conventional 58 dB constant. *)
+let quantum_limit_db = 58.0
+
+let osnr_db line =
+  assert (line.spans <> []);
+  (* Each amplifier contributes ASE proportional to its gain (= span
+     loss) and noise figure; accumulate in linear units relative to the
+     launch power. *)
+  let noise_lin =
+    List.fold_left
+      (fun acc s ->
+        let loss_db = span_loss_db s in
+        acc
+        +. Units.linear_of_db
+             (loss_db +. s.amp_noise_figure_db -. quantum_limit_db
+            -. line.launch_power_dbm))
+      0.0 line.spans
+  in
+  -.Units.db_of_linear noise_lin
+
+let snr_margin_db line ~gbps =
+  Option.map
+    (fun m -> osnr_db line -. m.Modulation.min_snr_db)
+    (Modulation.of_gbps gbps)

@@ -1,0 +1,105 @@
+type channel = int
+
+let n_channels = 96
+
+let frequency_ghz ch =
+  assert (ch >= 0 && ch < n_channels);
+  191_300.0 +. (50.0 *. float_of_int ch)
+
+let speed_of_light_m_s = 299_792_458.0
+
+(* c[m/s] / f[GHz] = lambda[nm] directly: 1e-9 m per nm cancels the
+   1e9 Hz per GHz. *)
+let wavelength_nm ch = speed_of_light_m_s /. frequency_ghz ch
+
+type t = {
+  base_osnr_db : float;
+  edge_tilt_db : float;
+  rates : int option array;  (* per channel: configured Gbps when lit *)
+}
+
+(* Matches Fleet.osnr_to_snr_penalty_db; duplicated as a constant here
+   because rwc_optical sits below rwc_telemetry in the dependency
+   order. *)
+let osnr_to_snr_penalty_db = 8.4
+
+let create ?(edge_tilt_db = 1.5) ~line () =
+  assert (edge_tilt_db >= 0.0);
+  {
+    base_osnr_db = Fiber.osnr_db line;
+    edge_tilt_db;
+    rates = Array.make n_channels None;
+  }
+
+let channel_osnr_db t ch =
+  assert (ch >= 0 && ch < n_channels);
+  (* Quadratic tilt: 0 at the centre, [edge_tilt_db] at the edges. *)
+  let centre = float_of_int (n_channels - 1) /. 2.0 in
+  let x = (float_of_int ch -. centre) /. centre in
+  t.base_osnr_db -. (t.edge_tilt_db *. x *. x)
+
+let best_rate_gbps t ch =
+  Modulation.feasible_gbps (channel_osnr_db t ch -. osnr_to_snr_penalty_db)
+
+let occupied t ch =
+  assert (ch >= 0 && ch < n_channels);
+  t.rates.(ch) <> None
+
+let lit_count t =
+  Array.fold_left (fun acc r -> if r = None then acc else acc + 1) 0 t.rates
+
+let free_channels t =
+  List.filter (fun ch -> not (occupied t ch)) (List.init n_channels Fun.id)
+
+let supports t ch gbps =
+  match Modulation.of_gbps gbps with
+  | None -> Error (Printf.sprintf "%d Gbps is not a modulation denomination" gbps)
+  | Some m ->
+      let snr = channel_osnr_db t ch -. osnr_to_snr_penalty_db in
+      if snr >= m.Modulation.min_snr_db then Ok ()
+      else
+        Error
+          (Printf.sprintf "channel %d cannot sustain %d Gbps (SNR %.1f < %.1f)"
+             ch gbps snr m.Modulation.min_snr_db)
+
+let light t ?channel ~gbps () =
+  match channel with
+  | Some ch ->
+      if ch < 0 || ch >= n_channels then Error "channel out of grid"
+      else if occupied t ch then Error (Printf.sprintf "channel %d already lit" ch)
+      else (
+        match supports t ch gbps with
+        | Error e -> Error e
+        | Ok () ->
+            t.rates.(ch) <- Some gbps;
+            Ok ch)
+  | None -> (
+      let candidate =
+        List.find_opt
+          (fun ch -> match supports t ch gbps with Ok () -> true | Error _ -> false)
+          (free_channels t)
+      in
+      match candidate with
+      | Some ch ->
+          t.rates.(ch) <- Some gbps;
+          Ok ch
+      | None ->
+          Error
+            (Printf.sprintf "no free channel supports %d Gbps on this line" gbps))
+
+let extinguish t ch =
+  if ch < 0 || ch >= n_channels then Error "channel out of grid"
+  else if not (occupied t ch) then Error (Printf.sprintf "channel %d is dark" ch)
+  else begin
+    t.rates.(ch) <- None;
+    Ok ()
+  end
+
+let rate_of t ch =
+  assert (ch >= 0 && ch < n_channels);
+  t.rates.(ch)
+
+let capacity_gbps t =
+  Array.fold_left
+    (fun acc r -> match r with Some g -> acc + g | None -> acc)
+    0 t.rates

@@ -1,0 +1,57 @@
+(** WDM line system: the C-band channel grid of one fiber duct.
+
+    The paper's unit of study is an optical wavelength — 40 of them
+    multiplexed on each cable.  This module models the duct's side of
+    that: a 50 GHz-spaced ITU C-band grid, per-channel occupancy, a
+    first-fit wavelength allocator, and per-channel OSNR including the
+    gain tilt/ripple that makes band-edge channels slightly worse than
+    band-centre ones (why two wavelengths of the same cable can support
+    different capacities). *)
+
+type channel = int
+(** Grid index, [0 .. n_channels - 1]. *)
+
+val n_channels : int
+(** 96 channels of 50 GHz covering the C band. *)
+
+val frequency_ghz : channel -> float
+(** ITU grid: 191,300 GHz + 50 GHz x index. *)
+
+val wavelength_nm : channel -> float
+
+type t
+(** Mutable per-duct channel state. *)
+
+val create : ?edge_tilt_db:float -> line:Fiber.line -> unit -> t
+(** A dark line system over the given amplified fiber line.
+    [edge_tilt_db] (default 1.5) is the OSNR penalty at the extreme
+    band edges relative to the centre. *)
+
+val channel_osnr_db : t -> channel -> float
+(** Centre-channel OSNR is {!Fiber.osnr_db} of the line; the penalty
+    grows quadratically toward the band edges. *)
+
+val best_rate_gbps : t -> channel -> int
+(** Highest modulation denomination this channel's OSNR supports
+    (after the standard OSNR-to-SNR conversion used by the telemetry
+    layer); 0 if none. *)
+
+val occupied : t -> channel -> bool
+val lit_count : t -> int
+val free_channels : t -> channel list
+(** In grid order. *)
+
+val light :
+  t -> ?channel:channel -> gbps:int -> unit -> (channel, string) result
+(** Light a wavelength at the requested rate: the explicitly requested
+    channel, or the first free channel whose OSNR supports the rate.
+    Fails with a message if the rate is not a denomination, the channel
+    is taken, or no channel supports the rate. *)
+
+val extinguish : t -> channel -> (unit, string) result
+
+val rate_of : t -> channel -> int option
+(** Configured rate of a lit channel. *)
+
+val capacity_gbps : t -> int
+(** Sum of lit channels' configured rates. *)

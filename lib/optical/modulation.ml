@@ -1,0 +1,44 @@
+type scheme = Qpsk | Qam8 | Qam16
+
+type t = { gbps : int; min_snr_db : float; scheme : scheme }
+
+(* 3.0 dB (50G) and 6.5 dB (100G) come from the paper; intermediate
+   denominations reuse the constellation of the nearest family (rate
+   changes within a family come from FEC/baud adjustments) with
+   monotonically increasing thresholds 1.5 dB apart, matching the
+   spacing of the dotted capacity lines in the paper's Figure 1. *)
+let all =
+  [
+    { gbps = 50; min_snr_db = 3.0; scheme = Qpsk };
+    { gbps = 100; min_snr_db = 6.5; scheme = Qpsk };
+    { gbps = 125; min_snr_db = 8.0; scheme = Qam8 };
+    { gbps = 150; min_snr_db = 9.5; scheme = Qam8 };
+    { gbps = 175; min_snr_db = 11.0; scheme = Qam16 };
+    { gbps = 200; min_snr_db = 12.5; scheme = Qam16 };
+  ]
+
+let default_gbps = 100
+let threshold_100g = 6.5
+
+let of_gbps gbps = List.find_opt (fun m -> m.gbps = gbps) all
+
+let best_for_snr snr_db =
+  List.fold_left
+    (fun best m -> if snr_db >= m.min_snr_db then Some m else best)
+    None all
+
+let feasible_gbps snr_db =
+  match best_for_snr snr_db with Some m -> m.gbps | None -> 0
+
+let scheme_of gbps = Option.map (fun m -> m.scheme) (of_gbps gbps)
+
+let bits_per_symbol = function Qpsk -> 2 | Qam8 -> 3 | Qam16 -> 4
+
+let scheme_name = function
+  | Qpsk -> "QPSK"
+  | Qam8 -> "8QAM"
+  | Qam16 -> "16QAM"
+
+let pp fmt m =
+  Format.fprintf fmt "%d Gbps (%s, >= %.1f dB)" m.gbps (scheme_name m.scheme)
+    m.min_snr_db

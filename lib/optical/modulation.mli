@@ -1,0 +1,50 @@
+(** Modulation schemes and the SNR-to-capacity table.
+
+    The paper's hardware supports capacity denominations
+    50/100/125/150/175/200 Gbps, each requiring a minimum SNR: 6.5 dB
+    for 100 Gbps and 3.0 dB for 50 Gbps are stated in the paper; the
+    remaining thresholds are hardware-specific (the paper computed them
+    for its own fiber plant) and ours are chosen monotone and
+    Shannon-plausible, which is all the reproduced figures depend on.
+    Figure 5 maps 100/150/200 Gbps to QPSK/8QAM/16QAM constellations
+    respectively. *)
+
+type scheme = Qpsk | Qam8 | Qam16
+(** Constellation families used by the paper's testbed BVT. *)
+
+type t = {
+  gbps : int;  (** Capacity denomination in Gbps. *)
+  min_snr_db : float;  (** Lowest SNR at which this capacity is viable. *)
+  scheme : scheme;  (** Constellation used at this rate. *)
+}
+
+val all : t list
+(** All denominations in increasing capacity order:
+    50, 100, 125, 150, 175, 200 Gbps. *)
+
+val default_gbps : int
+(** The static configuration in the paper's WAN: 100 Gbps. *)
+
+val threshold_100g : float
+(** 6.5 dB, the SNR at which a 100 Gbps link is declared down (paper,
+    Section 2.1). *)
+
+val of_gbps : int -> t option
+(** Lookup by capacity denomination. *)
+
+val best_for_snr : float -> t option
+(** Highest-capacity scheme whose threshold the given SNR meets;
+    [None] if even 50 Gbps is infeasible (loss of light). *)
+
+val feasible_gbps : float -> int
+(** [best_for_snr] collapsed to a capacity, with 0 for none. *)
+
+val scheme_of : int -> scheme option
+(** Constellation used at a capacity denomination. *)
+
+val bits_per_symbol : scheme -> int
+(** QPSK: 2, 8QAM: 3, 16QAM: 4. *)
+
+val scheme_name : scheme -> string
+
+val pp : Format.formatter -> t -> unit

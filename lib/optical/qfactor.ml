@@ -1,0 +1,53 @@
+type fec = None_fec | Hd_fec | Sd_fec
+
+let fec_limit_ber = function
+  | None_fec -> 0.0
+  | Hd_fec -> 3.8e-3
+  | Sd_fec -> 2.0e-2
+
+let fec_overhead_percent = function
+  | None_fec -> 0.0
+  | Hd_fec -> 7.0
+  | Sd_fec -> 20.0
+
+let q_db_of_linear q =
+  assert (q > 0.0);
+  20.0 *. log10 q
+
+let q_linear_of_db db = 10.0 ** (db /. 20.0)
+
+let ber_of_q q = 0.5 *. Constellation.erfc (q /. sqrt 2.0)
+
+let q_of_ber ber =
+  assert (ber > 0.0 && ber < 0.5);
+  (* ber_of_q is strictly decreasing; bisect on [0, 40]. *)
+  let rec bisect lo hi n =
+    if n = 0 then (lo +. hi) /. 2.0
+    else
+      let mid = (lo +. hi) /. 2.0 in
+      if ber_of_q mid > ber then bisect mid hi (n - 1)
+      else bisect lo mid (n - 1)
+  in
+  bisect 0.0 40.0 60
+
+let ber_of_snr scheme ~snr_db =
+  let ser = Constellation.theoretical_ser scheme ~snr_db in
+  (* Gray mapping: a symbol error flips ~1 of the log2 M bits. *)
+  let bits = float_of_int (Modulation.bits_per_symbol scheme) in
+  Float.min 0.5 (ser /. bits)
+
+let snr_viable scheme ~fec ~snr_db =
+  match fec with
+  | None_fec -> ber_of_snr scheme ~snr_db < 1e-15
+  | Hd_fec | Sd_fec -> ber_of_snr scheme ~snr_db <= fec_limit_ber fec
+
+let required_snr_db scheme ~fec =
+  (* ber_of_snr is decreasing in SNR; bisect to 0.01 dB. *)
+  let rec bisect lo hi =
+    if hi -. lo <= 0.01 then hi
+    else
+      let mid = (lo +. hi) /. 2.0 in
+      if snr_viable scheme ~fec ~snr_db:mid then bisect lo mid
+      else bisect mid hi
+  in
+  bisect (-5.0) 40.0

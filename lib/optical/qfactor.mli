@@ -1,0 +1,50 @@
+(** Q-factor and forward-error-correction analytics.
+
+    Operational optical backbones monitor link health as a Q-factor
+    (the paper builds on Ghobadi et al.'s Q-factor studies of the same
+    backbone) and declare a wavelength down when its pre-FEC bit error
+    rate crosses what the FEC can correct.  This module supplies the
+    conversions that connect our SNR world to that practice:
+
+      Q[dB] = 20 log10 Q_lin,    BER = 0.5 erfc(Q_lin / sqrt 2)
+
+    and the standard FEC generations with their pre-FEC BER limits.
+    The modulation thresholds of {!Modulation} correspond to the SNR at
+    which the post-FEC output becomes error-free; here that link is
+    made explicit and testable. *)
+
+type fec =
+  | None_fec  (** Uncorrected transmission. *)
+  | Hd_fec  (** Hard-decision, 7% overhead; limit ~3.8e-3 pre-FEC BER. *)
+  | Sd_fec  (** Soft-decision, 20% overhead; limit ~2.0e-2 pre-FEC BER. *)
+
+val fec_limit_ber : fec -> float
+(** Highest pre-FEC BER the code corrects to error-free output (0 for
+    [None_fec]). *)
+
+val fec_overhead_percent : fec -> float
+
+val q_db_of_linear : float -> float
+(** [20 log10 q]; requires [q > 0]. *)
+
+val q_linear_of_db : float -> float
+
+val ber_of_q : float -> float
+(** Pre-FEC BER of a linear Q-factor: [0.5 * erfc (q / sqrt 2)]. *)
+
+val q_of_ber : float -> float
+(** Inverse of {!ber_of_q} (bisection; requires [0 < ber < 0.5]). *)
+
+val ber_of_snr : Modulation.scheme -> snr_db:float -> float
+(** Pre-FEC bit error rate of a scheme at a given Es/N0, from the
+    constellation's symbol error rate with Gray-coding approximation
+    (one bit flips per symbol error). *)
+
+val snr_viable : Modulation.scheme -> fec:fec -> snr_db:float -> bool
+(** Whether post-FEC transmission is error-free at this SNR. *)
+
+val required_snr_db : Modulation.scheme -> fec:fec -> float
+(** Lowest SNR (to 0.01 dB) at which {!snr_viable} holds.  With
+    [Sd_fec] this lands close to the {!Modulation} table's thresholds
+    — the property-test suite checks the two views agree within the
+    implementation margin. *)

@@ -1,0 +1,31 @@
+type t = {
+  mutable clock : float;
+  queue : (t -> unit) Event_queue.t;
+}
+
+let create () = { clock = 0.0; queue = Event_queue.create () }
+let now t = t.clock
+
+let schedule t ~at handler =
+  if at < t.clock then invalid_arg "Des.schedule: event in the past";
+  Event_queue.add t.queue ~time:at handler
+
+let schedule_in t ~after handler =
+  assert (after >= 0.0);
+  schedule t ~at:(t.clock +. after) handler
+
+let run t ~until =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= until ->
+        (match Event_queue.pop t.queue with
+        | Some (time, handler) ->
+            t.clock <- time;
+            handler t
+        | None -> continue := false)
+    | Some _ | None -> continue := false
+  done;
+  t.clock <- until
+
+let pending t = Event_queue.size t.queue

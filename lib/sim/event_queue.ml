@@ -1,0 +1,58 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+let is_empty t = t.size = 0
+let size t = t.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let add t ~time payload =
+  assert (Float.is_finite time);
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.data then begin
+    let bigger = Array.make (max 32 (2 * t.size)) entry in
+    Array.blit t.data 0 bigger 0 t.size;
+    t.data <- bigger
+  end;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  let i = ref (t.size - 1) in
+  while !i > 0 && before t.data.(!i) t.data.((!i - 1) / 2) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    let i = ref 0 and looping = ref true in
+    while !looping do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < t.size && before t.data.(l) t.data.(!s) then s := l;
+      if r < t.size && before t.data.(r) t.data.(!s) then s := r;
+      if !s = !i then looping := false
+      else begin
+        swap t !i !s;
+        i := !s
+      end
+    done;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.data.(0).time

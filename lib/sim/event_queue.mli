@@ -1,0 +1,18 @@
+(** Priority queue of timestamped events for the discrete-event engine.
+
+    Min-heap ordered by time; ties broken by insertion order so
+    same-time events run FIFO, which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val add : 'a t -> time:float -> 'a -> unit
+(** Requires a finite, non-NaN time. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> float option

@@ -1,0 +1,82 @@
+module Adapt = Rwc_core.Adapt
+module Modulation = Rwc_optical.Modulation
+
+type granularity = Per_wavelength | Per_duct
+
+type outcome = {
+  granularity : granularity;
+  mean_capacity_gbps : float;
+  reconfigurations : int;
+  wavelength_count : int;
+}
+
+let traces ~seed ~baseline_db ~n_lambdas ~correlation ~years =
+  let rng = Rwc_stats.Rng.create seed in
+  let p = Rwc_telemetry.Snr_model.default_params ~baseline_db () in
+  let raw =
+    Rwc_telemetry.Snr_model.generate_correlated rng p ~n_lambdas ~correlation
+      ~years
+  in
+  (* Per-wavelength quality offsets, as in the fleet model: band
+     position and transceiver spread make some wavelengths of a cable
+     persistently better than others — exactly what a per-duct
+     (worst-wavelength) controller pays for. *)
+  Array.map
+    (fun trace ->
+      let offset = Rwc_stats.Rng.gaussian rng ~mu:0.0 ~sigma:0.4 in
+      Array.map (fun v -> if v <= 0.0 then v else Float.max 0.0 (v +. offset)) trace)
+    raw
+
+let simulate ?(config = Adapt.default_config) ~seed ~baseline_db ~n_lambdas
+    ~correlation ~years granularity =
+  let traces = traces ~seed ~baseline_db ~n_lambdas ~correlation ~years in
+  let n = Array.length traces.(0) in
+  let reconfigs = ref 0 in
+  let capacity_sum = ref 0.0 in
+  (match granularity with
+  | Per_wavelength ->
+      let controllers =
+        Array.init n_lambdas (fun _ ->
+            Adapt.create ~config ~initial_gbps:Modulation.default_gbps ())
+      in
+      for i = 0 to n - 1 do
+        Array.iteri
+          (fun l ctl ->
+            (match Adapt.step ctl ~snr_db:traces.(l).(i) with
+            | Adapt.No_change -> ()
+            | _ -> incr reconfigs);
+            capacity_sum :=
+              !capacity_sum +. float_of_int (Adapt.capacity_gbps ctl))
+          controllers
+      done
+  | Per_duct ->
+      let ctl = Adapt.create ~config ~initial_gbps:Modulation.default_gbps () in
+      for i = 0 to n - 1 do
+        (* The duct controller follows the worst wavelength: safe for
+           every transceiver. *)
+        let worst = ref traces.(0).(i) in
+        for l = 1 to n_lambdas - 1 do
+          if traces.(l).(i) < !worst then worst := traces.(l).(i)
+        done;
+        (match Adapt.step ctl ~snr_db:!worst with
+        | Adapt.No_change -> ()
+        | _ ->
+            (* One decision, but every transceiver on the duct moves. *)
+            reconfigs := !reconfigs + n_lambdas);
+        capacity_sum :=
+          !capacity_sum
+          +. (float_of_int n_lambdas *. float_of_int (Adapt.capacity_gbps ctl))
+      done);
+  {
+    granularity;
+    mean_capacity_gbps = !capacity_sum /. float_of_int n;
+    reconfigurations = !reconfigs;
+    wavelength_count = n_lambdas;
+  }
+
+let compare_granularities ?config ~seed ~baseline_db ~n_lambdas ~correlation
+    ~years () =
+  ( simulate ?config ~seed ~baseline_db ~n_lambdas ~correlation ~years
+      Per_wavelength,
+    simulate ?config ~seed ~baseline_db ~n_lambdas ~correlation ~years Per_duct
+  )

@@ -1,0 +1,49 @@
+(** Wavelength-granular adaptation on one duct.
+
+    The fleet simulation ({!Runner}) adapts whole ducts because a
+    cable's wavelengths share its SNR weather (paper Fig. 1).  But the
+    hardware decision is per transceiver, so an operator can choose the
+    control granularity:
+
+    - {b per-wavelength}: every one of the duct's transceivers runs its
+      own run/walk/crawl controller on its own SNR;
+    - {b per-duct}: one controller follows the duct's WORST wavelength
+      and all transceivers switch together (fewer decisions, and the
+      conservative choice is safe for every wavelength).
+
+    This module simulates both on correlated per-wavelength traces and
+    reports the aggregate capacity each delivers — quantifying how much
+    the simpler per-duct scheme leaves on the table at a given
+    wavelength correlation.  (With the correlation near 1 observed in
+    the paper's Figure 1, the answer is "very little", which is why
+    {!Runner} gets away with duct granularity.) *)
+
+type granularity = Per_wavelength | Per_duct
+
+type outcome = {
+  granularity : granularity;
+  mean_capacity_gbps : float;  (** Time-average aggregate duct capacity. *)
+  reconfigurations : int;  (** Transceiver changes summed over wavelengths. *)
+  wavelength_count : int;
+}
+
+val simulate :
+  ?config:Rwc_core.Adapt.config ->
+  seed:int ->
+  baseline_db:float ->
+  n_lambdas:int ->
+  correlation:float ->
+  years:float ->
+  granularity ->
+  outcome
+
+val compare_granularities :
+  ?config:Rwc_core.Adapt.config ->
+  seed:int ->
+  baseline_db:float ->
+  n_lambdas:int ->
+  correlation:float ->
+  years:float ->
+  unit ->
+  outcome * outcome
+(** (per-wavelength, per-duct) under identical traces. *)

@@ -1,0 +1,70 @@
+module Backbone = Rwc_topology.Backbone
+module Modulation = Rwc_optical.Modulation
+
+type duct_state = {
+  duct_index : int;
+  duct : Backbone.duct;
+  snr_params : Rwc_telemetry.Snr_model.params;
+  wavelengths : int;
+  mutable per_lambda_gbps : int;
+  mutable up : bool;
+  mutable current_snr_db : float;
+}
+
+type t = { backbone : Backbone.t; ducts : duct_state array }
+
+let make ?(wavelengths = 4) ~seed backbone =
+  assert (wavelengths >= 1);
+  let root = Rwc_stats.Rng.create seed in
+  let ducts =
+    Array.mapi
+      (fun i duct ->
+        let rng = Rwc_stats.Rng.substream root i in
+        let offset = Rwc_stats.Rng.gaussian rng ~mu:0.0 ~sigma:0.8 in
+        let baseline =
+          Float.max 10.0
+            (Float.min 24.0
+               (Rwc_telemetry.Fleet.baseline_of_route
+                  ~route_km:duct.Backbone.route_km ~offset_db:offset))
+        in
+        let params =
+          Rwc_telemetry.Snr_model.default_params ~baseline_db:baseline ()
+        in
+        {
+          duct_index = i;
+          duct;
+          snr_params = params;
+          wavelengths;
+          per_lambda_gbps = Modulation.default_gbps;
+          up = true;
+          current_snr_db = baseline;
+        })
+      backbone.Backbone.ducts
+  in
+  { backbone; ducts }
+
+let capacity_gbps d =
+  if d.up && d.per_lambda_gbps > 0 then
+    float_of_int (d.per_lambda_gbps * d.wavelengths)
+  else 0.0
+
+let feasible_per_lambda d = Modulation.feasible_gbps d.current_snr_db
+
+let graph t =
+  let g = Rwc_flow.Graph.create ~n:(Backbone.n_cities t.backbone) in
+  Array.iter
+    (fun d ->
+      let capacity = capacity_gbps d in
+      let a = d.duct.Backbone.a and b = d.duct.Backbone.b in
+      ignore
+        (Rwc_flow.Graph.add_edge g ~src:a ~dst:b ~capacity ~cost:1.0 d.duct_index);
+      ignore
+        (Rwc_flow.Graph.add_edge g ~src:b ~dst:a ~capacity ~cost:1.0 d.duct_index))
+    t.ducts;
+  g
+
+let headroom d =
+  let feasible = feasible_per_lambda d in
+  if d.up && feasible > d.per_lambda_gbps then
+    float_of_int ((feasible - d.per_lambda_gbps) * d.wavelengths)
+  else 0.0

@@ -1,0 +1,57 @@
+type phase = Drain_started | Reconfigure_started | Restored
+
+type log_entry = {
+  time_s : float;
+  phys_edge : Rwc_flow.Graph.edge_id;
+  phase : phase;
+}
+
+type outcome = {
+  log : log_entry list;
+  total_duration_s : float;
+  disrupted_gbit : float;
+  reconfigurations : int;
+}
+
+let execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ?(drain_s = 30.0) () =
+  assert (downtime_mean_s >= 0.0 && drain_s >= 0.0);
+  let engine = Des.create () in
+  let log = ref [] in
+  let disrupted = ref 0.0 in
+  let finished_at = ref 0.0 in
+  let record time phys_edge phase =
+    log := { time_s = time; phys_edge; phase } :: !log
+  in
+  (* Serialize: each link's sequence starts when the previous finished. *)
+  let rec start_link remaining engine =
+    match remaining with
+    | [] -> finished_at := Des.now engine
+    | d :: rest ->
+        let edge = d.Rwc_core.Translate.phys_edge in
+        record (Des.now engine) edge Drain_started;
+        Des.schedule_in engine ~after:drain_s (fun engine ->
+            record (Des.now engine) edge Reconfigure_started;
+            let downtime =
+              if downtime_mean_s = 0.0 then 0.0
+              else
+                Rwc_stats.Rng.lognormal_of_mean rng ~mean:downtime_mean_s
+                  ~cv:0.35
+            in
+            disrupted := !disrupted +. (residual_flow edge *. downtime);
+            Des.schedule_in engine ~after:downtime (fun engine ->
+                record (Des.now engine) edge Restored;
+                start_link rest engine))
+  in
+  Des.schedule engine ~at:0.0 (start_link upgrades);
+  (* Generous horizon: drains + worst-case latencies. *)
+  let horizon =
+    (float_of_int (List.length upgrades) *. (drain_s +. (50.0 *. (downtime_mean_s +. 1.0))))
+    +. 1.0
+  in
+  Des.run engine ~until:horizon;
+  {
+    log = List.rev !log;
+    total_duration_s = !finished_at;
+    disrupted_gbit = !disrupted;
+    reconfigurations = List.length upgrades;
+  }

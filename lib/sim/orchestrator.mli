@@ -1,0 +1,49 @@
+(** Execution of an upgrade plan as an operational procedure.
+
+    Deciding WHAT to upgrade is the job of the augmentation + TE
+    (Section 4); actually doing it is an operational sequence per link:
+
+      drain (install the transitional routing that avoids the link)
+      -> reconfigure (the BVT modulation change, Section 3.1)
+      -> restore (final routing).
+
+    The orchestrator runs that sequence over the discrete-event engine,
+    one link at a time (operators serialize risky changes), drawing
+    each reconfiguration's duration from the BVT latency model and
+    accounting the traffic lost on links that could not be fully
+    drained.  It is the glue between {!Rwc_core.Consistent_update},
+    {!Rwc_core.Scheduler} and {!Rwc_optical.Bvt}. *)
+
+type phase = Drain_started | Reconfigure_started | Restored
+
+type log_entry = {
+  time_s : float;  (** Simulation time of the transition. *)
+  phys_edge : Rwc_flow.Graph.edge_id;
+  phase : phase;
+}
+
+type outcome = {
+  log : log_entry list;  (** Chronological. *)
+  total_duration_s : float;
+  disrupted_gbit : float;
+      (** Sum over links of (traffic still on the link during its
+          reconfiguration) x (reconfiguration duration). *)
+  reconfigurations : int;
+}
+
+val execute :
+  rng:Rwc_stats.Rng.t ->
+  upgrades:Rwc_core.Translate.decision list ->
+  residual_flow:(Rwc_flow.Graph.edge_id -> float) ->
+  downtime_mean_s:float ->
+  ?drain_s:float ->
+  unit ->
+  outcome
+(** [execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ()] runs
+    the plan.  [residual_flow e] is the traffic (Gbps) that remains on
+    edge [e] during its reconfiguration after the transitional routing
+    has been installed — 0 when the consistent update fully drained it.
+    [drain_s] (default 30 s) is the time to install a routing change
+    network-wide.  Links are processed in plan order, strictly
+    serialized.  Phases alternate correctly and every link ends
+    [Restored]; the test suite asserts both. *)

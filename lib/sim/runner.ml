@@ -1,0 +1,289 @@
+module Backbone = Rwc_topology.Backbone
+module Modulation = Rwc_optical.Modulation
+module Adapt = Rwc_core.Adapt
+module Snr_model = Rwc_telemetry.Snr_model
+
+type procedure = Stock | Efficient
+
+type policy = Static_100 | Static_max | Adaptive of procedure
+
+let policy_name = function
+  | Static_100 -> "static-100G"
+  | Static_max -> "static-max"
+  | Adaptive Stock -> "adaptive-stock-bvt"
+  | Adaptive Efficient -> "adaptive-efficient-bvt"
+
+type config = {
+  days : float;
+  te_interval_h : float;
+  seed : int;
+  wavelengths : int;
+  demand_fraction : float;
+  top_demands : int;
+  epsilon : float;
+}
+
+let default_config =
+  {
+    days = 60.0;
+    te_interval_h = 6.0;
+    seed = 7;
+    wavelengths = 4;
+    demand_fraction = 0.75;
+    top_demands = 40;
+    epsilon = 0.12;
+  }
+
+type report = {
+  policy : policy;
+  delivered_pbit : float;
+  offered_pbit : float;
+  avg_throughput_gbps : float;
+  avg_capacity_gbps : float;
+  duct_availability : float;
+  failures : int;
+  flaps : int;
+  reconfigurations : int;
+  reconfig_downtime_s : float;
+}
+
+(* Per-duct bookkeeping private to a run. *)
+type duct_run = {
+  state : Netstate.duct_state;
+  trace : float array;
+  controller : Adapt.state option;  (* Some for adaptive policies *)
+  mutable reconfiguring : bool;
+}
+
+let downtime_mean_s = function
+  | Stock ->
+      let l = Rwc_optical.Bvt.default_latency in
+      l.Rwc_optical.Bvt.laser_off_mean_s +. l.Rwc_optical.Bvt.reprogram_mean_s
+      +. l.Rwc_optical.Bvt.laser_on_relock_mean_s
+  | Efficient -> Rwc_optical.Bvt.default_latency.Rwc_optical.Bvt.dsp_reconfig_mean_s
+
+let run ?(config = default_config) ?(backbone = Backbone.north_america) policy =
+  assert (config.days > 0.0 && config.te_interval_h > 0.0);
+  let net = Netstate.make ~wavelengths:config.wavelengths ~seed:config.seed backbone in
+  let years = config.days /. 365.25 in
+  let trace_root = Rwc_stats.Rng.create (config.seed + 1) in
+  let reconfig_rng = Rwc_stats.Rng.create (config.seed + 2) in
+  let ducts =
+    Array.map
+      (fun (d : Netstate.duct_state) ->
+        let rng = Rwc_stats.Rng.substream trace_root d.Netstate.duct_index in
+        let trace, _ = Snr_model.generate rng d.Netstate.snr_params ~years in
+        (* Policy-specific initialisation. *)
+        let controller =
+          match policy with
+          | Static_100 ->
+              d.Netstate.per_lambda_gbps <- Modulation.default_gbps;
+              None
+          | Static_max ->
+              (* Fix at the day-one feasible denomination, never adapt. *)
+              d.Netstate.per_lambda_gbps <-
+                max Modulation.default_gbps
+                  (Modulation.feasible_gbps
+                     d.Netstate.snr_params.Snr_model.baseline_db);
+              None
+          | Adaptive _ ->
+              Some (Adapt.create ~initial_gbps:Modulation.default_gbps ())
+        in
+        { state = d; trace; controller; reconfiguring = false })
+      net.Netstate.ducts
+  in
+  (* Offered traffic: gravity matrix scaled to a fraction of the
+     static-100G fleet capacity. *)
+  let static_total =
+    float_of_int
+      (Array.length net.Netstate.ducts * config.wavelengths
+     * Modulation.default_gbps)
+  in
+  (* Gravity matrix truncated to the biggest pairs for TE speed, then
+     rescaled so the OFFERED load (not the pre-truncation total) is the
+     requested fraction of the static network's capacity. *)
+  let demands =
+    Rwc_topology.Traffic.top_k
+      (Rwc_topology.Traffic.gravity backbone ~total_gbps:1.0)
+      config.top_demands
+  in
+  let kept = List.fold_left (fun acc d -> acc +. d.Rwc_topology.Traffic.gbps) 0.0 demands in
+  let scale = config.demand_fraction *. static_total /. kept in
+  let demands =
+    List.map
+      (fun d -> { d with Rwc_topology.Traffic.gbps = d.Rwc_topology.Traffic.gbps *. scale })
+      demands
+  in
+  let commodities = Rwc_topology.Traffic.to_commodities demands in
+  let offered_gbps =
+    Array.fold_left
+      (fun acc c -> acc +. c.Rwc_flow.Multicommodity.demand)
+      0.0 commodities
+  in
+  (* Counters. *)
+  let failures = ref 0
+  and flaps = ref 0
+  and reconfigs = ref 0
+  and downtime = ref 0.0 in
+  let delivered_gbit = ref 0.0 in
+  let capacity_acc = ref 0.0
+  in
+  let up_acc = ref 0.0
+  and duct_obs = ref 0 in
+  (* Flow currently routed over each duct (both directions), from the
+     last TE computation: a reconfiguring duct loses this much traffic
+     for the duration of the change. *)
+  let duct_flow = Array.make (Array.length net.Netstate.ducts) 0.0 in
+  (* Fraction of the current sample interval each duct spent usable;
+     1.0 unless a reconfiguration started in this sample. *)
+  let sample_up_fraction = Array.make (Array.length net.Netstate.ducts) 1.0 in
+  let engine = Des.create () in
+  let horizon_s = config.days *. 86_400.0 in
+  let sample_s = Snr_model.sample_interval_s in
+  let n_samples = int_of_float (horizon_s /. sample_s) in
+  (* Event-driven TE with time-integral accounting: the current
+     routed total earns credit until the next recomputation, and any
+     topology change (failure, recovery, reconfiguration) marks the
+     state dirty so TE reacts at the next sweep, as a production
+     controller would. *)
+  let last_te_time = ref 0.0 in
+  let current_total = ref 0.0 in
+  let current_capacity = ref 0.0 in
+  let te_dirty = ref true in
+  let flush_te now =
+    let dt = now -. !last_te_time in
+    if dt > 0.0 then begin
+      delivered_gbit := !delivered_gbit +. (!current_total *. dt);
+      capacity_acc := !capacity_acc +. (!current_capacity *. dt);
+      last_te_time := now
+    end
+  in
+  let recompute_te now =
+    flush_te now;
+    let g = Netstate.graph net in
+    let te = Rwc_core.Te.mcf ~epsilon:config.epsilon g commodities in
+    current_total := te.Rwc_core.Te.total_gbps;
+    (* Edges 2i and 2i+1 are duct i's two directions, in construction
+       order. *)
+    Array.iteri
+      (fun i _ ->
+        duct_flow.(i) <-
+          te.Rwc_core.Te.flow.(2 * i) +. te.Rwc_core.Te.flow.((2 * i) + 1))
+      duct_flow;
+    current_capacity :=
+      Array.fold_left
+        (fun acc (d : Netstate.duct_state) -> acc +. Netstate.capacity_gbps d)
+        0.0 net.Netstate.ducts;
+    te_dirty := false
+  in
+  (* One SNR-tick event sweeps all ducts. *)
+  let apply_sample dr k =
+    let d = dr.state in
+    d.Netstate.current_snr_db <- dr.trace.(k);
+    match policy with
+    | Static_100 | Static_max ->
+        let threshold =
+          match Modulation.of_gbps d.Netstate.per_lambda_gbps with
+          | Some m -> m.Modulation.min_snr_db
+          | None -> Modulation.threshold_100g
+        in
+        let now_up = dr.trace.(k) >= threshold in
+        if d.Netstate.up && not now_up then incr failures;
+        if d.Netstate.up <> now_up then te_dirty := true;
+        d.Netstate.up <- now_up
+    | Adaptive procedure -> (
+        if not dr.reconfiguring then
+          match dr.controller with
+          | None -> assert false
+          | Some ctl -> (
+              let action = Adapt.step ctl ~snr_db:dr.trace.(k) in
+              let start_reconfig new_gbps =
+                incr reconfigs;
+                let mean = downtime_mean_s procedure in
+                let dt =
+                  Float.min sample_s
+                    (Rwc_stats.Rng.lognormal_of_mean reconfig_rng ~mean ~cv:0.35)
+                in
+                downtime := !downtime +. dt;
+                (* The traffic the TE routed over this duct is lost for
+                   the duration of the change. *)
+                delivered_gbit :=
+                  !delivered_gbit -. (duct_flow.(d.Netstate.duct_index) *. dt);
+                sample_up_fraction.(d.Netstate.duct_index) <-
+                  1.0 -. (dt /. sample_s);
+                dr.reconfiguring <- true;
+                d.Netstate.up <- false;
+                Des.schedule_in engine ~after:dt (fun _ ->
+                    dr.reconfiguring <- false;
+                    d.Netstate.per_lambda_gbps <- new_gbps;
+                    d.Netstate.up <- true;
+                    te_dirty := true)
+              in
+              match action with
+              | Adapt.No_change -> ()
+              | Adapt.Go_dark _ ->
+                  incr failures;
+                  d.Netstate.per_lambda_gbps <- 0;
+                  d.Netstate.up <- false;
+                  te_dirty := true
+              | Adapt.Step_down { to_gbps; _ } ->
+                  incr flaps;
+                  start_reconfig to_gbps
+              | Adapt.Step_up { to_gbps; _ } -> start_reconfig to_gbps
+              | Adapt.Come_back { to_gbps } -> start_reconfig to_gbps))
+  in
+  let rec snr_tick k engine =
+    if k < n_samples then begin
+      Array.fill sample_up_fraction 0 (Array.length sample_up_fraction) 1.0;
+      Array.iter (fun dr -> apply_sample dr k) ducts;
+      Array.iter
+        (fun dr ->
+          let i = dr.state.Netstate.duct_index in
+          duct_obs := !duct_obs + 1;
+          up_acc :=
+            !up_acc
+            +.
+            if dr.reconfiguring then sample_up_fraction.(i)
+            else if dr.state.Netstate.up then 1.0
+            else 0.0)
+        ducts;
+      if !te_dirty then recompute_te (Des.now engine);
+      Des.schedule_in engine ~after:sample_s (snr_tick (k + 1))
+    end
+  in
+  let te_interval_s = config.te_interval_h *. 3600.0 in
+  let rec te_tick engine =
+    recompute_te (Des.now engine);
+    if Des.now engine +. te_interval_s <= horizon_s then
+      Des.schedule_in engine ~after:te_interval_s te_tick
+  in
+  Des.schedule engine ~at:0.0 (snr_tick 0);
+  Des.schedule engine ~at:0.0 te_tick;
+  Des.run engine ~until:horizon_s;
+  flush_te horizon_s;
+  {
+    policy;
+    delivered_pbit = !delivered_gbit /. 1e6;
+    offered_pbit = offered_gbps *. horizon_s /. 1e6;
+    avg_throughput_gbps = !delivered_gbit /. horizon_s;
+    avg_capacity_gbps = !capacity_acc /. horizon_s;
+    duct_availability =
+      (if !duct_obs = 0 then 1.0 else !up_acc /. float_of_int !duct_obs);
+    failures = !failures;
+    flaps = !flaps;
+    reconfigurations = !reconfigs;
+    reconfig_downtime_s = !downtime;
+  }
+
+let compare_policies ?config ?backbone () =
+  List.map
+    (run ?config ?backbone)
+    [ Static_100; Static_max; Adaptive Stock; Adaptive Efficient ]
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "%-22s delivered=%8.2f Pbit  avg-tput=%7.1f Gbps  avg-cap=%7.1f Gbps  \
+     avail=%.5f  fail=%4d  flap=%4d  reconf=%4d  downtime=%8.1fs"
+    (policy_name r.policy) r.delivered_pbit r.avg_throughput_gbps
+    r.avg_capacity_gbps r.duct_availability r.failures r.flaps
+    r.reconfigurations r.reconfig_downtime_s

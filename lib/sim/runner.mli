@@ -1,0 +1,73 @@
+(** The end-to-end WAN simulation: "we simulate the throughput gains
+    from deploying our approach" (paper abstract, Section 1).
+
+    A discrete-event simulation drives every duct's SNR process at the
+    15-minute telemetry cadence and recomputes traffic engineering
+    periodically on whatever capacities the operating policy has left
+    available.  Three policies are compared:
+
+    - {b Static_100}: today's network — every wavelength fixed at
+      100 Gbps, link declared down below the 6.5 dB threshold.
+    - {b Static_max}: the strawman of Section 2.1 — wavelengths fixed
+      (no adaptation) at the highest denomination their day-one SNR
+      supports; more capacity, but every dip below that higher
+      threshold is now an outage (Figure 3's failure inflation).
+    - {b Adaptive}: run/walk/crawl — capacity follows SNR via the
+      {!Rwc_core.Adapt} hysteresis controller, paying BVT
+      reconfiguration downtime (stock ~68 s or efficient ~35 ms,
+      Section 3.1) on every change.
+
+    Reported throughput is what the TE controller actually routes of a
+    gravity traffic matrix, so capacity that strands behind cuts or
+    reconfigurations earns nothing. *)
+
+type procedure = Stock | Efficient
+
+type policy =
+  | Static_100
+  | Static_max
+  | Adaptive of procedure
+
+val policy_name : policy -> string
+
+type config = {
+  days : float;
+  te_interval_h : float;  (** How often TE recomputes routing. *)
+  seed : int;
+  wavelengths : int;  (** IP links per duct. *)
+  demand_fraction : float;
+      (** Total offered load as a fraction of the static-100G network's
+          total capacity. *)
+  top_demands : int;  (** Gravity-matrix truncation for TE speed. *)
+  epsilon : float;  (** Multicommodity approximation knob. *)
+}
+
+val default_config : config
+(** 60 days, 6-hourly TE, seed 7, 4 wavelengths/duct, offered load
+    0.75, top 40 demands, epsilon 0.12. *)
+
+type report = {
+  policy : policy;
+  delivered_pbit : float;  (** TE-routed volume over the horizon. *)
+  offered_pbit : float;
+  avg_throughput_gbps : float;
+  avg_capacity_gbps : float;  (** Mean total usable IP capacity. *)
+  duct_availability : float;  (** Mean fraction of ducts up. *)
+  failures : int;  (** Duct-down events (dark or below threshold). *)
+  flaps : int;  (** Adaptive only: capacity reductions that kept the
+                    duct alive. *)
+  reconfigurations : int;
+  reconfig_downtime_s : float;
+}
+
+val run :
+  ?config:config -> ?backbone:Rwc_topology.Backbone.t -> policy -> report
+(** Defaults to the North-American backbone; pass any parsed or
+    embedded topology instead. *)
+
+val compare_policies :
+  ?config:config -> ?backbone:Rwc_topology.Backbone.t -> unit -> report list
+(** All four variants ([Static_100], [Static_max], [Adaptive Stock],
+    [Adaptive Efficient]) under identical seeds and traffic. *)
+
+val pp_report : Format.formatter -> report -> unit

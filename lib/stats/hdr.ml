@@ -1,0 +1,21 @@
+type t = { lo : float; hi : float }
+
+let width t = t.hi -. t.lo
+
+let of_samples ?(mass = 0.95) xs =
+  let n = Array.length xs in
+  assert (n > 0);
+  assert (mass > 0.0 && mass <= 1.0);
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  (* Window of k consecutive order statistics covers k/n of the mass;
+     slide the narrowest such window across the sorted sample. *)
+  let k = max 1 (int_of_float (ceil (mass *. float_of_int n))) in
+  let best = ref { lo = sorted.(0); hi = sorted.(n - 1) } in
+  for i = 0 to n - k do
+    let lo = sorted.(i) and hi = sorted.(i + k - 1) in
+    if hi -. lo < width !best then best := { lo; hi }
+  done;
+  !best
+
+let pp fmt t = Format.fprintf fmt "[%.4f, %.4f] (width %.4f)" t.lo t.hi (width t)

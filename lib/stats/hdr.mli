@@ -1,0 +1,18 @@
+(** Highest-density-region estimation.
+
+    The paper characterizes SNR stability by the 95% highest density
+    region: the smallest interval containing at least 95% of a link's
+    SNR samples (Section 2.1).  For an empirical sample this is the
+    minimum-width window over the sorted data that covers the required
+    fraction of points. *)
+
+type t = { lo : float; hi : float }
+
+val width : t -> float
+
+val of_samples : ?mass:float -> float array -> t
+(** [of_samples ~mass xs] is the smallest interval covering at least
+    [mass] (default 0.95) of the samples.  Requires a non-empty array
+    and [0 < mass <= 1]. *)
+
+val pp : Format.formatter -> t -> unit

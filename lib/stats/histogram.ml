@@ -1,0 +1,47 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  assert (hi > lo);
+  assert (bins > 0);
+  { lo; hi; counts = Array.make bins 0; under = 0; over = 0; total = 0 }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.under <- t.under + 1
+  else if x >= t.hi then t.over <- t.over + 1
+  else
+    let bins = Array.length t.counts in
+    let i = int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int bins) in
+    let i = min i (bins - 1) in
+    t.counts.(i) <- t.counts.(i) + 1
+
+let add_all t xs = Array.iter (add t) xs
+let count t = t.total
+let bin_count t i = t.counts.(i)
+let underflow t = t.under
+let overflow t = t.over
+
+let bin_edges t i =
+  let bins = Array.length t.counts in
+  let w = (t.hi -. t.lo) /. float_of_int bins in
+  (t.lo +. (float_of_int i *. w), t.lo +. (float_of_int (i + 1) *. w))
+
+let bins t =
+  List.init (Array.length t.counts) (fun i ->
+      let lo, hi = bin_edges t i in
+      (lo, hi, t.counts.(i)))
+
+let pp fmt t =
+  let max_count = Array.fold_left max 1 t.counts in
+  List.iter
+    (fun (lo, hi, c) ->
+      let bar_len = c * 50 / max_count in
+      Format.fprintf fmt "[%8.3f, %8.3f) %6d %s@." lo hi c (String.make bar_len '#'))
+    (bins t)

@@ -1,0 +1,28 @@
+(** Fixed-bin histograms, used for failure-duration and latency plots. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Histogram over [lo, hi) with [bins] equal-width bins plus implicit
+    underflow/overflow counters.  Requires [hi > lo] and [bins > 0]. *)
+
+val add : t -> float -> unit
+val add_all : t -> float array -> unit
+
+val count : t -> int
+(** Total observations including under/overflow. *)
+
+val bin_count : t -> int -> int
+(** Count in bin [i] (0-based). *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_edges : t -> int -> float * float
+(** [bin_edges t i] is the [lo, hi) range of bin [i]. *)
+
+val bins : t -> (float * float * int) list
+(** All bins as (lo, hi, count). *)
+
+val pp : Format.formatter -> t -> unit
+(** ASCII bar rendering. *)

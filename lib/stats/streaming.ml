@@ -1,0 +1,158 @@
+module Moments = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0.0 else t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+end
+
+module Quantile = struct
+  (* P-square (Jain & Chlamtac, 1985): five markers track the min, the
+     q/2, q, (1+q)/2 quantiles and the max; marker heights are adjusted
+     with a piecewise-parabolic formula as observations arrive. *)
+  type t = {
+    q : float;
+    heights : float array;  (* 5 marker heights *)
+    positions : float array;  (* 5 actual positions *)
+    desired : float array;  (* 5 desired positions *)
+    increments : float array;
+    mutable n : int;
+    initial : float array;  (* first five observations *)
+  }
+
+  let create q =
+    assert (q > 0.0 && q < 1.0);
+    {
+      q;
+      heights = Array.make 5 0.0;
+      positions = [| 1.0; 2.0; 3.0; 4.0; 5.0 |];
+      desired = [| 1.0; 1.0 +. (2.0 *. q); 1.0 +. (4.0 *. q); 3.0 +. (2.0 *. q); 5.0 |];
+      increments = [| 0.0; q /. 2.0; q; (1.0 +. q) /. 2.0; 1.0 |];
+      n = 0;
+      initial = Array.make 5 0.0;
+    }
+
+  let parabolic t i d =
+    let h = t.heights and p = t.positions in
+    h.(i)
+    +. d
+       /. (p.(i + 1) -. p.(i - 1))
+       *. (((p.(i) -. p.(i - 1) +. d) *. (h.(i + 1) -. h.(i)) /. (p.(i + 1) -. p.(i)))
+          +. ((p.(i + 1) -. p.(i) -. d) *. (h.(i) -. h.(i - 1)) /. (p.(i) -. p.(i - 1))))
+
+  let linear t i d =
+    let h = t.heights and p = t.positions in
+    h.(i) +. (d *. (h.(i + int_of_float d) -. h.(i)) /. (p.(i + int_of_float d) -. p.(i)))
+
+  let add t x =
+    if t.n < 5 then begin
+      t.initial.(t.n) <- x;
+      t.n <- t.n + 1;
+      if t.n = 5 then begin
+        let sorted = Array.copy t.initial in
+        Array.sort Float.compare sorted;
+        Array.blit sorted 0 t.heights 0 5
+      end
+    end
+    else begin
+      t.n <- t.n + 1;
+      (* Find the cell x falls into and adjust extreme markers. *)
+      let k =
+        if x < t.heights.(0) then begin
+          t.heights.(0) <- x;
+          0
+        end
+        else if x >= t.heights.(4) then begin
+          t.heights.(4) <- x;
+          3
+        end
+        else begin
+          let k = ref 0 in
+          for i = 0 to 3 do
+            if t.heights.(i) <= x && x < t.heights.(i + 1) then k := i
+          done;
+          !k
+        end
+      in
+      for i = k + 1 to 4 do
+        t.positions.(i) <- t.positions.(i) +. 1.0
+      done;
+      for i = 0 to 4 do
+        t.desired.(i) <- t.desired.(i) +. t.increments.(i)
+      done;
+      (* Adjust the three interior markers. *)
+      for i = 1 to 3 do
+        let d = t.desired.(i) -. t.positions.(i) in
+        if
+          (d >= 1.0 && t.positions.(i + 1) -. t.positions.(i) > 1.0)
+          || (d <= -1.0 && t.positions.(i - 1) -. t.positions.(i) < -1.0)
+        then begin
+          let d = if d >= 0.0 then 1.0 else -1.0 in
+          let candidate = parabolic t i d in
+          let h =
+            if t.heights.(i - 1) < candidate && candidate < t.heights.(i + 1)
+            then candidate
+            else linear t i d
+          in
+          t.heights.(i) <- h;
+          t.positions.(i) <- t.positions.(i) +. d
+        end
+      done
+    end
+
+  let estimate t =
+    if t.n = 0 then nan
+    else if t.n < 5 then begin
+      let sorted = Array.sub t.initial 0 t.n in
+      Array.sort Float.compare sorted;
+      let rank = t.q *. float_of_int (t.n - 1) in
+      let lo = min (int_of_float rank) (t.n - 1) in
+      sorted.(lo)
+    end
+    else t.heights.(2)
+end
+
+module Reservoir = struct
+  type t = {
+    rng : Rng.t;
+    data : float array;
+    mutable seen : int;
+  }
+
+  let create rng ~capacity =
+    assert (capacity > 0);
+    { rng; data = Array.make capacity 0.0; seen = 0 }
+
+  let add t x =
+    let cap = Array.length t.data in
+    if t.seen < cap then t.data.(t.seen) <- x
+    else begin
+      let j = Rng.int t.rng (t.seen + 1) in
+      if j < cap then t.data.(j) <- x
+    end;
+    t.seen <- t.seen + 1
+
+  let seen t = t.seen
+
+  let sample t =
+    Array.sub t.data 0 (min (Array.length t.data) t.seen)
+end

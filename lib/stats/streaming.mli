@@ -1,0 +1,55 @@
+(** Single-pass (streaming) statistics.
+
+    A production telemetry pipeline polling 2000 links every 15 minutes
+    for years cannot buffer raw samples per link; the collector keeps
+    constant-size running state instead.  This module provides the
+    standard single-pass estimators used for that: Welford's
+    mean/variance recurrence, the P-square (P2) quantile estimator of
+    Jain & Chlamtac, and reservoir sampling for downstream estimators
+    (like the HDR) that genuinely need a sample. *)
+
+module Moments : sig
+  type t
+  (** Running count / mean / variance / min / max (Welford). *)
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 for an empty stream. *)
+
+  val variance : t -> float
+  (** Sample variance (n-1); 0 when count < 2. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [infinity] for an empty stream. *)
+
+  val max : t -> float
+  (** [neg_infinity] for an empty stream. *)
+end
+
+module Quantile : sig
+  type t
+  (** P-square estimator of one quantile in O(1) memory. *)
+
+  val create : float -> t
+  (** [create q] with [q] strictly between 0 and 1. *)
+
+  val add : t -> float -> unit
+
+  val estimate : t -> float
+  (** Current estimate; exact while fewer than 5 observations have
+      been seen, approximate afterwards.  [nan] for an empty stream. *)
+end
+
+module Reservoir : sig
+  type t
+  (** Uniform random sample of a stream (Vitter's algorithm R). *)
+
+  val create : Rng.t -> capacity:int -> t
+  val add : t -> float -> unit
+  val seen : t -> int
+  val sample : t -> float array
+  (** Copy of the current sample (length [min capacity seen]). *)
+end

@@ -1,0 +1,51 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let mean xs =
+  assert (Array.length xs > 0);
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+
+let of_array xs =
+  assert (Array.length xs > 0);
+  {
+    count = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+  }
+
+let percentile_sorted sorted p =
+  let n = Array.length sorted in
+  assert (n > 0);
+  assert (p >= 0.0 && p <= 100.0);
+  if n = 1 then sorted.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = min (int_of_float rank) (n - 2) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(lo + 1) -. sorted.(lo)))
+
+let percentile xs p =
+  let copy = Array.copy xs in
+  Array.sort Float.compare copy;
+  percentile_sorted copy p
+
+let median xs = percentile xs 50.0
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.count t.mean
+    t.stddev t.min t.max

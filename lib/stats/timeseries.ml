@@ -1,0 +1,45 @@
+type ar1 = { mean : float; phi : float; sigma : float }
+
+let ar1_stationary_sigma p =
+  assert (p.phi >= 0.0 && p.phi < 1.0);
+  p.sigma /. sqrt (1.0 -. (p.phi *. p.phi))
+
+let ar1_step rng p current =
+  p.mean +. (p.phi *. (current -. p.mean)) +. Rng.gaussian rng ~mu:0.0 ~sigma:p.sigma
+
+let ar1_generate rng p ~n =
+  assert (n >= 0);
+  let out = Array.make (max n 1) p.mean in
+  if n > 0 then begin
+    out.(0) <- Rng.gaussian rng ~mu:p.mean ~sigma:(ar1_stationary_sigma p);
+    for i = 1 to n - 1 do
+      out.(i) <- ar1_step rng p out.(i - 1)
+    done
+  end;
+  if n = 0 then [||] else Array.sub out 0 n
+
+let downsample xs ~every =
+  assert (every >= 1);
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else
+    let m = ((n - 1) / every) + 1 in
+    Array.init m (fun i -> xs.(i * every))
+
+let rolling_min xs ~window =
+  assert (window >= 1);
+  let n = Array.length xs in
+  let out = Array.make n 0.0 in
+  (* Monotone deque over indices keeps this O(n). *)
+  let deque = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
+  for i = 0 to n - 1 do
+    while !tail > !head && xs.(deque.(!tail - 1)) >= xs.(i) do
+      decr tail
+    done;
+    deque.(!tail) <- i;
+    incr tail;
+    if deque.(!head) <= i - window then incr head;
+    out.(i) <- xs.(deque.(!head))
+  done;
+  out

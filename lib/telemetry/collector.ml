@@ -1,0 +1,41 @@
+type sample = { index : int; snr_db : float }
+
+let poll rng trace ~loss_prob =
+  assert (loss_prob >= 0.0 && loss_prob < 1.0);
+  let out = ref [] in
+  Array.iteri
+    (fun i v ->
+      if Rwc_stats.Rng.float rng >= loss_prob then
+        out := { index = i; snr_db = v } :: !out)
+    trace;
+  List.rev !out
+
+let completeness samples ~n =
+  assert (n > 0);
+  float_of_int (List.length samples) /. float_of_int n
+
+let fill_gaps samples ~n =
+  assert (n > 0);
+  match samples with
+  | [] -> None
+  | first :: _ ->
+      let out = Array.make n first.snr_db in
+      let last = ref first.snr_db in
+      let samples = ref samples in
+      for i = 0 to n - 1 do
+        (match !samples with
+        | s :: rest when s.index = i ->
+            last := s.snr_db;
+            samples := rest
+        | _ -> ());
+        out.(i) <- !last
+      done;
+      Some out
+
+let max_gap samples ~n =
+  assert (n > 0);
+  let rec scan prev longest = function
+    | [] -> max longest (n - prev - 1)
+    | s :: rest -> scan s.index (max longest (s.index - prev - 1)) rest
+  in
+  scan (-1) 0 samples

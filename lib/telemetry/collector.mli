@@ -1,0 +1,29 @@
+(** Telemetry collection with realistic imperfections.
+
+    Production SNR telemetry is polled (the paper's data comes from
+    15-minute polling of transponders) and polls get lost: devices
+    time out, collectors restart.  Analysis code therefore has to cope
+    with gaps.  This module simulates the lossy polling path and
+    provides the standard gap-filling used before computing per-link
+    statistics, so the analysis pipeline can be validated against
+    imperfect inputs (see the robustness tests). *)
+
+type sample = { index : int; snr_db : float }
+(** One successful poll: sample slot and value. *)
+
+val poll :
+  Rwc_stats.Rng.t -> float array -> loss_prob:float -> sample list
+(** Poll a ground-truth trace; each poll is independently lost with
+    [loss_prob] in [0, 1).  Results are in time order. *)
+
+val completeness : sample list -> n:int -> float
+(** Fraction of the [n] slots that have a sample. *)
+
+val fill_gaps : sample list -> n:int -> float array option
+(** Reconstruct a dense trace by last-observation-carried-forward
+    (leading gaps are backfilled from the first observation).
+    [None] when there are no samples at all. *)
+
+val max_gap : sample list -> n:int -> int
+(** Longest run of consecutive missing slots (including leading and
+    trailing gaps); [n] when empty. *)

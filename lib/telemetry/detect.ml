@@ -1,0 +1,78 @@
+module Ewma = struct
+  type t = {
+    alpha : float;
+    limit : float;  (* absolute control limit in dB *)
+    mutable level : float;
+  }
+
+  let create ?(alpha = 0.1) ?(limit_sigma = 4.0) ~baseline_db ~sigma_db () =
+    assert (alpha > 0.0 && alpha <= 1.0);
+    assert (limit_sigma > 0.0 && sigma_db > 0.0);
+    (* Standard error of an EWMA in steady state:
+       sigma * sqrt (alpha / (2 - alpha)). *)
+    let se = sigma_db *. sqrt (alpha /. (2.0 -. alpha)) in
+    { alpha; limit = baseline_db -. (limit_sigma *. se); level = baseline_db }
+
+  let observe t x =
+    t.level <- ((1.0 -. t.alpha) *. t.level) +. (t.alpha *. x);
+    t.level < t.limit
+
+  let level t = t.level
+end
+
+module Cusum = struct
+  type t = {
+    baseline : float;
+    k : float;  (* reference offset, dB *)
+    h : float;  (* decision threshold, dB *)
+    mutable s : float;  (* accumulated downward deviation *)
+  }
+
+  let create ?(k_sigma = 0.5) ?(h_sigma = 8.0) ~baseline_db ~sigma_db () =
+    assert (k_sigma >= 0.0 && h_sigma > 0.0 && sigma_db > 0.0);
+    {
+      baseline = baseline_db;
+      k = k_sigma *. sigma_db;
+      h = h_sigma *. sigma_db;
+      s = 0.0;
+    }
+
+  let observe t x =
+    (* Downward side: accumulate (baseline - x - k)+. *)
+    t.s <- Float.max 0.0 (t.s +. (t.baseline -. x -. t.k));
+    if t.s > t.h then begin
+      t.s <- 0.0;
+      true
+    end
+    else false
+
+  let statistic t = t.s
+end
+
+type alarm = { sample : int; kind : [ `Ewma | `Cusum ] }
+
+let scan ?ewma_alpha ~baseline_db ~sigma_db trace =
+  let ewma = Ewma.create ?alpha:ewma_alpha ~baseline_db ~sigma_db () in
+  let cusum = Cusum.create ~baseline_db ~sigma_db () in
+  let alarms = ref [] in
+  (* EWMA alarms only on the transition into the alarmed state, so a
+     long excursion produces one alarm, not thousands. *)
+  let ewma_active = ref false in
+  Array.iteri
+    (fun i x ->
+      let e = Ewma.observe ewma x in
+      if e && not !ewma_active then alarms := { sample = i; kind = `Ewma } :: !alarms;
+      ewma_active := e;
+      if Cusum.observe cusum x then
+        alarms := { sample = i; kind = `Cusum } :: !alarms)
+    trace;
+  List.rev !alarms
+
+let detection_delay alarms ~event_start =
+  let rec first = function
+    | [] -> None
+    | a :: rest ->
+        if a.sample >= event_start then Some (a.sample - event_start)
+        else first rest
+  in
+  first alarms

@@ -1,0 +1,65 @@
+(** Online SNR anomaly detection.
+
+    The adaptive policy of the paper reacts when the SNR has already
+    crossed a modulation threshold.  An operational deployment wants
+    earlier signals: detect that a link's SNR has {e shifted} (a
+    degradation under way) before it becomes a capacity change.  Two
+    standard online detectors over the 15-minute sample stream:
+
+    - {b EWMA}: an exponentially weighted moving average with control
+      limits; flags sustained drifts while ignoring sample noise.
+    - {b CUSUM}: the one-sided cumulative-sum test, optimal for
+      detecting a step change of known size; we run the downward side
+      (degradations) since upward shifts are harmless.
+
+    Both are constant-memory and deterministic, matching the streaming
+    collector pipeline. *)
+
+module Ewma : sig
+  type t
+
+  val create : ?alpha:float -> ?limit_sigma:float -> baseline_db:float -> sigma_db:float -> unit -> t
+  (** [alpha] (default 0.1) is the smoothing weight; the detector flags
+      when the average falls more than [limit_sigma] (default 4)
+      standard errors below the baseline.  [sigma_db] is the known
+      quiet-time sample standard deviation. *)
+
+  val observe : t -> float -> bool
+  (** Feed one sample; [true] when the smoothed level is below the
+      control limit (an active degradation). *)
+
+  val level : t -> float
+  (** Current smoothed estimate. *)
+end
+
+module Cusum : sig
+  type t
+
+  val create : ?k_sigma:float -> ?h_sigma:float -> baseline_db:float -> sigma_db:float -> unit -> t
+  (** Downward CUSUM with reference offset [k_sigma] (default 0.5) and
+      decision threshold [h_sigma] (default 8) in units of
+      [sigma_db]. *)
+
+  val observe : t -> float -> bool
+  (** Feed one sample; [true] exactly when the statistic crosses the
+      decision threshold (the alarm fires once and the statistic
+      resets, so persisting shifts re-alarm periodically). *)
+
+  val statistic : t -> float
+end
+
+type alarm = { sample : int; kind : [ `Ewma | `Cusum ] }
+
+val scan :
+  ?ewma_alpha:float ->
+  baseline_db:float ->
+  sigma_db:float ->
+  float array ->
+  alarm list
+(** Run both detectors over a whole trace, returning all alarms in
+    time order. *)
+
+val detection_delay :
+  alarm list -> event_start:int -> int option
+(** Samples between an event's onset and the first alarm at or after
+    it; [None] if no alarm followed. *)

@@ -1,0 +1,31 @@
+type window = { min : float; mean : float; max : float }
+
+let rollup trace ~every =
+  assert (every >= 1);
+  let n = Array.length trace in
+  if n = 0 then [||]
+  else begin
+    let n_windows = ((n - 1) / every) + 1 in
+    Array.init n_windows (fun w ->
+        let start = w * every in
+        let stop = min n (start + every) in
+        let mn = ref trace.(start)
+        and mx = ref trace.(start)
+        and sum = ref 0.0 in
+        for i = start to stop - 1 do
+          if trace.(i) < !mn then mn := trace.(i);
+          if trace.(i) > !mx then mx := trace.(i);
+          sum := !sum +. trace.(i)
+        done;
+        { min = !mn; mean = !sum /. float_of_int (stop - start); max = !mx })
+  end
+
+let mins ws = Array.map (fun w -> w.min) ws
+let means ws = Array.map (fun w -> w.mean) ws
+
+let feasible_gbps_conservative trace ~every =
+  let ws = rollup trace ~every in
+  if Array.length ws = 0 then 0
+  else
+    let hdr = Rwc_stats.Hdr.of_samples ~mass:0.95 (mins ws) in
+    Rwc_optical.Modulation.feasible_gbps hdr.Rwc_stats.Hdr.lo

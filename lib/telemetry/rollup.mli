@@ -1,0 +1,23 @@
+(** Telemetry roll-ups.
+
+    Long-term telemetry archives store aggregated windows, not raw
+    samples (the paper's own 15-minute series is already a device-side
+    aggregate).  A roll-up keeps each window's min / mean / max; the
+    min stream is what capacity feasibility must be computed from,
+    because a link must survive its worst moment, not its average.
+    The key property (tested): feasible capacity computed from rolled-up
+    minima is never more optimistic than from the raw samples. *)
+
+type window = { min : float; mean : float; max : float }
+
+val rollup : float array -> every:int -> window array
+(** Aggregate consecutive groups of [every] samples (the final window
+    may be smaller).  [every >= 1]; empty input gives an empty
+    result. *)
+
+val mins : window array -> float array
+val means : window array -> float array
+
+val feasible_gbps_conservative : float array -> every:int -> int
+(** Highest denomination supported by the HDR lower edge of the rolled
+    up min stream — never above the same statistic on raw samples. *)

@@ -1,0 +1,72 @@
+(** Stochastic SNR process for one optical wavelength.
+
+    The paper observes (Fig. 1, Fig. 2a) that a link's SNR is stable
+    within a narrow band almost all the time, with rare but dramatic
+    dips: the 95% HDR is under 2 dB for 83% of links while the max-min
+    range averages ~12 dB.  We model this as:
+
+    - an AR(1) wander around a per-link baseline (narrow HDR);
+    - Poisson-arriving {e shallow dips} (amplifier wobble, maintenance
+      touching the line) with exponential depths and hours-long
+      durations;
+    - Poisson-arriving {e deep events} that pull the SNR down to a
+      small residual — sometimes all the way to loss of light (fiber
+      cut, hardware off) — producing the long range tail and the
+      failure population of Fig. 3/4. *)
+
+type dip = {
+  start : int;  (** Sample index. *)
+  duration : int;  (** In samples; at least 1. *)
+  floor_db : float;
+      (** SNR the dip pulls down to (absolute, not relative); 0 models
+          loss of light. *)
+}
+
+type params = {
+  baseline_db : float;  (** Long-run SNR level. *)
+  wander : Rwc_stats.Timeseries.ar1;
+      (** Mean must equal [baseline_db]; keeps quiet-time HDR narrow. *)
+  shallow_rate_per_year : float;  (** Arrival rate of shallow dips. *)
+  shallow_depth_mean_db : float;  (** Exponential mean depth below baseline. *)
+  shallow_duration_mean_h : float;
+  deep_rate_per_year : float;  (** Arrival rate of deep events. *)
+  deep_loss_of_light_prob : float;
+      (** Probability a deep event takes the light out entirely. *)
+  deep_duration_mean_h : float;
+  diurnal_amplitude_db : float;
+      (** Peak amplitude of a sinusoidal daily component (temperature-
+          driven amplifier gain variation).  0 (the calibrated default)
+          disables it; production fibers show up to a few tenths of a
+          dB. *)
+}
+
+val default_params : ?wander_sigma:float -> baseline_db:float -> unit -> params
+(** Fleet-calibrated defaults (see DESIGN.md section 5).
+    [wander_sigma] is the AR(1) innovation standard deviation (default
+    0.08, i.e. a stationary sigma of ~0.33 dB). *)
+
+val sample_interval_s : float
+(** 900 s: the paper's 15-minute polling interval. *)
+
+val samples_per_year : int
+
+val generate :
+  Rwc_stats.Rng.t -> params -> years:float -> float array * dip list
+(** [generate rng p ~years] returns the SNR trace (one sample per
+    15 minutes) and the dip events that were overlaid on it.  SNR is
+    clamped at 0 dB, which downstream analysis treats as loss of
+    light. *)
+
+val generate_correlated :
+  Rwc_stats.Rng.t ->
+  params ->
+  n_lambdas:int ->
+  correlation:float ->
+  years:float ->
+  float array array
+(** Traces for [n_lambdas] wavelengths of ONE fiber (the paper's
+    Figure 1 situation): the cable's dips and a [correlation]-weighted
+    share of the wander are common to all wavelengths, the rest is
+    per-wavelength.  [correlation] in [0, 1]: 1 = the wavelengths move
+    in lockstep, 0 = independent wander (dips remain shared — a fiber
+    event hits every wavelength regardless). *)

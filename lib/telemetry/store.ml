@@ -1,0 +1,110 @@
+let write_trace_csv path trace =
+  let oc = open_out path in
+  (try
+     output_string oc "sample,snr_db\n";
+     Array.iteri (fun i v -> Printf.fprintf oc "%d,%.6f\n" i v) trace
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let read_trace_csv path =
+  try
+    let ic = open_in path in
+    let result =
+      try
+        let header = input_line ic in
+        if header <> "sample,snr_db" then Error "bad CSV header"
+        else begin
+          let values = ref [] in
+          (try
+             while true do
+               let line = input_line ic in
+               match String.split_on_char ',' line with
+               | [ _; v ] -> values := float_of_string v :: !values
+               | _ -> failwith "bad row"
+             done
+           with End_of_file -> ());
+          Ok (Array.of_list (List.rev !values))
+        end
+      with Failure msg -> Error msg
+    in
+    close_in_noerr ic;
+    result
+  with Sys_error msg -> Error msg
+
+let magic = "RWC1"
+
+let write_trace_binary path trace =
+  let oc = open_out_bin path in
+  (try
+     output_string oc magic;
+     let len = Bytes.create 8 in
+     Bytes.set_int64_le len 0 (Int64.of_int (Array.length trace));
+     output_bytes oc len;
+     let buf = Bytes.create 8 in
+     Array.iter
+       (fun v ->
+         Bytes.set_int64_le buf 0 (Int64.bits_of_float v);
+         output_bytes oc buf)
+       trace
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let read_trace_binary path =
+  try
+    let ic = open_in_bin path in
+    let result =
+      try
+        let m = really_input_string ic 4 in
+        if m <> magic then Error "bad magic"
+        else begin
+          let len_bytes = Bytes.create 8 in
+          really_input ic len_bytes 0 8;
+          let n = Int64.to_int (Bytes.get_int64_le len_bytes 0) in
+          if n < 0 || n > 100_000_000 then Error "implausible length"
+          else begin
+            let buf = Bytes.create 8 in
+            let out =
+              Array.init n (fun _ ->
+                  really_input ic buf 0 8;
+                  Int64.float_of_bits (Bytes.get_int64_le buf 0))
+            in
+            Ok out
+          end
+        end
+      with End_of_file -> Error "truncated file"
+    in
+    close_in_noerr ic;
+    result
+  with Sys_error msg -> Error msg
+
+let export_fleet_csv ?max_links fleet ~dir =
+  let manifest = open_out (Filename.concat dir "manifest.csv") in
+  output_string manifest "file,cable,lambda,route_km,baseline_db\n";
+  let written = ref 0 in
+  (try
+     Array.iter
+       (fun link ->
+         let keep =
+           match max_links with Some m -> !written < m | None -> true
+         in
+         if keep then begin
+           let name =
+             Printf.sprintf "cable%02d_lambda%02d.csv" link.Fleet.cable
+               link.Fleet.index
+           in
+           write_trace_csv (Filename.concat dir name) (Fleet.trace fleet link);
+           Printf.fprintf manifest "%s,%d,%d,%.1f,%.2f\n" name link.Fleet.cable
+             link.Fleet.index link.Fleet.route_km
+             link.Fleet.params.Snr_model.baseline_db;
+           incr written
+         end)
+       (Fleet.links fleet)
+   with e ->
+     close_out_noerr manifest;
+     raise e);
+  close_out manifest;
+  !written

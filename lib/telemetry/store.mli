@@ -1,0 +1,24 @@
+(** Trace persistence.
+
+    Generated telemetry is expensive to recompute (2000 links x 87k
+    samples), and downstream users want to plot it with external tools;
+    this module writes traces as CSV (interoperable) or a compact
+    binary format (fast reload), both round-trip exact. *)
+
+val write_trace_csv : string -> float array -> unit
+(** Two columns (sample index, snr_db) with a header row. *)
+
+val read_trace_csv : string -> (float array, string) result
+
+val write_trace_binary : string -> float array -> unit
+(** Magic "RWC1" + little-endian length + IEEE-754 doubles. *)
+
+val read_trace_binary : string -> (float array, string) result
+(** Validates the magic and length; never raises on malformed input. *)
+
+val export_fleet_csv :
+  ?max_links:int -> Fleet.t -> dir:string -> int
+(** Write each link's trace as [cable<c>_lambda<i>.csv] under [dir]
+    (which must exist) plus a [manifest.csv] with per-link metadata
+    (cable, index, route km, baseline dB).  Stops after [max_links]
+    if given; returns the number of traces written. *)

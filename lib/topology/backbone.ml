@@ -1,0 +1,118 @@
+type city = { name : string; lat : float; lon : float; population_m : float }
+
+type duct = { a : int; b : int; route_km : float }
+
+type t = { cities : city array; ducts : duct array }
+
+let cities =
+  [|
+    { name = "Seattle"; lat = 47.61; lon = -122.33; population_m = 4.0 };
+    { name = "Portland"; lat = 45.52; lon = -122.68; population_m = 2.5 };
+    { name = "SanFrancisco"; lat = 37.77; lon = -122.42; population_m = 4.7 };
+    { name = "LosAngeles"; lat = 34.05; lon = -118.24; population_m = 13.2 };
+    { name = "SanDiego"; lat = 32.72; lon = -117.16; population_m = 3.3 };
+    { name = "Phoenix"; lat = 33.45; lon = -112.07; population_m = 4.9 };
+    { name = "LasVegas"; lat = 36.17; lon = -115.14; population_m = 2.3 };
+    { name = "SaltLakeCity"; lat = 40.76; lon = -111.89; population_m = 1.2 };
+    { name = "Denver"; lat = 39.74; lon = -104.99; population_m = 3.0 };
+    { name = "Albuquerque"; lat = 35.08; lon = -106.65; population_m = 0.9 };
+    { name = "Dallas"; lat = 32.78; lon = -96.80; population_m = 7.6 };
+    { name = "Houston"; lat = 29.76; lon = -95.37; population_m = 7.1 };
+    { name = "KansasCity"; lat = 39.10; lon = -94.58; population_m = 2.2 };
+    { name = "Minneapolis"; lat = 44.98; lon = -93.27; population_m = 3.7 };
+    { name = "Chicago"; lat = 41.88; lon = -87.63; population_m = 9.5 };
+    { name = "StLouis"; lat = 38.63; lon = -90.20; population_m = 2.8 };
+    { name = "Nashville"; lat = 36.16; lon = -86.78; population_m = 2.0 };
+    { name = "Atlanta"; lat = 33.75; lon = -84.39; population_m = 6.1 };
+    { name = "Miami"; lat = 25.76; lon = -80.19; population_m = 6.2 };
+    { name = "Charlotte"; lat = 35.23; lon = -80.84; population_m = 2.7 };
+    { name = "WashingtonDC"; lat = 38.91; lon = -77.04; population_m = 6.3 };
+    { name = "NewYork"; lat = 40.71; lon = -74.01; population_m = 19.8 };
+    { name = "Boston"; lat = 42.36; lon = -71.06; population_m = 4.9 };
+    { name = "Cleveland"; lat = 41.50; lon = -81.69; population_m = 2.1 };
+  |]
+
+let adjacency =
+  (* Each pair is a fiber duct; indices refer to [cities]. *)
+  [
+    (0, 1); (0, 7); (0, 13); (1, 2);
+    (2, 3); (2, 6); (2, 7); (3, 4); (3, 5); (3, 6);
+    (4, 5); (5, 9); (6, 7); (7, 8);
+    (8, 9); (8, 12); (8, 13); (9, 10); (10, 11); (10, 12);
+    (10, 17); (11, 17); (11, 18); (12, 14); (12, 15);
+    (13, 14); (14, 15); (14, 23); (15, 16); (16, 17); (16, 19);
+    (17, 18); (17, 19); (18, 19); (19, 20); (20, 21); (20, 23);
+    (21, 22); (21, 23); (13, 22); (14, 16); (2, 0); (8, 10);
+  ]
+
+let earth_radius_km = 6371.0
+
+let great_circle_km c1 c2 =
+  let rad d = d *. Float.pi /. 180.0 in
+  let dlat = rad (c2.lat -. c1.lat) and dlon = rad (c2.lon -. c1.lon) in
+  let a =
+    (sin (dlat /. 2.0) ** 2.0)
+    +. (cos (rad c1.lat) *. cos (rad c2.lat) *. (sin (dlon /. 2.0) ** 2.0))
+  in
+  2.0 *. earth_radius_km *. atan2 (sqrt a) (sqrt (1.0 -. a))
+
+let fiber_detour_factor = 1.3
+
+let build_backbone cities adjacency =
+  let ducts =
+    List.map
+      (fun (a, b) ->
+        { a; b; route_km = fiber_detour_factor *. great_circle_km cities.(a) cities.(b) })
+      adjacency
+    |> Array.of_list
+  in
+  { cities; ducts }
+
+let north_america = build_backbone cities adjacency
+
+let europe_cities =
+  [|
+    { name = "London"; lat = 51.51; lon = -0.13; population_m = 14.3 };
+    { name = "Paris"; lat = 48.86; lon = 2.35; population_m = 13.0 };
+    { name = "Amsterdam"; lat = 52.37; lon = 4.90; population_m = 2.5 };
+    { name = "Frankfurt"; lat = 50.11; lon = 8.68; population_m = 2.7 };
+    { name = "Madrid"; lat = 40.42; lon = -3.70; population_m = 6.7 };
+    { name = "Barcelona"; lat = 41.39; lon = 2.17; population_m = 5.6 };
+    { name = "Marseille"; lat = 43.30; lon = 5.37; population_m = 1.8 };
+    { name = "Milan"; lat = 45.46; lon = 9.19; population_m = 4.3 };
+    { name = "Zurich"; lat = 47.37; lon = 8.54; population_m = 1.4 };
+    { name = "Munich"; lat = 48.14; lon = 11.58; population_m = 2.9 };
+    { name = "Berlin"; lat = 52.52; lon = 13.41; population_m = 4.5 };
+    { name = "Hamburg"; lat = 53.55; lon = 9.99; population_m = 2.5 };
+    { name = "Copenhagen"; lat = 55.68; lon = 12.57; population_m = 2.1 };
+    { name = "Stockholm"; lat = 59.33; lon = 18.07; population_m = 2.4 };
+    { name = "Warsaw"; lat = 52.23; lon = 21.01; population_m = 3.1 };
+    { name = "Vienna"; lat = 48.21; lon = 16.37; population_m = 2.9 };
+  |]
+
+let europe_adjacency =
+  [
+    (0, 1); (0, 2); (1, 2); (1, 5); (1, 6); (2, 3); (2, 11);
+    (3, 8); (3, 9); (3, 10); (3, 11); (4, 5); (4, 0); (5, 6);
+    (6, 7); (7, 8); (8, 9); (9, 15); (10, 11); (10, 14); (11, 12);
+    (12, 13); (13, 14); (14, 15);
+  ]
+
+let europe = build_backbone europe_cities europe_adjacency
+
+let n_cities t = Array.length t.cities
+
+let city_index t name =
+  let found = ref (-1) in
+  Array.iteri (fun i c -> if c.name = name then found := i) t.cities;
+  if !found < 0 then raise Not_found else !found
+
+let to_graph t ~capacity_of ~cost_of =
+  let g = Rwc_flow.Graph.create ~n:(n_cities t) in
+  Array.iter
+    (fun d ->
+      let capacity = capacity_of d and cost = cost_of d in
+      ignore (Rwc_flow.Graph.add_edge g ~src:d.a ~dst:d.b ~capacity ~cost d);
+      ignore (Rwc_flow.Graph.add_edge g ~src:d.b ~dst:d.a ~capacity ~cost d))
+    t.ducts;
+  g

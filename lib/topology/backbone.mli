@@ -1,0 +1,53 @@
+(** An embedded North-America-scale WAN backbone.
+
+    The paper's measurements come from a large optical backbone in
+    North America; its TE simulation needs a WAN-shaped graph with
+    realistic fiber-route lengths (route length drives the SNR budget
+    and hence which capacity upgrades are feasible).  This module
+    embeds a 24-city topology whose sites and adjacencies resemble
+    published continental backbones (Internet2 / large cloud WANs);
+    distances are great-circle route lengths inflated by a fiber
+    detour factor. *)
+
+type city = {
+  name : string;
+  lat : float;
+  lon : float;
+  population_m : float;  (** Metro population in millions, for gravity
+                             traffic matrices. *)
+}
+
+type duct = {
+  a : int;  (** City index. *)
+  b : int;
+  route_km : float;
+}
+
+type t = {
+  cities : city array;
+  ducts : duct array;  (** Undirected fiber ducts. *)
+}
+
+val north_america : t
+(** The embedded 24-node, 43-duct backbone. *)
+
+val europe : t
+(** A second embedded backbone (16 European metros, 24 ducts) — mainly
+    for checking that nothing in the library silently assumes the
+    North-American graph. *)
+
+val n_cities : t -> int
+val city_index : t -> string -> int
+(** Index by name; raises [Not_found] for unknown cities. *)
+
+val great_circle_km : city -> city -> float
+(** Haversine distance. *)
+
+val fiber_detour_factor : float
+(** Fiber follows roads and rails, not geodesics; routes are this
+    factor (1.3) longer than great-circle. *)
+
+val to_graph :
+  t -> capacity_of:(duct -> float) -> cost_of:(duct -> float) -> duct Rwc_flow.Graph.t
+(** Directed graph with one edge per duct direction, tagged with the
+    originating duct. *)

@@ -1,0 +1,120 @@
+let error line msg = Error (Printf.sprintf "line %d: %s" line msg)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let cities = ref [] in
+  let n_cities = ref 0 in
+  let ducts = ref [] in
+  let index_of name =
+    let rec find i = function
+      | [] -> None
+      | c :: rest ->
+          if c.Backbone.name = name then Some (!n_cities - 1 - i)
+          else find (i + 1) rest
+    in
+    find 0 !cities
+  in
+  let parse_float lineno what s =
+    match float_of_string_opt s with
+    | Some v -> Ok v
+    | None -> error lineno (Printf.sprintf "bad %s %S" what s)
+  in
+  let rec go lineno = function
+    | [] ->
+        if !n_cities = 0 then Error "no cities declared"
+        else
+          Ok
+            {
+              Backbone.cities = Array.of_list (List.rev !cities);
+              ducts = Array.of_list (List.rev !ducts);
+            }
+    | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let tokens =
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun t -> t <> "")
+        in
+        match tokens with
+        | [] -> go (lineno + 1) rest
+        | [ "city"; name; lat; lon; pop ] -> (
+            if index_of name <> None then
+              error lineno (Printf.sprintf "duplicate city %S" name)
+            else
+              match
+                (parse_float lineno "latitude" lat,
+                 parse_float lineno "longitude" lon,
+                 parse_float lineno "population" pop)
+              with
+              | Ok lat, Ok lon, Ok pop ->
+                  if lat < -90.0 || lat > 90.0 then error lineno "latitude out of range"
+                  else if lon < -180.0 || lon > 180.0 then
+                    error lineno "longitude out of range"
+                  else if pop <= 0.0 then error lineno "population must be positive"
+                  else begin
+                    cities :=
+                      { Backbone.name; lat; lon; population_m = pop } :: !cities;
+                    incr n_cities;
+                    go (lineno + 1) rest
+                  end
+              | (Error _ as e), _, _ | _, (Error _ as e), _ | _, _, (Error _ as e)
+                -> (match e with Error m -> Error m | Ok _ -> assert false))
+        | "duct" :: a :: b :: maybe_km -> (
+            match (index_of a, index_of b) with
+            | None, _ -> error lineno (Printf.sprintf "unknown city %S" a)
+            | _, None -> error lineno (Printf.sprintf "unknown city %S" b)
+            | Some ia, Some ib -> (
+                if ia = ib then error lineno "self-loop duct"
+                else
+                  let default_km () =
+                    let ca = List.nth (List.rev !cities) ia in
+                    let cb = List.nth (List.rev !cities) ib in
+                    Backbone.fiber_detour_factor *. Backbone.great_circle_km ca cb
+                  in
+                  match maybe_km with
+                  | [] ->
+                      ducts :=
+                        { Backbone.a = ia; b = ib; route_km = default_km () }
+                        :: !ducts;
+                      go (lineno + 1) rest
+                  | [ km ] -> (
+                      match parse_float lineno "route length" km with
+                      | Ok km when km > 0.0 ->
+                          ducts := { Backbone.a = ia; b = ib; route_km = km } :: !ducts;
+                          go (lineno + 1) rest
+                      | Ok _ -> error lineno "route length must be positive"
+                      | Error m -> Error m)
+                  | _ -> error lineno "too many fields for duct"))
+        | keyword :: _ ->
+            error lineno (Printf.sprintf "unknown declaration %S" keyword))
+  in
+  go 1 lines
+
+let parse_file path =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let content = really_input_string ic n in
+    close_in ic;
+    parse content
+  with Sys_error msg -> Error msg
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "city %s %.4f %.4f %.2f\n" c.Backbone.name c.Backbone.lat
+           c.Backbone.lon c.Backbone.population_m))
+    t.Backbone.cities;
+  Array.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "duct %s %s %.1f\n"
+           t.Backbone.cities.(d.Backbone.a).Backbone.name
+           t.Backbone.cities.(d.Backbone.b).Backbone.name d.Backbone.route_km))
+    t.Backbone.ducts;
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** Plain-text topology format, so users can run the library on their
+    own WANs without writing OCaml.
+
+    Format (one declaration per line; [#] starts a comment):
+
+    {v
+    city <name> <lat> <lon> <population_millions>
+    duct <city-a> <city-b> [route_km]
+    v}
+
+    Cities must be declared before ducts reference them.  When a duct
+    omits its route length it defaults to the great-circle distance
+    times the standard fiber detour factor, exactly like the embedded
+    backbones. *)
+
+val parse : string -> (Backbone.t, string) result
+(** Parse a topology from a string.  Errors carry the line number and
+    a description. *)
+
+val parse_file : string -> (Backbone.t, string) result
+
+val to_string : Backbone.t -> string
+(** Render a backbone in the same format ([parse (to_string t)]
+    round-trips). *)

@@ -1,0 +1,40 @@
+type demand = { src : int; dst : int; gbps : float }
+
+let gravity t ~total_gbps =
+  assert (total_gbps > 0.0);
+  let n = Backbone.n_cities t in
+  let pairs = ref [] in
+  let weight_sum = ref 0.0 in
+  for s = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      if s <> d then begin
+        let w =
+          t.Backbone.cities.(s).Backbone.population_m
+          *. t.Backbone.cities.(d).Backbone.population_m
+        in
+        weight_sum := !weight_sum +. w;
+        pairs := (s, d, w) :: !pairs
+      end
+    done
+  done;
+  List.rev_map
+    (fun (src, dst, w) -> { src; dst; gbps = total_gbps *. w /. !weight_sum })
+    !pairs
+
+let top_k demands k =
+  let sorted =
+    List.sort (fun a b -> Float.compare b.gbps a.gbps) demands
+  in
+  List.filteri (fun i _ -> i < k) sorted
+
+let perturb rng demands ~cv =
+  List.map
+    (fun d ->
+      { d with gbps = d.gbps *. Rwc_stats.Rng.lognormal_of_mean rng ~mean:1.0 ~cv })
+    demands
+
+let to_commodities demands =
+  Array.of_list
+    (List.map
+       (fun d -> { Rwc_flow.Multicommodity.src = d.src; dst = d.dst; demand = d.gbps })
+       demands)

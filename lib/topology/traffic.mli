@@ -1,0 +1,28 @@
+(** Gravity-model traffic matrices.
+
+    Inter-datacenter WAN demand is commonly modelled as proportional to
+    the product of endpoint sizes (the "gravity" assumption used in TE
+    studies including SWAN's).  Demands are scaled so the matrix's
+    total offered load is a chosen multiple of a reference capacity,
+    letting the simulation sweep from an underloaded to an overloaded
+    network. *)
+
+type demand = { src : int; dst : int; gbps : float }
+
+val gravity :
+  Backbone.t -> total_gbps:float -> demand list
+(** All ordered city pairs with demand proportional to
+    [population_m src * population_m dst], scaled so the sum equals
+    [total_gbps]. *)
+
+val top_k : demand list -> int -> demand list
+(** The [k] largest demands, preserving relative order by size
+    (descending). *)
+
+val perturb :
+  Rwc_stats.Rng.t -> demand list -> cv:float -> demand list
+(** Multiply every demand by an independent lognormal factor with mean
+    1 and the given coefficient of variation — models diurnal /
+    day-to-day churn between TE recomputations. *)
+
+val to_commodities : demand list -> Rwc_flow.Multicommodity.commodity array

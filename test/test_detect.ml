@@ -1,0 +1,133 @@
+open Rwc_telemetry
+
+(* A quiet trace at baseline 15 with sigma 0.3, a -2 dB shift injected
+   at sample 500. *)
+let shifted_trace ?(shift = -2.0) ?(at = 500) ?(n = 1000) seed =
+  let rng = Rwc_stats.Rng.create seed in
+  Array.init n (fun i ->
+      let mu = if i >= at then 15.0 +. shift else 15.0 in
+      Rwc_stats.Rng.gaussian rng ~mu ~sigma:0.3)
+
+let test_ewma_quiet_no_alarm () =
+  let trace = shifted_trace ~shift:0.0 1 in
+  let d = Detect.Ewma.create ~baseline_db:15.0 ~sigma_db:0.3 () in
+  let alarms = Array.fold_left (fun acc x -> if Detect.Ewma.observe d x then acc + 1 else acc) 0 trace in
+  Alcotest.(check int) "silent on a quiet link" 0 alarms
+
+let test_ewma_detects_shift () =
+  let trace = shifted_trace 2 in
+  let d = Detect.Ewma.create ~baseline_db:15.0 ~sigma_db:0.3 () in
+  let first = ref None in
+  Array.iteri
+    (fun i x ->
+      if Detect.Ewma.observe d x && !first = None then first := Some i)
+    trace;
+  match !first with
+  | None -> Alcotest.fail "missed a 6.7-sigma shift"
+  | Some i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fires shortly after onset (sample %d)" i)
+        true
+        (i >= 500 && i < 520)
+
+let test_ewma_level_tracks () =
+  let d = Detect.Ewma.create ~alpha:0.5 ~baseline_db:10.0 ~sigma_db:0.5 () in
+  ignore (Detect.Ewma.observe d 8.0);
+  Alcotest.(check (float 1e-9)) "level after one sample" 9.0 (Detect.Ewma.level d)
+
+let test_cusum_quiet_no_alarm () =
+  let trace = shifted_trace ~shift:0.0 3 in
+  let d = Detect.Cusum.create ~baseline_db:15.0 ~sigma_db:0.3 () in
+  let alarms = Array.fold_left (fun acc x -> if Detect.Cusum.observe d x then acc + 1 else acc) 0 trace in
+  Alcotest.(check int) "silent on a quiet link" 0 alarms
+
+let test_cusum_detects_and_resets () =
+  let trace = shifted_trace 4 in
+  let d = Detect.Cusum.create ~baseline_db:15.0 ~sigma_db:0.3 () in
+  let first = ref None in
+  Array.iteri
+    (fun i x ->
+      if Detect.Cusum.observe d x && !first = None then begin
+        first := Some i;
+        Alcotest.(check (float 1e-9)) "statistic reset on alarm" 0.0
+          (Detect.Cusum.statistic d)
+      end)
+    trace;
+  match !first with
+  | None -> Alcotest.fail "missed the shift"
+  | Some i -> Alcotest.(check bool) "fires quickly" true (i >= 500 && i < 510)
+
+let test_cusum_ignores_upward () =
+  let trace = shifted_trace ~shift:3.0 5 in
+  let d = Detect.Cusum.create ~baseline_db:15.0 ~sigma_db:0.3 () in
+  let alarms = Array.fold_left (fun acc x -> if Detect.Cusum.observe d x then acc + 1 else acc) 0 trace in
+  Alcotest.(check int) "upward shifts are harmless" 0 alarms
+
+let test_scan_orders_alarms () =
+  let trace = shifted_trace 6 in
+  let alarms = Detect.scan ~baseline_db:15.0 ~sigma_db:0.3 trace in
+  Alcotest.(check bool) "found some" true (alarms <> []);
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "time order" true
+          (b.Detect.sample >= a.Detect.sample);
+        sorted rest
+    | _ -> ()
+  in
+  sorted alarms;
+  (* Both detector kinds fire on a persistent 2 dB drop. *)
+  let kinds = List.sort_uniq compare (List.map (fun a -> a.Detect.kind) alarms) in
+  Alcotest.(check int) "both detectors" 2 (List.length kinds)
+
+let test_detection_delay () =
+  let trace = shifted_trace 7 in
+  let alarms = Detect.scan ~baseline_db:15.0 ~sigma_db:0.3 trace in
+  match Detect.detection_delay alarms ~event_start:500 with
+  | None -> Alcotest.fail "no alarm after onset"
+  | Some d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "delay %d samples (< 2.5 h)" d)
+        true (d >= 0 && d < 10)
+
+let test_detection_delay_none () =
+  Alcotest.(check bool) "no alarms" true
+    (Detect.detection_delay [] ~event_start:0 = None)
+
+let test_early_warning_beats_threshold () =
+  (* The operational motivation: a slow drift from 15 dB toward the
+     12.5 dB 200G threshold is flagged by CUSUM long before the link
+     would flap. *)
+  let rng = Rwc_stats.Rng.create 8 in
+  let n = 2000 in
+  let trace =
+    Array.init n (fun i ->
+        let drift = -3.0 *. float_of_int i /. float_of_int n in
+        Rwc_stats.Rng.gaussian rng ~mu:(15.0 +. drift) ~sigma:0.3)
+  in
+  let alarms = Detect.scan ~baseline_db:15.0 ~sigma_db:0.3 trace in
+  let first_alarm =
+    match alarms with a :: _ -> a.Detect.sample | [] -> max_int
+  in
+  (* When does the SNR actually cross 12.5? Drift hits -2.5 dB at
+     sample ~1667. *)
+  let crossing = ref n in
+  Array.iteri (fun i x -> if x < 12.5 && !crossing = n then crossing := i) trace;
+  Alcotest.(check bool)
+    (Printf.sprintf "alarm at %d well before crossing at %d" first_alarm !crossing)
+    true
+    (first_alarm < !crossing - 200)
+
+let suite =
+  [
+    Alcotest.test_case "ewma quiet" `Quick test_ewma_quiet_no_alarm;
+    Alcotest.test_case "ewma detects shift" `Quick test_ewma_detects_shift;
+    Alcotest.test_case "ewma level" `Quick test_ewma_level_tracks;
+    Alcotest.test_case "cusum quiet" `Quick test_cusum_quiet_no_alarm;
+    Alcotest.test_case "cusum detects and resets" `Quick test_cusum_detects_and_resets;
+    Alcotest.test_case "cusum ignores upward" `Quick test_cusum_ignores_upward;
+    Alcotest.test_case "scan orders alarms" `Quick test_scan_orders_alarms;
+    Alcotest.test_case "detection delay" `Quick test_detection_delay;
+    Alcotest.test_case "detection delay none" `Quick test_detection_delay_none;
+    Alcotest.test_case "early warning beats threshold" `Quick
+      test_early_warning_beats_threshold;
+  ]

@@ -1,0 +1,221 @@
+open Rwc_flow
+
+(* The textbook Suurballe example where the greedy choice (take the
+   shortest path, then the shortest remaining) is suboptimal or even
+   infeasible: the shortest path uses the only edge both disjoint
+   paths would need. *)
+
+let trap () =
+  (* 0 -> 1 -> 3 (cost 1+1 = 2, the shortest), 0 -> 2 -> 3 (2+2),
+     and the cross edges 0->3?  Build the classic: greedy takes
+     0-1-3; removing it leaves 0-2-3.  Both exist -> pair found. *)
+  let g = Graph.create ~n:4 in
+  let e01 = Graph.add_edge g ~src:0 ~dst:1 ~capacity:1.0 ~cost:1.0 () in
+  let e13 = Graph.add_edge g ~src:1 ~dst:3 ~capacity:1.0 ~cost:1.0 () in
+  let e02 = Graph.add_edge g ~src:0 ~dst:2 ~capacity:1.0 ~cost:2.0 () in
+  let e23 = Graph.add_edge g ~src:2 ~dst:3 ~capacity:1.0 ~cost:2.0 () in
+  (g, e01, e13, e02, e23)
+
+let test_simple_pair () =
+  let g, _, _, _, _ = trap () in
+  match Disjoint.shortest_pair g ~src:0 ~dst:3 with
+  | None -> Alcotest.fail "two disjoint paths exist"
+  | Some pair ->
+      Alcotest.(check bool) "disjoint" true (Disjoint.edge_disjoint pair);
+      Alcotest.(check (float 1e-9)) "total cost 2 + 4" 6.0 pair.Disjoint.total_cost;
+      Alcotest.(check (float 1e-9)) "primary is the cheap one" 2.0
+        (Shortest.path_cost g pair.Disjoint.primary)
+
+let test_interlaced_optimum () =
+  (* The case Suurballe exists for: the shortest path must be partially
+     abandoned.  Classic 6-node instance:
+       0->1 (1), 1->3 (1), 3->5 (1)   the shortest path, cost 3
+       0->2 (2), 2->3 (2)             left side
+       1->4 (2), 4->5 (2)             right side
+     Greedy takes 0-1-3-5; the remainder has NO disjoint path
+     (2->3 dead-ends into 3 whose out-edge is used, 1 is used).
+     The optimal pair interlaces: 0-1-4-5 and 0-2-3-5, total 10. *)
+  let g = Graph.create ~n:6 in
+  let add s d c = ignore (Graph.add_edge g ~src:s ~dst:d ~capacity:1.0 ~cost:c ()) in
+  add 0 1 1.0;
+  add 1 3 1.0;
+  add 3 5 1.0;
+  add 0 2 2.0;
+  add 2 3 2.0;
+  add 1 4 2.0;
+  add 4 5 2.0;
+  match Disjoint.shortest_pair g ~src:0 ~dst:5 with
+  | None -> Alcotest.fail "the interlaced pair exists"
+  | Some pair ->
+      Alcotest.(check bool) "disjoint" true (Disjoint.edge_disjoint pair);
+      Alcotest.(check (float 1e-9)) "optimal total" 10.0 pair.Disjoint.total_cost
+
+let test_no_pair_single_bridge () =
+  (* All connectivity crosses one bridge edge: no disjoint pair. *)
+  let g = Graph.create ~n:4 in
+  let add s d = ignore (Graph.add_edge g ~src:s ~dst:d ~capacity:1.0 ~cost:1.0 ()) in
+  add 0 1;
+  add 1 2;
+  (* bridge *)
+  add 2 3;
+  Alcotest.(check bool) "no pair over a bridge" true
+    (Disjoint.shortest_pair g ~src:0 ~dst:3 = None)
+
+let test_no_path_at_all () =
+  let g = Graph.create ~n:2 in
+  Alcotest.(check bool) "disconnected" true
+    (Disjoint.shortest_pair g ~src:0 ~dst:1 = None)
+
+let test_pair_on_backbone () =
+  let bb = Rwc_topology.Backbone.north_america in
+  let g =
+    Rwc_topology.Backbone.to_graph bb
+      ~capacity_of:(fun _ -> 400.0)
+      ~cost_of:(fun d -> d.Rwc_topology.Backbone.route_km)
+  in
+  let src = Rwc_topology.Backbone.city_index bb "NewYork" in
+  let dst = Rwc_topology.Backbone.city_index bb "LosAngeles" in
+  match Disjoint.shortest_pair g ~src ~dst with
+  | None -> Alcotest.fail "the NA backbone is 2-edge-connected NY->LA"
+  | Some pair ->
+      Alcotest.(check bool) "disjoint" true (Disjoint.edge_disjoint pair);
+      (* Primary at least the great-circle, at most one-and-a-half
+         planets. *)
+      let len = Shortest.path_cost g pair.Disjoint.primary in
+      Alcotest.(check bool)
+        (Printf.sprintf "primary %.0f km plausible" len)
+        true
+        (len > 3900.0 && len < 8000.0)
+
+let prop_pair_disjoint_and_bounded =
+  (* Wherever a pair exists: edge-disjoint, and total cost no better
+     than twice the single shortest path (sanity lower bound) and no
+     worse than any two greedily found disjoint paths. *)
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 4 8 in
+      let* edges =
+        list_size (int_range 6 20)
+          (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (int_range 1 9))
+      in
+      return (n, edges))
+  in
+  QCheck.Test.make ~count:200
+    ~name:"disjoint pair: edge-disjoint, cost >= 2x shortest"
+    (QCheck.make ~print:(fun (n, e) -> Printf.sprintf "n=%d m=%d" n (List.length e)) gen)
+    (fun (n, edges) ->
+      let g = Graph.create ~n in
+      List.iter
+        (fun (s, d, c) ->
+          if s <> d then
+            ignore
+              (Graph.add_edge g ~src:s ~dst:d ~capacity:1.0
+                 ~cost:(float_of_int c) ()))
+        edges;
+      match Disjoint.shortest_pair g ~src:0 ~dst:(n - 1) with
+      | None -> true
+      | Some pair ->
+          let sp =
+            match Shortest.dijkstra g ~src:0 ~dst:(n - 1) with
+            | Some p -> Shortest.path_cost g p
+            | None -> 0.0
+          in
+          Disjoint.edge_disjoint pair
+          && pair.Disjoint.total_cost >= (2.0 *. sp) -. 1e-9)
+
+(* --- lambda-granular simulation ------------------------------------------ *)
+
+let test_lambda_sim_high_correlation_close () =
+  (* At the paper's Fig. 1 correlation (~wavelengths in lockstep), the
+     simple per-duct controller captures almost all the capacity. *)
+  let per_lambda, per_duct =
+    Rwc_sim.Lambda_sim.compare_granularities ~seed:5 ~baseline_db:14.0
+      ~n_lambdas:8 ~correlation:0.9 ~years:0.5 ()
+  in
+  let ratio =
+    per_duct.Rwc_sim.Lambda_sim.mean_capacity_gbps
+    /. per_lambda.Rwc_sim.Lambda_sim.mean_capacity_gbps
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-duct captures %.1f%%" (100.0 *. ratio))
+    true (ratio > 0.9);
+  Alcotest.(check bool) "per-wavelength never worse" true (ratio <= 1.0 +. 1e-9)
+
+let test_lambda_sim_low_correlation_gap () =
+  (* With independent wavelengths the worst-of-N tracking costs more. *)
+  let hi_l, hi_d =
+    Rwc_sim.Lambda_sim.compare_granularities ~seed:6 ~baseline_db:14.0
+      ~n_lambdas:8 ~correlation:0.95 ~years:0.5 ()
+  in
+  let lo_l, lo_d =
+    Rwc_sim.Lambda_sim.compare_granularities ~seed:6 ~baseline_db:14.0
+      ~n_lambdas:8 ~correlation:0.0 ~years:0.5 ()
+  in
+  let gap (l, d) =
+    1.0
+    -. (d.Rwc_sim.Lambda_sim.mean_capacity_gbps
+       /. l.Rwc_sim.Lambda_sim.mean_capacity_gbps)
+  in
+  Alcotest.(check bool) "gap grows as correlation drops" true
+    (gap (lo_l, lo_d) >= gap (hi_l, hi_d) -. 0.01)
+
+let test_lambda_sim_capacity_bounds () =
+  let o =
+    Rwc_sim.Lambda_sim.simulate ~seed:7 ~baseline_db:16.0 ~n_lambdas:4
+      ~correlation:0.8 ~years:0.2 Rwc_sim.Lambda_sim.Per_wavelength
+  in
+  Alcotest.(check bool) "within hardware bounds" true
+    (o.Rwc_sim.Lambda_sim.mean_capacity_gbps >= 0.0
+    && o.Rwc_sim.Lambda_sim.mean_capacity_gbps <= 4.0 *. 200.0);
+  Alcotest.(check int) "wavelength count" 4 o.Rwc_sim.Lambda_sim.wavelength_count
+
+let test_correlated_generation_shape () =
+  let p = Rwc_telemetry.Snr_model.default_params ~baseline_db:15.0 () in
+  let traces =
+    Rwc_telemetry.Snr_model.generate_correlated
+      (Rwc_stats.Rng.create 8)
+      p ~n_lambdas:5 ~correlation:0.7 ~years:0.1
+  in
+  Alcotest.(check int) "five traces" 5 (Array.length traces);
+  let n = Array.length traces.(0) in
+  Array.iter
+    (fun t -> Alcotest.(check int) "same length" n (Array.length t))
+    traces;
+  Array.iter
+    (Array.iter (fun v -> Alcotest.(check bool) "non-negative" true (v >= 0.0)))
+    traces
+
+let test_correlated_more_similar_when_correlated () =
+  let p = Rwc_telemetry.Snr_model.default_params ~baseline_db:15.0 () in
+  let mean_abs_diff correlation =
+    let traces =
+      Rwc_telemetry.Snr_model.generate_correlated
+        (Rwc_stats.Rng.create 9)
+        p ~n_lambdas:2 ~correlation ~years:0.2
+    in
+    let total = ref 0.0 in
+    Array.iteri
+      (fun i v -> total := !total +. Float.abs (v -. traces.(1).(i)))
+      traces.(0);
+    !total /. float_of_int (Array.length traces.(0))
+  in
+  Alcotest.(check bool) "correlation tightens wavelengths" true
+    (mean_abs_diff 0.95 < mean_abs_diff 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "simple pair" `Quick test_simple_pair;
+    Alcotest.test_case "interlaced optimum" `Quick test_interlaced_optimum;
+    Alcotest.test_case "no pair over bridge" `Quick test_no_pair_single_bridge;
+    Alcotest.test_case "no path at all" `Quick test_no_path_at_all;
+    Alcotest.test_case "pair on backbone" `Quick test_pair_on_backbone;
+    QCheck_alcotest.to_alcotest prop_pair_disjoint_and_bounded;
+    Alcotest.test_case "lambda sim: high correlation" `Quick
+      test_lambda_sim_high_correlation_close;
+    Alcotest.test_case "lambda sim: low correlation gap" `Quick
+      test_lambda_sim_low_correlation_gap;
+    Alcotest.test_case "lambda sim: capacity bounds" `Quick test_lambda_sim_capacity_bounds;
+    Alcotest.test_case "correlated generation shape" `Quick test_correlated_generation_shape;
+    Alcotest.test_case "correlated similarity" `Quick
+      test_correlated_more_similar_when_correlated;
+  ]

@@ -1,0 +1,147 @@
+(* Tests for the operational extensions: single-path TE over the
+   gadget, and the maintenance-window scheduler. *)
+
+open Rwc_core
+module Graph = Rwc_flow.Graph
+
+(* Two parallel routes 0->1: a direct upgradable link (100 + 100
+   headroom) and a fixed two-hop detour of 150. *)
+let two_route () =
+  let g = Graph.create ~n:3 in
+  let direct = Graph.add_edge g ~src:0 ~dst:1 ~capacity:100.0 ~cost:1.0 () in
+  let _a = Graph.add_edge g ~src:0 ~dst:2 ~capacity:150.0 ~cost:1.0 () in
+  let _b = Graph.add_edge g ~src:2 ~dst:1 ~capacity:150.0 ~cost:1.0 () in
+  let headroom e = if e = direct then 100.0 else 0.0 in
+  (g, direct, headroom)
+
+let test_unsplit_uses_replacement () =
+  let g, direct, headroom = two_route () in
+  let gad = Gadget.build ~headroom ~penalty:(Penalty.Uniform 5.0) g in
+  (* A 180 Gbps tunnel fits on no single real path (100 and 150), only
+     on the 200 Gbps replacement edge. *)
+  let r = Unsplit_te.route gad [ { Unsplit_te.src = 0; dst = 1; gbps = 180.0 } ] in
+  Alcotest.(check (float 1e-9)) "placed" 180.0 r.Unsplit_te.placed_gbps;
+  (match r.Unsplit_te.upgrades with
+  | [ (phys, amount) ] ->
+      Alcotest.(check int) "upgrades the direct link" direct phys;
+      Alcotest.(check (float 1e-9)) "carries the tunnel" 180.0 amount
+  | l -> Alcotest.failf "expected one upgrade, got %d" (List.length l));
+  match r.Unsplit_te.placements with
+  | [ { Unsplit_te.path = Some _; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a concrete path"
+
+let test_unsplit_prefers_cheap_real_path () =
+  let g, _, headroom = two_route () in
+  let gad = Gadget.build ~headroom ~penalty:(Penalty.Uniform 5.0) g in
+  (* An 80 Gbps tunnel fits on the real direct edge; the penalized
+     replacement must not be used. *)
+  let r = Unsplit_te.route gad [ { Unsplit_te.src = 0; dst = 1; gbps = 80.0 } ] in
+  Alcotest.(check (float 1e-9)) "placed" 80.0 r.Unsplit_te.placed_gbps;
+  Alcotest.(check int) "no upgrade" 0 (List.length r.Unsplit_te.upgrades)
+
+let test_unsplit_sequential_residual () =
+  let g, _, headroom = two_route () in
+  let gad = Gadget.build ~headroom ~penalty:(Penalty.Uniform 5.0) g in
+  let t gbps = { Unsplit_te.src = 0; dst = 1; gbps } in
+  (* Three tunnels of 100: replacement (200) takes two, detour one. *)
+  let r = Unsplit_te.route gad [ t 100.0; t 100.0; t 100.0 ] in
+  Alcotest.(check (float 1e-9)) "all placed" 300.0 r.Unsplit_te.placed_gbps;
+  (* A fourth cannot fit anywhere. *)
+  let r4 = Unsplit_te.route gad [ t 100.0; t 100.0; t 100.0; t 100.0 ] in
+  Alcotest.(check (float 1e-9)) "fourth rejected" 300.0 r4.Unsplit_te.placed_gbps;
+  let unplaced =
+    List.filter (fun p -> p.Unsplit_te.path = None) r4.Unsplit_te.placements
+  in
+  Alcotest.(check int) "exactly one unplaced" 1 (List.length unplaced)
+
+let test_unsplit_oversized_tunnel () =
+  let g, _, headroom = two_route () in
+  let gad = Gadget.build ~headroom ~penalty:Penalty.Zero g in
+  let r = Unsplit_te.route gad [ { Unsplit_te.src = 0; dst = 1; gbps = 500.0 } ] in
+  Alcotest.(check (float 1e-9)) "nothing placed" 0.0 r.Unsplit_te.placed_gbps
+
+(* --- scheduler ------------------------------------------------------------ *)
+
+let test_diurnal_profile_shape () =
+  Alcotest.(check (float 1e-9)) "trough at 4am" 0.55 (Scheduler.diurnal_profile 4);
+  Alcotest.(check (float 1e-9)) "peak at 4pm" 1.45 (Scheduler.diurnal_profile 16);
+  let mean =
+    List.fold_left
+      (fun acc h -> acc +. Scheduler.diurnal_profile h)
+      0.0
+      (List.init 24 Fun.id)
+    /. 24.0
+  in
+  Alcotest.(check (float 1e-9)) "daily mean is 1" 1.0 mean;
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "positive" true (Scheduler.diurnal_profile h > 0.0))
+    (List.init 24 Fun.id)
+
+let upgrades_fixture =
+  [
+    { Translate.phys_edge = 0; extra_gbps = 100.0; penalty_paid = 0.0 };
+    { Translate.phys_edge = 2; extra_gbps = 50.0; penalty_paid = 0.0 };
+  ]
+
+let test_disruption_scales_with_profile () =
+  let duct_flow = [| 200.0; 0.0; 100.0 |] in
+  let at h =
+    Scheduler.disruption_at ~hour:h ~traffic_profile:Scheduler.diurnal_profile
+      ~duct_flow ~upgrades:upgrades_fixture ~downtime_s:68.0
+  in
+  (* (200 + 100) Gbps x 68 s x factor. *)
+  Alcotest.(check (float 1e-6)) "trough" (300.0 *. 68.0 *. 0.55) (at 4);
+  Alcotest.(check (float 1e-6)) "peak" (300.0 *. 68.0 *. 1.45) (at 16)
+
+let test_best_window_is_trough () =
+  let duct_flow = [| 200.0; 0.0; 100.0 |] in
+  let best, worst =
+    Scheduler.best_window ~traffic_profile:Scheduler.diurnal_profile ~duct_flow
+      ~upgrades:upgrades_fixture ~downtime_s:68.0
+  in
+  Alcotest.(check int) "best at the trough" 4 best.Scheduler.start_hour;
+  Alcotest.(check int) "worst at the peak" 16 worst.Scheduler.start_hour;
+  Alcotest.(check bool) "best < worst" true
+    (best.Scheduler.disrupted_gbit < worst.Scheduler.disrupted_gbit)
+
+let test_efficient_bvt_makes_window_moot () =
+  let duct_flow = [| 200.0; 0.0; 100.0 |] in
+  let best_stock, worst_stock =
+    Scheduler.best_window ~traffic_profile:Scheduler.diurnal_profile ~duct_flow
+      ~upgrades:upgrades_fixture ~downtime_s:68.0
+  in
+  let _, worst_eff =
+    Scheduler.best_window ~traffic_profile:Scheduler.diurnal_profile ~duct_flow
+      ~upgrades:upgrades_fixture ~downtime_s:0.035
+  in
+  (* With the efficient BVT even the WORST window disrupts less than
+     the stock BVT's best window: Section 3.1's fix removes the need
+     for maintenance scheduling altogether. *)
+  Alcotest.(check bool) "efficient worst << stock best" true
+    (worst_eff.Scheduler.disrupted_gbit
+    < best_stock.Scheduler.disrupted_gbit /. 100.0);
+  ignore worst_stock
+
+let test_no_upgrades_no_disruption () =
+  let best, worst =
+    Scheduler.best_window ~traffic_profile:Scheduler.diurnal_profile
+      ~duct_flow:[| 100.0 |] ~upgrades:[] ~downtime_s:68.0
+  in
+  Alcotest.(check (float 1e-9)) "zero" 0.0 best.Scheduler.disrupted_gbit;
+  Alcotest.(check (float 1e-9)) "zero" 0.0 worst.Scheduler.disrupted_gbit
+
+let suite =
+  [
+    Alcotest.test_case "unsplit uses replacement" `Quick test_unsplit_uses_replacement;
+    Alcotest.test_case "unsplit prefers real path" `Quick test_unsplit_prefers_cheap_real_path;
+    Alcotest.test_case "unsplit sequential residual" `Quick test_unsplit_sequential_residual;
+    Alcotest.test_case "unsplit oversized tunnel" `Quick test_unsplit_oversized_tunnel;
+    Alcotest.test_case "diurnal profile shape" `Quick test_diurnal_profile_shape;
+    Alcotest.test_case "disruption scales with profile" `Quick
+      test_disruption_scales_with_profile;
+    Alcotest.test_case "best window is trough" `Quick test_best_window_is_trough;
+    Alcotest.test_case "efficient bvt makes window moot" `Quick
+      test_efficient_bvt_makes_window_moot;
+    Alcotest.test_case "no upgrades no disruption" `Quick test_no_upgrades_no_disruption;
+  ]

@@ -1,0 +1,134 @@
+open Rwc_core
+module Graph = Rwc_flow.Graph
+
+(* Line topology 0 -> 1 -> 2 with a 30-capacity bottleneck 0->1. *)
+let line () =
+  let g = Graph.create ~n:3 in
+  let e01 = Graph.add_edge g ~src:0 ~dst:1 ~capacity:30.0 ~cost:0.0 () in
+  let e12 = Graph.add_edge g ~src:1 ~dst:2 ~capacity:100.0 ~cost:0.0 () in
+  (g, e01, e12)
+
+let test_equal_split () =
+  let g, e01, _ = line () in
+  let flows =
+    [
+      { Fairness.path = [ e01 ]; demand = 100.0 };
+      { Fairness.path = [ e01 ]; demand = 100.0 };
+      { Fairness.path = [ e01 ]; demand = 100.0 };
+    ]
+  in
+  let a = Fairness.allocate g flows in
+  Array.iter
+    (fun r -> Alcotest.(check (float 1e-6)) "10 each" 10.0 r)
+    a.Fairness.rates;
+  Array.iter
+    (fun b -> Alcotest.(check bool) "bottlenecked on e01" true (b = Some e01))
+    a.Fairness.bottleneck;
+  Alcotest.(check bool) "verifier agrees" true (Fairness.is_max_min_fair g flows a)
+
+let test_small_demand_released () =
+  (* The classic: one small flow takes its demand, the rest split the
+     remainder evenly. *)
+  let g, e01, _ = line () in
+  let flows =
+    [
+      { Fairness.path = [ e01 ]; demand = 4.0 };
+      { Fairness.path = [ e01 ]; demand = 100.0 };
+      { Fairness.path = [ e01 ]; demand = 100.0 };
+    ]
+  in
+  let a = Fairness.allocate g flows in
+  Alcotest.(check (float 1e-6)) "small gets demand" 4.0 a.Fairness.rates.(0);
+  Alcotest.(check (float 1e-6)) "big splits remainder" 13.0 a.Fairness.rates.(1);
+  Alcotest.(check (float 1e-6)) "big splits remainder" 13.0 a.Fairness.rates.(2);
+  Alcotest.(check bool) "small capped by demand" true
+    (a.Fairness.bottleneck.(0) = None);
+  Alcotest.(check bool) "verifier agrees" true (Fairness.is_max_min_fair g flows a)
+
+let test_multi_bottleneck () =
+  (* Two-hop flow shares each hop with a one-hop flow; capacities 30
+     and 20: the classic multi-bottleneck instance. *)
+  let g, e01, e12 = line () in
+  ignore e12;
+  let g2 = Graph.create ~n:3 in
+  let a01 = Graph.add_edge g2 ~src:0 ~dst:1 ~capacity:30.0 ~cost:0.0 () in
+  let a12 = Graph.add_edge g2 ~src:1 ~dst:2 ~capacity:20.0 ~cost:0.0 () in
+  let flows =
+    [
+      { Fairness.path = [ a01; a12 ]; demand = 100.0 };  (* long *)
+      { Fairness.path = [ a01 ]; demand = 100.0 };  (* hop 1 *)
+      { Fairness.path = [ a12 ]; demand = 100.0 };  (* hop 2 *)
+    ]
+  in
+  let a = Fairness.allocate g2 flows in
+  (* Long flow and hop-2 flow split the 20-edge at 10 each; hop-1 flow
+     then grows to 30 - 10 = 20 on the 30-edge. *)
+  Alcotest.(check (float 1e-6)) "long flow" 10.0 a.Fairness.rates.(0);
+  Alcotest.(check (float 1e-6)) "hop-1 flow" 20.0 a.Fairness.rates.(1);
+  Alcotest.(check (float 1e-6)) "hop-2 flow" 10.0 a.Fairness.rates.(2);
+  Alcotest.(check bool) "verifier agrees" true
+    (Fairness.is_max_min_fair g2 flows a);
+  ignore (g, e01)
+
+let test_no_flows () =
+  let g, _, _ = line () in
+  let a = Fairness.allocate g [] in
+  Alcotest.(check int) "empty" 0 (Array.length a.Fairness.rates)
+
+let prop_max_min_fair_on_random_instances =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 3 6 in
+      let* m = int_range 3 10 in
+      let* edges =
+        list_repeat m
+          (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (int_range 5 40))
+      in
+      let* k = int_range 1 5 in
+      let* picks = list_repeat k (pair (int_range 0 1000) (int_range 1 60)) in
+      return (n, edges, picks))
+  in
+  QCheck.Test.make ~count:200 ~name:"fairness: allocation is max-min fair"
+    (QCheck.make
+       ~print:(fun (n, e, p) ->
+         Printf.sprintf "n=%d m=%d k=%d" n (List.length e) (List.length p))
+       gen)
+    (fun (n, edges, picks) ->
+      let g = Graph.create ~n in
+      List.iter
+        (fun (s, d, c) ->
+          if s <> d then
+            ignore
+              (Graph.add_edge g ~src:s ~dst:d ~capacity:(float_of_int c)
+                 ~cost:1.0 ()))
+        edges;
+      if Graph.n_edges g = 0 then true
+      else begin
+        (* Random flows over shortest paths between random reachable
+           pairs. *)
+        let flows =
+          List.filter_map
+            (fun (seed, demand) ->
+              let src = seed mod n and dst = (seed / 7) mod n in
+              if src = dst then None
+              else
+                match Rwc_flow.Shortest.dijkstra g ~src ~dst with
+                | Some path when path <> [] ->
+                    Some { Fairness.path; demand = float_of_int demand }
+                | Some _ | None -> None)
+            picks
+        in
+        if flows = [] then true
+        else
+          let a = Fairness.allocate g flows in
+          Fairness.is_max_min_fair g flows a
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "equal split" `Quick test_equal_split;
+    Alcotest.test_case "small demand released" `Quick test_small_demand_released;
+    Alcotest.test_case "multi bottleneck" `Quick test_multi_bottleneck;
+    Alcotest.test_case "no flows" `Quick test_no_flows;
+    QCheck_alcotest.to_alcotest prop_max_min_fair_on_random_instances;
+  ]

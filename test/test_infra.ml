@@ -1,0 +1,307 @@
+(* Tests for the operational-infrastructure substrates: the upgrade
+   orchestrator, the WDM line system, trace persistence and the lossy
+   telemetry collector. *)
+
+module Ls = Rwc_optical.Line_system
+
+(* --- orchestrator ------------------------------------------------------ *)
+
+let upgrades =
+  [
+    { Rwc_core.Translate.phys_edge = 0; extra_gbps = 100.0; penalty_paid = 0.0 };
+    { Rwc_core.Translate.phys_edge = 3; extra_gbps = 50.0; penalty_paid = 0.0 };
+  ]
+
+let test_orchestrator_sequencing () =
+  let rng = Rwc_stats.Rng.create 1 in
+  let o =
+    Rwc_sim.Orchestrator.execute ~rng ~upgrades
+      ~residual_flow:(fun _ -> 0.0)
+      ~downtime_mean_s:68.0 ()
+  in
+  (* Each link contributes exactly three phases in order, links
+     strictly serialized. *)
+  let phases = List.map (fun e -> (e.Rwc_sim.Orchestrator.phys_edge, e.Rwc_sim.Orchestrator.phase)) o.Rwc_sim.Orchestrator.log in
+  Alcotest.(check bool) "exact phase sequence" true
+    (phases
+    = [
+        (0, Rwc_sim.Orchestrator.Drain_started);
+        (0, Rwc_sim.Orchestrator.Reconfigure_started);
+        (0, Rwc_sim.Orchestrator.Restored);
+        (3, Rwc_sim.Orchestrator.Drain_started);
+        (3, Rwc_sim.Orchestrator.Reconfigure_started);
+        (3, Rwc_sim.Orchestrator.Restored);
+      ]);
+  (* Timestamps are non-decreasing. *)
+  let times = List.map (fun e -> e.Rwc_sim.Orchestrator.time_s) o.Rwc_sim.Orchestrator.log in
+  let rec mono = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "monotone clock" true (b >= a);
+        mono rest
+    | _ -> ()
+  in
+  mono times;
+  Alcotest.(check int) "reconfig count" 2 o.Rwc_sim.Orchestrator.reconfigurations;
+  Alcotest.(check bool) "duration covers both drains" true
+    (o.Rwc_sim.Orchestrator.total_duration_s >= 60.0)
+
+let test_orchestrator_drained_links_lose_nothing () =
+  let rng = Rwc_stats.Rng.create 2 in
+  let o =
+    Rwc_sim.Orchestrator.execute ~rng ~upgrades
+      ~residual_flow:(fun _ -> 0.0)
+      ~downtime_mean_s:68.0 ()
+  in
+  Alcotest.(check (float 1e-9)) "hitless when drained" 0.0
+    o.Rwc_sim.Orchestrator.disrupted_gbit
+
+let test_orchestrator_charges_residual_traffic () =
+  let rng = Rwc_stats.Rng.create 3 in
+  let o =
+    Rwc_sim.Orchestrator.execute ~rng ~upgrades
+      ~residual_flow:(fun e -> if e = 0 then 10.0 else 0.0)
+      ~downtime_mean_s:68.0 ()
+  in
+  (* Edge 0 keeps 10 Gbps during its ~68 s change: several hundred Gbit. *)
+  Alcotest.(check bool) "loss proportional to downtime" true
+    (o.Rwc_sim.Orchestrator.disrupted_gbit > 100.0
+    && o.Rwc_sim.Orchestrator.disrupted_gbit < 3000.0)
+
+let test_orchestrator_empty_plan () =
+  let rng = Rwc_stats.Rng.create 4 in
+  let o =
+    Rwc_sim.Orchestrator.execute ~rng ~upgrades:[]
+      ~residual_flow:(fun _ -> 0.0)
+      ~downtime_mean_s:68.0 ()
+  in
+  Alcotest.(check int) "no log" 0 (List.length o.Rwc_sim.Orchestrator.log);
+  Alcotest.(check (float 1e-9)) "no time" 0.0 o.Rwc_sim.Orchestrator.total_duration_s
+
+(* --- line system -------------------------------------------------------- *)
+
+let short_line = Rwc_optical.Fiber.line_of_route_km 400.0
+let long_line = Rwc_optical.Fiber.line_of_route_km 4000.0
+
+let test_grid_constants () =
+  Alcotest.(check int) "96 channels" 96 Ls.n_channels;
+  Alcotest.(check (float 1e-9)) "first frequency" 191_300.0 (Ls.frequency_ghz 0);
+  Alcotest.(check (float 1e-9)) "50 GHz spacing" 50.0
+    (Ls.frequency_ghz 1 -. Ls.frequency_ghz 0);
+  (* C band sits around 1530-1570 nm. *)
+  let wl = Ls.wavelength_nm 48 in
+  Alcotest.(check bool) (Printf.sprintf "wavelength %.1f nm in C band" wl) true
+    (wl > 1520.0 && wl < 1580.0)
+
+let test_tilt_worsens_edges () =
+  let t = Ls.create ~line:short_line () in
+  let centre = Ls.channel_osnr_db t 47 in
+  let edge = Ls.channel_osnr_db t 0 in
+  Alcotest.(check bool) "edge below centre" true (edge < centre);
+  Alcotest.(check (float 0.05)) "default tilt 1.5 dB" 1.5 (centre -. edge)
+
+let test_light_first_fit () =
+  let t = Ls.create ~line:short_line () in
+  (match Ls.light t ~gbps:100 () with
+  | Ok ch -> Alcotest.(check int) "first free channel" 0 ch
+  | Error e -> Alcotest.fail e);
+  (match Ls.light t ~gbps:100 () with
+  | Ok ch -> Alcotest.(check int) "next channel" 1 ch
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "two lit" 2 (Ls.lit_count t);
+  Alcotest.(check int) "capacity" 200 (Ls.capacity_gbps t)
+
+let test_light_explicit_channel () =
+  let t = Ls.create ~line:short_line () in
+  (match Ls.light t ~channel:40 ~gbps:200 () with
+  | Ok ch -> Alcotest.(check int) "requested channel" 40 ch
+  | Error e -> Alcotest.fail e);
+  (match Ls.light t ~channel:40 ~gbps:100 () with
+  | Ok _ -> Alcotest.fail "double lighting"
+  | Error _ -> ());
+  Alcotest.(check bool) "occupied" true (Ls.occupied t 40);
+  Alcotest.(check bool) "rate recorded" true (Ls.rate_of t 40 = Some 200)
+
+let test_light_rejects_bad_rate () =
+  let t = Ls.create ~line:short_line () in
+  match Ls.light t ~gbps:117 () with
+  | Ok _ -> Alcotest.fail "117 is not a denomination"
+  | Error _ -> ()
+
+let test_long_line_limits_rate () =
+  (* 4000 km: OSNR too low for 200G anywhere, but 100G fits. *)
+  let t = Ls.create ~line:long_line () in
+  (match Ls.light t ~gbps:200 () with
+  | Ok ch -> Alcotest.failf "200G should not fit at 4000 km (got channel %d)" ch
+  | Error _ -> ());
+  match Ls.light t ~gbps:100 () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_extinguish_frees () =
+  let t = Ls.create ~line:short_line () in
+  (match Ls.light t ~channel:5 ~gbps:150 () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Ls.extinguish t 5 with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "dark again" false (Ls.occupied t 5);
+  Alcotest.(check int) "capacity back to zero" 0 (Ls.capacity_gbps t);
+  match Ls.extinguish t 5 with
+  | Ok () -> Alcotest.fail "double extinguish"
+  | Error _ -> ()
+
+let test_fill_whole_band () =
+  let t = Ls.create ~line:short_line () in
+  let lit = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Ls.light t ~gbps:100 () with
+    | Ok _ -> incr lit
+    | Error _ -> continue := false
+  done;
+  Alcotest.(check int) "whole band lit" Ls.n_channels !lit;
+  Alcotest.(check int) "no free channels" 0 (List.length (Ls.free_channels t))
+
+(* --- store ----------------------------------------------------------------- *)
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let sample_trace =
+  [| 15.5; 14.2; 0.0; 16.125; 13.999999; 17.25 |]
+
+let test_csv_roundtrip () =
+  let path = tmp "rwc_test_trace.csv" in
+  Rwc_telemetry.Store.write_trace_csv path sample_trace;
+  (match Rwc_telemetry.Store.read_trace_csv path with
+  | Ok back ->
+      Alcotest.(check int) "length" (Array.length sample_trace) (Array.length back);
+      Array.iteri
+        (fun i v -> Alcotest.(check (float 1e-5)) "value" sample_trace.(i) v)
+        back
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_binary_roundtrip_exact () =
+  let path = tmp "rwc_test_trace.bin" in
+  Rwc_telemetry.Store.write_trace_binary path sample_trace;
+  (match Rwc_telemetry.Store.read_trace_binary path with
+  | Ok back ->
+      Alcotest.(check bool) "bit-exact" true (back = sample_trace)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_binary_rejects_garbage () =
+  let path = tmp "rwc_test_garbage.bin" in
+  let oc = open_out_bin path in
+  output_string oc "NOPE" ;
+  close_out oc;
+  (match Rwc_telemetry.Store.read_trace_binary path with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error _ -> ());
+  Sys.remove path
+
+let test_binary_rejects_truncated () =
+  let path = tmp "rwc_test_trunc.bin" in
+  Rwc_telemetry.Store.write_trace_binary path sample_trace;
+  (* Chop the last 4 bytes. *)
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic (len - 4) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc;
+  (match Rwc_telemetry.Store.read_trace_binary path with
+  | Ok _ -> Alcotest.fail "accepted truncated file"
+  | Error _ -> ());
+  Sys.remove path
+
+let test_missing_file_is_error () =
+  match Rwc_telemetry.Store.read_trace_csv "/nonexistent/rwc.csv" with
+  | Ok _ -> Alcotest.fail "read a missing file"
+  | Error _ -> ()
+
+(* --- collector ---------------------------------------------------------------- *)
+
+let test_poll_lossless () =
+  let rng = Rwc_stats.Rng.create 11 in
+  let samples = Rwc_telemetry.Collector.poll rng sample_trace ~loss_prob:0.0 in
+  Alcotest.(check int) "all slots" (Array.length sample_trace) (List.length samples);
+  Alcotest.(check (float 1e-9)) "completeness 1" 1.0
+    (Rwc_telemetry.Collector.completeness samples ~n:(Array.length sample_trace))
+
+let test_poll_lossy_rate () =
+  let rng = Rwc_stats.Rng.create 12 in
+  let trace = Array.make 20_000 10.0 in
+  let samples = Rwc_telemetry.Collector.poll rng trace ~loss_prob:0.3 in
+  let c = Rwc_telemetry.Collector.completeness samples ~n:20_000 in
+  Alcotest.(check (float 0.02)) "~70% arrive" 0.7 c
+
+let test_fill_gaps_locf () =
+  let samples =
+    [ { Rwc_telemetry.Collector.index = 1; snr_db = 5.0 };
+      { Rwc_telemetry.Collector.index = 3; snr_db = 9.0 } ]
+  in
+  match Rwc_telemetry.Collector.fill_gaps samples ~n:5 with
+  | None -> Alcotest.fail "samples exist"
+  | Some dense ->
+      Alcotest.(check (array (float 1e-9))) "locf + backfill"
+        [| 5.0; 5.0; 5.0; 9.0; 9.0 |] dense
+
+let test_fill_gaps_empty () =
+  Alcotest.(check bool) "none" true
+    (Rwc_telemetry.Collector.fill_gaps [] ~n:5 = None)
+
+let test_max_gap () =
+  let s i = { Rwc_telemetry.Collector.index = i; snr_db = 0.0 } in
+  Alcotest.(check int) "interior gap" 3
+    (Rwc_telemetry.Collector.max_gap [ s 0; s 4; s 5 ] ~n:6);
+  Alcotest.(check int) "trailing gap" 4
+    (Rwc_telemetry.Collector.max_gap [ s 0; s 1 ] ~n:6);
+  Alcotest.(check int) "empty stream" 6 (Rwc_telemetry.Collector.max_gap [] ~n:6)
+
+let test_analysis_robust_to_loss () =
+  (* The paper's HDR statistic barely moves under 5% poll loss with
+     LOCF gap filling. *)
+  let p = Rwc_telemetry.Snr_model.default_params ~baseline_db:15.0 () in
+  let trace, _ =
+    Rwc_telemetry.Snr_model.generate (Rwc_stats.Rng.create 13) p ~years:1.0
+  in
+  let samples =
+    Rwc_telemetry.Collector.poll (Rwc_stats.Rng.create 14) trace ~loss_prob:0.05
+  in
+  match Rwc_telemetry.Collector.fill_gaps samples ~n:(Array.length trace) with
+  | None -> Alcotest.fail "samples exist"
+  | Some dense ->
+      let exact = Rwc_stats.Hdr.of_samples trace in
+      let filled = Rwc_stats.Hdr.of_samples dense in
+      Alcotest.(check (float 0.1)) "hdr width stable"
+        (Rwc_stats.Hdr.width exact) (Rwc_stats.Hdr.width filled)
+
+let suite =
+  [
+    Alcotest.test_case "orchestrator sequencing" `Quick test_orchestrator_sequencing;
+    Alcotest.test_case "orchestrator hitless when drained" `Quick
+      test_orchestrator_drained_links_lose_nothing;
+    Alcotest.test_case "orchestrator charges residual" `Quick
+      test_orchestrator_charges_residual_traffic;
+    Alcotest.test_case "orchestrator empty plan" `Quick test_orchestrator_empty_plan;
+    Alcotest.test_case "grid constants" `Quick test_grid_constants;
+    Alcotest.test_case "tilt worsens edges" `Quick test_tilt_worsens_edges;
+    Alcotest.test_case "light first fit" `Quick test_light_first_fit;
+    Alcotest.test_case "light explicit channel" `Quick test_light_explicit_channel;
+    Alcotest.test_case "light rejects bad rate" `Quick test_light_rejects_bad_rate;
+    Alcotest.test_case "long line limits rate" `Quick test_long_line_limits_rate;
+    Alcotest.test_case "extinguish frees" `Quick test_extinguish_frees;
+    Alcotest.test_case "fill whole band" `Quick test_fill_whole_band;
+    Alcotest.test_case "store csv roundtrip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "store binary roundtrip" `Quick test_binary_roundtrip_exact;
+    Alcotest.test_case "store rejects garbage" `Quick test_binary_rejects_garbage;
+    Alcotest.test_case "store rejects truncated" `Quick test_binary_rejects_truncated;
+    Alcotest.test_case "store missing file" `Quick test_missing_file_is_error;
+    Alcotest.test_case "poll lossless" `Quick test_poll_lossless;
+    Alcotest.test_case "poll lossy rate" `Quick test_poll_lossy_rate;
+    Alcotest.test_case "fill gaps locf" `Quick test_fill_gaps_locf;
+    Alcotest.test_case "fill gaps empty" `Quick test_fill_gaps_empty;
+    Alcotest.test_case "max gap" `Quick test_max_gap;
+    Alcotest.test_case "analysis robust to loss" `Quick test_analysis_robust_to_loss;
+  ]

@@ -1,0 +1,349 @@
+open Rwc_optical
+
+(* --- units ---------------------------------------------------------- *)
+
+let test_db_roundtrip () =
+  List.iter
+    (fun x ->
+      Alcotest.(check (float 1e-9)) "roundtrip" x
+        (Units.db_of_linear (Units.linear_of_db x)))
+    [ -20.0; -3.0; 0.0; 6.5; 14.5; 30.0 ]
+
+let test_db_known_values () =
+  Alcotest.(check (float 1e-9)) "10x = 10 dB" 10.0 (Units.db_of_linear 10.0);
+  Alcotest.(check (float 0.01)) "2x ~ 3 dB" 3.01 (Units.db_of_linear 2.0);
+  Alcotest.(check (float 1e-9)) "unit = 0 dB" 0.0 (Units.db_of_linear 1.0)
+
+let test_power_addition () =
+  (* Two equal powers sum to +3 dB. *)
+  Alcotest.(check (float 0.01)) "0+0 dBm = 3 dBm" 3.01
+    (Units.add_powers_dbm 0.0 0.0);
+  (* Adding a much weaker signal barely moves the total. *)
+  let s = Units.add_powers_dbm 0.0 (-30.0) in
+  Alcotest.(check bool) "tiny addition" true (s > 0.0 && s < 0.01)
+
+(* --- modulation ------------------------------------------------------ *)
+
+let test_modulation_monotone () =
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "capacity increases" true
+          (b.Modulation.gbps > a.Modulation.gbps);
+        Alcotest.(check bool) "threshold increases" true
+          (b.Modulation.min_snr_db > a.Modulation.min_snr_db);
+        check rest
+    | _ -> ()
+  in
+  check Modulation.all
+
+let test_modulation_paper_thresholds () =
+  (* The two thresholds stated in the paper. *)
+  (match Modulation.of_gbps 100 with
+  | Some m -> Alcotest.(check (float 1e-9)) "100G at 6.5" 6.5 m.Modulation.min_snr_db
+  | None -> Alcotest.fail "100G missing");
+  match Modulation.of_gbps 50 with
+  | Some m -> Alcotest.(check (float 1e-9)) "50G at 3.0" 3.0 m.Modulation.min_snr_db
+  | None -> Alcotest.fail "50G missing"
+
+let test_best_for_snr () =
+  Alcotest.(check int) "very high snr" 200 (Modulation.feasible_gbps 20.0);
+  Alcotest.(check int) "at 200 threshold" 200 (Modulation.feasible_gbps 12.5);
+  Alcotest.(check int) "just below 200" 175 (Modulation.feasible_gbps 12.49);
+  Alcotest.(check int) "paper: 3 dB drives 50G" 50 (Modulation.feasible_gbps 3.0);
+  Alcotest.(check int) "loss of light" 0 (Modulation.feasible_gbps 1.0);
+  Alcotest.(check int) "at 100" 100 (Modulation.feasible_gbps 6.5)
+
+let test_scheme_mapping () =
+  (* Figure 5's mapping: 100 -> QPSK, 150 -> 8QAM, 200 -> 16QAM. *)
+  Alcotest.(check bool) "100=QPSK" true (Modulation.scheme_of 100 = Some Modulation.Qpsk);
+  Alcotest.(check bool) "150=8QAM" true (Modulation.scheme_of 150 = Some Modulation.Qam8);
+  Alcotest.(check bool) "200=16QAM" true (Modulation.scheme_of 200 = Some Modulation.Qam16);
+  Alcotest.(check bool) "unknown" true (Modulation.scheme_of 99 = None)
+
+let test_bits_per_symbol () =
+  Alcotest.(check int) "qpsk" 2 (Modulation.bits_per_symbol Modulation.Qpsk);
+  Alcotest.(check int) "8qam" 3 (Modulation.bits_per_symbol Modulation.Qam8);
+  Alcotest.(check int) "16qam" 4 (Modulation.bits_per_symbol Modulation.Qam16)
+
+(* --- fiber ----------------------------------------------------------- *)
+
+let test_single_span_budget () =
+  (* 80 km, 0.22 dB/km, NF 5, 0 dBm launch: OSNR = 58 - 17.6 - 5. *)
+  let line =
+    { Fiber.spans = [ Fiber.default_span 80.0 ]; launch_power_dbm = 0.0 }
+  in
+  Alcotest.(check (float 1e-6)) "link budget" 35.4 (Fiber.osnr_db line)
+
+let test_spans_halve_osnr () =
+  (* Doubling identical spans costs 10*log10(2) ~ 3 dB. *)
+  let one =
+    { Fiber.spans = [ Fiber.default_span 80.0 ]; launch_power_dbm = 0.0 }
+  in
+  let two =
+    {
+      Fiber.spans = [ Fiber.default_span 80.0; Fiber.default_span 80.0 ];
+      launch_power_dbm = 0.0;
+    }
+  in
+  Alcotest.(check (float 0.02)) "3 dB per doubling" 3.01
+    (Fiber.osnr_db one -. Fiber.osnr_db two)
+
+let test_longer_route_lower_osnr () =
+  let short = Fiber.line_of_route_km 400.0 in
+  let long = Fiber.line_of_route_km 3200.0 in
+  Alcotest.(check bool) "monotone in distance" true
+    (Fiber.osnr_db short > Fiber.osnr_db long)
+
+let test_launch_power_shifts_osnr () =
+  let base = Fiber.line_of_route_km 800.0 in
+  let hot = { base with Fiber.launch_power_dbm = 3.0 } in
+  Alcotest.(check (float 1e-6)) "dB-for-dB" 3.0
+    (Fiber.osnr_db hot -. Fiber.osnr_db base)
+
+let test_snr_margin () =
+  let line = Fiber.line_of_route_km 800.0 in
+  match Fiber.snr_margin_db line ~gbps:100 with
+  | None -> Alcotest.fail "known denomination"
+  | Some m ->
+      Alcotest.(check (float 1e-6)) "margin = osnr - threshold"
+        (Fiber.osnr_db line -. 6.5) m
+
+(* --- constellation ---------------------------------------------------- *)
+
+let test_constellations_unit_energy () =
+  List.iter
+    (fun scheme ->
+      let pts = Constellation.ideal_points scheme in
+      let e =
+        Array.fold_left
+          (fun acc p ->
+            acc
+            +. (p.Constellation.i *. p.Constellation.i)
+            +. (p.Constellation.q *. p.Constellation.q))
+          0.0 pts
+        /. float_of_int (Array.length pts)
+      in
+      Alcotest.(check (float 1e-9)) "unit average energy" 1.0 e)
+    [ Modulation.Qpsk; Modulation.Qam8; Modulation.Qam16 ]
+
+let test_constellation_sizes () =
+  Alcotest.(check int) "qpsk 4" 4
+    (Array.length (Constellation.ideal_points Modulation.Qpsk));
+  Alcotest.(check int) "8qam 8" 8
+    (Array.length (Constellation.ideal_points Modulation.Qam8));
+  Alcotest.(check int) "16qam 16" 16
+    (Array.length (Constellation.ideal_points Modulation.Qam16))
+
+let test_erfc_reference_values () =
+  (* Abramowitz-Stegun approximation, |error| < 1.5e-7. *)
+  Alcotest.(check (float 1e-6)) "erfc 0" 1.0 (Constellation.erfc 0.0);
+  Alcotest.(check (float 1e-6)) "erfc 1" 0.1572992 (Constellation.erfc 1.0);
+  Alcotest.(check (float 1e-6)) "erfc 2" 0.0046777 (Constellation.erfc 2.0);
+  Alcotest.(check (float 1e-6)) "erfc -1" (2.0 -. 0.1572992) (Constellation.erfc (-1.0))
+
+let test_high_snr_error_free () =
+  let rng = Rwc_stats.Rng.create 11 in
+  let run = Constellation.simulate rng Modulation.Qam16 ~snr_db:30.0 ~symbols:5000 in
+  Alcotest.(check (float 1e-9)) "no symbol errors" 0.0 run.Constellation.symbol_error_rate;
+  Alcotest.(check bool) "small evm" true (run.Constellation.evm_percent < 5.0)
+
+let test_snr_estimate_matches () =
+  let rng = Rwc_stats.Rng.create 12 in
+  let run = Constellation.simulate rng Modulation.Qpsk ~snr_db:12.0 ~symbols:50_000 in
+  Alcotest.(check (float 0.3)) "re-estimated snr" 12.0 run.Constellation.snr_estimate_db
+
+let test_ser_matches_theory () =
+  let rng = Rwc_stats.Rng.create 13 in
+  List.iter
+    (fun (scheme, snr_db) ->
+      let run = Constellation.simulate rng scheme ~snr_db ~symbols:200_000 in
+      let theory = Constellation.theoretical_ser scheme ~snr_db in
+      (* Union bound is approximate; allow 2x. *)
+      let ratio = run.Constellation.symbol_error_rate /. theory in
+      if run.Constellation.symbol_error_rate > 1e-4 then
+        Alcotest.(check bool)
+          (Printf.sprintf "ser within 2x of theory (%f vs %f)"
+             run.Constellation.symbol_error_rate theory)
+          true
+          (ratio > 0.4 && ratio < 2.0))
+    [ (Modulation.Qpsk, 8.0); (Modulation.Qam8, 12.0); (Modulation.Qam16, 15.0) ]
+
+let test_lower_snr_more_errors () =
+  let rng = Rwc_stats.Rng.create 14 in
+  let noisy = Constellation.simulate rng Modulation.Qam16 ~snr_db:10.0 ~symbols:20_000 in
+  let clean = Constellation.simulate rng Modulation.Qam16 ~snr_db:18.0 ~symbols:20_000 in
+  Alcotest.(check bool) "monotone ser" true
+    (noisy.Constellation.symbol_error_rate > clean.Constellation.symbol_error_rate);
+  Alcotest.(check bool) "monotone evm" true
+    (noisy.Constellation.evm_percent > clean.Constellation.evm_percent)
+
+let test_render_ascii () =
+  let rng = Rwc_stats.Rng.create 15 in
+  let run = Constellation.simulate rng Modulation.Qpsk ~snr_db:15.0 ~symbols:200 in
+  let s = Constellation.render_ascii run in
+  Alcotest.(check bool) "mentions scheme" true
+    (String.length s > 0
+    && String.sub s 0 4 = "QPSK");
+  Alcotest.(check bool) "has ideal markers" true (String.contains s 'O')
+
+(* --- mdio ------------------------------------------------------------- *)
+
+let test_mdio_initial_state () =
+  let m = Mdio.create () in
+  Alcotest.(check bool) "laser on" true (Mdio.laser_enabled m);
+  Alcotest.(check bool) "locked" true (Mdio.locked m);
+  Alcotest.(check int) "qpsk staged" 0 (Mdio.staged_modulation m)
+
+let test_mdio_read_write () =
+  let m = Mdio.create () in
+  Mdio.write m Mdio.reg_modulation 2;
+  Alcotest.(check int) "wrote" 2 (Mdio.read m Mdio.reg_modulation)
+
+let test_mdio_unmapped () =
+  let m = Mdio.create () in
+  Alcotest.check_raises "unmapped read"
+    (Invalid_argument "Mdio: unmapped register 0x0001") (fun () ->
+      ignore (Mdio.read m 1))
+
+let test_mdio_read_only_status () =
+  let m = Mdio.create () in
+  Alcotest.check_raises "status is read-only"
+    (Invalid_argument "Mdio: register 0x8020 is read-only") (fun () ->
+      Mdio.write m Mdio.reg_status 0)
+
+let test_mdio_range () =
+  let m = Mdio.create () in
+  Alcotest.check_raises "16-bit range"
+    (Invalid_argument "Mdio: value out of 16-bit range") (fun () ->
+      Mdio.write m Mdio.reg_modulation 0x10000)
+
+let test_mdio_access_log () =
+  let m = Mdio.create () in
+  Mdio.write m Mdio.reg_modulation 1;
+  let _ = Mdio.read m Mdio.reg_modulation in
+  match Mdio.access_log m with
+  | [ ("w", a1, 1); ("r", a2, 1) ] ->
+      Alcotest.(check int) "write addr" Mdio.reg_modulation a1;
+      Alcotest.(check int) "read addr" Mdio.reg_modulation a2
+  | log -> Alcotest.failf "unexpected log of %d entries" (List.length log)
+
+(* --- bvt -------------------------------------------------------------- *)
+
+let test_bvt_noop_change () =
+  let rng = Rwc_stats.Rng.create 21 in
+  let t = Bvt.create Modulation.Qpsk in
+  let c = Bvt.change_modulation t rng ~target:Modulation.Qpsk ~procedure:Bvt.Stock in
+  Alcotest.(check (float 1e-9)) "no downtime" 0.0 c.Bvt.downtime_s;
+  Alcotest.(check int) "no steps" 0 (List.length c.Bvt.steps)
+
+let test_bvt_stock_sequence () =
+  let rng = Rwc_stats.Rng.create 22 in
+  let t = Bvt.create Modulation.Qpsk in
+  let c = Bvt.change_modulation t rng ~target:Modulation.Qam16 ~procedure:Bvt.Stock in
+  Alcotest.(check (list string)) "three steps in order"
+    [ "laser-off"; "reprogram"; "laser-on+relock" ]
+    (List.map (fun s -> s.Bvt.label) c.Bvt.steps);
+  Alcotest.(check bool) "scheme updated" true (Bvt.scheme t = Modulation.Qam16);
+  Alcotest.(check bool) "laser back on" true (Mdio.laser_enabled (Bvt.mdio t));
+  Alcotest.(check int) "16qam staged" 2 (Mdio.staged_modulation (Bvt.mdio t));
+  Alcotest.(check bool) "downtime positive" true (c.Bvt.total_s > 0.0)
+
+let test_bvt_efficient_keeps_laser () =
+  let rng = Rwc_stats.Rng.create 23 in
+  let t = Bvt.create Modulation.Qpsk in
+  let before = List.length (Mdio.access_log (Bvt.mdio t)) in
+  let c =
+    Bvt.change_modulation t rng ~target:Modulation.Qam8 ~procedure:Bvt.Efficient
+  in
+  Alcotest.(check int) "one step" 1 (List.length c.Bvt.steps);
+  (* No laser-control write may appear in the efficient sequence. *)
+  let log = Mdio.access_log (Bvt.mdio t) in
+  let new_entries = List.filteri (fun i _ -> i >= before) log in
+  List.iter
+    (fun (op, addr, _) ->
+      if op = "w" then
+        Alcotest.(check bool) "never touches laser control" true
+          (addr <> Mdio.reg_control))
+    new_entries;
+  Alcotest.(check bool) "laser stayed on" true (Mdio.laser_enabled (Bvt.mdio t))
+
+let stock_mean_of_samples n seed =
+  let rng = Rwc_stats.Rng.create seed in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    let t = Bvt.create Modulation.Qpsk in
+    let c = Bvt.change_modulation t rng ~target:Modulation.Qam8 ~procedure:Bvt.Stock in
+    total := !total +. c.Bvt.total_s
+  done;
+  !total /. float_of_int n
+
+let test_bvt_stock_latency_calibration () =
+  (* The paper's testbed: 68 s average for a stock modulation change. *)
+  let mean = stock_mean_of_samples 400 24 in
+  Alcotest.(check bool)
+    (Printf.sprintf "stock mean %.1f in [60, 76]" mean)
+    true
+    (mean > 60.0 && mean < 76.0)
+
+let test_bvt_efficient_latency_calibration () =
+  (* ~35 ms average with the laser held on. *)
+  let rng = Rwc_stats.Rng.create 25 in
+  let total = ref 0.0 in
+  let n = 400 in
+  for _ = 1 to n do
+    let t = Bvt.create Modulation.Qpsk in
+    let c =
+      Bvt.change_modulation t rng ~target:Modulation.Qam8 ~procedure:Bvt.Efficient
+    in
+    total := !total +. c.Bvt.total_s
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "efficient mean %.4f in [0.030, 0.040]" mean)
+    true
+    (mean > 0.030 && mean < 0.040)
+
+let test_bvt_scheme_codes_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "roundtrip" true
+        (Bvt.scheme_of_code (Bvt.code_of_scheme s) = Some s))
+    [ Modulation.Qpsk; Modulation.Qam8; Modulation.Qam16 ];
+  Alcotest.(check bool) "bad code" true (Bvt.scheme_of_code 9 = None)
+
+let suite =
+  [
+    Alcotest.test_case "db roundtrip" `Quick test_db_roundtrip;
+    Alcotest.test_case "db known values" `Quick test_db_known_values;
+    Alcotest.test_case "power addition" `Quick test_power_addition;
+    Alcotest.test_case "modulation monotone" `Quick test_modulation_monotone;
+    Alcotest.test_case "paper thresholds" `Quick test_modulation_paper_thresholds;
+    Alcotest.test_case "best_for_snr" `Quick test_best_for_snr;
+    Alcotest.test_case "scheme mapping" `Quick test_scheme_mapping;
+    Alcotest.test_case "bits per symbol" `Quick test_bits_per_symbol;
+    Alcotest.test_case "single span budget" `Quick test_single_span_budget;
+    Alcotest.test_case "spans halve osnr" `Quick test_spans_halve_osnr;
+    Alcotest.test_case "longer route lower osnr" `Quick test_longer_route_lower_osnr;
+    Alcotest.test_case "launch power shifts osnr" `Quick test_launch_power_shifts_osnr;
+    Alcotest.test_case "snr margin" `Quick test_snr_margin;
+    Alcotest.test_case "constellations unit energy" `Quick test_constellations_unit_energy;
+    Alcotest.test_case "constellation sizes" `Quick test_constellation_sizes;
+    Alcotest.test_case "erfc reference values" `Quick test_erfc_reference_values;
+    Alcotest.test_case "high snr error free" `Quick test_high_snr_error_free;
+    Alcotest.test_case "snr re-estimate" `Quick test_snr_estimate_matches;
+    Alcotest.test_case "ser matches theory" `Slow test_ser_matches_theory;
+    Alcotest.test_case "lower snr more errors" `Quick test_lower_snr_more_errors;
+    Alcotest.test_case "ascii render" `Quick test_render_ascii;
+    Alcotest.test_case "mdio initial state" `Quick test_mdio_initial_state;
+    Alcotest.test_case "mdio read write" `Quick test_mdio_read_write;
+    Alcotest.test_case "mdio unmapped" `Quick test_mdio_unmapped;
+    Alcotest.test_case "mdio status read-only" `Quick test_mdio_read_only_status;
+    Alcotest.test_case "mdio 16-bit range" `Quick test_mdio_range;
+    Alcotest.test_case "mdio access log" `Quick test_mdio_access_log;
+    Alcotest.test_case "bvt noop" `Quick test_bvt_noop_change;
+    Alcotest.test_case "bvt stock sequence" `Quick test_bvt_stock_sequence;
+    Alcotest.test_case "bvt efficient keeps laser" `Quick test_bvt_efficient_keeps_laser;
+    Alcotest.test_case "bvt stock ~68s" `Quick test_bvt_stock_latency_calibration;
+    Alcotest.test_case "bvt efficient ~35ms" `Quick test_bvt_efficient_latency_calibration;
+    Alcotest.test_case "bvt scheme codes" `Quick test_bvt_scheme_codes_roundtrip;
+  ]

@@ -1,0 +1,140 @@
+open Rwc_topology
+
+let sample =
+  {|# a toy three-city topology
+city A 10.0 20.0 1.5
+city B 11.0 21.0 2.5
+city C 12.0 19.0 0.5
+
+duct A B 500
+duct B C   # derived length
+|}
+
+let test_parse_basic () =
+  match Parser.parse sample with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      Alcotest.(check int) "cities" 3 (Backbone.n_cities t);
+      Alcotest.(check int) "ducts" 2 (Array.length t.Backbone.ducts);
+      Alcotest.(check string) "first city" "A" t.Backbone.cities.(0).Backbone.name;
+      Alcotest.(check (float 1e-9)) "explicit length" 500.0
+        t.Backbone.ducts.(0).Backbone.route_km
+
+let test_parse_derives_length () =
+  match Parser.parse sample with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      let d = t.Backbone.ducts.(1) in
+      let expect =
+        Backbone.fiber_detour_factor
+        *. Backbone.great_circle_km t.Backbone.cities.(1) t.Backbone.cities.(2)
+      in
+      Alcotest.(check (float 1e-6)) "great-circle x detour" expect
+        d.Backbone.route_km
+
+let check_error input fragment =
+  match Parser.parse input with
+  | Ok _ -> Alcotest.failf "expected error mentioning %S" fragment
+  | Error e ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec scan i =
+          i + n <= String.length s && (String.sub s i n = sub || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S mentions %S" e fragment)
+        true (contains e fragment)
+
+let test_parse_errors () =
+  check_error "city A 10 20 1\nduct A Z" "unknown city";
+  check_error "city A 10 20 1\ncity A 11 21 1" "duplicate";
+  check_error "city A 200 20 1" "latitude";
+  check_error "city A 10 20 -1" "population";
+  check_error "city A 10 20 1\nduct A A" "self-loop";
+  check_error "city A 10 20 1\ncity B 11 21 1\nduct A B -5" "positive";
+  check_error "city A 10 20 1\ncity B 11 21 1\nduct A B 5 9" "too many";
+  check_error "frobnicate X" "unknown declaration";
+  check_error "city A ten 20 1" "latitude";
+  check_error "" "no cities"
+
+let test_error_carries_line_number () =
+  match Parser.parse "city A 10 20 1\nduct A Z" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e ->
+      Alcotest.(check bool) "line 2 cited" true
+        (String.length e >= 7 && String.sub e 0 7 = "line 2:")
+
+let test_roundtrip_north_america () =
+  let t = Backbone.north_america in
+  match Parser.parse (Parser.to_string t) with
+  | Error e -> Alcotest.fail e
+  | Ok t' ->
+      Alcotest.(check int) "cities" (Backbone.n_cities t) (Backbone.n_cities t');
+      Alcotest.(check int) "ducts"
+        (Array.length t.Backbone.ducts)
+        (Array.length t'.Backbone.ducts);
+      Array.iteri
+        (fun i d ->
+          let d' = t'.Backbone.ducts.(i) in
+          Alcotest.(check int) "a" d.Backbone.a d'.Backbone.a;
+          Alcotest.(check int) "b" d.Backbone.b d'.Backbone.b;
+          Alcotest.(check (float 0.05)) "km" d.Backbone.route_km d'.Backbone.route_km)
+        t.Backbone.ducts
+
+let test_europe_embedded () =
+  let t = Backbone.europe in
+  Alcotest.(check int) "16 metros" 16 (Backbone.n_cities t);
+  Alcotest.(check bool) "20+ ducts" true (Array.length t.Backbone.ducts >= 20);
+  (* Connectivity. *)
+  let n = Backbone.n_cities t in
+  let adj = Array.make n [] in
+  Array.iter
+    (fun d ->
+      adj.(d.Backbone.a) <- d.Backbone.b :: adj.(d.Backbone.a);
+      adj.(d.Backbone.b) <- d.Backbone.a :: adj.(d.Backbone.b))
+    t.Backbone.ducts;
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  seen.(0) <- true;
+  Queue.add 0 q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          Queue.add w q
+        end)
+      adj.(v)
+  done;
+  Alcotest.(check bool) "connected" true (Array.for_all Fun.id seen);
+  (* Route lengths are continental-Europe plausible. *)
+  Array.iter
+    (fun d ->
+      Alcotest.(check bool) "plausible length" true
+        (d.Backbone.route_km > 100.0 && d.Backbone.route_km < 3000.0))
+    t.Backbone.ducts
+
+let test_europe_usable_by_sim () =
+  (* The whole pipeline runs on the second topology. *)
+  let net = Rwc_sim.Netstate.make ~seed:3 Backbone.europe in
+  let g = Rwc_sim.Netstate.graph net in
+  let demands =
+    Traffic.to_commodities
+      (Traffic.top_k (Traffic.gravity Backbone.europe ~total_gbps:5000.0) 10)
+  in
+  let te = Rwc_core.Te.mcf ~epsilon:0.2 g demands in
+  Alcotest.(check bool) "traffic flows" true (te.Rwc_core.Te.total_gbps > 1000.0)
+
+let suite =
+  [
+    Alcotest.test_case "parse basic" `Quick test_parse_basic;
+    Alcotest.test_case "parse derives length" `Quick test_parse_derives_length;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "errors carry line numbers" `Quick test_error_carries_line_number;
+    Alcotest.test_case "roundtrip north america" `Quick test_roundtrip_north_america;
+    Alcotest.test_case "europe embedded" `Quick test_europe_embedded;
+    Alcotest.test_case "europe usable by sim" `Quick test_europe_usable_by_sim;
+  ]

@@ -1,0 +1,286 @@
+(* Cross-module property tests beyond the per-module suites: solver
+   contracts under random inputs, controller invariants over random SNR
+   traces, and ordering invariants of the simulation plumbing. *)
+
+module Graph = Rwc_flow.Graph
+
+(* Reuse the random-graph machinery shape from Test_flow, specialised
+   where the properties need extra structure. *)
+let graph_gen =
+  QCheck.Gen.(
+    let* n = int_range 2 7 in
+    let* edges =
+      list_size (int_range 1 14)
+        (triple (int_range 0 (n - 1)) (int_range 0 (n - 1))
+           (pair (int_range 1 15) (int_range 0 9)))
+    in
+    return (n, edges))
+
+let arbitrary_graph =
+  QCheck.make
+    ~print:(fun (n, e) ->
+      Printf.sprintf "n=%d m=%d" n (List.length e))
+    graph_gen
+
+let build (n, edges) =
+  let g = Graph.create ~n in
+  List.iter
+    (fun (s, d, (c, w)) ->
+      if s <> d then
+        ignore
+          (Graph.add_edge g ~src:s ~dst:d ~capacity:(float_of_int c)
+             ~cost:(float_of_int w) ()))
+    edges;
+  g
+
+(* --- mincost limit contract ------------------------------------------ *)
+
+let prop_mincost_limit_respected =
+  QCheck.Test.make ~name:"mincost: value <= limit and <= maxflow" ~count:200
+    (QCheck.pair arbitrary_graph (QCheck.int_range 0 20))
+    (fun (spec, limit) ->
+      let g = build spec in
+      let src = 0 and dst = Graph.n_vertices g - 1 in
+      let limit = float_of_int limit in
+      let r = Rwc_flow.Mincost.solve ~limit g ~src ~dst in
+      let mf = Rwc_flow.Maxflow.solve g ~src ~dst in
+      r.Rwc_flow.Mincost.value <= limit +. 1e-6
+      && r.Rwc_flow.Mincost.value <= mf.Rwc_flow.Maxflow.value +. 1e-6
+      && r.Rwc_flow.Mincost.value
+         >= Float.min limit mf.Rwc_flow.Maxflow.value -. 1e-6)
+
+(* --- multicommodity contracts ------------------------------------------ *)
+
+let commodity_gen =
+  QCheck.Gen.(
+    let* spec = graph_gen in
+    let n = fst spec in
+    let* k = int_range 1 4 in
+    let* pairs =
+      list_repeat k
+        (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (int_range 1 25))
+    in
+    return (spec, pairs))
+
+let arbitrary_mc =
+  QCheck.make
+    ~print:(fun ((n, e), pairs) ->
+      Printf.sprintf "n=%d m=%d k=%d" n (List.length e) (List.length pairs))
+    commodity_gen
+
+let build_mc (spec, pairs) =
+  let g = build spec in
+  let commodities =
+    List.filter_map
+      (fun (s, d, dem) ->
+        if s <> d then
+          Some { Rwc_flow.Multicommodity.src = s; dst = d; demand = float_of_int dem }
+        else None)
+      pairs
+    |> Array.of_list
+  in
+  (g, commodities)
+
+let prop_mc_feasible_and_capped =
+  QCheck.Test.make
+    ~name:"multicommodity: capacities respected, demands never over-served"
+    ~count:150 arbitrary_mc (fun input ->
+      let g, commodities = build_mc input in
+      if Array.length commodities = 0 then true
+      else begin
+        let r = Rwc_flow.Multicommodity.solve ~epsilon:0.2 g commodities in
+        let cap_ok =
+          Graph.fold_edges
+            (fun acc e ->
+              acc && r.Rwc_flow.Multicommodity.flow.(e.Graph.id)
+                     <= e.Graph.capacity +. 1e-6)
+            true g
+        in
+        let demand_ok =
+          Array.for_all2
+            (fun routed c ->
+              routed <= c.Rwc_flow.Multicommodity.demand +. 1e-6 && routed >= -1e-9)
+            r.Rwc_flow.Multicommodity.routed commodities
+        in
+        cap_ok && demand_ok && r.Rwc_flow.Multicommodity.lambda <= 1.0 +. 1e-9
+      end)
+
+let prop_mc_lambda_bounded_by_maxflow =
+  QCheck.Test.make
+    ~name:"multicommodity: single commodity cannot beat maxflow" ~count:150
+    arbitrary_graph (fun spec ->
+      let g = build spec in
+      let src = 0 and dst = Graph.n_vertices g - 1 in
+      let demand = 30.0 in
+      let r =
+        Rwc_flow.Multicommodity.solve ~epsilon:0.15 g
+          [| { Rwc_flow.Multicommodity.src; dst; demand } |]
+      in
+      let mf = Rwc_flow.Maxflow.solve g ~src ~dst in
+      r.Rwc_flow.Multicommodity.routed.(0) <= mf.Rwc_flow.Maxflow.value +. 1e-6)
+
+(* --- adaptation controller invariants ----------------------------------- *)
+
+let trace_gen =
+  QCheck.Gen.(
+    let* seed = int_range 0 10_000 in
+    let* baseline10 = int_range 100 200 in
+    return (seed, float_of_int baseline10 /. 10.0))
+
+let arbitrary_trace =
+  QCheck.make
+    ~print:(fun (seed, b) -> Printf.sprintf "seed=%d baseline=%.1f" seed b)
+    trace_gen
+
+let prop_adapt_always_feasible =
+  QCheck.Test.make
+    ~name:"adapt: configured capacity is always a feasible denomination"
+    ~count:60 arbitrary_trace (fun (seed, baseline) ->
+      let p = Rwc_telemetry.Snr_model.default_params ~baseline_db:baseline () in
+      let trace, _ =
+        Rwc_telemetry.Snr_model.generate (Rwc_stats.Rng.create seed) p
+          ~years:0.1
+      in
+      let ctl = Rwc_core.Adapt.create ~initial_gbps:100 () in
+      Array.for_all
+        (fun snr ->
+          ignore (Rwc_core.Adapt.step ctl ~snr_db:snr);
+          let cap = Rwc_core.Adapt.capacity_gbps ctl in
+          (* After the step, the configured rate never exceeds what the
+             just-seen SNR supports (hysteresis only delays going UP,
+             never staying too high). *)
+          cap <= Rwc_optical.Modulation.feasible_gbps snr
+          && (cap = 0 || Rwc_optical.Modulation.of_gbps cap <> None))
+        trace)
+
+let prop_availability_bounded =
+  QCheck.Test.make
+    ~name:"availability: delivered <= configured capacity x time, and static
+           never flaps"
+    ~count:60 arbitrary_trace (fun (seed, baseline) ->
+      let p = Rwc_telemetry.Snr_model.default_params ~baseline_db:baseline () in
+      let trace, _ =
+        Rwc_telemetry.Snr_model.generate (Rwc_stats.Rng.create seed) p
+          ~years:0.1
+      in
+      let adaptive =
+        Rwc_core.Availability.evaluate
+          (Rwc_core.Availability.Adaptive
+             {
+               config = Rwc_core.Adapt.default_config;
+               reconfig_downtime_s = 68.0;
+             })
+          trace
+      in
+      let static = Rwc_core.Availability.evaluate (Rwc_core.Availability.Static 100) trace in
+      let horizon_s = float_of_int (Array.length trace) *. 900.0 in
+      adaptive.Rwc_core.Availability.delivered_pbit
+      <= 200.0 *. horizon_s /. 1e6 +. 1e-9
+      && static.Rwc_core.Availability.flaps = 0
+      && adaptive.Rwc_core.Availability.availability <= 1.0 +. 1e-9
+      && adaptive.Rwc_core.Availability.availability >= 0.0)
+
+(* --- event queue vs reference sort ---------------------------------------- *)
+
+let prop_event_queue_sorts =
+  QCheck.Test.make ~name:"event queue: pops in (time, insertion) order"
+    ~count:200
+    QCheck.(list (float_bound_inclusive 100.0))
+    (fun times ->
+      let q = Rwc_sim.Event_queue.create () in
+      List.iteri (fun i t -> Rwc_sim.Event_queue.add q ~time:t i) times;
+      let rec drain acc =
+        match Rwc_sim.Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, i) -> drain ((t, i) :: acc)
+      in
+      let popped = drain [] in
+      let expected =
+        List.mapi (fun i t -> (t, i)) times
+        |> List.stable_sort (fun (t1, _) (t2, _) -> Float.compare t1 t2)
+      in
+      popped = expected)
+
+(* --- translate/augment contracts ------------------------------------------- *)
+
+let prop_decisions_within_headroom =
+  QCheck.Test.make ~name:"translate: upgrade never exceeds declared headroom"
+    ~count:150 arbitrary_graph (fun spec ->
+      let g = build spec in
+      let src = 0 and dst = Graph.n_vertices g - 1 in
+      let headroom e = float_of_int ((e * 3 mod 7) + 1) in
+      let aug =
+        Rwc_core.Augment.build ~headroom ~penalty:(Rwc_core.Penalty.Uniform 1.0) g
+      in
+      let r = Rwc_flow.Mincost.solve aug.Rwc_core.Augment.graph ~src ~dst in
+      let ds = Rwc_core.Translate.decisions aug ~flow:r.Rwc_flow.Mincost.flow in
+      List.for_all
+        (fun d ->
+          d.Rwc_core.Translate.extra_gbps
+          <= headroom d.Rwc_core.Translate.phys_edge +. 1e-6
+          && d.Rwc_core.Translate.extra_gbps > 0.0)
+        ds)
+
+let prop_phys_flow_conserved =
+  QCheck.Test.make
+    ~name:"translate: physical flow view conserves at interior vertices"
+    ~count:150 arbitrary_graph (fun spec ->
+      let g = build spec in
+      let src = 0 and dst = Graph.n_vertices g - 1 in
+      let aug =
+        Rwc_core.Augment.build
+          ~headroom:(fun _ -> 5.0)
+          ~penalty:Rwc_core.Penalty.Zero g
+      in
+      let r = Rwc_flow.Mincost.solve aug.Rwc_core.Augment.graph ~src ~dst in
+      let pf = Rwc_core.Translate.phys_flow aug ~flow:r.Rwc_flow.Mincost.flow in
+      let balance = Array.make (Graph.n_vertices g) 0.0 in
+      Graph.iter_edges
+        (fun e ->
+          balance.(e.Graph.src) <- balance.(e.Graph.src) -. pf.(e.Graph.id);
+          balance.(e.Graph.dst) <- balance.(e.Graph.dst) +. pf.(e.Graph.id))
+        g;
+      let ok = ref true in
+      Array.iteri
+        (fun v b -> if v <> src && v <> dst && Float.abs b > 1e-6 then ok := false)
+        balance;
+      !ok)
+
+(* --- snr model output contract --------------------------------------------- *)
+
+let prop_snr_trace_bounded =
+  QCheck.Test.make ~name:"snr model: trace within [0, baseline + 8 sigma]"
+    ~count:60 arbitrary_trace (fun (seed, baseline) ->
+      let p = Rwc_telemetry.Snr_model.default_params ~baseline_db:baseline () in
+      let trace, dips =
+        Rwc_telemetry.Snr_model.generate (Rwc_stats.Rng.create seed) p
+          ~years:0.1
+      in
+      let sigma =
+        Rwc_stats.Timeseries.ar1_stationary_sigma
+          p.Rwc_telemetry.Snr_model.wander
+      in
+      Array.for_all
+        (fun s -> s >= 0.0 && s <= baseline +. (8.0 *. sigma))
+        trace
+      && List.for_all
+           (fun d ->
+             d.Rwc_telemetry.Snr_model.start >= 0
+             && d.Rwc_telemetry.Snr_model.start < Array.length trace
+             && d.Rwc_telemetry.Snr_model.duration >= 1
+             && d.Rwc_telemetry.Snr_model.floor_db >= 0.0)
+           dips)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_mincost_limit_respected;
+      prop_mc_feasible_and_capped;
+      prop_mc_lambda_bounded_by_maxflow;
+      prop_adapt_always_feasible;
+      prop_availability_bounded;
+      prop_event_queue_sorts;
+      prop_decisions_within_headroom;
+      prop_phys_flow_conserved;
+      prop_snr_trace_bounded;
+    ]

@@ -1,0 +1,152 @@
+(* Tests for Section 4.2's protected flows and priority-class
+   penalties. *)
+
+open Rwc_core
+module Graph = Rwc_flow.Graph
+
+(* Square 0-1-3 / 0-2-3 again, directed edges only where needed. *)
+let square () =
+  let g = Graph.create ~n:4 in
+  let e01 = Graph.add_edge g ~src:0 ~dst:1 ~capacity:100.0 ~cost:0.0 () in
+  let e13 = Graph.add_edge g ~src:1 ~dst:3 ~capacity:100.0 ~cost:0.0 () in
+  let e02 = Graph.add_edge g ~src:0 ~dst:2 ~capacity:100.0 ~cost:0.0 () in
+  let e23 = Graph.add_edge g ~src:2 ~dst:3 ~capacity:100.0 ~cost:0.0 () in
+  (g, e01, e13, e02, e23)
+
+let test_mask_subtracts_usage () =
+  let g, e01, e13, e02, _ = square () in
+  let masked =
+    Protect.mask g [ { Protect.path = [ e01; e13 ]; gbps = 30.0 } ]
+  in
+  Alcotest.(check (float 1e-9)) "e01 reduced" 70.0
+    (Graph.edge masked.Protect.graph e01).Graph.capacity;
+  Alcotest.(check (float 1e-9)) "e13 reduced" 70.0
+    (Graph.edge masked.Protect.graph e13).Graph.capacity;
+  Alcotest.(check (float 1e-9)) "e02 untouched" 100.0
+    (Graph.edge masked.Protect.graph e02).Graph.capacity;
+  Alcotest.(check bool) "e01 frozen" true masked.Protect.frozen.(e01);
+  Alcotest.(check bool) "e02 free" false masked.Protect.frozen.(e02)
+
+let test_mask_accumulates_overlapping () =
+  let g, e01, e13, _, _ = square () in
+  let masked =
+    Protect.mask g
+      [
+        { Protect.path = [ e01; e13 ]; gbps = 30.0 };
+        { Protect.path = [ e01 ]; gbps = 20.0 };
+      ]
+  in
+  Alcotest.(check (float 1e-9)) "sums on shared edge" 50.0
+    (Graph.edge masked.Protect.graph e01).Graph.capacity;
+  Alcotest.(check (float 1e-9)) "single flow on e13" 70.0
+    (Graph.edge masked.Protect.graph e13).Graph.capacity
+
+let test_mask_rejects_oversubscription () =
+  let g, e01, _, _, _ = square () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Protect.mask g [ { Protect.path = [ e01 ]; gbps = 150.0 } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mask_rejects_disconnected_path () =
+  let g, e01, _, _, e23 = square () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Protect.mask g [ { Protect.path = [ e01; e23 ]; gbps = 1.0 } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mask_rejects_nonpositive () =
+  let g, e01, _, _, _ = square () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Protect.mask g [ { Protect.path = [ e01 ]; gbps = 0.0 } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_restrict_headroom_freezes () =
+  let g, e01, e13, e02, e23 = square () in
+  let masked = Protect.mask g [ { Protect.path = [ e01; e13 ]; gbps = 10.0 } ] in
+  let headroom = Protect.restrict_headroom masked (fun _ -> 100.0) in
+  Alcotest.(check (float 1e-9)) "frozen edge has no headroom" 0.0 (headroom e01);
+  Alcotest.(check (float 1e-9)) "frozen edge has no headroom" 0.0 (headroom e13);
+  Alcotest.(check (float 1e-9)) "free edge keeps headroom" 100.0 (headroom e02);
+  (* End-to-end: augmenting the masked graph creates no twin for the
+     protected path. *)
+  let aug =
+    Augment.build ~headroom ~penalty:Penalty.Zero masked.Protect.graph
+  in
+  Alcotest.(check bool) "no twin for e01" true
+    (aug.Augment.fake_of_phys.(e01) = None);
+  Alcotest.(check bool) "twin for e02" true
+    (aug.Augment.fake_of_phys.(e02) <> None);
+  ignore e23
+
+let test_validate_decisions () =
+  let g, e01, e13, e02, _ = square () in
+  let masked = Protect.mask g [ { Protect.path = [ e01; e13 ]; gbps = 10.0 } ] in
+  let ok = [ { Translate.phys_edge = e02; extra_gbps = 50.0; penalty_paid = 0.0 } ] in
+  let bad = [ { Translate.phys_edge = e01; extra_gbps = 50.0; penalty_paid = 0.0 } ] in
+  Alcotest.(check bool) "clean plan accepted" true
+    (Protect.validate_decisions masked ok = Ok ());
+  (match Protect.validate_decisions masked bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "frozen-edge upgrade must be rejected")
+
+let test_protected_flow_invisible_to_te () =
+  (* The TE sees only the residual: with 60 Gbps protected on the top
+     path, a 150 Gbps demand can no longer be fully served even with
+     fakes forbidden there. *)
+  let g, e01, e13, _, _ = square () in
+  let masked = Protect.mask g [ { Protect.path = [ e01; e13 ]; gbps = 60.0 } ] in
+  let headroom = Protect.restrict_headroom masked (fun _ -> 100.0) in
+  let aug = Augment.build ~headroom ~penalty:Penalty.Zero masked.Protect.graph in
+  let r = Rwc_flow.Mincost.solve aug.Augment.graph ~src:0 ~dst:3 in
+  (* Bottom path: 100 real + 100 fake = 200; top residual 40: total 240. *)
+  Alcotest.(check (float 1e-6)) "residual max-flow" 240.0 r.Rwc_flow.Mincost.value
+
+(* --- class-weighted penalty ------------------------------------------- *)
+
+let test_class_weighted_penalty () =
+  let interactive = [| 10.0; 0.0 |] in
+  let bulk = [| 50.0; 20.0 |] in
+  let p = Penalty.Class_weighted [ (5.0, interactive); (1.0, bulk) ] in
+  (* Edge 0: 5*10 + 1*50 = 100; edge 1: 0 + 20. *)
+  Alcotest.(check (float 1e-9)) "edge 0" 100.0 (Penalty.evaluate p ~phys_edge_id:0);
+  Alcotest.(check (float 1e-9)) "edge 1" 20.0 (Penalty.evaluate p ~phys_edge_id:1)
+
+let test_class_weighted_steers_upgrades () =
+  (* Two identical upgradable links; one carries interactive traffic.
+     The optimizer must upgrade the other. *)
+  let g = Graph.create ~n:2 in
+  let hot = Graph.add_edge g ~src:0 ~dst:1 ~capacity:100.0 ~cost:0.0 () in
+  let cold = Graph.add_edge g ~src:0 ~dst:1 ~capacity:100.0 ~cost:0.0 () in
+  let interactive = Array.make 2 0.0 in
+  interactive.(hot) <- 40.0;
+  let bulk = Array.make 2 10.0 in
+  let penalty = Penalty.Class_weighted [ (10.0, interactive); (1.0, bulk) ] in
+  let aug = Augment.build ~headroom:(fun _ -> 100.0) ~penalty g in
+  let r = Rwc_flow.Mincost.solve ~limit:250.0 aug.Augment.graph ~src:0 ~dst:1 in
+  let ds = Translate.decisions aug ~flow:r.Rwc_flow.Mincost.flow in
+  Alcotest.(check (float 1e-6)) "all routed" 250.0 r.Rwc_flow.Mincost.value;
+  match ds with
+  | [ d ] -> Alcotest.(check int) "upgrades the cold link" cold d.Translate.phys_edge
+  | _ -> Alcotest.failf "expected exactly one upgrade, got %d" (List.length ds)
+
+let suite =
+  [
+    Alcotest.test_case "mask subtracts usage" `Quick test_mask_subtracts_usage;
+    Alcotest.test_case "mask accumulates overlapping" `Quick test_mask_accumulates_overlapping;
+    Alcotest.test_case "mask rejects oversubscription" `Quick test_mask_rejects_oversubscription;
+    Alcotest.test_case "mask rejects disconnected path" `Quick
+      test_mask_rejects_disconnected_path;
+    Alcotest.test_case "mask rejects non-positive" `Quick test_mask_rejects_nonpositive;
+    Alcotest.test_case "restrict_headroom freezes" `Quick test_restrict_headroom_freezes;
+    Alcotest.test_case "validate decisions" `Quick test_validate_decisions;
+    Alcotest.test_case "protected flow invisible to TE" `Quick
+      test_protected_flow_invisible_to_te;
+    Alcotest.test_case "class-weighted penalty" `Quick test_class_weighted_penalty;
+    Alcotest.test_case "class-weighted steers upgrades" `Quick
+      test_class_weighted_steers_upgrades;
+  ]

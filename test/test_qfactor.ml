@@ -1,0 +1,110 @@
+open Rwc_optical
+
+let test_q_db_roundtrip () =
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9)) "roundtrip" q
+        (Qfactor.q_linear_of_db (Qfactor.q_db_of_linear q)))
+    [ 0.5; 1.0; 3.0; 7.0; 12.0 ]
+
+let test_ber_of_q_reference () =
+  (* Classic anchor: Q = 6 (linear), i.e. ~15.6 dBQ, gives ~1e-9 BER. *)
+  let ber = Qfactor.ber_of_q 6.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "Q=6 -> BER %.2e ~ 1e-9" ber)
+    true
+    (ber > 2e-10 && ber < 3e-9);
+  (* Q = 0 means coin-flip decisions. *)
+  Alcotest.(check (float 1e-9)) "Q=0 -> 0.5" 0.5 (Qfactor.ber_of_q 0.0)
+
+let test_q_of_ber_inverse () =
+  List.iter
+    (fun q ->
+      let ber = Qfactor.ber_of_q q in
+      if ber > 1e-12 then
+        Alcotest.(check (float 0.01)) "inverse" q (Qfactor.q_of_ber ber))
+    [ 1.0; 2.0; 3.0; 5.0 ]
+
+let test_ber_monotone_in_snr () =
+  let rec check prev = function
+    | [] -> ()
+    | snr :: rest ->
+        let ber = Qfactor.ber_of_snr Modulation.Qam16 ~snr_db:snr in
+        Alcotest.(check bool) "decreasing" true (ber <= prev);
+        check ber rest
+  in
+  check 1.0 [ 5.0; 8.0; 11.0; 14.0; 17.0; 20.0 ]
+
+let test_fec_limits_ordered () =
+  Alcotest.(check bool) "SD corrects more than HD" true
+    (Qfactor.fec_limit_ber Qfactor.Sd_fec > Qfactor.fec_limit_ber Qfactor.Hd_fec);
+  Alcotest.(check (float 1e-12)) "no FEC corrects nothing" 0.0
+    (Qfactor.fec_limit_ber Qfactor.None_fec);
+  Alcotest.(check bool) "overheads ordered" true
+    (Qfactor.fec_overhead_percent Qfactor.Sd_fec
+    > Qfactor.fec_overhead_percent Qfactor.Hd_fec)
+
+let test_required_snr_ordering () =
+  (* Stronger FEC lowers the required SNR; denser constellations raise it. *)
+  let req scheme fec = Qfactor.required_snr_db scheme ~fec in
+  Alcotest.(check bool) "SD < HD for 16QAM" true
+    (req Modulation.Qam16 Qfactor.Sd_fec < req Modulation.Qam16 Qfactor.Hd_fec);
+  Alcotest.(check bool) "QPSK < 8QAM < 16QAM under SD-FEC" true
+    (req Modulation.Qpsk Qfactor.Sd_fec < req Modulation.Qam8 Qfactor.Sd_fec
+    && req Modulation.Qam8 Qfactor.Sd_fec < req Modulation.Qam16 Qfactor.Sd_fec)
+
+let test_required_snr_is_boundary () =
+  List.iter
+    (fun scheme ->
+      let snr = Qfactor.required_snr_db scheme ~fec:Qfactor.Sd_fec in
+      Alcotest.(check bool) "viable at the boundary" true
+        (Qfactor.snr_viable scheme ~fec:Qfactor.Sd_fec ~snr_db:snr);
+      Alcotest.(check bool) "not viable 0.1 dB below" false
+        (Qfactor.snr_viable scheme ~fec:Qfactor.Sd_fec ~snr_db:(snr -. 0.1)))
+    [ Modulation.Qpsk; Modulation.Qam8; Modulation.Qam16 ]
+
+let test_consistent_with_modulation_table () =
+  (* The full-rate denomination of each constellation family (100G
+     QPSK, 150G 8QAM, 200G 16QAM) should need an SNR close to the
+     idealized SD-FEC requirement: the two views of "what SNR does
+     this rate need" are derived independently (table: calibration to
+     the paper; here: AWGN SER + FEC limit) and must agree. *)
+  List.iter
+    (fun (gbps, scheme) ->
+      let table =
+        match Modulation.of_gbps gbps with
+        | Some m -> m.Modulation.min_snr_db
+        | None -> Alcotest.fail "denomination missing"
+      in
+      let ideal = Qfactor.required_snr_db scheme ~fec:Qfactor.Sd_fec in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d Gbps: table %.1f vs ideal %.1f" gbps table ideal)
+        true
+        (Float.abs (table -. ideal) < 1.0))
+    [ (100, Modulation.Qpsk); (150, Modulation.Qam8); (200, Modulation.Qam16) ];
+  (* Sub-rate denominations (125G on 8QAM, 175G on 16QAM) trade baud
+     for margin: their thresholds sit BELOW the family's full-rate
+     requirement. *)
+  List.iter
+    (fun (sub, full) ->
+      let threshold g =
+        match Modulation.of_gbps g with
+        | Some m -> m.Modulation.min_snr_db
+        | None -> Alcotest.fail "denomination missing"
+      in
+      Alcotest.(check bool) "sub-rate needs less SNR" true
+        (threshold sub < threshold full))
+    [ (125, 150); (175, 200) ]
+
+let suite =
+  [
+    Alcotest.test_case "q db roundtrip" `Quick test_q_db_roundtrip;
+    Alcotest.test_case "ber of q reference" `Quick test_ber_of_q_reference;
+    Alcotest.test_case "q of ber inverse" `Quick test_q_of_ber_inverse;
+    Alcotest.test_case "ber monotone in snr" `Quick test_ber_monotone_in_snr;
+    Alcotest.test_case "fec limits ordered" `Quick test_fec_limits_ordered;
+    Alcotest.test_case "required snr ordering" `Quick test_required_snr_ordering;
+    Alcotest.test_case "required snr is boundary" `Quick test_required_snr_is_boundary;
+    Alcotest.test_case "consistent with modulation table" `Quick
+      test_consistent_with_modulation_table;
+  ]

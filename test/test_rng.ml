@@ -1,0 +1,142 @@
+open Rwc_stats
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.float a = Rng.float b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_float_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (x >= 0 && x < 17)
+  done
+
+let test_int_covers_all () =
+  let rng = Rng.create 11 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 10_000 do
+    seen.(Rng.int rng 10) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_substream_independent () =
+  let parent = Rng.create 5 in
+  let c1 = Rng.substream parent 0 and c2 = Rng.substream parent 1 in
+  let equal = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.float c1 = Rng.float c2 then incr equal
+  done;
+  Alcotest.(check bool) "substreams differ" true (!equal < 4)
+
+let test_substream_stable () =
+  let p1 = Rng.create 5 and p2 = Rng.create 5 in
+  let a = Rng.substream p1 3 and b = Rng.substream p2 3 in
+  for _ = 1 to 20 do
+    check_float "same substream" (Rng.float a) (Rng.float b)
+  done
+
+let test_substream_does_not_advance_parent () =
+  let p1 = Rng.create 9 and p2 = Rng.create 9 in
+  let _ = Rng.substream p1 4 in
+  check_float "parent untouched" (Rng.float p2) (Rng.float p1)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 13 in
+  let xs = Array.init 50_000 (fun _ -> Rng.gaussian rng ~mu:3.0 ~sigma:2.0) in
+  let s = Summary.of_array xs in
+  Alcotest.(check (float 0.05)) "mean" 3.0 s.Summary.mean;
+  Alcotest.(check (float 0.05)) "stddev" 2.0 s.Summary.stddev
+
+let test_exponential_mean () =
+  let rng = Rng.create 17 in
+  let xs = Array.init 50_000 (fun _ -> Rng.exponential rng ~rate:0.5) in
+  Alcotest.(check (float 0.07)) "mean 1/rate" 2.0 (Summary.mean xs)
+
+let test_lognormal_of_mean () =
+  let rng = Rng.create 19 in
+  let xs =
+    Array.init 100_000 (fun _ -> Rng.lognormal_of_mean rng ~mean:68.0 ~cv:0.4)
+  in
+  Alcotest.(check (float 1.0)) "mean hits target" 68.0 (Summary.mean xs);
+  Array.iter (fun x -> Alcotest.(check bool) "positive" true (x > 0.0)) xs
+
+let test_poisson_mean () =
+  let rng = Rng.create 23 in
+  let xs =
+    Array.init 50_000 (fun _ -> float_of_int (Rng.poisson rng ~mean:4.5))
+  in
+  Alcotest.(check (float 0.1)) "mean" 4.5 (Summary.mean xs)
+
+let test_poisson_large_mean () =
+  let rng = Rng.create 29 in
+  let xs =
+    Array.init 20_000 (fun _ -> float_of_int (Rng.poisson rng ~mean:100.0))
+  in
+  Alcotest.(check (float 1.0)) "normal approx mean" 100.0 (Summary.mean xs)
+
+let test_pareto_lower_bound () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 10_000 do
+    Alcotest.(check bool) ">= scale" true
+      (Rng.pareto rng ~scale:2.0 ~shape:1.5 >= 2.0)
+  done
+
+let test_categorical_weights () =
+  let rng = Rng.create 37 in
+  let counts = Hashtbl.create 3 in
+  let bump k = Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)) in
+  for _ = 1 to 30_000 do
+    bump (Rng.categorical rng [| (0.7, "a"); (0.2, "b"); (0.1, "c") |])
+  done;
+  let freq k = float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts k)) /. 30_000.0 in
+  Alcotest.(check (float 0.02)) "w(a)" 0.7 (freq "a");
+  Alcotest.(check (float 0.02)) "w(b)" 0.2 (freq "b");
+  Alcotest.(check (float 0.02)) "w(c)" 0.1 (freq "c")
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 41 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 Fun.id) sorted
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int covers all residues" `Quick test_int_covers_all;
+    Alcotest.test_case "substreams independent" `Quick test_substream_independent;
+    Alcotest.test_case "substream stable" `Quick test_substream_stable;
+    Alcotest.test_case "substream preserves parent" `Quick
+      test_substream_does_not_advance_parent;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "lognormal_of_mean" `Quick test_lognormal_of_mean;
+    Alcotest.test_case "poisson mean" `Quick test_poisson_mean;
+    Alcotest.test_case "poisson large mean" `Quick test_poisson_large_mean;
+    Alcotest.test_case "pareto lower bound" `Quick test_pareto_lower_bound;
+    Alcotest.test_case "categorical weights" `Quick test_categorical_weights;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+  ]

@@ -1,0 +1,73 @@
+open Rwc_telemetry
+
+let test_rollup_basic () =
+  let ws = Rollup.rollup [| 1.0; 3.0; 2.0; 10.0; 4.0 |] ~every:2 in
+  Alcotest.(check int) "three windows" 3 (Array.length ws);
+  Alcotest.(check (float 1e-9)) "w0 min" 1.0 ws.(0).Rollup.min;
+  Alcotest.(check (float 1e-9)) "w0 mean" 2.0 ws.(0).Rollup.mean;
+  Alcotest.(check (float 1e-9)) "w0 max" 3.0 ws.(0).Rollup.max;
+  Alcotest.(check (float 1e-9)) "w1 min" 2.0 ws.(1).Rollup.min;
+  (* Final partial window. *)
+  Alcotest.(check (float 1e-9)) "w2 = last sample" 4.0 ws.(2).Rollup.mean
+
+let test_rollup_identity () =
+  let trace = [| 5.0; 6.0; 7.0 |] in
+  let ws = Rollup.rollup trace ~every:1 in
+  Alcotest.(check (array (float 1e-9))) "every=1 keeps samples" trace
+    (Rollup.mins ws);
+  Alcotest.(check (array (float 1e-9))) "min = mean = max" trace
+    (Rollup.means ws)
+
+let test_rollup_empty () =
+  Alcotest.(check int) "empty" 0 (Array.length (Rollup.rollup [||] ~every:4))
+
+let test_rollup_window_invariants () =
+  let rng = Rwc_stats.Rng.create 21 in
+  let trace = Array.init 1000 (fun _ -> Rwc_stats.Rng.gaussian rng ~mu:15.0 ~sigma:1.0) in
+  Array.iter
+    (fun w ->
+      Alcotest.(check bool) "min <= mean <= max" true
+        (w.Rollup.min <= w.Rollup.mean +. 1e-9
+        && w.Rollup.mean <= w.Rollup.max +. 1e-9))
+    (Rollup.rollup trace ~every:7)
+
+let test_feasible_conservative () =
+  (* Roll-up-based feasibility never exceeds raw-sample feasibility,
+     across a spread of realistic links. *)
+  List.iteri
+    (fun i baseline ->
+      let p = Snr_model.default_params ~baseline_db:baseline () in
+      let trace, _ =
+        Snr_model.generate (Rwc_stats.Rng.create (300 + i)) p ~years:0.5
+      in
+      let raw_hdr = Rwc_stats.Hdr.of_samples ~mass:0.95 trace in
+      let raw = Rwc_optical.Modulation.feasible_gbps raw_hdr.Rwc_stats.Hdr.lo in
+      List.iter
+        (fun every ->
+          let rolled = Rollup.feasible_gbps_conservative trace ~every in
+          Alcotest.(check bool)
+            (Printf.sprintf "baseline %.1f every %d: %d <= %d" baseline every
+               rolled raw)
+            true (rolled <= raw))
+        [ 4; 24; 96 ])
+    [ 11.0; 13.0; 15.0; 18.0 ]
+
+let test_hourly_rollup_close_to_raw () =
+  (* Hourly (4-sample) roll-ups barely change the statistic: archives
+     can be 4x smaller at negligible cost. *)
+  let p = Snr_model.default_params ~baseline_db:15.0 () in
+  let trace, _ = Snr_model.generate (Rwc_stats.Rng.create 33) p ~years:1.0 in
+  let raw_hdr = Rwc_stats.Hdr.of_samples ~mass:0.95 trace in
+  let raw = Rwc_optical.Modulation.feasible_gbps raw_hdr.Rwc_stats.Hdr.lo in
+  let rolled = Rollup.feasible_gbps_conservative trace ~every:4 in
+  Alcotest.(check bool) "within one denomination" true (raw - rolled <= 25)
+
+let suite =
+  [
+    Alcotest.test_case "rollup basic" `Quick test_rollup_basic;
+    Alcotest.test_case "rollup identity" `Quick test_rollup_identity;
+    Alcotest.test_case "rollup empty" `Quick test_rollup_empty;
+    Alcotest.test_case "window invariants" `Quick test_rollup_window_invariants;
+    Alcotest.test_case "feasibility conservative" `Quick test_feasible_conservative;
+    Alcotest.test_case "hourly rollup close to raw" `Quick test_hourly_rollup_close_to_raw;
+  ]

@@ -1,0 +1,213 @@
+open Rwc_sim
+
+(* --- event queue ------------------------------------------------------ *)
+
+let test_queue_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:3.0 "c";
+  Event_queue.add q ~time:1.0 "a";
+  Event_queue.add q ~time:2.0 "b";
+  let order = List.init 3 (fun _ -> Event_queue.pop q) in
+  Alcotest.(check bool) "sorted" true
+    (order = [ Some (1.0, "a"); Some (2.0, "b"); Some (3.0, "c") ]);
+  Alcotest.(check bool) "drained" true (Event_queue.pop q = None)
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:1.0 "first";
+  Event_queue.add q ~time:1.0 "second";
+  Event_queue.add q ~time:1.0 "third";
+  let labels =
+    List.init 3 (fun _ ->
+        match Event_queue.pop q with Some (_, l) -> l | None -> "?")
+  in
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "second"; "third" ] labels
+
+let test_queue_stress_sorted () =
+  let rng = Rwc_stats.Rng.create 5 in
+  let q = Event_queue.create () in
+  for i = 1 to 1000 do
+    Event_queue.add q ~time:(Rwc_stats.Rng.float rng) i
+  done;
+  Alcotest.(check int) "size" 1000 (Event_queue.size q);
+  let last = ref neg_infinity in
+  for _ = 1 to 1000 do
+    match Event_queue.pop q with
+    | Some (t, _) ->
+        Alcotest.(check bool) "non-decreasing" true (t >= !last);
+        last := t
+    | None -> Alcotest.fail "premature drain"
+  done
+
+(* --- des --------------------------------------------------------------- *)
+
+let test_des_runs_in_order () =
+  let engine = Des.create () in
+  let log = ref [] in
+  Des.schedule engine ~at:5.0 (fun _ -> log := 5 :: !log);
+  Des.schedule engine ~at:1.0 (fun _ -> log := 1 :: !log);
+  Des.schedule engine ~at:3.0 (fun _ -> log := 3 :: !log);
+  Des.run engine ~until:10.0;
+  Alcotest.(check (list int)) "chronological" [ 1; 3; 5 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at horizon" 10.0 (Des.now engine)
+
+let test_des_horizon () =
+  let engine = Des.create () in
+  let fired = ref false in
+  Des.schedule engine ~at:20.0 (fun _ -> fired := true);
+  Des.run engine ~until:10.0;
+  Alcotest.(check bool) "beyond horizon pends" false !fired;
+  Alcotest.(check int) "still pending" 1 (Des.pending engine)
+
+let test_des_handlers_schedule () =
+  let engine = Des.create () in
+  let count = ref 0 in
+  let rec tick e =
+    incr count;
+    if Des.now e < 4.5 then Des.schedule_in e ~after:1.0 tick
+  in
+  Des.schedule engine ~at:0.0 tick;
+  Des.run engine ~until:10.0;
+  Alcotest.(check int) "self-scheduling chain" 6 !count
+
+let test_des_rejects_past () =
+  let engine = Des.create () in
+  Des.schedule engine ~at:5.0 (fun e ->
+      Alcotest.check_raises "no time travel"
+        (Invalid_argument "Des.schedule: event in the past") (fun () ->
+          Des.schedule e ~at:1.0 (fun _ -> ())));
+  Des.run engine ~until:10.0
+
+(* --- netstate ------------------------------------------------------------ *)
+
+let backbone = Rwc_topology.Backbone.north_america
+
+let test_netstate_initial () =
+  let net = Netstate.make ~seed:3 backbone in
+  Alcotest.(check int) "one state per duct"
+    (Array.length backbone.Rwc_topology.Backbone.ducts)
+    (Array.length net.Netstate.ducts);
+  Array.iter
+    (fun d ->
+      Alcotest.(check bool) "up" true d.Netstate.up;
+      Alcotest.(check int) "100G default" 100 d.Netstate.per_lambda_gbps;
+      Alcotest.(check (float 1e-9)) "4 lambdas x 100G" 400.0 (Netstate.capacity_gbps d))
+    net.Netstate.ducts
+
+let test_netstate_graph_shape () =
+  let net = Netstate.make ~seed:3 backbone in
+  let g = Netstate.graph net in
+  Alcotest.(check int) "two directed edges per duct"
+    (2 * Array.length backbone.Rwc_topology.Backbone.ducts)
+    (Rwc_flow.Graph.n_edges g);
+  Alcotest.(check int) "city vertices"
+    (Rwc_topology.Backbone.n_cities backbone)
+    (Rwc_flow.Graph.n_vertices g)
+
+let test_netstate_down_zero_capacity () =
+  let net = Netstate.make ~seed:3 backbone in
+  let d = net.Netstate.ducts.(0) in
+  d.Netstate.up <- false;
+  Alcotest.(check (float 1e-9)) "down = 0" 0.0 (Netstate.capacity_gbps d);
+  let g = Netstate.graph net in
+  Alcotest.(check (float 1e-9)) "edge reflects down" 0.0
+    (Rwc_flow.Graph.edge g 0).Rwc_flow.Graph.capacity
+
+let test_netstate_headroom () =
+  let net = Netstate.make ~seed:3 backbone in
+  let d = net.Netstate.ducts.(0) in
+  d.Netstate.current_snr_db <- 20.0;
+  (* 200G feasible, configured at 100: headroom = 4 x 100. *)
+  Alcotest.(check (float 1e-9)) "headroom" 400.0 (Netstate.headroom d);
+  d.Netstate.current_snr_db <- 7.0;
+  Alcotest.(check (float 1e-9)) "no headroom below 125 threshold" 0.0
+    (Netstate.headroom d)
+
+(* --- runner (integration) -------------------------------------------------- *)
+
+let fast_config =
+  (* Offered load deliberately exceeds the static-100G network (130%)
+     so the throughput comparison exercises the capacity headroom: a
+     fully-served network would show no gain by construction. *)
+  {
+    Runner.days = 5.0;
+    te_interval_h = 12.0;
+    seed = 11;
+    wavelengths = 4;
+    demand_fraction = 1.3;
+    top_demands = 20;
+    epsilon = 0.2;
+  }
+
+let reports = lazy (Runner.compare_policies ~config:fast_config ())
+
+let find policy =
+  List.find (fun r -> r.Runner.policy = policy) (Lazy.force reports)
+
+let test_runner_static_100_baseline () =
+  let r = find Runner.Static_100 in
+  Alcotest.(check bool) "delivers something" true (r.Runner.delivered_pbit > 0.0);
+  Alcotest.(check int) "no reconfigurations" 0 r.Runner.reconfigurations;
+  Alcotest.(check bool) "availability high" true (r.Runner.duct_availability > 0.95)
+
+let test_runner_adaptive_beats_static_throughput () =
+  let s = find Runner.Static_100 in
+  let a = find (Runner.Adaptive Runner.Efficient) in
+  (* The paper's claim: 75-100% capacity gain from adapting to SNR. *)
+  let gain = a.Runner.avg_throughput_gbps /. s.Runner.avg_throughput_gbps in
+  Alcotest.(check bool)
+    (Printf.sprintf "gain %.2fx in [1.3, 2.3]" gain)
+    true
+    (gain > 1.3 && gain < 2.3)
+
+let test_runner_adaptive_availability () =
+  let m = find Runner.Static_max in
+  let a = find (Runner.Adaptive Runner.Efficient) in
+  Alcotest.(check bool) "adaptive >= static-max availability" true
+    (a.Runner.duct_availability >= m.Runner.duct_availability -. 1e-9);
+  Alcotest.(check bool) "adaptive has no more failures" true
+    (a.Runner.failures <= m.Runner.failures)
+
+let test_runner_efficient_less_downtime () =
+  let stock = find (Runner.Adaptive Runner.Stock) in
+  let eff = find (Runner.Adaptive Runner.Efficient) in
+  Alcotest.(check bool) "orders of magnitude less downtime" true
+    (eff.Runner.reconfig_downtime_s < stock.Runner.reconfig_downtime_s /. 100.0
+    || stock.Runner.reconfigurations = 0)
+
+let test_runner_offered_bounds_delivered () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "delivered <= offered" true
+        (r.Runner.delivered_pbit <= r.Runner.offered_pbit +. 1e-6))
+    (Lazy.force reports)
+
+let test_runner_deterministic () =
+  let a = Runner.run ~config:fast_config Runner.Static_100 in
+  let b = Runner.run ~config:fast_config Runner.Static_100 in
+  Alcotest.(check (float 1e-9)) "same delivered" a.Runner.delivered_pbit
+    b.Runner.delivered_pbit;
+  Alcotest.(check int) "same failures" a.Runner.failures b.Runner.failures
+
+let suite =
+  [
+    Alcotest.test_case "queue ordering" `Quick test_queue_ordering;
+    Alcotest.test_case "queue fifo ties" `Quick test_queue_fifo_ties;
+    Alcotest.test_case "queue stress" `Quick test_queue_stress_sorted;
+    Alcotest.test_case "des chronological" `Quick test_des_runs_in_order;
+    Alcotest.test_case "des horizon" `Quick test_des_horizon;
+    Alcotest.test_case "des self-scheduling" `Quick test_des_handlers_schedule;
+    Alcotest.test_case "des rejects past" `Quick test_des_rejects_past;
+    Alcotest.test_case "netstate initial" `Quick test_netstate_initial;
+    Alcotest.test_case "netstate graph shape" `Quick test_netstate_graph_shape;
+    Alcotest.test_case "netstate down capacity" `Quick test_netstate_down_zero_capacity;
+    Alcotest.test_case "netstate headroom" `Quick test_netstate_headroom;
+    Alcotest.test_case "runner static-100" `Slow test_runner_static_100_baseline;
+    Alcotest.test_case "runner adaptive throughput gain" `Slow
+      test_runner_adaptive_beats_static_throughput;
+    Alcotest.test_case "runner adaptive availability" `Slow test_runner_adaptive_availability;
+    Alcotest.test_case "runner efficient downtime" `Slow test_runner_efficient_less_downtime;
+    Alcotest.test_case "runner offered bounds" `Slow test_runner_offered_bounds_delivered;
+    Alcotest.test_case "runner deterministic" `Slow test_runner_deterministic;
+  ]

@@ -1,0 +1,158 @@
+open Rwc_stats
+
+let test_summary_basic () =
+  let s = Summary.of_array [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.(check int) "count" 5 s.Summary.count;
+  Alcotest.(check (float 1e-9)) "mean" 3.0 s.Summary.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Summary.min;
+  Alcotest.(check (float 1e-9)) "max" 5.0 s.Summary.max;
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt 2.5) s.Summary.stddev
+
+let test_summary_single () =
+  let s = Summary.of_array [| 7.0 |] in
+  Alcotest.(check (float 1e-9)) "stddev of singleton" 0.0 s.Summary.stddev
+
+let test_percentile_endpoints () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  Alcotest.(check (float 1e-9)) "p0" 10.0 (Summary.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 40.0 (Summary.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "p50" 25.0 (Summary.percentile xs 50.0)
+
+let test_percentile_unsorted () =
+  let xs = [| 30.0; 10.0; 40.0; 20.0 |] in
+  Alcotest.(check (float 1e-9)) "median of unsorted" 25.0 (Summary.median xs);
+  Alcotest.(check (float 1e-9)) "input unchanged" 30.0 xs.(0)
+
+let test_cdf_eval () =
+  let c = Cdf.of_samples [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "below all" 0.0 (Cdf.eval c 0.5);
+  Alcotest.(check (float 1e-9)) "at first" 0.25 (Cdf.eval c 1.0);
+  Alcotest.(check (float 1e-9)) "between" 0.5 (Cdf.eval c 2.5);
+  Alcotest.(check (float 1e-9)) "at last" 1.0 (Cdf.eval c 4.0);
+  Alcotest.(check (float 1e-9)) "above all" 1.0 (Cdf.eval c 9.0)
+
+let test_cdf_quantile_roundtrip () =
+  let c = Cdf.of_samples (Array.init 100 (fun i -> float_of_int i)) in
+  Alcotest.(check (float 1e-9)) "q=0.5" 49.0 (Cdf.quantile c 0.5);
+  Alcotest.(check (float 1e-9)) "q=1.0" 99.0 (Cdf.quantile c 1.0);
+  Alcotest.(check (float 1e-9)) "q=0.01" 0.0 (Cdf.quantile c 0.01)
+
+let test_cdf_duplicates () =
+  let c = Cdf.of_samples [| 5.0; 5.0; 5.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "all at 5" 1.0 (Cdf.eval c 5.0);
+  Alcotest.(check (float 1e-9)) "below" 0.0 (Cdf.eval c 4.999)
+
+let test_cdf_points_monotone () =
+  let rng = Rng.create 3 in
+  let c = Cdf.of_samples (Array.init 1000 (fun _ -> Rng.float rng)) in
+  let pts = Cdf.points c () in
+  let rec check_monotone = function
+    | (v1, p1) :: ((v2, p2) :: _ as rest) ->
+        Alcotest.(check bool) "values ascend" true (v2 >= v1);
+        Alcotest.(check bool) "probs ascend" true (p2 >= p1);
+        check_monotone rest
+    | _ -> ()
+  in
+  check_monotone pts;
+  Alcotest.(check (float 1e-9)) "ends at 1" 1.0 (snd (List.nth pts (List.length pts - 1)))
+
+let test_hdr_tight_cluster () =
+  (* 96 points at ~10, 4 outliers: the 95% HDR must hug the cluster. *)
+  let xs =
+    Array.append
+      (Array.init 96 (fun i -> 10.0 +. (0.01 *. float_of_int i)))
+      [| 0.0; 1.0; 25.0; 30.0 |]
+  in
+  let h = Hdr.of_samples xs in
+  Alcotest.(check bool) "narrow" true (Hdr.width h < 1.0);
+  Alcotest.(check bool) "covers cluster" true (h.Hdr.lo >= 9.9 && h.Hdr.hi <= 11.0)
+
+let test_hdr_mass_coverage () =
+  let rng = Rng.create 4 in
+  let xs = Array.init 2000 (fun _ -> Rng.gaussian rng ~mu:0.0 ~sigma:1.0) in
+  let h = Hdr.of_samples ~mass:0.95 xs in
+  let inside =
+    Array.fold_left
+      (fun acc x -> if x >= h.Hdr.lo && x <= h.Hdr.hi then acc + 1 else acc)
+      0 xs
+  in
+  Alcotest.(check bool) "covers >= 95%" true (inside >= 1900);
+  (* For a standard normal the 95% HDR is about [-1.96, 1.96]. *)
+  Alcotest.(check (float 0.3)) "width ~ 3.92" 3.92 (Hdr.width h)
+
+let test_hdr_full_mass () =
+  let xs = [| 1.0; 5.0; 9.0 |] in
+  let h = Hdr.of_samples ~mass:1.0 xs in
+  Alcotest.(check (float 1e-9)) "lo" 1.0 h.Hdr.lo;
+  Alcotest.(check (float 1e-9)) "hi" 9.0 h.Hdr.hi
+
+let test_histogram_binning () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  Histogram.add_all h [| 0.5; 1.5; 1.7; 9.99; -1.0; 10.0; 42.0 |];
+  Alcotest.(check int) "total" 7 (Histogram.count h);
+  Alcotest.(check int) "bin 0" 1 (Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 1" 2 (Histogram.bin_count h 1);
+  Alcotest.(check int) "bin 9" 1 (Histogram.bin_count h 9);
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Histogram.overflow h)
+
+let test_histogram_edges () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  let lo, hi = Histogram.bin_edges h 2 in
+  Alcotest.(check (float 1e-9)) "lo edge" 4.0 lo;
+  Alcotest.(check (float 1e-9)) "hi edge" 6.0 hi
+
+let test_ar1_stationary () =
+  let rng = Rng.create 5 in
+  let p = Timeseries.{ mean = 15.0; phi = 0.9; sigma = 0.1 } in
+  let xs = Timeseries.ar1_generate rng p ~n:100_000 in
+  Alcotest.(check (float 0.05)) "mean reverts" 15.0 (Summary.mean xs);
+  let expect = Timeseries.ar1_stationary_sigma p in
+  Alcotest.(check (float 0.02)) "stationary sd" expect (Summary.stddev xs)
+
+let test_ar1_zero_phi_iid () =
+  let rng = Rng.create 6 in
+  let p = Timeseries.{ mean = 0.0; phi = 0.0; sigma = 1.0 } in
+  let xs = Timeseries.ar1_generate rng p ~n:50_000 in
+  Alcotest.(check (float 0.03)) "iid sd" 1.0 (Summary.stddev xs)
+
+let test_downsample () =
+  let xs = Array.init 10 float_of_int in
+  Alcotest.(check (array (float 1e-9))) "every 3"
+    [| 0.0; 3.0; 6.0; 9.0 |]
+    (Timeseries.downsample xs ~every:3);
+  Alcotest.(check (array (float 1e-9))) "every 1" xs
+    (Timeseries.downsample xs ~every:1)
+
+let test_rolling_min () =
+  let xs = [| 5.0; 3.0; 4.0; 1.0; 2.0; 6.0 |] in
+  Alcotest.(check (array (float 1e-9))) "window 2"
+    [| 5.0; 3.0; 3.0; 1.0; 1.0; 2.0 |]
+    (Timeseries.rolling_min xs ~window:2)
+
+let test_rolling_min_window_one () =
+  let xs = [| 2.0; 1.0; 3.0 |] in
+  Alcotest.(check (array (float 1e-9))) "identity" xs
+    (Timeseries.rolling_min xs ~window:1)
+
+let suite =
+  [
+    Alcotest.test_case "summary basic" `Quick test_summary_basic;
+    Alcotest.test_case "summary singleton" `Quick test_summary_single;
+    Alcotest.test_case "percentile endpoints" `Quick test_percentile_endpoints;
+    Alcotest.test_case "percentile unsorted input" `Quick test_percentile_unsorted;
+    Alcotest.test_case "cdf eval" `Quick test_cdf_eval;
+    Alcotest.test_case "cdf quantile" `Quick test_cdf_quantile_roundtrip;
+    Alcotest.test_case "cdf duplicates" `Quick test_cdf_duplicates;
+    Alcotest.test_case "cdf points monotone" `Quick test_cdf_points_monotone;
+    Alcotest.test_case "hdr tight cluster" `Quick test_hdr_tight_cluster;
+    Alcotest.test_case "hdr mass coverage" `Quick test_hdr_mass_coverage;
+    Alcotest.test_case "hdr full mass" `Quick test_hdr_full_mass;
+    Alcotest.test_case "histogram binning" `Quick test_histogram_binning;
+    Alcotest.test_case "histogram edges" `Quick test_histogram_edges;
+    Alcotest.test_case "ar1 stationary moments" `Quick test_ar1_stationary;
+    Alcotest.test_case "ar1 phi=0 is iid" `Quick test_ar1_zero_phi_iid;
+    Alcotest.test_case "downsample" `Quick test_downsample;
+    Alcotest.test_case "rolling min" `Quick test_rolling_min;
+    Alcotest.test_case "rolling min window=1" `Quick test_rolling_min_window_one;
+  ]

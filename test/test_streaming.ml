@@ -1,0 +1,125 @@
+open Rwc_stats
+
+(* --- Welford moments --------------------------------------------------- *)
+
+let test_moments_match_batch () =
+  let rng = Rng.create 3 in
+  let xs = Array.init 10_000 (fun _ -> Rng.gaussian rng ~mu:5.0 ~sigma:2.0) in
+  let m = Streaming.Moments.create () in
+  Array.iter (Streaming.Moments.add m) xs;
+  let batch = Summary.of_array xs in
+  Alcotest.(check int) "count" batch.Summary.count (Streaming.Moments.count m);
+  Alcotest.(check (float 1e-9)) "mean" batch.Summary.mean (Streaming.Moments.mean m);
+  Alcotest.(check (float 1e-9)) "stddev" batch.Summary.stddev
+    (Streaming.Moments.stddev m);
+  Alcotest.(check (float 1e-9)) "min" batch.Summary.min (Streaming.Moments.min m);
+  Alcotest.(check (float 1e-9)) "max" batch.Summary.max (Streaming.Moments.max m)
+
+let test_moments_empty () =
+  let m = Streaming.Moments.create () in
+  Alcotest.(check int) "count" 0 (Streaming.Moments.count m);
+  Alcotest.(check (float 1e-9)) "mean" 0.0 (Streaming.Moments.mean m);
+  Alcotest.(check (float 1e-9)) "variance" 0.0 (Streaming.Moments.variance m)
+
+let test_moments_single () =
+  let m = Streaming.Moments.create () in
+  Streaming.Moments.add m 7.5;
+  Alcotest.(check (float 1e-9)) "mean" 7.5 (Streaming.Moments.mean m);
+  Alcotest.(check (float 1e-9)) "variance" 0.0 (Streaming.Moments.variance m);
+  Alcotest.(check (float 1e-9)) "min=max" 7.5 (Streaming.Moments.min m)
+
+let test_moments_catastrophic_cancellation () =
+  (* Large offset: the naive sum-of-squares method fails here. *)
+  let m = Streaming.Moments.create () in
+  List.iter (Streaming.Moments.add m) [ 1e9 +. 4.0; 1e9 +. 7.0; 1e9 +. 13.0; 1e9 +. 16.0 ];
+  Alcotest.(check (float 1e-3)) "variance stable" 30.0 (Streaming.Moments.variance m)
+
+(* --- P2 quantile -------------------------------------------------------- *)
+
+let test_p2_median_uniform () =
+  let rng = Rng.create 5 in
+  let q = Streaming.Quantile.create 0.5 in
+  for _ = 1 to 50_000 do
+    Streaming.Quantile.add q (Rng.float rng)
+  done;
+  Alcotest.(check (float 0.02)) "median of U(0,1)" 0.5 (Streaming.Quantile.estimate q)
+
+let test_p2_p95_gaussian () =
+  let rng = Rng.create 6 in
+  let q = Streaming.Quantile.create 0.95 in
+  for _ = 1 to 100_000 do
+    Streaming.Quantile.add q (Rng.gaussian rng ~mu:0.0 ~sigma:1.0)
+  done;
+  (* True 95th percentile of N(0,1) is 1.6449. *)
+  Alcotest.(check (float 0.08)) "p95" 1.6449 (Streaming.Quantile.estimate q)
+
+let test_p2_small_streams_exact () =
+  let q = Streaming.Quantile.create 0.5 in
+  List.iter (Streaming.Quantile.add q) [ 9.0; 1.0; 5.0 ];
+  Alcotest.(check (float 1e-9)) "exact for < 5 samples" 5.0
+    (Streaming.Quantile.estimate q)
+
+let test_p2_empty_nan () =
+  let q = Streaming.Quantile.create 0.5 in
+  Alcotest.(check bool) "nan before data" true
+    (Float.is_nan (Streaming.Quantile.estimate q))
+
+(* --- reservoir ------------------------------------------------------------ *)
+
+let test_reservoir_underfull () =
+  let r = Streaming.Reservoir.create (Rng.create 7) ~capacity:10 in
+  List.iter (Streaming.Reservoir.add r) [ 1.0; 2.0; 3.0 ];
+  Alcotest.(check int) "seen" 3 (Streaming.Reservoir.seen r);
+  Alcotest.(check (array (float 1e-9))) "keeps everything in order"
+    [| 1.0; 2.0; 3.0 |]
+    (Streaming.Reservoir.sample r)
+
+let test_reservoir_capacity_respected () =
+  let r = Streaming.Reservoir.create (Rng.create 8) ~capacity:50 in
+  for i = 1 to 10_000 do
+    Streaming.Reservoir.add r (float_of_int i)
+  done;
+  Alcotest.(check int) "seen all" 10_000 (Streaming.Reservoir.seen r);
+  Alcotest.(check int) "sample bounded" 50
+    (Array.length (Streaming.Reservoir.sample r))
+
+let test_reservoir_unbiased () =
+  (* Mean of a uniform stream's reservoir sample should track the
+     stream mean across repetitions. *)
+  let total = ref 0.0 in
+  let reps = 200 in
+  for rep = 1 to reps do
+    let r = Streaming.Reservoir.create (Rng.create rep) ~capacity:20 in
+    for i = 0 to 999 do
+      Streaming.Reservoir.add r (float_of_int i)
+    done;
+    total := !total +. Summary.mean (Streaming.Reservoir.sample r)
+  done;
+  Alcotest.(check (float 15.0)) "unbiased sample mean" 499.5 (!total /. float_of_int reps)
+
+let test_reservoir_hdr_close_to_exact () =
+  (* The constant-memory pipeline: reservoir + HDR vs exact HDR. *)
+  let rng = Rng.create 9 in
+  let p = Timeseries.{ mean = 15.0; phi = 0.9; sigma = 0.15 } in
+  let trace = Timeseries.ar1_generate rng p ~n:50_000 in
+  let r = Streaming.Reservoir.create (Rng.create 10) ~capacity:2000 in
+  Array.iter (Streaming.Reservoir.add r) trace;
+  let exact = Hdr.of_samples trace in
+  let approx = Hdr.of_samples (Streaming.Reservoir.sample r) in
+  Alcotest.(check (float 0.25)) "hdr width close" (Hdr.width exact) (Hdr.width approx)
+
+let suite =
+  [
+    Alcotest.test_case "moments match batch" `Quick test_moments_match_batch;
+    Alcotest.test_case "moments empty" `Quick test_moments_empty;
+    Alcotest.test_case "moments single" `Quick test_moments_single;
+    Alcotest.test_case "moments cancellation" `Quick test_moments_catastrophic_cancellation;
+    Alcotest.test_case "p2 median uniform" `Quick test_p2_median_uniform;
+    Alcotest.test_case "p2 p95 gaussian" `Quick test_p2_p95_gaussian;
+    Alcotest.test_case "p2 small streams exact" `Quick test_p2_small_streams_exact;
+    Alcotest.test_case "p2 empty nan" `Quick test_p2_empty_nan;
+    Alcotest.test_case "reservoir underfull" `Quick test_reservoir_underfull;
+    Alcotest.test_case "reservoir capacity" `Quick test_reservoir_capacity_respected;
+    Alcotest.test_case "reservoir unbiased" `Quick test_reservoir_unbiased;
+    Alcotest.test_case "reservoir hdr pipeline" `Quick test_reservoir_hdr_close_to_exact;
+  ]

@@ -1,0 +1,177 @@
+open Rwc_core
+module Graph = Rwc_flow.Graph
+
+(* Square with two disjoint 2-hop routes 0->3. *)
+let square () =
+  let g = Graph.create ~n:4 in
+  let add a b =
+    ignore (Graph.add_edge g ~src:a ~dst:b ~capacity:100.0 ~cost:1.0 ());
+    ignore (Graph.add_edge g ~src:b ~dst:a ~capacity:100.0 ~cost:1.0 ())
+  in
+  add 0 1;
+  add 1 3;
+  add 0 2;
+  add 2 3;
+  g
+
+let demand klass gbps = { Swan.src = 0; dst = 3; gbps; klass }
+
+let test_priority_order () =
+  let g = square () in
+  (* 150 interactive + 150 background against 200 of total capacity:
+     interactive must be fully served, background takes the loss. *)
+  let a =
+    Swan.allocate ~epsilon:0.05 g
+      [ demand Swan.Background 150.0; demand Swan.Interactive 150.0 ]
+  in
+  let result k = List.assoc k a.Swan.per_class in
+  Alcotest.(check (float 1e-6)) "interactive fully served" 150.0
+    (result Swan.Interactive).Te.total_gbps;
+  Alcotest.(check bool) "background squeezed" true
+    ((result Swan.Background).Te.total_gbps < 60.0);
+  Alcotest.(check bool) "total within capacity" true (a.Swan.routed_gbps <= 200.0 +. 1e-6)
+
+let test_classes_share_when_room () =
+  let g = square () in
+  let a =
+    Swan.allocate ~epsilon:0.05 g
+      [
+        demand Swan.Interactive 50.0;
+        demand Swan.Elastic 50.0;
+        demand Swan.Background 50.0;
+      ]
+  in
+  Alcotest.(check bool) "all three served" true (a.Swan.routed_gbps > 145.0)
+
+let test_allocation_respects_capacity () =
+  let g = square () in
+  let a =
+    Swan.allocate ~epsilon:0.05 g
+      [ demand Swan.Interactive 500.0; demand Swan.Elastic 500.0 ]
+  in
+  Graph.iter_edges
+    (fun e ->
+      Alcotest.(check bool) "per-edge capacity" true
+        (a.Swan.flow.(e.Graph.id) <= e.Graph.capacity +. 1e-6))
+    g
+
+let test_empty_class_ok () =
+  let g = square () in
+  let a = Swan.allocate ~epsilon:0.05 g [ demand Swan.Elastic 10.0 ] in
+  Alcotest.(check (float 1e-6)) "only the elastic demand" 10.0 a.Swan.routed_gbps;
+  Alcotest.(check int) "three class entries regardless" 3
+    (List.length a.Swan.per_class)
+
+(* --- congestion-free updates -------------------------------------------- *)
+
+let capacity = [| 100.0; 100.0; 100.0 |]
+
+let test_update_plan_counts_steps () =
+  let old_flow = [| 80.0; 0.0; 40.0 |] in
+  let new_flow = [| 0.0; 80.0; 40.0 |] in
+  match Swan.update_plan ~slack:0.2 ~capacity ~old_flow ~new_flow with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      (* ceil(1/0.2) = 5 transitions: 4 intermediates + final. *)
+      Alcotest.(check int) "steps" 5 (List.length plan.Swan.steps);
+      let final = List.nth plan.Swan.steps 4 in
+      Alcotest.(check (array (float 1e-9))) "ends at new config" new_flow final
+
+let test_update_plan_congestion_free () =
+  let old_flow = [| 80.0; 0.0; 40.0 |] in
+  let new_flow = [| 0.0; 80.0; 40.0 |] in
+  match Swan.update_plan ~slack:0.2 ~capacity ~old_flow ~new_flow with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      Alcotest.(check bool) "no transient overload" true
+        (Swan.plan_is_congestion_free ~capacity ~old_flow plan)
+
+let test_update_plan_rejects_no_slack () =
+  let loaded = [| 95.0; 0.0; 0.0 |] in
+  match Swan.update_plan ~slack:0.2 ~capacity ~old_flow:loaded ~new_flow:loaded with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "95% load violates the 20%-slack premise"
+
+let test_update_plan_rejects_bad_slack () =
+  match
+    Swan.update_plan ~slack:0.0 ~capacity ~old_flow:[| 0.0; 0.0; 0.0 |]
+      ~new_flow:[| 0.0; 0.0; 0.0 |]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "slack 0 must be rejected"
+
+let test_direct_swap_would_congest () =
+  (* The motivating case: swapping 80 units between two links in ONE
+     step transiently loads the destination link to 80 + 80 > 100, but
+     the SWAN plan never does. *)
+  let old_flow = [| 80.0; 80.0 |] in
+  let new_flow = [| 80.0 +. 0.0; 80.0 |] in
+  ignore new_flow;
+  let a = [| 80.0; 0.0 |] and b = [| 0.0; 80.0 |] in
+  let direct = Swan.transient_load a b in
+  Alcotest.(check (float 1e-9)) "one-shot transient overloads" 80.0 direct.(1);
+  match Swan.update_plan ~slack:0.2 ~capacity:[| 100.0; 100.0 |] ~old_flow:a ~new_flow:b with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      Alcotest.(check bool) "staged plan stays safe" true
+        (Swan.plan_is_congestion_free ~capacity:[| 100.0; 100.0 |] ~old_flow:a plan);
+      ignore old_flow
+
+let prop_update_plan_always_safe =
+  QCheck.Test.make ~name:"swan: staged updates never congest" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 1 6) (int_range 0 70))
+        (list_of_size (QCheck.Gen.int_range 1 6) (int_range 0 70)))
+    (fun (old_l, new_l) ->
+      let m = max (List.length old_l) (List.length new_l) in
+      let to_arr l =
+        Array.init m (fun i ->
+            match List.nth_opt l i with Some v -> float_of_int v | None -> 0.0)
+      in
+      let old_flow = to_arr old_l and new_flow = to_arr new_l in
+      let capacity = Array.make m 100.0 in
+      match Swan.update_plan ~slack:0.3 ~capacity ~old_flow ~new_flow with
+      | Error _ -> false (* 70 <= 0.7 * 100, so the premise always holds *)
+      | Ok plan -> Swan.plan_is_congestion_free ~capacity ~old_flow plan)
+
+let suite =
+  [
+    Alcotest.test_case "priority order" `Quick test_priority_order;
+    Alcotest.test_case "classes share when room" `Quick test_classes_share_when_room;
+    Alcotest.test_case "allocation respects capacity" `Quick test_allocation_respects_capacity;
+    Alcotest.test_case "empty class ok" `Quick test_empty_class_ok;
+    Alcotest.test_case "update plan step count" `Quick test_update_plan_counts_steps;
+    Alcotest.test_case "update plan congestion free" `Quick test_update_plan_congestion_free;
+    Alcotest.test_case "update plan rejects no slack" `Quick test_update_plan_rejects_no_slack;
+    Alcotest.test_case "update plan rejects bad slack" `Quick test_update_plan_rejects_bad_slack;
+    Alcotest.test_case "direct swap would congest" `Quick test_direct_swap_would_congest;
+    QCheck_alcotest.to_alcotest prop_update_plan_always_safe;
+  ]
+
+let prop_strict_priority_isolation =
+  (* Strict priority: the interactive class's allocation is identical
+     whether or not lower classes exist. *)
+  QCheck.Test.make ~name:"swan: lower classes cannot affect interactive"
+    ~count:60
+    QCheck.(pair (int_range 1 1000) (int_range 0 400))
+    (fun (seed, bg_demand) ->
+      let g = square () in
+      let rng = Rwc_stats.Rng.create seed in
+      let interactive =
+        [
+          demand Swan.Interactive (Rwc_stats.Rng.uniform rng ~lo:10.0 ~hi:250.0);
+        ]
+      in
+      let with_bg =
+        if bg_demand = 0 then interactive
+        else interactive @ [ demand Swan.Background (float_of_int bg_demand) ]
+      in
+      let a = Swan.allocate ~epsilon:0.1 g interactive in
+      let b = Swan.allocate ~epsilon:0.1 g with_bg in
+      let routed alloc =
+        (List.assoc Swan.Interactive alloc.Swan.per_class).Te.total_gbps
+      in
+      Float.abs (routed a -. routed b) < 1e-6)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_strict_priority_isolation ]

@@ -1,0 +1,358 @@
+open Rwc_telemetry
+
+let small_fleet =
+  (* 10 cables x 40 wavelengths, 6 months: cables are the unit of
+     route-length variation, so the calibration shares need enough of
+     them to be stable; 10 keeps the fleet-wide statistics within the
+     test bands while staying cheap to generate. *)
+  { Fleet.seed = 2017; n_cables = 10; lambdas_per_cable = 40; years = 0.5 }
+
+(* --- snr model ------------------------------------------------------- *)
+
+let test_trace_length () =
+  let rng = Rwc_stats.Rng.create 1 in
+  let p = Snr_model.default_params ~baseline_db:15.0 () in
+  let trace, _ = Snr_model.generate rng p ~years:1.0 in
+  Alcotest.(check int) "one year of 15-min samples" Snr_model.samples_per_year
+    (Array.length trace)
+
+let test_trace_non_negative () =
+  let rng = Rwc_stats.Rng.create 2 in
+  let p = Snr_model.default_params ~baseline_db:8.0 () in
+  let trace, _ = Snr_model.generate rng p ~years:2.0 in
+  Array.iter
+    (fun s -> Alcotest.(check bool) "snr >= 0" true (s >= 0.0))
+    trace
+
+let test_trace_tracks_baseline () =
+  let rng = Rwc_stats.Rng.create 3 in
+  let p = Snr_model.default_params ~baseline_db:15.0 () in
+  let trace, _ = Snr_model.generate rng p ~years:1.0 in
+  Alcotest.(check (float 0.3)) "median near baseline" 15.0
+    (Rwc_stats.Summary.median trace)
+
+let test_trace_narrow_hdr_wide_range () =
+  (* The paper's Fig. 2a shape: tight 95% HDR, big max-min range. *)
+  let rng = Rwc_stats.Rng.create 4 in
+  let p = Snr_model.default_params ~baseline_db:16.0 () in
+  let trace, _ = Snr_model.generate rng p ~years:2.5 in
+  let hdr = Rwc_stats.Hdr.of_samples trace in
+  Alcotest.(check bool) "hdr narrow" true (Rwc_stats.Hdr.width hdr < 2.0);
+  let lo = Array.fold_left Float.min trace.(0) trace in
+  let hi = Array.fold_left Float.max trace.(0) trace in
+  Alcotest.(check bool) "range much wider than hdr" true
+    (hi -. lo > 2.0 *. Rwc_stats.Hdr.width hdr)
+
+let test_dips_respected () =
+  let rng = Rwc_stats.Rng.create 5 in
+  let p = Snr_model.default_params ~baseline_db:16.0 () in
+  let trace, dips = Snr_model.generate rng p ~years:2.5 in
+  List.iter
+    (fun d ->
+      let stop = min (Array.length trace) (d.Snr_model.start + d.Snr_model.duration) in
+      for i = d.Snr_model.start to stop - 1 do
+        Alcotest.(check bool) "trace at or below dip floor" true
+          (trace.(i) <= d.Snr_model.floor_db +. 1e-9)
+      done)
+    dips
+
+let test_deterministic_generation () =
+  let p = Snr_model.default_params ~baseline_db:14.0 () in
+  let t1, _ = Snr_model.generate (Rwc_stats.Rng.create 9) p ~years:0.3 in
+  let t2, _ = Snr_model.generate (Rwc_stats.Rng.create 9) p ~years:0.3 in
+  Alcotest.(check bool) "same seed same trace" true (t1 = t2)
+
+(* --- failure extraction ---------------------------------------------- *)
+
+let test_episode_extraction () =
+  let trace = [| 10.0; 10.0; 5.0; 4.0; 10.0; 3.0; 10.0 |] in
+  let eps = Failure.episodes trace ~threshold_db:6.5 in
+  Alcotest.(check int) "two episodes" 2 (List.length eps);
+  match eps with
+  | [ e1; e2 ] ->
+      Alcotest.(check int) "first start" 2 e1.Failure.start;
+      Alcotest.(check int) "first length" 2 e1.Failure.samples;
+      Alcotest.(check (float 1e-9)) "first min" 4.0 e1.Failure.min_snr_db;
+      Alcotest.(check int) "second start" 5 e2.Failure.start;
+      Alcotest.(check (float 1e-9)) "second min" 3.0 e2.Failure.min_snr_db
+  | _ -> Alcotest.fail "bad episode count"
+
+let test_episode_edges () =
+  (* Trace starting and ending below threshold. *)
+  let trace = [| 1.0; 10.0; 1.0 |] in
+  let eps = Failure.episodes trace ~threshold_db:6.5 in
+  Alcotest.(check int) "two boundary episodes" 2 (List.length eps)
+
+let test_no_episodes () =
+  let trace = Array.make 10 20.0 in
+  Alcotest.(check int) "none" 0
+    (List.length (Failure.episodes trace ~threshold_db:6.5))
+
+let test_count_monotone_in_capacity () =
+  (* Higher capacity -> higher threshold -> at least as many failures. *)
+  let rng = Rwc_stats.Rng.create 6 in
+  let p = Snr_model.default_params ~baseline_db:14.0 () in
+  let trace, _ = Snr_model.generate rng p ~years:2.0 in
+  let counts =
+    List.map (fun g -> Failure.count_at_capacity trace ~gbps:g)
+      [ 50; 100; 125; 150; 175; 200 ]
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "non-decreasing" true (b >= a);
+        monotone rest
+    | _ -> ()
+  in
+  monotone counts
+
+let test_duration_hours () =
+  let e = { Failure.start = 0; samples = 8; min_snr_db = 1.0 } in
+  Alcotest.(check (float 1e-9)) "8 samples = 2 h" 2.0 (Failure.duration_hours e)
+
+let test_unknown_capacity_rejected () =
+  Alcotest.check_raises "bad denomination"
+    (Invalid_argument "Failure: unknown capacity 117 Gbps") (fun () ->
+      ignore (Failure.count_at_capacity [| 1.0 |] ~gbps:117))
+
+(* --- tickets ---------------------------------------------------------- *)
+
+let tickets_sample () = Tickets.generate (Rwc_stats.Rng.create 7) ~n:2000
+
+let test_ticket_frequency_mix () =
+  let tickets = tickets_sample () in
+  let freq = Tickets.frequency_percent tickets in
+  let get c = List.assoc c freq in
+  Alcotest.(check (float 3.0)) "maintenance ~25%" 25.0 (get Tickets.Maintenance);
+  Alcotest.(check (float 2.0)) "fiber cuts ~5%" 5.0 (get Tickets.Fiber_cut);
+  Alcotest.(check (float 3.0)) "hardware ~35%" 35.0 (get Tickets.Hardware)
+
+let test_ticket_duration_shares () =
+  let tickets = tickets_sample () in
+  let dur = Tickets.duration_percent tickets in
+  let get c = List.assoc c dur in
+  (* Fiber cuts: few events but long repairs -> ~10% of outage time. *)
+  Alcotest.(check bool) "fiber-cut duration share ~2x frequency share" true
+    (get Tickets.Fiber_cut > 6.0 && get Tickets.Fiber_cut < 16.0);
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 dur in
+  Alcotest.(check (float 1e-6)) "shares sum to 100" 100.0 total
+
+let test_ticket_opportunity () =
+  let tickets = tickets_sample () in
+  (* Paper: >90% of events are not fiber cuts. *)
+  Alcotest.(check bool) "opportunity area > 0.9" true
+    (Tickets.opportunity_fraction tickets > 0.9)
+
+let test_ticket_salvageable () =
+  let tickets = tickets_sample () in
+  let s = Tickets.salvageable_fraction tickets in
+  (* Paper: ~25% of failures kept SNR >= 3 dB. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "salvageable %.3f in [0.18, 0.32]" s)
+    true
+    (s > 0.18 && s < 0.32)
+
+let test_fiber_cuts_lose_light () =
+  let tickets = tickets_sample () in
+  List.iter
+    (fun t ->
+      if t.Tickets.cause = Tickets.Fiber_cut then
+        Alcotest.(check (float 1e-9)) "cut = no light" 0.0 t.Tickets.lowest_snr_db)
+    tickets
+
+let test_ticket_durations_positive () =
+  List.iter
+    (fun t -> Alcotest.(check bool) "positive duration" true (t.Tickets.duration_h > 0.0))
+    (tickets_sample ())
+
+(* --- fleet ------------------------------------------------------------ *)
+
+let test_fleet_size () =
+  Alcotest.(check int) "paper scale" 2000 (Fleet.n_links Fleet.default);
+  Alcotest.(check int) "small fleet" 400 (Fleet.n_links small_fleet)
+
+let test_fleet_links_grouped () =
+  let links = Fleet.links small_fleet in
+  Alcotest.(check int) "count" 400 (Array.length links);
+  Array.iteri
+    (fun i l ->
+      Alcotest.(check int) "cable order" (i / 40) l.Fleet.cable;
+      Alcotest.(check int) "index order" (i mod 40) l.Fleet.index)
+    links
+
+let test_fleet_same_cable_same_route () =
+  let links = Fleet.cable_links small_fleet 0 in
+  let km = links.(0).Fleet.route_km in
+  Array.iter
+    (fun l -> Alcotest.(check (float 1e-9)) "shared fiber" km l.Fleet.route_km)
+    links
+
+let test_fleet_deterministic () =
+  let a = Fleet.trace small_fleet (Fleet.links small_fleet).(7) in
+  let b = Fleet.trace small_fleet (Fleet.links small_fleet).(7) in
+  Alcotest.(check bool) "same trace" true (a = b)
+
+let test_fleet_link_independence () =
+  let links = Fleet.links small_fleet in
+  let a = Fleet.trace small_fleet links.(0) in
+  let b = Fleet.trace small_fleet links.(1) in
+  Alcotest.(check bool) "different wavelengths differ" true (a <> b)
+
+let test_fleet_baselines_provisioned () =
+  Array.iter
+    (fun l ->
+      let b = l.Fleet.params.Snr_model.baseline_db in
+      Alcotest.(check bool) "within provisioning floor/ceiling" true
+        (b >= 10.0 && b <= 24.0))
+    (Fleet.links small_fleet)
+
+let test_high_quality_cable_feasible () =
+  let hq = Fleet.high_quality_cable small_fleet in
+  Alcotest.(check int) "full cable" 40 (Array.length hq);
+  Array.iter
+    (fun l ->
+      Alcotest.(check bool) "all denominations feasible" true
+        (l.Fleet.params.Snr_model.baseline_db >= 12.5))
+    hq
+
+let test_baseline_of_route_monotone () =
+  let short = Fleet.baseline_of_route ~route_km:400.0 ~offset_db:0.0 in
+  let long = Fleet.baseline_of_route ~route_km:3000.0 ~offset_db:0.0 in
+  Alcotest.(check bool) "shorter is better" true (short > long)
+
+(* --- analyze (integration: calibration bands) ------------------------- *)
+
+let report = lazy (Analyze.fleet_report small_fleet)
+
+let test_calibration_hdr_share () =
+  let r = Lazy.force report in
+  Alcotest.(check bool)
+    (Printf.sprintf "hdr<2dB share %.3f in [0.72, 0.92] (paper 0.83)"
+       r.Analyze.share_hdr_below_2db)
+    true
+    (r.Analyze.share_hdr_below_2db > 0.72 && r.Analyze.share_hdr_below_2db < 0.92)
+
+let test_calibration_feasible_share () =
+  let r = Lazy.force report in
+  Alcotest.(check bool)
+    (Printf.sprintf ">=175G share %.3f in [0.65, 0.90] (paper 0.80)"
+       r.Analyze.share_at_least_175)
+    true
+    (r.Analyze.share_at_least_175 > 0.65 && r.Analyze.share_at_least_175 < 0.90)
+
+let test_calibration_gain () =
+  let r = Lazy.force report in
+  let per_link_gbps =
+    r.Analyze.total_gain_tbps *. 1000.0 /. float_of_int (Fleet.n_links small_fleet)
+  in
+  (* Paper: 145 Tbps over ~2000 links = 72.5 Gbps per link. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "gain/link %.1f in [58, 88]" per_link_gbps)
+    true
+    (per_link_gbps > 58.0 && per_link_gbps < 88.0)
+
+let test_calibration_salvageable () =
+  let r = Lazy.force report in
+  Alcotest.(check bool)
+    (Printf.sprintf "salvageable %.3f in [0.15, 0.40] (paper 0.25)"
+       r.Analyze.salvageable_failure_fraction)
+    true
+    (r.Analyze.salvageable_failure_fraction > 0.15
+    && r.Analyze.salvageable_failure_fraction < 0.40)
+
+let test_reports_complete () =
+  let r = Lazy.force report in
+  Alcotest.(check int) "one report per link" (Fleet.n_links small_fleet)
+    (List.length r.Analyze.reports);
+  List.iter
+    (fun lr ->
+      Alcotest.(check bool) "feasible is a denomination or zero" true
+        (lr.Analyze.feasible_gbps = 0
+        || Rwc_optical.Modulation.of_gbps lr.Analyze.feasible_gbps <> None))
+    r.Analyze.reports
+
+let test_feasible_uses_hdr_low () =
+  let r = Lazy.force report in
+  List.iter
+    (fun lr ->
+      Alcotest.(check int) "definition check"
+        (Rwc_optical.Modulation.feasible_gbps lr.Analyze.hdr.Rwc_stats.Hdr.lo)
+        lr.Analyze.feasible_gbps)
+    r.Analyze.reports
+
+let suite =
+  [
+    Alcotest.test_case "trace length" `Quick test_trace_length;
+    Alcotest.test_case "trace non-negative" `Quick test_trace_non_negative;
+    Alcotest.test_case "trace tracks baseline" `Quick test_trace_tracks_baseline;
+    Alcotest.test_case "narrow hdr wide range" `Quick test_trace_narrow_hdr_wide_range;
+    Alcotest.test_case "dips respected" `Quick test_dips_respected;
+    Alcotest.test_case "deterministic generation" `Quick test_deterministic_generation;
+    Alcotest.test_case "episode extraction" `Quick test_episode_extraction;
+    Alcotest.test_case "episodes at boundaries" `Quick test_episode_edges;
+    Alcotest.test_case "no episodes" `Quick test_no_episodes;
+    Alcotest.test_case "failures monotone in capacity" `Quick test_count_monotone_in_capacity;
+    Alcotest.test_case "duration hours" `Quick test_duration_hours;
+    Alcotest.test_case "unknown capacity rejected" `Quick test_unknown_capacity_rejected;
+    Alcotest.test_case "ticket frequency mix" `Quick test_ticket_frequency_mix;
+    Alcotest.test_case "ticket duration shares" `Quick test_ticket_duration_shares;
+    Alcotest.test_case "ticket opportunity >90%" `Quick test_ticket_opportunity;
+    Alcotest.test_case "ticket salvageable ~25%" `Quick test_ticket_salvageable;
+    Alcotest.test_case "fiber cuts lose light" `Quick test_fiber_cuts_lose_light;
+    Alcotest.test_case "ticket durations positive" `Quick test_ticket_durations_positive;
+    Alcotest.test_case "fleet size" `Quick test_fleet_size;
+    Alcotest.test_case "fleet grouping" `Quick test_fleet_links_grouped;
+    Alcotest.test_case "same cable same route" `Quick test_fleet_same_cable_same_route;
+    Alcotest.test_case "fleet deterministic" `Quick test_fleet_deterministic;
+    Alcotest.test_case "wavelengths independent" `Quick test_fleet_link_independence;
+    Alcotest.test_case "baselines provisioned" `Quick test_fleet_baselines_provisioned;
+    Alcotest.test_case "high-quality cable" `Quick test_high_quality_cable_feasible;
+    Alcotest.test_case "baseline monotone in route" `Quick test_baseline_of_route_monotone;
+    Alcotest.test_case "calibration: hdr share" `Slow test_calibration_hdr_share;
+    Alcotest.test_case "calibration: feasible share" `Slow test_calibration_feasible_share;
+    Alcotest.test_case "calibration: gain per link" `Slow test_calibration_gain;
+    Alcotest.test_case "calibration: salvageable" `Slow test_calibration_salvageable;
+    Alcotest.test_case "reports complete" `Slow test_reports_complete;
+    Alcotest.test_case "feasible uses hdr low" `Slow test_feasible_uses_hdr_low;
+  ]
+
+(* --- diurnal component -------------------------------------------------- *)
+
+let test_diurnal_disabled_by_default () =
+  let p = Snr_model.default_params ~baseline_db:15.0 () in
+  Alcotest.(check (float 1e-12)) "calibrated default off" 0.0
+    p.Snr_model.diurnal_amplitude_db
+
+let test_diurnal_shape () =
+  (* With a large amplitude and no noise/dips, hour-of-day averages
+     must show the sinusoid: trough mid-afternoon, peak pre-dawn. *)
+  let p =
+    {
+      (Snr_model.default_params ~wander_sigma:1e-9 ~baseline_db:15.0 ()) with
+      Snr_model.diurnal_amplitude_db = 1.0;
+      shallow_rate_per_year = 0.0;
+      deep_rate_per_year = 0.0;
+    }
+  in
+  let trace, _ = Snr_model.generate (Rwc_stats.Rng.create 50) p ~years:0.1 in
+  let by_hour = Array.make 24 0.0 and counts = Array.make 24 0 in
+  Array.iteri
+    (fun i v ->
+      let h = i / 4 mod 24 in
+      by_hour.(h) <- by_hour.(h) +. v;
+      counts.(h) <- counts.(h) + 1)
+    trace;
+  let avg h = by_hour.(h) /. float_of_int counts.(h) in
+  Alcotest.(check (float 0.05)) "trough at 3pm" 14.0 (avg 15);
+  Alcotest.(check (float 0.05)) "peak at 3am" 16.0 (avg 3);
+  (* The whole trace stays within the +-amplitude band. *)
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "bounded" true (v >= 13.99 && v <= 16.01))
+    trace
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "diurnal off by default" `Quick test_diurnal_disabled_by_default;
+      Alcotest.test_case "diurnal shape" `Quick test_diurnal_shape;
+    ]

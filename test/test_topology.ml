@@ -1,0 +1,173 @@
+open Rwc_topology
+
+let bb = Backbone.north_america
+
+let test_shape () =
+  Alcotest.(check int) "24 cities" 24 (Backbone.n_cities bb);
+  Alcotest.(check bool) "40+ ducts" true (Array.length bb.Backbone.ducts >= 40)
+
+let test_duct_endpoints_valid () =
+  Array.iter
+    (fun d ->
+      Alcotest.(check bool) "a in range" true
+        (d.Backbone.a >= 0 && d.Backbone.a < Backbone.n_cities bb);
+      Alcotest.(check bool) "b in range" true
+        (d.Backbone.b >= 0 && d.Backbone.b < Backbone.n_cities bb);
+      Alcotest.(check bool) "no self loop" true (d.Backbone.a <> d.Backbone.b))
+    bb.Backbone.ducts
+
+let test_no_duplicate_ducts () =
+  let keys =
+    Array.to_list bb.Backbone.ducts
+    |> List.map (fun d -> (min d.Backbone.a d.Backbone.b, max d.Backbone.a d.Backbone.b))
+  in
+  Alcotest.(check int) "unique city pairs" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_connected () =
+  (* BFS over undirected adjacency must reach every city. *)
+  let n = Backbone.n_cities bb in
+  let adj = Array.make n [] in
+  Array.iter
+    (fun d ->
+      adj.(d.Backbone.a) <- d.Backbone.b :: adj.(d.Backbone.a);
+      adj.(d.Backbone.b) <- d.Backbone.a :: adj.(d.Backbone.b))
+    bb.Backbone.ducts;
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(0) <- true;
+  Queue.add 0 queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          Queue.add w queue
+        end)
+      adj.(v)
+  done;
+  Alcotest.(check bool) "connected" true (Array.for_all Fun.id seen)
+
+let test_great_circle_sanity () =
+  let ny = bb.Backbone.cities.(Backbone.city_index bb "NewYork") in
+  let la = bb.Backbone.cities.(Backbone.city_index bb "LosAngeles") in
+  let d = Backbone.great_circle_km ny la in
+  (* Known distance ~3940 km. *)
+  Alcotest.(check bool) (Printf.sprintf "NY-LA %.0f km" d) true (d > 3800.0 && d < 4050.0);
+  Alcotest.(check (float 1e-9)) "symmetric" d (Backbone.great_circle_km la ny);
+  Alcotest.(check (float 1e-9)) "zero to self" 0.0 (Backbone.great_circle_km ny ny)
+
+let test_route_lengths_plausible () =
+  Array.iter
+    (fun d ->
+      Alcotest.(check bool) "within continental bounds" true
+        (d.Backbone.route_km > 100.0 && d.Backbone.route_km < 5000.0);
+      let gc =
+        Backbone.great_circle_km bb.Backbone.cities.(d.Backbone.a)
+          bb.Backbone.cities.(d.Backbone.b)
+      in
+      Alcotest.(check (float 1e-6)) "detour factor applied"
+        (gc *. Backbone.fiber_detour_factor) d.Backbone.route_km)
+    bb.Backbone.ducts
+
+let test_city_index () =
+  Alcotest.(check int) "first" 0 (Backbone.city_index bb "Seattle");
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Backbone.city_index bb "Atlantis"))
+
+let test_to_graph () =
+  let g =
+    Backbone.to_graph bb ~capacity_of:(fun _ -> 400.0) ~cost_of:(fun _ -> 1.0)
+  in
+  Alcotest.(check int) "bidirectional edges"
+    (2 * Array.length bb.Backbone.ducts)
+    (Rwc_flow.Graph.n_edges g);
+  (* Every edge's tag is its duct. *)
+  Rwc_flow.Graph.iter_edges
+    (fun e ->
+      let d = e.Rwc_flow.Graph.tag in
+      let ok =
+        (e.Rwc_flow.Graph.src = d.Backbone.a && e.Rwc_flow.Graph.dst = d.Backbone.b)
+        || (e.Rwc_flow.Graph.src = d.Backbone.b && e.Rwc_flow.Graph.dst = d.Backbone.a)
+      in
+      Alcotest.(check bool) "tag matches endpoints" true ok)
+    g
+
+(* --- traffic ------------------------------------------------------------- *)
+
+let test_gravity_total () =
+  let demands = Traffic.gravity bb ~total_gbps:1000.0 in
+  let total = List.fold_left (fun acc d -> acc +. d.Traffic.gbps) 0.0 demands in
+  Alcotest.(check (float 1e-6)) "normalized" 1000.0 total;
+  Alcotest.(check int) "all ordered pairs" (24 * 23) (List.length demands)
+
+let test_gravity_proportionality () =
+  let demands = Traffic.gravity bb ~total_gbps:1000.0 in
+  let find a b =
+    List.find
+      (fun d ->
+        d.Traffic.src = Backbone.city_index bb a
+        && d.Traffic.dst = Backbone.city_index bb b)
+      demands
+  in
+  (* NY-LA (19.8 x 13.2) must dwarf SLC-Albuquerque (1.2 x 0.9). *)
+  let big = find "NewYork" "LosAngeles" in
+  let small = find "SaltLakeCity" "Albuquerque" in
+  Alcotest.(check bool) "gravity ordering" true
+    (big.Traffic.gbps > 50.0 *. small.Traffic.gbps)
+
+let test_top_k () =
+  let demands = Traffic.gravity bb ~total_gbps:1000.0 in
+  let top = Traffic.top_k demands 10 in
+  Alcotest.(check int) "k kept" 10 (List.length top);
+  let rec descending = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "sorted" true (a.Traffic.gbps >= b.Traffic.gbps);
+        descending rest
+    | _ -> ()
+  in
+  descending top;
+  (* Top demand is the global maximum. *)
+  let max_all =
+    List.fold_left (fun acc d -> Float.max acc d.Traffic.gbps) 0.0 demands
+  in
+  Alcotest.(check (float 1e-9)) "true maximum" max_all (List.hd top).Traffic.gbps
+
+let test_perturb_preserves_mean () =
+  let rng = Rwc_stats.Rng.create 17 in
+  let demands = Traffic.gravity bb ~total_gbps:1000.0 in
+  let totals =
+    List.init 50 (fun _ ->
+        let p = Traffic.perturb rng demands ~cv:0.2 in
+        List.fold_left (fun acc d -> acc +. d.Traffic.gbps) 0.0 p)
+  in
+  let mean = List.fold_left ( +. ) 0.0 totals /. 50.0 in
+  Alcotest.(check (float 30.0)) "mean preserved" 1000.0 mean
+
+let test_to_commodities () =
+  let demands = Traffic.gravity bb ~total_gbps:100.0 in
+  let c = Traffic.to_commodities (Traffic.top_k demands 5) in
+  Alcotest.(check int) "length" 5 (Array.length c);
+  Array.iter
+    (fun k ->
+      Alcotest.(check bool) "positive demand" true
+        (k.Rwc_flow.Multicommodity.demand > 0.0))
+    c
+
+let suite =
+  [
+    Alcotest.test_case "shape" `Quick test_shape;
+    Alcotest.test_case "duct endpoints" `Quick test_duct_endpoints_valid;
+    Alcotest.test_case "no duplicate ducts" `Quick test_no_duplicate_ducts;
+    Alcotest.test_case "connected" `Quick test_connected;
+    Alcotest.test_case "great circle sanity" `Quick test_great_circle_sanity;
+    Alcotest.test_case "route lengths" `Quick test_route_lengths_plausible;
+    Alcotest.test_case "city index" `Quick test_city_index;
+    Alcotest.test_case "to_graph" `Quick test_to_graph;
+    Alcotest.test_case "gravity total" `Quick test_gravity_total;
+    Alcotest.test_case "gravity proportionality" `Quick test_gravity_proportionality;
+    Alcotest.test_case "top_k" `Quick test_top_k;
+    Alcotest.test_case "perturb mean" `Quick test_perturb_preserves_mean;
+    Alcotest.test_case "to_commodities" `Quick test_to_commodities;
+  ]
