@@ -6,7 +6,8 @@
      dune exec bench/main.exe              # scaled fleet (400 links), all sections
      dune exec bench/main.exe -- --full    # paper-scale fleet (2000 links)
      dune exec bench/main.exe -- --no-micro   # skip the Bechamel section
-     dune exec bench/main.exe -- --figures-only  # alias of --no-micro *)
+     dune exec bench/main.exe -- --figures-only  # alias of --no-micro
+     dune exec bench/main.exe -- --obs-only   # only the Rwc_obs overhead check *)
 
 module Fleet = Rwc_telemetry.Fleet
 module Figs = Rwc_figures
@@ -14,6 +15,13 @@ module Figs = Rwc_figures
 let flag name = Array.exists (fun a -> a = name) Sys.argv
 
 let () =
+  if flag "--obs-only" then begin
+    (* Just the instrumentation-overhead numbers; skips the (slow)
+       figure regeneration entirely. *)
+    Rwc_figures.Report.section "obs" "Observability overhead";
+    Obs_bench.run ();
+    exit 0
+  end;
   let full = flag "--full" in
   let micro = not (flag "--no-micro" || flag "--figures-only") in
   let fleet =
@@ -55,6 +63,8 @@ let () =
 
   if micro then begin
     Rwc_figures.Report.section "micro" "Bechamel micro-benchmarks";
-    Micro.run ()
+    Micro.run ();
+    Rwc_figures.Report.section "obs" "Observability overhead";
+    Obs_bench.run ()
   end;
   Printf.printf "\ndone.\n"

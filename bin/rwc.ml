@@ -8,6 +8,7 @@
      constellation  render one constellation panel (Figure 5) *)
 
 open Cmdliner
+module Obs = Rwc_obs
 
 let fleet_of ~cables ~years ~seed =
   {
@@ -17,17 +18,105 @@ let fleet_of ~cables ~years ~seed =
     years;
   }
 
+(* ---- observability ----------------------------------------------------- *)
+
+(* Every subcommand composes [obs_term] in front of its own arguments:
+   --metrics[=PATH] and --trace PATH enable the process-global
+   registry/tracer up front and register an at_exit finalizer that
+   writes the requested artifacts and prints the stderr summaries once
+   the command is done. *)
+
+let metrics_dest = ref None
+let trace_dest = ref None
+
+let obs_finalize () =
+  (match !trace_dest with
+  | Some path ->
+      Obs.Trace.write path;
+      prerr_string (Obs.Trace.flame_summary ())
+  | None -> ());
+  match !metrics_dest with
+  | Some path ->
+      if path <> "-" then Obs.Metrics.write_json path;
+      Format.eprintf "%a@." Obs.Metrics.pp_summary ()
+  | None -> ()
+
+(* Fail before the (possibly long) run, not in the at_exit hook after
+   it: check we can actually create the artifact now. *)
+let check_writable flag path =
+  match open_out path with
+  | oc -> close_out oc
+  | exception Sys_error msg ->
+      Printf.eprintf "rwc: %s: %s\n" flag msg;
+      exit 2
+
+let obs_setup metrics trace =
+  metrics_dest := metrics;
+  trace_dest := trace;
+  (match metrics with
+  | Some path when path <> "-" -> check_writable "--metrics" path
+  | _ -> ());
+  Option.iter (check_writable "--trace") trace;
+  if metrics <> None then Obs.Metrics.enable ();
+  if trace <> None then Obs.Trace.enable ();
+  if metrics <> None || trace <> None then at_exit obs_finalize
+
+let metrics_flag =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "Enable the metric registry; print a summary table to stderr when \
+           the command finishes.  With an explicit $(docv) (other than -), \
+           also write the full snapshot there as JSON.")
+
+let trace_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:
+          "Enable span tracing; write Chrome trace_event JSON to $(docv) \
+           (open in chrome://tracing or Perfetto) and print a flame summary \
+           to stderr.")
+
+let obs_term = Term.(const obs_setup $ metrics_flag $ trace_flag)
+
+let manifest_metrics () =
+  if Obs.Metrics.enabled () then Obs.Metrics.to_json () else Obs.Json.Null
+
+(* mkdir -p: create every missing component of [dir]. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let ensure_dir what dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then begin
+      Printf.eprintf "%s %s: exists but is not a directory\n" what dir;
+      exit 2
+    end
+  end
+  else
+    try mkdir_p dir
+    with Sys_error e ->
+      Printf.eprintf "%s %s: cannot create: %s\n" what dir e;
+      exit 2
+
 (* ---- figures --------------------------------------------------------- *)
 
 let known_figures =
   [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "thm1"; "sim" ]
 
-let run_figures full only sim_days csv_dir =
-  (match csv_dir with
-  | Some dir when not (Sys.file_exists dir && Sys.is_directory dir) ->
-      Printf.eprintf "--csv %s: not an existing directory\n" dir;
-      exit 2
-  | _ -> ());
+let run_figures () full only sim_days csv_dir =
+  (* The csv directory is validated (and, when missing, created)
+     before any expensive fleet work, so a typo cannot burn minutes of
+     fleet analysis and then fail at the first write. *)
+  (match csv_dir with Some dir -> ensure_dir "--csv" dir | None -> ());
   Rwc_figures.Report.set_csv_dir csv_dir;
   let fleet =
     if full then Rwc_telemetry.Fleet.default
@@ -41,6 +130,17 @@ let run_figures full only sim_days csv_dir =
       (String.concat ", " known_figures);
     exit 2
   end;
+  if sim_days <> None && not (wants "sim") then
+    Printf.eprintf
+      "warning: --sim-days has no effect without the sim figure (add --only \
+       sim or drop --only)\n";
+  (* --full selects the paper-scale fleet AND the paper's 60-day
+     simulation horizon unless --sim-days overrides it. *)
+  let sim_days =
+    match sim_days with
+    | Some d -> d
+    | None -> if full then Rwc_sim.Runner.default_config.Rwc_sim.Runner.days else 21.0
+  in
   let needs_report = wants "fig2" || wants "fig4" in
   let report =
     if needs_report then Some (Rwc_telemetry.Analyze.fleet_report fleet)
@@ -61,12 +161,54 @@ let run_figures full only sim_days csv_dir =
   if wants "fig7" then Rwc_figures.Abstraction_figs.fig7 ();
   if wants "fig8" then Rwc_figures.Abstraction_figs.fig8 ();
   if wants "thm1" then Rwc_figures.Abstraction_figs.theorem1 ~seed:44;
-  if wants "sim" then
-    ignore
-      (Rwc_figures.Sim_figs.run
-         ~config:
-           { Rwc_sim.Runner.default_config with Rwc_sim.Runner.days = sim_days }
-         ())
+  let sim_headlines =
+    if wants "sim" then
+      Some
+        (Rwc_figures.Sim_figs.run
+           ~config:
+             {
+               Rwc_sim.Runner.default_config with
+               Rwc_sim.Runner.days = sim_days;
+             }
+           ())
+    else None
+  in
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+      let open Obs.Json in
+      let reports =
+        match sim_headlines with
+        | None -> []
+        | Some h ->
+            [
+              ( "sim_headlines",
+                Assoc
+                  [
+                    ( "throughput_gain",
+                      Float h.Rwc_figures.Sim_figs.throughput_gain );
+                    ( "static_max_failures",
+                      Int h.Rwc_figures.Sim_figs.static_max_failures );
+                    ( "adaptive_failures",
+                      Int h.Rwc_figures.Sim_figs.adaptive_failures );
+                    ("adaptive_flaps", Int h.Rwc_figures.Sim_figs.adaptive_flaps);
+                  ] );
+            ]
+      in
+      let manifest =
+        Obs.Manifest.make ~command:"figures"
+          ~seed:fleet.Rwc_telemetry.Fleet.seed
+          ~config:
+            [
+              ("full", Bool full);
+              ("only", List (List.map (fun id -> String id) only));
+              ("sim_days", Float sim_days);
+              ("n_links", Int (Rwc_telemetry.Fleet.n_links fleet));
+              ("years", Float fleet.Rwc_telemetry.Fleet.years);
+            ]
+          ~reports ~metrics:(manifest_metrics ()) ()
+      in
+      Obs.Manifest.write (Filename.concat dir "manifest.json") manifest
 
 let full_flag =
   Arg.(value & flag & info [ "full" ] ~doc:"Use the paper-scale 2000-link fleet.")
@@ -80,24 +222,32 @@ let only_arg =
 
 let sim_days_arg =
   Arg.(
-    value & opt float 21.0
-    & info [ "sim-days" ] ~docv:"DAYS" ~doc:"Horizon of the sim figure.")
+    value
+    & opt (some float) None
+    & info [ "sim-days" ] ~docv:"DAYS"
+        ~doc:
+          "Horizon of the sim figure (default: 21, or the paper's 60 with \
+           $(b,--full)).  Only meaningful when the sim figure runs.")
 
 let csv_arg =
   Arg.(
     value
     & opt (some string) None
     & info [ "csv" ] ~docv:"DIR"
-        ~doc:"Also write every plotted series to CSV files under $(docv).")
+        ~doc:
+          "Also write every plotted series to CSV files under $(docv) \
+           (created if missing), plus a manifest.json run record.")
 
 let figures_cmd =
   Cmd.v
     (Cmd.info "figures" ~doc:"Reproduce the paper's figures and tables")
-    Term.(const run_figures $ full_flag $ only_arg $ sim_days_arg $ csv_arg)
+    Term.(
+      const run_figures $ obs_term $ full_flag $ only_arg $ sim_days_arg
+      $ csv_arg)
 
 (* ---- analyze --------------------------------------------------------- *)
 
-let run_analyze cables years seed =
+let run_analyze () cables years seed =
   let fleet = fleet_of ~cables ~years ~seed in
   Printf.printf "analyzing %d links over %.1f years (seed %d)...\n"
     (Rwc_telemetry.Fleet.n_links fleet) years seed;
@@ -127,7 +277,7 @@ let seed_arg =
 let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Fleet-wide SNR telemetry analysis (Section 2)")
-    Term.(const run_analyze $ cables_arg $ years_arg $ seed_arg)
+    Term.(const run_analyze $ obs_term $ cables_arg $ years_arg $ seed_arg)
 
 (* ---- simulate -------------------------------------------------------- *)
 
@@ -142,7 +292,8 @@ let policy_conv =
   in
   Arg.conv (parse, fun fmt p -> Format.fprintf fmt "%s" (Rwc_sim.Runner.policy_name p))
 
-let run_simulate days policy seed backbone_file =
+let run_simulate () days policy seed backbone_file manifest_path =
+  Option.iter (check_writable "--manifest") manifest_path;
   let config =
     { Rwc_sim.Runner.default_config with Rwc_sim.Runner.days; seed }
   in
@@ -156,14 +307,40 @@ let run_simulate days policy seed backbone_file =
             Printf.eprintf "%s: %s\n" path e;
             exit 2)
   in
-  match policy with
-  | Some p ->
-      Format.printf "%a@." Rwc_sim.Runner.pp_report
-        (Rwc_sim.Runner.run ~config ~backbone p)
-  | None ->
-      List.iter
-        (fun r -> Format.printf "%a@." Rwc_sim.Runner.pp_report r)
-        (Rwc_sim.Runner.compare_policies ~config ~backbone ())
+  let reports =
+    match policy with
+    | Some p -> [ Rwc_sim.Runner.run ~config ~backbone p ]
+    | None -> Rwc_sim.Runner.compare_policies ~config ~backbone ()
+  in
+  List.iter (fun r -> Format.printf "%a@." Rwc_sim.Runner.pp_report r) reports;
+  match manifest_path with
+  | None -> ()
+  | Some path ->
+      let open Obs.Json in
+      let manifest =
+        Obs.Manifest.make ~command:"simulate" ~seed
+          ~config:
+            [
+              ("days", Float days);
+              ( "te_interval_h",
+                Float config.Rwc_sim.Runner.te_interval_h );
+              ("wavelengths", Int config.Rwc_sim.Runner.wavelengths);
+              ( "demand_fraction",
+                Float config.Rwc_sim.Runner.demand_fraction );
+              ("top_demands", Int config.Rwc_sim.Runner.top_demands);
+              ("epsilon", Float config.Rwc_sim.Runner.epsilon);
+              ( "backbone",
+                String (Option.value backbone_file ~default:"north-america") );
+            ]
+          ~reports:
+            (List.map
+               (fun r ->
+                 ( Rwc_sim.Runner.policy_name r.Rwc_sim.Runner.policy,
+                   Rwc_sim.Runner.json_of_report r ))
+               reports)
+          ~metrics:(manifest_metrics ()) ()
+      in
+      Obs.Manifest.write path manifest
 
 let days_arg =
   Arg.(value & opt float 21.0 & info [ "days" ] ~docv:"D" ~doc:"Horizon in days.")
@@ -189,16 +366,25 @@ let backbone_file_arg =
           "Topology file to simulate on (default: the embedded \
            North-American backbone).")
 
+let manifest_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "manifest" ] ~docv:"PATH"
+        ~doc:
+          "Write a structured run record (config, seed, version, per-policy \
+           report, metric snapshot) as JSON to $(docv).")
+
 let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"WAN policy simulation (throughput/availability)")
     Term.(
-      const run_simulate $ days_arg $ policy_arg $ sim_seed_arg
-      $ backbone_file_arg)
+      const run_simulate $ obs_term $ days_arg $ policy_arg $ sim_seed_arg
+      $ backbone_file_arg $ manifest_arg)
 
 (* ---- bvt -------------------------------------------------------------- *)
 
-let run_bvt changes seed =
+let run_bvt () changes seed =
   let rng = Rwc_stats.Rng.create seed in
   let measure procedure =
     let t = Rwc_optical.Bvt.create Rwc_optical.Modulation.Qpsk in
@@ -232,7 +418,7 @@ let bvt_seed_arg =
 let bvt_cmd =
   Cmd.v
     (Cmd.info "bvt" ~doc:"Modulation-change latency experiment (Section 3.1)")
-    Term.(const run_bvt $ changes_arg $ bvt_seed_arg)
+    Term.(const run_bvt $ obs_term $ changes_arg $ bvt_seed_arg)
 
 (* ---- constellation ----------------------------------------------------- *)
 
@@ -248,7 +434,7 @@ let scheme_conv =
       fun fmt s ->
         Format.fprintf fmt "%s" (Rwc_optical.Modulation.scheme_name s) )
 
-let run_constellation scheme snr symbols seed =
+let run_constellation () scheme snr symbols seed =
   let rng = Rwc_stats.Rng.create seed in
   let run = Rwc_optical.Constellation.simulate rng scheme ~snr_db:snr ~symbols in
   print_string (Rwc_optical.Constellation.render_ascii run);
@@ -274,12 +460,12 @@ let constellation_cmd =
   Cmd.v
     (Cmd.info "constellation" ~doc:"Render a constellation panel (Figure 5)")
     Term.(
-      const run_constellation $ scheme_arg $ snr_arg $ symbols_arg
+      const run_constellation $ obs_term $ scheme_arg $ snr_arg $ symbols_arg
       $ const_seed_arg)
 
 (* ---- detect ------------------------------------------------------------ *)
 
-let run_detect trace_path baseline sigma =
+let run_detect () trace_path baseline sigma =
   match Rwc_telemetry.Store.read_trace_csv trace_path with
   | Error e ->
       Printf.eprintf "%s: %s\n" trace_path e;
@@ -339,11 +525,13 @@ let sigma_opt_arg =
 let detect_cmd =
   Cmd.v
     (Cmd.info "detect" ~doc:"Scan an SNR trace for degradations (CUSUM + EWMA)")
-    Term.(const run_detect $ trace_path_arg $ baseline_arg $ sigma_opt_arg)
+    Term.(
+      const run_detect $ obs_term $ trace_path_arg $ baseline_arg
+      $ sigma_opt_arg)
 
 (* ---- topology ------------------------------------------------------------ *)
 
-let run_topology path =
+let run_topology () path =
   match Rwc_topology.Parser.parse_file path with
   | Error e ->
       Printf.eprintf "%s: %s\n" path e;
@@ -380,24 +568,35 @@ let topology_cmd =
   Cmd.v
     (Cmd.info "topology"
        ~doc:"Validate a topology file and report per-duct feasible rates")
-    Term.(const run_topology $ topology_path_arg)
+    Term.(const run_topology $ obs_term $ topology_path_arg)
 
 (* ---- export ------------------------------------------------------------ *)
 
-let run_export dir cables years seed max_links =
-  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
-    Printf.eprintf "%s: not an existing directory\n" dir;
-    exit 2
-  end;
+let run_export () dir cables years seed max_links =
+  ensure_dir "export" dir;
   let fleet = fleet_of ~cables ~years ~seed in
   let n = Rwc_telemetry.Store.export_fleet_csv ?max_links fleet ~dir in
-  Printf.printf "wrote %d trace files plus manifest.csv under %s\n" n dir
+  let open Obs.Json in
+  Obs.Manifest.write
+    (Filename.concat dir "manifest.json")
+    (Obs.Manifest.make ~command:"export" ~seed
+       ~config:
+         [
+           ("cables", Int cables);
+           ("years", Float years);
+           ( "max_links",
+             match max_links with Some m -> Int m | None -> Null );
+         ]
+       ~reports:[ ("traces_written", Int n) ]
+       ~metrics:(manifest_metrics ()) ());
+  Printf.printf "wrote %d trace files plus manifest.csv and manifest.json under %s\n"
+    n dir
 
 let export_dir_arg =
   Arg.(
     required
     & pos 0 (some string) None
-    & info [] ~docv:"DIR" ~doc:"Existing directory to write CSVs into.")
+    & info [] ~docv:"DIR" ~doc:"Directory to write CSVs into (created if missing).")
 
 let max_links_arg =
   Arg.(
@@ -410,8 +609,8 @@ let export_cmd =
     (Cmd.info "export"
        ~doc:"Generate the telemetry fleet and write it out as CSV files")
     Term.(
-      const run_export $ export_dir_arg $ cables_arg $ years_arg $ seed_arg
-      $ max_links_arg)
+      const run_export $ obs_term $ export_dir_arg $ cables_arg $ years_arg
+      $ seed_arg $ max_links_arg)
 
 (* ---- main -------------------------------------------------------------- *)
 

@@ -26,6 +26,20 @@ type action =
   | Go_dark of { from_gbps : int }
   | Come_back of { to_gbps : int }
 
+let m_transitions = Rwc_obs.Metrics.counter "adapt/transitions"
+
+(* Per-pair counters ("adapt/transition/100->200") are registered
+   lazily: pairs come from the small modulation table, and transitions
+   are rare next to No_change samples, so the name formatting cost is
+   confined to actual capacity changes (and to when metrics are on at
+   all). *)
+let record_transition ~from_gbps ~to_gbps =
+  Rwc_obs.Metrics.incr m_transitions;
+  if Rwc_obs.Metrics.enabled () then
+    Rwc_obs.Metrics.incr
+      (Rwc_obs.Metrics.counter
+         (Printf.sprintf "adapt/transition/%d->%d" from_gbps to_gbps))
+
 (* Next denomination above the current one, if any. *)
 let next_up gbps =
   List.find_opt (fun m -> m.Modulation.gbps > gbps) Modulation.all
@@ -44,6 +58,7 @@ let step t ~snr_db =
     if feasible > 0 then begin
       t.current_gbps <- feasible;
       t.qualify_streak <- 0;
+      record_transition ~from_gbps:0 ~to_gbps:feasible;
       Come_back { to_gbps = feasible }
     end
     else No_change
@@ -53,10 +68,12 @@ let step t ~snr_db =
     t.qualify_streak <- 0;
     if feasible = 0 then begin
       t.current_gbps <- 0;
+      record_transition ~from_gbps ~to_gbps:0;
       Go_dark { from_gbps }
     end
     else begin
       t.current_gbps <- feasible;
+      record_transition ~from_gbps ~to_gbps:feasible;
       Step_down { from_gbps; to_gbps = feasible }
     end
   end
@@ -71,6 +88,7 @@ let step t ~snr_db =
             let from_gbps = t.current_gbps in
             t.current_gbps <- target.Modulation.gbps;
             t.qualify_streak <- 0;
+            record_transition ~from_gbps ~to_gbps:target.Modulation.gbps;
             Step_up { from_gbps; to_gbps = target.Modulation.gbps }
           end
           else No_change

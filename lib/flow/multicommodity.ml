@@ -8,6 +8,9 @@ type result = {
 
 let total_throughput r = Array.fold_left ( +. ) 0.0 r.routed
 
+let m_phases = Rwc_obs.Metrics.counter "mcf/phases"
+let m_paths = Rwc_obs.Metrics.counter "mcf/augmenting_paths"
+
 (* Fleischer's phase variant of Garg-Könemann.  Edge lengths start at
    delta / capacity and are multiplied by (1 + eps * f / c) whenever f
    units are pushed; phases route each commodity's full demand along
@@ -59,6 +62,7 @@ let solve ?(epsilon = 0.1) g commodities =
     let max_phases = 10_000 in
     while dual () < 1.0 && !phases < max_phases do
       incr phases;
+      Rwc_obs.Metrics.incr m_phases;
       Array.iteri
         (fun j c ->
           let remaining = ref c.demand in
@@ -68,6 +72,7 @@ let solve ?(epsilon = 0.1) g commodities =
             match Shortest.dijkstra ~usable lg ~src:c.src ~dst:c.dst with
             | None -> remaining := 0.0
             | Some path ->
+                Rwc_obs.Metrics.incr m_paths;
                 let bottleneck =
                   List.fold_left
                     (fun acc eid -> Float.min acc usable_cap.(eid))

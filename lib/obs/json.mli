@@ -1,0 +1,34 @@
+(** Minimal JSON values: just enough for metric snapshots, Chrome
+    trace_event export and run manifests — the container ships no JSON
+    library and the observability layer must not grow dependencies.
+
+    The serializer always emits valid JSON (non-finite floats become
+    [null]); the parser accepts the full JSON grammar including
+    [\uXXXX] escapes and is only meant for reading back files this
+    module wrote (manifest round-trips in tests and tooling). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering for files meant to be read by
+    humans (manifests). *)
+
+val parse : string -> (t, string) result
+(** Errors carry a character offset.  Numbers without ['.'/'e'] parse
+    as [Int], everything else as [Float]. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Assoc]; [None] otherwise. *)
+
+val to_file : string -> t -> unit
+(** Pretty-print to [path] (truncating), with a trailing newline. *)

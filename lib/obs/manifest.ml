@@ -1,0 +1,97 @@
+type t = {
+  version : string;
+  command : string;
+  argv : string list;
+  seed : int option;
+  config : (string * Json.t) list;
+  reports : (string * Json.t) list;
+  metrics : Json.t;
+}
+
+let version_string () =
+  match Sys.getenv_opt "RWC_VERSION" with
+  | Some v -> v
+  | None -> (
+      try
+        let ic =
+          Unix.open_process_in "git describe --tags --always --dirty 2>/dev/null"
+        in
+        let line = try input_line ic with End_of_file -> "" in
+        match Unix.close_process_in ic with
+        | Unix.WEXITED 0 when line <> "" -> "rwc-" ^ line
+        | _ -> "rwc-dev"
+      with _ -> "rwc-dev")
+
+let make ?version ?argv ?seed ?(config = []) ?(reports = []) ?(metrics = Json.Null)
+    ~command () =
+  let version = match version with Some v -> v | None -> version_string () in
+  let argv =
+    match argv with Some a -> a | None -> Array.to_list Sys.argv
+  in
+  { version; command; argv; seed; config; reports; metrics }
+
+let to_json t =
+  Json.Assoc
+    [
+      ("version", Json.String t.version);
+      ("command", Json.String t.command);
+      ("argv", Json.List (List.map (fun a -> Json.String a) t.argv));
+      ("seed", match t.seed with Some s -> Json.Int s | None -> Json.Null);
+      ("config", Json.Assoc t.config);
+      ("reports", Json.Assoc t.reports);
+      ("metrics", t.metrics);
+    ]
+
+let of_json json =
+  match json with
+  | Json.Assoc _ -> (
+      let str field =
+        match Json.member field json with
+        | Some (Json.String s) -> Ok s
+        | _ -> Error (Printf.sprintf "manifest: missing string field %S" field)
+      in
+      match (str "version", str "command") with
+      | Error e, _ | _, Error e -> Error e
+      | Ok version, Ok command ->
+          let argv =
+            match Json.member "argv" json with
+            | Some (Json.List items) ->
+                List.filter_map
+                  (function Json.String s -> Some s | _ -> None)
+                  items
+            | _ -> []
+          in
+          let seed =
+            match Json.member "seed" json with
+            | Some (Json.Int s) -> Some s
+            | _ -> None
+          in
+          let assoc field =
+            match Json.member field json with
+            | Some (Json.Assoc fields) -> fields
+            | _ -> []
+          in
+          let metrics =
+            Option.value (Json.member "metrics" json) ~default:Json.Null
+          in
+          Ok
+            {
+              version;
+              command;
+              argv;
+              seed;
+              config = assoc "config";
+              reports = assoc "reports";
+              metrics;
+            })
+  | _ -> Error "manifest: not a JSON object"
+
+let write path t = Json.to_file path (to_json t)
+
+let load path =
+  match
+    In_channel.with_open_text path In_channel.input_all |> Json.parse
+  with
+  | exception Sys_error e -> Error e
+  | Error e -> Error e
+  | Ok json -> of_json json

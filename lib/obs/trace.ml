@@ -1,0 +1,107 @@
+type span = {
+  name : string;
+  path : string;
+  depth : int;
+  ts : float;
+  dur : float;
+}
+
+let on = ref false
+let t0 = ref 0.0
+let completed : span list ref = ref []
+
+(* Open spans, innermost first: (name, path, start time). *)
+let stack : (string * string * float) list ref = ref []
+
+let enable () =
+  on := true;
+  t0 := Unix.gettimeofday ();
+  completed := [];
+  stack := []
+
+let disable () = on := false
+let enabled () = !on
+
+let reset () =
+  completed := [];
+  stack := []
+
+let depth () = List.length !stack
+
+let with_span name f =
+  if not !on then f ()
+  else begin
+    let path =
+      match !stack with [] -> name | (_, parent, _) :: _ -> parent ^ ";" ^ name
+    in
+    let start = Unix.gettimeofday () in
+    stack := (name, path, start) :: !stack;
+    let d = List.length !stack in
+    Fun.protect
+      ~finally:(fun () ->
+        let stop = Unix.gettimeofday () in
+        (match !stack with _ :: rest -> stack := rest | [] -> ());
+        completed :=
+          { name; path; depth = d; ts = start -. !t0; dur = stop -. start }
+          :: !completed)
+      f
+  end
+
+let spans () = List.rev !completed
+
+let to_json () =
+  let event s =
+    Json.Assoc
+      [
+        ("name", Json.String s.name);
+        ("cat", Json.String "rwc");
+        ("ph", Json.String "X");
+        ("ts", Json.Float (s.ts *. 1e6));
+        ("dur", Json.Float (s.dur *. 1e6));
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1);
+      ]
+  in
+  let by_start = List.sort (fun a b -> Float.compare a.ts b.ts) (spans ()) in
+  Json.Assoc
+    [
+      ("traceEvents", Json.List (List.map event by_start));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write path = Json.to_file path (to_json ())
+
+let flame_summary () =
+  let agg : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let count, total =
+        Option.value (Hashtbl.find_opt agg s.path) ~default:(0, 0.0)
+      in
+      Hashtbl.replace agg s.path (count + 1, total +. s.dur))
+    !completed;
+  let rows = Hashtbl.fold (fun path ct acc -> (path, ct) :: acc) agg [] in
+  (* Lexicographic order on the ";"-joined path groups every child
+     under its parent. *)
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "== spans (total wall time by call path) ========================\n";
+  List.iter
+    (fun (path, (count, total)) ->
+      let depth =
+        String.fold_left (fun acc c -> if c = ';' then acc + 1 else acc) 0 path
+      in
+      let name =
+        match String.rindex_opt path ';' with
+        | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+        | None -> path
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%10.3fs %8dx  %s%s\n" total count
+           (String.make (2 * depth) ' ')
+           name))
+    rows;
+  Buffer.add_string buf
+    "================================================================\n";
+  Buffer.contents buf

@@ -1,0 +1,51 @@
+(** Lightweight span tracing.
+
+    [with_span "te/recompute" f] runs [f] and, when tracing is
+    enabled, records a wall-clock span ([Unix.gettimeofday]) with its
+    nesting depth.  Spans nest via a thread-unsafe global stack — the
+    simulator is single-threaded — and are recorded even when [f]
+    raises, so the stack always re-balances.
+
+    Completed spans export two ways: Chrome [trace_event] JSON
+    (openable in [chrome://tracing] or Perfetto) and a plain-text
+    flame summary aggregated by call path.
+
+    Like {!Metrics}, tracing is disabled by default and [with_span]
+    is then exactly [f ()]. *)
+
+val enable : unit -> unit
+(** Switch tracing on and clear any previously recorded spans; the
+    current wall-clock becomes timestamp zero. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop recorded spans (keeps the enabled flag). *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+
+val depth : unit -> int
+(** Number of currently open spans (0 when balanced). *)
+
+type span = {
+  name : string;
+  path : string;  (** [";"]-joined ancestry, flamegraph style. *)
+  depth : int;  (** 1 for a root span. *)
+  ts : float;  (** Start, seconds since [enable]. *)
+  dur : float;  (** Wall-clock duration in seconds. *)
+}
+
+val spans : unit -> span list
+(** Completed spans in completion order. *)
+
+val to_json : unit -> Json.t
+(** Chrome [trace_event] document: [{"traceEvents": [...]}] with
+    complete ("ph": "X") events, microsecond timestamps. *)
+
+val write : string -> unit
+(** [to_json] written to a file. *)
+
+val flame_summary : unit -> string
+(** Per-path aggregation (count, total duration), indented by depth —
+    a poor man's flame graph for terminals. *)

@@ -3,12 +3,16 @@ type t = {
   queue : (t -> unit) Event_queue.t;
 }
 
+let m_dispatched = Rwc_obs.Metrics.counter "des/events_dispatched"
+let m_high_water = Rwc_obs.Metrics.gauge "des/queue_high_water"
+
 let create () = { clock = 0.0; queue = Event_queue.create () }
 let now t = t.clock
 
 let schedule t ~at handler =
   if at < t.clock then invalid_arg "Des.schedule: event in the past";
-  Event_queue.add t.queue ~time:at handler
+  Event_queue.add t.queue ~time:at handler;
+  Rwc_obs.Metrics.set_max m_high_water (Event_queue.size t.queue)
 
 let schedule_in t ~after handler =
   assert (after >= 0.0);
@@ -22,6 +26,7 @@ let run t ~until =
         (match Event_queue.pop t.queue with
         | Some (time, handler) ->
             t.clock <- time;
+            Rwc_obs.Metrics.incr m_dispatched;
             handler t
         | None -> continue := false)
     | Some _ | None -> continue := false

@@ -13,8 +13,14 @@ type outcome = {
   reconfigurations : int;
 }
 
+let m_reconfigs = Rwc_obs.Metrics.counter "orchestrator/reconfigurations"
+let m_disrupted = Rwc_obs.Metrics.fcounter "orchestrator/disrupted_gbit"
+let m_drain_s = Rwc_obs.Metrics.histogram "orchestrator/drain_s"
+let m_reconfig_s = Rwc_obs.Metrics.histogram "orchestrator/reconfig_s"
+
 let execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ?(drain_s = 30.0) () =
   assert (downtime_mean_s >= 0.0 && drain_s >= 0.0);
+  Rwc_obs.Trace.with_span "orchestrator/execute" @@ fun () ->
   let engine = Des.create () in
   let log = ref [] in
   let disrupted = ref 0.0 in
@@ -29,6 +35,9 @@ let execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ?(drain_s = 30.0) () 
     | d :: rest ->
         let edge = d.Rwc_core.Translate.phys_edge in
         record (Des.now engine) edge Drain_started;
+        (* Phase durations are simulated seconds, not wall time, but
+           the log-scale histogram covers both uses. *)
+        Rwc_obs.Metrics.observe m_drain_s drain_s;
         Des.schedule_in engine ~after:drain_s (fun engine ->
             record (Des.now engine) edge Reconfigure_started;
             let downtime =
@@ -37,6 +46,9 @@ let execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ?(drain_s = 30.0) () 
                 Rwc_stats.Rng.lognormal_of_mean rng ~mean:downtime_mean_s
                   ~cv:0.35
             in
+            Rwc_obs.Metrics.incr m_reconfigs;
+            Rwc_obs.Metrics.observe m_reconfig_s downtime;
+            Rwc_obs.Metrics.addf m_disrupted (residual_flow edge *. downtime);
             disrupted := !disrupted +. (residual_flow edge *. downtime);
             Des.schedule_in engine ~after:downtime (fun engine ->
                 record (Des.now engine) edge Restored;

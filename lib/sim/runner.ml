@@ -55,6 +55,23 @@ type duct_run = {
   mutable reconfiguring : bool;
 }
 
+module Metrics = Rwc_obs.Metrics
+module Trace = Rwc_obs.Trace
+
+let m_te_recompute = Metrics.histogram "te/recompute"
+let m_te_count = Metrics.counter "te/recomputes"
+let m_snr_sweep = Metrics.histogram "sim/snr_sweep"
+let m_failures = Metrics.counter "sim/failures"
+let m_flaps = Metrics.counter "sim/flaps"
+let m_reconfigs = Metrics.counter "sim/reconfigurations"
+let m_downtime = Metrics.fcounter "sim/reconfig_downtime_s"
+
+(* The in-run reconfiguration accounting is the runner playing
+   orchestrator: the traffic the last TE round routed over a duct is
+   disrupted for the duration of the capacity change.  The standalone
+   {!Orchestrator} feeds the same metric. *)
+let m_disrupted = Metrics.fcounter "orchestrator/disrupted_gbit"
+
 let downtime_mean_s = function
   | Stock ->
       let l = Rwc_optical.Bvt.default_latency in
@@ -62,7 +79,7 @@ let downtime_mean_s = function
       +. l.Rwc_optical.Bvt.laser_on_relock_mean_s
   | Efficient -> Rwc_optical.Bvt.default_latency.Rwc_optical.Bvt.dsp_reconfig_mean_s
 
-let run ?(config = default_config) ?(backbone = Backbone.north_america) policy =
+let run_policy ~config ~backbone policy =
   assert (config.days > 0.0 && config.te_interval_h > 0.0);
   let net = Netstate.make ~wavelengths:config.wavelengths ~seed:config.seed backbone in
   let years = config.days /. 365.25 in
@@ -159,22 +176,27 @@ let run ?(config = default_config) ?(backbone = Backbone.north_america) policy =
     end
   in
   let recompute_te now =
-    flush_te now;
-    let g = Netstate.graph net in
-    let te = Rwc_core.Te.mcf ~epsilon:config.epsilon g commodities in
-    current_total := te.Rwc_core.Te.total_gbps;
-    (* Edges 2i and 2i+1 are duct i's two directions, in construction
-       order. *)
-    Array.iteri
-      (fun i _ ->
-        duct_flow.(i) <-
-          te.Rwc_core.Te.flow.(2 * i) +. te.Rwc_core.Te.flow.((2 * i) + 1))
-      duct_flow;
-    current_capacity :=
-      Array.fold_left
-        (fun acc (d : Netstate.duct_state) -> acc +. Netstate.capacity_gbps d)
-        0.0 net.Netstate.ducts;
-    te_dirty := false
+    Trace.with_span "te/recompute" (fun () ->
+        Metrics.time m_te_recompute (fun () ->
+            Metrics.incr m_te_count;
+            flush_te now;
+            let g = Netstate.graph net in
+            let te = Rwc_core.Te.mcf ~epsilon:config.epsilon g commodities in
+            current_total := te.Rwc_core.Te.total_gbps;
+            (* Edges 2i and 2i+1 are duct i's two directions, in
+               construction order. *)
+            Array.iteri
+              (fun i _ ->
+                duct_flow.(i) <-
+                  te.Rwc_core.Te.flow.(2 * i)
+                  +. te.Rwc_core.Te.flow.((2 * i) + 1))
+              duct_flow;
+            current_capacity :=
+              Array.fold_left
+                (fun acc (d : Netstate.duct_state) ->
+                  acc +. Netstate.capacity_gbps d)
+                0.0 net.Netstate.ducts;
+            te_dirty := false))
   in
   (* One SNR-tick event sweeps all ducts. *)
   let apply_sample dr k =
@@ -188,7 +210,10 @@ let run ?(config = default_config) ?(backbone = Backbone.north_america) policy =
           | None -> Modulation.threshold_100g
         in
         let now_up = dr.trace.(k) >= threshold in
-        if d.Netstate.up && not now_up then incr failures;
+        if d.Netstate.up && not now_up then begin
+          incr failures;
+          Metrics.incr m_failures
+        end;
         if d.Netstate.up <> now_up then te_dirty := true;
         d.Netstate.up <- now_up
     | Adaptive procedure -> (
@@ -199,16 +224,19 @@ let run ?(config = default_config) ?(backbone = Backbone.north_america) policy =
               let action = Adapt.step ctl ~snr_db:dr.trace.(k) in
               let start_reconfig new_gbps =
                 incr reconfigs;
+                Metrics.incr m_reconfigs;
                 let mean = downtime_mean_s procedure in
                 let dt =
                   Float.min sample_s
                     (Rwc_stats.Rng.lognormal_of_mean reconfig_rng ~mean ~cv:0.35)
                 in
                 downtime := !downtime +. dt;
+                Metrics.addf m_downtime dt;
                 (* The traffic the TE routed over this duct is lost for
                    the duration of the change. *)
                 delivered_gbit :=
                   !delivered_gbit -. (duct_flow.(d.Netstate.duct_index) *. dt);
+                Metrics.addf m_disrupted (duct_flow.(d.Netstate.duct_index) *. dt);
                 sample_up_fraction.(d.Netstate.duct_index) <-
                   1.0 -. (dt /. sample_s);
                 dr.reconfiguring <- true;
@@ -223,30 +251,36 @@ let run ?(config = default_config) ?(backbone = Backbone.north_america) policy =
               | Adapt.No_change -> ()
               | Adapt.Go_dark _ ->
                   incr failures;
+                  Metrics.incr m_failures;
                   d.Netstate.per_lambda_gbps <- 0;
                   d.Netstate.up <- false;
                   te_dirty := true
               | Adapt.Step_down { to_gbps; _ } ->
                   incr flaps;
+                  Metrics.incr m_flaps;
                   start_reconfig to_gbps
               | Adapt.Step_up { to_gbps; _ } -> start_reconfig to_gbps
               | Adapt.Come_back { to_gbps } -> start_reconfig to_gbps))
   in
   let rec snr_tick k engine =
     if k < n_samples then begin
-      Array.fill sample_up_fraction 0 (Array.length sample_up_fraction) 1.0;
-      Array.iter (fun dr -> apply_sample dr k) ducts;
-      Array.iter
-        (fun dr ->
-          let i = dr.state.Netstate.duct_index in
-          duct_obs := !duct_obs + 1;
-          up_acc :=
-            !up_acc
-            +.
-            if dr.reconfiguring then sample_up_fraction.(i)
-            else if dr.state.Netstate.up then 1.0
-            else 0.0)
-        ducts;
+      Trace.with_span "sim/snr_sweep" (fun () ->
+          Metrics.time m_snr_sweep (fun () ->
+              Array.fill sample_up_fraction 0
+                (Array.length sample_up_fraction)
+                1.0;
+              Array.iter (fun dr -> apply_sample dr k) ducts;
+              Array.iter
+                (fun dr ->
+                  let i = dr.state.Netstate.duct_index in
+                  duct_obs := !duct_obs + 1;
+                  up_acc :=
+                    !up_acc
+                    +.
+                    if dr.reconfiguring then sample_up_fraction.(i)
+                    else if dr.state.Netstate.up then 1.0
+                    else 0.0)
+                ducts));
       if !te_dirty then recompute_te (Des.now engine);
       Des.schedule_in engine ~after:sample_s (snr_tick (k + 1))
     end
@@ -275,10 +309,30 @@ let run ?(config = default_config) ?(backbone = Backbone.north_america) policy =
     reconfig_downtime_s = !downtime;
   }
 
+let run ?(config = default_config) ?(backbone = Backbone.north_america) policy =
+  Trace.with_span
+    ("sim/run/" ^ policy_name policy)
+    (fun () -> run_policy ~config ~backbone policy)
+
 let compare_policies ?config ?backbone () =
   List.map
     (run ?config ?backbone)
     [ Static_100; Static_max; Adaptive Stock; Adaptive Efficient ]
+
+let json_of_report r =
+  Rwc_obs.Json.Assoc
+    [
+      ("policy", Rwc_obs.Json.String (policy_name r.policy));
+      ("delivered_pbit", Rwc_obs.Json.Float r.delivered_pbit);
+      ("offered_pbit", Rwc_obs.Json.Float r.offered_pbit);
+      ("avg_throughput_gbps", Rwc_obs.Json.Float r.avg_throughput_gbps);
+      ("avg_capacity_gbps", Rwc_obs.Json.Float r.avg_capacity_gbps);
+      ("duct_availability", Rwc_obs.Json.Float r.duct_availability);
+      ("failures", Rwc_obs.Json.Int r.failures);
+      ("flaps", Rwc_obs.Json.Int r.flaps);
+      ("reconfigurations", Rwc_obs.Json.Int r.reconfigurations);
+      ("reconfig_downtime_s", Rwc_obs.Json.Float r.reconfig_downtime_s);
+    ]
 
 let pp_report fmt r =
   Format.fprintf fmt

@@ -71,3 +71,6 @@ val compare_policies :
     [Adaptive Efficient]) under identical seeds and traffic. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val json_of_report : report -> Rwc_obs.Json.t
+(** Structured form of a report, for {!Rwc_obs.Manifest} records. *)

@@ -37,6 +37,15 @@ let link_report_of_trace link trace =
 
 let link_report fleet link = link_report_of_trace link (Fleet.trace fleet link)
 
+(* One hour at the paper's 15-minute polling cadence: longer gaps are
+   too much invented signal for failure/HDR statistics. *)
+let default_max_fill = 4
+
+let link_report_of_samples ?(max_fill = default_max_fill) link samples ~n =
+  Option.map
+    (link_report_of_trace link)
+    (Collector.fill_gaps ~max_fill samples ~n)
+
 type fleet_report = {
   fleet : Fleet.t;
   reports : link_report list;
@@ -50,7 +59,11 @@ type fleet_report = {
   salvageable_failure_fraction : float;
 }
 
+let m_fleet_report = Rwc_obs.Metrics.histogram "analyze/fleet_report"
+
 let fleet_report fleet =
+  Rwc_obs.Trace.with_span "analyze/fleet_report" @@ fun () ->
+  Rwc_obs.Metrics.time m_fleet_report @@ fun () ->
   let reports = ref [] in
   Fleet.iter_traces fleet (fun link trace ->
       reports := link_report_of_trace link trace :: !reports);

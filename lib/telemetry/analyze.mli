@@ -31,6 +31,19 @@ val link_report_of_trace : Fleet.link -> float array -> link_report
 (** Analyze a pre-generated trace (used when the caller already has
     it, e.g. the figure-1 rendering). *)
 
+val link_report_of_samples :
+  ?max_fill:int ->
+  Fleet.link ->
+  Collector.sample list ->
+  n:int ->
+  link_report option
+(** Analyze a lossy polled stream: gap-fill via
+    {!Collector.fill_gaps}[ ~max_fill] (default 4 slots = one hour at
+    15-minute polling) and analyze the reconstruction.  [None] when
+    the stream is empty or its longest gap exceeds [max_fill] — LOCF
+    over longer gaps would contaminate failure and HDR statistics with
+    fabricated flat SNR. *)
+
 type fleet_report = {
   fleet : Fleet.t;
   reports : link_report list;

@@ -1,36 +1,23 @@
 type sample = { index : int; snr_db : float }
 
+let m_polls_lost = Rwc_obs.Metrics.counter "collector/polls_lost"
+let m_gaps_filled = Rwc_obs.Metrics.counter "collector/gaps_filled"
+let m_gaps_rejected = Rwc_obs.Metrics.counter "collector/gaps_rejected"
+
 let poll rng trace ~loss_prob =
   assert (loss_prob >= 0.0 && loss_prob < 1.0);
   let out = ref [] in
   Array.iteri
     (fun i v ->
       if Rwc_stats.Rng.float rng >= loss_prob then
-        out := { index = i; snr_db = v } :: !out)
+        out := { index = i; snr_db = v } :: !out
+      else Rwc_obs.Metrics.incr m_polls_lost)
     trace;
   List.rev !out
 
 let completeness samples ~n =
   assert (n > 0);
   float_of_int (List.length samples) /. float_of_int n
-
-let fill_gaps samples ~n =
-  assert (n > 0);
-  match samples with
-  | [] -> None
-  | first :: _ ->
-      let out = Array.make n first.snr_db in
-      let last = ref first.snr_db in
-      let samples = ref samples in
-      for i = 0 to n - 1 do
-        (match !samples with
-        | s :: rest when s.index = i ->
-            last := s.snr_db;
-            samples := rest
-        | _ -> ());
-        out.(i) <- !last
-      done;
-      Some out
 
 let max_gap samples ~n =
   assert (n > 0);
@@ -39,3 +26,33 @@ let max_gap samples ~n =
     | s :: rest -> scan s.index (max longest (s.index - prev - 1)) rest
   in
   scan (-1) 0 samples
+
+let fill_gaps ?max_fill samples ~n =
+  assert (n > 0);
+  let reject () =
+    Rwc_obs.Metrics.incr m_gaps_rejected;
+    None
+  in
+  match samples with
+  | [] -> ( match max_fill with Some _ -> reject () | None -> None)
+  | first :: _ -> (
+      match max_fill with
+      | Some limit when max_gap samples ~n > limit ->
+          (* LOCF over a gap this long would fabricate hours of flat
+             SNR; refuse instead of silently inventing data. *)
+          reject ()
+      | _ ->
+          let out = Array.make n first.snr_db in
+          let last = ref first.snr_db in
+          let samples = ref samples in
+          let filled = ref 0 in
+          for i = 0 to n - 1 do
+            (match !samples with
+            | s :: rest when s.index = i ->
+                last := s.snr_db;
+                samples := rest
+            | _ -> incr filled);
+            out.(i) <- !last
+          done;
+          Rwc_obs.Metrics.add m_gaps_filled !filled;
+          Some out)

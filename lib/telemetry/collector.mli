@@ -19,10 +19,16 @@ val poll :
 val completeness : sample list -> n:int -> float
 (** Fraction of the [n] slots that have a sample. *)
 
-val fill_gaps : sample list -> n:int -> float array option
+val fill_gaps : ?max_fill:int -> sample list -> n:int -> float array option
 (** Reconstruct a dense trace by last-observation-carried-forward
     (leading gaps are backfilled from the first observation).
-    [None] when there are no samples at all. *)
+    [None] when there are no samples at all.
+
+    [?max_fill] guards against LOCF fabricating data: when the longest
+    gap (per {!max_gap}, so leading and trailing gaps count) exceeds
+    [max_fill] slots the reconstruction is refused with [None] and the
+    [collector/gaps_rejected] metric is bumped.  Without [max_fill]
+    the historic unguarded behavior is preserved. *)
 
 val max_gap : sample list -> n:int -> int
 (** Longest run of consecutive missing slots (including leading and

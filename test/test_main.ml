@@ -22,5 +22,6 @@ let () =
       ("fibbing", Test_fibbing.suite);
       ("fairness", Test_fairness.suite);
       ("infra", Test_infra.suite);
+      ("obs", Test_obs.suite);
       ("figures", Test_figures.suite);
     ]

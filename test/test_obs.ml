@@ -1,0 +1,287 @@
+module Json = Rwc_obs.Json
+module Metrics = Rwc_obs.Metrics
+module Trace = Rwc_obs.Trace
+module Manifest = Rwc_obs.Manifest
+
+(* --- json ---------------------------------------------------------------- *)
+
+let test_json_round_trip () =
+  let v =
+    Json.Assoc
+      [
+        ("null", Json.Null);
+        ("flag", Json.Bool true);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 2.5);
+        ("whole", Json.Float 21.0);
+        ("text", Json.String "line\n\"quoted\"\tand \\ slash");
+        ("list", Json.List [ Json.Int 1; Json.Int 2; Json.Assoc [] ]);
+      ]
+  in
+  (match Json.parse (Json.to_string v) with
+  | Ok parsed -> Alcotest.(check bool) "compact round-trips" true (parsed = v)
+  | Error e -> Alcotest.fail e);
+  match Json.parse (Json.to_string_pretty v) with
+  | Ok parsed -> Alcotest.(check bool) "pretty round-trips" true (parsed = v)
+  | Error e -> Alcotest.fail e
+
+let test_json_parse_escapes () =
+  (match Json.parse {|"aA\n"|} with
+  | Ok (Json.String s) -> Alcotest.(check string) "unicode escape" "aA\n" s
+  | _ -> Alcotest.fail "string expected");
+  (match Json.parse "[1, 2.5, -3e2]" with
+  | Ok (Json.List [ Json.Int 1; Json.Float b; Json.Float c ]) ->
+      Alcotest.(check (float 1e-9)) "float" 2.5 b;
+      Alcotest.(check (float 1e-9)) "exponent" (-300.0) c
+  | _ -> Alcotest.fail "number kinds");
+  Alcotest.(check bool) "trailing garbage rejected" true
+    (match Json.parse "1 2" with Error _ -> true | Ok _ -> false)
+
+(* --- metrics ------------------------------------------------------------- *)
+
+let test_registry_uniqueness () =
+  Metrics.enable ();
+  let a = Metrics.counter "obs-test/uniq" in
+  let b = Metrics.counter "obs-test/uniq" in
+  Metrics.incr a;
+  Metrics.incr b;
+  Alcotest.(check int) "one underlying counter" (Metrics.value a)
+    (Metrics.value b);
+  Alcotest.(check bool) "same handle" true (a == b);
+  (try
+     ignore (Metrics.gauge "obs-test/uniq");
+     Alcotest.fail "kind clash accepted"
+   with Invalid_argument _ -> ());
+  Metrics.disable ()
+
+let test_disabled_is_noop () =
+  let c = Metrics.counter "obs-test/noop" in
+  let h = Metrics.histogram "obs-test/noop_h" in
+  Metrics.disable ();
+  let before = Metrics.value c in
+  Metrics.incr c;
+  Metrics.add c 10;
+  Metrics.observe h 1.0;
+  Alcotest.(check int) "counter untouched" before (Metrics.value c);
+  Alcotest.(check int) "histogram untouched" 0 (Metrics.hcount h)
+
+let test_histogram_percentiles () =
+  Metrics.enable ();
+  let h = Metrics.histogram "obs-test/hist" in
+  (* Uniform 1ms..1s: the p-th percentile is p/100 seconds. *)
+  for i = 1 to 1000 do
+    Metrics.observe h (float_of_int i /. 1000.0)
+  done;
+  Alcotest.(check int) "count" 1000 (Metrics.hcount h);
+  Alcotest.(check (float 0.01)) "sum" 500.5 (Metrics.hsum h);
+  let check_quantile p expected =
+    let got = Metrics.percentile h p in
+    Alcotest.(check bool)
+      (Printf.sprintf "p%.0f %.4f within 8%% of %.3f" p got expected)
+      true
+      (Float.abs (got -. expected) /. expected < 0.08)
+  in
+  check_quantile 50.0 0.5;
+  check_quantile 95.0 0.95;
+  check_quantile 99.0 0.99;
+  (* Extremes are quantized to bucket midpoints but clamped to the
+     tracked min/max, so they are within one bucket ratio (~6%). *)
+  Alcotest.(check (float 1e-4)) "p0 near min" 0.001 (Metrics.percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "p100 clamped to max" 1.0
+    (Metrics.percentile h 100.0);
+  Metrics.disable ()
+
+(* --- trace --------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  Trace.enable ();
+  Trace.with_span "a" (fun () ->
+      Trace.with_span "b" (fun () -> ignore (Sys.opaque_identity 1));
+      Trace.with_span "c" (fun () -> ignore (Sys.opaque_identity 2)));
+  Alcotest.(check int) "balanced" 0 (Trace.depth ());
+  let spans = Trace.spans () in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  let find name = List.find (fun s -> s.Trace.name = name) spans in
+  let a = find "a" and b = find "b" and c = find "c" in
+  Alcotest.(check int) "root depth" 1 a.Trace.depth;
+  Alcotest.(check int) "child depth" 2 b.Trace.depth;
+  Alcotest.(check string) "child path" "a;b" b.Trace.path;
+  Alcotest.(check string) "sibling path" "a;c" c.Trace.path;
+  let inside child =
+    child.Trace.ts >= a.Trace.ts -. 1e-9
+    && child.Trace.ts +. child.Trace.dur <= a.Trace.ts +. a.Trace.dur +. 1e-9
+  in
+  Alcotest.(check bool) "children nested in parent" true (inside b && inside c);
+  (* Export must be valid JSON with one event per span. *)
+  (match Json.parse (Json.to_string (Trace.to_json ())) with
+  | Ok doc -> (
+      match Json.member "traceEvents" doc with
+      | Some (Json.List events) ->
+          Alcotest.(check int) "trace_event count" 3 (List.length events)
+      | _ -> Alcotest.fail "traceEvents missing")
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "flame summary mentions spans" true
+    (let s = Trace.flame_summary () in
+     let contains sub =
+       let n = String.length s and m = String.length sub in
+       let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+       at 0
+     in
+     contains "a" && contains "b" && contains "c");
+  Trace.disable ()
+
+let test_span_rebalances_on_exception () =
+  Trace.enable ();
+  (try Trace.with_span "boom" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "stack re-balanced" 0 (Trace.depth ());
+  Alcotest.(check int) "span still recorded" 1 (List.length (Trace.spans ()));
+  Trace.disable ()
+
+let test_span_disabled_is_identity () =
+  Trace.disable ();
+  Trace.reset ();
+  Alcotest.(check int) "passes value through" 7
+    (Trace.with_span "ghost" (fun () -> 7));
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.spans ()))
+
+(* --- manifest ------------------------------------------------------------ *)
+
+let test_manifest_round_trip () =
+  let m =
+    Manifest.make ~version:"rwc-test-1" ~argv:[ "rwc"; "simulate"; "--days"; "2" ]
+      ~seed:42
+      ~config:[ ("days", Json.Float 2.0); ("policy", Json.String "adaptive") ]
+      ~reports:[ ("adaptive", Json.Assoc [ ("flaps", Json.Int 3) ]) ]
+      ~metrics:(Json.Assoc [ ("sim/flaps", Json.Int 3) ])
+      ~command:"simulate" ()
+  in
+  match Json.parse (Json.to_string_pretty (Manifest.to_json m)) with
+  | Error e -> Alcotest.fail e
+  | Ok parsed -> (
+      match Manifest.of_json parsed with
+      | Error e -> Alcotest.fail e
+      | Ok m' -> Alcotest.(check bool) "round-trips" true (m = m'))
+
+let test_manifest_file () =
+  let path = Filename.temp_file "rwc-manifest" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let m = Manifest.make ~version:"rwc-test-2" ~command:"figures" () in
+      Manifest.write path m;
+      match Manifest.load path with
+      | Ok m' ->
+          Alcotest.(check string) "version survives" "rwc-test-2"
+            m'.Manifest.version
+      | Error e -> Alcotest.fail e)
+
+(* --- collector max_fill guard -------------------------------------------- *)
+
+let test_fill_gaps_max_fill () =
+  let s i = { Rwc_telemetry.Collector.index = i; snr_db = float_of_int i } in
+  let samples = [ s 0; s 1; s 5 ] in
+  (* Longest gap is 3 slots (2..4). *)
+  Metrics.enable ();
+  let rejected = Metrics.counter "collector/gaps_rejected" in
+  let before = Metrics.value rejected in
+  Alcotest.(check bool) "within limit fills" true
+    (Rwc_telemetry.Collector.fill_gaps ~max_fill:3 samples ~n:6 <> None);
+  Alcotest.(check bool) "over limit refuses" true
+    (Rwc_telemetry.Collector.fill_gaps ~max_fill:2 samples ~n:6 = None);
+  Alcotest.(check bool) "trailing gap counts" true
+    (Rwc_telemetry.Collector.fill_gaps ~max_fill:3 samples ~n:10 = None);
+  Alcotest.(check int) "gaps_rejected bumped" (before + 2)
+    (Metrics.value rejected);
+  Alcotest.(check bool) "unguarded keeps historic behavior" true
+    (Rwc_telemetry.Collector.fill_gaps samples ~n:100 <> None);
+  Metrics.disable ()
+
+let test_analyze_of_samples_guard () =
+  let fleet = Rwc_telemetry.Fleet.(scaled default ~factor:50) in
+  let link = (Rwc_telemetry.Fleet.links fleet).(0) in
+  let trace = Rwc_telemetry.Fleet.trace fleet link in
+  let n = Array.length trace in
+  let rng = Rwc_stats.Rng.create 3 in
+  let samples = Rwc_telemetry.Collector.poll rng trace ~loss_prob:0.01 in
+  (* 1% iid loss: gaps are short, reconstruction must succeed... *)
+  Alcotest.(check bool) "light loss analyzable" true
+    (Rwc_telemetry.Analyze.link_report_of_samples link samples ~n <> None);
+  (* ...but knocking out a contiguous day must trip the guard. *)
+  let holed =
+    List.filter
+      (fun s -> s.Rwc_telemetry.Collector.index < 100
+                || s.Rwc_telemetry.Collector.index > 196)
+      samples
+  in
+  Alcotest.(check bool) "long outage refused" true
+    (Rwc_telemetry.Analyze.link_report_of_samples link holed ~n = None)
+
+(* --- runner end-to-end ---------------------------------------------------- *)
+
+let test_runner_metrics_match_report () =
+  Metrics.enable ();
+  let flaps = Metrics.counter "sim/flaps" in
+  let failures = Metrics.counter "sim/failures" in
+  let reconfigs = Metrics.counter "sim/reconfigurations" in
+  let te_recomputes = Metrics.counter "te/recomputes" in
+  let te_hist = Metrics.histogram "te/recompute" in
+  let dispatched = Metrics.counter "des/events_dispatched" in
+  let base_flaps = Metrics.value flaps
+  and base_failures = Metrics.value failures
+  and base_reconfigs = Metrics.value reconfigs
+  and base_te = Metrics.value te_recomputes
+  and base_te_obs = Metrics.hcount te_hist
+  and base_dispatched = Metrics.value dispatched in
+  let config =
+    {
+      Rwc_sim.Runner.days = 2.0;
+      te_interval_h = 6.0;
+      seed = 11;
+      wavelengths = 4;
+      demand_fraction = 1.0;
+      top_demands = 15;
+      epsilon = 0.25;
+    }
+  in
+  let r =
+    Rwc_sim.Runner.run ~config (Rwc_sim.Runner.Adaptive Rwc_sim.Runner.Efficient)
+  in
+  Alcotest.(check int) "flap metric = report flaps" r.Rwc_sim.Runner.flaps
+    (Metrics.value flaps - base_flaps);
+  Alcotest.(check int) "failure metric = report failures"
+    r.Rwc_sim.Runner.failures
+    (Metrics.value failures - base_failures);
+  Alcotest.(check int) "reconfig metric = report reconfigurations"
+    r.Rwc_sim.Runner.reconfigurations
+    (Metrics.value reconfigs - base_reconfigs);
+  let te_delta = Metrics.value te_recomputes - base_te in
+  Alcotest.(check bool) "at least one TE recompute" true (te_delta >= 1);
+  Alcotest.(check int) "every recompute timed" te_delta
+    (Metrics.hcount te_hist - base_te_obs);
+  Alcotest.(check bool) "TE durations positive" true
+    (Metrics.percentile te_hist 50.0 > 0.0);
+  Alcotest.(check bool) "DES dispatched events" true
+    (Metrics.value dispatched - base_dispatched > 0);
+  Metrics.disable ()
+
+let suite =
+  [
+    Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+    Alcotest.test_case "json escapes" `Quick test_json_parse_escapes;
+    Alcotest.test_case "registry uniqueness" `Quick test_registry_uniqueness;
+    Alcotest.test_case "disabled is no-op" `Quick test_disabled_is_noop;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span exception balance" `Quick
+      test_span_rebalances_on_exception;
+    Alcotest.test_case "span disabled identity" `Quick
+      test_span_disabled_is_identity;
+    Alcotest.test_case "manifest round trip" `Quick test_manifest_round_trip;
+    Alcotest.test_case "manifest file io" `Quick test_manifest_file;
+    Alcotest.test_case "fill_gaps max_fill guard" `Quick test_fill_gaps_max_fill;
+    Alcotest.test_case "analyze lossy samples guard" `Quick
+      test_analyze_of_samples_guard;
+    Alcotest.test_case "runner metrics match report" `Slow
+      test_runner_metrics_match_report;
+  ]
