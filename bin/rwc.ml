@@ -4,6 +4,7 @@
      figures        reproduce the paper's figures (all or --only ID)
      analyze        fleet-wide SNR telemetry analysis (Section 2)
      simulate       WAN policy simulation (throughput + availability)
+     chaos          fault-rate sweep: throughput degradation per policy
      bvt            modulation-change latency experiment (Section 3.1)
      constellation  render one constellation panel (Figure 5) *)
 
@@ -292,21 +293,40 @@ let policy_conv =
   in
   Arg.conv (parse, fun fmt p -> Format.fprintf fmt "%s" (Rwc_sim.Runner.policy_name p))
 
-let run_simulate () days policy seed backbone_file manifest_path =
+let faults_conv =
+  let parse s =
+    match Rwc_fault.of_string s with
+    | Ok plan -> Ok plan
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt p -> Format.fprintf fmt "%s" (Rwc_fault.to_string p))
+
+let faults_arg =
+  Arg.(
+    value
+    & opt faults_conv Rwc_fault.none
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Fault plan: $(b,none) (default), $(b,default), or a \
+           comma-separated rule list like \
+           $(b,bvt-fail=0.3,te-delay=0.1:1800,seed=99).  With $(b,none) the \
+           run is bit-identical to one without the fault layer.")
+
+let backbone_of = function
+  | None -> Rwc_topology.Backbone.north_america
+  | Some path -> (
+      match Rwc_topology.Parser.parse_file path with
+      | Ok t -> t
+      | Error e ->
+          Printf.eprintf "%s: %s\n" path e;
+          exit 2)
+
+let run_simulate () days policy seed faults backbone_file manifest_path =
   Option.iter (check_writable "--manifest") manifest_path;
   let config =
-    { Rwc_sim.Runner.default_config with Rwc_sim.Runner.days; seed }
+    { Rwc_sim.Runner.default_config with Rwc_sim.Runner.days; seed; faults }
   in
-  let backbone =
-    match backbone_file with
-    | None -> Rwc_topology.Backbone.north_america
-    | Some path -> (
-        match Rwc_topology.Parser.parse_file path with
-        | Ok t -> t
-        | Error e ->
-            Printf.eprintf "%s: %s\n" path e;
-            exit 2)
-  in
+  let backbone = backbone_of backbone_file in
   let reports =
     match policy with
     | Some p -> [ Rwc_sim.Runner.run ~config ~backbone p ]
@@ -331,6 +351,7 @@ let run_simulate () days policy seed backbone_file manifest_path =
               ("epsilon", Float config.Rwc_sim.Runner.epsilon);
               ( "backbone",
                 String (Option.value backbone_file ~default:"north-america") );
+              ("faults", String (Rwc_fault.to_string faults));
             ]
           ~reports:
             (List.map
@@ -380,7 +401,120 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"WAN policy simulation (throughput/availability)")
     Term.(
       const run_simulate $ obs_term $ days_arg $ policy_arg $ sim_seed_arg
-      $ backbone_file_arg $ manifest_arg)
+      $ faults_arg $ backbone_file_arg $ manifest_arg)
+
+(* ---- chaos ------------------------------------------------------------- *)
+
+(* Sweep the default fault plan's rates and report how much delivered
+   throughput each policy gives up as the infrastructure gets less
+   reliable.  Factor 0 is the fault-free baseline every other row is
+   compared against. *)
+
+let run_chaos () days seed factors policy backbone_file manifest_path =
+  Option.iter (check_writable "--manifest") manifest_path;
+  let backbone = backbone_of backbone_file in
+  let factors = List.sort_uniq compare factors in
+  let factors = if List.mem 0.0 factors then factors else 0.0 :: factors in
+  if List.exists (fun f -> f < 0.0) factors then begin
+    prerr_endline "rwc chaos: --factor must be >= 0";
+    exit 2
+  end;
+  let run_at factor =
+    let faults =
+      if factor = 0.0 then Rwc_fault.none
+      else Rwc_fault.scaled Rwc_fault.default ~factor
+    in
+    let config =
+      { Rwc_sim.Runner.default_config with Rwc_sim.Runner.days; seed; faults }
+    in
+    match policy with
+    | Some p -> [ Rwc_sim.Runner.run ~config ~backbone p ]
+    | None -> Rwc_sim.Runner.compare_policies ~config ~backbone ()
+  in
+  let sweep = List.map (fun f -> (f, run_at f)) factors in
+  let baseline = List.assoc 0.0 sweep in
+  let baseline_for p =
+    (List.find (fun r -> r.Rwc_sim.Runner.policy = p) baseline)
+      .Rwc_sim.Runner.delivered_pbit
+  in
+  Printf.printf
+    "chaos sweep: %.1f days, seed %d, plan 'default' scaled per factor\n" days
+    seed;
+  Printf.printf "%-7s %-22s %15s %11s %5s %6s %9s\n" "factor" "policy"
+    "delivered(Pbit)" "vs-baseline" "inj" "retry" "fallback";
+  List.iter
+    (fun (factor, reports) ->
+      List.iter
+        (fun r ->
+          let base = baseline_for r.Rwc_sim.Runner.policy in
+          let degradation =
+            100.0 *. (r.Rwc_sim.Runner.delivered_pbit -. base) /. base
+          in
+          let inj, retry, fallback =
+            match r.Rwc_sim.Runner.fault_stats with
+            | None -> ("-", "-", "-")
+            | Some f ->
+                ( string_of_int f.Rwc_sim.Runner.injected,
+                  string_of_int f.Rwc_sim.Runner.retries,
+                  string_of_int f.Rwc_sim.Runner.fallbacks )
+          in
+          Printf.printf "%-7.2f %-22s %15.2f %+10.3f%% %5s %6s %9s\n" factor
+            (Rwc_sim.Runner.policy_name r.Rwc_sim.Runner.policy)
+            r.Rwc_sim.Runner.delivered_pbit degradation inj retry fallback)
+        reports)
+    sweep;
+  match manifest_path with
+  | None -> ()
+  | Some path ->
+      let open Obs.Json in
+      let manifest =
+        Obs.Manifest.make ~command:"chaos" ~seed
+          ~config:
+            [
+              ("days", Float days);
+              ("factors", List (List.map (fun f -> Float f) factors));
+              ( "policy",
+                match policy with
+                | Some p -> String (Rwc_sim.Runner.policy_name p)
+                | None -> Null );
+              ( "backbone",
+                String (Option.value backbone_file ~default:"north-america") );
+            ]
+          ~reports:
+            (List.concat_map
+               (fun (factor, reports) ->
+                 List.map
+                   (fun r ->
+                     ( Printf.sprintf "f%.2f/%s" factor
+                         (Rwc_sim.Runner.policy_name r.Rwc_sim.Runner.policy),
+                       Rwc_sim.Runner.json_of_report r ))
+                   reports)
+               sweep)
+          ~metrics:(manifest_metrics ()) ()
+      in
+      Obs.Manifest.write path manifest
+
+let chaos_days_arg =
+  Arg.(
+    value & opt float 7.0
+    & info [ "days" ] ~docv:"D" ~doc:"Horizon in days per run.")
+
+let factors_arg =
+  Arg.(
+    value
+    & opt_all float [ 0.5; 1.0; 2.0 ]
+    & info [ "factor" ] ~docv:"F"
+        ~doc:
+          "Scale the default plan's rates by $(docv) (repeatable).  The \
+           fault-free baseline (factor 0) is always included.")
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Sweep fault-injection rates and report throughput degradation")
+    Term.(
+      const run_chaos $ obs_term $ chaos_days_arg $ sim_seed_arg $ factors_arg
+      $ policy_arg $ backbone_file_arg $ manifest_arg)
 
 (* ---- bvt -------------------------------------------------------------- *)
 
@@ -621,6 +755,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            figures_cmd; analyze_cmd; simulate_cmd; bvt_cmd; constellation_cmd;
-            export_cmd; detect_cmd; topology_cmd;
+            figures_cmd; analyze_cmd; simulate_cmd; chaos_cmd; bvt_cmd;
+            constellation_cmd; export_cmd; detect_cmd; topology_cmd;
           ]))

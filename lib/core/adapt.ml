@@ -25,6 +25,7 @@ type action =
   | Step_down of { from_gbps : int; to_gbps : int }
   | Go_dark of { from_gbps : int }
   | Come_back of { to_gbps : int }
+  | Stuck of { wanted_gbps : int }
 
 let m_transitions = Rwc_obs.Metrics.counter "adapt/transitions"
 
@@ -49,55 +50,80 @@ let threshold gbps =
   | Some m -> m.Modulation.min_snr_db
   | None -> invalid_arg "Adapt: unknown denomination"
 
-let step t ~snr_db =
+let force t ~gbps =
+  (match Modulation.of_gbps gbps with
+  | Some _ -> ()
+  | None when gbps = 0 -> ()
+  | None -> invalid_arg "Adapt.force: not a modulation denomination");
+  t.current_gbps <- gbps;
+  t.qualify_streak <- 0
+
+(* The step is decide-then-commit: the decision touches no state, so
+   an injected stuck fault can suppress the transition without leaving
+   a phantom metric or a half-updated streak behind. *)
+type decision =
+  | D_none
+  | D_reset_streak  (* disqualified for a step up; nothing else *)
+  | D_qualify  (* one more qualifying sample, below the hold time *)
+  | D_move of { to_gbps : int; action : action }
+
+let decide t ~snr_db =
   let feasible = Modulation.feasible_gbps snr_db in
   if t.current_gbps = 0 then
     (* Dark link: come back as soon as anything is feasible.  Re-entry
        is conservative: start at the highest feasible denomination's
        floor, no hold time (the link is down, nothing to disrupt). *)
-    if feasible > 0 then begin
-      t.current_gbps <- feasible;
-      t.qualify_streak <- 0;
-      record_transition ~from_gbps:0 ~to_gbps:feasible;
-      Come_back { to_gbps = feasible }
-    end
-    else No_change
-  else if snr_db < threshold t.current_gbps then begin
+    if feasible > 0 then
+      D_move { to_gbps = feasible; action = Come_back { to_gbps = feasible } }
+    else D_none
+  else if snr_db < threshold t.current_gbps then
     (* SNR no longer supports the current rate: crawl (or go dark). *)
     let from_gbps = t.current_gbps in
-    t.qualify_streak <- 0;
-    if feasible = 0 then begin
-      t.current_gbps <- 0;
-      record_transition ~from_gbps ~to_gbps:0;
-      Go_dark { from_gbps }
-    end
-    else begin
-      t.current_gbps <- feasible;
-      record_transition ~from_gbps ~to_gbps:feasible;
-      Step_down { from_gbps; to_gbps = feasible }
-    end
-  end
-  else begin
+    if feasible = 0 then D_move { to_gbps = 0; action = Go_dark { from_gbps } }
+    else
+      D_move
+        { to_gbps = feasible; action = Step_down { from_gbps; to_gbps = feasible } }
+  else
     match next_up t.current_gbps with
-    | None -> No_change
+    | None -> D_none
     | Some target ->
         if snr_db >= target.Modulation.min_snr_db +. t.config.up_margin_db
-        then begin
-          t.qualify_streak <- t.qualify_streak + 1;
-          if t.qualify_streak >= t.config.hold_samples then begin
-            let from_gbps = t.current_gbps in
-            t.current_gbps <- target.Modulation.gbps;
-            t.qualify_streak <- 0;
-            record_transition ~from_gbps ~to_gbps:target.Modulation.gbps;
-            Step_up { from_gbps; to_gbps = target.Modulation.gbps }
-          end
-          else No_change
-        end
-        else begin
-          t.qualify_streak <- 0;
-          No_change
-        end
-  end
+        then
+          if t.qualify_streak + 1 >= t.config.hold_samples then
+            D_move
+              {
+                to_gbps = target.Modulation.gbps;
+                action =
+                  Step_up
+                    { from_gbps = t.current_gbps; to_gbps = target.Modulation.gbps };
+              }
+          else D_qualify
+        else D_reset_streak
+
+let step ?(faults = Rwc_fault.disarmed) ?(now = 0.0) t ~snr_db =
+  match decide t ~snr_db with
+  | D_none -> No_change
+  | D_reset_streak ->
+      t.qualify_streak <- 0;
+      No_change
+  | D_qualify ->
+      t.qualify_streak <- t.qualify_streak + 1;
+      No_change
+  | D_move { to_gbps; action } ->
+      if Rwc_fault.fires faults Rwc_fault.Adapt_stuck ~now then begin
+        (* The command was lost or the firmware wedged: the device
+           keeps its modulation.  The streak is consumed — the
+           controller has to requalify before trying again. *)
+        t.qualify_streak <- 0;
+        Stuck { wanted_gbps = to_gbps }
+      end
+      else begin
+        let from_gbps = t.current_gbps in
+        t.current_gbps <- to_gbps;
+        t.qualify_streak <- 0;
+        record_transition ~from_gbps ~to_gbps;
+        action
+      end
 
 let run_trace ?config ~initial_gbps trace =
   let t = create ?config ~initial_gbps () in

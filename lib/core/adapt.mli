@@ -46,12 +46,28 @@ type action =
   | Go_dark of { from_gbps : int }
       (** SNR below even the 50 Gbps threshold: a genuine failure. *)
   | Come_back of { to_gbps : int }  (** Recovery from dark. *)
+  | Stuck of { wanted_gbps : int }
+      (** Fault injection only (never produced without an armed
+          injector): the controller wanted to move to [wanted_gbps]
+          but the transition was suppressed — lost command, wedged
+          firmware.  State is unchanged except that any step-up
+          qualification streak is consumed. *)
 
-val step : state -> snr_db:float -> action
+val step :
+  ?faults:Rwc_fault.injector -> ?now:float -> state -> snr_db:float -> action
 (** Feed one SNR sample; mutates the state and reports what the
     controller did.  Down-shifts move directly to the highest feasible
     denomination (possibly several steps at once); up-shifts move one
-    denomination at a time. *)
+    denomination at a time.  An armed [faults] injector may turn any
+    transition into {!Stuck} via the [Adapt_stuck] component; [now] is
+    the simulation time used for fault windows. *)
+
+val force : state -> gbps:int -> unit
+(** Overwrite the controller's view of the configured capacity (0 or a
+    denomination) and reset the qualification streak.  Used when the
+    orchestration layer falls back after exhausted reconfiguration
+    retries and the device is known to be at a different rate than the
+    controller last commanded. *)
 
 val run_trace : ?config:config -> initial_gbps:int -> float array -> action array
 (** Convenience: fresh controller stepped over a whole trace. *)

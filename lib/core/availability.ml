@@ -78,6 +78,9 @@ let evaluate_adaptive config reconfig_downtime_s trace =
             incr upshifts;
             true
         | Adapt.Come_back _ -> true
+        (* Unreachable without a fault injector, which this evaluator
+           never passes. *)
+        | Adapt.Stuck _ -> false
       in
       let cap = float_of_int (Adapt.capacity_gbps ctl) in
       let usable_s =

@@ -28,16 +28,26 @@ type change = {
   downtime_s : float;
 }
 
+type health = Active | Degraded
+
+type failure = {
+  attempted : Modulation.scheme;
+  elapsed_s : float;
+  timed_out : bool;
+}
+
 type t = {
   mutable current : Modulation.scheme;
+  mutable state : health;
   latency : latency_model;
   registers : Mdio.t;
 }
 
 let create ?(latency = default_latency) scheme =
-  { current = scheme; latency; registers = Mdio.create () }
+  { current = scheme; state = Active; latency; registers = Mdio.create () }
 
 let scheme t = t.current
+let health t = t.state
 let mdio t = t.registers
 
 let code_of_scheme = function
@@ -51,18 +61,25 @@ let scheme_of_code = function
   | 2 -> Some Modulation.Qam16
   | _ -> None
 
+let m_change_failures = Rwc_obs.Metrics.counter "bvt/change_failures"
+let m_change_timeouts = Rwc_obs.Metrics.counter "bvt/change_timeouts"
+
 let draw rng ~mean ~cv = Rwc_stats.Rng.lognormal_of_mean rng ~mean ~cv
 
-let change_modulation t rng ~target ~procedure =
+let try_change_modulation t rng ?(faults = Rwc_fault.disarmed) ?(now = 0.0)
+    ~target ~procedure () =
   if target = t.current then
-    {
-      from_scheme = t.current;
-      to_scheme = target;
-      procedure;
-      steps = [];
-      total_s = 0.0;
-      downtime_s = 0.0;
-    }
+    (* No register traffic, no fault opportunity: nothing is committed,
+       so a degraded transceiver stays degraded through a no-op. *)
+    Ok
+      {
+        from_scheme = t.current;
+        to_scheme = target;
+        procedure;
+        steps = [];
+        total_s = 0.0;
+        downtime_s = 0.0;
+      }
   else begin
     let from_scheme = t.current in
     let l = t.latency in
@@ -106,14 +123,48 @@ let change_modulation t rng ~target ~procedure =
             };
           ]
     in
-    t.current <- target;
     let total_s = List.fold_left (fun acc s -> acc +. s.duration_s) 0.0 steps in
-    {
-      from_scheme;
-      to_scheme = target;
-      procedure;
-      steps;
-      total_s;
-      downtime_s = total_s;
-    }
+    let timed_out = Rwc_fault.fires faults Rwc_fault.Bvt_timeout ~now in
+    let failed =
+      timed_out || Rwc_fault.fires faults Rwc_fault.Bvt_reconfig ~now
+    in
+    if failed then begin
+      (* The commit did not take: the transceiver stays on its old
+         scheme with the carrier unlocked, and must be recovered by a
+         subsequent successful change. *)
+      Mdio.set_locked m false;
+      t.state <- Degraded;
+      Rwc_obs.Metrics.incr m_change_failures;
+      if timed_out then Rwc_obs.Metrics.incr m_change_timeouts;
+      let elapsed_s =
+        total_s
+        +. (if timed_out then Rwc_fault.param faults Rwc_fault.Bvt_timeout else 0.0)
+      in
+      Error { attempted = target; elapsed_s; timed_out }
+    end
+    else begin
+      t.current <- target;
+      t.state <- Active;
+      (* A committed change always ends carrier-locked; this is what
+         recovers a transceiver a previous failed attempt left
+         unlocked.  (Status poke, not a register write: invisible in
+         the access log, idempotent on the stock path.) *)
+      Mdio.set_locked m true;
+      Ok
+        {
+          from_scheme;
+          to_scheme = target;
+          procedure;
+          steps;
+          total_s;
+          downtime_s = total_s;
+        }
+    end
   end
+
+let change_modulation t rng ~target ~procedure =
+  match try_change_modulation t rng ~target ~procedure () with
+  | Ok change -> change
+  | Error _ ->
+      (* Unreachable: the disarmed injector never fires. *)
+      assert false

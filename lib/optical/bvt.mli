@@ -39,20 +39,57 @@ type change = {
           DSP switches, just for milliseconds instead of a minute. *)
 }
 
+type health =
+  | Active  (** Carrier locked on the configured scheme. *)
+  | Degraded
+      (** A modulation change failed or timed out: the transceiver is
+          still on its previous scheme with the carrier unlocked and
+          must be recovered by a successful change. *)
+
+type failure = {
+  attempted : Modulation.scheme;  (** The target that did not take. *)
+  elapsed_s : float;
+      (** Time lost on the failed attempt, including the injected
+          timeout stall when [timed_out]. *)
+  timed_out : bool;
+}
+
 type t
 
 val create : ?latency:latency_model -> Modulation.scheme -> t
 (** A transceiver currently running the given scheme, laser on. *)
 
 val scheme : t -> Modulation.scheme
+val health : t -> health
+(** [Degraded] from a failed change until the next successful one; a
+    change-to-same-scheme no-op commits nothing and does not recover. *)
+
 val mdio : t -> Mdio.t
 (** The device's management registers (shared, not a copy). *)
+
+val try_change_modulation :
+  t ->
+  Rwc_stats.Rng.t ->
+  ?faults:Rwc_fault.injector ->
+  ?now:float ->
+  target:Modulation.scheme ->
+  procedure:procedure ->
+  unit ->
+  (change, failure) result
+(** Attempt a modulation change.  With the default disarmed [faults]
+    injector this cannot fail and performs exactly the register
+    sequence and latency draws of {!change_modulation}.  When the
+    injector fires [Bvt_reconfig] or [Bvt_timeout] for this attempt
+    the commit does not take: the transceiver keeps its old scheme,
+    drops to {!Degraded}, and the failure reports the time lost.
+    [now] is the simulation time used for fault windows. *)
 
 val change_modulation :
   t -> Rwc_stats.Rng.t -> target:Modulation.scheme -> procedure:procedure -> change
 (** Perform a modulation change, mutating the transceiver and its
     registers.  Returns the recorded steps.  Changing to the current
-    scheme is a no-op with zero steps and zero downtime. *)
+    scheme is a no-op with zero steps and zero downtime.  Equivalent
+    to {!try_change_modulation} without faults, which cannot fail. *)
 
 val code_of_scheme : Modulation.scheme -> int
 val scheme_of_code : int -> Modulation.scheme option

@@ -33,4 +33,15 @@ let run t ~until =
   done;
   t.clock <- until
 
+let drain t =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.pop t.queue with
+    | Some (time, handler) ->
+        t.clock <- time;
+        Rwc_obs.Metrics.incr m_dispatched;
+        handler t
+    | None -> continue := false
+  done
+
 let pending t = Event_queue.size t.queue

@@ -1,4 +1,10 @@
-type phase = Drain_started | Reconfigure_started | Restored
+type phase =
+  | Drain_started
+  | Reconfigure_started
+  | Reconfigure_failed
+  | Retry_scheduled
+  | Fallback_started
+  | Restored
 
 type log_entry = {
   time_s : float;
@@ -6,25 +12,51 @@ type log_entry = {
   phase : phase;
 }
 
+type retry_policy = {
+  max_attempts : int;
+  base_s : float;
+  factor : float;
+  cap_s : float;
+}
+
+let default_retry_policy =
+  { max_attempts = 4; base_s = 5.0; factor = 2.0; cap_s = 60.0 }
+
+let backoff_delay p ~attempt =
+  if attempt < 1 then invalid_arg "Orchestrator.backoff_delay: attempt < 1";
+  Float.min p.cap_s (p.base_s *. (p.factor ** float_of_int (attempt - 1)))
+
 type outcome = {
   log : log_entry list;
   total_duration_s : float;
   disrupted_gbit : float;
   reconfigurations : int;
+  faults_injected : int;
+  retries : int;
+  fallbacks : int;
 }
 
 let m_reconfigs = Rwc_obs.Metrics.counter "orchestrator/reconfigurations"
 let m_disrupted = Rwc_obs.Metrics.fcounter "orchestrator/disrupted_gbit"
 let m_drain_s = Rwc_obs.Metrics.histogram "orchestrator/drain_s"
 let m_reconfig_s = Rwc_obs.Metrics.histogram "orchestrator/reconfig_s"
+let m_retries = Rwc_obs.Metrics.counter "orchestrator/retries"
+let m_fallbacks = Rwc_obs.Metrics.counter "orchestrator/fallbacks"
 
-let execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ?(drain_s = 30.0) () =
+let execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ?(drain_s = 30.0)
+    ?(faults = Rwc_fault.disarmed) ?(retry = default_retry_policy) () =
   assert (downtime_mean_s >= 0.0 && drain_s >= 0.0);
+  if retry.max_attempts < 1 then
+    invalid_arg "Orchestrator.execute: retry.max_attempts < 1";
   Rwc_obs.Trace.with_span "orchestrator/execute" @@ fun () ->
+  let injected_before = Rwc_fault.injected faults in
   let engine = Des.create () in
   let log = ref [] in
   let disrupted = ref 0.0 in
   let finished_at = ref 0.0 in
+  let reconfigurations = ref 0 in
+  let retries = ref 0 in
+  let fallbacks = ref 0 in
   let record time phys_edge phase =
     log := { time_s = time; phys_edge; phase } :: !log
   in
@@ -38,32 +70,76 @@ let execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ?(drain_s = 30.0) () 
         (* Phase durations are simulated seconds, not wall time, but
            the log-scale histogram covers both uses. *)
         Rwc_obs.Metrics.observe m_drain_s drain_s;
-        Des.schedule_in engine ~after:drain_s (fun engine ->
-            record (Des.now engine) edge Reconfigure_started;
-            let downtime =
-              if downtime_mean_s = 0.0 then 0.0
-              else
-                Rwc_stats.Rng.lognormal_of_mean rng ~mean:downtime_mean_s
-                  ~cv:0.35
-            in
-            Rwc_obs.Metrics.incr m_reconfigs;
-            Rwc_obs.Metrics.observe m_reconfig_s downtime;
-            Rwc_obs.Metrics.addf m_disrupted (residual_flow edge *. downtime);
-            disrupted := !disrupted +. (residual_flow edge *. downtime);
-            Des.schedule_in engine ~after:downtime (fun engine ->
-                record (Des.now engine) edge Restored;
-                start_link rest engine))
+        Des.schedule_in engine ~after:drain_s (attempt edge rest 1)
+  and attempt edge rest k engine =
+    record (Des.now engine) edge Reconfigure_started;
+    incr reconfigurations;
+    let downtime =
+      if downtime_mean_s = 0.0 then 0.0
+      else
+        Rwc_stats.Rng.lognormal_of_mean rng ~mean:downtime_mean_s ~cv:0.35
+    in
+    Rwc_obs.Metrics.incr m_reconfigs;
+    Rwc_obs.Metrics.observe m_reconfig_s downtime;
+    Rwc_obs.Metrics.addf m_disrupted (residual_flow edge *. downtime);
+    disrupted := !disrupted +. (residual_flow edge *. downtime);
+    Des.schedule_in engine ~after:downtime (fun engine ->
+        let now = Des.now engine in
+        let timed_out = Rwc_fault.fires faults Rwc_fault.Bvt_timeout ~now in
+        let failed =
+          timed_out || Rwc_fault.fires faults Rwc_fault.Bvt_reconfig ~now
+        in
+        if not failed then begin
+          record now edge Restored;
+          start_link rest engine
+        end
+        else begin
+          (* A timed-out change stalls the procedure for the injected
+             extra interval before the operator sees the failure; the
+             residual traffic keeps bleeding for that long too. *)
+          let stall =
+            if timed_out then Rwc_fault.param faults Rwc_fault.Bvt_timeout
+            else 0.0
+          in
+          Rwc_obs.Metrics.addf m_disrupted (residual_flow edge *. stall);
+          disrupted := !disrupted +. (residual_flow edge *. stall);
+          Des.schedule_in engine ~after:stall (fun engine ->
+              let now = Des.now engine in
+              record now edge Reconfigure_failed;
+              if k < retry.max_attempts then begin
+                incr retries;
+                Rwc_obs.Metrics.incr m_retries;
+                record now edge Retry_scheduled;
+                Des.schedule_in engine
+                  ~after:(backoff_delay retry ~attempt:k)
+                  (attempt edge rest (k + 1))
+              end
+              else begin
+                (* Retries exhausted: abandon the upgrade.  The BVT
+                   never committed the new modulation, so restoring the
+                   pre-upgrade routing is immediate — the link degrades
+                   gracefully to its old rate (a flap, not an outage). *)
+                incr fallbacks;
+                Rwc_obs.Metrics.incr m_fallbacks;
+                record now edge Fallback_started;
+                record now edge Restored;
+                start_link rest engine
+              end)
+        end)
   in
   Des.schedule engine ~at:0.0 (start_link upgrades);
-  (* Generous horizon: drains + worst-case latencies. *)
-  let horizon =
-    (float_of_int (List.length upgrades) *. (drain_s +. (50.0 *. (downtime_mean_s +. 1.0))))
-    +. 1.0
-  in
-  Des.run engine ~until:horizon;
+  (* Run to quiescence: a fixed horizon silently truncated the log
+     when a heavy lognormal draw (or, now, a retry chain) outlived the
+     heuristic budget.  The event graph terminates by construction —
+     every attempt either restores or retries at most
+     [retry.max_attempts] times per link. *)
+  Des.drain engine;
   {
     log = List.rev !log;
     total_duration_s = !finished_at;
     disrupted_gbit = !disrupted;
-    reconfigurations = List.length upgrades;
+    reconfigurations = !reconfigurations;
+    faults_injected = Rwc_fault.injected faults - injected_before;
+    retries = !retries;
+    fallbacks = !fallbacks;
   }

@@ -12,9 +12,25 @@
     each reconfiguration's duration from the BVT latency model and
     accounting the traffic lost on links that could not be fully
     drained.  It is the glue between {!Rwc_core.Consistent_update},
-    {!Rwc_core.Scheduler} and {!Rwc_optical.Bvt}. *)
+    {!Rwc_core.Scheduler} and {!Rwc_optical.Bvt}.
 
-type phase = Drain_started | Reconfigure_started | Restored
+    Reconfigurations can fail.  With an armed {!Rwc_fault} injector, a
+    change may fail at commit ([Bvt_reconfig]) or time out
+    ([Bvt_timeout], stalling for the rule's param seconds first).  A
+    failed attempt is retried with capped exponential backoff
+    ({!retry_policy}); a link whose attempts are exhausted {e falls
+    back} to its pre-upgrade modulation — the BVT never committed, so
+    restoring the old routing is immediate, and the link degrades
+    gracefully (a flap) instead of wedging the plan. *)
+
+type phase =
+  | Drain_started
+  | Reconfigure_started
+  | Reconfigure_failed  (** The attempt did not take (injected fault). *)
+  | Retry_scheduled  (** Backoff armed; the next attempt will follow. *)
+  | Fallback_started
+      (** Retries exhausted; reverting to the pre-upgrade modulation. *)
+  | Restored
 
 type log_entry = {
   time_s : float;  (** Simulation time of the transition. *)
@@ -22,13 +38,36 @@ type log_entry = {
   phase : phase;
 }
 
+type retry_policy = {
+  max_attempts : int;  (** Total attempts per link, >= 1. *)
+  base_s : float;  (** Backoff after the first failure. *)
+  factor : float;  (** Multiplier per subsequent failure. *)
+  cap_s : float;  (** Upper bound on any single backoff delay. *)
+}
+
+val default_retry_policy : retry_policy
+(** 4 attempts, 5 s base, doubling, capped at 60 s. *)
+
+val backoff_delay : retry_policy -> attempt:int -> float
+(** Delay before the attempt following failure number [attempt]
+    (1-based): [min cap_s (base_s *. factor ^ (attempt - 1))].
+    Monotone non-decreasing in [attempt] for [factor >= 1].  Raises
+    [Invalid_argument] when [attempt < 1]. *)
+
 type outcome = {
   log : log_entry list;  (** Chronological. *)
   total_duration_s : float;
   disrupted_gbit : float;
       (** Sum over links of (traffic still on the link during its
-          reconfiguration) x (reconfiguration duration). *)
+          reconfiguration attempts and stalls) x (duration). *)
   reconfigurations : int;
+      (** Reconfiguration attempts executed (= number of
+          [Reconfigure_started] entries; equals the plan length when
+          nothing fails). *)
+  faults_injected : int;
+      (** Faults the injector fired during this execution. *)
+  retries : int;  (** Attempts re-scheduled after a failure. *)
+  fallbacks : int;  (** Links that reverted to their pre-upgrade rate. *)
 }
 
 val execute :
@@ -37,6 +76,8 @@ val execute :
   residual_flow:(Rwc_flow.Graph.edge_id -> float) ->
   downtime_mean_s:float ->
   ?drain_s:float ->
+  ?faults:Rwc_fault.injector ->
+  ?retry:retry_policy ->
   unit ->
   outcome
 (** [execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ()] runs
@@ -45,5 +86,10 @@ val execute :
     has been installed — 0 when the consistent update fully drained it.
     [drain_s] (default 30 s) is the time to install a routing change
     network-wide.  Links are processed in plan order, strictly
-    serialized.  Phases alternate correctly and every link ends
-    [Restored]; the test suite asserts both. *)
+    serialized.  The DES runs to quiescence (no fixed horizon), so no
+    retry chain or heavy-tailed downtime draw can truncate the log;
+    every link ends [Restored] — directly on success, or via
+    [Fallback_started] when its [retry] attempts (default
+    {!default_retry_policy}) are exhausted — and the test suite asserts
+    both.  Without an armed [faults] injector the outcome is
+    bit-identical to the historic always-succeeds behavior. *)

@@ -21,6 +21,8 @@ type config = {
   demand_fraction : float;
   top_demands : int;
   epsilon : float;
+  faults : Rwc_fault.plan;
+  retry : Orchestrator.retry_policy;
 }
 
 let default_config =
@@ -32,7 +34,18 @@ let default_config =
     demand_fraction = 0.75;
     top_demands = 40;
     epsilon = 0.12;
+    faults = Rwc_fault.none;
+    retry = Orchestrator.default_retry_policy;
   }
+
+type fault_stats = {
+  injected : int;
+  bvt_failures : int;
+  retries : int;
+  fallbacks : int;
+  stuck_transitions : int;
+  te_delays : int;
+}
 
 type report = {
   policy : policy;
@@ -45,6 +58,7 @@ type report = {
   flaps : int;
   reconfigurations : int;
   reconfig_downtime_s : float;
+  fault_stats : fault_stats option;
 }
 
 (* Per-duct bookkeeping private to a run. *)
@@ -69,8 +83,12 @@ let m_downtime = Metrics.fcounter "sim/reconfig_downtime_s"
 (* The in-run reconfiguration accounting is the runner playing
    orchestrator: the traffic the last TE round routed over a duct is
    disrupted for the duration of the capacity change.  The standalone
-   {!Orchestrator} feeds the same metric. *)
+   {!Orchestrator} feeds the same metrics, retry and fallback counters
+   included. *)
 let m_disrupted = Metrics.fcounter "orchestrator/disrupted_gbit"
+let m_retries = Metrics.counter "orchestrator/retries"
+let m_fallbacks = Metrics.counter "orchestrator/fallbacks"
+let m_te_delayed = Metrics.counter "te/recomputes_delayed"
 
 let downtime_mean_s = function
   | Stock ->
@@ -81,6 +99,16 @@ let downtime_mean_s = function
 
 let run_policy ~config ~backbone policy =
   assert (config.days > 0.0 && config.te_interval_h > 0.0);
+  (* One injector per policy run, compiled from the plan seed: every
+     policy sees the same fault pattern, and a plan with no rules is a
+     disarmed injector that draws nothing — keeping the fault-free run
+     bit-identical to the pre-fault-layer simulator. *)
+  let inj =
+    if Rwc_fault.is_none config.faults then Rwc_fault.disarmed
+    else Rwc_fault.compile config.faults
+  in
+  let retries = ref 0
+  and fallbacks = ref 0 in
   let net = Netstate.make ~wavelengths:config.wavelengths ~seed:config.seed backbone in
   let years = config.days /. 365.25 in
   let trace_root = Rwc_stats.Rng.create (config.seed + 1) in
@@ -201,6 +229,7 @@ let run_policy ~config ~backbone policy =
   (* One SNR-tick event sweeps all ducts. *)
   let apply_sample dr k =
     let d = dr.state in
+    let now = float_of_int k *. sample_s in
     d.Netstate.current_snr_db <- dr.trace.(k);
     match policy with
     | Static_100 | Static_max ->
@@ -221,34 +250,88 @@ let run_policy ~config ~backbone policy =
           match dr.controller with
           | None -> assert false
           | Some ctl -> (
-              let action = Adapt.step ctl ~snr_db:dr.trace.(k) in
+              let action = Adapt.step ~faults:inj ~now ctl ~snr_db:dr.trace.(k) in
               let start_reconfig new_gbps =
+                let prev_gbps = d.Netstate.per_lambda_gbps in
                 incr reconfigs;
                 Metrics.incr m_reconfigs;
                 let mean = downtime_mean_s procedure in
-                let dt =
-                  Float.min sample_s
-                    (Rwc_stats.Rng.lognormal_of_mean reconfig_rng ~mean ~cv:0.35)
-                in
-                downtime := !downtime +. dt;
-                Metrics.addf m_downtime dt;
-                (* The traffic the TE routed over this duct is lost for
-                   the duration of the change. *)
-                delivered_gbit :=
-                  !delivered_gbit -. (duct_flow.(d.Netstate.duct_index) *. dt);
-                Metrics.addf m_disrupted (duct_flow.(d.Netstate.duct_index) *. dt);
-                sample_up_fraction.(d.Netstate.duct_index) <-
-                  1.0 -. (dt /. sample_s);
                 dr.reconfiguring <- true;
                 d.Netstate.up <- false;
-                Des.schedule_in engine ~after:dt (fun _ ->
-                    dr.reconfiguring <- false;
-                    d.Netstate.per_lambda_gbps <- new_gbps;
-                    d.Netstate.up <- true;
-                    te_dirty := true)
+                (* Time the duct spends unusable — attempt durations,
+                   injected stalls and retry backoffs alike — costs the
+                   traffic TE had routed over it. *)
+                let charge dt =
+                  downtime := !downtime +. dt;
+                  Metrics.addf m_downtime dt;
+                  delivered_gbit :=
+                    !delivered_gbit -. (duct_flow.(d.Netstate.duct_index) *. dt);
+                  Metrics.addf m_disrupted
+                    (duct_flow.(d.Netstate.duct_index) *. dt)
+                in
+                let finish gbps =
+                  dr.reconfiguring <- false;
+                  d.Netstate.per_lambda_gbps <- gbps;
+                  d.Netstate.up <- true;
+                  te_dirty := true
+                in
+                let rec attempt n =
+                  let dt =
+                    Float.min sample_s
+                      (Rwc_stats.Rng.lognormal_of_mean reconfig_rng ~mean
+                         ~cv:0.35)
+                  in
+                  charge dt;
+                  if n = 1 then
+                    sample_up_fraction.(d.Netstate.duct_index) <-
+                      1.0 -. (dt /. sample_s);
+                  Des.schedule_in engine ~after:dt (fun engine ->
+                      let now = Des.now engine in
+                      let timed_out =
+                        Rwc_fault.fires inj Rwc_fault.Bvt_timeout ~now
+                      in
+                      let failed =
+                        timed_out
+                        || Rwc_fault.fires inj Rwc_fault.Bvt_reconfig ~now
+                      in
+                      if not failed then finish new_gbps
+                      else begin
+                        if timed_out then
+                          charge (Rwc_fault.param inj Rwc_fault.Bvt_timeout);
+                        if n < config.retry.Orchestrator.max_attempts then begin
+                          incr retries;
+                          Metrics.incr m_retries;
+                          let delay =
+                            Orchestrator.backoff_delay config.retry ~attempt:n
+                          in
+                          charge delay;
+                          Des.schedule_in engine ~after:delay (fun _ ->
+                              attempt (n + 1))
+                        end
+                        else begin
+                          (* Retries exhausted: graceful degradation.
+                             The change never committed, so the duct
+                             stays at its pre-upgrade modulation; the
+                             controller is resynced to the device so it
+                             can requalify honestly.  A flap, not a
+                             failure. *)
+                          incr fallbacks;
+                          Metrics.incr m_fallbacks;
+                          incr flaps;
+                          Metrics.incr m_flaps;
+                          Adapt.force ctl ~gbps:prev_gbps;
+                          finish prev_gbps
+                        end
+                      end)
+                in
+                attempt 1
               in
               match action with
               | Adapt.No_change -> ()
+              | Adapt.Stuck _ ->
+                  (* Injected: the transition command was lost.  The
+                     device keeps its rate; nothing to recompute. *)
+                  ()
               | Adapt.Go_dark _ ->
                   incr failures;
                   Metrics.incr m_failures;
@@ -269,6 +352,15 @@ let run_policy ~config ~backbone policy =
               Array.fill sample_up_fraction 0
                 (Array.length sample_up_fraction)
                 1.0;
+              (* A duct still mid-reconfiguration at sweep time is in a
+                 retry chain (fault injection only: fault-free changes
+                 always finish within their own sample) and spends this
+                 whole sample down. *)
+              Array.iter
+                (fun dr ->
+                  if dr.reconfiguring then
+                    sample_up_fraction.(dr.state.Netstate.duct_index) <- 0.0)
+                ducts;
               Array.iter (fun dr -> apply_sample dr k) ducts;
               Array.iter
                 (fun dr ->
@@ -281,7 +373,18 @@ let run_policy ~config ~backbone policy =
                     else if dr.state.Netstate.up then 1.0
                     else 0.0)
                 ducts));
-      if !te_dirty then recompute_te (Des.now engine);
+      (if !te_dirty then
+         if Rwc_fault.fires inj Rwc_fault.Te_delay ~now:(Des.now engine) then begin
+           (* The TE controller reacts late: routing stays stale for
+              the injected delay (the periodic te_tick cron is not
+              affected).  The recomputation is re-checked on arrival —
+              a te_tick may have cleaned the state meanwhile. *)
+           Metrics.incr m_te_delayed;
+           Des.schedule_in engine
+             ~after:(Rwc_fault.param inj Rwc_fault.Te_delay)
+             (fun engine -> if !te_dirty then recompute_te (Des.now engine))
+         end
+         else recompute_te (Des.now engine));
       Des.schedule_in engine ~after:sample_s (snr_tick (k + 1))
     end
   in
@@ -295,6 +398,21 @@ let run_policy ~config ~backbone policy =
   Des.schedule engine ~at:0.0 te_tick;
   Des.run engine ~until:horizon_s;
   flush_te horizon_s;
+  let fault_stats =
+    if Rwc_fault.is_none config.faults then None
+    else
+      Some
+        {
+          injected = Rwc_fault.injected inj;
+          bvt_failures =
+            Rwc_fault.injected_for inj Rwc_fault.Bvt_reconfig
+            + Rwc_fault.injected_for inj Rwc_fault.Bvt_timeout;
+          retries = !retries;
+          fallbacks = !fallbacks;
+          stuck_transitions = Rwc_fault.injected_for inj Rwc_fault.Adapt_stuck;
+          te_delays = Rwc_fault.injected_for inj Rwc_fault.Te_delay;
+        }
+  in
   {
     policy;
     delivered_pbit = !delivered_gbit /. 1e6;
@@ -307,6 +425,7 @@ let run_policy ~config ~backbone policy =
     flaps = !flaps;
     reconfigurations = !reconfigs;
     reconfig_downtime_s = !downtime;
+    fault_stats;
   }
 
 let run ?(config = default_config) ?(backbone = Backbone.north_america) policy =
@@ -320,19 +439,40 @@ let compare_policies ?config ?backbone () =
     [ Static_100; Static_max; Adaptive Stock; Adaptive Efficient ]
 
 let json_of_report r =
+  (* The fault block is present exactly when the run had a fault plan:
+     a --faults none report serializes byte-identically to one from
+     before the fault layer existed. *)
+  let fault_fields =
+    match r.fault_stats with
+    | None -> []
+    | Some f ->
+        [
+          ( "faults",
+            Rwc_obs.Json.Assoc
+              [
+                ("injected", Rwc_obs.Json.Int f.injected);
+                ("bvt_failures", Rwc_obs.Json.Int f.bvt_failures);
+                ("retries", Rwc_obs.Json.Int f.retries);
+                ("fallbacks", Rwc_obs.Json.Int f.fallbacks);
+                ("stuck_transitions", Rwc_obs.Json.Int f.stuck_transitions);
+                ("te_delays", Rwc_obs.Json.Int f.te_delays);
+              ] );
+        ]
+  in
   Rwc_obs.Json.Assoc
-    [
-      ("policy", Rwc_obs.Json.String (policy_name r.policy));
-      ("delivered_pbit", Rwc_obs.Json.Float r.delivered_pbit);
-      ("offered_pbit", Rwc_obs.Json.Float r.offered_pbit);
-      ("avg_throughput_gbps", Rwc_obs.Json.Float r.avg_throughput_gbps);
-      ("avg_capacity_gbps", Rwc_obs.Json.Float r.avg_capacity_gbps);
-      ("duct_availability", Rwc_obs.Json.Float r.duct_availability);
-      ("failures", Rwc_obs.Json.Int r.failures);
-      ("flaps", Rwc_obs.Json.Int r.flaps);
-      ("reconfigurations", Rwc_obs.Json.Int r.reconfigurations);
-      ("reconfig_downtime_s", Rwc_obs.Json.Float r.reconfig_downtime_s);
-    ]
+    ([
+       ("policy", Rwc_obs.Json.String (policy_name r.policy));
+       ("delivered_pbit", Rwc_obs.Json.Float r.delivered_pbit);
+       ("offered_pbit", Rwc_obs.Json.Float r.offered_pbit);
+       ("avg_throughput_gbps", Rwc_obs.Json.Float r.avg_throughput_gbps);
+       ("avg_capacity_gbps", Rwc_obs.Json.Float r.avg_capacity_gbps);
+       ("duct_availability", Rwc_obs.Json.Float r.duct_availability);
+       ("failures", Rwc_obs.Json.Int r.failures);
+       ("flaps", Rwc_obs.Json.Int r.flaps);
+       ("reconfigurations", Rwc_obs.Json.Int r.reconfigurations);
+       ("reconfig_downtime_s", Rwc_obs.Json.Float r.reconfig_downtime_s);
+     ]
+    @ fault_fields)
 
 let pp_report fmt r =
   Format.fprintf fmt
@@ -340,4 +480,9 @@ let pp_report fmt r =
      avail=%.5f  fail=%4d  flap=%4d  reconf=%4d  downtime=%8.1fs"
     (policy_name r.policy) r.delivered_pbit r.avg_throughput_gbps
     r.avg_capacity_gbps r.duct_availability r.failures r.flaps
-    r.reconfigurations r.reconfig_downtime_s
+    r.reconfigurations r.reconfig_downtime_s;
+  match r.fault_stats with
+  | None -> ()
+  | Some f ->
+      Format.fprintf fmt "  inj=%4d  retry=%4d  fallback=%3d"
+        f.injected f.retries f.fallbacks

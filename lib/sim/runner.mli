@@ -40,11 +40,30 @@ type config = {
           total capacity. *)
   top_demands : int;  (** Gravity-matrix truncation for TE speed. *)
   epsilon : float;  (** Multicommodity approximation knob. *)
+  faults : Rwc_fault.plan;
+      (** Fault plan compiled into an injector for the run.  With
+          {!Rwc_fault.none} (the default) no injector randomness is
+          consumed and the run is bit-identical to a build without the
+          fault layer. *)
+  retry : Orchestrator.retry_policy;
+      (** Backoff schedule for failed BVT reconfigurations. *)
 }
 
 val default_config : config
 (** 60 days, 6-hourly TE, seed 7, 4 wavelengths/duct, offered load
-    0.75, top 40 demands, epsilon 0.12. *)
+    0.75, top 40 demands, epsilon 0.12, no faults,
+    {!Orchestrator.default_retry_policy}. *)
+
+type fault_stats = {
+  injected : int;  (** Total faults the injector fired. *)
+  bvt_failures : int;  (** Failed or timed-out modulation changes. *)
+  retries : int;  (** Reconfiguration attempts re-scheduled. *)
+  fallbacks : int;
+      (** Ducts reverted to their pre-upgrade modulation after
+          exhausting retries (each also counted as a flap). *)
+  stuck_transitions : int;  (** Controller moves suppressed in place. *)
+  te_delays : int;  (** TE recomputes deferred by injected delay. *)
+}
 
 type report = {
   policy : policy;
@@ -58,6 +77,10 @@ type report = {
                     duct alive. *)
   reconfigurations : int;
   reconfig_downtime_s : float;
+  fault_stats : fault_stats option;
+      (** [Some] exactly when the run had a fault plan; [None] keeps
+          faults-off reports — printed or serialized — byte-identical
+          to pre-fault-layer output. *)
 }
 
 val run :

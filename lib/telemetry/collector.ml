@@ -3,17 +3,37 @@ type sample = { index : int; snr_db : float }
 let m_polls_lost = Rwc_obs.Metrics.counter "collector/polls_lost"
 let m_gaps_filled = Rwc_obs.Metrics.counter "collector/gaps_filled"
 let m_gaps_rejected = Rwc_obs.Metrics.counter "collector/gaps_rejected"
+let m_outages = Rwc_obs.Metrics.counter "collector/outages"
+let m_corrupt = Rwc_obs.Metrics.counter "collector/corrupt_samples"
 
-let poll rng trace ~loss_prob =
+let poll ?(faults = Rwc_fault.disarmed) ?(now = 0.0) rng trace ~loss_prob =
   assert (loss_prob >= 0.0 && loss_prob < 1.0);
-  let out = ref [] in
-  Array.iteri
-    (fun i v ->
-      if Rwc_stats.Rng.float rng >= loss_prob then
-        out := { index = i; snr_db = v } :: !out
-      else Rwc_obs.Metrics.incr m_polls_lost)
-    trace;
-  List.rev !out
+  (* A collector outage loses the whole sweep, not individual polls:
+     the process restarted, nothing was recorded.  Checked once per
+     call so the outage rate is per-sweep. *)
+  if Rwc_fault.fires faults Rwc_fault.Collector_outage ~now then begin
+    Rwc_obs.Metrics.incr m_outages;
+    Rwc_obs.Metrics.add m_polls_lost (Array.length trace);
+    []
+  end
+  else begin
+    let out = ref [] in
+    Array.iteri
+      (fun i v ->
+        if Rwc_stats.Rng.float rng >= loss_prob then begin
+          let v =
+            if Rwc_fault.fires faults Rwc_fault.Collector_corrupt ~now then begin
+              Rwc_obs.Metrics.incr m_corrupt;
+              v +. Rwc_fault.jitter faults Rwc_fault.Collector_corrupt
+            end
+            else v
+          in
+          out := { index = i; snr_db = v } :: !out
+        end
+        else Rwc_obs.Metrics.incr m_polls_lost)
+      trace;
+    List.rev !out
+  end
 
 let completeness samples ~n =
   assert (n > 0);

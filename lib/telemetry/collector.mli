@@ -12,9 +12,21 @@ type sample = { index : int; snr_db : float }
 (** One successful poll: sample slot and value. *)
 
 val poll :
-  Rwc_stats.Rng.t -> float array -> loss_prob:float -> sample list
+  ?faults:Rwc_fault.injector ->
+  ?now:float ->
+  Rwc_stats.Rng.t ->
+  float array ->
+  loss_prob:float ->
+  sample list
 (** Poll a ground-truth trace; each poll is independently lost with
-    [loss_prob] in [0, 1).  Results are in time order. *)
+    [loss_prob] in [0, 1).  Results are in time order.
+
+    With an armed [faults] injector, a [Collector_outage] firing loses
+    the entire sweep (the collector restarted; checked once per call),
+    and each delivered sample is independently subject to
+    [Collector_corrupt], which perturbs its value by up to the rule's
+    ±param dB.  The disarmed default leaves the historic behavior —
+    and the [rng] stream — untouched. *)
 
 val completeness : sample list -> n:int -> float
 (** Fraction of the [n] slots that have a sample. *)

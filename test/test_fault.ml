@@ -1,0 +1,179 @@
+(* Tests for the fault-injection plan language and injector semantics:
+   parser round-trips and rejections, the disarmed-is-free guarantee,
+   per-component stream independence and replay determinism. *)
+
+module F = Rwc_fault
+
+(* --- plan parsing ------------------------------------------------------ *)
+
+let parse_ok spec =
+  match F.of_string spec with
+  | Ok plan -> plan
+  | Error e -> Alcotest.failf "%S should parse: %s" spec e
+
+let parse_err spec =
+  match F.of_string spec with
+  | Ok _ -> Alcotest.failf "%S should be rejected" spec
+  | Error _ -> ()
+
+let test_parse_none () =
+  let p = parse_ok "none" in
+  Alcotest.(check bool) "empty" true (F.is_none p);
+  Alcotest.(check bool) "matches F.none" true (p = F.none);
+  Alcotest.(check bool) "default is not none" false (F.is_none F.default)
+
+let test_parse_default () =
+  Alcotest.(check bool) "named default" true (parse_ok "default" = F.default);
+  (* "default" composes: later rules override / extend it. *)
+  let p = parse_ok "default,seed=99" in
+  Alcotest.(check int) "seed overridden" 99 p.F.seed;
+  Alcotest.(check int) "rules kept"
+    (List.length F.default.F.rules)
+    (List.length p.F.rules)
+
+let test_parse_rules () =
+  let p = parse_ok "bvt-fail=0.3,te-delay=0.1:1800,seed=99" in
+  Alcotest.(check int) "seed" 99 p.F.seed;
+  Alcotest.(check int) "two rules" 2 (List.length p.F.rules);
+  let r = List.find (fun r -> r.F.component = F.Te_delay) p.F.rules in
+  Alcotest.(check (float 1e-9)) "prob" 0.1 r.F.prob;
+  Alcotest.(check (float 1e-9)) "param" 1800.0 r.F.param;
+  Alcotest.(check bool) "no window" true (r.F.window = None)
+
+let test_parse_window () =
+  let p = parse_ok "bvt-fail=0.5@86400..172800" in
+  match (List.hd p.F.rules).F.window with
+  | Some w ->
+      Alcotest.(check (float 1e-9)) "start" 86400.0 w.F.start_s;
+      Alcotest.(check (float 1e-9)) "stop" 172800.0 w.F.stop_s
+  | None -> Alcotest.fail "window expected"
+
+let test_parse_rejects () =
+  List.iter parse_err
+    [
+      "frobnicate=0.5";
+      "bvt-fail";
+      "bvt-fail=1.5";
+      "bvt-fail=-0.1";
+      "bvt-fail=0.5:x";
+      "bvt-fail=0.5@200..100";
+      "bvt-fail=0.5@nope..100";
+      "seed=x";
+      "none,bvt-fail=0.5";
+    ]
+
+let test_to_string_roundtrip () =
+  List.iter
+    (fun plan ->
+      match F.of_string (F.to_string plan) with
+      | Ok p -> Alcotest.(check bool) "round-trips" true (p = plan)
+      | Error e -> Alcotest.failf "%S: %s" (F.to_string plan) e)
+    [
+      F.none;
+      F.default;
+      parse_ok "bvt-fail=0.3,te-delay=0.1:1800,seed=99";
+      parse_ok "collector-corrupt=0.25:2.5@100..900,seed=5";
+      F.scaled F.default ~factor:0.5;
+    ]
+
+let test_scaled_clamps () =
+  let p = parse_ok "bvt-fail=0.6" in
+  let up = F.scaled p ~factor:10.0 in
+  Alcotest.(check (float 1e-9)) "clamped below 1" 0.999
+    (List.hd up.F.rules).F.prob;
+  let down = F.scaled p ~factor:0.0 in
+  Alcotest.(check (float 1e-9)) "factor 0 silences" 0.0
+    (List.hd down.F.rules).F.prob;
+  Alcotest.check_raises "negative factor rejected"
+    (Invalid_argument "Rwc_fault.scaled: negative factor") (fun () ->
+      ignore (F.scaled p ~factor:(-1.0)))
+
+(* --- injector semantics ------------------------------------------------ *)
+
+let test_disarmed_is_free () =
+  Alcotest.(check bool) "disarmed unarmed" false (F.armed F.disarmed);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "never fires" false (F.fires F.disarmed c ~now:0.0);
+      Alcotest.(check (float 1e-9)) "no param" 0.0 (F.param F.disarmed c))
+    F.all_components;
+  Alcotest.(check int) "counts nothing" 0 (F.injected F.disarmed);
+  (* A compiled empty plan behaves identically. *)
+  let empty = F.compile F.none in
+  Alcotest.(check bool) "empty plan unarmed" false (F.armed empty);
+  Alcotest.(check bool) "empty never fires" false
+    (F.fires empty F.Bvt_reconfig ~now:0.0)
+
+let test_no_rule_no_draw () =
+  (* Querying a component without a rule must not consume randomness
+     from any other component's stream: the bvt-fail firing pattern is
+     identical whether or not te-delay is interrogated in between. *)
+  let fire_pattern ~poll_other =
+    let inj = F.compile (parse_ok "bvt-fail=0.5,seed=11") in
+    List.init 64 (fun i ->
+        if poll_other then ignore (F.fires inj F.Te_delay ~now:0.0);
+        ignore i;
+        F.fires inj F.Bvt_reconfig ~now:0.0)
+  in
+  Alcotest.(check bool) "interleaving is invisible" true
+    (fire_pattern ~poll_other:false = fire_pattern ~poll_other:true)
+
+let test_deterministic_replay () =
+  let run () =
+    let inj = F.compile (parse_ok "bvt-fail=0.4,adapt-stuck=0.2,seed=17") in
+    let fired =
+      List.init 100 (fun i ->
+          ( F.fires inj F.Bvt_reconfig ~now:(float_of_int i),
+            F.fires inj F.Adapt_stuck ~now:(float_of_int i) ))
+    in
+    (fired, F.injected inj, F.injected_for inj F.Bvt_reconfig)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same plan, same faults" true (a = b);
+  let _, total, bvt = a in
+  Alcotest.(check bool) "something fired" true (total > 0);
+  Alcotest.(check bool) "per-component <= total" true (bvt <= total)
+
+let test_window_gates_firing () =
+  let inj = F.compile (parse_ok "bvt-fail=0.999@100..200,seed=2") in
+  Alcotest.(check bool) "before window" false (F.fires inj F.Bvt_reconfig ~now:99.9);
+  Alcotest.(check bool) "inside window" true (F.fires inj F.Bvt_reconfig ~now:150.0);
+  Alcotest.(check bool) "stop is exclusive" false
+    (F.fires inj F.Bvt_reconfig ~now:200.0);
+  Alcotest.(check int) "only in-window firings counted" 1 (F.injected inj)
+
+let test_counters_accumulate () =
+  let inj = F.compile (parse_ok "bvt-fail=0.999,seed=4") in
+  for _ = 1 to 50 do
+    ignore (F.fires inj F.Bvt_reconfig ~now:0.0)
+  done;
+  Alcotest.(check bool) "nearly every opportunity fired" true
+    (F.injected inj >= 45);
+  Alcotest.(check int) "total = per-component here" (F.injected inj)
+    (F.injected_for inj F.Bvt_reconfig)
+
+let test_jitter_bounded () =
+  let inj = F.compile (parse_ok "collector-corrupt=0.5:2.0,seed=8") in
+  for _ = 1 to 200 do
+    let j = F.jitter inj F.Collector_corrupt in
+    Alcotest.(check bool) "within +/- param" true (j >= -2.0 && j <= 2.0)
+  done;
+  Alcotest.(check (float 1e-9)) "no rule, no jitter" 0.0
+    (F.jitter inj F.Te_delay)
+
+let suite =
+  [
+    Alcotest.test_case "parse none" `Quick test_parse_none;
+    Alcotest.test_case "parse default" `Quick test_parse_default;
+    Alcotest.test_case "parse rules" `Quick test_parse_rules;
+    Alcotest.test_case "parse window" `Quick test_parse_window;
+    Alcotest.test_case "parse rejects" `Quick test_parse_rejects;
+    Alcotest.test_case "to_string round-trip" `Quick test_to_string_roundtrip;
+    Alcotest.test_case "scaled clamps" `Quick test_scaled_clamps;
+    Alcotest.test_case "disarmed is free" `Quick test_disarmed_is_free;
+    Alcotest.test_case "no rule, no draw" `Quick test_no_rule_no_draw;
+    Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
+    Alcotest.test_case "window gates firing" `Quick test_window_gates_firing;
+    Alcotest.test_case "counters accumulate" `Quick test_counters_accumulate;
+    Alcotest.test_case "jitter bounded" `Quick test_jitter_bounded;
+  ]

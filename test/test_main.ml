@@ -14,6 +14,7 @@ let () =
       ("topology", Test_topology.suite);
       ("parser", Test_parser.suite);
       ("core", Test_core.suite);
+      ("fault", Test_fault.suite);
       ("sim", Test_sim.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);

@@ -242,6 +242,8 @@ let test_runner_metrics_match_report () =
       demand_fraction = 1.0;
       top_demands = 15;
       epsilon = 0.25;
+      faults = Rwc_fault.none;
+      retry = Rwc_sim.Orchestrator.default_retry_policy;
     }
   in
   let r =

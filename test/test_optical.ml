@@ -309,7 +309,120 @@ let test_bvt_scheme_codes_roundtrip () =
       Alcotest.(check bool) "roundtrip" true
         (Bvt.scheme_of_code (Bvt.code_of_scheme s) = Some s))
     [ Modulation.Qpsk; Modulation.Qam8; Modulation.Qam16 ];
-  Alcotest.(check bool) "bad code" true (Bvt.scheme_of_code 9 = None)
+  (* Every out-of-range code is rejected, on both sides of the valid
+     window. *)
+  List.iter
+    (fun code ->
+      Alcotest.(check bool)
+        (Printf.sprintf "code %d rejected" code)
+        true
+        (Bvt.scheme_of_code code = None))
+    [ -1; 3; 9; max_int; min_int ]
+
+let test_bvt_noop_same_scheme_zero_steps () =
+  let rng = Rwc_stats.Rng.create 26 in
+  let t = Bvt.create Modulation.Qam8 in
+  let before = List.length (Mdio.access_log (Bvt.mdio t)) in
+  (* Even with an always-fail injector a change to the current scheme
+     is a pure no-op: zero steps, zero downtime, no register traffic,
+     and no injection opportunity. *)
+  let faults =
+    Rwc_fault.compile
+      { Rwc_fault.seed = 1;
+        rules =
+          [ { Rwc_fault.component = Rwc_fault.Bvt_reconfig;
+              prob = 0.999; param = 0.0; window = None } ] }
+  in
+  (match
+     Bvt.try_change_modulation t rng ~faults ~target:Modulation.Qam8
+       ~procedure:Bvt.Stock ()
+   with
+  | Ok c ->
+      Alcotest.(check int) "zero steps" 0 (List.length c.Bvt.steps);
+      Alcotest.(check (float 1e-9)) "zero downtime" 0.0 c.Bvt.downtime_s;
+      Alcotest.(check (float 1e-9)) "zero total" 0.0 c.Bvt.total_s
+  | Error _ -> Alcotest.fail "no-op cannot fail");
+  Alcotest.(check int) "no register traffic" before
+    (List.length (Mdio.access_log (Bvt.mdio t)));
+  Alcotest.(check int) "no injection opportunity" 0 (Rwc_fault.injected faults)
+
+let always_fail_injector seed =
+  Rwc_fault.compile
+    { Rwc_fault.seed;
+      rules =
+        [ { Rwc_fault.component = Rwc_fault.Bvt_reconfig;
+            prob = 0.999; param = 0.0; window = None } ] }
+
+let test_bvt_failure_leaves_degraded () =
+  let rng = Rwc_stats.Rng.create 27 in
+  let t = Bvt.create Modulation.Qpsk in
+  Alcotest.(check bool) "starts active" true (Bvt.health t = Bvt.Active);
+  let faults = always_fail_injector 2 in
+  (match
+     Bvt.try_change_modulation t rng ~faults ~target:Modulation.Qam16
+       ~procedure:Bvt.Efficient ()
+   with
+  | Ok _ -> Alcotest.fail "p=0.999 must fail for this seed"
+  | Error f ->
+      Alcotest.(check bool) "attempted target recorded" true
+        (f.Bvt.attempted = Modulation.Qam16);
+      Alcotest.(check bool) "time was lost" true (f.Bvt.elapsed_s > 0.0);
+      Alcotest.(check bool) "plain failure, no timeout" false f.Bvt.timed_out);
+  Alcotest.(check bool) "degraded after failure" true
+    (Bvt.health t = Bvt.Degraded);
+  Alcotest.(check bool) "keeps old scheme" true
+    (Bvt.scheme t = Modulation.Qpsk);
+  Alcotest.(check bool) "carrier unlocked" false (Mdio.locked (Bvt.mdio t));
+  (* A no-op change does not recover a degraded transceiver... *)
+  (match
+     Bvt.try_change_modulation t rng ~target:Modulation.Qpsk
+       ~procedure:Bvt.Efficient ()
+   with
+  | Ok c -> Alcotest.(check int) "noop has no steps" 0 (List.length c.Bvt.steps)
+  | Error _ -> Alcotest.fail "no-op cannot fail");
+  Alcotest.(check bool) "still degraded after noop" true
+    (Bvt.health t = Bvt.Degraded);
+  (* ...but a successful real change does. *)
+  (match
+     Bvt.try_change_modulation t rng ~target:Modulation.Qam8
+       ~procedure:Bvt.Efficient ()
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "disarmed injector cannot fail");
+  Alcotest.(check bool) "recovered" true (Bvt.health t = Bvt.Active);
+  Alcotest.(check bool) "new scheme committed" true
+    (Bvt.scheme t = Modulation.Qam8);
+  Alcotest.(check bool) "carrier relocked" true (Mdio.locked (Bvt.mdio t))
+
+let test_bvt_timeout_charges_param () =
+  let rng = Rwc_stats.Rng.create 28 in
+  let t = Bvt.create Modulation.Qpsk in
+  let faults =
+    Rwc_fault.compile
+      { Rwc_fault.seed = 3;
+        rules =
+          [ { Rwc_fault.component = Rwc_fault.Bvt_timeout;
+              prob = 0.999; param = 120.0; window = None } ] }
+  in
+  match
+    Bvt.try_change_modulation t rng ~faults ~target:Modulation.Qam8
+      ~procedure:Bvt.Efficient ()
+  with
+  | Ok _ -> Alcotest.fail "p=0.999 must time out for this seed"
+  | Error f ->
+      Alcotest.(check bool) "reported as timeout" true f.Bvt.timed_out;
+      (* Elapsed covers the steps actually executed plus the injected
+         stall, so it must exceed the stall alone. *)
+      Alcotest.(check bool) "timeout stall charged" true (f.Bvt.elapsed_s > 120.0);
+      Alcotest.(check bool) "degraded" true (Bvt.health t = Bvt.Degraded)
+
+let test_bvt_change_modulation_never_fails_disarmed () =
+  let rng = Rwc_stats.Rng.create 29 in
+  let t = Bvt.create Modulation.Qpsk in
+  let c = Bvt.change_modulation t rng ~target:Modulation.Qam16 ~procedure:Bvt.Stock in
+  Alcotest.(check bool) "committed" true (Bvt.scheme t = Modulation.Qam16);
+  Alcotest.(check bool) "active" true (Bvt.health t = Bvt.Active);
+  Alcotest.(check bool) "downtime = total" true (c.Bvt.downtime_s = c.Bvt.total_s)
 
 let suite =
   [
@@ -346,4 +459,10 @@ let suite =
     Alcotest.test_case "bvt stock ~68s" `Quick test_bvt_stock_latency_calibration;
     Alcotest.test_case "bvt efficient ~35ms" `Quick test_bvt_efficient_latency_calibration;
     Alcotest.test_case "bvt scheme codes" `Quick test_bvt_scheme_codes_roundtrip;
+    Alcotest.test_case "bvt same-scheme noop under faults" `Quick
+      test_bvt_noop_same_scheme_zero_steps;
+    Alcotest.test_case "bvt failure degrades" `Quick test_bvt_failure_leaves_degraded;
+    Alcotest.test_case "bvt timeout stall" `Quick test_bvt_timeout_charges_param;
+    Alcotest.test_case "bvt disarmed never fails" `Quick
+      test_bvt_change_modulation_never_fails_disarmed;
   ]

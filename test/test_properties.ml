@@ -271,6 +271,214 @@ let prop_snr_trace_bounded =
              && d.Rwc_telemetry.Snr_model.floor_db >= 0.0)
            dips)
 
+(* --- fault injection / retry machinery ------------------------------------ *)
+
+let prop_backoff_monotone_and_capped =
+  QCheck.Test.make
+    ~name:"orchestrator: backoff delays monotone non-decreasing and capped"
+    ~count:200
+    QCheck.(
+      quad (int_range 1 600) (int_range 10 40) (int_range 1 6000)
+        (int_range 1 20))
+    (fun (base10, factor10, cap10, attempts) ->
+      (* base in [0.1, 60], factor in [1.0, 4.0], cap in [0.1, 600]. *)
+      let p =
+        {
+          Rwc_sim.Orchestrator.max_attempts = attempts;
+          base_s = float_of_int base10 /. 10.0;
+          factor = float_of_int factor10 /. 10.0;
+          cap_s = float_of_int cap10 /. 10.0;
+        }
+      in
+      let delays =
+        List.init attempts (fun i ->
+            Rwc_sim.Orchestrator.backoff_delay p ~attempt:(i + 1))
+      in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      monotone delays
+      && List.for_all (fun d -> d > 0.0 && d <= p.Rwc_sim.Orchestrator.cap_s) delays)
+
+let bvt_fail_plan ~seed ~prob =
+  {
+    Rwc_fault.seed;
+    rules =
+      [
+        {
+          Rwc_fault.component = Rwc_fault.Bvt_reconfig;
+          prob;
+          param = 0.0;
+          window = None;
+        };
+      ];
+  }
+
+let prop_degraded_bvt_never_active =
+  QCheck.Test.make
+    ~name:"bvt: health tracks the last real change (degraded never active)"
+    ~count:100
+    QCheck.(pair (int_range 0 10_000) (int_range 0 9))
+    (fun (seed, prob10) ->
+      let faults =
+        Rwc_fault.compile
+          (bvt_fail_plan ~seed ~prob:(float_of_int prob10 /. 10.0))
+      in
+      let rng = Rwc_stats.Rng.create (seed + 1) in
+      let t = Rwc_optical.Bvt.create Rwc_optical.Modulation.Qpsk in
+      let targets =
+        [| Rwc_optical.Modulation.Qam8; Rwc_optical.Modulation.Qam16;
+           Rwc_optical.Modulation.Qpsk |]
+      in
+      let ok = ref (Rwc_optical.Bvt.health t = Rwc_optical.Bvt.Active) in
+      for i = 0 to 29 do
+        let previous = Rwc_optical.Bvt.health t in
+        let scheme_before = Rwc_optical.Bvt.scheme t in
+        match
+          Rwc_optical.Bvt.try_change_modulation t rng ~faults
+            ~target:targets.(i mod 3) ~procedure:Rwc_optical.Bvt.Efficient ()
+        with
+        | Ok c ->
+            if c.Rwc_optical.Bvt.steps = [] then
+              (* Same-scheme no-op: commits nothing, recovers nothing. *)
+              ok :=
+                !ok
+                && Rwc_optical.Bvt.health t = previous
+                && Rwc_optical.Bvt.scheme t = scheme_before
+            else
+              ok :=
+                !ok
+                && Rwc_optical.Bvt.health t = Rwc_optical.Bvt.Active
+                && Rwc_optical.Bvt.scheme t = targets.(i mod 3)
+        | Error f ->
+            ok :=
+              !ok
+              && Rwc_optical.Bvt.health t = Rwc_optical.Bvt.Degraded
+              && Rwc_optical.Bvt.scheme t = scheme_before
+              && f.Rwc_optical.Bvt.attempted = targets.(i mod 3)
+      done;
+      !ok)
+
+let prop_orchestrator_retries_bounded =
+  QCheck.Test.make
+    ~name:"orchestrator: attempts per link never exceed max_attempts, every
+           link restored"
+    ~count:60
+    QCheck.(
+      triple (int_range 0 10_000) (int_range 0 95) (int_range 1 5))
+    (fun (seed, prob100, max_attempts) ->
+      let faults =
+        Rwc_fault.compile
+          (bvt_fail_plan ~seed ~prob:(float_of_int prob100 /. 100.0))
+      in
+      let upgrades =
+        [
+          { Rwc_core.Translate.phys_edge = 0; extra_gbps = 100.0; penalty_paid = 0.0 };
+          { Rwc_core.Translate.phys_edge = 3; extra_gbps = 50.0; penalty_paid = 0.0 };
+          { Rwc_core.Translate.phys_edge = 5; extra_gbps = 50.0; penalty_paid = 0.0 };
+        ]
+      in
+      let o =
+        Rwc_sim.Orchestrator.execute
+          ~rng:(Rwc_stats.Rng.create (seed + 1))
+          ~upgrades
+          ~residual_flow:(fun _ -> 1.0)
+          ~downtime_mean_s:68.0 ~faults
+          ~retry:
+            {
+              Rwc_sim.Orchestrator.max_attempts;
+              base_s = 1.0;
+              factor = 2.0;
+              cap_s = 10.0;
+            }
+          ()
+      in
+      let count phase edge =
+        List.length
+          (List.filter
+             (fun e ->
+               e.Rwc_sim.Orchestrator.phase = phase
+               && e.Rwc_sim.Orchestrator.phys_edge = edge)
+             o.Rwc_sim.Orchestrator.log)
+      in
+      List.for_all
+        (fun d ->
+          let e = d.Rwc_core.Translate.phys_edge in
+          count Rwc_sim.Orchestrator.Reconfigure_started e <= max_attempts
+          && count Rwc_sim.Orchestrator.Restored e = 1)
+        upgrades
+      && o.Rwc_sim.Orchestrator.retries
+         <= (max_attempts - 1) * List.length upgrades
+      && o.Rwc_sim.Orchestrator.fallbacks <= List.length upgrades
+      && o.Rwc_sim.Orchestrator.faults_injected >= o.Rwc_sim.Orchestrator.retries)
+
+let prop_fill_gaps_respects_max_fill =
+  QCheck.Test.make
+    ~name:"collector: fill_gaps never reconstructs across a gap > max_fill"
+    ~count:150
+    QCheck.(
+      quad (int_range 0 10_000) (int_range 0 30) (int_range 0 50)
+        (int_range 1 10))
+    (fun (seed, outage100, loss100, max_fill) ->
+      (* Injected collector outages and corruption on top of ordinary
+         poll loss: however the gaps arise, a reconstruction must never
+         paper over a hole longer than max_fill slots. *)
+      let faults =
+        Rwc_fault.compile
+          {
+            Rwc_fault.seed;
+            rules =
+              [
+                {
+                  Rwc_fault.component = Rwc_fault.Collector_outage;
+                  prob = float_of_int outage100 /. 100.0;
+                  param = 0.0;
+                  window = None;
+                };
+                {
+                  Rwc_fault.component = Rwc_fault.Collector_corrupt;
+                  prob = 0.2;
+                  param = 1.5;
+                  window = None;
+                };
+              ];
+          }
+      in
+      let n = 120 in
+      let trace = Array.make n 14.0 in
+      let rng = Rwc_stats.Rng.create (seed + 1) in
+      let samples =
+        (* Several sweeps so an outage can blank one sweep but not the
+           others, building realistic multi-scale gap structure. *)
+        List.concat
+          (List.init 3 (fun sweep ->
+               let sub =
+                 Rwc_telemetry.Collector.poll ~faults
+                   ~now:(float_of_int sweep)
+                   rng
+                   (Array.sub trace (sweep * 40) 40)
+                   ~loss_prob:(float_of_int loss100 /. 100.0)
+               in
+               List.map
+                 (fun s ->
+                   {
+                     s with
+                     Rwc_telemetry.Collector.index =
+                       s.Rwc_telemetry.Collector.index + (sweep * 40);
+                   })
+                 sub))
+      in
+      let gap = Rwc_telemetry.Collector.max_gap samples ~n in
+      match Rwc_telemetry.Collector.fill_gaps ~max_fill samples ~n with
+      | Some filled ->
+          gap <= max_fill
+          && Array.length filled = n
+          (* Corruption perturbs by <= param, LOCF copies values: the
+             reconstruction stays within the corruption envelope. *)
+          && Array.for_all (fun v -> Float.abs (v -. 14.0) <= 1.5 +. 1e-9) filled
+      | None -> samples = [] || gap > max_fill)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -283,4 +491,8 @@ let suite =
       prop_decisions_within_headroom;
       prop_phys_flow_conserved;
       prop_snr_trace_bounded;
+      prop_backoff_monotone_and_capped;
+      prop_degraded_bvt_never_active;
+      prop_orchestrator_retries_bounded;
+      prop_fill_gaps_respects_max_fill;
     ]

@@ -138,6 +138,8 @@ let fast_config =
     demand_fraction = 1.3;
     top_demands = 20;
     epsilon = 0.2;
+    faults = Rwc_fault.none;
+    retry = Orchestrator.default_retry_policy;
   }
 
 let reports = lazy (Runner.compare_policies ~config:fast_config ())
@@ -190,6 +192,243 @@ let test_runner_deterministic () =
     b.Runner.delivered_pbit;
   Alcotest.(check int) "same failures" a.Runner.failures b.Runner.failures
 
+(* --- golden: faults-off output is byte-identical to pre-fault-layer ------- *)
+
+(* These strings were captured from the build immediately BEFORE the
+   fault-injection layer landed (config = default with days=2.0,
+   seed=7).  They pin the guarantee that `--faults none` consumes no
+   injector randomness and emits no fault fields: any drift in either
+   the pretty-printed report or its JSON is a regression, not a
+   formatting nit. *)
+let golden_pp =
+  [
+    "static-100G            delivered=  600.80 Pbit  avg-tput= 3476.9 Gbps  \
+     avg-cap=17200.0 Gbps  avail=1.00000  fail=   0  flap=   0  reconf=   0  \
+     downtime=     0.0s";
+    "static-max             delivered= 1200.13 Pbit  avg-tput= 6945.2 Gbps  \
+     avg-cap=34275.5 Gbps  avail=0.99927  fail=   3  flap=   0  reconf=   0  \
+     downtime=     0.0s";
+    "adaptive-stock-bvt     delivered= 1162.77 Pbit  avg-tput= 6729.0 Gbps  \
+     avg-cap=33385.9 Gbps  avail=0.99835  fail=   0  flap=   3  reconf= 177  \
+     downtime= 12270.6s";
+    "adaptive-efficient-bvt delivered= 1169.19 Pbit  avg-tput= 6766.2 Gbps  \
+     avg-cap=33385.9 Gbps  avail=1.00000  fail=   0  flap=   3  reconf= 177  \
+     downtime=     6.3s";
+  ]
+
+let golden_json =
+  [
+    {|{"policy":"static-100G","delivered_pbit":600.802297115,"offered_pbit":2229.12,"avg_throughput_gbps":3476.86514534,"avg_capacity_gbps":17200.0,"duct_availability":1.0,"failures":0,"flaps":0,"reconfigurations":0,"reconfig_downtime_s":0.0}|};
+    {|{"policy":"static-max","delivered_pbit":1200.12720107,"offered_pbit":2229.12,"avg_throughput_gbps":6945.18056173,"avg_capacity_gbps":34275.5208333,"duct_availability":0.999273255814,"failures":3,"flaps":0,"reconfigurations":0,"reconfig_downtime_s":0.0}|};
+    {|{"policy":"adaptive-stock-bvt","delivered_pbit":1162.7674053,"offered_pbit":2229.12,"avg_throughput_gbps":6728.97803991,"avg_capacity_gbps":33385.9375,"duct_availability":0.998348592324,"failures":0,"flaps":3,"reconfigurations":177,"reconfig_downtime_s":12270.619598}|};
+    {|{"policy":"adaptive-efficient-bvt","delivered_pbit":1169.19333709,"offered_pbit":2229.12,"avg_throughput_gbps":6766.16514518,"avg_capacity_gbps":33385.9375,"duct_availability":0.999999150011,"failures":0,"flaps":3,"reconfigurations":177,"reconfig_downtime_s":6.31576008719}|};
+  ]
+
+let golden_reports =
+  lazy
+    (Runner.compare_policies
+       ~config:{ Runner.default_config with days = 2.0; seed = 7 }
+       ())
+
+let test_golden_pp_byte_identical () =
+  List.iter2
+    (fun expected r ->
+      Alcotest.(check string) "pp_report byte-identical" expected
+        (Format.asprintf "%a" Runner.pp_report r))
+    golden_pp (Lazy.force golden_reports)
+
+let test_golden_json_byte_identical () =
+  List.iter2
+    (fun expected r ->
+      Alcotest.(check string) "json_of_report byte-identical" expected
+        (Rwc_obs.Json.to_string (Runner.json_of_report r)))
+    golden_json (Lazy.force golden_reports);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "no fault block without a plan" true
+        (r.Runner.fault_stats = None))
+    (Lazy.force golden_reports)
+
+(* --- determinism: observability and fault layer are invisible ------------- *)
+
+let test_report_identical_with_obs_on () =
+  (* Same seed, metrics + tracing on vs off: the instrumented run must
+     produce the exact same report, or the observability layer is
+     perturbing the simulation. *)
+  let policy = Runner.Adaptive Runner.Efficient in
+  let plain = Runner.run ~config:fast_config policy in
+  let metrics_were = Rwc_obs.Metrics.enabled () in
+  let trace_was = Rwc_obs.Trace.enabled () in
+  Rwc_obs.Metrics.enable ();
+  Rwc_obs.Trace.enable ();
+  let instrumented =
+    Fun.protect
+      ~finally:(fun () ->
+        if not metrics_were then Rwc_obs.Metrics.disable ();
+        if not trace_was then Rwc_obs.Trace.disable ();
+        Rwc_obs.Trace.reset ())
+      (fun () -> Runner.run ~config:fast_config policy)
+  in
+  Alcotest.(check bool) "reports identical" true (plain = instrumented)
+
+let test_report_identical_with_faults_none () =
+  (* `--faults none` vs an explicitly empty plan with a different seed:
+     neither arms the injector, so neither may consume any randomness. *)
+  let policy = Runner.Adaptive Runner.Stock in
+  let a = Runner.run ~config:fast_config policy in
+  let b =
+    Runner.run
+      ~config:
+        { fast_config with faults = { Rwc_fault.seed = 12345; rules = [] } }
+      policy
+  in
+  Alcotest.(check bool) "reports identical" true (a = b)
+
+(* --- chaos: fault counters are consistent end to end ---------------------- *)
+
+let chaos_plan =
+  {
+    Rwc_fault.seed = 3;
+    rules =
+      [
+        { Rwc_fault.component = Rwc_fault.Bvt_reconfig;
+          prob = 0.6; param = 0.0; window = None };
+        { Rwc_fault.component = Rwc_fault.Bvt_timeout;
+          prob = 0.05; param = 120.0; window = None };
+        { Rwc_fault.component = Rwc_fault.Adapt_stuck;
+          prob = 0.05; param = 0.0; window = None };
+        { Rwc_fault.component = Rwc_fault.Te_delay;
+          prob = 0.2; param = 1800.0; window = None };
+      ];
+  }
+
+let test_chaos_run_consistent () =
+  let metrics_were = Rwc_obs.Metrics.enabled () in
+  Rwc_obs.Metrics.enable ();
+  let m_injected = Rwc_obs.Metrics.counter "fault/injected_total" in
+  let m_retries = Rwc_obs.Metrics.counter "orchestrator/retries" in
+  let m_fallbacks = Rwc_obs.Metrics.counter "orchestrator/fallbacks" in
+  let m_flaps = Rwc_obs.Metrics.counter "sim/flaps" in
+  let base_injected = Rwc_obs.Metrics.value m_injected in
+  let base_retries = Rwc_obs.Metrics.value m_retries in
+  let base_fallbacks = Rwc_obs.Metrics.value m_fallbacks in
+  let base_flaps = Rwc_obs.Metrics.value m_flaps in
+  let baseline = Runner.run ~config:fast_config (Runner.Adaptive Runner.Efficient) in
+  let r =
+    Fun.protect
+      ~finally:(fun () ->
+        if not metrics_were then Rwc_obs.Metrics.disable ())
+      (fun () ->
+        Runner.run
+          ~config:{ fast_config with faults = chaos_plan }
+          (Runner.Adaptive Runner.Efficient))
+  in
+  match r.Runner.fault_stats with
+  | None -> Alcotest.fail "armed plan must produce fault stats"
+  | Some fs ->
+      (* The run completed (no wedge) and actually exercised the fault
+         paths at this rate. *)
+      Alcotest.(check bool) "faults injected" true (fs.Runner.injected > 0);
+      Alcotest.(check bool) "bvt failures" true (fs.Runner.bvt_failures > 0);
+      Alcotest.(check bool) "retries happened" true (fs.Runner.retries > 0);
+      Alcotest.(check bool) "fallbacks happened" true (fs.Runner.fallbacks > 0);
+      (* Report counters and the metric registry tell the same story:
+         one source of truth, surfaced twice. *)
+      Alcotest.(check int) "injected metric = report"
+        fs.Runner.injected
+        (Rwc_obs.Metrics.value m_injected - base_injected);
+      Alcotest.(check int) "retry metric = report" fs.Runner.retries
+        (Rwc_obs.Metrics.value m_retries - base_retries);
+      Alcotest.(check int) "fallback metric = report" fs.Runner.fallbacks
+        (Rwc_obs.Metrics.value m_fallbacks - base_fallbacks);
+      (* Internal consistency: every retry and fallback traces back to
+         a BVT failure, and an exhausted link is counted as a flap
+         (graceful degradation), never as a duct failure. *)
+      Alcotest.(check int) "failures = retries + fallbacks"
+        fs.Runner.bvt_failures
+        (fs.Runner.retries + fs.Runner.fallbacks);
+      Alcotest.(check bool) "fallbacks show up as flaps" true
+        (Rwc_obs.Metrics.value m_flaps - base_flaps - baseline.Runner.flaps
+         >= fs.Runner.fallbacks);
+      Alcotest.(check bool) "degraded links still end somewhere valid" true
+        (r.Runner.delivered_pbit > 0.0
+        && r.Runner.delivered_pbit <= r.Runner.offered_pbit +. 1e-6)
+
+(* --- orchestrator: quiescence replaces the fixed-horizon heuristic -------- *)
+
+let test_orchestrator_outlives_old_horizon () =
+  (* Adversarial seed: with a 0.999 BVT failure rate and heavy backoff
+     the retry chains run far past the old `n * (drain + 50 * (mean +
+     1)) + 1` heuristic horizon that execute() used before it ran the
+     DES to quiescence.  Under the old code this log would have been
+     silently truncated mid-plan. *)
+  let faults =
+    Rwc_fault.compile
+      {
+        Rwc_fault.seed = 5;
+        rules =
+          [
+            { Rwc_fault.component = Rwc_fault.Bvt_reconfig;
+              prob = 0.999; param = 0.0; window = None };
+          ];
+      }
+  in
+  let upgrades =
+    [
+      { Rwc_core.Translate.phys_edge = 0; extra_gbps = 100.0; penalty_paid = 0.0 };
+      { Rwc_core.Translate.phys_edge = 3; extra_gbps = 50.0; penalty_paid = 0.0 };
+    ]
+  in
+  let downtime_mean_s = 68.0 and drain_s = 30.0 in
+  let retry =
+    { Orchestrator.max_attempts = 6; base_s = 600.0; factor = 2.0; cap_s = 3600.0 }
+  in
+  let o =
+    Orchestrator.execute
+      ~rng:(Rwc_stats.Rng.create 9)
+      ~upgrades
+      ~residual_flow:(fun _ -> 1.0)
+      ~downtime_mean_s ~drain_s ~faults ~retry ()
+  in
+  let old_horizon =
+    (float_of_int (List.length upgrades)
+    *. (drain_s +. (50.0 *. (downtime_mean_s +. 1.0))))
+    +. 1.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "duration %.0fs outlives old horizon %.0fs"
+       o.Orchestrator.total_duration_s old_horizon)
+    true
+    (o.Orchestrator.total_duration_s > old_horizon);
+  (* Nothing was truncated: every link completed its sequence. *)
+  let restored =
+    List.filter (fun e -> e.Orchestrator.phase = Orchestrator.Restored)
+      o.Orchestrator.log
+  in
+  Alcotest.(check int) "every link restored" (List.length upgrades)
+    (List.length restored);
+  Alcotest.(check bool) "fallbacks happened" true (o.Orchestrator.fallbacks > 0);
+  Alcotest.(check bool) "retries happened" true (o.Orchestrator.retries > 0);
+  (* A fallback restores immediately: the BVT never committed, so the
+     pre-upgrade modulation is already live. *)
+  let rec check_fallback_pairs = function
+    | a :: (b :: _ as rest) ->
+        if a.Orchestrator.phase = Orchestrator.Fallback_started then begin
+          Alcotest.(check bool) "fallback then restore" true
+            (b.Orchestrator.phase = Orchestrator.Restored
+            && b.Orchestrator.phys_edge = a.Orchestrator.phys_edge);
+          Alcotest.(check (float 1e-9)) "restore is immediate"
+            a.Orchestrator.time_s b.Orchestrator.time_s
+        end;
+        check_fallback_pairs rest
+    | _ -> ()
+  in
+  check_fallback_pairs o.Orchestrator.log;
+  (* Attempts are bounded even under a near-certain failure rate. *)
+  Alcotest.(check bool) "attempts bounded" true
+    (o.Orchestrator.reconfigurations
+    <= retry.Orchestrator.max_attempts * List.length upgrades)
+
 let suite =
   [
     Alcotest.test_case "queue ordering" `Quick test_queue_ordering;
@@ -210,4 +449,13 @@ let suite =
     Alcotest.test_case "runner efficient downtime" `Slow test_runner_efficient_less_downtime;
     Alcotest.test_case "runner offered bounds" `Slow test_runner_offered_bounds_delivered;
     Alcotest.test_case "runner deterministic" `Slow test_runner_deterministic;
+    Alcotest.test_case "golden pp faults-off" `Slow test_golden_pp_byte_identical;
+    Alcotest.test_case "golden json faults-off" `Slow test_golden_json_byte_identical;
+    Alcotest.test_case "report identical with obs on" `Slow
+      test_report_identical_with_obs_on;
+    Alcotest.test_case "report identical with faults none" `Slow
+      test_report_identical_with_faults_none;
+    Alcotest.test_case "chaos counters consistent" `Slow test_chaos_run_consistent;
+    Alcotest.test_case "orchestrator outlives old horizon" `Quick
+      test_orchestrator_outlives_old_horizon;
   ]
