@@ -4,9 +4,9 @@
 #   bin/ci.sh
 #
 # Fails on: any build error, any test failure, or a non-zero exit from
-# either smoke simulation.  lib/obs and lib/fault are held to a
-# warning-free standard via `-warn-error +a` in their dune stanzas, so
-# a warning there IS a build error — no log scraping needed.
+# any smoke run.  Every lib/* stanza is held to a warning-free standard
+# via `-warn-error +a` in its dune file, so a warning there IS a build
+# error — no log scraping needed.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,7 +14,7 @@ cd "$(dirname "$0")/.."
 echo "== dune build @check =="
 dune build @check
 
-echo "== dune build @all (warnings fatal in lib/obs and lib/fault) =="
+echo "== dune build @all (warnings fatal in every lib/*) =="
 dune build @all
 
 echo "== dune runtest =="
@@ -23,7 +23,17 @@ dune runtest
 echo "== instrumented smoke: rwc simulate --days 2 --metrics /dev/null =="
 dune exec bin/rwc.exe -- simulate --days 2 --metrics /dev/null
 
-echo "== chaos smoke: rwc simulate --days 2 --faults default --metrics /dev/null =="
-dune exec bin/rwc.exe -- simulate --days 2 --faults default --metrics /dev/null
+echo "== chaos smoke: rwc chaos --days 2 --factor 1 --policy adaptive-stock --json =="
+CHAOS_JSON="$(mktemp)"
+dune exec bin/rwc.exe -- chaos --days 2 --factor 1 --policy adaptive-stock \
+  --json "$CHAOS_JSON"
+# The emitted degradation table must be non-empty JSON.
+grep -q '"rows"' "$CHAOS_JSON"
+grep -q '"vs_baseline_pct"' "$CHAOS_JSON"
+rm -f "$CHAOS_JSON"
+
+echo "== guard smoke: rwc simulate --days 2 --faults default --guard default =="
+dune exec bin/rwc.exe -- simulate --days 2 --faults default --guard default \
+  --metrics /dev/null
 
 echo "== ci.sh: all green =="

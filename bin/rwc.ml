@@ -312,6 +312,27 @@ let faults_arg =
            $(b,bvt-fail=0.3,te-delay=0.1:1800,seed=99).  With $(b,none) the \
            run is bit-identical to one without the fault layer.")
 
+let guard_conv =
+  let parse s =
+    match Rwc_guard.of_string s with
+    | Ok plan -> Ok plan
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt p -> Format.fprintf fmt "%s" (Rwc_guard.to_string p))
+
+let guard_arg =
+  Arg.(
+    value
+    & opt guard_conv Rwc_guard.none
+    & info [ "guard" ] ~docv:"PLAN"
+        ~doc:
+          "Safety-guard plan for adaptive policies: $(b,none) (default), \
+           $(b,default), or comma-separated knob overrides like \
+           $(b,suppress=4,budget=1,freeze=1800) (keys: penalty, half-life, \
+           suppress, reuse, budget, freeze, fallback, osc-window, \
+           osc-cycles, hold).  With $(b,none) the run is bit-identical to \
+           one without the guard layer.")
+
 let backbone_of = function
   | None -> Rwc_topology.Backbone.north_america
   | Some path -> (
@@ -321,10 +342,16 @@ let backbone_of = function
           Printf.eprintf "%s: %s\n" path e;
           exit 2)
 
-let run_simulate () days policy seed faults backbone_file manifest_path =
+let run_simulate () days policy seed faults guard backbone_file manifest_path =
   Option.iter (check_writable "--manifest") manifest_path;
   let config =
-    { Rwc_sim.Runner.default_config with Rwc_sim.Runner.days; seed; faults }
+    {
+      Rwc_sim.Runner.default_config with
+      Rwc_sim.Runner.days;
+      seed;
+      faults;
+      guard;
+    }
   in
   let backbone = backbone_of backbone_file in
   let reports =
@@ -352,6 +379,7 @@ let run_simulate () days policy seed faults backbone_file manifest_path =
               ( "backbone",
                 String (Option.value backbone_file ~default:"north-america") );
               ("faults", String (Rwc_fault.to_string faults));
+              ("guard", String (Rwc_guard.to_string guard));
             ]
           ~reports:
             (List.map
@@ -401,7 +429,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"WAN policy simulation (throughput/availability)")
     Term.(
       const run_simulate $ obs_term $ days_arg $ policy_arg $ sim_seed_arg
-      $ faults_arg $ backbone_file_arg $ manifest_arg)
+      $ faults_arg $ guard_arg $ backbone_file_arg $ manifest_arg)
 
 (* ---- chaos ------------------------------------------------------------- *)
 
@@ -410,8 +438,10 @@ let simulate_cmd =
    reliable.  Factor 0 is the fault-free baseline every other row is
    compared against. *)
 
-let run_chaos () days seed factors policy backbone_file manifest_path =
+let run_chaos () days seed factors policy guard backbone_file manifest_path
+    json_path =
   Option.iter (check_writable "--manifest") manifest_path;
+  Option.iter (check_writable "--json") json_path;
   let backbone = backbone_of backbone_file in
   let factors = List.sort_uniq compare factors in
   let factors = if List.mem 0.0 factors then factors else 0.0 :: factors in
@@ -419,37 +449,60 @@ let run_chaos () days seed factors policy backbone_file manifest_path =
     prerr_endline "rwc chaos: --factor must be >= 0";
     exit 2
   end;
-  let run_at factor =
+  (* With an armed --guard plan every fault level runs twice, guarded
+     and unguarded, so the table shows what the safety layer buys (or
+     costs) at each level.  The baseline both variants are compared
+     against is the unguarded fault-free run. *)
+  let variants =
+    if Rwc_guard.is_none guard then [ false ] else [ false; true ]
+  in
+  let run_at ~guarded factor =
     let faults =
       if factor = 0.0 then Rwc_fault.none
       else Rwc_fault.scaled Rwc_fault.default ~factor
     in
     let config =
-      { Rwc_sim.Runner.default_config with Rwc_sim.Runner.days; seed; faults }
+      {
+        Rwc_sim.Runner.default_config with
+        Rwc_sim.Runner.days;
+        seed;
+        faults;
+        guard = (if guarded then guard else Rwc_guard.none);
+      }
     in
     match policy with
     | Some p -> [ Rwc_sim.Runner.run ~config ~backbone p ]
     | None -> Rwc_sim.Runner.compare_policies ~config ~backbone ()
   in
-  let sweep = List.map (fun f -> (f, run_at f)) factors in
-  let baseline = List.assoc 0.0 sweep in
+  let sweep =
+    List.concat_map
+      (fun factor ->
+        List.map (fun guarded -> (factor, guarded, run_at ~guarded factor)) variants)
+      factors
+  in
+  let baseline =
+    let _, _, reports =
+      List.find (fun (f, guarded, _) -> f = 0.0 && not guarded) sweep
+    in
+    reports
+  in
   let baseline_for p =
     (List.find (fun r -> r.Rwc_sim.Runner.policy = p) baseline)
       .Rwc_sim.Runner.delivered_pbit
   in
+  let degradation_of r =
+    let base = baseline_for r.Rwc_sim.Runner.policy in
+    100.0 *. (r.Rwc_sim.Runner.delivered_pbit -. base) /. base
+  in
   Printf.printf
     "chaos sweep: %.1f days, seed %d, plan 'default' scaled per factor\n" days
     seed;
-  Printf.printf "%-7s %-22s %15s %11s %5s %6s %9s\n" "factor" "policy"
-    "delivered(Pbit)" "vs-baseline" "inj" "retry" "fallback";
+  Printf.printf "%-7s %-5s %-22s %15s %11s %5s %6s %9s\n" "factor" "guard"
+    "policy" "delivered(Pbit)" "vs-baseline" "inj" "retry" "fallback";
   List.iter
-    (fun (factor, reports) ->
+    (fun (factor, guarded, reports) ->
       List.iter
         (fun r ->
-          let base = baseline_for r.Rwc_sim.Runner.policy in
-          let degradation =
-            100.0 *. (r.Rwc_sim.Runner.delivered_pbit -. base) /. base
-          in
           let inj, retry, fallback =
             match r.Rwc_sim.Runner.fault_stats with
             | None -> ("-", "-", "-")
@@ -458,11 +511,53 @@ let run_chaos () days seed factors policy backbone_file manifest_path =
                   string_of_int f.Rwc_sim.Runner.retries,
                   string_of_int f.Rwc_sim.Runner.fallbacks )
           in
-          Printf.printf "%-7.2f %-22s %15.2f %+10.3f%% %5s %6s %9s\n" factor
+          Printf.printf "%-7.2f %-5s %-22s %15.2f %+10.3f%% %5s %6s %9s\n"
+            factor
+            (if guarded then "on" else "off")
             (Rwc_sim.Runner.policy_name r.Rwc_sim.Runner.policy)
-            r.Rwc_sim.Runner.delivered_pbit degradation inj retry fallback)
+            r.Rwc_sim.Runner.delivered_pbit (degradation_of r) inj retry
+            fallback)
         reports)
     sweep;
+  let row_label factor guarded r =
+    Printf.sprintf "f%.2f%s/%s" factor
+      (if guarded then "+guard" else "")
+      (Rwc_sim.Runner.policy_name r.Rwc_sim.Runner.policy)
+  in
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      (* The machine-readable degradation table (one row per printed
+         line), used by the CI chaos smoke step. *)
+      let open Obs.Json in
+      let rows =
+        List.concat_map
+          (fun (factor, guarded, reports) ->
+            List.map
+              (fun r ->
+                Assoc
+                  [
+                    ("factor", Float factor);
+                    ("guarded", Bool guarded);
+                    ( "policy",
+                      String (Rwc_sim.Runner.policy_name r.Rwc_sim.Runner.policy)
+                    );
+                    ( "delivered_pbit",
+                      Float r.Rwc_sim.Runner.delivered_pbit );
+                    ("vs_baseline_pct", Float (degradation_of r));
+                    ("report", Rwc_sim.Runner.json_of_report r);
+                  ])
+              reports)
+          sweep
+      in
+      to_file path
+        (Assoc
+           [
+             ("days", Float days);
+             ("seed", Int seed);
+             ("guard", String (Rwc_guard.to_string guard));
+             ("rows", List rows);
+           ]));
   match manifest_path with
   | None -> ()
   | Some path ->
@@ -477,16 +572,16 @@ let run_chaos () days seed factors policy backbone_file manifest_path =
                 match policy with
                 | Some p -> String (Rwc_sim.Runner.policy_name p)
                 | None -> Null );
+              ("guard", String (Rwc_guard.to_string guard));
               ( "backbone",
                 String (Option.value backbone_file ~default:"north-america") );
             ]
           ~reports:
             (List.concat_map
-               (fun (factor, reports) ->
+               (fun (factor, guarded, reports) ->
                  List.map
                    (fun r ->
-                     ( Printf.sprintf "f%.2f/%s" factor
-                         (Rwc_sim.Runner.policy_name r.Rwc_sim.Runner.policy),
+                     ( row_label factor guarded r,
                        Rwc_sim.Runner.json_of_report r ))
                    reports)
                sweep)
@@ -508,13 +603,24 @@ let factors_arg =
           "Scale the default plan's rates by $(docv) (repeatable).  The \
            fault-free baseline (factor 0) is always included.")
 
+let chaos_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:
+          "Write the degradation table as JSON to $(docv): one row per \
+           printed line (factor, guard, policy, delivered, vs-baseline \
+           percentage and the full per-run report).")
+
 let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Sweep fault-injection rates and report throughput degradation")
     Term.(
       const run_chaos $ obs_term $ chaos_days_arg $ sim_seed_arg $ factors_arg
-      $ policy_arg $ backbone_file_arg $ manifest_arg)
+      $ policy_arg $ guard_arg $ backbone_file_arg $ manifest_arg
+      $ chaos_json_arg)
 
 (* ---- bvt -------------------------------------------------------------- *)
 

@@ -100,6 +100,11 @@ let decide t ~snr_db =
           else D_qualify
         else D_reset_streak
 
+let peek t ~snr_db =
+  match decide t ~snr_db with
+  | D_none | D_reset_streak | D_qualify -> No_change
+  | D_move { action; _ } -> action
+
 let step ?(faults = Rwc_fault.disarmed) ?(now = 0.0) t ~snr_db =
   match decide t ~snr_db with
   | D_none -> No_change

@@ -53,6 +53,15 @@ type action =
           firmware.  State is unchanged except that any step-up
           qualification streak is consumed. *)
 
+val peek : state -> snr_db:float -> action
+(** The transition {!step} would commit for this sample, without
+    committing it: no state change, no fault draw, never {!Stuck}.
+    [No_change] covers the qualify/disqualify bookkeeping cases that
+    only {!step} performs.  This is the decision a safety layer
+    ({!Rwc_guard}-style) screens before letting {!step} commit; a
+    suppressed decision leaves the qualification streak intact, so the
+    controller re-validates against fresh SNR on the next sample. *)
+
 val step :
   ?faults:Rwc_fault.injector -> ?now:float -> state -> snr_db:float -> action
 (** Feed one SNR sample; mutates the state and reports what the

@@ -4,6 +4,7 @@ type phase =
   | Reconfigure_failed
   | Retry_scheduled
   | Fallback_started
+  | Skipped_by_guard
   | Restored
 
 type log_entry = {
@@ -34,6 +35,7 @@ type outcome = {
   faults_injected : int;
   retries : int;
   fallbacks : int;
+  guard_skipped : int;
 }
 
 let m_reconfigs = Rwc_obs.Metrics.counter "orchestrator/reconfigurations"
@@ -42,9 +44,11 @@ let m_drain_s = Rwc_obs.Metrics.histogram "orchestrator/drain_s"
 let m_reconfig_s = Rwc_obs.Metrics.histogram "orchestrator/reconfig_s"
 let m_retries = Rwc_obs.Metrics.counter "orchestrator/retries"
 let m_fallbacks = Rwc_obs.Metrics.counter "orchestrator/fallbacks"
+let m_guard_skipped = Rwc_obs.Metrics.counter "orchestrator/guard_skipped"
 
 let execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ?(drain_s = 30.0)
-    ?(faults = Rwc_fault.disarmed) ?(retry = default_retry_policy) () =
+    ?(faults = Rwc_fault.disarmed) ?(retry = default_retry_policy)
+    ?(guard = Rwc_guard.disarmed) () =
   assert (downtime_mean_s >= 0.0 && drain_s >= 0.0);
   if retry.max_attempts < 1 then
     invalid_arg "Orchestrator.execute: retry.max_attempts < 1";
@@ -57,6 +61,7 @@ let execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ?(drain_s = 30.0)
   let reconfigurations = ref 0 in
   let retries = ref 0 in
   let fallbacks = ref 0 in
+  let guard_skipped = ref 0 in
   let record time phys_edge phase =
     log := { time_s = time; phys_edge; phase } :: !log
   in
@@ -64,13 +69,24 @@ let execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ?(drain_s = 30.0)
   let rec start_link remaining engine =
     match remaining with
     | [] -> finished_at := Des.now engine
-    | d :: rest ->
+    | d :: rest -> (
         let edge = d.Rwc_core.Translate.phys_edge in
-        record (Des.now engine) edge Drain_started;
-        (* Phase durations are simulated seconds, not wall time, but
-           the log-scale histogram covers both uses. *)
-        Rwc_obs.Metrics.observe m_drain_s drain_s;
-        Des.schedule_in engine ~after:drain_s (attempt edge rest 1)
+        (* Every planned upgrade is an up-shift; the guard may refuse
+           it (quarantined link, exhausted shared-risk budget, stale
+           data, global hold).  A refused link is skipped, not queued:
+           the next planning round re-decides on fresh state. *)
+        match Rwc_guard.screen guard ~link:edge ~now:(Des.now engine) Rwc_guard.Up_shift with
+        | Rwc_guard.Suppress _ ->
+            incr guard_skipped;
+            Rwc_obs.Metrics.incr m_guard_skipped;
+            record (Des.now engine) edge Skipped_by_guard;
+            start_link rest engine
+        | Rwc_guard.Allow ->
+            record (Des.now engine) edge Drain_started;
+            (* Phase durations are simulated seconds, not wall time, but
+               the log-scale histogram covers both uses. *)
+            Rwc_obs.Metrics.observe m_drain_s drain_s;
+            Des.schedule_in engine ~after:drain_s (attempt edge rest 1))
   and attempt edge rest k engine =
     record (Des.now engine) edge Reconfigure_started;
     incr reconfigurations;
@@ -90,6 +106,12 @@ let execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ?(drain_s = 30.0)
           timed_out || Rwc_fault.fires faults Rwc_fault.Bvt_reconfig ~now
         in
         if not failed then begin
+          (* The commit took: let the guard accrue its flap penalty
+             and return the in-flight token (execution here is
+             strictly serialized, so the token is held only for the
+             bookkeeping's sake). *)
+          Rwc_guard.record_commit guard ~link:edge ~now Rwc_guard.Up_shift;
+          Rwc_guard.release guard ~link:edge;
           record now edge Restored;
           start_link rest engine
         end
@@ -142,4 +164,5 @@ let execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ?(drain_s = 30.0)
     faults_injected = Rwc_fault.injected faults - injected_before;
     retries = !retries;
     fallbacks = !fallbacks;
+    guard_skipped = !guard_skipped;
   }

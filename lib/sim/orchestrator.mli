@@ -30,6 +30,10 @@ type phase =
   | Retry_scheduled  (** Backoff armed; the next attempt will follow. *)
   | Fallback_started
       (** Retries exhausted; reverting to the pre-upgrade modulation. *)
+  | Skipped_by_guard
+      (** The safety layer refused the up-shift (quarantine, admission
+          budget, stale telemetry or global hold); the link was left
+          untouched for this execution. *)
   | Restored
 
 type log_entry = {
@@ -68,6 +72,8 @@ type outcome = {
       (** Faults the injector fired during this execution. *)
   retries : int;  (** Attempts re-scheduled after a failure. *)
   fallbacks : int;  (** Links that reverted to their pre-upgrade rate. *)
+  guard_skipped : int;
+      (** Links whose upgrade the guard refused ([Skipped_by_guard]). *)
 }
 
 val execute :
@@ -78,6 +84,7 @@ val execute :
   ?drain_s:float ->
   ?faults:Rwc_fault.injector ->
   ?retry:retry_policy ->
+  ?guard:Rwc_guard.t ->
   unit ->
   outcome
 (** [execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ()] runs
@@ -91,5 +98,8 @@ val execute :
     every link ends [Restored] — directly on success, or via
     [Fallback_started] when its [retry] attempts (default
     {!default_retry_policy}) are exhausted — and the test suite asserts
-    both.  Without an armed [faults] injector the outcome is
-    bit-identical to the historic always-succeeds behavior. *)
+    both.  An armed [guard] is consulted before each link's drain:
+    a refused up-shift is logged as [Skipped_by_guard] and the link is
+    left untouched.  Without an armed [faults] injector (and with the
+    default disarmed [guard]) the outcome is bit-identical to the
+    historic always-succeeds behavior. *)

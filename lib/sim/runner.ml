@@ -23,6 +23,7 @@ type config = {
   epsilon : float;
   faults : Rwc_fault.plan;
   retry : Orchestrator.retry_policy;
+  guard : Rwc_guard.plan;
 }
 
 let default_config =
@@ -36,6 +37,7 @@ let default_config =
     epsilon = 0.12;
     faults = Rwc_fault.none;
     retry = Orchestrator.default_retry_policy;
+    guard = Rwc_guard.none;
   }
 
 type fault_stats = {
@@ -59,6 +61,7 @@ type report = {
   reconfigurations : int;
   reconfig_downtime_s : float;
   fault_stats : fault_stats option;
+  guard_stats : Rwc_guard.stats option;
 }
 
 (* Per-duct bookkeeping private to a run. *)
@@ -97,6 +100,15 @@ let downtime_mean_s = function
       +. l.Rwc_optical.Bvt.laser_on_relock_mean_s
   | Efficient -> Rwc_optical.Bvt.default_latency.Rwc_optical.Bvt.dsp_reconfig_mean_s
 
+(* What the controller wants to do, in the guard's vocabulary; [None]
+   for actions that need no screening. *)
+let intent_of = function
+  | Adapt.No_change | Adapt.Stuck _ -> None
+  | Adapt.Step_up _ -> Some Rwc_guard.Up_shift
+  | Adapt.Step_down _ -> Some Rwc_guard.Down_shift
+  | Adapt.Go_dark _ -> Some Rwc_guard.Dark
+  | Adapt.Come_back _ -> Some Rwc_guard.Recover
+
 let run_policy ~config ~backbone policy =
   assert (config.days > 0.0 && config.te_interval_h > 0.0);
   (* One injector per policy run, compiled from the plan seed: every
@@ -110,6 +122,26 @@ let run_policy ~config ~backbone policy =
   let retries = ref 0
   and fallbacks = ref 0 in
   let net = Netstate.make ~wavelengths:config.wavelengths ~seed:config.seed backbone in
+  (* The guard's shared-risk groups: every duct fanning out of the
+     same city rides shared conduit near that city, so its endpoint-a
+     index stands in for the fiber/cable group of Section 2.  With the
+     plan [none] this is the disarmed guard, which holds no state and
+     answers without branching on any of it. *)
+  let guard =
+    Rwc_guard.create config.guard
+      ~n_links:(Array.length net.Netstate.ducts)
+      ~group_of:(fun i ->
+        net.Netstate.ducts.(i).Netstate.duct.Backbone.a)
+  in
+  (* Telemetry imperfections only enter the control loop through the
+     guard's staleness tracking, so the collector fault channels are
+     queried exactly when the guard is armed for an adaptive policy:
+     with the guard off, the run is bit-identical to a build without
+     the guard layer even under an armed fault plan. *)
+  let guard_telemetry =
+    Rwc_guard.armed guard
+    && (match policy with Adaptive _ -> true | Static_100 | Static_max -> false)
+  in
   let years = config.days /. 365.25 in
   let trace_root = Rwc_stats.Rng.create (config.seed + 1) in
   let reconfig_rng = Rwc_stats.Rng.create (config.seed + 2) in
@@ -227,12 +259,12 @@ let run_policy ~config ~backbone policy =
             te_dirty := false))
   in
   (* One SNR-tick event sweeps all ducts. *)
-  let apply_sample dr k =
+  let apply_sample dr k sweep_lost =
     let d = dr.state in
     let now = float_of_int k *. sample_s in
-    d.Netstate.current_snr_db <- dr.trace.(k);
     match policy with
     | Static_100 | Static_max ->
+        d.Netstate.current_snr_db <- dr.trace.(k);
         let threshold =
           match Modulation.of_gbps d.Netstate.per_lambda_gbps with
           | Some m -> m.Modulation.min_snr_db
@@ -246,15 +278,25 @@ let run_policy ~config ~backbone policy =
         if d.Netstate.up <> now_up then te_dirty := true;
         d.Netstate.up <- now_up
     | Adaptive procedure -> (
+        (* Without the guard the telemetry path is perfect, exactly as
+           before the guard layer existed; the guarded path below owns
+           the assignment so a lost sweep leaves the last-known value
+           in place. *)
+        if not (Rwc_guard.armed guard) then
+          d.Netstate.current_snr_db <- dr.trace.(k);
         if not dr.reconfiguring then
           match dr.controller with
           | None -> assert false
           | Some ctl -> (
-              let action = Adapt.step ~faults:inj ~now ctl ~snr_db:dr.trace.(k) in
+              let i = d.Netstate.duct_index in
               let start_reconfig new_gbps =
                 let prev_gbps = d.Netstate.per_lambda_gbps in
                 incr reconfigs;
                 Metrics.incr m_reconfigs;
+                Rwc_guard.record_commit guard ~link:i ~now
+                  (if prev_gbps = 0 then Rwc_guard.Recover
+                   else if new_gbps > prev_gbps then Rwc_guard.Up_shift
+                   else Rwc_guard.Down_shift);
                 let mean = downtime_mean_s procedure in
                 dr.reconfiguring <- true;
                 d.Netstate.up <- false;
@@ -273,6 +315,7 @@ let run_policy ~config ~backbone policy =
                   dr.reconfiguring <- false;
                   d.Netstate.per_lambda_gbps <- gbps;
                   d.Netstate.up <- true;
+                  Rwc_guard.release guard ~link:i;
                   te_dirty := true
                 in
                 let rec attempt n =
@@ -326,24 +369,91 @@ let run_policy ~config ~backbone policy =
                 in
                 attempt 1
               in
-              match action with
-              | Adapt.No_change -> ()
-              | Adapt.Stuck _ ->
-                  (* Injected: the transition command was lost.  The
-                     device keeps its rate; nothing to recompute. *)
-                  ()
-              | Adapt.Go_dark _ ->
-                  incr failures;
-                  Metrics.incr m_failures;
-                  d.Netstate.per_lambda_gbps <- 0;
-                  d.Netstate.up <- false;
-                  te_dirty := true
-              | Adapt.Step_down { to_gbps; _ } ->
-                  incr flaps;
-                  Metrics.incr m_flaps;
-                  start_reconfig to_gbps
-              | Adapt.Step_up { to_gbps; _ } -> start_reconfig to_gbps
-              | Adapt.Come_back { to_gbps } -> start_reconfig to_gbps))
+              (* Telemetry layer.  With the guard armed the collector
+                 fault channels come into play: a lost sweep or a
+                 corrupted duct leaves [current_snr_db] at its
+                 last-known value (LOCF) until the freeze horizon,
+                 then the guard freezes the link, then forces it back
+                 to the static baseline.  A stale sample never feeds an
+                 up-shift — [screen] refuses them below. *)
+              let snr =
+                if not (Rwc_guard.armed guard) then Some dr.trace.(k)
+                else begin
+                  let ok =
+                    (not sweep_lost)
+                    && not (Rwc_fault.fires inj Rwc_fault.Collector_corrupt ~now)
+                  in
+                  match Rwc_guard.note_telemetry guard ~link:i ~now ~ok with
+                  | Rwc_guard.Feed ->
+                      d.Netstate.current_snr_db <- dr.trace.(k);
+                      Some dr.trace.(k)
+                  | Rwc_guard.Feed_stale ->
+                      (* Adapt on the held-over value; only down-shifts
+                         can result (screen blocks stale up-shifts). *)
+                      Some d.Netstate.current_snr_db
+                  | Rwc_guard.Freeze -> None
+                  | Rwc_guard.Force_static ->
+                      (* Past the fallback horizon: park the link at
+                         the static baseline.  Only ever a ratchet
+                         DOWN — a dark link stays dark and a link at or
+                         below 100G keeps its rate — because raising
+                         capacity on no data would be flying blind. *)
+                      if d.Netstate.per_lambda_gbps > Modulation.default_gbps
+                      then begin
+                        Adapt.force ctl ~gbps:Modulation.default_gbps;
+                        incr flaps;
+                        Metrics.incr m_flaps;
+                        start_reconfig Modulation.default_gbps
+                      end
+                      else
+                        Adapt.force ctl ~gbps:d.Netstate.per_lambda_gbps;
+                      None
+                end
+              in
+              match snr with
+              | None -> ()
+              | Some snr_db -> (
+                  (* Screen the pending decision before [step] commits
+                     it.  A suppressed decision leaves the controller's
+                     qualification streak intact, so the change is
+                     re-validated against fresh SNR when the guard
+                     clears — the "queued changes re-validate"
+                     semantics without an actual queue. *)
+                  let allowed =
+                    (not (Rwc_guard.armed guard))
+                    ||
+                    match intent_of (Adapt.peek ctl ~snr_db) with
+                    | None -> true
+                    | Some intent -> (
+                        match Rwc_guard.screen guard ~link:i ~now intent with
+                        | Rwc_guard.Allow -> true
+                        | Rwc_guard.Suppress _ -> false)
+                  in
+                  if allowed then
+                    match Adapt.step ~faults:inj ~now ctl ~snr_db with
+                    | Adapt.No_change -> ()
+                    | Adapt.Stuck _ ->
+                        (* Injected: the transition command was lost.  The
+                           device keeps its rate; nothing to recompute. *)
+                        ()
+                    | Adapt.Go_dark _ ->
+                        incr failures;
+                        Metrics.incr m_failures;
+                        (* The outage feeds the oscillation watchdog (a
+                           down event) but accrues no flap penalty and
+                           takes no admission token: going dark is the
+                           medium failing, not a BVT commit. *)
+                        Rwc_guard.record_commit guard ~link:i ~now
+                          Rwc_guard.Dark;
+                        d.Netstate.per_lambda_gbps <- 0;
+                        d.Netstate.up <- false;
+                        te_dirty := true
+                    | Adapt.Step_down { to_gbps; _ } ->
+                        incr flaps;
+                        Metrics.incr m_flaps;
+                        start_reconfig to_gbps
+                    | Adapt.Step_up { to_gbps; _ } -> start_reconfig to_gbps
+                    | Adapt.Come_back { to_gbps } -> start_reconfig to_gbps)))
   in
   let rec snr_tick k engine =
     if k < n_samples then begin
@@ -361,7 +471,16 @@ let run_policy ~config ~backbone policy =
                   if dr.reconfiguring then
                     sample_up_fraction.(dr.state.Netstate.duct_index) <- 0.0)
                 ducts;
-              Array.iter (fun dr -> apply_sample dr k) ducts;
+              (* One collector outage loses the entire sweep (the
+                 poller died); corruption is per-duct and drawn inside
+                 [apply_sample].  Queried only when the guard cares —
+                 see [guard_telemetry]. *)
+              let sweep_lost =
+                guard_telemetry
+                && Rwc_fault.fires inj Rwc_fault.Collector_outage
+                     ~now:(float_of_int k *. sample_s)
+              in
+              Array.iter (fun dr -> apply_sample dr k sweep_lost) ducts;
               Array.iter
                 (fun dr ->
                   let i = dr.state.Netstate.duct_index in
@@ -413,6 +532,10 @@ let run_policy ~config ~backbone policy =
           te_delays = Rwc_fault.injected_for inj Rwc_fault.Te_delay;
         }
   in
+  let guard_stats =
+    if Rwc_guard.is_none config.guard then None
+    else Some (Rwc_guard.stats guard)
+  in
   {
     policy;
     delivered_pbit = !delivered_gbit /. 1e6;
@@ -426,6 +549,7 @@ let run_policy ~config ~backbone policy =
     reconfigurations = !reconfigs;
     reconfig_downtime_s = !downtime;
     fault_stats;
+    guard_stats;
   }
 
 let run ?(config = default_config) ?(backbone = Backbone.north_america) policy =
@@ -459,6 +583,29 @@ let json_of_report r =
               ] );
         ]
   in
+  (* Same contract for the guard block: present exactly when the run
+     had a guard plan, so --guard none stays byte-identical to a
+     pre-guard report. *)
+  let guard_fields =
+    match r.guard_stats with
+    | None -> []
+    | Some g ->
+        [
+          ( "guard",
+            Rwc_obs.Json.Assoc
+              [
+                ( "suppressed_upshifts",
+                  Rwc_obs.Json.Int g.Rwc_guard.suppressed_upshifts );
+                ("quarantines", Rwc_obs.Json.Int g.Rwc_guard.quarantines);
+                ( "admission_deferred",
+                  Rwc_obs.Json.Int g.Rwc_guard.admission_deferred );
+                ("stale_freezes", Rwc_obs.Json.Int g.Rwc_guard.stale_freezes);
+                ( "static_fallbacks",
+                  Rwc_obs.Json.Int g.Rwc_guard.static_fallbacks );
+                ("watchdog_trips", Rwc_obs.Json.Int g.Rwc_guard.watchdog_trips);
+              ] );
+        ]
+  in
   Rwc_obs.Json.Assoc
     ([
        ("policy", Rwc_obs.Json.String (policy_name r.policy));
@@ -472,7 +619,7 @@ let json_of_report r =
        ("reconfigurations", Rwc_obs.Json.Int r.reconfigurations);
        ("reconfig_downtime_s", Rwc_obs.Json.Float r.reconfig_downtime_s);
      ]
-    @ fault_fields)
+    @ fault_fields @ guard_fields)
 
 let pp_report fmt r =
   Format.fprintf fmt
@@ -481,8 +628,16 @@ let pp_report fmt r =
     (policy_name r.policy) r.delivered_pbit r.avg_throughput_gbps
     r.avg_capacity_gbps r.duct_availability r.failures r.flaps
     r.reconfigurations r.reconfig_downtime_s;
-  match r.fault_stats with
+  (match r.fault_stats with
   | None -> ()
   | Some f ->
       Format.fprintf fmt "  inj=%4d  retry=%4d  fallback=%3d"
-        f.injected f.retries f.fallbacks
+        f.injected f.retries f.fallbacks);
+  match r.guard_stats with
+  | None -> ()
+  | Some g ->
+      Format.fprintf fmt "  supp=%3d  quar=%3d  defer=%3d  stale=%3d  \
+                          static=%2d  wdog=%2d"
+        g.Rwc_guard.suppressed_upshifts g.Rwc_guard.quarantines
+        g.Rwc_guard.admission_deferred g.Rwc_guard.stale_freezes
+        g.Rwc_guard.static_fallbacks g.Rwc_guard.watchdog_trips

@@ -47,12 +47,20 @@ type config = {
           fault layer. *)
   retry : Orchestrator.retry_policy;
       (** Backoff schedule for failed BVT reconfigurations. *)
+  guard : Rwc_guard.plan;
+      (** Safety-layer plan screening the adaptive controller's
+          decisions (flap damping, shared-risk admission, stale-data
+          holddown, oscillation watchdog).  With {!Rwc_guard.none}
+          (the default) the disarmed guard holds no state and the run
+          is bit-identical to a build without the guard layer — even
+          under an armed fault plan, because the collector fault
+          channels are only queried for an armed guard. *)
 }
 
 val default_config : config
 (** 60 days, 6-hourly TE, seed 7, 4 wavelengths/duct, offered load
     0.75, top 40 demands, epsilon 0.12, no faults,
-    {!Orchestrator.default_retry_policy}. *)
+    {!Orchestrator.default_retry_policy}, no guard. *)
 
 type fault_stats = {
   injected : int;  (** Total faults the injector fired. *)
@@ -81,6 +89,9 @@ type report = {
       (** [Some] exactly when the run had a fault plan; [None] keeps
           faults-off reports — printed or serialized — byte-identical
           to pre-fault-layer output. *)
+  guard_stats : Rwc_guard.stats option;
+      (** [Some] exactly when the run had a guard plan, under the same
+          byte-identity contract as [fault_stats]. *)
 }
 
 val run :

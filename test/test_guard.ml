@@ -1,0 +1,390 @@
+(* The safety layer between Adapt decisions and execution: plan
+   grammar, flap-damping decay math, quarantine and admission state
+   machines, the stale-telemetry holddown ladder, the oscillation
+   watchdog, and the "disarmed is free" contract.  The qcheck
+   properties at the bottom drive a real Adapt controller over
+   synthetic SNR sinusoids through the same screen-then-commit
+   protocol the runner uses. *)
+
+module G = Rwc_guard
+module Adapt = Rwc_core.Adapt
+
+let ok_plan s =
+  match G.of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "of_string %S: %s" s e
+
+let err_plan s =
+  match G.of_string s with
+  | Ok _ -> Alcotest.failf "of_string %S: expected an error" s
+  | Error e -> e
+
+(* --- plan grammar --------------------------------------------------------- *)
+
+let test_plan_parse () =
+  Alcotest.(check bool) "none is none" true (G.is_none (ok_plan "none"));
+  Alcotest.(check bool) "empty is none" true (G.is_none (ok_plan ""));
+  Alcotest.(check bool) "default armed" false (G.is_none (ok_plan "default"));
+  (match ok_plan "default" with
+  | Some c -> Alcotest.(check bool) "default knobs" true (c = G.default_config)
+  | None -> Alcotest.fail "default parsed to none");
+  match ok_plan "suppress=4,reuse=2,budget=1" with
+  | None -> Alcotest.fail "overrides parsed to none"
+  | Some c ->
+      Alcotest.(check (float 1e-9)) "suppress" 4.0 c.G.suppress_threshold;
+      Alcotest.(check (float 1e-9)) "reuse" 2.0 c.G.reuse_threshold;
+      Alcotest.(check int) "budget" 1 c.G.group_budget;
+      Alcotest.(check (float 1e-9)) "untouched knob keeps default"
+        G.default_config.G.half_life_s c.G.half_life_s
+
+let test_plan_round_trip () =
+  Alcotest.(check string) "none" "none" (G.to_string G.none);
+  Alcotest.(check string) "default" "default" (G.to_string G.default);
+  let spec = "suppress=4,reuse=2,budget=1" in
+  Alcotest.(check string) "diffs only" spec (G.to_string (ok_plan spec));
+  (* default,KEY=V composes like the fault grammar. *)
+  Alcotest.(check string) "default prefix" "freeze=1800"
+    (G.to_string (ok_plan "default,freeze=1800"));
+  Alcotest.(check bool) "round trip" true
+    (ok_plan (G.to_string (ok_plan spec)) = ok_plan spec)
+
+let test_plan_errors () =
+  ignore (err_plan "bogus=1");
+  ignore (err_plan "suppress");
+  ignore (err_plan "suppress=abc");
+  ignore (err_plan "budget=1.5");
+  ignore (err_plan "budget=0");
+  (* Cross-knob invariants. *)
+  ignore (err_plan "reuse=5");
+  ignore (err_plan "fallback=10")
+
+(* --- flap damping --------------------------------------------------------- *)
+
+let fresh ?(plan = G.default) ?(n = 2) ?(group_of = fun _ -> 0) () =
+  G.create plan ~n_links:n ~group_of
+
+let test_penalty_decay () =
+  let g = fresh () in
+  G.record_commit g ~link:0 ~now:0.0 G.Up_shift;
+  G.release g ~link:0;
+  Alcotest.(check (float 1e-9)) "one commit" 1.0 (G.penalty g ~link:0 ~now:0.0);
+  (* Exponential half-life: 1 -> 0.5 -> 0.25, applied incrementally. *)
+  Alcotest.(check (float 1e-9)) "one half-life" 0.5
+    (G.penalty g ~link:0 ~now:3600.0);
+  Alcotest.(check (float 1e-9)) "two half-lives" 0.25
+    (G.penalty g ~link:0 ~now:7200.0);
+  Alcotest.(check (float 1e-9)) "other link untouched" 0.0
+    (G.penalty g ~link:1 ~now:7200.0)
+
+let test_quarantine_cycle () =
+  let g = fresh ~plan:(ok_plan "suppress=2,reuse=0.5") () in
+  G.record_commit g ~link:0 ~now:0.0 G.Up_shift;
+  G.release g ~link:0;
+  Alcotest.(check bool) "below threshold" false
+    (G.quarantined g ~link:0 ~now:0.0);
+  G.record_commit g ~link:0 ~now:0.0 G.Down_shift;
+  G.release g ~link:0;
+  Alcotest.(check bool) "at threshold" true (G.quarantined g ~link:0 ~now:0.0);
+  (* Quarantine only gates up-shifts. *)
+  Alcotest.(check bool) "up suppressed" true
+    (G.screen g ~link:0 ~now:0.0 G.Up_shift = G.Suppress G.Quarantined);
+  Alcotest.(check bool) "down passes" true
+    (G.screen g ~link:0 ~now:0.0 G.Down_shift = G.Allow);
+  Alcotest.(check bool) "dark passes" true
+    (G.screen g ~link:0 ~now:0.0 G.Dark = G.Allow);
+  Alcotest.(check bool) "recover bypasses quarantine" true
+    (G.screen g ~link:0 ~now:0.0 G.Recover = G.Allow);
+  (* Release when the penalty decays to the reuse threshold:
+     2 -> 0.5 takes exactly two half-lives. *)
+  Alcotest.(check bool) "still quarantined after one half-life" true
+    (G.quarantined g ~link:0 ~now:3600.0);
+  Alcotest.(check bool) "released at reuse threshold" false
+    (G.quarantined g ~link:0 ~now:7200.0);
+  Alcotest.(check bool) "up allowed again" true
+    (G.screen g ~link:0 ~now:7200.0 G.Up_shift = G.Allow);
+  let st = G.stats g in
+  Alcotest.(check int) "one quarantine entry" 1 st.G.quarantines;
+  Alcotest.(check int) "one suppression" 1 st.G.suppressed_upshifts
+
+let test_admission_budget () =
+  let g = fresh ~plan:(ok_plan "budget=1") () in
+  G.record_commit g ~link:0 ~now:0.0 G.Up_shift;
+  (* Token held until release: the sibling on the same fiber waits. *)
+  Alcotest.(check bool) "sibling deferred" true
+    (G.screen g ~link:1 ~now:0.0 G.Up_shift = G.Suppress G.Admission);
+  Alcotest.(check bool) "recover also needs a token" true
+    (G.screen g ~link:1 ~now:0.0 G.Recover = G.Suppress G.Admission);
+  Alcotest.(check bool) "down needs no token" true
+    (G.screen g ~link:1 ~now:0.0 G.Down_shift = G.Allow);
+  G.release g ~link:0;
+  G.release g ~link:0 (* idempotent *);
+  Alcotest.(check bool) "token returned" true
+    (G.screen g ~link:1 ~now:0.0 G.Up_shift = G.Allow);
+  let st = G.stats g in
+  Alcotest.(check int) "deferrals counted" 2 st.G.admission_deferred;
+  Alcotest.(check int) "deferrals also count as suppressions" 2
+    st.G.suppressed_upshifts
+
+let test_admission_groups_independent () =
+  (* Different fibers, different budgets: link 1 rides another group. *)
+  let g = fresh ~plan:(ok_plan "budget=1") ~group_of:(fun i -> i) () in
+  G.record_commit g ~link:0 ~now:0.0 G.Up_shift;
+  Alcotest.(check bool) "other group unaffected" true
+    (G.screen g ~link:1 ~now:0.0 G.Up_shift = G.Allow)
+
+(* --- stale-telemetry holddown --------------------------------------------- *)
+
+let test_holddown_ladder () =
+  let g = fresh () in
+  (* Defaults: freeze after 1 h, static fallback after 6 h. *)
+  Alcotest.(check bool) "fresh feeds" true
+    (G.note_telemetry g ~link:0 ~now:0.0 ~ok:true = G.Feed);
+  Alcotest.(check bool) "young gap holds last value" true
+    (G.note_telemetry g ~link:0 ~now:900.0 ~ok:false = G.Feed_stale);
+  Alcotest.(check bool) "no up-shift on stale data" true
+    (G.screen g ~link:0 ~now:900.0 G.Up_shift = G.Suppress G.Stale);
+  Alcotest.(check bool) "recover needs fresh data too" true
+    (G.screen g ~link:0 ~now:900.0 G.Recover = G.Suppress G.Stale);
+  Alcotest.(check bool) "down-shift still passes" true
+    (G.screen g ~link:0 ~now:900.0 G.Down_shift = G.Allow);
+  Alcotest.(check bool) "freeze horizon" true
+    (G.note_telemetry g ~link:0 ~now:3600.0 ~ok:false = G.Freeze);
+  Alcotest.(check bool) "fallback horizon" true
+    (G.note_telemetry g ~link:0 ~now:21600.0 ~ok:false = G.Force_static);
+  Alcotest.(check bool) "fallback fires once per episode" true
+    (G.note_telemetry g ~link:0 ~now:22500.0 ~ok:false = G.Freeze);
+  (* Recovery resets the whole ladder. *)
+  Alcotest.(check bool) "data back" true
+    (G.note_telemetry g ~link:0 ~now:23400.0 ~ok:true = G.Feed);
+  Alcotest.(check bool) "up-shifts re-enabled" true
+    (G.screen g ~link:0 ~now:23400.0 G.Up_shift = G.Allow);
+  let st = G.stats g in
+  Alcotest.(check int) "freezes counted" 2 st.G.stale_freezes;
+  Alcotest.(check int) "fallback counted" 1 st.G.static_fallbacks
+
+(* --- oscillation watchdog -------------------------------------------------- *)
+
+let test_watchdog_trips_global_hold () =
+  let g = fresh ~plan:(ok_plan "osc-cycles=1,osc-window=7200,hold=3600") () in
+  let commit now intent =
+    G.record_commit g ~link:0 ~now intent;
+    G.release g ~link:0
+  in
+  commit 0.0 G.Up_shift;
+  Alcotest.(check bool) "no hold yet" false (G.in_hold g ~now:0.0);
+  commit 900.0 G.Down_shift;
+  Alcotest.(check bool) "two commits are not a cycle" false
+    (G.in_hold g ~now:900.0);
+  commit 1800.0 G.Up_shift;
+  (* up/down/up inside the window: one cycle, and osc-cycles=1 trips. *)
+  Alcotest.(check bool) "hold tripped" true (G.in_hold g ~now:1800.0);
+  Alcotest.(check bool) "fleet-wide: other links held too" true
+    (G.screen g ~link:1 ~now:2700.0 G.Up_shift = G.Suppress G.Global_hold);
+  Alcotest.(check bool) "recovery bypasses the hold" true
+    (G.screen g ~link:1 ~now:2700.0 G.Recover = G.Allow);
+  Alcotest.(check bool) "down-shifts bypass the hold" true
+    (G.screen g ~link:1 ~now:2700.0 G.Down_shift = G.Allow);
+  Alcotest.(check bool) "hold expires" false (G.in_hold g ~now:5400.0);
+  Alcotest.(check bool) "up-shifts resume" true
+    (G.screen g ~link:1 ~now:5400.0 G.Up_shift = G.Allow);
+  Alcotest.(check int) "one trip" 1 (G.stats g).G.watchdog_trips
+
+let test_watchdog_ignores_slow_cycles () =
+  let g = fresh ~plan:(ok_plan "osc-cycles=1,osc-window=1000,hold=3600") () in
+  let commit now intent =
+    G.record_commit g ~link:0 ~now intent;
+    G.release g ~link:0
+  in
+  (* Same up/down/up shape, but spread wider than the window. *)
+  commit 0.0 G.Up_shift;
+  commit 900.0 G.Down_shift;
+  commit 1800.0 G.Up_shift;
+  Alcotest.(check bool) "slow cycle tolerated" false (G.in_hold g ~now:1800.0);
+  Alcotest.(check int) "no trip" 0 (G.stats g).G.watchdog_trips
+
+(* --- disarmed is free ------------------------------------------------------ *)
+
+let test_disarmed_is_free () =
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "not armed" false (G.armed g);
+      List.iter
+        (fun intent ->
+          Alcotest.(check bool) "allows everything" true
+            (G.screen g ~link:0 ~now:0.0 intent = G.Allow))
+        [ G.Up_shift; G.Down_shift; G.Dark; G.Recover ];
+      Alcotest.(check bool) "feeds even lost samples" true
+        (G.note_telemetry g ~link:0 ~now:1e9 ~ok:false = G.Feed);
+      G.record_commit g ~link:0 ~now:0.0 G.Up_shift;
+      G.release g ~link:0;
+      Alcotest.(check (float 1e-9)) "no penalty" 0.0
+        (G.penalty g ~link:0 ~now:0.0);
+      Alcotest.(check bool) "never quarantined" false
+        (G.quarantined g ~link:0 ~now:0.0);
+      Alcotest.(check bool) "never in hold" false (G.in_hold g ~now:0.0);
+      Alcotest.(check bool) "stats all zero" true
+        (G.stats g
+        = {
+            G.suppressed_upshifts = 0;
+            quarantines = 0;
+            admission_deferred = 0;
+            stale_freezes = 0;
+            static_fallbacks = 0;
+            watchdog_trips = 0;
+          }))
+    [ G.disarmed; G.create G.none ~n_links:5 ~group_of:(fun _ -> 0) ]
+
+(* --- properties: a real controller behind the screen ----------------------- *)
+
+(* The runner's protocol in miniature, one link: note telemetry, peek,
+   screen, then let [Adapt.step] commit only what the guard allowed.
+   Commits release their token immediately (the simulated change is
+   instantaneous here); the counts are what the properties reason
+   about. *)
+let drive ?faults ~plan trace =
+  let guard = G.create plan ~n_links:1 ~group_of:(fun _ -> 0) in
+  let ctl = Adapt.create ~initial_gbps:125 () in
+  let commits = ref 0 and stuck = ref 0 in
+  let sample_s = 900.0 in
+  Array.iteri
+    (fun k snr_db ->
+      let now = float_of_int k *. sample_s in
+      ignore (G.note_telemetry guard ~link:0 ~now ~ok:true);
+      let intent =
+        match Adapt.peek ctl ~snr_db with
+        | Adapt.No_change | Adapt.Stuck _ -> None
+        | Adapt.Step_up _ -> Some G.Up_shift
+        | Adapt.Step_down _ -> Some G.Down_shift
+        | Adapt.Go_dark _ -> Some G.Dark
+        | Adapt.Come_back _ -> Some G.Recover
+      in
+      let allowed =
+        match intent with
+        | None -> true
+        | Some intent -> G.screen guard ~link:0 ~now intent = G.Allow
+      in
+      if allowed then
+        let commit intent =
+          incr commits;
+          G.record_commit guard ~link:0 ~now intent;
+          G.release guard ~link:0
+        in
+        match Adapt.step ?faults ~now ctl ~snr_db with
+        | Adapt.No_change -> ()
+        | Adapt.Stuck _ -> incr stuck
+        | Adapt.Go_dark _ -> G.record_commit guard ~link:0 ~now G.Dark
+        | Adapt.Step_up _ -> commit G.Up_shift
+        | Adapt.Step_down _ -> commit G.Down_shift
+        | Adapt.Come_back _ -> commit G.Recover)
+    trace;
+  (!commits, !stuck, guard)
+
+(* Sinusoid straddling the 150 Gbps threshold (9.5 dB): amplitude
+   clears the up-shift margin long enough to qualify each crest and
+   dips below the threshold each trough, but never crosses the
+   125 Gbps threshold (8.0 dB), so an unguarded controller flaps
+   125 <-> 150 once per period. *)
+let sinusoid ~period ~amp ~phase ~n =
+  Array.init n (fun k ->
+      9.5
+      +. amp
+         *. sin ((2.0 *. Float.pi *. (float_of_int k +. phase))
+                 /. float_of_int period))
+
+let arb_sinusoid =
+  QCheck.make
+    ~print:(fun (p, a, ph) -> Printf.sprintf "period=%d amp=%.2f phase=%.2f" p a ph)
+    QCheck.Gen.(
+      let* period = int_range 16 24 in
+      let* amp = float_range 1.2 1.4 in
+      let* phase = float_range 0.0 (float_of_int period) in
+      return (period, amp, phase))
+
+(* Slow damping relative to the oscillation: the penalty from one
+   125<->150 round trip has not decayed by the next crest, so the
+   guard must quarantine the link and park it. *)
+let damping_plan = ok_plan "half-life=28800"
+
+let prop_damping_bounds_flapping =
+  QCheck.Test.make ~name:"guard: damping strictly reduces threshold flapping"
+    ~count:40 arb_sinusoid (fun (period, amp, phase) ->
+      let trace = sinusoid ~period ~amp ~phase ~n:(20 * period) in
+      let unguarded, _, _ = drive ~plan:G.none trace in
+      let guarded, _, g = drive ~plan:damping_plan trace in
+      let cfg =
+        match damping_plan with Some c -> c | None -> assert false
+      in
+      (* Conservative analytic ceiling from the damping knobs alone:
+         at most [burst] commits fit under the suppress threshold per
+         quarantine cycle, each quarantine lasts at least the decay
+         time from the suppress to the reuse threshold, and down-shifts
+         can at worst alternate 1:1 with up-shifts on a single
+         threshold (plus the initial one). *)
+      let horizon_s = float_of_int (Array.length trace) *. 900.0 in
+      let burst =
+        int_of_float
+          (ceil (cfg.G.suppress_threshold /. cfg.G.penalty_per_commit))
+      in
+      let release_span_s =
+        cfg.G.half_life_s
+        *. (Float.log (cfg.G.suppress_threshold /. cfg.G.reuse_threshold)
+           /. Float.log 2.0)
+      in
+      let windows = int_of_float (horizon_s /. release_span_s) + 2 in
+      let bound = (2 * burst * windows) + 2 in
+      let st = G.stats g in
+      (* The trace is chosen to actually flap: the comparison is only
+         meaningful (and required to be strict) when it does. *)
+      unguarded > 10
+      && guarded < unguarded
+      && guarded <= bound
+      && st.G.suppressed_upshifts > 0)
+
+let prop_stuck_accrues_no_penalty =
+  QCheck.Test.make ~name:"guard: Stuck transitions accrue no flap penalty"
+    ~count:30
+    QCheck.(pair arb_sinusoid small_nat)
+    (fun ((period, amp, phase), seed) ->
+      let trace = sinusoid ~period ~amp ~phase ~n:(10 * period) in
+      (* Every transition the controller attempts is suppressed in
+         flight: the device never moves, so the guard must see no
+         commits — no penalty, no quarantine, no watchdog history. *)
+      let faults =
+        Rwc_fault.compile
+          {
+            Rwc_fault.seed;
+            rules =
+              [
+                {
+                  Rwc_fault.component = Rwc_fault.Adapt_stuck;
+                  prob = 1.0;
+                  param = 0.0;
+                  window = None;
+                };
+              ];
+          }
+      in
+      let commits, stuck, g = drive ~faults ~plan:damping_plan trace in
+      let horizon = float_of_int (Array.length trace) *. 900.0 in
+      commits = 0 && stuck > 0
+      && G.penalty g ~link:0 ~now:horizon = 0.0
+      && (G.stats g).G.quarantines = 0)
+
+let suite =
+  [
+    Alcotest.test_case "plan parse" `Quick test_plan_parse;
+    Alcotest.test_case "plan round trip" `Quick test_plan_round_trip;
+    Alcotest.test_case "plan errors" `Quick test_plan_errors;
+    Alcotest.test_case "penalty decay" `Quick test_penalty_decay;
+    Alcotest.test_case "quarantine cycle" `Quick test_quarantine_cycle;
+    Alcotest.test_case "admission budget" `Quick test_admission_budget;
+    Alcotest.test_case "admission groups independent" `Quick
+      test_admission_groups_independent;
+    Alcotest.test_case "holddown ladder" `Quick test_holddown_ladder;
+    Alcotest.test_case "watchdog trips" `Quick test_watchdog_trips_global_hold;
+    Alcotest.test_case "watchdog ignores slow cycles" `Quick
+      test_watchdog_ignores_slow_cycles;
+    Alcotest.test_case "disarmed is free" `Quick test_disarmed_is_free;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_damping_bounds_flapping; prop_stuck_accrues_no_penalty ]

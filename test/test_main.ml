@@ -15,6 +15,7 @@ let () =
       ("parser", Test_parser.suite);
       ("core", Test_core.suite);
       ("fault", Test_fault.suite);
+      ("guard", Test_guard.suite);
       ("sim", Test_sim.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);

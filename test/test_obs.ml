@@ -244,6 +244,7 @@ let test_runner_metrics_match_report () =
       epsilon = 0.25;
       faults = Rwc_fault.none;
       retry = Rwc_sim.Orchestrator.default_retry_policy;
+      guard = Rwc_guard.none;
     }
   in
   let r =

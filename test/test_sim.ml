@@ -140,6 +140,7 @@ let fast_config =
     epsilon = 0.2;
     faults = Rwc_fault.none;
     retry = Orchestrator.default_retry_policy;
+    guard = Rwc_guard.none;
   }
 
 let reports = lazy (Runner.compare_policies ~config:fast_config ())
@@ -246,8 +247,35 @@ let test_golden_json_byte_identical () =
   List.iter
     (fun r ->
       Alcotest.(check bool) "no fault block without a plan" true
-        (r.Runner.fault_stats = None))
+        (r.Runner.fault_stats = None);
+      Alcotest.(check bool) "no guard block without a plan" true
+        (r.Runner.guard_stats = None))
     (Lazy.force golden_reports)
+
+(* The same byte-identity with the guard plan spelled out explicitly:
+   `--guard none` (the layer linked but disarmed) must reproduce the
+   pre-guard goldens exactly. *)
+let test_golden_guard_none_byte_identical () =
+  let plan =
+    match Rwc_guard.of_string "none" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let reports =
+    Runner.compare_policies
+      ~config:{ Runner.default_config with days = 2.0; seed = 7; guard = plan }
+      ()
+  in
+  List.iter2
+    (fun expected r ->
+      Alcotest.(check string) "pp_report byte-identical" expected
+        (Format.asprintf "%a" Runner.pp_report r))
+    golden_pp reports;
+  List.iter2
+    (fun expected r ->
+      Alcotest.(check string) "json_of_report byte-identical" expected
+        (Rwc_obs.Json.to_string (Runner.json_of_report r)))
+    golden_json reports
 
 (* --- determinism: observability and fault layer are invisible ------------- *)
 
@@ -283,6 +311,56 @@ let test_report_identical_with_faults_none () =
       policy
   in
   Alcotest.(check bool) "reports identical" true (a = b)
+
+let test_report_identical_with_guard_none () =
+  (* The disarmed guard must not perturb the simulation even when the
+     fault plan is armed: the collector channels are only queried for
+     an armed guard, so the RNG substreams line up exactly. *)
+  let policy = Runner.Adaptive Runner.Stock in
+  let faulty = { fast_config with faults = Rwc_fault.default } in
+  let a = Runner.run ~config:faulty policy in
+  let b =
+    Runner.run ~config:{ faulty with guard = Rwc_guard.none } policy
+  in
+  Alcotest.(check bool) "reports identical under faults" true (a = b)
+
+(* --- guard: the safety layer pays for itself under chaos ------------------- *)
+
+let test_guarded_chaos_no_worse () =
+  (* The acceptance configuration of the chaos sweep itself: default
+     runner config, 7 days, the default fault plan at twice its rates.
+     For both BVT procedures the guarded run must not deliver less
+     than the unguarded one — the safety layer is allowed to be
+     invisible, never a net cost, at paper-like SNR volatility. *)
+  let config =
+    {
+      Runner.default_config with
+      days = 7.0;
+      faults = Rwc_fault.scaled Rwc_fault.default ~factor:2.0;
+    }
+  in
+  List.iter
+    (fun procedure ->
+      let policy = Runner.Adaptive procedure in
+      let unguarded = Runner.run ~config policy in
+      let guarded =
+        Runner.run ~config:{ config with guard = Rwc_guard.default } policy
+      in
+      (match guarded.Runner.guard_stats with
+      | None -> Alcotest.fail "armed guard must produce guard stats"
+      | Some _ -> ());
+      Alcotest.(check bool) "unguarded run has no guard block" true
+        (unguarded.Runner.guard_stats = None);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: guarded %.2f >= unguarded %.2f Pbit"
+           (Runner.policy_name policy) guarded.Runner.delivered_pbit
+           unguarded.Runner.delivered_pbit)
+        true
+        (guarded.Runner.delivered_pbit >= unguarded.Runner.delivered_pbit);
+      Alcotest.(check bool) "guard does not hurt availability" true
+        (guarded.Runner.duct_availability
+        >= unguarded.Runner.duct_availability -. 0.001))
+    [ Runner.Stock; Runner.Efficient ]
 
 (* --- chaos: fault counters are consistent end to end ---------------------- *)
 
@@ -451,10 +529,16 @@ let suite =
     Alcotest.test_case "runner deterministic" `Slow test_runner_deterministic;
     Alcotest.test_case "golden pp faults-off" `Slow test_golden_pp_byte_identical;
     Alcotest.test_case "golden json faults-off" `Slow test_golden_json_byte_identical;
+    Alcotest.test_case "golden guard-none" `Slow
+      test_golden_guard_none_byte_identical;
     Alcotest.test_case "report identical with obs on" `Slow
       test_report_identical_with_obs_on;
     Alcotest.test_case "report identical with faults none" `Slow
       test_report_identical_with_faults_none;
+    Alcotest.test_case "report identical with guard none" `Slow
+      test_report_identical_with_guard_none;
+    Alcotest.test_case "guarded chaos no worse" `Slow
+      test_guarded_chaos_no_worse;
     Alcotest.test_case "chaos counters consistent" `Slow test_chaos_run_consistent;
     Alcotest.test_case "orchestrator outlives old horizon" `Quick
       test_orchestrator_outlives_old_horizon;
