@@ -36,4 +36,18 @@ echo "== guard smoke: rwc simulate --days 2 --faults default --guard default =="
 dune exec bin/rwc.exe -- simulate --days 2 --faults default --guard default \
   --metrics /dev/null
 
+echo "== journal smoke: rwc simulate --journal + rwc explain =="
+JOURNAL="$(mktemp)"
+dune exec bin/rwc.exe -- simulate --days 2 --faults default --guard default \
+  --journal "$JOURNAL" --slo default
+# The journal must open with a run header and explain must reconstruct
+# a non-empty per-link timeline from it.
+head -1 "$JOURNAL" | grep -q '"ev":"run"'
+EXPLAIN_OUT="$(mktemp)"
+dune exec bin/rwc.exe -- explain --journal "$JOURNAL" --link 0 --slo default \
+  > "$EXPLAIN_OUT"
+grep -q 'commit' "$EXPLAIN_OUT"
+grep -q 'SLO scorecard' "$EXPLAIN_OUT"
+rm -f "$JOURNAL" "$EXPLAIN_OUT"
+
 echo "== ci.sh: all green =="

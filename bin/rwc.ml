@@ -333,6 +333,63 @@ let guard_arg =
            osc-cycles, hold).  With $(b,none) the run is bit-identical to \
            one without the guard layer.")
 
+let slo_conv =
+  let parse s =
+    match Rwc_journal.Slo.of_string s with
+    | Ok plan -> Ok plan
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    (parse, fun fmt p -> Format.fprintf fmt "%s" (Rwc_journal.Slo.to_string p))
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:
+          "Record every adaptation decision with its full cause chain \
+           (observation, intent, guard verdict, fault outcome, committed \
+           capacity) as JSONL to $(docv), one segment per policy run; \
+           inspect it with $(b,rwc explain).  Without this flag the journal \
+           is disarmed and the run is byte-identical to one without the \
+           journal layer.")
+
+let slo_arg =
+  Arg.(
+    value
+    & opt slo_conv Rwc_journal.Slo.none
+    & info [ "slo" ] ~docv:"PLAN"
+        ~doc:
+          "Per-link SLO plan evaluated online over the journal event \
+           stream: $(b,none) (default), $(b,default), or comma-separated \
+           overrides like $(b,availability=99.9,class=150,at-class=90) \
+           (keys: availability, class, at-class, flaps-per-day, \
+           quarantine).  Verdicts are folded into the report, the manifest \
+           and the slo/* metrics.  Works with or without $(b,--journal).")
+
+(* The journal sink a run emits into: --journal opens the file (failing
+   now, not after the run), --slo arms the online tracker, neither
+   yields the disarmed sink. *)
+let journal_sink journal_path slo =
+  (match journal_path with
+  | Some p -> check_writable "--journal" p
+  | None -> ());
+  Rwc_journal.create ?path:journal_path ~slo ()
+
+(* Manifest config entries for the journal, present exactly when the
+   sink is armed so journal-off manifests stay byte-identical. *)
+let journal_manifest_fields jnl journal_path slo =
+  if not (Rwc_journal.armed jnl) then []
+  else
+    [
+      ( "journal",
+        match journal_path with
+        | Some p -> Obs.Json.String p
+        | None -> Obs.Json.Null );
+      ("slo", Obs.Json.String (Rwc_journal.Slo.to_string slo));
+    ]
+
 let backbone_of = function
   | None -> Rwc_topology.Backbone.north_america
   | Some path -> (
@@ -342,8 +399,10 @@ let backbone_of = function
           Printf.eprintf "%s: %s\n" path e;
           exit 2)
 
-let run_simulate () days policy seed faults guard backbone_file manifest_path =
+let run_simulate () days policy seed faults guard journal_path slo backbone_file
+    manifest_path =
   Option.iter (check_writable "--manifest") manifest_path;
+  let jnl = journal_sink journal_path slo in
   let config =
     {
       Rwc_sim.Runner.default_config with
@@ -351,6 +410,7 @@ let run_simulate () days policy seed faults guard backbone_file manifest_path =
       seed;
       faults;
       guard;
+      journal = jnl;
     }
   in
   let backbone = backbone_of backbone_file in
@@ -359,6 +419,7 @@ let run_simulate () days policy seed faults guard backbone_file manifest_path =
     | Some p -> [ Rwc_sim.Runner.run ~config ~backbone p ]
     | None -> Rwc_sim.Runner.compare_policies ~config ~backbone ()
   in
+  Rwc_journal.close jnl;
   List.iter (fun r -> Format.printf "%a@." Rwc_sim.Runner.pp_report r) reports;
   match manifest_path with
   | None -> ()
@@ -367,8 +428,8 @@ let run_simulate () days policy seed faults guard backbone_file manifest_path =
       let manifest =
         Obs.Manifest.make ~command:"simulate" ~seed
           ~config:
-            [
-              ("days", Float days);
+            ([
+               ("days", Float days);
               ( "te_interval_h",
                 Float config.Rwc_sim.Runner.te_interval_h );
               ("wavelengths", Int config.Rwc_sim.Runner.wavelengths);
@@ -381,6 +442,7 @@ let run_simulate () days policy seed faults guard backbone_file manifest_path =
               ("faults", String (Rwc_fault.to_string faults));
               ("guard", String (Rwc_guard.to_string guard));
             ]
+            @ journal_manifest_fields jnl journal_path slo)
           ~reports:
             (List.map
                (fun r ->
@@ -429,7 +491,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"WAN policy simulation (throughput/availability)")
     Term.(
       const run_simulate $ obs_term $ days_arg $ policy_arg $ sim_seed_arg
-      $ faults_arg $ guard_arg $ backbone_file_arg $ manifest_arg)
+      $ faults_arg $ guard_arg $ journal_arg $ slo_arg $ backbone_file_arg
+      $ manifest_arg)
 
 (* ---- chaos ------------------------------------------------------------- *)
 
@@ -438,10 +501,14 @@ let simulate_cmd =
    reliable.  Factor 0 is the fault-free baseline every other row is
    compared against. *)
 
-let run_chaos () days seed factors policy guard backbone_file manifest_path
-    json_path =
+let run_chaos () days seed factors policy guard journal_path slo backbone_file
+    manifest_path json_path =
   Option.iter (check_writable "--manifest") manifest_path;
   Option.iter (check_writable "--json") json_path;
+  (* One sink for the whole sweep: every (factor, guard, policy) run
+     appends its own Run_start-headed segment, so `rwc explain --run N`
+     can pick any of them out of the one file. *)
+  let jnl = journal_sink journal_path slo in
   let backbone = backbone_of backbone_file in
   let factors = List.sort_uniq compare factors in
   let factors = if List.mem 0.0 factors then factors else 0.0 :: factors in
@@ -468,6 +535,7 @@ let run_chaos () days seed factors policy guard backbone_file manifest_path
         seed;
         faults;
         guard = (if guarded then guard else Rwc_guard.none);
+        journal = jnl;
       }
     in
     match policy with
@@ -480,6 +548,7 @@ let run_chaos () days seed factors policy guard backbone_file manifest_path
         List.map (fun guarded -> (factor, guarded, run_at ~guarded factor)) variants)
       factors
   in
+  Rwc_journal.close jnl;
   let baseline =
     let _, _, reports =
       List.find (fun (f, guarded, _) -> f = 0.0 && not guarded) sweep
@@ -565,17 +634,19 @@ let run_chaos () days seed factors policy guard backbone_file manifest_path
       let manifest =
         Obs.Manifest.make ~command:"chaos" ~seed
           ~config:
-            [
-              ("days", Float days);
-              ("factors", List (List.map (fun f -> Float f) factors));
-              ( "policy",
-                match policy with
-                | Some p -> String (Rwc_sim.Runner.policy_name p)
-                | None -> Null );
-              ("guard", String (Rwc_guard.to_string guard));
-              ( "backbone",
-                String (Option.value backbone_file ~default:"north-america") );
-            ]
+            ([
+               ("days", Float days);
+               ("factors", List (List.map (fun f -> Float f) factors));
+               ( "policy",
+                 match policy with
+                 | Some p -> String (Rwc_sim.Runner.policy_name p)
+                 | None -> Null );
+               ("guard", String (Rwc_guard.to_string guard));
+               ( "backbone",
+                 String (Option.value backbone_file ~default:"north-america")
+               );
+             ]
+            @ journal_manifest_fields jnl journal_path slo)
           ~reports:
             (List.concat_map
                (fun (factor, guarded, reports) ->
@@ -619,8 +690,254 @@ let chaos_cmd =
        ~doc:"Sweep fault-injection rates and report throughput degradation")
     Term.(
       const run_chaos $ obs_term $ chaos_days_arg $ sim_seed_arg $ factors_arg
-      $ policy_arg $ guard_arg $ backbone_file_arg $ manifest_arg
-      $ chaos_json_arg)
+      $ policy_arg $ guard_arg $ journal_arg $ slo_arg $ backbone_file_arg
+      $ manifest_arg $ chaos_json_arg)
+
+(* ---- explain ----------------------------------------------------------- *)
+
+(* Render a decision journal: the causal timeline of one link, or a
+   fleet summary, plus an offline SLO scorecard.  This is the forensic
+   half of the paper made interactive — "why did link N end the run at
+   X Gbps?" answered from the recorded chain instead of aggregates. *)
+
+module J = Rwc_journal
+
+let pp_journal_record (r : J.record) =
+  let detail =
+    match r.kind with
+    | J.Run_start { policy; seed; horizon_s; n_links } ->
+        Printf.sprintf "run      policy=%s seed=%d horizon=%.0fs links=%d"
+          policy seed horizon_s n_links
+    | J.Observe { snr_db; fresh } ->
+        Printf.sprintf "observe  snr=%.2f dB%s" snr_db
+          (if fresh then "" else " (stale)")
+    | J.Intent { action; from_gbps; to_gbps } ->
+        Printf.sprintf "intent   %s %dG -> %dG" (J.action_name action)
+          from_gbps to_gbps
+    | J.Guard { verdict } -> Printf.sprintf "guard    %s" (J.verdict_name verdict)
+    | J.Fault { outcome; attempt } ->
+        Printf.sprintf "fault    %s (attempt %d)" (J.outcome_name outcome)
+          attempt
+    | J.Commit { gbps; up } ->
+        Printf.sprintf "commit   %dG %s" gbps (if up then "up" else "dark")
+    | J.Outage { up } ->
+        Printf.sprintf "outage   %s" (if up then "restored" else "down")
+    | J.Anomaly { detector; snr_db } ->
+        Printf.sprintf "anomaly  %s alarm, snr=%.2f dB" (J.detector_name detector)
+          snr_db
+  in
+  Printf.printf "  t=%12.1f  span=%-6d %s\n" r.t r.span detail
+
+let explain_scorecard cfg seg =
+  match J.Slo.of_records cfg seg with
+  | Error e ->
+      Printf.eprintf "rwc explain: %s\n" e;
+      exit 2
+  | Ok s ->
+      Printf.printf "\nSLO scorecard (plan %s, horizon %.0fs): %d met, %d violated\n"
+        (J.Slo.to_string (Some s.J.Slo.config))
+        s.J.Slo.horizon_s s.J.Slo.met s.J.Slo.violated;
+      Printf.printf "%-5s %12s %10s %10s %12s  %s\n" "link" "avail%" "at-class%"
+        "flaps/day" "quarantine%" "violations";
+      Array.iter
+        (fun (v : J.Slo.link_verdict) ->
+          Printf.printf "%-5d %12.3f %10.3f %10.2f %12.3f  %s\n" v.J.Slo.link
+            v.J.Slo.measure.J.Slo.availability_pct
+            v.J.Slo.measure.J.Slo.class_time_pct
+            v.J.Slo.measure.J.Slo.flaps_per_day
+            v.J.Slo.measure.J.Slo.quarantine_pct
+            (match v.J.Slo.violations with
+            | [] -> "ok"
+            | vs -> String.concat "; " vs))
+        s.J.Slo.links
+
+(* The chain in effect at time [at]: link timelines split into decision
+   chains at Observe boundaries (anomaly/outage/commit events belong to
+   the chain of the preceding observation). *)
+let chain_at events at =
+  let starts_chain (r : J.record) =
+    match r.kind with J.Observe _ -> true | _ -> false
+  in
+  let rec split cur acc = function
+    | [] -> List.rev (List.rev cur :: acc)
+    | r :: rest ->
+        if starts_chain r && cur <> [] then split [ r ] (List.rev cur :: acc) rest
+        else split (r :: cur) acc rest
+  in
+  let chains = split [] [] events in
+  let chain_start = function [] -> 0.0 | (r : J.record) :: _ -> r.J.t in
+  let rec pick best = function
+    | [] -> best
+    | c :: rest -> if chain_start c <= at then pick c rest else best
+  in
+  match chains with [] -> [] | first :: rest -> pick first rest
+
+let run_explain () journal_file run_idx link at slo =
+  match J.read_file journal_file with
+  | Error e ->
+      Printf.eprintf "rwc explain: %s: %s\n" journal_file e;
+      exit 2
+  | Ok [] ->
+      Printf.eprintf "rwc explain: %s: empty journal\n" journal_file;
+      exit 2
+  | Ok records -> (
+      let segs = J.segments records in
+      let nseg = List.length segs in
+      let idx =
+        match run_idx with
+        | None -> nseg  (* default: the last run in the file *)
+        | Some i when i >= 1 && i <= nseg -> i
+        | Some i ->
+            Printf.eprintf "rwc explain: --run %d out of range (1..%d)\n" i nseg;
+            exit 2
+      in
+      let seg = List.nth segs (idx - 1) in
+      (match
+         List.find_map
+           (function
+             | {
+                 J.kind = J.Run_start { policy; seed; horizon_s; n_links };
+                 _;
+               } ->
+                 Some (policy, seed, horizon_s, n_links)
+             | _ -> None)
+           seg
+       with
+      | Some (policy, seed, horizon_s, n_links) ->
+          Printf.printf
+            "run %d/%d: policy=%s seed=%d horizon=%.0fs links=%d (%d events)\n"
+            idx nseg policy seed horizon_s n_links
+            (List.length seg - 1)
+      | None ->
+          Printf.printf "run %d/%d: headerless segment (%d events)\n" idx nseg
+            (List.length seg));
+      (match link with
+      | Some id -> (
+          let events = List.filter (fun (r : J.record) -> r.J.link = id) seg in
+          if events = [] then begin
+            Printf.eprintf "rwc explain: no events for link %d in run %d\n" id
+              idx;
+            exit 1
+          end;
+          match at with
+          | None ->
+              Printf.printf "link %d timeline:\n" id;
+              List.iter pp_journal_record events
+          | Some t ->
+              let chain = chain_at events t in
+              Printf.printf "link %d, decision chain in effect at t=%.1f:\n" id
+                t;
+              List.iter pp_journal_record chain;
+              let state =
+                List.fold_left
+                  (fun acc (r : J.record) ->
+                    if r.J.t <= t then
+                      match r.J.kind with
+                      | J.Commit { gbps; up } -> Some (gbps, up)
+                      | J.Outage { up } -> (
+                          match acc with
+                          | Some (g, _) -> Some (g, up)
+                          | None -> acc)
+                      | _ -> acc
+                    else acc)
+                  None events
+              in
+              (match state with
+              | Some (gbps, up) ->
+                  Printf.printf "state at t=%.1f: %dG %s\n" t gbps
+                    (if up then "up" else "dark")
+              | None -> Printf.printf "state at t=%.1f: no commit yet\n" t))
+      | None ->
+          (* Fleet view: one row per link that has events. *)
+          let tbl = Hashtbl.create 64 in
+          List.iter
+            (fun (r : J.record) ->
+              if r.J.link >= 0 then begin
+                let ev, anom, supp, faults, commit =
+                  Option.value
+                    (Hashtbl.find_opt tbl r.J.link)
+                    ~default:(0, 0, 0, 0, None)
+                in
+                let anom, supp, faults, commit =
+                  match r.J.kind with
+                  | J.Anomaly _ -> (anom + 1, supp, faults, commit)
+                  | J.Guard { verdict } -> (
+                      match verdict with
+                      | J.Damped | J.Deferred | J.Stale_data | J.Held ->
+                          (anom, supp + 1, faults, commit)
+                      | _ -> (anom, supp, faults, commit))
+                  | J.Fault { outcome; _ } -> (
+                      match outcome with
+                      | J.Committed -> (anom, supp, faults, commit)
+                      | _ -> (anom, supp, faults + 1, commit))
+                  | J.Commit { gbps; up } ->
+                      (anom, supp, faults, Some (gbps, up))
+                  | _ -> (anom, supp, faults, commit)
+                in
+                Hashtbl.replace tbl r.J.link (ev + 1, anom, supp, faults, commit)
+              end)
+            seg;
+          let rows =
+            List.sort compare
+              (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+          in
+          Printf.printf "%-5s %7s %7s %10s %7s  %s\n" "link" "events"
+            "alarms" "suppressed" "faults" "final";
+          List.iter
+            (fun (id, (ev, anom, supp, faults, commit)) ->
+              Printf.printf "%-5d %7d %7d %10d %7d  %s\n" id ev anom supp
+                faults
+                (match commit with
+                | Some (gbps, up) ->
+                    Printf.sprintf "%dG %s" gbps (if up then "up" else "dark")
+                | None -> "-"))
+            rows);
+      match slo with
+      | None -> ()
+      | Some cfg -> explain_scorecard cfg seg)
+
+let explain_journal_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:"Journal (JSONL) produced by $(b,simulate --journal) or \
+              $(b,chaos --journal).")
+
+let explain_run_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "run" ] ~docv:"N"
+        ~doc:
+          "Pick the $(docv)-th run segment of the file (1-based; default: \
+           the last one).")
+
+let explain_link_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "link" ] ~docv:"ID"
+        ~doc:
+          "Show the causal timeline of this link (duct index).  Without it, \
+           a fleet-wide summary table is printed.")
+
+let explain_at_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "at" ] ~docv:"T"
+        ~doc:
+          "With $(b,--link): show only the decision chain in effect at \
+           simulation time $(docv) (seconds), plus the link state then.")
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Reconstruct why links changed capacity from a decision journal")
+    Term.(
+      const run_explain $ obs_term $ explain_journal_arg $ explain_run_arg
+      $ explain_link_arg $ explain_at_arg $ slo_arg)
 
 (* ---- bvt -------------------------------------------------------------- *)
 
@@ -861,6 +1178,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            figures_cmd; analyze_cmd; simulate_cmd; chaos_cmd; bvt_cmd;
-            constellation_cmd; export_cmd; detect_cmd; topology_cmd;
+            figures_cmd; analyze_cmd; simulate_cmd; chaos_cmd; explain_cmd;
+            bvt_cmd; constellation_cmd; export_cmd; detect_cmd; topology_cmd;
           ]))

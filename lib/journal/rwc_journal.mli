@@ -1,0 +1,218 @@
+(** Decision-provenance event journal.
+
+    The paper's argument is forensic: it reconstructs, from 2.5 years
+    of SNR polls and 7 months of tickets, {e why} links failed and
+    which failures could have been capacity flaps instead (Sections
+    2-3).  The reproduction now has three decision layers — the
+    {!Rwc_core.Adapt} controller, the {!Rwc_guard} safety screen and
+    the {!Rwc_fault} execution hazards — whose interplay was only
+    visible as aggregate counters.  This module records every
+    adaptation decision with its full cause chain as one JSONL line
+    per event:
+
+    {v
+    observation -> intent -> guard verdict -> fault outcome -> commit
+    v}
+
+    plus anomaly-detector firings ({!Rwc_telemetry.Detect}) and
+    medium outages, each stamped with the simulation time, the link
+    index and the id of the enclosing {!Rwc_obs.Trace} span, so
+    journal lines correlate 1:1 with the Chrome trace of the same run
+    ([args.id] in the trace_event output).
+
+    Like {!Rwc_obs.Metrics}, a {b disarmed journal is free}: every
+    emit function first checks one immutable flag and is a no-op when
+    the sink is {!disarmed}, so the simulator's hot path stays
+    instrumented permanently, and a run without [--journal] is
+    byte-identical to a build without this layer.
+
+    On top of the journal sits a per-link {b SLO engine} ({!Slo}):
+    declarative targets (availability, time at or above a capacity
+    class, flap rate, time in guard quarantine) parsed with the same
+    [KEY=VALUE,...] grammar as [--faults]/[--guard], evaluated online
+    while the run emits (the sink folds every event into a tracker)
+    or offline from a journal file ({!Slo.of_records}) — both paths
+    share the folding code, so they agree exactly. *)
+
+(** {1 Event vocabulary} *)
+
+type action =
+  | Step_up
+  | Step_down
+  | Go_dark
+  | Come_back
+  | Force_static
+      (** Guard fallback horizon crossed: revert to the 100 G baseline. *)
+
+type verdict =
+  | Admitted  (** The guard let the intent through (or was disarmed). *)
+  | Damped  (** Flap penalty above the suppress threshold. *)
+  | Deferred  (** Shared-risk admission budget exhausted. *)
+  | Stale_data  (** Up-shift refused on non-fresh telemetry. *)
+  | Held  (** Fleet-wide oscillation hold in effect. *)
+  | Frozen  (** Telemetry past the freeze horizon: capacity frozen. *)
+  | Quarantined  (** State transition: the link entered quarantine. *)
+  | Released  (** State transition: the link left quarantine. *)
+
+type outcome =
+  | Committed  (** The BVT reconfiguration took. *)
+  | Stuck  (** Transition command lost; device keeps its rate. *)
+  | Failed  (** Attempt failed at commit. *)
+  | Timed_out  (** Attempt timed out, stalling first. *)
+  | Retried  (** Backoff armed; another attempt follows. *)
+  | Fell_back  (** Retries exhausted; reverting to the old rate. *)
+
+type detector = Ewma | Cusum
+
+val action_name : action -> string
+val verdict_name : verdict -> string
+val outcome_name : outcome -> string
+val detector_name : detector -> string
+
+type kind =
+  | Run_start of {
+      policy : string;
+      seed : int;
+      horizon_s : float;
+      n_links : int;
+    }  (** Segment header; one per policy run sharing the sink. *)
+  | Observe of { snr_db : float; fresh : bool }
+  | Intent of { action : action; from_gbps : int; to_gbps : int }
+  | Guard of { verdict : verdict }
+  | Fault of { outcome : outcome; attempt : int }
+  | Commit of { gbps : int; up : bool }
+      (** Committed per-wavelength denomination; [up = false] is dark. *)
+  | Outage of { up : bool }
+      (** Medium up/down transition on a static (non-adaptive) link. *)
+  | Anomaly of { detector : detector; snr_db : float }
+
+type record = {
+  t : float;  (** Simulation seconds. *)
+  link : int;  (** Duct index; -1 for run headers. *)
+  span : int;  (** Enclosing {!Rwc_obs.Trace} span id; 0 when none. *)
+  kind : kind;
+}
+
+val record_to_json : record -> Rwc_obs.Json.t
+val record_of_json : Rwc_obs.Json.t -> (record, string) result
+(** Inverse of {!record_to_json}. *)
+
+val read_file : string -> (record list, string) result
+(** Parse a JSONL journal, in file order.  Blank lines are skipped;
+    the first malformed line is an error carrying its line number. *)
+
+val segments : record list -> record list list
+(** Split a journal into per-run segments at {!Run_start} headers.
+    Records before the first header (a headerless file) form their own
+    leading segment; each other segment starts with its header. *)
+
+(** {1 SLO engine} *)
+
+module Slo : sig
+  type config = {
+    min_availability_pct : float;  (** Min % of time the link is up. *)
+    class_gbps : int;
+        (** Per-wavelength capacity class the next target refers to. *)
+    min_class_time_pct : float;
+        (** Min % of time at or above [class_gbps]. *)
+    max_flaps_per_day : float;  (** Max committed capacity reductions. *)
+    max_quarantine_pct : float;
+        (** Max % of time in guard quarantine. *)
+  }
+
+  val default_config : config
+  (** Availability 99%, class 100 G held 95% of the time, 2 flaps per
+      day, 5% of time quarantined. *)
+
+  type plan = config option
+
+  val none : plan
+  val default : plan
+  val is_none : plan -> bool
+
+  val of_string : string -> (plan, string) result
+  (** Same grammar family as [--faults]/[--guard]: ["none"],
+      ["default"], or comma-separated [KEY=VALUE] overrides of the
+      default.  Keys: [availability], [class], [at-class],
+      [flaps-per-day], [quarantine].
+      Example: ["availability=99.9,class=150,at-class=90"]. *)
+
+  val to_string : plan -> string
+  (** Round-trips through {!of_string}; prints only the knobs that
+      differ from the default. *)
+
+  type measure = {
+    availability_pct : float;
+    class_time_pct : float;
+    flaps_per_day : float;
+    quarantine_pct : float;
+  }
+
+  type link_verdict = {
+    link : int;
+    measure : measure;
+    violations : string list;  (** Empty = SLO met. *)
+  }
+
+  type summary = {
+    config : config;
+    horizon_s : float;
+    links : link_verdict array;
+    met : int;
+    violated : int;
+  }
+
+  val of_records : config -> record list -> (summary, string) result
+  (** Offline evaluation of one journal segment.  The segment's
+      {!Run_start} header supplies horizon and link count; an error if
+      the segment has no header. *)
+
+  val summary_to_json : summary -> Rwc_obs.Json.t
+end
+
+(** {1 Sinks} *)
+
+type t
+(** An append-only journal sink, shared by consecutive runs. *)
+
+val disarmed : t
+(** Emits nothing, holds no state, never touches the filesystem. *)
+
+val create : ?path:string -> ?slo:Slo.plan -> unit -> t
+(** Armed sink.  With [path], every event is appended to the file as
+    one compact JSON line (truncating an existing file).  With an
+    armed [slo] plan, the sink also folds events into a per-run SLO
+    tracker ({!finish_run}).  [create] with neither is {!disarmed}.
+    Raises [Sys_error] when the file cannot be opened. *)
+
+val armed : t -> bool
+
+val close : t -> unit
+(** Flush and close the underlying file; idempotent, no-op for
+    {!disarmed} and path-less sinks. *)
+
+val events_emitted : t -> int
+(** Events emitted since [create]; 0 for {!disarmed}. *)
+
+(** {1 Run segmentation} *)
+
+val start_run :
+  t -> policy:string -> seed:int -> horizon_s:float -> n_links:int -> unit
+(** Begin a segment: emits a {!Run_start} header and resets the SLO
+    tracker for [n_links] links. *)
+
+val finish_run : t -> Slo.summary option
+(** Close the current segment's SLO tracker, charging every link's
+    open interval up to the segment horizon.  [None] unless the sink
+    was created with an armed SLO plan and {!start_run} was called. *)
+
+(** {1 Emission (free when disarmed)} *)
+
+val observe : t -> link:int -> now:float -> snr_db:float -> fresh:bool -> unit
+val intent :
+  t -> link:int -> now:float -> action -> from_gbps:int -> to_gbps:int -> unit
+val guard : t -> link:int -> now:float -> verdict -> unit
+val fault : t -> link:int -> now:float -> outcome -> attempt:int -> unit
+val commit : t -> link:int -> now:float -> gbps:int -> up:bool -> unit
+val outage : t -> link:int -> now:float -> up:bool -> unit
+val anomaly : t -> link:int -> now:float -> detector -> snr_db:float -> unit

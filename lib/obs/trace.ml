@@ -1,4 +1,5 @@
 type span = {
+  id : int;
   name : string;
   path : string;
   depth : int;
@@ -10,13 +11,19 @@ let on = ref false
 let t0 = ref 0.0
 let completed : span list ref = ref []
 
-(* Open spans, innermost first: (name, path, start time). *)
-let stack : (string * string * float) list ref = ref []
+(* Next span id; ids start at 1 so 0 can mean "no span" for
+   correlation consumers (Rwc_journal records the enclosing span id
+   with every event). *)
+let next_id = ref 1
+
+(* Open spans, innermost first: (id, name, path, start time). *)
+let stack : (int * string * string * float) list ref = ref []
 
 let enable () =
   on := true;
   t0 := Unix.gettimeofday ();
   completed := [];
+  next_id := 1;
   stack := []
 
 let disable () = on := false
@@ -24,25 +31,33 @@ let enabled () = !on
 
 let reset () =
   completed := [];
+  next_id := 1;
   stack := []
 
 let depth () = List.length !stack
+
+let current_id () =
+  match !stack with [] -> 0 | (id, _, _, _) :: _ -> id
 
 let with_span name f =
   if not !on then f ()
   else begin
     let path =
-      match !stack with [] -> name | (_, parent, _) :: _ -> parent ^ ";" ^ name
+      match !stack with
+      | [] -> name
+      | (_, _, parent, _) :: _ -> parent ^ ";" ^ name
     in
+    let id = !next_id in
+    incr next_id;
     let start = Unix.gettimeofday () in
-    stack := (name, path, start) :: !stack;
+    stack := (id, name, path, start) :: !stack;
     let d = List.length !stack in
     Fun.protect
       ~finally:(fun () ->
         let stop = Unix.gettimeofday () in
         (match !stack with _ :: rest -> stack := rest | [] -> ());
         completed :=
-          { name; path; depth = d; ts = start -. !t0; dur = stop -. start }
+          { id; name; path; depth = d; ts = start -. !t0; dur = stop -. start }
           :: !completed)
       f
   end
@@ -60,6 +75,7 @@ let to_json () =
         ("dur", Json.Float (s.dur *. 1e6));
         ("pid", Json.Int 1);
         ("tid", Json.Int 1);
+        ("args", Json.Assoc [ ("id", Json.Int s.id) ]);
       ]
   in
   let by_start = List.sort (fun a b -> Float.compare a.ts b.ts) (spans ()) in

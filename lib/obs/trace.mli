@@ -28,7 +28,15 @@ val with_span : string -> (unit -> 'a) -> 'a
 val depth : unit -> int
 (** Number of currently open spans (0 when balanced). *)
 
+val current_id : unit -> int
+(** Id of the innermost open span; 0 when no span is open or tracing
+    is disabled.  Ids are assigned at span open, starting from 1 at
+    {!enable}/{!reset}, and are exported in the Chrome trace as
+    [args.id] — this is what lets an {!Rwc_journal} line name the
+    exact trace span it was emitted under. *)
+
 type span = {
+  id : int;  (** Unique per {!enable}/{!reset} epoch, from 1. *)
   name : string;
   path : string;  (** [";"]-joined ancestry, flamegraph style. *)
   depth : int;  (** 1 for a root span. *)

@@ -46,9 +46,19 @@ let m_retries = Rwc_obs.Metrics.counter "orchestrator/retries"
 let m_fallbacks = Rwc_obs.Metrics.counter "orchestrator/fallbacks"
 let m_guard_skipped = Rwc_obs.Metrics.counter "orchestrator/guard_skipped"
 
+(* The orchestrator plans in capacity deltas (Translate.decision
+   carries [extra_gbps], not a target denomination), so its journal
+   intents read "from 0 up by extra". *)
+let journal_verdict_of = function
+  | Rwc_guard.Allow -> Rwc_journal.Admitted
+  | Rwc_guard.Suppress Rwc_guard.Quarantined -> Rwc_journal.Damped
+  | Rwc_guard.Suppress Rwc_guard.Admission -> Rwc_journal.Deferred
+  | Rwc_guard.Suppress Rwc_guard.Stale -> Rwc_journal.Stale_data
+  | Rwc_guard.Suppress Rwc_guard.Global_hold -> Rwc_journal.Held
+
 let execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ?(drain_s = 30.0)
     ?(faults = Rwc_fault.disarmed) ?(retry = default_retry_policy)
-    ?(guard = Rwc_guard.disarmed) () =
+    ?(guard = Rwc_guard.disarmed) ?(journal = Rwc_journal.disarmed) () =
   assert (downtime_mean_s >= 0.0 && drain_s >= 0.0);
   if retry.max_attempts < 1 then
     invalid_arg "Orchestrator.execute: retry.max_attempts < 1";
@@ -71,23 +81,34 @@ let execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ?(drain_s = 30.0)
     | [] -> finished_at := Des.now engine
     | d :: rest -> (
         let edge = d.Rwc_core.Translate.phys_edge in
+        let now = Des.now engine in
+        let extra_gbps =
+          int_of_float (Float.round d.Rwc_core.Translate.extra_gbps)
+        in
+        Rwc_journal.intent journal ~link:edge ~now Rwc_journal.Step_up
+          ~from_gbps:0 ~to_gbps:extra_gbps;
         (* Every planned upgrade is an up-shift; the guard may refuse
            it (quarantined link, exhausted shared-risk budget, stale
            data, global hold).  A refused link is skipped, not queued:
            the next planning round re-decides on fresh state. *)
-        match Rwc_guard.screen guard ~link:edge ~now:(Des.now engine) Rwc_guard.Up_shift with
+        let verdict =
+          Rwc_guard.screen guard ~link:edge ~now Rwc_guard.Up_shift
+        in
+        Rwc_journal.guard journal ~link:edge ~now (journal_verdict_of verdict);
+        match verdict with
         | Rwc_guard.Suppress _ ->
             incr guard_skipped;
             Rwc_obs.Metrics.incr m_guard_skipped;
-            record (Des.now engine) edge Skipped_by_guard;
+            record now edge Skipped_by_guard;
             start_link rest engine
         | Rwc_guard.Allow ->
-            record (Des.now engine) edge Drain_started;
+            record now edge Drain_started;
             (* Phase durations are simulated seconds, not wall time, but
                the log-scale histogram covers both uses. *)
             Rwc_obs.Metrics.observe m_drain_s drain_s;
-            Des.schedule_in engine ~after:drain_s (attempt edge rest 1))
-  and attempt edge rest k engine =
+            Des.schedule_in engine ~after:drain_s
+              (attempt edge extra_gbps rest 1))
+  and attempt edge extra_gbps rest k engine =
     record (Des.now engine) edge Reconfigure_started;
     incr reconfigurations;
     let downtime =
@@ -112,6 +133,9 @@ let execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ?(drain_s = 30.0)
              bookkeeping's sake). *)
           Rwc_guard.record_commit guard ~link:edge ~now Rwc_guard.Up_shift;
           Rwc_guard.release guard ~link:edge;
+          Rwc_journal.fault journal ~link:edge ~now Rwc_journal.Committed
+            ~attempt:k;
+          Rwc_journal.commit journal ~link:edge ~now ~gbps:extra_gbps ~up:true;
           record now edge Restored;
           start_link rest engine
         end
@@ -128,13 +152,19 @@ let execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ?(drain_s = 30.0)
           Des.schedule_in engine ~after:stall (fun engine ->
               let now = Des.now engine in
               record now edge Reconfigure_failed;
+              Rwc_journal.fault journal ~link:edge ~now
+                (if timed_out then Rwc_journal.Timed_out
+                 else Rwc_journal.Failed)
+                ~attempt:k;
               if k < retry.max_attempts then begin
                 incr retries;
                 Rwc_obs.Metrics.incr m_retries;
                 record now edge Retry_scheduled;
+                Rwc_journal.fault journal ~link:edge ~now Rwc_journal.Retried
+                  ~attempt:k;
                 Des.schedule_in engine
                   ~after:(backoff_delay retry ~attempt:k)
-                  (attempt edge rest (k + 1))
+                  (attempt edge extra_gbps rest (k + 1))
               end
               else begin
                 (* Retries exhausted: abandon the upgrade.  The BVT
@@ -144,6 +174,9 @@ let execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ?(drain_s = 30.0)
                 incr fallbacks;
                 Rwc_obs.Metrics.incr m_fallbacks;
                 record now edge Fallback_started;
+                Rwc_journal.fault journal ~link:edge ~now Rwc_journal.Fell_back
+                  ~attempt:k;
+                Rwc_journal.commit journal ~link:edge ~now ~gbps:0 ~up:true;
                 record now edge Restored;
                 start_link rest engine
               end)

@@ -85,6 +85,7 @@ val execute :
   ?faults:Rwc_fault.injector ->
   ?retry:retry_policy ->
   ?guard:Rwc_guard.t ->
+  ?journal:Rwc_journal.t ->
   unit ->
   outcome
 (** [execute ~rng ~upgrades ~residual_flow ~downtime_mean_s ()] runs
@@ -102,4 +103,11 @@ val execute :
     a refused up-shift is logged as [Skipped_by_guard] and the link is
     left untouched.  Without an armed [faults] injector (and with the
     default disarmed [guard]) the outcome is bit-identical to the
-    historic always-succeeds behavior. *)
+    historic always-succeeds behavior.
+
+    An armed [journal] records each link's chain — intent, guard
+    verdict, per-attempt fault outcome, commit — keyed by physical
+    edge id.  The orchestrator plans in capacity deltas, so intents
+    and commits carry the upgrade's [extra_gbps] rather than a target
+    denomination; a fallback commits 0 extra.  The default is
+    {!Rwc_journal.disarmed}, which emits nothing. *)

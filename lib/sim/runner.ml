@@ -2,6 +2,7 @@ module Backbone = Rwc_topology.Backbone
 module Modulation = Rwc_optical.Modulation
 module Adapt = Rwc_core.Adapt
 module Snr_model = Rwc_telemetry.Snr_model
+module Detect = Rwc_telemetry.Detect
 
 type procedure = Stock | Efficient
 
@@ -24,6 +25,7 @@ type config = {
   faults : Rwc_fault.plan;
   retry : Orchestrator.retry_policy;
   guard : Rwc_guard.plan;
+  journal : Rwc_journal.t;
 }
 
 let default_config =
@@ -38,6 +40,7 @@ let default_config =
     faults = Rwc_fault.none;
     retry = Orchestrator.default_retry_policy;
     guard = Rwc_guard.none;
+    journal = Rwc_journal.disarmed;
   }
 
 type fault_stats = {
@@ -62,6 +65,7 @@ type report = {
   reconfig_downtime_s : float;
   fault_stats : fault_stats option;
   guard_stats : Rwc_guard.stats option;
+  slo : Rwc_journal.Slo.summary option;
 }
 
 (* Per-duct bookkeeping private to a run. *)
@@ -92,6 +96,8 @@ let m_disrupted = Metrics.fcounter "orchestrator/disrupted_gbit"
 let m_retries = Metrics.counter "orchestrator/retries"
 let m_fallbacks = Metrics.counter "orchestrator/fallbacks"
 let m_te_delayed = Metrics.counter "te/recomputes_delayed"
+let m_slo_met = Metrics.counter "slo/links_met"
+let m_slo_violated = Metrics.counter "slo/links_violated"
 
 let downtime_mean_s = function
   | Stock ->
@@ -108,6 +114,24 @@ let intent_of = function
   | Adapt.Step_down _ -> Some Rwc_guard.Down_shift
   | Adapt.Go_dark _ -> Some Rwc_guard.Dark
   | Adapt.Come_back _ -> Some Rwc_guard.Recover
+
+(* The same decision in the journal's vocabulary, with the capacity
+   move spelled out; [None] for the cases that start no chain. *)
+let journal_intent_of = function
+  | Adapt.No_change | Adapt.Stuck _ -> None
+  | Adapt.Step_up { from_gbps; to_gbps } ->
+      Some (Rwc_journal.Step_up, from_gbps, to_gbps)
+  | Adapt.Step_down { from_gbps; to_gbps } ->
+      Some (Rwc_journal.Step_down, from_gbps, to_gbps)
+  | Adapt.Go_dark { from_gbps } -> Some (Rwc_journal.Go_dark, from_gbps, 0)
+  | Adapt.Come_back { to_gbps } -> Some (Rwc_journal.Come_back, 0, to_gbps)
+
+let journal_verdict_of = function
+  | Rwc_guard.Allow -> Rwc_journal.Admitted
+  | Rwc_guard.Suppress Rwc_guard.Quarantined -> Rwc_journal.Damped
+  | Rwc_guard.Suppress Rwc_guard.Admission -> Rwc_journal.Deferred
+  | Rwc_guard.Suppress Rwc_guard.Stale -> Rwc_journal.Stale_data
+  | Rwc_guard.Suppress Rwc_guard.Global_hold -> Rwc_journal.Held
 
 let run_policy ~config ~backbone policy =
   assert (config.days > 0.0 && config.te_interval_h > 0.0);
@@ -142,6 +166,40 @@ let run_policy ~config ~backbone policy =
     Rwc_guard.armed guard
     && (match policy with Adaptive _ -> true | Static_100 | Static_max -> false)
   in
+  (* The decision journal.  Disarmed (the default) every emit below is
+     a flag check and nothing else, and the run is byte-identical to a
+     build without the journal layer. *)
+  let jnl = config.journal in
+  let jarmed = Rwc_journal.armed jnl in
+  (* Online anomaly detection rides the journal: one EWMA and one
+     CUSUM detector per duct, tuned to the duct's own baseline and
+     stationary wander, firing first-class [Anomaly] events.  Only
+     instantiated for an armed journal, so the disarmed path allocates
+     nothing. *)
+  let detectors =
+    if not jarmed then None
+    else
+      Some
+        (Array.map
+           (fun (d : Netstate.duct_state) ->
+             let baseline_db = d.Netstate.snr_params.Snr_model.baseline_db in
+             let sigma_db =
+               Rwc_stats.Timeseries.ar1_stationary_sigma
+                 d.Netstate.snr_params.Snr_model.wander
+             in
+             ( Detect.Ewma.create ~baseline_db ~sigma_db (),
+               Detect.Cusum.create ~baseline_db ~sigma_db () ))
+           net.Netstate.ducts)
+  in
+  (* Edge-triggered journal events need last-seen state: freeze and
+     quarantine are episodes, recorded once at entry (and, for
+     quarantine, once at release). *)
+  let n_ducts = Array.length net.Netstate.ducts in
+  let freeze_seen = Array.make n_ducts false in
+  let quar_seen = Array.make n_ducts false in
+  (* EWMA alarms persist while the level shift lasts; journal the
+     onset, not every alarming sample (CUSUM already self-resets). *)
+  let ewma_alarming = Array.make n_ducts false in
   let years = config.days /. 365.25 in
   let trace_root = Rwc_stats.Rng.create (config.seed + 1) in
   let reconfig_rng = Rwc_stats.Rng.create (config.seed + 2) in
@@ -169,6 +227,16 @@ let run_policy ~config ~backbone policy =
         { state = d; trace; controller; reconfiguring = false })
       net.Netstate.ducts
   in
+  Rwc_journal.start_run jnl ~policy:(policy_name policy) ~seed:config.seed
+    ~horizon_s:(config.days *. 86_400.0) ~n_links:n_ducts;
+  (* Opening commits: every link's timeline starts from its day-one
+     denomination, so a per-link `rwc explain` view is never empty. *)
+  if jarmed then
+    Array.iter
+      (fun dr ->
+        Rwc_journal.commit jnl ~link:dr.state.Netstate.duct_index ~now:0.0
+          ~gbps:dr.state.Netstate.per_lambda_gbps ~up:dr.state.Netstate.up)
+      ducts;
   (* Offered traffic: gravity matrix scaled to a fraction of the
      static-100G fleet capacity. *)
   let static_total =
@@ -262,6 +330,21 @@ let run_policy ~config ~backbone policy =
   let apply_sample dr k sweep_lost =
     let d = dr.state in
     let now = float_of_int k *. sample_s in
+    (* Detector firings are journaled before the sample's decision
+       chain, so an explain timeline shows the alarm ahead of whatever
+       the controller did about the same sample. *)
+    (match detectors with
+    | None -> ()
+    | Some arr ->
+        let i = d.Netstate.duct_index in
+        let v = dr.trace.(k) in
+        let ew, cu = arr.(i) in
+        let ew_alarm = Detect.Ewma.observe ew v in
+        if ew_alarm && not ewma_alarming.(i) then
+          Rwc_journal.anomaly jnl ~link:i ~now Rwc_journal.Ewma ~snr_db:v;
+        ewma_alarming.(i) <- ew_alarm;
+        if Detect.Cusum.observe cu v then
+          Rwc_journal.anomaly jnl ~link:i ~now Rwc_journal.Cusum ~snr_db:v);
     match policy with
     | Static_100 | Static_max ->
         d.Netstate.current_snr_db <- dr.trace.(k);
@@ -275,7 +358,12 @@ let run_policy ~config ~backbone policy =
           incr failures;
           Metrics.incr m_failures
         end;
-        if d.Netstate.up <> now_up then te_dirty := true;
+        if d.Netstate.up <> now_up then begin
+          te_dirty := true;
+          Rwc_journal.observe jnl ~link:d.Netstate.duct_index ~now
+            ~snr_db:dr.trace.(k) ~fresh:true;
+          Rwc_journal.outage jnl ~link:d.Netstate.duct_index ~now ~up:now_up
+        end;
         d.Netstate.up <- now_up
     | Adaptive procedure -> (
         (* Without the guard the telemetry path is perfect, exactly as
@@ -289,6 +377,17 @@ let run_policy ~config ~backbone policy =
           | None -> assert false
           | Some ctl -> (
               let i = d.Netstate.duct_index in
+              (* Quarantine is guard state that decays with time, so
+                 its boundaries are found by polling (the query draws
+                 no randomness and mutates nothing). *)
+              (if jarmed && Rwc_guard.armed guard then
+                 let q = Rwc_guard.quarantined guard ~link:i ~now in
+                 if q <> quar_seen.(i) then begin
+                   quar_seen.(i) <- q;
+                   Rwc_journal.guard jnl ~link:i ~now
+                     (if q then Rwc_journal.Quarantined
+                      else Rwc_journal.Released)
+                 end);
               let start_reconfig new_gbps =
                 let prev_gbps = d.Netstate.per_lambda_gbps in
                 incr reconfigs;
@@ -337,13 +436,25 @@ let run_policy ~config ~backbone policy =
                         timed_out
                         || Rwc_fault.fires inj Rwc_fault.Bvt_reconfig ~now
                       in
-                      if not failed then finish new_gbps
+                      if not failed then begin
+                        Rwc_journal.fault jnl ~link:i ~now Rwc_journal.Committed
+                          ~attempt:n;
+                        finish new_gbps;
+                        Rwc_journal.commit jnl ~link:i ~now ~gbps:new_gbps
+                          ~up:true
+                      end
                       else begin
                         if timed_out then
                           charge (Rwc_fault.param inj Rwc_fault.Bvt_timeout);
+                        Rwc_journal.fault jnl ~link:i ~now
+                          (if timed_out then Rwc_journal.Timed_out
+                           else Rwc_journal.Failed)
+                          ~attempt:n;
                         if n < config.retry.Orchestrator.max_attempts then begin
                           incr retries;
                           Metrics.incr m_retries;
+                          Rwc_journal.fault jnl ~link:i ~now Rwc_journal.Retried
+                            ~attempt:n;
                           let delay =
                             Orchestrator.backoff_delay config.retry ~attempt:n
                           in
@@ -362,8 +473,12 @@ let run_policy ~config ~backbone policy =
                           Metrics.incr m_fallbacks;
                           incr flaps;
                           Metrics.incr m_flaps;
+                          Rwc_journal.fault jnl ~link:i ~now
+                            Rwc_journal.Fell_back ~attempt:n;
                           Adapt.force ctl ~gbps:prev_gbps;
-                          finish prev_gbps
+                          finish prev_gbps;
+                          Rwc_journal.commit jnl ~link:i ~now ~gbps:prev_gbps
+                            ~up:true
                         end
                       end)
                 in
@@ -377,7 +492,7 @@ let run_policy ~config ~backbone policy =
                  to the static baseline.  A stale sample never feeds an
                  up-shift — [screen] refuses them below. *)
               let snr =
-                if not (Rwc_guard.armed guard) then Some dr.trace.(k)
+                if not (Rwc_guard.armed guard) then Some (dr.trace.(k), true)
                 else begin
                   let ok =
                     (not sweep_lost)
@@ -385,21 +500,44 @@ let run_policy ~config ~backbone policy =
                   in
                   match Rwc_guard.note_telemetry guard ~link:i ~now ~ok with
                   | Rwc_guard.Feed ->
+                      if jarmed then freeze_seen.(i) <- false;
                       d.Netstate.current_snr_db <- dr.trace.(k);
-                      Some dr.trace.(k)
+                      Some (dr.trace.(k), true)
                   | Rwc_guard.Feed_stale ->
                       (* Adapt on the held-over value; only down-shifts
                          can result (screen blocks stale up-shifts). *)
-                      Some d.Netstate.current_snr_db
-                  | Rwc_guard.Freeze -> None
+                      if jarmed then freeze_seen.(i) <- false;
+                      Some (d.Netstate.current_snr_db, false)
+                  | Rwc_guard.Freeze ->
+                      (* An episode, not an event: journaled once at
+                         entry, cleared when data comes back. *)
+                      if jarmed && not freeze_seen.(i) then begin
+                        freeze_seen.(i) <- true;
+                        Rwc_journal.guard jnl ~link:i ~now Rwc_journal.Frozen
+                      end;
+                      None
                   | Rwc_guard.Force_static ->
                       (* Past the fallback horizon: park the link at
                          the static baseline.  Only ever a ratchet
                          DOWN — a dark link stays dark and a link at or
                          below 100G keeps its rate — because raising
                          capacity on no data would be flying blind. *)
+                      if jarmed then freeze_seen.(i) <- false;
                       if d.Netstate.per_lambda_gbps > Modulation.default_gbps
                       then begin
+                        (* The chain is journaled like any other
+                           decision, with a stale observation (the
+                           guard is acting on the absence of data). *)
+                        if jarmed then begin
+                          Rwc_journal.observe jnl ~link:i ~now
+                            ~snr_db:d.Netstate.current_snr_db ~fresh:false;
+                          Rwc_journal.intent jnl ~link:i ~now
+                            Rwc_journal.Force_static
+                            ~from_gbps:d.Netstate.per_lambda_gbps
+                            ~to_gbps:Modulation.default_gbps;
+                          Rwc_journal.guard jnl ~link:i ~now
+                            Rwc_journal.Admitted
+                        end;
                         Adapt.force ctl ~gbps:Modulation.default_gbps;
                         incr flaps;
                         Metrics.incr m_flaps;
@@ -412,22 +550,48 @@ let run_policy ~config ~backbone policy =
               in
               match snr with
               | None -> ()
-              | Some snr_db -> (
+              | Some (snr_db, fresh) -> (
                   (* Screen the pending decision before [step] commits
                      it.  A suppressed decision leaves the controller's
                      qualification streak intact, so the change is
                      re-validated against fresh SNR when the guard
                      clears — the "queued changes re-validate"
-                     semantics without an actual queue. *)
+                     semantics without an actual queue.  [peek] is pure
+                     (no randomness, no state), so consulting it for
+                     the journal alone changes nothing. *)
+                  let decision =
+                    if jarmed || Rwc_guard.armed guard then
+                      Some (Adapt.peek ctl ~snr_db)
+                    else None
+                  in
+                  let verdict =
+                    match decision with
+                    | None -> None
+                    | Some a -> (
+                        match intent_of a with
+                        | None -> None
+                        | Some intent ->
+                            if Rwc_guard.armed guard then
+                              Some (Rwc_guard.screen guard ~link:i ~now intent)
+                            else Some Rwc_guard.Allow)
+                  in
+                  (if jarmed then
+                     match decision with
+                     | None -> ()
+                     | Some a -> (
+                         match (journal_intent_of a, verdict) with
+                         | Some (act, from_gbps, to_gbps), Some v ->
+                             Rwc_journal.observe jnl ~link:i ~now ~snr_db
+                               ~fresh;
+                             Rwc_journal.intent jnl ~link:i ~now act
+                               ~from_gbps ~to_gbps;
+                             Rwc_journal.guard jnl ~link:i ~now
+                               (journal_verdict_of v)
+                         | _ -> ()));
                   let allowed =
-                    (not (Rwc_guard.armed guard))
-                    ||
-                    match intent_of (Adapt.peek ctl ~snr_db) with
-                    | None -> true
-                    | Some intent -> (
-                        match Rwc_guard.screen guard ~link:i ~now intent with
-                        | Rwc_guard.Allow -> true
-                        | Rwc_guard.Suppress _ -> false)
+                    match verdict with
+                    | Some (Rwc_guard.Suppress _) -> false
+                    | Some Rwc_guard.Allow | None -> true
                   in
                   if allowed then
                     match Adapt.step ~faults:inj ~now ctl ~snr_db with
@@ -435,7 +599,8 @@ let run_policy ~config ~backbone policy =
                     | Adapt.Stuck _ ->
                         (* Injected: the transition command was lost.  The
                            device keeps its rate; nothing to recompute. *)
-                        ()
+                        Rwc_journal.fault jnl ~link:i ~now Rwc_journal.Stuck
+                          ~attempt:1
                     | Adapt.Go_dark _ ->
                         incr failures;
                         Metrics.incr m_failures;
@@ -447,7 +612,8 @@ let run_policy ~config ~backbone policy =
                           Rwc_guard.Dark;
                         d.Netstate.per_lambda_gbps <- 0;
                         d.Netstate.up <- false;
-                        te_dirty := true
+                        te_dirty := true;
+                        Rwc_journal.commit jnl ~link:i ~now ~gbps:0 ~up:false
                     | Adapt.Step_down { to_gbps; _ } ->
                         incr flaps;
                         Metrics.incr m_flaps;
@@ -536,6 +702,15 @@ let run_policy ~config ~backbone policy =
     if Rwc_guard.is_none config.guard then None
     else Some (Rwc_guard.stats guard)
   in
+  (* Close the journal segment.  [Some] only when the sink carries an
+     armed SLO plan — the report then grows an slo block and the
+     scorecard counts land in the slo/* metrics. *)
+  let slo = Rwc_journal.finish_run jnl in
+  (match slo with
+  | None -> ()
+  | Some s ->
+      Metrics.add m_slo_met s.Rwc_journal.Slo.met;
+      Metrics.add m_slo_violated s.Rwc_journal.Slo.violated);
   {
     policy;
     delivered_pbit = !delivered_gbit /. 1e6;
@@ -550,6 +725,7 @@ let run_policy ~config ~backbone policy =
     reconfig_downtime_s = !downtime;
     fault_stats;
     guard_stats;
+    slo;
   }
 
 let run ?(config = default_config) ?(backbone = Backbone.north_america) policy =
@@ -606,6 +782,14 @@ let json_of_report r =
               ] );
         ]
   in
+  (* And again for the SLO scorecard: present exactly when the run
+     evaluated a plan, absent otherwise, so journal-off reports stay
+     byte-identical to pre-journal output. *)
+  let slo_fields =
+    match r.slo with
+    | None -> []
+    | Some s -> [ ("slo", Rwc_journal.Slo.summary_to_json s) ]
+  in
   Rwc_obs.Json.Assoc
     ([
        ("policy", Rwc_obs.Json.String (policy_name r.policy));
@@ -619,7 +803,7 @@ let json_of_report r =
        ("reconfigurations", Rwc_obs.Json.Int r.reconfigurations);
        ("reconfig_downtime_s", Rwc_obs.Json.Float r.reconfig_downtime_s);
      ]
-    @ fault_fields @ guard_fields)
+    @ fault_fields @ guard_fields @ slo_fields)
 
 let pp_report fmt r =
   Format.fprintf fmt
@@ -633,11 +817,16 @@ let pp_report fmt r =
   | Some f ->
       Format.fprintf fmt "  inj=%4d  retry=%4d  fallback=%3d"
         f.injected f.retries f.fallbacks);
-  match r.guard_stats with
+  (match r.guard_stats with
   | None -> ()
   | Some g ->
       Format.fprintf fmt "  supp=%3d  quar=%3d  defer=%3d  stale=%3d  \
                           static=%2d  wdog=%2d"
         g.Rwc_guard.suppressed_upshifts g.Rwc_guard.quarantines
         g.Rwc_guard.admission_deferred g.Rwc_guard.stale_freezes
-        g.Rwc_guard.static_fallbacks g.Rwc_guard.watchdog_trips
+        g.Rwc_guard.static_fallbacks g.Rwc_guard.watchdog_trips);
+  match r.slo with
+  | None -> ()
+  | Some s ->
+      Format.fprintf fmt "  slo: met=%3d viol=%3d" s.Rwc_journal.Slo.met
+        s.Rwc_journal.Slo.violated

@@ -55,12 +55,21 @@ type config = {
           is bit-identical to a build without the guard layer — even
           under an armed fault plan, because the collector fault
           channels are only queried for an armed guard. *)
+  journal : Rwc_journal.t;
+      (** Decision-provenance sink shared by consecutive runs: each
+          policy run emits one {!Rwc_journal.Run_start}-headed segment.
+          With {!Rwc_journal.disarmed} (the default) every emission is
+          a single flag check and the run is byte-identical to a build
+          without the journal layer.  When armed, per-duct EWMA/CUSUM
+          anomaly detectors also feed [Anomaly] events, and a sink
+          carrying an SLO plan yields a scorecard in
+          {!report.slo} and the [slo/*] metrics. *)
 }
 
 val default_config : config
 (** 60 days, 6-hourly TE, seed 7, 4 wavelengths/duct, offered load
     0.75, top 40 demands, epsilon 0.12, no faults,
-    {!Orchestrator.default_retry_policy}, no guard. *)
+    {!Orchestrator.default_retry_policy}, no guard, disarmed journal. *)
 
 type fault_stats = {
   injected : int;  (** Total faults the injector fired. *)
@@ -92,6 +101,9 @@ type report = {
   guard_stats : Rwc_guard.stats option;
       (** [Some] exactly when the run had a guard plan, under the same
           byte-identity contract as [fault_stats]. *)
+  slo : Rwc_journal.Slo.summary option;
+      (** [Some] exactly when the run's journal sink carried an armed
+          SLO plan; same byte-identity contract. *)
 }
 
 val run :

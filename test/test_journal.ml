@@ -1,0 +1,386 @@
+module J = Rwc_journal
+module Json = Rwc_obs.Json
+module Runner = Rwc_sim.Runner
+
+(* --- record serialization -------------------------------------------------- *)
+
+let all_kinds =
+  [
+    J.Run_start
+      { policy = "adaptive-efficient-bvt"; seed = 7; horizon_s = 172800.0; n_links = 43 };
+    J.Observe { snr_db = 14.25; fresh = true };
+    J.Observe { snr_db = 9.5; fresh = false };
+    J.Intent { action = J.Step_up; from_gbps = 100; to_gbps = 150 };
+    J.Intent { action = J.Force_static; from_gbps = 200; to_gbps = 100 };
+    J.Guard { verdict = J.Admitted };
+    J.Guard { verdict = J.Quarantined };
+    J.Fault { outcome = J.Timed_out; attempt = 2 };
+    J.Commit { gbps = 150; up = true };
+    J.Commit { gbps = 0; up = false };
+    J.Outage { up = false };
+    J.Anomaly { detector = J.Cusum; snr_db = 11.125 };
+  ]
+
+let test_record_round_trip () =
+  List.iteri
+    (fun i kind ->
+      let r = { J.t = 900.0 *. float_of_int i; link = i - 1; span = i; kind } in
+      let line = Json.to_string (J.record_to_json r) in
+      match Json.parse line with
+      | Error e -> Alcotest.fail e
+      | Ok v -> (
+          match J.record_of_json v with
+          | Error e -> Alcotest.fail e
+          | Ok r' ->
+              Alcotest.(check bool)
+                (Printf.sprintf "record %d round-trips (%s)" i line)
+                true (r = r')))
+    all_kinds
+
+let test_record_of_json_rejects () =
+  let bad s =
+    match Json.parse s with
+    | Error _ -> true
+    | Ok v -> ( match J.record_of_json v with Error _ -> true | Ok _ -> false)
+  in
+  Alcotest.(check bool) "unknown ev" true
+    (bad {|{"t":0.0,"link":1,"span":0,"ev":"warp"}|});
+  Alcotest.(check bool) "missing field" true
+    (bad {|{"t":0.0,"link":1,"ev":"commit","gbps":100}|});
+  Alcotest.(check bool) "non-object" true (bad "[1,2]")
+
+(* --- file io + segmentation ------------------------------------------------ *)
+
+let test_read_file_and_segments () =
+  let path = Filename.temp_file "rwc_test_journal" ".jsonl" in
+  let jnl = J.create ~path () in
+  J.start_run jnl ~policy:"a" ~seed:1 ~horizon_s:100.0 ~n_links:2;
+  J.commit jnl ~link:0 ~now:0.0 ~gbps:100 ~up:true;
+  J.start_run jnl ~policy:"b" ~seed:2 ~horizon_s:100.0 ~n_links:2;
+  J.commit jnl ~link:1 ~now:0.0 ~gbps:100 ~up:true;
+  J.outage jnl ~link:1 ~now:50.0 ~up:false;
+  Alcotest.(check int) "events counted" 5 (J.events_emitted jnl);
+  J.close jnl;
+  (match J.read_file path with
+  | Error e -> Alcotest.fail e
+  | Ok records ->
+      Alcotest.(check int) "all lines parsed" 5 (List.length records);
+      let segs = J.segments records in
+      Alcotest.(check int) "two segments" 2 (List.length segs);
+      List.iter2
+        (fun seg n -> Alcotest.(check int) "segment size" n (List.length seg))
+        segs [ 2; 3 ];
+      (* A headerless prefix forms its own leading segment. *)
+      let headerless = J.segments (List.tl records) in
+      Alcotest.(check int) "headerless prefix splits" 2 (List.length headerless));
+  (* A malformed line is an error carrying its line number. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "not json\n";
+  close_out oc;
+  (match J.read_file path with
+  | Ok _ -> Alcotest.fail "malformed line accepted"
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error names the line (%s)" e)
+        true
+        (String.length e > 0));
+  Sys.remove path
+
+(* --- disarmed sink --------------------------------------------------------- *)
+
+let test_disarmed_is_inert () =
+  let jnl = J.disarmed in
+  Alcotest.(check bool) "not armed" false (J.armed jnl);
+  J.start_run jnl ~policy:"x" ~seed:0 ~horizon_s:1.0 ~n_links:1;
+  J.observe jnl ~link:0 ~now:0.0 ~snr_db:14.0 ~fresh:true;
+  J.commit jnl ~link:0 ~now:0.0 ~gbps:100 ~up:true;
+  Alcotest.(check int) "nothing emitted" 0 (J.events_emitted jnl);
+  Alcotest.(check bool) "no slo summary" true (J.finish_run jnl = None);
+  J.close jnl
+
+(* --- slo grammar ----------------------------------------------------------- *)
+
+let test_slo_grammar_round_trip () =
+  let cases = [ "none"; "default"; "availability=99.9,class=150,at-class=90" ] in
+  List.iter
+    (fun s ->
+      match J.Slo.of_string s with
+      | Error e -> Alcotest.fail e
+      | Ok plan -> (
+          let printed = J.Slo.to_string plan in
+          match J.Slo.of_string printed with
+          | Error e -> Alcotest.fail e
+          | Ok plan' ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%S -> %S round-trips" s printed)
+                true (plan = plan')))
+    cases;
+  Alcotest.(check bool) "unknown key rejected" true
+    (match J.Slo.of_string "warp=9" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "bad value rejected" true
+    (match J.Slo.of_string "class=fast" with Error _ -> true | Ok _ -> false)
+
+(* --- slo engine on a hand-built segment ------------------------------------ *)
+
+let test_slo_measures_hand_built () =
+  (* One link over a 86400 s day: starts at 100 G, steps up to 200 G at
+     t=21600 (committed), steps down again at t=64800.  One committed
+     reduction = 1 flap/day; the link is at or above 200 G for half the
+     day. *)
+  let r t kind = { J.t; link = 0; span = 0; kind } in
+  let seg =
+    [
+      {
+        J.t = 0.0;
+        link = -1;
+        span = 0;
+        kind = J.Run_start { policy = "t"; seed = 0; horizon_s = 86400.0; n_links = 1 };
+      };
+      r 0.0 (J.Commit { gbps = 100; up = true });
+      r 21600.0 (J.Intent { action = J.Step_up; from_gbps = 100; to_gbps = 200 });
+      r 21600.0 (J.Guard { verdict = J.Admitted });
+      r 21600.0 (J.Fault { outcome = J.Committed; attempt = 1 });
+      r 21600.0 (J.Commit { gbps = 200; up = true });
+      r 64800.0 (J.Intent { action = J.Step_down; from_gbps = 200; to_gbps = 100 });
+      r 64800.0 (J.Guard { verdict = J.Admitted });
+      r 64800.0 (J.Fault { outcome = J.Committed; attempt = 1 });
+      r 64800.0 (J.Commit { gbps = 100; up = true });
+    ]
+  in
+  let config = { J.Slo.default_config with class_gbps = 200 } in
+  match J.Slo.of_records config seg with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      Alcotest.(check int) "one link" 1 (Array.length s.J.Slo.links);
+      let v = s.J.Slo.links.(0) in
+      Alcotest.(check (float 1e-9)) "always up" 100.0
+        v.J.Slo.measure.J.Slo.availability_pct;
+      Alcotest.(check (float 1e-9)) "half the day at 200G" 50.0
+        v.J.Slo.measure.J.Slo.class_time_pct;
+      Alcotest.(check (float 1e-9)) "one flap per day" 1.0
+        v.J.Slo.measure.J.Slo.flaps_per_day;
+      Alcotest.(check (float 1e-9)) "never quarantined" 0.0
+        v.J.Slo.measure.J.Slo.quarantine_pct;
+      (* class target is 95% of time at 200 G: 50% violates it. *)
+      Alcotest.(check bool) "at-class violation reported" true
+        (v.J.Slo.violations <> []);
+      Alcotest.(check int) "counted as violated" 1 s.J.Slo.violated
+
+(* --- integration: a real run through the journal --------------------------- *)
+
+let journal_config jnl =
+  {
+    Runner.default_config with
+    days = 2.0;
+    seed = 7;
+    faults = Rwc_fault.default;
+    guard = Rwc_guard.default;
+    journal = jnl;
+  }
+
+let run_with_journal () =
+  let path = Filename.temp_file "rwc_test_journal_run" ".jsonl" in
+  let jnl = J.create ~path ~slo:J.Slo.default () in
+  let report =
+    Runner.run ~config:(journal_config jnl) (Runner.Adaptive Runner.Efficient)
+  in
+  J.close jnl;
+  let records =
+    match J.read_file path with Ok r -> r | Error e -> Alcotest.fail e
+  in
+  Sys.remove path;
+  (report, records)
+
+let run_and_records = lazy (run_with_journal ())
+
+let test_event_ordering () =
+  let _, records = Lazy.force run_and_records in
+  (match records with
+  | { J.kind = J.Run_start _; link = -1; _ } :: _ -> ()
+  | _ -> Alcotest.fail "journal does not start with a run header");
+  (* Timestamps are non-decreasing in file order. *)
+  let _ =
+    List.fold_left
+      (fun prev r ->
+        Alcotest.(check bool) "monotone time" true (r.J.t >= prev);
+        r.J.t)
+      neg_infinity records
+  in
+  (* Per link and timestamp, the decision chain is ordered: any anomaly
+     fires before the observation, the observation precedes the intent,
+     the intent precedes the guard verdict. *)
+  let rank r =
+    match r.J.kind with
+    | J.Anomaly _ -> 0
+    | J.Observe _ -> 1
+    | J.Intent _ -> 2
+    | J.Guard { verdict = J.Admitted | J.Damped | J.Deferred | J.Stale_data | J.Held } ->
+        3
+    | _ -> -1
+  in
+  let tbl = Hashtbl.create 97 in
+  List.iter
+    (fun r ->
+      let k = rank r in
+      if k >= 0 then begin
+        let key = (r.J.link, r.J.t) in
+        let prev = try Hashtbl.find tbl key with Not_found -> -1 in
+        Alcotest.(check bool)
+          (Printf.sprintf "chain order at link=%d t=%.1f" r.J.link r.J.t)
+          true (k >= prev);
+        Hashtbl.replace tbl key k
+      end)
+    records;
+  let anomalies =
+    List.length
+      (List.filter (fun r -> match r.J.kind with J.Anomaly _ -> true | _ -> false) records)
+  in
+  Alcotest.(check bool) "detectors fired at least once" true (anomalies > 0)
+
+let test_chain_reconstruction () =
+  let _, records = Lazy.force run_and_records in
+  (* Every decision-stage guard verdict is immediately preceded, in its
+     link's stream, by the intent it judged; every successful fault is
+     immediately followed by the commit it produced. *)
+  let by_link = Hashtbl.create 97 in
+  List.iter
+    (fun r ->
+      if r.J.link >= 0 then
+        Hashtbl.replace by_link r.J.link
+          (r :: (try Hashtbl.find by_link r.J.link with Not_found -> [])))
+    records;
+  let intents = ref 0 in
+  Hashtbl.iter
+    (fun link stream_rev ->
+      let stream = List.rev stream_rev in
+      let rec walk = function
+        | ({ J.kind = J.Intent _; _ } as i)
+          :: ({ J.kind = J.Guard { verdict }; _ } as g)
+          :: rest ->
+            incr intents;
+            Alcotest.(check (float 1e-9))
+              (Printf.sprintf "link %d: verdict at intent time" link)
+              i.J.t g.J.t;
+            (match verdict with
+            | J.Admitted | J.Damped | J.Deferred | J.Stale_data | J.Held -> ()
+            | v ->
+                Alcotest.fail
+                  (Printf.sprintf "link %d: intent judged by %s" link
+                     (J.verdict_name v)));
+            walk rest
+        | { J.kind = J.Intent _; _ } :: _ ->
+            Alcotest.fail (Printf.sprintf "link %d: intent without verdict" link)
+        | ({ J.kind = J.Fault { outcome = J.Committed; _ }; _ } as f) :: rest -> (
+            match rest with
+            | { J.kind = J.Commit _; t; _ } :: _ ->
+                Alcotest.(check (float 1e-9))
+                  (Printf.sprintf "link %d: commit at fault time" link)
+                  f.J.t t;
+                walk rest
+            | _ ->
+                Alcotest.fail
+                  (Printf.sprintf "link %d: committed fault without commit" link))
+        | _ :: rest -> walk rest
+        | [] -> ()
+      in
+      walk stream)
+    by_link;
+  Alcotest.(check bool) "chains were exercised" true (!intents > 0)
+
+let test_online_offline_slo_agree () =
+  let report, records = Lazy.force run_and_records in
+  let online =
+    match report.Runner.slo with
+    | Some s -> s
+    | None -> Alcotest.fail "report carries no SLO summary"
+  in
+  let seg =
+    match J.segments records with
+    | [ seg ] -> seg
+    | segs -> Alcotest.fail (Printf.sprintf "%d segments" (List.length segs))
+  in
+  match J.Slo.of_records online.J.Slo.config seg with
+  | Error e -> Alcotest.fail e
+  | Ok offline ->
+      Alcotest.(check int) "met agree" online.J.Slo.met offline.J.Slo.met;
+      Alcotest.(check int) "violated agree" online.J.Slo.violated
+        offline.J.Slo.violated;
+      Alcotest.(check int) "link count agree"
+        (Array.length online.J.Slo.links)
+        (Array.length offline.J.Slo.links);
+      Array.iteri
+        (fun i on ->
+          let off = offline.J.Slo.links.(i) in
+          let m1 = on.J.Slo.measure and m2 = off.J.Slo.measure in
+          (* The offline path reads floats back through %.12g, so the
+             agreement is to serialization precision, not bit-exact. *)
+          Alcotest.(check (float 1e-6)) "availability" m1.J.Slo.availability_pct
+            m2.J.Slo.availability_pct;
+          Alcotest.(check (float 1e-6)) "class time" m1.J.Slo.class_time_pct
+            m2.J.Slo.class_time_pct;
+          Alcotest.(check (float 1e-6)) "flap rate" m1.J.Slo.flaps_per_day
+            m2.J.Slo.flaps_per_day;
+          Alcotest.(check (float 1e-6)) "quarantine" m1.J.Slo.quarantine_pct
+            m2.J.Slo.quarantine_pct)
+        online.J.Slo.links
+
+let test_span_ids_follow_tracing () =
+  (* With tracing off every record carries span 0; with tracing on,
+     emissions made inside runner spans carry the enclosing span id. *)
+  let _, records = Lazy.force run_and_records in
+  List.iter
+    (fun r -> Alcotest.(check int) "span 0 when tracing off" 0 r.J.span)
+    records;
+  let trace_was = Rwc_obs.Trace.enabled () in
+  Rwc_obs.Trace.enable ();
+  let path = Filename.temp_file "rwc_test_journal_span" ".jsonl" in
+  let jnl = J.create ~path () in
+  let _ =
+    Fun.protect
+      ~finally:(fun () ->
+        if not trace_was then Rwc_obs.Trace.disable ();
+        Rwc_obs.Trace.reset ())
+      (fun () ->
+        Runner.run ~config:(journal_config jnl) (Runner.Adaptive Runner.Efficient))
+  in
+  J.close jnl;
+  let traced =
+    match J.read_file path with Ok r -> r | Error e -> Alcotest.fail e
+  in
+  Sys.remove path;
+  Alcotest.(check bool) "all spans positive when tracing" true
+    (List.for_all (fun r -> r.J.span > 0) traced);
+  Alcotest.(check bool) "more than one distinct span" true
+    (List.length
+       (List.sort_uniq compare (List.map (fun r -> r.J.span) traced))
+    > 1)
+
+let test_journal_does_not_perturb () =
+  (* The armed journal observes the run; it must not change it. *)
+  let plain =
+    Runner.run ~config:(journal_config J.disarmed) (Runner.Adaptive Runner.Efficient)
+  in
+  let report, _ = Lazy.force run_and_records in
+  Alcotest.(check bool) "reports identical up to the slo block" true
+    (plain = { report with Runner.slo = None })
+
+let suite =
+  [
+    Alcotest.test_case "record round trip" `Quick test_record_round_trip;
+    Alcotest.test_case "record rejects malformed" `Quick
+      test_record_of_json_rejects;
+    Alcotest.test_case "read_file + segments" `Quick test_read_file_and_segments;
+    Alcotest.test_case "disarmed is inert" `Quick test_disarmed_is_inert;
+    Alcotest.test_case "slo grammar round trip" `Quick
+      test_slo_grammar_round_trip;
+    Alcotest.test_case "slo measures (hand-built)" `Quick
+      test_slo_measures_hand_built;
+    Alcotest.test_case "event ordering" `Slow test_event_ordering;
+    Alcotest.test_case "chain reconstruction" `Slow test_chain_reconstruction;
+    Alcotest.test_case "online/offline slo agree" `Slow
+      test_online_offline_slo_agree;
+    Alcotest.test_case "span ids follow tracing" `Slow
+      test_span_ids_follow_tracing;
+    Alcotest.test_case "journal does not perturb" `Slow
+      test_journal_does_not_perturb;
+  ]

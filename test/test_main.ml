@@ -25,5 +25,6 @@ let () =
       ("fairness", Test_fairness.suite);
       ("infra", Test_infra.suite);
       ("obs", Test_obs.suite);
+      ("journal", Test_journal.suite);
       ("figures", Test_figures.suite);
     ]

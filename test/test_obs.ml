@@ -29,6 +29,14 @@ let test_json_parse_escapes () =
   (match Json.parse {|"aA\n"|} with
   | Ok (Json.String s) -> Alcotest.(check string) "unicode escape" "aA\n" s
   | _ -> Alcotest.fail "string expected");
+  (* \uXXXX escapes decode to UTF-8: 1-byte (A), 2-byte (e-acute),
+     3-byte (CJK) sequences. *)
+  (match Json.parse {|"\u0041\u00e9\u4e16"|} with
+  | Ok (Json.String s) ->
+      Alcotest.(check string) "utf8 from \\u" "A\xc3\xa9\xe4\xb8\x96" s
+  | _ -> Alcotest.fail "unicode string expected");
+  Alcotest.(check bool) "truncated \\u rejected" true
+    (match Json.parse {|"\u00"|} with Error _ -> true | Ok _ -> false);
   (match Json.parse "[1, 2.5, -3e2]" with
   | Ok (Json.List [ Json.Int 1; Json.Float b; Json.Float c ]) ->
       Alcotest.(check (float 1e-9)) "float" 2.5 b;
@@ -36,6 +44,93 @@ let test_json_parse_escapes () =
   | _ -> Alcotest.fail "number kinds");
   Alcotest.(check bool) "trailing garbage rejected" true
     (match Json.parse "1 2" with Error _ -> true | Ok _ -> false)
+
+(* --- json: round-trip property ------------------------------------------- *)
+
+(* The serializer canonicalizes on the way out: non-finite floats
+   become [null] (valid JSON has no NaN/Infinity), and [%.12g] keeps
+   ~12 significant digits.  The property compares the parse of the
+   rendering against the canonicalized input, with a relative
+   tolerance on floats. *)
+let rec json_canon = function
+  | Json.Float f when not (Float.is_finite f) -> Json.Null
+  | Json.List l -> Json.List (List.map json_canon l)
+  | Json.Assoc kvs -> Json.Assoc (List.map (fun (k, v) -> (k, json_canon v)) kvs)
+  | v -> v
+
+let rec json_eq a b =
+  match (a, b) with
+  | Json.Null, Json.Null -> true
+  | Json.Bool x, Json.Bool y -> x = y
+  | Json.Int x, Json.Int y -> x = y
+  | Json.Float x, Json.Float y ->
+      Float.abs (x -. y) <= 1e-9 *. Float.max 1.0 (Float.abs x)
+  | Json.String x, Json.String y -> String.equal x y
+  | Json.List x, Json.List y -> (
+      try List.for_all2 json_eq x y with Invalid_argument _ -> false)
+  | Json.Assoc x, Json.Assoc y -> (
+      try
+        List.for_all2
+          (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_eq v1 v2)
+          x y
+      with Invalid_argument _ -> false)
+  | _ -> false
+
+let json_gen =
+  QCheck.Gen.(
+    (* Arbitrary bytes, including control characters (forcing the
+       \uXXXX escape path) and non-ASCII. *)
+    let any_char = map Char.chr (int_range 0 255) in
+    let string_g = string_size ~gen:any_char (int_bound 12) in
+    let float_g =
+      frequency
+        [
+          (5, float);
+          (2, map float_of_int small_signed_int);
+          (1, return nan);
+          (1, return infinity);
+          (1, return neg_infinity);
+        ]
+    in
+    sized
+    @@ fix (fun self n ->
+           let leaf =
+             oneof
+               [
+                 return Json.Null;
+                 map (fun b -> Json.Bool b) bool;
+                 map (fun i -> Json.Int i) int;
+                 map (fun f -> Json.Float f) float_g;
+                 map (fun s -> Json.String s) string_g;
+               ]
+           in
+           if n <= 0 then leaf
+           else
+             frequency
+               [
+                 (3, leaf);
+                 ( 1,
+                   map
+                     (fun l -> Json.List l)
+                     (list_size (int_bound 4) (self (n / 2))) );
+                 ( 1,
+                   map
+                     (fun kvs -> Json.Assoc kvs)
+                     (list_size (int_bound 4) (pair string_g (self (n / 2)))) );
+               ]))
+
+let prop_json_round_trip =
+  QCheck.Test.make ~count:500
+    ~name:"json: parse of both renderings recovers the value"
+    (QCheck.make ~print:Json.to_string json_gen)
+    (fun v ->
+      let expect = json_canon v in
+      let check_via render =
+        match Json.parse (render v) with
+        | Error e -> QCheck.Test.fail_reportf "parse error: %s" e
+        | Ok parsed -> json_eq expect parsed
+      in
+      check_via Json.to_string && check_via Json.to_string_pretty)
 
 (* --- metrics ------------------------------------------------------------- *)
 
@@ -245,6 +340,7 @@ let test_runner_metrics_match_report () =
       faults = Rwc_fault.none;
       retry = Rwc_sim.Orchestrator.default_retry_policy;
       guard = Rwc_guard.none;
+      journal = Rwc_journal.disarmed;
     }
   in
   let r =
@@ -272,6 +368,7 @@ let suite =
   [
     Alcotest.test_case "json round trip" `Quick test_json_round_trip;
     Alcotest.test_case "json escapes" `Quick test_json_parse_escapes;
+    QCheck_alcotest.to_alcotest prop_json_round_trip;
     Alcotest.test_case "registry uniqueness" `Quick test_registry_uniqueness;
     Alcotest.test_case "disabled is no-op" `Quick test_disabled_is_noop;
     Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;

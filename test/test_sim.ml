@@ -141,6 +141,7 @@ let fast_config =
     faults = Rwc_fault.none;
     retry = Orchestrator.default_retry_policy;
     guard = Rwc_guard.none;
+    journal = Rwc_journal.disarmed;
   }
 
 let reports = lazy (Runner.compare_policies ~config:fast_config ())
@@ -276,6 +277,38 @@ let test_golden_guard_none_byte_identical () =
       Alcotest.(check string) "json_of_report byte-identical" expected
         (Rwc_obs.Json.to_string (Runner.json_of_report r)))
     golden_json reports
+
+(* The journal layer makes the same promise: a run without [--journal]
+   (the disarmed sink threaded through the config) must reproduce the
+   pre-journal goldens byte for byte — no extra randomness consumed, no
+   new report fields, no formatting drift. *)
+let test_golden_journal_off_byte_identical () =
+  let reports =
+    Runner.compare_policies
+      ~config:
+        {
+          Runner.default_config with
+          days = 2.0;
+          seed = 7;
+          journal = Rwc_journal.disarmed;
+        }
+      ()
+  in
+  List.iter2
+    (fun expected r ->
+      Alcotest.(check string) "pp_report byte-identical" expected
+        (Format.asprintf "%a" Runner.pp_report r))
+    golden_pp reports;
+  List.iter2
+    (fun expected r ->
+      Alcotest.(check string) "json_of_report byte-identical" expected
+        (Rwc_obs.Json.to_string (Runner.json_of_report r)))
+    golden_json reports;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "no slo block without a sink" true
+        (r.Runner.slo = None))
+    reports
 
 (* --- determinism: observability and fault layer are invisible ------------- *)
 
@@ -531,6 +564,8 @@ let suite =
     Alcotest.test_case "golden json faults-off" `Slow test_golden_json_byte_identical;
     Alcotest.test_case "golden guard-none" `Slow
       test_golden_guard_none_byte_identical;
+    Alcotest.test_case "golden journal-off" `Slow
+      test_golden_journal_off_byte_identical;
     Alcotest.test_case "report identical with obs on" `Slow
       test_report_identical_with_obs_on;
     Alcotest.test_case "report identical with faults none" `Slow
