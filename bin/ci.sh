@@ -50,4 +50,23 @@ grep -q 'commit' "$EXPLAIN_OUT"
 grep -q 'SLO scorecard' "$EXPLAIN_OUT"
 rm -f "$JOURNAL" "$EXPLAIN_OUT"
 
+echo "== crash-resume smoke: crash faults must not change the bytes =="
+RECOVER_DIR="$(mktemp -d)"
+PLAIN_OUT="$(mktemp)"
+CRASH_OUT="$(mktemp)"
+PLAIN_JOURNAL="$(mktemp)"
+CRASH_JOURNAL="$(mktemp)"
+dune exec bin/rwc.exe -- simulate --days 2 --policy adaptive-stock \
+  --faults default --journal "$PLAIN_JOURNAL" > "$PLAIN_OUT"
+# The same plan plus a crash rule: the controller is killed at random
+# sample boundaries and restarted in-process from its checkpoints.
+# Recovery is byte-exact, so report and journal must not change.
+dune exec bin/rwc.exe -- simulate --days 2 --policy adaptive-stock \
+  --faults default,crash=0.05 --journal "$CRASH_JOURNAL" \
+  --checkpoint "$RECOVER_DIR" --checkpoint-every 48 > "$CRASH_OUT"
+diff "$PLAIN_OUT" "$CRASH_OUT"
+cmp "$PLAIN_JOURNAL" "$CRASH_JOURNAL"
+rm -rf "$RECOVER_DIR"
+rm -f "$PLAIN_OUT" "$CRASH_OUT" "$PLAIN_JOURNAL" "$CRASH_JOURNAL"
+
 echo "== ci.sh: all green =="

@@ -95,6 +95,22 @@ let rec mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
   end
 
+(* A fresh empty scratch directory (used for the chaos crash sweep's
+   throwaway checkpoints). *)
+let fresh_temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Sys.mkdir path 0o700;
+  path
+
+let rm_rf_dir dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
 let ensure_dir what dir =
   if Sys.file_exists dir then begin
     if not (Sys.is_directory dir) then begin
@@ -400,10 +416,37 @@ let backbone_of = function
           exit 2)
 
 let run_simulate () days policy seed faults guard journal_path slo backbone_file
-    manifest_path =
+    manifest_path checkpoint checkpoint_every resume =
   Option.iter (check_writable "--manifest") manifest_path;
-  let jnl = journal_sink journal_path slo in
-  let config =
+  (* Recovery-flag coherence, checked before any expensive work.  A
+     crash fault without a checkpoint directory would kill the run with
+     nothing to restart from; an online SLO tracker without a journal
+     file cannot be rebuilt after a restart (the tracker's state lives
+     in the retained journal prefix). *)
+  if resume && checkpoint = None then begin
+    prerr_endline "rwc simulate: --resume requires --checkpoint DIR";
+    exit 2
+  end;
+  if Rwc_recover.plan_has_crash faults && checkpoint = None then begin
+    prerr_endline
+      "rwc simulate: a crash= fault rule requires --checkpoint DIR (the \
+       restart loop recovers from the newest checkpoint)";
+    exit 2
+  end;
+  if checkpoint <> None && checkpoint_every <= 0 then begin
+    prerr_endline "rwc simulate: --checkpoint-every must be >= 1";
+    exit 2
+  end;
+  (match checkpoint with
+  | Some _ when (not (Rwc_journal.Slo.is_none slo)) && journal_path = None ->
+      prerr_endline
+        "rwc simulate: --checkpoint with an armed --slo requires --journal \
+         (a resumed run rebuilds the online SLO tracker from the journal \
+         file)";
+      exit 2
+  | _ -> ());
+  let backbone = backbone_of backbone_file in
+  let config_of jnl =
     {
       Rwc_sim.Runner.default_config with
       Rwc_sim.Runner.days;
@@ -413,45 +456,148 @@ let run_simulate () days policy seed faults guard journal_path slo backbone_file
       journal = jnl;
     }
   in
-  let backbone = backbone_of backbone_file in
-  let reports =
-    match policy with
-    | Some p -> [ Rwc_sim.Runner.run ~config ~backbone p ]
-    | None -> Rwc_sim.Runner.compare_policies ~config ~backbone ()
+  (* Both the plain and the checkpointed path reduce their results to
+     (policy name, rendered line, report JSON) rows, so printing and
+     the manifest are shared — and byte-identical across them. *)
+  let finish ~jnl ~extra_config rows =
+    List.iter (fun (_, pp, _) -> print_endline pp) rows;
+    match manifest_path with
+    | None -> ()
+    | Some path ->
+        let open Obs.Json in
+        let config = config_of jnl in
+        let manifest =
+          Obs.Manifest.make ~command:"simulate" ~seed
+            ~config:
+              ([
+                 ("days", Float days);
+                ( "te_interval_h",
+                  Float config.Rwc_sim.Runner.te_interval_h );
+                ("wavelengths", Int config.Rwc_sim.Runner.wavelengths);
+                ( "demand_fraction",
+                  Float config.Rwc_sim.Runner.demand_fraction );
+                ("top_demands", Int config.Rwc_sim.Runner.top_demands);
+                ("epsilon", Float config.Rwc_sim.Runner.epsilon);
+                ( "backbone",
+                  String (Option.value backbone_file ~default:"north-america") );
+                ("faults", String (Rwc_fault.to_string faults));
+                ("guard", String (Rwc_guard.to_string guard));
+              ]
+              @ extra_config
+              @ journal_manifest_fields jnl journal_path slo)
+            ~reports:(List.map (fun (name, _, j) -> (name, j)) rows)
+            ~metrics:(manifest_metrics ()) ()
+        in
+        Obs.Manifest.write path manifest
   in
-  Rwc_journal.close jnl;
-  List.iter (fun r -> Format.printf "%a@." Rwc_sim.Runner.pp_report r) reports;
-  match manifest_path with
-  | None -> ()
-  | Some path ->
-      let open Obs.Json in
-      let manifest =
-        Obs.Manifest.make ~command:"simulate" ~seed
-          ~config:
-            ([
-               ("days", Float days);
-              ( "te_interval_h",
-                Float config.Rwc_sim.Runner.te_interval_h );
-              ("wavelengths", Int config.Rwc_sim.Runner.wavelengths);
-              ( "demand_fraction",
-                Float config.Rwc_sim.Runner.demand_fraction );
-              ("top_demands", Int config.Rwc_sim.Runner.top_demands);
-              ("epsilon", Float config.Rwc_sim.Runner.epsilon);
-              ( "backbone",
-                String (Option.value backbone_file ~default:"north-america") );
-              ("faults", String (Rwc_fault.to_string faults));
-              ("guard", String (Rwc_guard.to_string guard));
-            ]
-            @ journal_manifest_fields jnl journal_path slo)
-          ~reports:
-            (List.map
-               (fun r ->
-                 ( Rwc_sim.Runner.policy_name r.Rwc_sim.Runner.policy,
-                   Rwc_sim.Runner.json_of_report r ))
-               reports)
-          ~metrics:(manifest_metrics ()) ()
+  let row_of_report r =
+    ( Rwc_sim.Runner.policy_name r.Rwc_sim.Runner.policy,
+      Format.asprintf "%a" Rwc_sim.Runner.pp_report r,
+      Rwc_sim.Runner.json_of_report r )
+  in
+  match checkpoint with
+  | None ->
+      let jnl = journal_sink journal_path slo in
+      let config = config_of jnl in
+      let reports =
+        match policy with
+        | Some p -> [ Rwc_sim.Runner.run ~config ~backbone p ]
+        | None -> Rwc_sim.Runner.compare_policies ~config ~backbone ()
       in
-      Obs.Manifest.write path manifest
+      Rwc_journal.close jnl;
+      finish ~jnl ~extra_config:[] (List.map row_of_report reports)
+  | Some dir -> (
+      match
+        Rwc_recover.create ~dir ~every:checkpoint_every ?journal_path ~slo
+          ~faults ~resume ()
+      with
+      | Error e ->
+          Printf.eprintf "rwc simulate: --checkpoint %s: %s\n" dir e;
+          exit 2
+      | Ok (ctx, resume_from) ->
+          (match resume_from with
+          | Some c ->
+              if c.Rwc_recover.ck_seed <> seed || c.Rwc_recover.ck_days <> days
+              then begin
+                Printf.eprintf
+                  "rwc simulate: --resume: checkpoint in %s belongs to a run \
+                   with seed %d over %g days, not seed %d over %g days\n"
+                  dir c.Rwc_recover.ck_seed c.Rwc_recover.ck_days seed days;
+                exit 2
+              end
+          | None ->
+              if resume then
+                Printf.eprintf
+                  "rwc simulate: --resume: no valid checkpoint in %s; \
+                   starting from scratch\n%!"
+                  dir);
+          (* Resuming reopens the journal truncated to the checkpoint's
+             high-water mark instead of truncating it to zero. *)
+          let jnl =
+            match resume_from with
+            | Some c -> (
+                match journal_path with
+                | None -> Rwc_journal.create ~slo ()
+                | Some p -> (
+                    match
+                      Rwc_journal.resume ~path:p ~slo
+                        ~at:c.Rwc_recover.ck_journal_bytes
+                        ~events:c.Rwc_recover.ck_journal_events ()
+                    with
+                    | Ok j -> j
+                    | Error e ->
+                        Printf.eprintf "rwc simulate: --resume: %s: %s\n" p e;
+                        exit 2))
+            | None -> journal_sink journal_path slo
+          in
+          (* Ctrl-C / SIGTERM cut a final checkpoint at the next sample
+             boundary instead of tearing the state down mid-sweep. *)
+          let handler =
+            Sys.Signal_handle (fun _ -> Rwc_recover.request_stop ctx)
+          in
+          Sys.set_signal Sys.sigint handler;
+          Sys.set_signal Sys.sigterm handler;
+          let policies =
+            match policy with
+            | Some p -> [ p ]
+            | None -> Rwc_sim.Runner.all_policies
+          in
+          let outcomes =
+            try
+              Rwc_sim.Runner.run_recoverable ~config:(config_of jnl) ~backbone
+                ~ctx ~resume_from ~policies ()
+            with Rwc_recover.Interrupted ->
+              Printf.eprintf
+                "rwc simulate: interrupted; checkpoint written to %s — rerun \
+                 the same command with --resume to continue\n"
+                dir;
+              exit 130
+          in
+          if ctx.Rwc_recover.restarts > 0 then
+            Printf.eprintf
+              "rwc simulate: recovered from %d crash restart%s\n"
+              ctx.Rwc_recover.restarts
+              (if ctx.Rwc_recover.restarts = 1 then "" else "s");
+          let rows =
+            List.map
+              (function
+                | Rwc_sim.Runner.Replayed { policy; pp; json } ->
+                    ( Rwc_sim.Runner.policy_name policy,
+                      pp,
+                      match Obs.Json.parse json with
+                      | Ok j -> j
+                      | Error _ -> Obs.Json.Null )
+                | Rwc_sim.Runner.Ran r -> row_of_report r)
+              outcomes
+          in
+          finish ~jnl
+            ~extra_config:
+              [
+                ("checkpoint", Obs.Json.String dir);
+                ("checkpoint_every", Obs.Json.Int checkpoint_every);
+                ("resume", Obs.Json.Bool resume);
+              ]
+            rows)
 
 let days_arg =
   Arg.(value & opt float 21.0 & info [ "days" ] ~docv:"D" ~doc:"Horizon in days.")
@@ -486,13 +632,50 @@ let manifest_arg =
           "Write a structured run record (config, seed, version, per-policy \
            report, metric snapshot) as JSON to $(docv).")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"DIR"
+        ~doc:
+          "Write versioned, CRC-guarded checkpoints of the full control-loop \
+           state under $(docv) (created if missing): every \
+           $(b,--checkpoint-every) telemetry sweeps, at policy boundaries, \
+           and on SIGINT/SIGTERM.  A crashed or interrupted run restarted \
+           with $(b,--resume) continues from the newest valid checkpoint and \
+           produces reports (and a journal) byte-identical to an \
+           uninterrupted run.  Also required by $(b,crash=) fault rules, \
+           which kill and restart the controller in-process.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 96
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "Telemetry sweeps between periodic checkpoints (default 96: one \
+           simulated day at the 15-minute cadence).  Under a $(b,crash=) \
+           fault, progress requires surviving $(docv) consecutive crash \
+           draws after each restart — pick an interval well below \
+           1/rate.")
+
+let resume_flag =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from the newest valid checkpoint in $(b,--checkpoint) \
+           $(i,DIR): completed policies are reprinted from their stored \
+           renderings, the in-progress one restarts from its captured \
+           state, and the $(b,--journal) file is truncated to the \
+           checkpoint's high-water mark and re-emitted byte-identically.")
+
 let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"WAN policy simulation (throughput/availability)")
     Term.(
       const run_simulate $ obs_term $ days_arg $ policy_arg $ sim_seed_arg
       $ faults_arg $ guard_arg $ journal_arg $ slo_arg $ backbone_file_arg
-      $ manifest_arg)
+      $ manifest_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_flag)
 
 (* ---- chaos ------------------------------------------------------------- *)
 
@@ -502,9 +685,14 @@ let simulate_cmd =
    compared against. *)
 
 let run_chaos () days seed factors policy guard journal_path slo backbone_file
-    manifest_path json_path =
+    manifest_path json_path crash_rates =
   Option.iter (check_writable "--manifest") manifest_path;
   Option.iter (check_writable "--json") json_path;
+  let crash_rates = List.sort_uniq compare crash_rates in
+  if List.exists (fun r -> r < 0.0 || r >= 1.0) crash_rates then begin
+    prerr_endline "rwc chaos: --crash must be a probability in [0, 1)";
+    exit 2
+  end;
   (* One sink for the whole sweep: every (factor, guard, policy) run
      appends its own Run_start-headed segment, so `rwc explain --run N`
      can pick any of them out of the one file. *)
@@ -588,6 +776,105 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
             fallback)
         reports)
     sweep;
+  (* Crash-rate sweep: the factor-1.00 plan plus a crash= rule killing
+     the controller at random sample boundaries, recovered in-process
+     from throwaway checkpoints.  Recovery is byte-exact, so delivered
+     throughput must equal the plain factor-1.00 run's — the vs-f1.00
+     column doubles as a live self-check of the recovery path. *)
+  let crash_rows =
+    if crash_rates = [] then []
+    else begin
+      let reference =
+        match
+          List.find_opt (fun (f, guarded, _) -> f = 1.0 && not guarded) sweep
+        with
+        | Some (_, _, reports) -> reports
+        | None ->
+            (* 1.0 was excluded from --factor: run the crash-free
+               reference once, journal disarmed. *)
+            let config =
+              {
+                Rwc_sim.Runner.default_config with
+                Rwc_sim.Runner.days;
+                seed;
+                faults = Rwc_fault.scaled Rwc_fault.default ~factor:1.0;
+              }
+            in
+            (match policy with
+            | Some p -> [ Rwc_sim.Runner.run ~config ~backbone p ]
+            | None -> Rwc_sim.Runner.compare_policies ~config ~backbone ())
+      in
+      let ref_delivered p =
+        (List.find (fun r -> r.Rwc_sim.Runner.policy = p) reference)
+          .Rwc_sim.Runner.delivered_pbit
+      in
+      List.concat_map
+        (fun rate ->
+          let faults =
+            match
+              Rwc_fault.of_string (Printf.sprintf "default,crash=%g" rate)
+            with
+            | Ok p -> p
+            | Error e ->
+                Printf.eprintf "rwc chaos: --crash: %s\n" e;
+                exit 2
+          in
+          let dir = fresh_temp_dir "rwc-chaos-ckpt" in
+          (* A tight checkpoint cadence: progress past a checkpoint
+             requires surviving `every` fresh crash draws, so at high
+             rates a day-sized interval would never be crossed. *)
+          match Rwc_recover.create ~dir ~every:8 ~faults ~resume:false () with
+          | Error e ->
+              Printf.eprintf "rwc chaos: --crash: %s: %s\n" dir e;
+              exit 2
+          | Ok (ctx, _) ->
+              let config =
+                {
+                  Rwc_sim.Runner.default_config with
+                  Rwc_sim.Runner.days;
+                  seed;
+                  faults;
+                }
+              in
+              let policies =
+                match policy with
+                | Some p -> [ p ]
+                | None -> Rwc_sim.Runner.all_policies
+              in
+              let outcomes =
+                Rwc_sim.Runner.run_recoverable ~config ~backbone ~ctx
+                  ~resume_from:None ~policies ()
+              in
+              rm_rf_dir dir;
+              List.filter_map
+                (function
+                  | Rwc_sim.Runner.Ran r ->
+                      let base = ref_delivered r.Rwc_sim.Runner.policy in
+                      let vs =
+                        100.0
+                        *. (r.Rwc_sim.Runner.delivered_pbit -. base)
+                        /. base
+                      in
+                      Some (rate, ctx.Rwc_recover.restarts, vs, r)
+                  | Rwc_sim.Runner.Replayed _ -> None)
+                outcomes)
+        crash_rates
+    end
+  in
+  (match crash_rows with
+  | [] -> ()
+  | rows ->
+      Printf.printf
+        "\ncrash sweep: factor-1.00 plan plus crash=RATE (checkpoint-backed \
+         in-process restarts; vs-f1.00 should be +0.000%%)\n";
+      Printf.printf "%-7s %8s %-22s %15s %11s\n" "crash" "restarts" "policy"
+        "delivered(Pbit)" "vs-f1.00";
+      List.iter
+        (fun (rate, restarts, vs, r) ->
+          Printf.printf "%-7.3f %8d %-22s %15.2f %+10.3f%%\n" rate restarts
+            (Rwc_sim.Runner.policy_name r.Rwc_sim.Runner.policy)
+            r.Rwc_sim.Runner.delivered_pbit vs)
+        rows);
   let row_label factor guarded r =
     Printf.sprintf "f%.2f%s/%s" factor
       (if guarded then "+guard" else "")
@@ -619,14 +906,40 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
               reports)
           sweep
       in
+      let crash_fields =
+        match crash_rows with
+        | [] -> []
+        | cr ->
+            [
+              ( "crash_rows",
+                List
+                  (List.map
+                     (fun (rate, restarts, vs, r) ->
+                       Assoc
+                         [
+                           ("crash", Float rate);
+                           ("restarts", Int restarts);
+                           ( "policy",
+                             String
+                               (Rwc_sim.Runner.policy_name
+                                  r.Rwc_sim.Runner.policy) );
+                           ( "delivered_pbit",
+                             Float r.Rwc_sim.Runner.delivered_pbit );
+                           ("vs_f1_pct", Float vs);
+                           ("report", Rwc_sim.Runner.json_of_report r);
+                         ])
+                     cr) );
+            ]
+      in
       to_file path
         (Assoc
-           [
-             ("days", Float days);
-             ("seed", Int seed);
-             ("guard", String (Rwc_guard.to_string guard));
-             ("rows", List rows);
-           ]));
+           ([
+              ("days", Float days);
+              ("seed", Int seed);
+              ("guard", String (Rwc_guard.to_string guard));
+              ("rows", List rows);
+            ]
+           @ crash_fields)));
   match manifest_path with
   | None -> ()
   | Some path ->
@@ -655,7 +968,13 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
                      ( row_label factor guarded r,
                        Rwc_sim.Runner.json_of_report r ))
                    reports)
-               sweep)
+               sweep
+            @ List.map
+                (fun (rate, _, _, r) ->
+                  ( Printf.sprintf "crash%.3f/%s" rate
+                      (Rwc_sim.Runner.policy_name r.Rwc_sim.Runner.policy),
+                    Rwc_sim.Runner.json_of_report r ))
+                crash_rows)
           ~metrics:(manifest_metrics ()) ()
       in
       Obs.Manifest.write path manifest
@@ -684,6 +1003,18 @@ let chaos_json_arg =
            printed line (factor, guard, policy, delivered, vs-baseline \
            percentage and the full per-run report).")
 
+let chaos_crash_arg =
+  Arg.(
+    value
+    & opt_all float []
+    & info [ "crash" ] ~docv:"RATE"
+        ~doc:
+          "Also sweep controller crashes (repeatable): run the factor-1.00 \
+           plan plus $(b,crash=)$(docv), restarting in-process from \
+           throwaway checkpoints after each kill.  Recovery is byte-exact, \
+           so the printed delivered throughput must match the plain \
+           factor-1.00 row.")
+
 let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
@@ -691,7 +1022,7 @@ let chaos_cmd =
     Term.(
       const run_chaos $ obs_term $ chaos_days_arg $ sim_seed_arg $ factors_arg
       $ policy_arg $ guard_arg $ journal_arg $ slo_arg $ backbone_file_arg
-      $ manifest_arg $ chaos_json_arg)
+      $ manifest_arg $ chaos_json_arg $ chaos_crash_arg)
 
 (* ---- explain ----------------------------------------------------------- *)
 
@@ -702,7 +1033,7 @@ let chaos_cmd =
 
 module J = Rwc_journal
 
-let pp_journal_record (r : J.record) =
+let pp_journal_record ?(replayed = false) (r : J.record) =
   let detail =
     match r.kind with
     | J.Run_start { policy; seed; horizon_s; n_links } ->
@@ -726,7 +1057,8 @@ let pp_journal_record (r : J.record) =
         Printf.sprintf "anomaly  %s alarm, snr=%.2f dB" (J.detector_name detector)
           snr_db
   in
-  Printf.printf "  t=%12.1f  span=%-6d %s\n" r.t r.span detail
+  Printf.printf "  t=%12.1f  span=%-6d %s%s\n" r.t r.span detail
+    (if replayed then "  [replayed]" else "")
 
 let explain_scorecard cfg seg =
   match J.Slo.of_records cfg seg with
@@ -753,10 +1085,12 @@ let explain_scorecard cfg seg =
 
 (* The chain in effect at time [at]: link timelines split into decision
    chains at Observe boundaries (anomaly/outage/commit events belong to
-   the chain of the preceding observation). *)
+   the chain of the preceding observation).  [events] carries each
+   record's global journal ordinal alongside it; [None] when no chain
+   has started by [at]. *)
 let chain_at events at =
-  let starts_chain (r : J.record) =
-    match r.kind with J.Observe _ -> true | _ -> false
+  let starts_chain (_, (r : J.record)) =
+    match r.J.kind with J.Observe _ -> true | _ -> false
   in
   let rec split cur acc = function
     | [] -> List.rev (List.rev cur :: acc)
@@ -765,14 +1099,42 @@ let chain_at events at =
         else split (r :: cur) acc rest
   in
   let chains = split [] [] events in
-  let chain_start = function [] -> 0.0 | (r : J.record) :: _ -> r.J.t in
+  let chain_start = function
+    | [] -> infinity
+    | (_, (r : J.record)) :: _ -> r.J.t
+  in
   let rec pick best = function
     | [] -> best
-    | c :: rest -> if chain_start c <= at then pick c rest else best
+    | c :: rest -> if chain_start c <= at then pick (Some c) rest else best
   in
-  match chains with [] -> [] | first :: rest -> pick first rest
+  pick None chains
 
-let run_explain () journal_file run_idx link at slo =
+let run_explain () journal_file run_idx link at recovered slo =
+  if at <> None && link = None then begin
+    prerr_endline "rwc explain: --at requires --link";
+    exit 2
+  end;
+  (* --recovered: the checkpoint directory's resume marks record the
+     journal high-water mark each resume (or in-process crash restart)
+     replayed from; everything at or past the earliest mark was
+     re-emitted by a recovered process. *)
+  let mark =
+    match recovered with
+    | None -> fun _ -> false
+    | Some dir -> (
+        match Rwc_recover.resume_marks dir with
+        | [] ->
+            Printf.eprintf
+              "rwc explain: --recovered %s: no resume marks (the run was \
+               never resumed or restarted)\n"
+              dir;
+            exit 2
+        | marks ->
+            let hwm =
+              List.fold_left (fun acc (e, _) -> min acc e) max_int marks
+            in
+            fun i -> i >= hwm)
+  in
   match J.read_file journal_file with
   | Error e ->
       Printf.eprintf "rwc explain: %s: %s\n" journal_file e;
@@ -782,6 +1144,18 @@ let run_explain () journal_file run_idx link at slo =
       exit 2
   | Ok records -> (
       let segs = J.segments records in
+      (* Segments partition the record list in order, so a running
+         offset recovers each record's global ordinal — the unit the
+         checkpoint high-water mark is expressed in. *)
+      let indexed_segs =
+        let rec go off = function
+          | [] -> []
+          | s :: rest ->
+              List.mapi (fun i r -> (off + i, r)) s
+              :: go (off + List.length s) rest
+        in
+        go 0 segs
+      in
       let nseg = List.length segs in
       let idx =
         match run_idx with
@@ -791,7 +1165,8 @@ let run_explain () journal_file run_idx link at slo =
             Printf.eprintf "rwc explain: --run %d out of range (1..%d)\n" i nseg;
             exit 2
       in
-      let seg = List.nth segs (idx - 1) in
+      let seg_pairs = List.nth indexed_segs (idx - 1) in
+      let seg = List.map snd seg_pairs in
       (match
          List.find_map
            (function
@@ -813,40 +1188,53 @@ let run_explain () journal_file run_idx link at slo =
             (List.length seg));
       (match link with
       | Some id -> (
-          let events = List.filter (fun (r : J.record) -> r.J.link = id) seg in
+          let events =
+            List.filter (fun (_, (r : J.record)) -> r.J.link = id) seg_pairs
+          in
           if events = [] then begin
             Printf.eprintf "rwc explain: no events for link %d in run %d\n" id
               idx;
             exit 1
           end;
+          let pp (i, r) = pp_journal_record ~replayed:(mark i) r in
           match at with
           | None ->
               Printf.printf "link %d timeline:\n" id;
-              List.iter pp_journal_record events
-          | Some t ->
-              let chain = chain_at events t in
-              Printf.printf "link %d, decision chain in effect at t=%.1f:\n" id
-                t;
-              List.iter pp_journal_record chain;
-              let state =
-                List.fold_left
-                  (fun acc (r : J.record) ->
-                    if r.J.t <= t then
-                      match r.J.kind with
-                      | J.Commit { gbps; up } -> Some (gbps, up)
-                      | J.Outage { up } -> (
-                          match acc with
-                          | Some (g, _) -> Some (g, up)
-                          | None -> acc)
-                      | _ -> acc
-                    else acc)
-                  None events
-              in
-              (match state with
-              | Some (gbps, up) ->
-                  Printf.printf "state at t=%.1f: %dG %s\n" t gbps
-                    (if up then "up" else "dark")
-              | None -> Printf.printf "state at t=%.1f: no commit yet\n" t))
+              List.iter pp events
+          | Some t -> (
+              match chain_at events t with
+              | None ->
+                  let first =
+                    match events with (_, r) :: _ -> r.J.t | [] -> 0.0
+                  in
+                  Printf.eprintf
+                    "rwc explain: link %d has no decision chain in effect at \
+                     t=%.1f (its first event is at t=%.1f)\n"
+                    id t first;
+                  exit 1
+              | Some chain ->
+                  Printf.printf "link %d, decision chain in effect at t=%.1f:\n"
+                    id t;
+                  List.iter pp chain;
+                  let state =
+                    List.fold_left
+                      (fun acc (_, (r : J.record)) ->
+                        if r.J.t <= t then
+                          match r.J.kind with
+                          | J.Commit { gbps; up } -> Some (gbps, up)
+                          | J.Outage { up } -> (
+                              match acc with
+                              | Some (g, _) -> Some (g, up)
+                              | None -> acc)
+                          | _ -> acc
+                        else acc)
+                      None events
+                  in
+                  (match state with
+                  | Some (gbps, up) ->
+                      Printf.printf "state at t=%.1f: %dG %s\n" t gbps
+                        (if up then "up" else "dark")
+                  | None -> Printf.printf "state at t=%.1f: no commit yet\n" t)))
       | None ->
           (* Fleet view: one row per link that has events. *)
           let tbl = Hashtbl.create 64 in
@@ -931,13 +1319,24 @@ let explain_at_arg =
           "With $(b,--link): show only the decision chain in effect at \
            simulation time $(docv) (seconds), plus the link state then.")
 
+let explain_recovered_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "recovered" ] ~docv:"DIR"
+        ~doc:
+          "Checkpoint directory of a resumed run: timeline events at or past \
+           the earliest recorded resume mark — the ones re-emitted by a \
+           resumed or crash-restarted process — are flagged \
+           $(b,[replayed]).")
+
 let explain_cmd =
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Reconstruct why links changed capacity from a decision journal")
     Term.(
       const run_explain $ obs_term $ explain_journal_arg $ explain_run_arg
-      $ explain_link_arg $ explain_at_arg $ slo_arg)
+      $ explain_link_arg $ explain_at_arg $ explain_recovered_arg $ slo_arg)
 
 (* ---- bvt -------------------------------------------------------------- *)
 

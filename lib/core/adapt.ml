@@ -18,6 +18,16 @@ let create ?(config = default_config) ~initial_gbps () =
   { config; current_gbps = initial_gbps; qualify_streak = 0 }
 
 let capacity_gbps t = t.current_gbps
+let qualify_streak t = t.qualify_streak
+
+let restore t ~gbps ~streak =
+  (match Modulation.of_gbps gbps with
+  | Some _ -> ()
+  | None when gbps = 0 -> ()
+  | None -> invalid_arg "Adapt.restore: not a modulation denomination");
+  if streak < 0 then invalid_arg "Adapt.restore: negative streak";
+  t.current_gbps <- gbps;
+  t.qualify_streak <- streak
 
 type action =
   | No_change

@@ -37,6 +37,15 @@ val create : ?config:config -> initial_gbps:int -> unit -> state
 val capacity_gbps : state -> int
 (** Currently configured capacity; 0 when the link is dark. *)
 
+val qualify_streak : state -> int
+(** Current step-up qualification streak (checkpointing). *)
+
+val restore : state -> gbps:int -> streak:int -> unit
+(** Overwrite both capacity and streak from a checkpoint.  Unlike
+    {!force} this preserves an in-progress qualification streak.
+    Raises [Invalid_argument] on a non-denomination [gbps] or a
+    negative [streak]. *)
+
 type action =
   | No_change
   | Step_up of { from_gbps : int; to_gbps : int }

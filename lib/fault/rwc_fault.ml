@@ -5,11 +5,12 @@ type component =
   | Collector_corrupt
   | Adapt_stuck
   | Te_delay
+  | Crash
 
 let all_components =
   [
     Bvt_reconfig; Bvt_timeout; Collector_outage; Collector_corrupt;
-    Adapt_stuck; Te_delay;
+    Adapt_stuck; Te_delay; Crash;
   ]
 
 let component_index = function
@@ -19,6 +20,7 @@ let component_index = function
   | Collector_corrupt -> 3
   | Adapt_stuck -> 4
   | Te_delay -> 5
+  | Crash -> 6
 
 let n_components = List.length all_components
 
@@ -29,6 +31,7 @@ let component_name = function
   | Collector_corrupt -> "collector-corrupt"
   | Adapt_stuck -> "adapt-stuck"
   | Te_delay -> "te-delay"
+  | Crash -> "crash"
 
 let component_of_name = function
   | "bvt-fail" -> Some Bvt_reconfig
@@ -37,6 +40,7 @@ let component_of_name = function
   | "collector-corrupt" -> Some Collector_corrupt
   | "adapt-stuck" -> Some Adapt_stuck
   | "te-delay" -> Some Te_delay
+  | "crash" -> Some Crash
   | _ -> None
 
 type window = { start_s : float; stop_s : float }
@@ -273,3 +277,38 @@ let injected_for t component =
   match t.slots.(component_index component) with
   | None -> 0
   | Some s -> s.s_count
+
+(* ---- checkpoint support ------------------------------------------------ *)
+
+type snapshot = {
+  snap_total : int;
+  snap_slots : (int64 * int) option array;  (* (rng state, count) per slot *)
+}
+
+let snapshot t =
+  {
+    snap_total = t.total;
+    snap_slots =
+      Array.map
+        (Option.map (fun s -> (Rwc_stats.Rng.raw_state s.s_rng, s.s_count)))
+        t.slots;
+  }
+
+let restore t snap =
+  if Array.length snap.snap_slots <> Array.length t.slots then
+    invalid_arg "Rwc_fault.restore: snapshot shape mismatch";
+  t.total <- snap.snap_total;
+  Array.iteri
+    (fun i slot ->
+      match (slot, snap.snap_slots.(i)) with
+      | Some s, Some (state, count) ->
+          Rwc_stats.Rng.set_raw_state s.s_rng state;
+          s.s_count <- count
+      | None, None -> ()
+      | _ -> invalid_arg "Rwc_fault.restore: snapshot shape mismatch")
+    t.slots
+
+let snapshot_to_list snap = (snap.snap_total, Array.to_list snap.snap_slots)
+
+let snapshot_of_list (snap_total, slots) =
+  { snap_total; snap_slots = Array.of_list slots }

@@ -44,6 +44,9 @@ type component =
           current modulation (stuck firmware / lost command). *)
   | Te_delay
       (** A due TE recomputation is postponed by [param] seconds. *)
+  | Crash
+      (** The controller process dies at a sample boundary and must be
+          restarted from its last checkpoint (see {!Rwc_recover}). *)
 
 val all_components : component list
 val component_name : component -> string
@@ -86,7 +89,7 @@ val of_string : string -> (plan, string) result
     - ["NAME=PROB"], ["NAME=PROB:PARAM"], each optionally suffixed
       with ["@START..STOP"] (seconds): one rule, where [NAME] is one
       of [bvt-fail], [bvt-timeout], [collector-outage],
-      [collector-corrupt], [adapt-stuck], [te-delay].
+      [collector-corrupt], [adapt-stuck], [te-delay], [crash].
 
     Example: ["bvt-fail=0.3,te-delay=0.1:1800,seed=99"], or
     ["bvt-fail=0.5@86400..172800"] for day-two-only failures. *)
@@ -127,3 +130,20 @@ val injected : injector -> int
 (** Total faults this injector has fired, across components. *)
 
 val injected_for : injector -> component -> int
+
+type snapshot
+(** Frozen injector state: per-component RNG positions and firing
+    counts.  Only meaningful against an injector compiled from the
+    same plan. *)
+
+val snapshot : injector -> snapshot
+val restore : injector -> snapshot -> unit
+(** [restore t snap] rewinds [t] to the captured positions.  Raises
+    [Invalid_argument] if [t] was compiled from a plan with a
+    different rule shape. *)
+
+val snapshot_to_list : snapshot -> int * (int64 * int) option list
+(** [(total, per-component slot states)] for serialization. *)
+
+val snapshot_of_list : int * (int64 * int) option list -> snapshot
+(** Inverse of {!snapshot_to_list}. *)

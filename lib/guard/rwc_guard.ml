@@ -405,3 +405,94 @@ let release t ~link =
         in
         Hashtbl.replace t.in_flight_per_group g (max 0 (used - 1))
       end
+
+(* ---- checkpoint support ------------------------------------------------ *)
+
+type link_snapshot = {
+  ls_penalty : float;
+  ls_penalty_at : float;
+  ls_quarantined : bool;
+  ls_fresh : bool;
+  ls_last_ok_s : float;
+  ls_stage : int;  (* 0 = Live, 1 = Frozen, 2 = Static_fallback *)
+  ls_in_flight : bool;
+  ls_h1 : (float * bool) option;
+  ls_h2 : (float * bool) option;
+}
+
+type snapshot = {
+  gs_links : link_snapshot list;
+  gs_hold_until : float;
+  gs_osc_events : float list;
+  gs_stats : stats;
+}
+
+let stage_to_int = function Live -> 0 | Frozen -> 1 | Static_fallback -> 2
+
+let stage_of_int = function
+  | 0 -> Live
+  | 1 -> Frozen
+  | 2 -> Static_fallback
+  | n -> invalid_arg (Printf.sprintf "Rwc_guard: bad stage %d" n)
+
+let snapshot t =
+  match t.cfg with
+  | None -> None
+  | Some _ ->
+      Some
+        {
+          gs_links =
+            Array.to_list
+              (Array.map
+                 (fun l ->
+                   {
+                     ls_penalty = l.penalty;
+                     ls_penalty_at = l.penalty_at;
+                     ls_quarantined = l.is_quarantined;
+                     ls_fresh = l.fresh;
+                     ls_last_ok_s = l.last_ok_s;
+                     ls_stage = stage_to_int l.stage;
+                     ls_in_flight = l.in_flight;
+                     ls_h1 = l.h1;
+                     ls_h2 = l.h2;
+                   })
+                 t.links);
+          gs_hold_until = t.hold_until;
+          gs_osc_events = t.osc_events;
+          gs_stats = t.st;
+        }
+
+let restore t snap =
+  match t.cfg with
+  | None -> invalid_arg "Rwc_guard.restore: disarmed guard"
+  | Some _ ->
+      if List.length snap.gs_links <> Array.length t.links then
+        invalid_arg "Rwc_guard.restore: fleet size mismatch";
+      List.iteri
+        (fun i ls ->
+          let l = t.links.(i) in
+          l.penalty <- ls.ls_penalty;
+          l.penalty_at <- ls.ls_penalty_at;
+          l.is_quarantined <- ls.ls_quarantined;
+          l.fresh <- ls.ls_fresh;
+          l.last_ok_s <- ls.ls_last_ok_s;
+          l.stage <- stage_of_int ls.ls_stage;
+          l.in_flight <- ls.ls_in_flight;
+          l.h1 <- ls.ls_h1;
+          l.h2 <- ls.ls_h2)
+        snap.gs_links;
+      t.hold_until <- snap.gs_hold_until;
+      t.osc_events <- snap.gs_osc_events;
+      t.st <- snap.gs_stats;
+      (* The per-group token table is derived state: rebuild it from
+         the restored in-flight flags. *)
+      Hashtbl.reset t.in_flight_per_group;
+      Array.iteri
+        (fun i l ->
+          if l.in_flight then begin
+            let g = t.group_of i in
+            Hashtbl.replace t.in_flight_per_group g
+              (1
+              + Option.value ~default:0 (Hashtbl.find_opt t.in_flight_per_group g))
+          end)
+        t.links

@@ -192,3 +192,33 @@ type stats = {
 
 val stats : t -> stats
 (** All zeros for {!disarmed}. *)
+
+type link_snapshot = {
+  ls_penalty : float;
+  ls_penalty_at : float;
+  ls_quarantined : bool;
+  ls_fresh : bool;
+  ls_last_ok_s : float;
+  ls_stage : int;  (** 0 = live, 1 = frozen, 2 = static fallback. *)
+  ls_in_flight : bool;
+  ls_h1 : (float * bool) option;
+  ls_h2 : (float * bool) option;
+}
+(** Frozen per-link guard state, with variant fields flattened to
+    plain data for checkpoint serialization. *)
+
+type snapshot = {
+  gs_links : link_snapshot list;
+  gs_hold_until : float;
+  gs_osc_events : float list;
+  gs_stats : stats;
+}
+
+val snapshot : t -> snapshot option
+(** Full guard state as plain data; [None] for {!disarmed}. *)
+
+val restore : t -> snapshot -> unit
+(** Overwrite an armed guard's state from a snapshot taken on a fleet
+    of the same size; the per-group admission-token table is rebuilt
+    from the restored in-flight flags.  Raises [Invalid_argument] on a
+    disarmed guard, a fleet-size mismatch, or a bad stage code. *)

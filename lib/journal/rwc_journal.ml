@@ -617,6 +617,90 @@ let close t =
 
 let events_emitted t = t.n_events
 
+let byte_offset t =
+  match t.oc with
+  | None -> 0
+  | Some oc ->
+      flush oc;
+      pos_out oc
+
+let resume ?path ?(slo = Slo.none) ~at ~events () =
+  match (path, slo) with
+  | None, None -> Ok disarmed
+  | _ -> (
+      let reopened =
+        match path with
+        | None -> Ok (None, None, 0.0)
+        | Some p -> (
+            (* Truncate the file to the checkpoint's high-water mark —
+               events past it belong to the crashed attempt and will be
+               re-emitted byte-identically by the resumed run — then
+               rebuild the online SLO tracker by replaying the retained
+               prefix of the current segment. *)
+            match
+              In_channel.with_open_bin p (fun ic ->
+                  let len = In_channel.length ic in
+                  if Int64.of_int at > len then Error "journal shorter than checkpoint high-water mark"
+                  else Ok (really_input_string ic at))
+            with
+            | exception Sys_error e -> Error e
+            | Error e -> Error e
+            | Ok prefix -> (
+                let parse () =
+                  let lines = String.split_on_char '\n' prefix in
+                  List.filter_map
+                    (fun line ->
+                      if String.trim line = "" then None
+                      else
+                        match Json.parse line with
+                        | Error _ -> None
+                        | Ok json -> Result.to_option (record_of_json json))
+                    lines
+                in
+                let records = parse () in
+                let segment =
+                  match segments records with [] -> [] | segs -> List.nth segs (List.length segs - 1)
+                in
+                let horizon_s, tracker =
+                  match
+                    List.find_map
+                      (function
+                        | { kind = Run_start { horizon_s; n_links; _ }; _ } ->
+                            Some (horizon_s, n_links)
+                        | _ -> None)
+                      segment
+                  with
+                  | None -> (0.0, None)
+                  | Some (horizon_s, n_links) ->
+                      let tracker =
+                        Option.map
+                          (fun cfg ->
+                            let tr = Slo.make_tracker cfg ~n_links in
+                            List.iter (Slo.feed tr) segment;
+                            tr)
+                          slo
+                      in
+                      (horizon_s, tracker)
+                in
+                let oc = open_out_bin p in
+                output_string oc prefix;
+                flush oc;
+                Ok (Some oc, tracker, horizon_s)))
+      in
+      match reopened with
+      | Error e -> Error e
+      | Ok (oc, tracker, horizon_s) ->
+          Ok
+            {
+              sink_armed = true;
+              oc;
+              slo;
+              tracker;
+              horizon_s;
+              n_events = events;
+              closed = false;
+            })
+
 let emit t r =
   t.n_events <- t.n_events + 1;
   (match t.oc with

@@ -194,6 +194,20 @@ val close : t -> unit
 val events_emitted : t -> int
 (** Events emitted since [create]; 0 for {!disarmed}. *)
 
+val byte_offset : t -> int
+(** Flush and report the current size of the journal file — the
+    high-water mark a checkpoint records so a resumed run can truncate
+    the file back to a consistent point.  0 for path-less sinks. *)
+
+val resume :
+  ?path:string -> ?slo:Slo.plan -> at:int -> events:int -> unit -> (t, string) result
+(** Reopen a journal for a resumed run.  The file at [path] is
+    truncated to [at] bytes (events past the mark belong to the crashed
+    attempt and are re-emitted byte-identically by the resumed run),
+    the online SLO tracker is rebuilt by replaying the retained prefix
+    of the current segment, and the event counter restarts at
+    [events].  Errors if the file is missing or shorter than [at]. *)
+
 (** {1 Run segmentation} *)
 
 val start_run :

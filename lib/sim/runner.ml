@@ -133,7 +133,14 @@ let journal_verdict_of = function
   | Rwc_guard.Suppress Rwc_guard.Stale -> Rwc_journal.Stale_data
   | Rwc_guard.Suppress Rwc_guard.Global_hold -> Rwc_journal.Held
 
-let run_policy ~config ~backbone policy =
+(* [recover] arms crash-safe checkpointing: the context carries the
+   stop flag, checkpoint cadence and crash oracle, and the callback
+   persists a captured {!Rwc_recover.run_state} together with the
+   journal's high-water mark.  [restore] starts the run from a
+   checkpoint instead of from scratch.  Both default to [None], and
+   every recovery hook below is gated so the disarmed path stays
+   byte-identical to a build without the recover layer. *)
+let run_policy ~config ~backbone ?recover ?restore policy =
   assert (config.days > 0.0 && config.te_interval_h > 0.0);
   (* One injector per policy run, compiled from the plan seed: every
      policy sees the same fault pattern, and a plan with no rules is a
@@ -227,16 +234,21 @@ let run_policy ~config ~backbone policy =
         { state = d; trace; controller; reconfiguring = false })
       net.Netstate.ducts
   in
-  Rwc_journal.start_run jnl ~policy:(policy_name policy) ~seed:config.seed
-    ~horizon_s:(config.days *. 86_400.0) ~n_links:n_ducts;
-  (* Opening commits: every link's timeline starts from its day-one
-     denomination, so a per-link `rwc explain` view is never empty. *)
-  if jarmed then
-    Array.iter
-      (fun dr ->
-        Rwc_journal.commit jnl ~link:dr.state.Netstate.duct_index ~now:0.0
-          ~gbps:dr.state.Netstate.per_lambda_gbps ~up:dr.state.Netstate.up)
-      ducts;
+  (* On restore the segment header and opening commits are already in
+     the journal's retained prefix; re-emitting them would duplicate
+     the segment. *)
+  if Option.is_none restore then begin
+    Rwc_journal.start_run jnl ~policy:(policy_name policy) ~seed:config.seed
+      ~horizon_s:(config.days *. 86_400.0) ~n_links:n_ducts;
+    (* Opening commits: every link's timeline starts from its day-one
+       denomination, so a per-link `rwc explain` view is never empty. *)
+    if jarmed then
+      Array.iter
+        (fun dr ->
+          Rwc_journal.commit jnl ~link:dr.state.Netstate.duct_index ~now:0.0
+            ~gbps:dr.state.Netstate.per_lambda_gbps ~up:dr.state.Netstate.up)
+        ducts
+  end;
   (* Offered traffic: gravity matrix scaled to a fraction of the
      static-100G fleet capacity. *)
   let static_total =
@@ -286,6 +298,26 @@ let run_policy ~config ~backbone policy =
   let horizon_s = config.days *. 86_400.0 in
   let sample_s = Snr_model.sample_interval_s in
   let n_samples = int_of_float (horizon_s /. sample_s) in
+  (* DES handlers are closures and cannot be serialized, so an armed
+     recovery context shadows the event queue with reconstructible
+     descriptors, kept in scheduling order: the restore path re-arms
+     them in the same order, so same-time ties break exactly as the
+     Event_queue's insertion-sequence tie-break broke them in the
+     uninterrupted run.  Disarmed, both hooks are a flag check. *)
+  let rec_armed = Option.is_some recover in
+  let pending : (int * Rwc_recover.pending) list ref = ref [] in
+  let pending_seq = ref 0 in
+  let note_pending (p : Rwc_recover.pending) =
+    if not rec_armed then 0
+    else begin
+      incr pending_seq;
+      pending := !pending @ [ (!pending_seq, p) ];
+      !pending_seq
+    end
+  in
+  let drop_pending id =
+    if rec_armed then pending := List.filter (fun (i, _) -> i <> id) !pending
+  in
   (* Event-driven TE with time-integral accounting: the current
      routed total earns credit until the next recomputation, and any
      topology change (failure, recovery, reconfiguration) marks the
@@ -326,6 +358,113 @@ let run_policy ~config ~backbone policy =
                 0.0 net.Netstate.ducts;
             te_dirty := false))
   in
+  (* The reconfiguration machinery lives at run scope (not inside the
+     per-sample closure) so the restore path can rebuild in-flight
+     attempt chains from pending-event descriptors.  [begin_attempt]
+     starts attempt [n] (drawing its duration), [finish_attempt] is
+     the completion handler with the fault/retry/fallback outcome
+     logic — together they are the old nested [attempt] loop. *)
+  let attempt_mean =
+    match policy with
+    | Adaptive p -> downtime_mean_s p
+    | Static_100 | Static_max -> 0.0
+  in
+  (* Time a duct spends unusable — attempt durations, injected stalls
+     and retry backoffs alike — costs the traffic TE had routed over
+     it. *)
+  let charge_duct (d : Netstate.duct_state) dt =
+    downtime := !downtime +. dt;
+    Metrics.addf m_downtime dt;
+    delivered_gbit :=
+      !delivered_gbit -. (duct_flow.(d.Netstate.duct_index) *. dt);
+    Metrics.addf m_disrupted (duct_flow.(d.Netstate.duct_index) *. dt)
+  in
+  let finish_duct dr gbps =
+    dr.reconfiguring <- false;
+    dr.state.Netstate.per_lambda_gbps <- gbps;
+    dr.state.Netstate.up <- true;
+    Rwc_guard.release guard ~link:dr.state.Netstate.duct_index;
+    te_dirty := true
+  in
+  let rec begin_attempt dr ctl ~new_gbps ~prev_gbps n =
+    let d = dr.state in
+    let dt =
+      Float.min sample_s
+        (Rwc_stats.Rng.lognormal_of_mean reconfig_rng ~mean:attempt_mean
+           ~cv:0.35)
+    in
+    charge_duct d dt;
+    if n = 1 then
+      sample_up_fraction.(d.Netstate.duct_index) <- 1.0 -. (dt /. sample_s);
+    let id =
+      note_pending
+        {
+          Rwc_recover.p_kind = Rwc_recover.Finish_attempt;
+          p_link = d.Netstate.duct_index;
+          p_new_gbps = new_gbps;
+          p_prev_gbps = prev_gbps;
+          p_attempt = n;
+          p_at = Des.now engine +. dt;
+        }
+    in
+    Des.schedule_in engine ~after:dt (fun _ ->
+        drop_pending id;
+        finish_attempt dr ctl ~new_gbps ~prev_gbps n)
+  and finish_attempt dr ctl ~new_gbps ~prev_gbps n =
+    let d = dr.state in
+    let i = d.Netstate.duct_index in
+    let now = Des.now engine in
+    let timed_out = Rwc_fault.fires inj Rwc_fault.Bvt_timeout ~now in
+    let failed =
+      timed_out || Rwc_fault.fires inj Rwc_fault.Bvt_reconfig ~now
+    in
+    if not failed then begin
+      Rwc_journal.fault jnl ~link:i ~now Rwc_journal.Committed ~attempt:n;
+      finish_duct dr new_gbps;
+      Rwc_journal.commit jnl ~link:i ~now ~gbps:new_gbps ~up:true
+    end
+    else begin
+      if timed_out then charge_duct d (Rwc_fault.param inj Rwc_fault.Bvt_timeout);
+      Rwc_journal.fault jnl ~link:i ~now
+        (if timed_out then Rwc_journal.Timed_out else Rwc_journal.Failed)
+        ~attempt:n;
+      if n < config.retry.Orchestrator.max_attempts then begin
+        incr retries;
+        Metrics.incr m_retries;
+        Rwc_journal.fault jnl ~link:i ~now Rwc_journal.Retried ~attempt:n;
+        let delay = Orchestrator.backoff_delay config.retry ~attempt:n in
+        charge_duct d delay;
+        let id =
+          note_pending
+            {
+              Rwc_recover.p_kind = Rwc_recover.Begin_attempt;
+              p_link = i;
+              p_new_gbps = new_gbps;
+              p_prev_gbps = prev_gbps;
+              p_attempt = n + 1;
+              p_at = now +. delay;
+            }
+        in
+        Des.schedule_in engine ~after:delay (fun _ ->
+            drop_pending id;
+            begin_attempt dr ctl ~new_gbps ~prev_gbps (n + 1))
+      end
+      else begin
+        (* Retries exhausted: graceful degradation.  The change never
+           committed, so the duct stays at its pre-upgrade modulation;
+           the controller is resynced to the device so it can
+           requalify honestly.  A flap, not a failure. *)
+        incr fallbacks;
+        Metrics.incr m_fallbacks;
+        incr flaps;
+        Metrics.incr m_flaps;
+        Rwc_journal.fault jnl ~link:i ~now Rwc_journal.Fell_back ~attempt:n;
+        Adapt.force ctl ~gbps:prev_gbps;
+        finish_duct dr prev_gbps;
+        Rwc_journal.commit jnl ~link:i ~now ~gbps:prev_gbps ~up:true
+      end
+    end
+  in
   (* One SNR-tick event sweeps all ducts. *)
   let apply_sample dr k sweep_lost =
     let d = dr.state in
@@ -365,7 +504,7 @@ let run_policy ~config ~backbone policy =
           Rwc_journal.outage jnl ~link:d.Netstate.duct_index ~now ~up:now_up
         end;
         d.Netstate.up <- now_up
-    | Adaptive procedure -> (
+    | Adaptive _ -> (
         (* Without the guard the telemetry path is perfect, exactly as
            before the guard layer existed; the guarded path below owns
            the assignment so a lost sweep leaves the last-known value
@@ -396,93 +535,9 @@ let run_policy ~config ~backbone policy =
                   (if prev_gbps = 0 then Rwc_guard.Recover
                    else if new_gbps > prev_gbps then Rwc_guard.Up_shift
                    else Rwc_guard.Down_shift);
-                let mean = downtime_mean_s procedure in
                 dr.reconfiguring <- true;
                 d.Netstate.up <- false;
-                (* Time the duct spends unusable — attempt durations,
-                   injected stalls and retry backoffs alike — costs the
-                   traffic TE had routed over it. *)
-                let charge dt =
-                  downtime := !downtime +. dt;
-                  Metrics.addf m_downtime dt;
-                  delivered_gbit :=
-                    !delivered_gbit -. (duct_flow.(d.Netstate.duct_index) *. dt);
-                  Metrics.addf m_disrupted
-                    (duct_flow.(d.Netstate.duct_index) *. dt)
-                in
-                let finish gbps =
-                  dr.reconfiguring <- false;
-                  d.Netstate.per_lambda_gbps <- gbps;
-                  d.Netstate.up <- true;
-                  Rwc_guard.release guard ~link:i;
-                  te_dirty := true
-                in
-                let rec attempt n =
-                  let dt =
-                    Float.min sample_s
-                      (Rwc_stats.Rng.lognormal_of_mean reconfig_rng ~mean
-                         ~cv:0.35)
-                  in
-                  charge dt;
-                  if n = 1 then
-                    sample_up_fraction.(d.Netstate.duct_index) <-
-                      1.0 -. (dt /. sample_s);
-                  Des.schedule_in engine ~after:dt (fun engine ->
-                      let now = Des.now engine in
-                      let timed_out =
-                        Rwc_fault.fires inj Rwc_fault.Bvt_timeout ~now
-                      in
-                      let failed =
-                        timed_out
-                        || Rwc_fault.fires inj Rwc_fault.Bvt_reconfig ~now
-                      in
-                      if not failed then begin
-                        Rwc_journal.fault jnl ~link:i ~now Rwc_journal.Committed
-                          ~attempt:n;
-                        finish new_gbps;
-                        Rwc_journal.commit jnl ~link:i ~now ~gbps:new_gbps
-                          ~up:true
-                      end
-                      else begin
-                        if timed_out then
-                          charge (Rwc_fault.param inj Rwc_fault.Bvt_timeout);
-                        Rwc_journal.fault jnl ~link:i ~now
-                          (if timed_out then Rwc_journal.Timed_out
-                           else Rwc_journal.Failed)
-                          ~attempt:n;
-                        if n < config.retry.Orchestrator.max_attempts then begin
-                          incr retries;
-                          Metrics.incr m_retries;
-                          Rwc_journal.fault jnl ~link:i ~now Rwc_journal.Retried
-                            ~attempt:n;
-                          let delay =
-                            Orchestrator.backoff_delay config.retry ~attempt:n
-                          in
-                          charge delay;
-                          Des.schedule_in engine ~after:delay (fun _ ->
-                              attempt (n + 1))
-                        end
-                        else begin
-                          (* Retries exhausted: graceful degradation.
-                             The change never committed, so the duct
-                             stays at its pre-upgrade modulation; the
-                             controller is resynced to the device so it
-                             can requalify honestly.  A flap, not a
-                             failure. *)
-                          incr fallbacks;
-                          Metrics.incr m_fallbacks;
-                          incr flaps;
-                          Metrics.incr m_flaps;
-                          Rwc_journal.fault jnl ~link:i ~now
-                            Rwc_journal.Fell_back ~attempt:n;
-                          Adapt.force ctl ~gbps:prev_gbps;
-                          finish prev_gbps;
-                          Rwc_journal.commit jnl ~link:i ~now ~gbps:prev_gbps
-                            ~up:true
-                        end
-                      end)
-                in
-                attempt 1
+                begin_attempt dr ctl ~new_gbps ~prev_gbps 1
               in
               (* Telemetry layer.  With the guard armed the collector
                  fault channels come into play: a lost sweep or a
@@ -621,7 +676,85 @@ let run_policy ~config ~backbone policy =
                     | Adapt.Step_up { to_gbps; _ } -> start_reconfig to_gbps
                     | Adapt.Come_back { to_gbps } -> start_reconfig to_gbps)))
   in
+  (* Freeze the full run state as plain data.  Called at the entry of
+     sweep [k], before any of the sweep's mutations, so the cut point
+     is exactly "about to process sample k" — a state the restore path
+     can re-enter by scheduling [snr_tick k] last. *)
+  let capture k : Rwc_recover.run_state =
+    {
+      Rwc_recover.r_policy = policy_name policy;
+      r_next_sample = k;
+      r_failures = !failures;
+      r_flaps = !flaps;
+      r_reconfigs = !reconfigs;
+      r_downtime_s = !downtime;
+      r_delivered_gbit = !delivered_gbit;
+      r_capacity_acc = !capacity_acc;
+      r_up_acc = !up_acc;
+      r_duct_obs = !duct_obs;
+      r_retries = !retries;
+      r_fallbacks = !fallbacks;
+      r_last_te_time = !last_te_time;
+      r_current_total = !current_total;
+      r_current_capacity = !current_capacity;
+      r_te_dirty = !te_dirty;
+      r_duct_flow = Array.to_list duct_flow;
+      r_reconfig_rng = Rwc_stats.Rng.raw_state reconfig_rng;
+      r_ducts =
+        Array.to_list
+          (Array.mapi
+             (fun i dr ->
+               {
+                 Rwc_recover.d_gbps = dr.state.Netstate.per_lambda_gbps;
+                 d_up = dr.state.Netstate.up;
+                 d_snr_db = dr.state.Netstate.current_snr_db;
+                 d_reconfiguring = dr.reconfiguring;
+                 d_ctl =
+                   Option.map
+                     (fun c -> (Adapt.capacity_gbps c, Adapt.qualify_streak c))
+                     dr.controller;
+                 d_det =
+                   Option.map
+                     (fun arr ->
+                       let ew, cu = arr.(i) in
+                       (Detect.Ewma.level ew, Detect.Cusum.statistic cu))
+                     detectors;
+                 d_freeze_seen = freeze_seen.(i);
+                 d_quar_seen = quar_seen.(i);
+                 d_ewma_alarming = ewma_alarming.(i);
+               })
+             ducts);
+      r_pending = List.map snd !pending;
+      r_faults =
+        (if Rwc_fault.is_none config.faults then None
+         else Some (Rwc_fault.snapshot_to_list (Rwc_fault.snapshot inj)));
+      r_guard = Rwc_guard.snapshot guard;
+    }
+  in
   let rec snr_tick k engine =
+    (match recover with
+    | None -> ()
+    | Some (ctx, save) ->
+        (* Sample boundaries are the recovery points: the stop flag
+           (SIGINT/SIGTERM) cuts a final checkpoint and unwinds, the
+           periodic cadence cuts one every [every] sweeps, and the
+           crash oracle kills the run for the restart loop to revive.
+           Crash is drawn from the context's own injector — never
+           [inj] — so fault_stats and the report stay byte-identical
+           to a crash-free run. *)
+        let marks_save k =
+          let journal_events = Rwc_journal.events_emitted jnl in
+          let journal_bytes = Rwc_journal.byte_offset jnl in
+          save (capture k) ~journal_events ~journal_bytes
+        in
+        if ctx.Rwc_recover.stop then begin
+          marks_save k;
+          raise Rwc_recover.Interrupted
+        end;
+        if k > 0 && k mod ctx.Rwc_recover.every = 0 then marks_save k;
+        let now = float_of_int k *. sample_s in
+        if Rwc_fault.fires ctx.Rwc_recover.crash Rwc_fault.Crash ~now then
+          raise (Rwc_recover.Crashed now));
     if k < n_samples then begin
       Trace.with_span "sim/snr_sweep" (fun () ->
           Metrics.time m_snr_sweep (fun () ->
@@ -665,22 +798,141 @@ let run_policy ~config ~backbone policy =
               affected).  The recomputation is re-checked on arrival —
               a te_tick may have cleaned the state meanwhile. *)
            Metrics.incr m_te_delayed;
-           Des.schedule_in engine
-             ~after:(Rwc_fault.param inj Rwc_fault.Te_delay)
-             (fun engine -> if !te_dirty then recompute_te (Des.now engine))
+           let after = Rwc_fault.param inj Rwc_fault.Te_delay in
+           let id =
+             note_pending
+               {
+                 Rwc_recover.p_kind = Rwc_recover.Te_recheck;
+                 p_link = -1;
+                 p_new_gbps = 0;
+                 p_prev_gbps = 0;
+                 p_attempt = 0;
+                 p_at = Des.now engine +. after;
+               }
+           in
+           Des.schedule_in engine ~after (fun engine ->
+               drop_pending id;
+               if !te_dirty then recompute_te (Des.now engine))
          end
          else recompute_te (Des.now engine));
       Des.schedule_in engine ~after:sample_s (snr_tick (k + 1))
     end
   in
   let te_interval_s = config.te_interval_h *. 3600.0 in
-  let rec te_tick engine =
-    recompute_te (Des.now engine);
-    if Des.now engine +. te_interval_s <= horizon_s then
-      Des.schedule_in engine ~after:te_interval_s te_tick
+  let rec te_tick_at at =
+    let id =
+      note_pending
+        {
+          Rwc_recover.p_kind = Rwc_recover.Te_tick;
+          p_link = -1;
+          p_new_gbps = 0;
+          p_prev_gbps = 0;
+          p_attempt = 0;
+          p_at = at;
+        }
+    in
+    Des.schedule engine ~at (fun engine ->
+        drop_pending id;
+        recompute_te (Des.now engine);
+        if Des.now engine +. te_interval_s <= horizon_s then
+          te_tick_at (Des.now engine +. te_interval_s))
   in
-  Des.schedule engine ~at:0.0 (snr_tick 0);
-  Des.schedule engine ~at:0.0 te_tick;
+  (* Rebuild a checkpointed run: overwrite every piece of state the
+     fresh construction above got wrong, re-arm the pending events in
+     their recorded order, and enter the event loop at the captured
+     sweep.  The SNR traces, topology and demands are regenerated
+     deterministically from the seeds, so only positions and
+     accumulators travel through the checkpoint. *)
+  let restore_from (rs : Rwc_recover.run_state) =
+    if rs.Rwc_recover.r_policy <> policy_name policy then
+      invalid_arg "Runner: checkpoint was cut under a different policy";
+    if List.length rs.Rwc_recover.r_ducts <> Array.length ducts then
+      invalid_arg "Runner: checkpoint fleet size mismatch";
+    failures := rs.Rwc_recover.r_failures;
+    flaps := rs.Rwc_recover.r_flaps;
+    reconfigs := rs.Rwc_recover.r_reconfigs;
+    downtime := rs.Rwc_recover.r_downtime_s;
+    delivered_gbit := rs.Rwc_recover.r_delivered_gbit;
+    capacity_acc := rs.Rwc_recover.r_capacity_acc;
+    up_acc := rs.Rwc_recover.r_up_acc;
+    duct_obs := rs.Rwc_recover.r_duct_obs;
+    retries := rs.Rwc_recover.r_retries;
+    fallbacks := rs.Rwc_recover.r_fallbacks;
+    last_te_time := rs.Rwc_recover.r_last_te_time;
+    current_total := rs.Rwc_recover.r_current_total;
+    current_capacity := rs.Rwc_recover.r_current_capacity;
+    te_dirty := rs.Rwc_recover.r_te_dirty;
+    List.iteri (fun i f -> duct_flow.(i) <- f) rs.Rwc_recover.r_duct_flow;
+    Rwc_stats.Rng.set_raw_state reconfig_rng rs.Rwc_recover.r_reconfig_rng;
+    (match rs.Rwc_recover.r_faults with
+    | None -> ()
+    | Some snap -> Rwc_fault.restore inj (Rwc_fault.snapshot_of_list snap));
+    (match rs.Rwc_recover.r_guard with
+    | None -> ()
+    | Some snap -> Rwc_guard.restore guard snap);
+    List.iteri
+      (fun i (dd : Rwc_recover.duct) ->
+        let dr = ducts.(i) in
+        dr.state.Netstate.per_lambda_gbps <- dd.Rwc_recover.d_gbps;
+        dr.state.Netstate.up <- dd.Rwc_recover.d_up;
+        dr.state.Netstate.current_snr_db <- dd.Rwc_recover.d_snr_db;
+        dr.reconfiguring <- dd.Rwc_recover.d_reconfiguring;
+        (match (dr.controller, dd.Rwc_recover.d_ctl) with
+        | Some ctl, Some (gbps, streak) -> Adapt.restore ctl ~gbps ~streak
+        | None, None -> ()
+        | _ -> invalid_arg "Runner: checkpoint controller shape mismatch");
+        (match (detectors, dd.Rwc_recover.d_det) with
+        | Some arr, Some (level, stat) ->
+            let ew, cu = arr.(i) in
+            Detect.Ewma.set_level ew level;
+            Detect.Cusum.set_statistic cu stat
+        | _ -> ());
+        freeze_seen.(i) <- dd.Rwc_recover.d_freeze_seen;
+        quar_seen.(i) <- dd.Rwc_recover.d_quar_seen;
+        ewma_alarming.(i) <- dd.Rwc_recover.d_ewma_alarming)
+      rs.Rwc_recover.r_ducts;
+    let ctl_of dr =
+      match dr.controller with
+      | Some c -> c
+      | None -> invalid_arg "Runner: pending attempt on a static policy"
+    in
+    List.iter
+      (fun (p : Rwc_recover.pending) ->
+        match p.Rwc_recover.p_kind with
+        | Rwc_recover.Te_tick -> te_tick_at p.Rwc_recover.p_at
+        | Rwc_recover.Te_recheck ->
+            let id = note_pending p in
+            Des.schedule engine ~at:p.Rwc_recover.p_at (fun engine ->
+                drop_pending id;
+                if !te_dirty then recompute_te (Des.now engine))
+        | Rwc_recover.Begin_attempt ->
+            let dr = ducts.(p.Rwc_recover.p_link) in
+            let ctl = ctl_of dr in
+            let id = note_pending p in
+            Des.schedule engine ~at:p.Rwc_recover.p_at (fun _ ->
+                drop_pending id;
+                begin_attempt dr ctl ~new_gbps:p.Rwc_recover.p_new_gbps
+                  ~prev_gbps:p.Rwc_recover.p_prev_gbps p.Rwc_recover.p_attempt)
+        | Rwc_recover.Finish_attempt ->
+            let dr = ducts.(p.Rwc_recover.p_link) in
+            let ctl = ctl_of dr in
+            let id = note_pending p in
+            Des.schedule engine ~at:p.Rwc_recover.p_at (fun _ ->
+                drop_pending id;
+                finish_attempt dr ctl ~new_gbps:p.Rwc_recover.p_new_gbps
+                  ~prev_gbps:p.Rwc_recover.p_prev_gbps p.Rwc_recover.p_attempt))
+      rs.Rwc_recover.r_pending;
+    (* The sweep tick was the youngest same-time event at the cut, so
+       it is scheduled after every restored descriptor. *)
+    Des.schedule engine
+      ~at:(float_of_int rs.Rwc_recover.r_next_sample *. sample_s)
+      (snr_tick rs.Rwc_recover.r_next_sample)
+  in
+  (match restore with
+  | Some rs -> restore_from rs
+  | None ->
+      Des.schedule engine ~at:0.0 (snr_tick 0);
+      te_tick_at 0.0);
   Des.run engine ~until:horizon_s;
   flush_te horizon_s;
   let fault_stats =
@@ -737,6 +989,12 @@ let compare_policies ?config ?backbone () =
   List.map
     (run ?config ?backbone)
     [ Static_100; Static_max; Adaptive Stock; Adaptive Efficient ]
+
+let all_policies = [ Static_100; Static_max; Adaptive Stock; Adaptive Efficient ]
+
+type outcome =
+  | Replayed of { policy : policy; pp : string; json : string }
+  | Ran of report
 
 let json_of_report r =
   (* The fault block is present exactly when the run had a fault plan:
@@ -830,3 +1088,104 @@ let pp_report fmt r =
   | Some s ->
       Format.fprintf fmt "  slo: met=%3d viol=%3d" s.Rwc_journal.Slo.met
         s.Rwc_journal.Slo.violated
+
+(* Crash-restart driver: runs each policy under an armed recovery
+   context, replaying already-completed policies from their stored
+   renderings, restoring the in-progress one from its checkpoint, and
+   catching {!Rwc_recover.Crashed} to reload the newest valid
+   checkpoint, rewind the journal to its high-water mark and go again.
+   Because the restored state is exactly the uninterrupted run's state
+   at the cut and every downstream draw is deterministic, the final
+   reports and journal are byte-identical to a run that never
+   crashed. *)
+let run_recoverable ?(config = default_config)
+    ?(backbone = Backbone.north_america) ~ctx ~resume_from ~policies () =
+  let jnl = ref config.journal in
+  let completed =
+    ref
+      (match resume_from with
+      | Some c -> c.Rwc_recover.ck_completed
+      | None -> [])
+  in
+  let pending_run =
+    ref (match resume_from with Some c -> c.Rwc_recover.ck_run | None -> None)
+  in
+  let save_mid rs ~journal_events ~journal_bytes =
+    Rwc_recover.save ctx ~seed:config.seed ~days:config.days ~journal_events
+      ~journal_bytes ~completed:!completed ~run:(Some rs)
+  in
+  let save_boundary () =
+    Rwc_recover.save ctx ~seed:config.seed ~days:config.days
+      ~journal_events:(Rwc_journal.events_emitted !jnl)
+      ~journal_bytes:(Rwc_journal.byte_offset !jnl)
+      ~completed:!completed ~run:None
+  in
+  let reopen ~events ~bytes =
+    Rwc_recover.record_resume ~dir:ctx.Rwc_recover.dir ~journal_events:events
+      ~journal_bytes:bytes;
+    if Rwc_journal.armed !jnl then begin
+      Rwc_journal.close !jnl;
+      match
+        Rwc_journal.resume ?path:ctx.Rwc_recover.journal_path
+          ~slo:ctx.Rwc_recover.slo ~at:bytes ~events ()
+      with
+      | Ok j -> jnl := j
+      | Error e -> failwith ("Runner: cannot reopen journal: " ^ e)
+    end
+  in
+  let run_one p =
+    let name = policy_name p in
+    match List.find_opt (fun (n, _, _) -> n = name) !completed with
+    | Some (_, pp, json) -> Replayed { policy = p; pp; json }
+    | None ->
+        let start_events = Rwc_journal.events_emitted !jnl in
+        let start_bytes = Rwc_journal.byte_offset !jnl in
+        let restore0 =
+          match !pending_run with
+          | Some rs when rs.Rwc_recover.r_policy = name -> Some rs
+          | _ -> None
+        in
+        pending_run := None;
+        let rec go restore =
+          let cfg = { config with journal = !jnl } in
+          match
+            Trace.with_span ("sim/run/" ^ name) (fun () ->
+                run_policy ~config:cfg ~backbone
+                  ~recover:(ctx, save_mid) ?restore p)
+          with
+          | r -> r
+          | exception Rwc_recover.Crashed now ->
+              ctx.Rwc_recover.restarts <- ctx.Rwc_recover.restarts + 1;
+              Printf.eprintf
+                "rwc: crash fault at t=%.0fs; restarting %s from last \
+                 checkpoint (restart %d)\n%!"
+                now name ctx.Rwc_recover.restarts;
+              (match Rwc_recover.load_latest ctx.Rwc_recover.dir with
+              | Ok (Some c) -> (
+                  reopen ~events:c.Rwc_recover.ck_journal_events
+                    ~bytes:c.Rwc_recover.ck_journal_bytes;
+                  match c.Rwc_recover.ck_run with
+                  | Some rs when rs.Rwc_recover.r_policy = name -> go (Some rs)
+                  | _ -> go None)
+              | Ok None | Error _ ->
+                  (* Crashed before the first checkpoint: rewind the
+                     journal to the policy boundary and start over. *)
+                  reopen ~events:start_events ~bytes:start_bytes;
+                  go None)
+        in
+        let r = go restore0 in
+        let pp = Format.asprintf "%a" pp_report r in
+        let json = Rwc_obs.Json.to_string (json_of_report r) in
+        completed := !completed @ [ (name, pp, json) ];
+        save_boundary ();
+        Ran r
+  in
+  match List.map run_one policies with
+  | outcomes ->
+      Rwc_journal.close !jnl;
+      outcomes
+  | exception e ->
+      (* Interrupted (and anything else) still flushes the journal; the
+         final checkpoint was cut by the runner before unwinding. *)
+      Rwc_journal.close !jnl;
+      raise e

@@ -120,3 +120,37 @@ val pp_report : Format.formatter -> report -> unit
 
 val json_of_report : report -> Rwc_obs.Json.t
 (** Structured form of a report, for {!Rwc_obs.Manifest} records. *)
+
+(** {1 Crash-safe runs} *)
+
+val all_policies : policy list
+(** The {!compare_policies} set, in its comparison order. *)
+
+type outcome =
+  | Replayed of { policy : policy; pp : string; json : string }
+      (** The policy had already completed before the resumed run: its
+          report is reprinted verbatim from the checkpoint's stored
+          rendering (rebuilding a [report] from JSON would risk a
+          formatting drift; storing both renderings cannot). *)
+  | Ran of report  (** Executed (possibly across crash restarts). *)
+
+val run_recoverable :
+  ?config:config ->
+  ?backbone:Rwc_topology.Backbone.t ->
+  ctx:Rwc_recover.ctx ->
+  resume_from:Rwc_recover.checkpoint option ->
+  policies:policy list ->
+  unit ->
+  outcome list
+(** Run [policies] under crash-safe checkpointing: periodic checkpoints
+    every [ctx.every] sample sweeps, a final one on
+    {!Rwc_recover.request_stop} (then {!Rwc_recover.Interrupted}
+    propagates, after the journal is flushed and closed), and automatic
+    in-process restarts when the context's [crash=] fault oracle kills
+    a run — the newest valid checkpoint is reloaded and the journal
+    truncated to its high-water mark, so the final reports and journal
+    are byte-identical to an uninterrupted run.  [resume_from] (from
+    {!Rwc_recover.create} with [resume:true]) continues an earlier
+    process's run; the caller is responsible for having reopened
+    [config.journal] with {!Rwc_journal.resume} at that checkpoint's
+    marks.  The journal sink is closed before returning. *)

@@ -8,6 +8,9 @@ let mix64 z =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let create seed = { state = mix64 (Int64.of_int seed) }
+let raw_state t = t.state
+let of_raw_state state = { state }
+let set_raw_state t state = t.state <- state
 
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;

@@ -14,6 +14,16 @@ val create : int -> t
 (** [create seed] makes a fresh generator.  Equal seeds yield equal
     streams. *)
 
+val raw_state : t -> int64
+(** Current internal 64-bit state, for checkpointing.  A generator rebuilt
+    with [of_raw_state (raw_state t)] continues [t]'s stream exactly. *)
+
+val of_raw_state : int64 -> t
+(** Rebuild a generator from a state captured by {!raw_state}. *)
+
+val set_raw_state : t -> int64 -> unit
+(** Overwrite a generator's state in place (restore after a crash). *)
+
 val split : t -> t
 (** [split t] derives a new generator whose future output is independent
     of [t]'s (in the splitmix sense), advancing [t] once. *)

@@ -5,6 +5,14 @@ let m_gaps_filled = Rwc_obs.Metrics.counter "collector/gaps_filled"
 let m_gaps_rejected = Rwc_obs.Metrics.counter "collector/gaps_rejected"
 let m_outages = Rwc_obs.Metrics.counter "collector/outages"
 let m_corrupt = Rwc_obs.Metrics.counter "collector/corrupt_samples"
+let m_quarantined = Rwc_obs.Metrics.counter "collector/quarantined_samples"
+
+(* Ingest boundary validation: NaN, +/-inf and negative-dB values must
+   not reach the Adapt/Guard decision path — a NaN compares false with
+   every threshold and would silently freeze a controller.  Rejected
+   samples land in a counted quarantine bucket and the sample becomes
+   a gap (LOCF or the guard's holddown covers it downstream). *)
+let valid_snr v = Float.is_finite v && v >= 0.0
 
 let poll ?(faults = Rwc_fault.disarmed) ?(now = 0.0) rng trace ~loss_prob =
   assert (loss_prob >= 0.0 && loss_prob < 1.0);
@@ -28,7 +36,8 @@ let poll ?(faults = Rwc_fault.disarmed) ?(now = 0.0) rng trace ~loss_prob =
             end
             else v
           in
-          out := { index = i; snr_db = v } :: !out
+          if valid_snr v then out := { index = i; snr_db = v } :: !out
+          else Rwc_obs.Metrics.incr m_quarantined
         end
         else Rwc_obs.Metrics.incr m_polls_lost)
       trace;

@@ -26,7 +26,12 @@ val poll :
     and each delivered sample is independently subject to
     [Collector_corrupt], which perturbs its value by up to the rule's
     ±param dB.  The disarmed default leaves the historic behavior —
-    and the [rng] stream — untouched. *)
+    and the [rng] stream — untouched.
+
+    Every delivered value is validated at the ingest boundary: NaN,
+    ±inf and negative-dB samples are rejected into a quarantine bucket
+    (the [collector/quarantined_samples] metric) instead of reaching
+    the adaptation path, and their slots become ordinary gaps. *)
 
 val completeness : sample list -> n:int -> float
 (** Fraction of the [n] slots that have a sample. *)

@@ -18,6 +18,7 @@ module Ewma = struct
     t.level < t.limit
 
   let level t = t.level
+  let set_level t level = t.level <- level
 end
 
 module Cusum = struct
@@ -47,6 +48,7 @@ module Cusum = struct
     else false
 
   let statistic t = t.s
+  let set_statistic t s = t.s <- Float.max 0.0 s
 end
 
 type alarm = { sample : int; kind : [ `Ewma | `Cusum ] }

@@ -30,6 +30,9 @@ module Ewma : sig
 
   val level : t -> float
   (** Current smoothed estimate. *)
+
+  val set_level : t -> float -> unit
+  (** Overwrite the smoothed estimate (checkpoint restore). *)
 end
 
 module Cusum : sig
@@ -46,6 +49,10 @@ module Cusum : sig
       resets, so persisting shifts re-alarm periodically). *)
 
   val statistic : t -> float
+
+  val set_statistic : t -> float -> unit
+  (** Overwrite the accumulated statistic, clamped at 0 (checkpoint
+      restore). *)
 end
 
 type alarm = { sample : int; kind : [ `Ewma | `Cusum ] }

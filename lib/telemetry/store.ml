@@ -8,7 +8,9 @@ let write_trace_csv path trace =
      raise e);
   close_out oc
 
-let read_trace_csv path =
+let m_bad_rows = Rwc_obs.Metrics.counter "telemetry/bad_rows"
+
+let read_trace_csv ?(strict = false) path =
   try
     let ic = open_in path in
     let result =
@@ -17,14 +19,33 @@ let read_trace_csv path =
         if header <> "sample,snr_db" then Error "bad CSV header"
         else begin
           let values = ref [] in
+          let bad = ref 0 in
+          let row = ref 1 in
           (try
              while true do
                let line = input_line ic in
-               match String.split_on_char ',' line with
-               | [ _; v ] -> values := float_of_string v :: !values
-               | _ -> failwith "bad row"
+               incr row;
+               let value =
+                 match String.split_on_char ',' line with
+                 | [ _; v ] -> float_of_string_opt (String.trim v)
+                 | _ -> None
+               in
+               match value with
+               | Some v -> values := v :: !values
+               | None ->
+                   if strict then
+                     failwith (Printf.sprintf "bad row at line %d: %S" !row line)
+                   else begin
+                     (* Ingest hardening: a corrupt row costs one sample,
+                        not the whole trace — but never silently. *)
+                     incr bad;
+                     Rwc_obs.Metrics.incr m_bad_rows
+                   end
              done
            with End_of_file -> ());
+          if !bad > 0 then
+            Printf.eprintf "warning: %s: skipped %d bad row%s\n%!" path !bad
+              (if !bad = 1 then "" else "s");
           Ok (Array.of_list (List.rev !values))
         end
       with Failure msg -> Error msg

@@ -8,7 +8,12 @@
 val write_trace_csv : string -> float array -> unit
 (** Two columns (sample index, snr_db) with a header row. *)
 
-val read_trace_csv : string -> (float array, string) result
+val read_trace_csv : ?strict:bool -> string -> (float array, string) result
+(** By default a malformed row (wrong column count or an unparsable
+    value) is skipped: each skip bumps the [telemetry/bad_rows] metric
+    and one warning line with the total is printed to stderr.  With
+    [~strict:true] the first bad row aborts the read with an error
+    naming its line number (the historical fail-fast behavior). *)
 
 val write_trace_binary : string -> float array -> unit
 (** Magic "RWC1" + little-endian length + IEEE-754 doubles. *)

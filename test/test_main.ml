@@ -26,5 +26,6 @@ let () =
       ("infra", Test_infra.suite);
       ("obs", Test_obs.suite);
       ("journal", Test_journal.suite);
+      ("recover", Test_recover.suite);
       ("figures", Test_figures.suite);
     ]
