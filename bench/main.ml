@@ -7,7 +7,10 @@
      dune exec bench/main.exe -- --full    # paper-scale fleet (2000 links)
      dune exec bench/main.exe -- --no-micro   # skip the Bechamel section
      dune exec bench/main.exe -- --figures-only  # alias of --no-micro
-     dune exec bench/main.exe -- --obs-only   # only the Rwc_obs overhead check *)
+     dune exec bench/main.exe -- --obs-only   # only the Rwc_obs overhead check
+                                              # (exits 1 when a ns budget is blown)
+     dune exec bench/main.exe -- --perf       # only the quick Rwc_perf fleet sweep
+                                              # (prints a BENCH trajectory) *)
 
 module Fleet = Rwc_telemetry.Fleet
 module Figs = Rwc_figures
@@ -17,9 +20,17 @@ let flag name = Array.exists (fun a -> a = name) Sys.argv
 let () =
   if flag "--obs-only" then begin
     (* Just the instrumentation-overhead numbers; skips the (slow)
-       figure regeneration entirely. *)
+       figure regeneration entirely.  Non-zero exit on a blown ns
+       budget is what lets ci.sh gate on this. *)
     Rwc_figures.Report.section "obs" "Observability overhead";
-    Obs_bench.run ();
+    exit (if Obs_bench.run () then 0 else 1)
+  end;
+  if flag "--perf" then begin
+    (* The quick phase-profiler sweep, same workload as `rwc bench
+       --quick` (the rwc subcommand adds presets and file output). *)
+    Rwc_figures.Report.section "perf" "Phase-profiler fleet sweep (quick)";
+    let t = Rwc_sim.Perf_sweep.run Rwc_sim.Perf_sweep.quick in
+    Format.printf "%a" Rwc_perf.Trajectory.pp t;
     exit 0
   end;
   let full = flag "--full" in
@@ -65,6 +76,6 @@ let () =
     Rwc_figures.Report.section "micro" "Bechamel micro-benchmarks";
     Micro.run ();
     Rwc_figures.Report.section "obs" "Observability overhead";
-    Obs_bench.run ()
+    ignore (Obs_bench.run () : bool)
   end;
   Printf.printf "\ndone.\n"

@@ -69,4 +69,18 @@ cmp "$PLAIN_JOURNAL" "$CRASH_JOURNAL"
 rm -rf "$RECOVER_DIR"
 rm -f "$PLAIN_OUT" "$CRASH_OUT" "$PLAIN_JOURNAL" "$CRASH_JOURNAL"
 
+echo "== obs overhead gate: bench --obs-only (ns budgets) =="
+dune exec bench/main.exe -- --obs-only
+
+echo "== perf gate: quick sweep vs committed BENCH_baseline.json =="
+# Same deterministic workload that produced the committed baseline
+# (seed, sizes and sim-days are part of the preset), diffed under the
+# generous --ci tolerances: counts must match, timings may wobble a
+# lot between runners but a blowup past 5x still fails the build.
+# Refresh procedure on an intended perf change: DESIGN.md section 13.
+BENCH_NEW="$(mktemp)"
+dune exec bin/rwc.exe -- bench --quick --label baseline --out "$BENCH_NEW"
+dune exec bin/rwc.exe -- perf diff --ci BENCH_baseline.json "$BENCH_NEW"
+rm -f "$BENCH_NEW"
+
 echo "== ci.sh: all green =="

@@ -416,7 +416,7 @@ let backbone_of = function
           exit 2)
 
 let run_simulate () days policy seed faults guard journal_path slo backbone_file
-    manifest_path checkpoint checkpoint_every resume =
+    manifest_path checkpoint checkpoint_every resume progress =
   Option.iter (check_writable "--manifest") manifest_path;
   (* Recovery-flag coherence, checked before any expensive work.  A
      crash fault without a checkpoint directory would kill the run with
@@ -454,6 +454,7 @@ let run_simulate () days policy seed faults guard journal_path slo backbone_file
       faults;
       guard;
       journal = jnl;
+      progress;
     }
   in
   (* Both the plain and the checkpointed path reduce their results to
@@ -669,13 +670,23 @@ let resume_flag =
            state, and the $(b,--journal) file is truncated to the \
            checkpoint's high-water mark and re-emitted byte-identically.")
 
+let progress_flag =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Single-line stderr heartbeat per policy run: sim-day, events/s \
+           and ETA, redrawn in place.  Purely cosmetic — results are \
+           identical with or without it.")
+
 let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"WAN policy simulation (throughput/availability)")
     Term.(
       const run_simulate $ obs_term $ days_arg $ policy_arg $ sim_seed_arg
       $ faults_arg $ guard_arg $ journal_arg $ slo_arg $ backbone_file_arg
-      $ manifest_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_flag)
+      $ manifest_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_flag
+      $ progress_flag)
 
 (* ---- chaos ------------------------------------------------------------- *)
 
@@ -685,7 +696,7 @@ let simulate_cmd =
    compared against. *)
 
 let run_chaos () days seed factors policy guard journal_path slo backbone_file
-    manifest_path json_path crash_rates =
+    manifest_path json_path crash_rates progress =
   Option.iter (check_writable "--manifest") manifest_path;
   Option.iter (check_writable "--json") json_path;
   let crash_rates = List.sort_uniq compare crash_rates in
@@ -724,6 +735,7 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
         faults;
         guard = (if guarded then guard else Rwc_guard.none);
         journal = jnl;
+        progress;
       }
     in
     match policy with
@@ -1022,7 +1034,7 @@ let chaos_cmd =
     Term.(
       const run_chaos $ obs_term $ chaos_days_arg $ sim_seed_arg $ factors_arg
       $ policy_arg $ guard_arg $ journal_arg $ slo_arg $ backbone_file_arg
-      $ manifest_arg $ chaos_json_arg $ chaos_crash_arg)
+      $ manifest_arg $ chaos_json_arg $ chaos_crash_arg $ progress_flag)
 
 (* ---- explain ----------------------------------------------------------- *)
 
@@ -1568,6 +1580,153 @@ let export_cmd =
       const run_export $ obs_term $ export_dir_arg $ cables_arg $ years_arg
       $ seed_arg $ max_links_arg)
 
+(* ---- bench / perf ------------------------------------------------------ *)
+
+(* The perf sweep and trajectory diff.  `bench` deliberately does not
+   compose [obs_term]: the sweep arms the profiler and the metrics
+   registry itself (and restores both), and a user-armed registry
+   would double-count the warm-up runs into the snapshot. *)
+
+module Perf = Rwc_perf
+
+let run_bench quick sizes days seed label out progress =
+  let base =
+    if quick then Rwc_sim.Perf_sweep.quick else Rwc_sim.Perf_sweep.full
+  in
+  let label =
+    match label with Some l -> l | None -> base.Rwc_sim.Perf_sweep.label
+  in
+  let opts =
+    {
+      Rwc_sim.Perf_sweep.sizes =
+        (match sizes with
+        | Some s -> List.sort_uniq compare s
+        | None -> base.Rwc_sim.Perf_sweep.sizes);
+      days = Option.value days ~default:base.Rwc_sim.Perf_sweep.days;
+      seed;
+      label;
+      progress;
+    }
+  in
+  if List.exists (fun n -> n < 8) opts.Rwc_sim.Perf_sweep.sizes then begin
+    prerr_endline "rwc bench: --sizes entries must be >= 8 ducts";
+    exit 2
+  end;
+  if opts.Rwc_sim.Perf_sweep.days <= 0.0 then begin
+    prerr_endline "rwc bench: --days must be positive";
+    exit 2
+  end;
+  let out = Option.value out ~default:(Printf.sprintf "BENCH_%s.json" label) in
+  check_writable "--out" out;
+  let t = Rwc_sim.Perf_sweep.run opts in
+  Perf.Trajectory.write out t;
+  Format.printf "%a" Perf.Trajectory.pp t;
+  Printf.printf "wrote %s\n" out
+
+let sizes_arg =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "sizes" ] ~docv:"N,N,..."
+        ~doc:"Fleet sizes (ducts) to sweep, overriding the preset.")
+
+let bench_days_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "days" ] ~docv:"D"
+        ~doc:"Sim horizon per sweep point (preset: 1 day).")
+
+let bench_quick_flag =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:
+          "CI preset: sizes 50,200 instead of 50,200,1000,2000 — seconds \
+           instead of minutes.")
+
+let bench_label_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "label" ] ~docv:"L"
+        ~doc:
+          "Trajectory label, also the default output name \
+           $(b,BENCH_<label>.json).  Default: $(b,quick) or $(b,full) per \
+           the preset.")
+
+let bench_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"PATH"
+        ~doc:"Output path (default $(b,BENCH_<label>.json)).")
+
+let bench_cmd =
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Deterministic fleet-size perf sweep; emits a machine-readable \
+          BENCH_<label>.json trajectory (per-phase p50/p95 timings, \
+          events/s, solver-time-vs-fleet-size, peak heap)")
+    Term.(
+      const run_bench $ bench_quick_flag $ sizes_arg $ bench_days_arg
+      $ sim_seed_arg $ bench_label_arg $ bench_out_arg $ progress_flag)
+
+let run_perf_diff old_path new_path ci_tol =
+  let read path =
+    match Perf.Trajectory.read path with
+    | Ok t -> t
+    | Error e ->
+        Printf.eprintf "rwc perf diff: %s\n" e;
+        exit 2
+  in
+  let old_t = read old_path and new_t = read new_path in
+  let tol = if ci_tol then Perf.Diff.ci else Perf.Diff.default in
+  match Perf.Diff.compare ~tol old_t new_t with
+  | Error e ->
+      Printf.eprintf "rwc perf diff: %s\n" e;
+      exit 2
+  | Ok findings ->
+      Format.printf "%a" Perf.Diff.render findings;
+      (match Perf.Diff.worst findings with
+      | Perf.Diff.Fail -> exit 1
+      | Perf.Diff.Warn | Perf.Diff.Pass -> ())
+
+let perf_old_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"OLD" ~doc:"Baseline trajectory (BENCH_*.json).")
+
+let perf_new_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"NEW" ~doc:"Candidate trajectory to compare.")
+
+let perf_ci_flag =
+  Arg.(
+    value & flag
+    & info [ "ci" ]
+        ~doc:
+          "Use the generous shared-runner tolerances (timings several \
+           hundred percent; counts and allocation stay tight) instead of \
+           the like-for-like defaults.")
+
+let perf_diff_cmd =
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two BENCH_*.json trajectories; exits 1 when any metric \
+          regresses past tolerance")
+    Term.(const run_perf_diff $ perf_old_arg $ perf_new_arg $ perf_ci_flag)
+
+let perf_cmd =
+  Cmd.group
+    (Cmd.info "perf" ~doc:"Perf-trajectory tooling (see also $(b,rwc bench))")
+    [ perf_diff_cmd ]
+
 (* ---- main -------------------------------------------------------------- *)
 
 let () =
@@ -1579,4 +1738,5 @@ let () =
           [
             figures_cmd; analyze_cmd; simulate_cmd; chaos_cmd; explain_cmd;
             bvt_cmd; constellation_cmd; export_cmd; detect_cmd; topology_cmd;
+            bench_cmd; perf_cmd;
           ]))

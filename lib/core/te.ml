@@ -10,6 +10,7 @@ type result = {
 let m_mcf_solve = Rwc_obs.Metrics.histogram "te/mcf_solve"
 
 let mcf ?epsilon g commodities =
+  Rwc_perf.record Rwc_perf.Te_solve (fun () ->
   Rwc_obs.Trace.with_span "te/mcf" (fun () ->
       Rwc_obs.Metrics.time m_mcf_solve (fun () ->
           let r = Mc.solve ?epsilon g commodities in
@@ -17,7 +18,7 @@ let mcf ?epsilon g commodities =
             flow = r.Mc.flow;
             routed = r.Mc.routed;
             total_gbps = Array.fold_left ( +. ) 0.0 r.Mc.routed;
-          }))
+          })))
 
 let greedy_ksp ?(k = 4) g commodities =
   let m = Graph.n_edges g in

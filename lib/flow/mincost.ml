@@ -124,6 +124,7 @@ end
 let solve ?(limit = infinity) g ~src ~dst =
   assert (src <> dst);
   assert (limit >= 0.0);
+  Rwc_perf.record Rwc_perf.Mincost (fun () ->
   let r = build_residual g in
   let potential = initial_potentials r ~src in
   (* Unreachable vertices keep potential infinity; replace with 0 so the
@@ -198,4 +199,4 @@ let solve ?(limit = infinity) g ~src ~dst =
     Array.init m (fun i ->
         (Graph.edge g i).Graph.capacity -. r.residual.(2 * i))
   in
-  { value = !total_flow; cost = !total_cost; flow }
+  { value = !total_flow; cost = !total_cost; flow })

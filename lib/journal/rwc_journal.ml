@@ -701,14 +701,19 @@ let resume ?path ?(slo = Slo.none) ~at ~events () =
               closed = false;
             })
 
+(* Token-style profiling: [emit] runs once per journaled decision, so
+   even a closure allocation per call would be visible in the armed
+   profile. *)
 let emit t r =
+  let tok = Rwc_perf.start () in
   t.n_events <- t.n_events + 1;
   (match t.oc with
   | Some oc ->
       output_string oc (Json.to_string (record_to_json r));
       output_char oc '\n'
   | None -> ());
-  match t.tracker with Some tr -> Slo.feed tr r | None -> ()
+  (match t.tracker with Some tr -> Slo.feed tr r | None -> ());
+  Rwc_perf.stop Rwc_perf.Journal_emit tok
 
 let start_run t ~policy ~seed ~horizon_s ~n_links =
   if t.sink_armed then begin

@@ -143,6 +143,11 @@ let time h f =
       f
   end
 
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
 (* ---- reading ----------------------------------------------------------- *)
 
 let value c = c.c

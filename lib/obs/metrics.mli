@@ -63,6 +63,12 @@ val time : histogram -> (unit -> 'a) -> 'a
 (** Run the thunk, recording its wall-clock duration in seconds.
     When the registry is disabled this is exactly [f ()]. *)
 
+val timed : (unit -> 'a) -> 'a * float
+(** Run the thunk and return its result with its wall-clock duration
+    in seconds.  A plain utility — {b not} gated on the registry and
+    observes no metric — so callers (bench harnesses, sweep drivers)
+    stop hand-rolling [Unix.gettimeofday] pairs. *)
+
 (** {1 Reading} *)
 
 val value : counter -> int

@@ -78,10 +78,27 @@ let to_json () =
         ("args", Json.Assoc [ ("id", Json.Int s.id) ]);
       ]
   in
+  (* Chrome-trace metadata events: without these, Perfetto and
+     chrome://tracing label the single track "pid 1"; with them the
+     process and thread rows carry readable names. *)
+  let metadata name value =
+    Json.Assoc
+      [
+        ("name", Json.String name);
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1);
+        ("args", Json.Assoc [ ("name", Json.String value) ]);
+      ]
+  in
   let by_start = List.sort (fun a b -> Float.compare a.ts b.ts) (spans ()) in
   Json.Assoc
     [
-      ("traceEvents", Json.List (List.map event by_start));
+      ( "traceEvents",
+        Json.List
+          (metadata "process_name" "rwc"
+          :: metadata "thread_name" "control-loop"
+          :: List.map event by_start) );
       ("displayTimeUnit", Json.String "ms");
     ]
 

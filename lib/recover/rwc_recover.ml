@@ -452,51 +452,53 @@ let read_file path =
   | exception Sys_error _ -> None
 
 let load_latest dir =
-  let rec first_valid = function
-    | [] -> Ok None
-    | seq :: rest -> (
-        match read_file (file_of_seq dir seq) with
-        | None -> first_valid rest
-        | Some s -> (
-            match checkpoint_of_string s with
-            | Ok c -> Ok (Some c)
-            | Error _ ->
-                (* A torn or truncated file: fall back to the previous
-                   checkpoint rather than refusing to resume. *)
-                first_valid rest))
-  in
-  first_valid (list_seqs dir)
+  Rwc_perf.record Rwc_perf.Checkpoint_restore (fun () ->
+      let rec first_valid = function
+        | [] -> Ok None
+        | seq :: rest -> (
+            match read_file (file_of_seq dir seq) with
+            | None -> first_valid rest
+            | Some s -> (
+                match checkpoint_of_string s with
+                | Ok c -> Ok (Some c)
+                | Error _ ->
+                    (* A torn or truncated file: fall back to the previous
+                       checkpoint rather than refusing to resume. *)
+                    first_valid rest))
+      in
+      first_valid (list_seqs dir))
 
 let save ctx ~seed ~days ~journal_events ~journal_bytes ~completed ~run =
-  let seq = ctx.next_seq in
-  ctx.next_seq <- seq + 1;
-  let c =
-    {
-      ck_seq = seq;
-      ck_seed = seed;
-      ck_days = days;
-      ck_journal_events = journal_events;
-      ck_journal_bytes = journal_bytes;
-      ck_completed = completed;
-      ck_run = run;
-    }
-  in
-  let path = file_of_seq ctx.dir seq in
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try output_string oc (checkpoint_to_string c)
-   with e ->
-     close_out_noerr oc;
-     raise e);
-  close_out oc;
-  Sys.rename tmp path;
-  (* Prune: keep the newest [keep_checkpoints] so a corrupted newest
-     file still has valid predecessors to fall back to. *)
-  List.iteri
-    (fun i seq ->
-      if i >= keep_checkpoints then
-        try Sys.remove (file_of_seq ctx.dir seq) with Sys_error _ -> ())
-    (list_seqs ctx.dir)
+  Rwc_perf.record Rwc_perf.Checkpoint_write (fun () ->
+      let seq = ctx.next_seq in
+      ctx.next_seq <- seq + 1;
+      let c =
+        {
+          ck_seq = seq;
+          ck_seed = seed;
+          ck_days = days;
+          ck_journal_events = journal_events;
+          ck_journal_bytes = journal_bytes;
+          ck_completed = completed;
+          ck_run = run;
+        }
+      in
+      let path = file_of_seq ctx.dir seq in
+      let tmp = path ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      (try output_string oc (checkpoint_to_string c)
+       with e ->
+         close_out_noerr oc;
+         raise e);
+      close_out oc;
+      Sys.rename tmp path;
+      (* Prune: keep the newest [keep_checkpoints] so a corrupted newest
+         file still has valid predecessors to fall back to. *)
+      List.iteri
+        (fun i seq ->
+          if i >= keep_checkpoints then
+            try Sys.remove (file_of_seq ctx.dir seq) with Sys_error _ -> ())
+        (list_seqs ctx.dir))
 
 (* ---- Resume provenance --------------------------------------------------
 

@@ -30,3 +30,9 @@ val drain : t -> unit
     responsible for the event graph terminating. *)
 
 val pending : t -> int
+
+val dispatched : t -> int
+(** Events executed so far by this engine.  Unlike the
+    ["des/events_dispatched"] metric this is not gated on the metrics
+    registry, so progress heartbeats and perf sweeps can report
+    throughput on unarmed runs. *)

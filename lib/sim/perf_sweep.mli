@@ -1,0 +1,32 @@
+(** Deterministic fleet-size perf sweep behind [rwc bench].
+
+    Each point runs the adaptive pipeline end to end on a
+    {!Rwc_topology.Backbone.synthetic} graph of the requested duct
+    count — armed journal, periodic checkpoints, a restore pass, plus
+    collector-ingest and min-cost side workloads — and snapshots the
+    {!Rwc_perf} phase profiler into one {!Rwc_perf.Trajectory.point}.
+    Counts and allocation are reproducible for a given seed and build;
+    timings carry machine noise, which the diff tolerances absorb. *)
+
+type opts = {
+  sizes : int list;  (** Fleet sizes (ducts) to sweep, in order. *)
+  days : float;  (** Sim horizon per point. *)
+  seed : int;
+  label : string;  (** Stored in the trajectory ([quick], [full], ...). *)
+  progress : bool;  (** Per-run stderr heartbeat. *)
+}
+
+val quick : opts
+(** [sizes = \[50; 200\]], 1 sim-day — the CI preset (seconds, not
+    minutes). *)
+
+val full : opts
+(** [sizes = \[50; 200; 1000; 2000\]], a quarter sim-day — the
+    solver-time-vs-fleet-size series the ROADMAP asks for, in a few
+    minutes of wall clock. *)
+
+val run : opts -> Rwc_perf.Trajectory.t
+(** Arms the profiler and metrics registry for the duration (restoring
+    both), runs every sweep point and returns the trajectory.  Scratch
+    journal/checkpoint files live in the system temp dir and are
+    removed. *)

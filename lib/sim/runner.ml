@@ -26,6 +26,7 @@ type config = {
   retry : Orchestrator.retry_policy;
   guard : Rwc_guard.plan;
   journal : Rwc_journal.t;
+  progress : bool;  (* stderr heartbeat for long runs *)
 }
 
 let default_config =
@@ -41,6 +42,7 @@ let default_config =
     retry = Orchestrator.default_retry_policy;
     guard = Rwc_guard.none;
     journal = Rwc_journal.disarmed;
+    progress = false;
   }
 
 type fault_stats = {
@@ -731,7 +733,20 @@ let run_policy ~config ~backbone ?recover ?restore policy =
       r_guard = Rwc_guard.snapshot guard;
     }
   in
+  let heartbeat =
+    if config.progress then
+      Some
+        (Rwc_perf.Progress.create ~label:(policy_name policy)
+           ~total_days:config.days ())
+    else None
+  in
   let rec snr_tick k engine =
+    (match heartbeat with
+    | Some hb ->
+        Rwc_perf.Progress.tick hb
+          ~day:(float_of_int k *. sample_s /. 86400.0)
+          ~events:(Des.dispatched engine)
+    | None -> ());
     (match recover with
     | None -> ()
     | Some (ctx, save) ->
@@ -779,7 +794,8 @@ let run_policy ~config ~backbone ?recover ?restore policy =
                 && Rwc_fault.fires inj Rwc_fault.Collector_outage
                      ~now:(float_of_int k *. sample_s)
               in
-              Array.iter (fun dr -> apply_sample dr k sweep_lost) ducts;
+              Rwc_perf.record Rwc_perf.Adapt_step (fun () ->
+                  Array.iter (fun dr -> apply_sample dr k sweep_lost) ducts);
               Array.iter
                 (fun dr ->
                   let i = dr.state.Netstate.duct_index in
@@ -934,6 +950,9 @@ let run_policy ~config ~backbone ?recover ?restore policy =
       Des.schedule engine ~at:0.0 (snr_tick 0);
       te_tick_at 0.0);
   Des.run engine ~until:horizon_s;
+  (match heartbeat with
+  | Some hb -> Rwc_perf.Progress.finish hb
+  | None -> ());
   flush_te horizon_s;
   let fault_stats =
     if Rwc_fault.is_none config.faults then None

@@ -64,6 +64,10 @@ type config = {
           anomaly detectors also feed [Anomaly] events, and a sink
           carrying an SLO plan yields a scorecard in
           {!report.slo} and the [slo/*] metrics. *)
+  progress : bool;
+      (** Single-line stderr heartbeat (sim-day, events/s, ETA),
+          redrawn at most twice a second.  Off by default; purely
+          cosmetic — results are identical either way. *)
 }
 
 val default_config : config

@@ -16,6 +16,7 @@ let valid_snr v = Float.is_finite v && v >= 0.0
 
 let poll ?(faults = Rwc_fault.disarmed) ?(now = 0.0) rng trace ~loss_prob =
   assert (loss_prob >= 0.0 && loss_prob < 1.0);
+  Rwc_perf.record Rwc_perf.Collector_poll (fun () ->
   (* A collector outage loses the whole sweep, not individual polls:
      the process restarted, nothing was recorded.  Checked once per
      call so the outage rate is per-sweep. *)
@@ -42,7 +43,7 @@ let poll ?(faults = Rwc_fault.disarmed) ?(now = 0.0) rng trace ~loss_prob =
         else Rwc_obs.Metrics.incr m_polls_lost)
       trace;
     List.rev !out
-  end
+  end)
 
 let completeness samples ~n =
   assert (n > 0);

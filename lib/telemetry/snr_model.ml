@@ -127,17 +127,18 @@ let diurnal p i =
 
 let generate rng p ~years =
   assert (years > 0.0);
-  let n = int_of_float (ceil (years *. float_of_int samples_per_year)) in
-  let trace = Rwc_stats.Timeseries.ar1_generate rng p.wander ~n in
-  if p.diurnal_amplitude_db <> 0.0 then
-    Array.iteri (fun i v -> trace.(i) <- v +. diurnal p i) trace;
-  let dips = draw_dips rng p ~n in
-  List.iter
-    (fun d ->
-      let stop = min n (d.start + d.duration) in
-      for i = d.start to stop - 1 do
-        trace.(i) <- Float.min trace.(i) d.floor_db
-      done)
-    dips;
-  Array.iteri (fun i x -> if x < 0.0 then trace.(i) <- 0.0) trace;
-  (trace, dips)
+  Rwc_perf.record Rwc_perf.Telemetry_gen (fun () ->
+      let n = int_of_float (ceil (years *. float_of_int samples_per_year)) in
+      let trace = Rwc_stats.Timeseries.ar1_generate rng p.wander ~n in
+      if p.diurnal_amplitude_db <> 0.0 then
+        Array.iteri (fun i v -> trace.(i) <- v +. diurnal p i) trace;
+      let dips = draw_dips rng p ~n in
+      List.iter
+        (fun d ->
+          let stop = min n (d.start + d.duration) in
+          for i = d.start to stop - 1 do
+            trace.(i) <- Float.min trace.(i) d.floor_db
+          done)
+        dips;
+      Array.iteri (fun i x -> if x < 0.0 then trace.(i) <- 0.0) trace;
+      (trace, dips))

@@ -100,6 +100,50 @@ let europe_adjacency =
 
 let europe = build_backbone europe_cities europe_adjacency
 
+(* Synthetic continental-scale backbones for perf sweeps: the embedded
+   graphs top out at 43 ducts, far below the fleet sizes the bench
+   needs (up to thousands of links).  Cities are scattered over a
+   US-sized bounding box and wired as a ring (guaranteed connectivity)
+   plus random chords, which yields WAN-plausible mean degree (~6) and
+   route lengths; [Netstate.make] then derives per-duct SNR baselines
+   from [route_km] exactly as for the embedded graphs. *)
+let synthetic ~ducts ~seed =
+  if ducts < 8 then invalid_arg "Backbone.synthetic: need at least 8 ducts";
+  let rng = Rwc_stats.Rng.create (0x10b5 lxor seed) in
+  let n_cities = max 4 (ducts / 3) in
+  let cities =
+    Array.init n_cities (fun i ->
+        {
+          name = Printf.sprintf "syn%03d" i;
+          lat = Rwc_stats.Rng.uniform rng ~lo:28.0 ~hi:48.0;
+          lon = Rwc_stats.Rng.uniform rng ~lo:(-122.0) ~hi:(-71.0);
+          population_m = Rwc_stats.Rng.lognormal_of_mean rng ~mean:2.5 ~cv:1.2;
+        })
+  in
+  let seen = Hashtbl.create (2 * ducts) in
+  let pair a b = if a < b then (a, b) else (b, a) in
+  let edges = ref [] in
+  let n_edges = ref 0 in
+  let add a b =
+    let p = pair a b in
+    if a <> b && not (Hashtbl.mem seen p) then begin
+      Hashtbl.add seen p ();
+      edges := p :: !edges;
+      incr n_edges
+    end
+  in
+  for i = 0 to n_cities - 1 do
+    add i ((i + 1) mod n_cities)
+  done;
+  (* Chords: bounded retries, so a pathological [ducts]/[n_cities]
+     ratio degrades to a denser ring instead of looping forever. *)
+  let attempts = ref 0 in
+  while !n_edges < ducts && !attempts < 64 * ducts do
+    incr attempts;
+    add (Rwc_stats.Rng.int rng n_cities) (Rwc_stats.Rng.int rng n_cities)
+  done;
+  build_backbone cities (List.rev !edges)
+
 let n_cities t = Array.length t.cities
 
 let city_index t name =

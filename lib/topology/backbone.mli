@@ -36,6 +36,13 @@ val europe : t
     for checking that nothing in the library silently assumes the
     North-American graph. *)
 
+val synthetic : ducts:int -> seed:int -> t
+(** A deterministic random backbone with [ducts] fiber ducts (ring
+    plus chords over [ducts / 3] cities) — the fleet-size knob for
+    perf sweeps, where the embedded graphs are far too small.  Same
+    [seed] → identical topology.  Raises [Invalid_argument] below 8
+    ducts. *)
+
 val n_cities : t -> int
 val city_index : t -> string -> int
 (** Index by name; raises [Not_found] for unknown cities. *)

@@ -25,6 +25,7 @@ let () =
       ("fairness", Test_fairness.suite);
       ("infra", Test_infra.suite);
       ("obs", Test_obs.suite);
+      ("perf", Test_perf.suite);
       ("journal", Test_journal.suite);
       ("recover", Test_recover.suite);
       ("figures", Test_figures.suite);

@@ -207,12 +207,30 @@ let test_span_nesting () =
     && child.Trace.ts +. child.Trace.dur <= a.Trace.ts +. a.Trace.dur +. 1e-9
   in
   Alcotest.(check bool) "children nested in parent" true (inside b && inside c);
-  (* Export must be valid JSON with one event per span. *)
+  (* Export must be valid JSON with one "X" event per span, preceded by
+     the process/thread-name metadata events Perfetto labels tracks
+     with. *)
   (match Json.parse (Json.to_string (Trace.to_json ())) with
   | Ok doc -> (
       match Json.member "traceEvents" doc with
       | Some (Json.List events) ->
-          Alcotest.(check int) "trace_event count" 3 (List.length events)
+          let ph e =
+            match Json.member "ph" e with
+            | Some (Json.String s) -> s
+            | _ -> "?"
+          in
+          let name e =
+            match Json.member "name" e with
+            | Some (Json.String s) -> s
+            | _ -> "?"
+          in
+          Alcotest.(check int) "trace_event count" 3
+            (List.length (List.filter (fun e -> ph e = "X") events));
+          let meta = List.filter (fun e -> ph e = "M") events in
+          Alcotest.(check bool) "process_name metadata" true
+            (List.exists (fun e -> name e = "process_name") meta);
+          Alcotest.(check bool) "thread_name metadata" true
+            (List.exists (fun e -> name e = "thread_name") meta)
       | _ -> Alcotest.fail "traceEvents missing")
   | Error e -> Alcotest.fail e);
   Alcotest.(check bool) "flame summary mentions spans" true
@@ -341,6 +359,7 @@ let test_runner_metrics_match_report () =
       retry = Rwc_sim.Orchestrator.default_retry_policy;
       guard = Rwc_guard.none;
       journal = Rwc_journal.disarmed;
+      progress = false;
     }
   in
   let r =

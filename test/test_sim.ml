@@ -142,6 +142,7 @@ let fast_config =
     retry = Orchestrator.default_retry_policy;
     guard = Rwc_guard.none;
     journal = Rwc_journal.disarmed;
+    progress = false;
   }
 
 let reports = lazy (Runner.compare_policies ~config:fast_config ())
