@@ -69,6 +69,30 @@ cmp "$PLAIN_JOURNAL" "$CRASH_JOURNAL"
 rm -rf "$RECOVER_DIR"
 rm -f "$PLAIN_OUT" "$CRASH_OUT" "$PLAIN_JOURNAL" "$CRASH_JOURNAL"
 
+echo "== domains smoke: --domains 4 must not change the bytes =="
+# The multicore fleet engine's contract: any --domains width produces
+# byte-identical reports and journals.  On runners with fewer than 4
+# recommended domains the width is capped (with a stderr note) — the
+# diff below stays valid either way, and the full 2/4/8-wide battery
+# runs uncapped in `dune runtest` (test/test_par.ml drives the Runner
+# config directly).
+SEQ_OUT="$(mktemp)"
+PAR_OUT="$(mktemp)"
+SEQ_JOURNAL="$(mktemp)"
+PAR_JOURNAL="$(mktemp)"
+dune exec bin/rwc.exe -- simulate --days 2 --policy adaptive-efficient \
+  --faults default --journal "$SEQ_JOURNAL" > "$SEQ_OUT"
+dune exec bin/rwc.exe -- simulate --days 2 --policy adaptive-efficient \
+  --faults default --journal "$PAR_JOURNAL" --domains 4 > "$PAR_OUT"
+diff "$SEQ_OUT" "$PAR_OUT"
+cmp "$SEQ_JOURNAL" "$PAR_JOURNAL"
+dune exec bin/rwc.exe -- chaos --days 1 --factor 1 --policy adaptive-stock \
+  > "$SEQ_OUT"
+dune exec bin/rwc.exe -- chaos --days 1 --factor 1 --policy adaptive-stock \
+  --domains 4 > "$PAR_OUT"
+diff "$SEQ_OUT" "$PAR_OUT"
+rm -f "$SEQ_OUT" "$PAR_OUT" "$SEQ_JOURNAL" "$PAR_JOURNAL"
+
 echo "== obs overhead gate: bench --obs-only (ns budgets) =="
 dune exec bench/main.exe -- --obs-only
 

@@ -84,6 +84,40 @@ let trace_flag =
 
 let obs_term = Term.(const obs_setup $ metrics_flag $ trace_flag)
 
+(* --domains: width of the Rwc_par pool the control loop fans its
+   shard-local phases over.  Validated here, once, for every command
+   that takes it: a non-positive width is an error, and a width beyond
+   the machine's recommended domain count is capped (spawning more
+   domains than cores only adds scheduling noise, never speed). *)
+let clamp_domains cmd domains =
+  if domains < 1 then begin
+    Printf.eprintf "%s: --domains must be >= 1\n" cmd;
+    exit 2
+  end;
+  let cap = Domain.recommended_domain_count () in
+  if domains > cap then begin
+    Printf.eprintf
+      "%s: note: --domains %d exceeds this machine's recommended domain \
+       count; capping at %d\n"
+      cmd domains cap;
+    cap
+  end
+  else domains
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Fan the shard-local control-loop phases (per-duct telemetry \
+           generation, the per-sweep observe pass) over $(docv) domains.  \
+           Reports, journals, manifests and checkpoints are byte-identical \
+           for any value: every shard draws from its own RNG substream and \
+           decisions always commit through the sequential TE/DES/journal \
+           path in duct-index order.  Values beyond the machine's \
+           recommended domain count are capped with a note.  Default 1: \
+           the plain sequential loop, no domains spawned.")
+
 let manifest_metrics () =
   if Obs.Metrics.enabled () then Obs.Metrics.to_json () else Obs.Json.Null
 
@@ -416,8 +450,9 @@ let backbone_of = function
           exit 2)
 
 let run_simulate () days policy seed faults guard journal_path slo backbone_file
-    manifest_path checkpoint checkpoint_every resume progress =
+    manifest_path checkpoint checkpoint_every resume progress domains =
   Option.iter (check_writable "--manifest") manifest_path;
+  let domains = clamp_domains "rwc simulate" domains in
   (* Recovery-flag coherence, checked before any expensive work.  A
      crash fault without a checkpoint directory would kill the run with
      nothing to restart from; an online SLO tracker without a journal
@@ -455,6 +490,7 @@ let run_simulate () days policy seed faults guard journal_path slo backbone_file
       guard;
       journal = jnl;
       progress;
+      domains;
     }
   in
   (* Both the plain and the checkpointed path reduce their results to
@@ -686,7 +722,7 @@ let simulate_cmd =
       const run_simulate $ obs_term $ days_arg $ policy_arg $ sim_seed_arg
       $ faults_arg $ guard_arg $ journal_arg $ slo_arg $ backbone_file_arg
       $ manifest_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_flag
-      $ progress_flag)
+      $ progress_flag $ domains_arg)
 
 (* ---- chaos ------------------------------------------------------------- *)
 
@@ -696,9 +732,10 @@ let simulate_cmd =
    compared against. *)
 
 let run_chaos () days seed factors policy guard journal_path slo backbone_file
-    manifest_path json_path crash_rates progress =
+    manifest_path json_path crash_rates progress domains =
   Option.iter (check_writable "--manifest") manifest_path;
   Option.iter (check_writable "--json") json_path;
+  let domains = clamp_domains "rwc chaos" domains in
   let crash_rates = List.sort_uniq compare crash_rates in
   if List.exists (fun r -> r < 0.0 || r >= 1.0) crash_rates then begin
     prerr_endline "rwc chaos: --crash must be a probability in [0, 1)";
@@ -736,6 +773,7 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
         guard = (if guarded then guard else Rwc_guard.none);
         journal = jnl;
         progress;
+        domains;
       }
     in
     match policy with
@@ -810,6 +848,7 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
                 Rwc_sim.Runner.days;
                 seed;
                 faults = Rwc_fault.scaled Rwc_fault.default ~factor:1.0;
+                domains;
               }
             in
             (match policy with
@@ -846,6 +885,7 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
                   Rwc_sim.Runner.days;
                   seed;
                   faults;
+                  domains;
                 }
               in
               let policies =
@@ -1034,7 +1074,8 @@ let chaos_cmd =
     Term.(
       const run_chaos $ obs_term $ chaos_days_arg $ sim_seed_arg $ factors_arg
       $ policy_arg $ guard_arg $ journal_arg $ slo_arg $ backbone_file_arg
-      $ manifest_arg $ chaos_json_arg $ chaos_crash_arg $ progress_flag)
+      $ manifest_arg $ chaos_json_arg $ chaos_crash_arg $ progress_flag
+      $ domains_arg)
 
 (* ---- explain ----------------------------------------------------------- *)
 
@@ -1589,15 +1630,23 @@ let export_cmd =
 
 module Perf = Rwc_perf
 
-let run_bench quick sizes days seed label out progress =
+let run_bench quick hyperscale sizes days seed label out progress domains
+    domains_sweep =
+  if quick && hyperscale then begin
+    prerr_endline "rwc bench: --quick and --hyperscale are mutually exclusive";
+    exit 2
+  end;
   let base =
-    if quick then Rwc_sim.Perf_sweep.quick else Rwc_sim.Perf_sweep.full
+    if hyperscale then Rwc_sim.Perf_sweep.hyperscale
+    else if quick then Rwc_sim.Perf_sweep.quick
+    else Rwc_sim.Perf_sweep.full
   in
   let label =
     match label with Some l -> l | None -> base.Rwc_sim.Perf_sweep.label
   in
   let opts =
     {
+      base with
       Rwc_sim.Perf_sweep.sizes =
         (match sizes with
         | Some s -> List.sort_uniq compare s
@@ -1606,6 +1655,7 @@ let run_bench quick sizes days seed label out progress =
       seed;
       label;
       progress;
+      domains = clamp_domains "rwc bench" domains;
     }
   in
   if List.exists (fun n -> n < 8) opts.Rwc_sim.Perf_sweep.sizes then begin
@@ -1616,12 +1666,39 @@ let run_bench quick sizes days seed label out progress =
     prerr_endline "rwc bench: --days must be positive";
     exit 2
   end;
-  let out = Option.value out ~default:(Printf.sprintf "BENCH_%s.json" label) in
-  check_writable "--out" out;
-  let t = Rwc_sim.Perf_sweep.run opts in
-  Perf.Trajectory.write out t;
-  Format.printf "%a" Perf.Trajectory.pp t;
-  Printf.printf "wrote %s\n" out
+  let run_one opts out =
+    check_writable "--out" out;
+    let t = Rwc_sim.Perf_sweep.run opts in
+    Perf.Trajectory.write out t;
+    Format.printf "%a" Perf.Trajectory.pp t;
+    Printf.printf "wrote %s\n" out
+  in
+  match domains_sweep with
+  | None ->
+      let out =
+        Option.value out ~default:(Printf.sprintf "BENCH_%s.json" label)
+      in
+      run_one opts out
+  | Some counts ->
+      (* One trajectory per domain count, named BENCH_<label>-d<N>.json
+         so `rwc perf diff --cross-domains` can compare any pair. *)
+      if out <> None then begin
+        prerr_endline
+          "rwc bench: --out conflicts with --domains-sweep (each count gets \
+           its own BENCH_<label>-d<N>.json)";
+        exit 2
+      end;
+      let counts =
+        List.sort_uniq compare
+          (List.map (clamp_domains "rwc bench") counts)
+      in
+      List.iter
+        (fun d ->
+          let label_d = Printf.sprintf "%s-d%d" label d in
+          run_one
+            { opts with Rwc_sim.Perf_sweep.label = label_d; domains = d }
+            (Printf.sprintf "BENCH_%s.json" label_d))
+        counts
 
 let sizes_arg =
   Arg.(
@@ -1644,6 +1721,27 @@ let bench_quick_flag =
         ~doc:
           "CI preset: sizes 50,200 instead of 50,200,1000,2000 — seconds \
            instead of minutes.")
+
+let bench_hyperscale_flag =
+  Arg.(
+    value & flag
+    & info [ "hyperscale" ]
+        ~doc:
+          "Hyperscale preset: one 50000-duct point over a short horizon \
+           with TE throttled (24-hour interval, 4 demands) so the fleet \
+           phases — telemetry generation and the observe pass, the parts \
+           $(b,--domains) parallelizes — dominate the wall time.")
+
+let bench_domains_sweep_arg =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "domains-sweep" ] ~docv:"N,N,..."
+        ~doc:
+          "Run the whole sweep once per domain count and emit one \
+           trajectory per count as $(b,BENCH_<label>-d<N>.json).  \
+           Conflicts with $(b,--out); compare the results with \
+           $(b,rwc perf diff --cross-domains).")
 
 let bench_label_arg =
   Arg.(
@@ -1670,10 +1768,11 @@ let bench_cmd =
           BENCH_<label>.json trajectory (per-phase p50/p95 timings, \
           events/s, solver-time-vs-fleet-size, peak heap)")
     Term.(
-      const run_bench $ bench_quick_flag $ sizes_arg $ bench_days_arg
-      $ sim_seed_arg $ bench_label_arg $ bench_out_arg $ progress_flag)
+      const run_bench $ bench_quick_flag $ bench_hyperscale_flag $ sizes_arg
+      $ bench_days_arg $ sim_seed_arg $ bench_label_arg $ bench_out_arg
+      $ progress_flag $ domains_arg $ bench_domains_sweep_arg)
 
-let run_perf_diff old_path new_path ci_tol =
+let run_perf_diff old_path new_path ci_tol cross_domains =
   let read path =
     match Perf.Trajectory.read path with
     | Ok t -> t
@@ -1683,7 +1782,7 @@ let run_perf_diff old_path new_path ci_tol =
   in
   let old_t = read old_path and new_t = read new_path in
   let tol = if ci_tol then Perf.Diff.ci else Perf.Diff.default in
-  match Perf.Diff.compare ~tol old_t new_t with
+  match Perf.Diff.compare ~tol ~cross_domains old_t new_t with
   | Error e ->
       Printf.eprintf "rwc perf diff: %s\n" e;
       exit 2
@@ -1714,13 +1813,25 @@ let perf_ci_flag =
            hundred percent; counts and allocation stay tight) instead of \
            the like-for-like defaults.")
 
+let perf_cross_domains_flag =
+  Arg.(
+    value & flag
+    & info [ "cross-domains" ]
+        ~doc:
+          "Allow comparing trajectories recorded with different \
+           $(b,--domains) widths.  Refused by default: wall-time deltas \
+           between different widths measure parallel speedup, not \
+           regressions.")
+
 let perf_diff_cmd =
   Cmd.v
     (Cmd.info "diff"
        ~doc:
          "Compare two BENCH_*.json trajectories; exits 1 when any metric \
           regresses past tolerance")
-    Term.(const run_perf_diff $ perf_old_arg $ perf_new_arg $ perf_ci_flag)
+    Term.(
+      const run_perf_diff $ perf_old_arg $ perf_new_arg $ perf_ci_flag
+      $ perf_cross_domains_flag)
 
 let perf_cmd =
   Cmd.group

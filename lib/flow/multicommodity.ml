@@ -44,12 +44,6 @@ let solve ?(epsilon = 0.1) g commodities =
        to its own demand independently at the end. *)
     let com_flow = Array.make_matrix n_com (max 1 m) 0.0 in
     let routed_raw = Array.make n_com 0.0 in
-    (* Shortest path under the current length function; zero-capacity
-       edges are unusable. *)
-    let lengths_graph () =
-      Graph.map_edges g (fun e ->
-          (e.Graph.capacity, length.(e.Graph.id), e.Graph.tag))
-    in
     let dual () =
       Graph.fold_edges
         (fun acc e ->
@@ -66,10 +60,13 @@ let solve ?(epsilon = 0.1) g commodities =
       Array.iteri
         (fun j c ->
           let remaining = ref c.demand in
+          (* Shortest path under the current length function — passed
+             as a cost override so the graph is never rebuilt;
+             zero-capacity edges are unusable. *)
+          let usable eid = usable_cap.(eid) > 0.0 in
+          let len eid = length.(eid) in
           while !remaining > 1e-12 && dual () < 1.0 do
-            let lg = lengths_graph () in
-            let usable eid = usable_cap.(eid) > 0.0 in
-            match Shortest.dijkstra ~usable lg ~src:c.src ~dst:c.dst with
+            match Shortest.dijkstra ~usable ~cost:len g ~src:c.src ~dst:c.dst with
             | None -> remaining := 0.0
             | Some path ->
                 Rwc_obs.Metrics.incr m_paths;

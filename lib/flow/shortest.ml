@@ -54,7 +54,12 @@ module Pq = struct
     top
 end
 
-let dijkstra ?(usable = fun _ -> true) g ~src ~dst =
+let dijkstra ?(usable = fun _ -> true) ?cost g ~src ~dst =
+  let edge_cost =
+    match cost with
+    | Some f -> f
+    | None -> fun eid -> (Graph.edge g eid).Graph.cost
+  in
   let n = Graph.n_vertices g in
   let dist = Array.make n infinity in
   let prev = Array.make n (-1) in
@@ -62,23 +67,25 @@ let dijkstra ?(usable = fun _ -> true) g ~src ~dst =
   dist.(src) <- 0.0;
   let q = Pq.create () in
   Pq.push q 0.0 src;
-  while not (Pq.is_empty q) do
+  while not (Pq.is_empty q) && not visited.(dst) do
     let d, v = Pq.pop q in
     if (not visited.(v)) && d <= dist.(v) +. 1e-12 then begin
       visited.(v) <- true;
-      List.iter
-        (fun eid ->
-          if usable eid then begin
-            let e = Graph.edge g eid in
-            assert (e.Graph.cost >= 0.0);
-            let nd = dist.(v) +. e.Graph.cost in
-            if nd < dist.(e.Graph.dst) -. 1e-12 then begin
-              dist.(e.Graph.dst) <- nd;
-              prev.(e.Graph.dst) <- eid;
-              Pq.push q nd e.Graph.dst
-            end
-          end)
-        (Graph.out_edges g v)
+      if v <> dst then
+        List.iter
+          (fun eid ->
+            if usable eid then begin
+              let e = Graph.edge g eid in
+              let c = edge_cost eid in
+              assert (c >= 0.0);
+              let nd = dist.(v) +. c in
+              if nd < dist.(e.Graph.dst) -. 1e-12 then begin
+                dist.(e.Graph.dst) <- nd;
+                prev.(e.Graph.dst) <- eid;
+                Pq.push q nd e.Graph.dst
+              end
+            end)
+          (Graph.out_edges g v)
     end
   done;
   if not (Float.is_finite dist.(dst)) then None

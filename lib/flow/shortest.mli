@@ -14,12 +14,18 @@ val path_capacity : 'tag Graph.t -> path -> float
 
 val dijkstra :
   ?usable:(Graph.edge_id -> bool) ->
+  ?cost:(Graph.edge_id -> float) ->
   'tag Graph.t ->
   src:int ->
   dst:int ->
   path option
 (** Least-cost path using non-negative edge costs; [usable] filters
-    edges (default: all).  [None] when unreachable. *)
+    edges (default: all).  [None] when unreachable.  [cost] overrides
+    the per-edge cost without rebuilding the graph — the
+    multicommodity solver re-runs Dijkstra under a length function
+    that changes after every augmentation, and materializing a fresh
+    graph per call dominates solve time at hyperscale fleet widths.
+    The search stops as soon as [dst] is finalized. *)
 
 val bellman_ford : 'tag Graph.t -> src:int -> float array
 (** Distances from [src] to every vertex (infinity if unreachable);

@@ -3,6 +3,7 @@ type span = {
   name : string;
   path : string;
   depth : int;
+  tid : int;
   ts : float;
   dur : float;
 }
@@ -16,15 +17,23 @@ let completed : span list ref = ref []
    with every event). *)
 let next_id = ref 1
 
+(* [completed] and [next_id] are shared across domains (a span opened
+   inside an Rwc_par section must land in the same trace), so both are
+   guarded by [mu].  The open-span stack is domain-local: nesting is a
+   per-domain property, and a worker's spans must not parent under
+   whatever the control loop happens to have open. *)
+let mu = Mutex.create ()
+
 (* Open spans, innermost first: (id, name, path, start time). *)
-let stack : (int * string * string * float) list ref = ref []
+let stack : (int * string * string * float) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let enable () =
   on := true;
   t0 := Unix.gettimeofday ();
   completed := [];
   next_id := 1;
-  stack := []
+  Domain.DLS.get stack := []
 
 let disable () = on := false
 let enabled () = !on
@@ -32,23 +41,30 @@ let enabled () = !on
 let reset () =
   completed := [];
   next_id := 1;
-  stack := []
+  Domain.DLS.get stack := []
 
-let depth () = List.length !stack
+let depth () = List.length !(Domain.DLS.get stack)
 
 let current_id () =
-  match !stack with [] -> 0 | (id, _, _, _) :: _ -> id
+  match !(Domain.DLS.get stack) with [] -> 0 | (id, _, _, _) :: _ -> id
 
 let with_span name f =
   if not !on then f ()
   else begin
+    let stack = Domain.DLS.get stack in
     let path =
       match !stack with
       | [] -> name
       | (_, _, parent, _) :: _ -> parent ^ ";" ^ name
     in
-    let id = !next_id in
-    incr next_id;
+    let id =
+      Mutex.lock mu;
+      let id = !next_id in
+      incr next_id;
+      Mutex.unlock mu;
+      id
+    in
+    let tid = (Domain.self () :> int) in
     let start = Unix.gettimeofday () in
     stack := (id, name, path, start) :: !stack;
     let d = List.length !stack in
@@ -56,9 +72,12 @@ let with_span name f =
       ~finally:(fun () ->
         let stop = Unix.gettimeofday () in
         (match !stack with _ :: rest -> stack := rest | [] -> ());
-        completed :=
-          { id; name; path; depth = d; ts = start -. !t0; dur = stop -. start }
-          :: !completed)
+        let s =
+          { id; name; path; depth = d; tid; ts = start -. !t0; dur = stop -. start }
+        in
+        Mutex.lock mu;
+        completed := s :: !completed;
+        Mutex.unlock mu)
       f
   end
 
@@ -74,31 +93,41 @@ let to_json () =
         ("ts", Json.Float (s.ts *. 1e6));
         ("dur", Json.Float (s.dur *. 1e6));
         ("pid", Json.Int 1);
-        ("tid", Json.Int 1);
+        ("tid", Json.Int s.tid);
         ("args", Json.Assoc [ ("id", Json.Int s.id) ]);
       ]
   in
   (* Chrome-trace metadata events: without these, Perfetto and
-     chrome://tracing label the single track "pid 1"; with them the
-     process and thread rows carry readable names. *)
-  let metadata name value =
+     chrome://tracing label the tracks "pid 1"/"tid N"; with them the
+     process row and each domain's thread row carry readable names.
+     The initial domain (id 0) is the control loop; any other tid is
+     an Rwc_par worker. *)
+  let metadata name tid value =
     Json.Assoc
       [
         ("name", Json.String name);
         ("ph", Json.String "M");
         ("pid", Json.Int 1);
-        ("tid", Json.Int 1);
+        ("tid", Json.Int tid);
         ("args", Json.Assoc [ ("name", Json.String value) ]);
       ]
   in
-  let by_start = List.sort (fun a b -> Float.compare a.ts b.ts) (spans ()) in
+  let all = spans () in
+  let tids = List.sort_uniq compare (0 :: List.map (fun s -> s.tid) all) in
+  let thread_names =
+    List.map
+      (fun tid ->
+        metadata "thread_name" tid
+          (if tid = 0 then "control-loop" else Printf.sprintf "domain-%d" tid))
+      tids
+  in
+  let by_start = List.sort (fun a b -> Float.compare a.ts b.ts) all in
   Json.Assoc
     [
       ( "traceEvents",
         Json.List
-          (metadata "process_name" "rwc"
-          :: metadata "thread_name" "control-loop"
-          :: List.map event by_start) );
+          ((metadata "process_name" 0 "rwc" :: thread_names)
+          @ List.map event by_start) );
       ("displayTimeUnit", Json.String "ms");
     ]
 

@@ -2,9 +2,13 @@
 
     [with_span "te/recompute" f] runs [f] and, when tracing is
     enabled, records a wall-clock span ([Unix.gettimeofday]) with its
-    nesting depth.  Spans nest via a thread-unsafe global stack — the
-    simulator is single-threaded — and are recorded even when [f]
-    raises, so the stack always re-balances.
+    nesting depth.  Spans nest via a domain-local stack (a span opened
+    on an {!Rwc_par} worker never parents under whatever the control
+    loop has open), the completed-span list is mutex-guarded, and
+    spans are recorded even when [f] raises, so the stack always
+    re-balances.  Each span carries the opening domain's id, exported
+    as the Chrome-trace [tid], so traces from [--domains N] runs get
+    one named track per domain.
 
     Completed spans export two ways: Chrome [trace_event] JSON
     (openable in [chrome://tracing] or Perfetto) and a plain-text
@@ -40,6 +44,10 @@ type span = {
   name : string;
   path : string;  (** [";"]-joined ancestry, flamegraph style. *)
   depth : int;  (** 1 for a root span. *)
+  tid : int;
+      (** Id of the domain the span was opened on ([Domain.self]): 0
+          for the control loop, worker ids for spans opened inside an
+          {!Rwc_par} section.  Exported as the Chrome-trace [tid]. *)
   ts : float;  (** Start, seconds since [enable]. *)
   dur : float;  (** Wall-clock duration in seconds. *)
 }
@@ -49,7 +57,10 @@ val spans : unit -> span list
 
 val to_json : unit -> Json.t
 (** Chrome [trace_event] document: [{"traceEvents": [...]}] with
-    complete ("ph": "X") events, microsecond timestamps. *)
+    complete ("ph": "X") events, microsecond timestamps, per-span
+    [tid] = opening domain id, and one [thread_name] metadata event
+    per distinct domain ("control-loop" for the initial domain,
+    "domain-N" otherwise). *)
 
 val write : string -> unit
 (** [to_json] written to a file. *)

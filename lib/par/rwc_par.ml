@@ -1,0 +1,208 @@
+(* Deterministic fork/join over OCaml 5 domains.  See rwc_par.mli for
+   the determinism contract.  Workers are persistent: one mailbox
+   (mutex + condvar + job slot) per worker domain, a section posts one
+   job per worker, runs its own share inline, then joins by waiting
+   for every job slot to empty.  All cross-domain reads happen after a
+   mutex acquisition that follows the writer's release, so no
+   unsynchronized data is ever observed. *)
+
+type mailbox = {
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable stop : bool;
+  mutable failed : exn option;  (* outcome of the last job *)
+  mutable last_busy : float;  (* seconds spent in the last job *)
+}
+
+type pool = {
+  width : int;
+  boxes : mailbox array;  (* length [width - 1] *)
+  handles : unit Domain.t array;
+  mutable alive : bool;
+  mutable busy_total : float;
+  mutable wall_total : float;
+}
+
+let make_box () =
+  {
+    m = Mutex.create ();
+    cv = Condition.create ();
+    job = None;
+    stop = false;
+    failed = None;
+    last_busy = 0.0;
+  }
+
+let worker_loop box =
+  let rec go () =
+    Mutex.lock box.m;
+    while Option.is_none box.job && not box.stop do
+      Condition.wait box.cv box.m
+    done;
+    match box.job with
+    | None ->
+        (* stop requested with no pending job *)
+        Mutex.unlock box.m
+    | Some job ->
+        Mutex.unlock box.m;
+        let t0 = Unix.gettimeofday () in
+        let outcome = try Ok (job ()) with e -> Error e in
+        let dt = Unix.gettimeofday () -. t0 in
+        Mutex.lock box.m;
+        (match outcome with
+        | Ok () -> box.failed <- None
+        | Error e -> box.failed <- Some e);
+        box.last_busy <- dt;
+        box.job <- None;
+        Condition.broadcast box.cv;
+        Mutex.unlock box.m;
+        go ()
+  in
+  go ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Rwc_par.create: domains must be >= 1";
+  let boxes = Array.init (domains - 1) (fun _ -> make_box ()) in
+  let handles =
+    Array.map (fun box -> Domain.spawn (fun () -> worker_loop box)) boxes
+  in
+  {
+    width = domains;
+    boxes;
+    handles;
+    alive = true;
+    busy_total = 0.0;
+    wall_total = 0.0;
+  }
+
+let domains pool = pool.width
+
+let shutdown pool =
+  if pool.alive then begin
+    pool.alive <- false;
+    Array.iter
+      (fun box ->
+        Mutex.lock box.m;
+        box.stop <- true;
+        Condition.broadcast box.cv;
+        Mutex.unlock box.m)
+      pool.boxes;
+    Array.iter Domain.join pool.handles
+  end
+
+let with_pool ~domains f =
+  let pool = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let post box job =
+  Mutex.lock box.m;
+  (match box.job with
+  | Some _ -> assert false (* pools are not reentrant *)
+  | None -> ());
+  box.job <- Some job;
+  Condition.broadcast box.cv;
+  Mutex.unlock box.m
+
+(* Wait for the worker's job slot to empty; return its outcome and the
+   time it spent. *)
+let join box =
+  Mutex.lock box.m;
+  while Option.is_some box.job do
+    Condition.wait box.cv box.m
+  done;
+  let failed = box.failed and busy = box.last_busy in
+  box.failed <- None;
+  box.last_busy <- 0.0;
+  Mutex.unlock box.m;
+  (failed, busy)
+
+(* Run [tasks.(d)] on domain [d] (task 0 inline on the caller), join
+   all, account busy/wall, re-raise the first failure. *)
+let run_section pool tasks =
+  if not pool.alive then invalid_arg "Rwc_par: pool used after shutdown";
+  let k = pool.width in
+  assert (Array.length tasks = k);
+  let t0 = Unix.gettimeofday () in
+  for d = 1 to k - 1 do
+    post pool.boxes.(d - 1) tasks.(d)
+  done;
+  let self_outcome = try Ok (tasks.(0) ()) with e -> Error e in
+  let self_busy = Unix.gettimeofday () -. t0 in
+  let busy = ref self_busy in
+  let first_exn =
+    ref (match self_outcome with Ok () -> None | Error e -> Some e)
+  in
+  for d = 1 to k - 1 do
+    let failed, dt = join pool.boxes.(d - 1) in
+    busy := !busy +. dt;
+    match failed with
+    | Some e when Option.is_none !first_exn -> first_exn := Some e
+    | _ -> ()
+  done;
+  pool.busy_total <- pool.busy_total +. !busy;
+  pool.wall_total <- pool.wall_total +. (Unix.gettimeofday () -. t0);
+  match !first_exn with None -> () | Some e -> raise e
+
+(* Contiguous balanced ranges: domain [d] owns [d*n/k, (d+1)*n/k). *)
+let range ~n ~k d = (d * n / k, (d + 1) * n / k)
+
+let parallel_init pool n f =
+  if n < 0 then invalid_arg "Rwc_par.parallel_init: negative size";
+  if pool.width = 1 || n = 0 then Array.init n f
+  else begin
+    let k = pool.width in
+    let parts = Array.make k [||] in
+    let tasks =
+      Array.init k (fun d () ->
+          let lo, hi = range ~n ~k d in
+          parts.(d) <- Array.init (hi - lo) (fun i -> f (lo + i)))
+    in
+    run_section pool tasks;
+    Array.concat (Array.to_list parts)
+  end
+
+let iter_ranges pool ~n f =
+  if n < 0 then invalid_arg "Rwc_par.iter_ranges: negative size";
+  if pool.width = 1 || n = 0 then f ~lo:0 ~hi:n
+  else begin
+    let k = pool.width in
+    let tasks =
+      Array.init k (fun d () ->
+          let lo, hi = range ~n ~k d in
+          f ~lo ~hi)
+    in
+    run_section pool tasks
+  end
+
+let map_reduce pool ~shards ~map ~init ~fold =
+  if shards < 0 then invalid_arg "Rwc_par.map_reduce: negative shards";
+  if pool.width = 1 || shards = 0 then begin
+    let acc = ref init in
+    for s = 0 to shards - 1 do
+      acc := fold !acc (map s)
+    done;
+    !acc
+  end
+  else begin
+    let k = pool.width in
+    let slots = Array.make shards None in
+    let tasks =
+      Array.init k (fun d () ->
+          let s = ref d in
+          while !s < shards do
+            slots.(!s) <- Some (map !s);
+            s := !s + k
+          done)
+    in
+    run_section pool tasks;
+    let acc = ref init in
+    for s = 0 to shards - 1 do
+      match slots.(s) with
+      | Some v -> acc := fold !acc v
+      | None -> assert false
+    done;
+    !acc
+  end
+
+let totals pool = (pool.busy_total, pool.wall_total)

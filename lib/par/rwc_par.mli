@@ -1,0 +1,71 @@
+(** Deterministic fork/join over OCaml 5 domains.
+
+    A {!pool} owns [domains - 1] persistent worker domains (the caller
+    counts as domain 0).  Work is split by a {e fixed} shard -> domain
+    mapping and results are always combined in shard order, so a
+    parallel run produces exactly the value the sequential fold would
+    — regardless of which domain finishes first.  With [domains = 1]
+    no domain is ever spawned and every entry point degenerates to the
+    plain sequential loop, so the single-domain path is byte-identical
+    to pre-pool code by construction.
+
+    Determinism contract for callers: the function handed to
+    {!parallel_init}, {!iter_ranges} or {!map_reduce} must touch only
+    shard-local state — its own index range, its own RNG substream —
+    plus read-only shared data.  Anything fleet-global (journal, DES,
+    shared RNG draws, float accumulators whose grouping matters) stays
+    on the caller's side of the join.
+
+    Pools are not reentrant: do not call pool operations from inside a
+    function already running under the same pool. *)
+
+type pool
+
+val create : domains:int -> pool
+(** [create ~domains] spawns [domains - 1] worker domains.  Raises
+    [Invalid_argument] when [domains < 1].  [create ~domains:1] is
+    free: no domain is spawned and the pool runs everything inline. *)
+
+val domains : pool -> int
+(** Pool width, including the caller's domain. *)
+
+val shutdown : pool -> unit
+(** Join all worker domains.  Idempotent.  Any further use of the pool
+    raises.  Always reached via {!with_pool} or [Fun.protect]. *)
+
+val with_pool : domains:int -> (pool -> 'a) -> 'a
+(** [create], run, [shutdown] — shutdown runs on exceptions too. *)
+
+val parallel_init : pool -> int -> (int -> 'a) -> 'a array
+(** [parallel_init pool n f] is [Array.init n f] computed in parallel:
+    indices are split into one contiguous range per domain (domain [d]
+    owns [[d*n/k, (d+1)*n/k)]) and [f] is applied in increasing index
+    order within each range, exactly once per index.  [f] must be
+    insensitive to cross-index evaluation order. *)
+
+val iter_ranges : pool -> n:int -> (lo:int -> hi:int -> unit) -> unit
+(** [iter_ranges pool ~n f] partitions [0..n-1] into the same
+    contiguous per-domain ranges as {!parallel_init} and runs
+    [f ~lo ~hi] on the owning domain ([hi] exclusive).  Returns after
+    all ranges complete (full barrier).  With [domains = 1] this is
+    exactly [f ~lo:0 ~hi:n] on the caller. *)
+
+val map_reduce :
+  pool ->
+  shards:int ->
+  map:(int -> 'b) ->
+  init:'a ->
+  fold:('a -> 'b -> 'a) ->
+  'a
+(** [map_reduce pool ~shards ~map ~init ~fold] computes
+    [List.fold_left fold init (List.map map [0; ...; shards-1])].
+    [map s] runs on domain [s mod k] (fixed mapping); results are
+    buffered per shard and folded on the caller in shard order, so
+    non-commutative / non-associative folds are safe. *)
+
+val totals : pool -> float * float
+(** [(busy_s, wall_s)] accumulated over every parallel section this
+    pool has run: [busy_s] sums per-domain in-section work time,
+    [wall_s] sums section elapsed times.  [busy_s /. wall_s] is the
+    effective parallel speedup.  Sections run inline ([domains = 1])
+    count into neither. *)

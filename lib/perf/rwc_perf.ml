@@ -84,14 +84,50 @@ let fresh_agg () =
   { count = 0; total_s = 0.0; min_s = infinity; max_s = 0.0;
     alloc_w = 0.0; buckets = Array.make n_buckets 0 }
 
-let aggs = Array.init n_phases (fun _ -> fresh_agg ())
+(* Each domain records into its own slab (one agg per phase) reached
+   through domain-local storage, so concurrent phases under
+   [--domains > 1] never race on a counter.  Slabs self-register in a
+   mutex-guarded list on first use; [snapshot]/[reset]/[pp_summary]
+   merge or zero the whole list.  Reads of another domain's slab are
+   only well-defined between parallel sections — Rwc_par's fork/join
+   mutexes give the happens-before — which is how the profiler is
+   used: arm, run, then read on the coordinating domain. *)
+
+let slab_registry : agg array list ref = ref []
+let registry_mu = Mutex.create ()
+
+let slab_key =
+  Domain.DLS.new_key (fun () ->
+      let slab = Array.init n_phases (fun _ -> fresh_agg ()) in
+      Mutex.lock registry_mu;
+      slab_registry := slab :: !slab_registry;
+      Mutex.unlock registry_mu;
+      slab)
+
+let slab () = Domain.DLS.get slab_key
+
+let all_slabs () =
+  Mutex.lock registry_mu;
+  let slabs = !slab_registry in
+  Mutex.unlock registry_mu;
+  slabs
+
+(* Parallel-section accounting (busy vs wall per phase).  Written only
+   by the coordinating domain after a join, so a plain global array is
+   race-free. *)
+type par_agg = { mutable par_busy : float; mutable par_wall : float }
+
+let par_aggs =
+  Array.init n_phases (fun _ -> { par_busy = 0.0; par_wall = 0.0 })
 
 let reset () =
-  Array.iter
-    (fun a ->
-      a.count <- 0; a.total_s <- 0.0; a.min_s <- infinity;
-      a.max_s <- 0.0; a.alloc_w <- 0.0; Array.fill a.buckets 0 n_buckets 0)
-    aggs
+  List.iter
+    (Array.iter (fun a ->
+         a.count <- 0; a.total_s <- 0.0; a.min_s <- infinity;
+         a.max_s <- 0.0; a.alloc_w <- 0.0;
+         Array.fill a.buckets 0 n_buckets 0))
+    (all_slabs ());
+  Array.iter (fun a -> a.par_busy <- 0.0; a.par_wall <- 0.0) par_aggs
 
 (* [Gc.quick_stat].minor_words only advances at minor collections, so
    short intervals would read as zero allocation; [Gc.minor_words ()]
@@ -101,7 +137,7 @@ let alloc_words () =
   Gc.minor_words () +. s.Gc.major_words -. s.Gc.promoted_words
 
 let observe phase ~dt ~dw =
-  let a = aggs.(phase_index phase) in
+  let a = (slab ()).(phase_index phase) in
   a.count <- a.count + 1;
   a.total_s <- a.total_s +. dt;
   if dt < a.min_s then a.min_s <- dt;
@@ -133,6 +169,13 @@ let record phase f =
     let tok = start () in
     Fun.protect ~finally:(fun () -> stop phase tok) f
 
+let par_add phase ~busy_s ~wall_s =
+  if !on then begin
+    let a = par_aggs.(phase_index phase) in
+    a.par_busy <- a.par_busy +. busy_s;
+    a.par_wall <- a.par_wall +. wall_s
+  end
+
 (* --- reading ------------------------------------------------------- *)
 
 type phase_stats = {
@@ -142,6 +185,8 @@ type phase_stats = {
   p95_s : float;
   max_s : float;
   alloc_words : float;
+  par_busy_s : float;
+  par_wall_s : float;
 }
 
 let percentile (a : agg) p =
@@ -161,16 +206,39 @@ let percentile (a : agg) p =
     if v > a.max_s then a.max_s else v
   end
 
-let stats_of_agg (a : agg) =
+let stats_of_agg (a : agg) (pa : par_agg) =
   { count = a.count; total_s = a.total_s;
     p50_s = percentile a 50.0; p95_s = percentile a 95.0;
-    max_s = a.max_s; alloc_words = a.alloc_w }
+    max_s = a.max_s; alloc_words = a.alloc_w;
+    par_busy_s = pa.par_busy; par_wall_s = pa.par_wall }
+
+(* Merge every domain's slab into one agg per phase. *)
+let merged () =
+  let slabs = all_slabs () in
+  Array.init n_phases (fun i ->
+      let m : agg = fresh_agg () in
+      List.iter
+        (fun (slab : agg array) ->
+          let a = slab.(i) in
+          m.count <- m.count + a.count;
+          m.total_s <- m.total_s +. a.total_s;
+          if a.min_s < m.min_s then m.min_s <- a.min_s;
+          if a.max_s > m.max_s then m.max_s <- a.max_s;
+          m.alloc_w <- m.alloc_w +. a.alloc_w;
+          Array.iteri
+            (fun b c -> m.buckets.(b) <- m.buckets.(b) + c)
+            a.buckets)
+        slabs;
+      m)
 
 let snapshot () =
+  let m = merged () in
   List.filter_map
     (fun p ->
-      let a = aggs.(phase_index p) in
-      if a.count = 0 then None else Some (p, stats_of_agg a))
+      let i = phase_index p in
+      let a = m.(i) and pa = par_aggs.(i) in
+      if a.count = 0 && pa.par_wall = 0.0 then None
+      else Some (p, stats_of_agg a pa))
     all_phases
 
 let peak_heap_words () = (Gc.quick_stat ()).Gc.top_heap_words
@@ -185,14 +253,22 @@ let pp_summary ppf () =
   let snap = snapshot () in
   if snap = [] then Format.fprintf ppf "perf: no phases recorded@."
   else begin
-    Format.fprintf ppf "%-20s %8s %10s %10s %10s %10s %12s@."
+    let any_par = List.exists (fun (_, s) -> s.par_wall_s > 0.0) snap in
+    Format.fprintf ppf "%-20s %8s %10s %10s %10s %10s %12s"
       "phase" "count" "total" "p50" "p95" "max" "alloc-words";
+    if any_par then Format.fprintf ppf " %9s" "par-x";
+    Format.fprintf ppf "@.";
     let dur s = Format.asprintf "%a" pp_duration s in
     List.iter
       (fun (p, s) ->
-        Format.fprintf ppf "%-20s %8d %10s %10s %10s %10s %12.3e@."
+        Format.fprintf ppf "%-20s %8d %10s %10s %10s %10s %12.3e"
           (phase_name p) s.count (dur s.total_s) (dur s.p50_s) (dur s.p95_s)
-          (dur s.max_s) s.alloc_words)
+          (dur s.max_s) s.alloc_words;
+        if any_par then
+          if s.par_wall_s > 0.0 then
+            Format.fprintf ppf " %8.2fx" (s.par_busy_s /. s.par_wall_s)
+          else Format.fprintf ppf " %9s" "-";
+        Format.fprintf ppf "@.")
       snap
   end
 
@@ -206,6 +282,8 @@ module Trajectory = struct
     ph_p95_s : float;
     ph_max_s : float;
     ph_alloc_words : float;
+    ph_par_busy_s : float;
+    ph_par_wall_s : float;
   }
 
   type point = {
@@ -220,13 +298,15 @@ module Trajectory = struct
   type t = {
     schema : string;
     label : string;
+    domains : int;
     points : point list;
   }
 
-  let schema_version = "rwc-bench/1"
+  let schema_version = "rwc-bench/2"
+  let schema_v1 = "rwc-bench/1"
 
-  let make ~label points =
-    { schema = schema_version; label;
+  let make ~label ?(domains = 1) points =
+    { schema = schema_version; label; domains;
       points = List.sort (fun a b -> compare a.n_links b.n_links) points }
 
   (* The JSON layer serializes non-finite floats as [null], which the
@@ -241,7 +321,9 @@ module Trajectory = struct
         ("p50_s", Json.Float (sane p.ph_p50_s));
         ("p95_s", Json.Float (sane p.ph_p95_s));
         ("max_s", Json.Float (sane p.ph_max_s));
-        ("alloc_words", Json.Float (sane p.ph_alloc_words)) ]
+        ("alloc_words", Json.Float (sane p.ph_alloc_words));
+        ("par_busy_s", Json.Float (sane p.ph_par_busy_s));
+        ("par_wall_s", Json.Float (sane p.ph_par_wall_s)) ]
 
   let json_of_point p =
     Json.Assoc
@@ -257,6 +339,7 @@ module Trajectory = struct
     Json.Assoc
       [ ("schema", Json.String t.schema);
         ("label", Json.String t.label);
+        ("domains", Json.Int t.domains);
         ("points", Json.List (List.map json_of_point t.points)) ]
 
   let ( let* ) = Result.bind
@@ -290,6 +373,12 @@ module Trajectory = struct
       let* ys = map_result f tl in
       Ok (y :: ys)
 
+  (* Optional float field: absent in rwc-bench/1 files, defaulted. *)
+  let offield path name ~default j =
+    match Json.member name j with
+    | None -> Ok default
+    | Some v -> fnum (path ^ "." ^ name) v
+
   let phase_point_of_json path j =
     let* ph_count = ifield path "count" j in
     let* ph_total_s = ffield path "total_s" j in
@@ -297,7 +386,10 @@ module Trajectory = struct
     let* ph_p95_s = ffield path "p95_s" j in
     let* ph_max_s = ffield path "max_s" j in
     let* ph_alloc_words = ffield path "alloc_words" j in
-    Ok { ph_count; ph_total_s; ph_p50_s; ph_p95_s; ph_max_s; ph_alloc_words }
+    let* ph_par_busy_s = offield path "par_busy_s" ~default:0.0 j in
+    let* ph_par_wall_s = offield path "par_wall_s" ~default:0.0 j in
+    Ok { ph_count; ph_total_s; ph_p50_s; ph_p95_s; ph_max_s; ph_alloc_words;
+         ph_par_busy_s; ph_par_wall_s }
 
   let point_of_json i j =
     let path = Printf.sprintf "points[%d]" i in
@@ -326,16 +418,23 @@ module Trajectory = struct
       | Json.String s -> Ok s
       | _ -> Error "trajectory.schema: expected a string"
     in
-    if not (String.equal schema schema_version) then
+    if not (String.equal schema schema_version || String.equal schema schema_v1)
+    then
       Error
-        (Printf.sprintf "unsupported schema %S (this build reads %S)" schema
-           schema_version)
+        (Printf.sprintf "unsupported schema %S (this build reads %S and %S)"
+           schema schema_version schema_v1)
     else
       let* label_j = field "trajectory" "label" j in
       let* label =
         match label_j with
         | Json.String s -> Ok s
         | _ -> Error "trajectory.label: expected a string"
+      in
+      (* rwc-bench/1 predates the field: those runs were sequential. *)
+      let* domains =
+        match Json.member "domains" j with
+        | None -> Ok 1
+        | Some v -> inum "trajectory.domains" v
       in
       let* points_j = field "trajectory" "points" j in
       let* points =
@@ -346,7 +445,9 @@ module Trajectory = struct
           Ok pts
         | _ -> Error "trajectory.points: expected a list"
       in
-      Ok { schema; label; points }
+      (* Normalize: a v1 file re-emerges as the current schema with
+         defaulted fields, so downstream comparisons are uniform. *)
+      Ok { schema = schema_version; label; domains; points }
 
   let write path t = Json.to_file path (to_json t)
 
@@ -362,8 +463,8 @@ module Trajectory = struct
           | Ok t -> Ok t))
 
   let pp ppf t =
-    Format.fprintf ppf "trajectory %S (%s), %d point(s)@." t.label t.schema
-      (List.length t.points);
+    Format.fprintf ppf "trajectory %S (%s, %d domain(s)), %d point(s)@."
+      t.label t.schema t.domains (List.length t.points);
     List.iter
       (fun p ->
         Format.fprintf ppf
@@ -373,9 +474,13 @@ module Trajectory = struct
         List.iter
           (fun (name, ph) ->
             Format.fprintf ppf
-              "    %-20s count %-7d total %a  p50 %a  p95 %a  max %a@." name
+              "    %-20s count %-7d total %a  p50 %a  p95 %a  max %a" name
               ph.ph_count pp_duration ph.ph_total_s pp_duration ph.ph_p50_s
-              pp_duration ph.ph_p95_s pp_duration ph.ph_max_s)
+              pp_duration ph.ph_p95_s pp_duration ph.ph_max_s;
+            if ph.ph_par_wall_s > 0.0 then
+              Format.fprintf ppf "  par %.2fx"
+                (ph.ph_par_busy_s /. ph.ph_par_wall_s);
+            Format.fprintf ppf "@.")
           p.phases)
       t.points
 end
@@ -502,11 +607,23 @@ module Diff = struct
     in
     top @ phase_findings
 
-  let compare ?(tol = default) (old_t : Trajectory.t) (new_t : Trajectory.t) =
+  let compare ?(tol = default) ?(cross_domains = false) (old_t : Trajectory.t)
+      (new_t : Trajectory.t) =
     if not (String.equal old_t.Trajectory.schema new_t.Trajectory.schema) then
       Error
         (Printf.sprintf "schema mismatch: old %S vs new %S"
            old_t.Trajectory.schema new_t.Trajectory.schema)
+    else if
+      old_t.Trajectory.domains <> new_t.Trajectory.domains
+      && not cross_domains
+    then
+      (* Wall-clock comparisons across different parallelism are
+         apples-to-oranges; demand an explicit opt-in. *)
+      Error
+        (Printf.sprintf
+           "domains mismatch: old ran with %d, new with %d (pass \
+            --cross-domains to compare anyway)"
+           old_t.Trajectory.domains new_t.Trajectory.domains)
     else
       let missing =
         List.filter

@@ -62,7 +62,16 @@ val all_phases : phase list
 val record : phase -> (unit -> 'a) -> 'a
 (** Run the thunk, attributing its wall-clock and allocated words to
     [phase].  Exactly [f ()] when disarmed.  Re-entrant: nested
-    phases each get their own (overlapping) attribution. *)
+    phases each get their own (overlapping) attribution.  Safe to call
+    from any domain: each domain accumulates into its own slab, merged
+    by {!snapshot} (see {e Domains} below). *)
+
+val par_add : phase -> busy_s:float -> wall_s:float -> unit
+(** Credit a completed parallel section to [phase]: [busy_s] is the
+    summed per-domain work time, [wall_s] the section's elapsed time
+    ([busy_s /. wall_s] = effective speedup).  Called by the
+    coordinating domain after a join ([Rwc_par.totals] deltas).  No-op
+    while disarmed. *)
 
 type token
 (** Captured clock + allocation baseline, or nothing when disarmed. *)
@@ -81,12 +90,22 @@ type phase_stats = {
   p95_s : float;
   max_s : float;
   alloc_words : float;  (** Sum of per-call minor+major-promoted words. *)
+  par_busy_s : float;  (** Summed per-domain busy time, {!par_add}. *)
+  par_wall_s : float;  (** Summed parallel-section wall time. *)
 }
 
 val snapshot : unit -> (phase * phase_stats) list
-(** Phases with at least one recorded call, in declaration order.
-    Percentiles are log-bucket midpoints (20 buckets/decade, same
-    scheme as [Metrics.histogram]) clamped to observed min/max. *)
+(** Phases with at least one recorded call (or parallel section), in
+    declaration order.  Percentiles are log-bucket midpoints (20
+    buckets/decade, same scheme as [Metrics.histogram]) clamped to
+    observed min/max.
+
+    {e Domains}: each domain records into a domain-local slab;
+    [snapshot] (like {!reset} and {!pp_summary}) merges every slab.
+    Only call these between parallel sections — Rwc_par's join is the
+    synchronization that makes other domains' slabs readable.  Counts
+    and allocation totals are deterministic across [--domains];
+    wall-clock fields are not (work overlaps). *)
 
 val peak_heap_words : unit -> int
 (** [Gc.quick_stat].top_heap_words — peak major-heap size so far. *)
@@ -102,12 +121,16 @@ module Trajectory : sig
   (** The machine-readable perf-trajectory format emitted by
       [rwc bench] and consumed by [rwc perf diff] and the CI gate.
 
-      Schema ["rwc-bench/1"]: a labeled list of sweep points keyed by
+      Schema ["rwc-bench/2"]: a labeled list of sweep points keyed by
       fleet size, each carrying wall time, event throughput, peak heap
-      and a per-phase stats table.  Writing sanitizes non-finite
-      floats to [0.0] (the JSON layer would emit [null], which the
-      reader rejects); reading validates the schema version and every
-      field, reporting the offending path on error. *)
+      and a per-phase stats table, plus the domain count the sweep ran
+      with and per-phase parallel busy/wall credit.  Writing sanitizes
+      non-finite floats to [0.0] (the JSON layer would emit [null],
+      which the reader rejects); reading validates the schema version
+      and every field, reporting the offending path on error.
+      ["rwc-bench/1"] files still read: [domains] defaults to 1 and
+      the parallel fields to 0, and the value is normalized to the
+      current schema. *)
 
   type phase_point = {
     ph_count : int;
@@ -116,6 +139,8 @@ module Trajectory : sig
     ph_p95_s : float;
     ph_max_s : float;
     ph_alloc_words : float;
+    ph_par_busy_s : float;  (** 0 when the phase never ran parallel. *)
+    ph_par_wall_s : float;
   }
 
   type point = {
@@ -128,16 +153,18 @@ module Trajectory : sig
   }
 
   type t = {
-    schema : string;  (** Always [schema_version] on values we wrote. *)
+    schema : string;  (** Always [schema_version] on values we produce. *)
     label : string;  (** e.g. ["baseline"], ["quick"]. *)
+    domains : int;  (** Domain count the sweep ran with (1 = sequential). *)
     points : point list;  (** Sorted by [n_links]. *)
   }
 
   val schema_version : string
-  (** ["rwc-bench/1"]. *)
+  (** ["rwc-bench/2"]. *)
 
-  val make : label:string -> point list -> t
-  (** Stamps [schema_version] and sorts points by [n_links]. *)
+  val make : label:string -> ?domains:int -> point list -> t
+  (** Stamps [schema_version] and sorts points by [n_links];
+      [domains] defaults to 1. *)
 
   val to_json : t -> Rwc_obs.Json.t
   val of_json : Rwc_obs.Json.t -> (t, string) result
@@ -183,14 +210,15 @@ module Diff : sig
     level : level;
   }
 
-  val compare : ?tol:tolerance -> Trajectory.t -> Trajectory.t ->
-    (finding list, string) result
+  val compare : ?tol:tolerance -> ?cross_domains:bool ->
+    Trajectory.t -> Trajectory.t -> (finding list, string) result
   (** [compare old new].  [Error] when the files are not comparable
-      (schema mismatch, new trajectory missing a sweep point the old
-      one has); a phase present in old but absent in new is a [Fail]
-      finding (the instrumentation went away), not an error.  Within
-      tolerance → [Pass]; past half the tolerance → [Warn]; past the
-      tolerance → [Fail].  Improvements are [Pass]. *)
+      (schema mismatch, differing [domains] unless [~cross_domains:true],
+      new trajectory missing a sweep point the old one has); a phase
+      present in old but absent in new is a [Fail] finding (the
+      instrumentation went away), not an error.  Within tolerance →
+      [Pass]; past half the tolerance → [Warn]; past the tolerance →
+      [Fail].  Improvements are [Pass]. *)
 
   val worst : finding list -> level
 

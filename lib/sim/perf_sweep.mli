@@ -14,6 +14,10 @@ type opts = {
   seed : int;
   label : string;  (** Stored in the trajectory ([quick], [full], ...). *)
   progress : bool;  (** Per-run stderr heartbeat. *)
+  domains : int;  (** Domain count for the runner ([Rwc_par]); 1 = sequential. *)
+  te_interval_h : float;  (** Scheduled TE recompute cadence (workload knob). *)
+  top_demands : int;  (** TE demand-set truncation (workload knob). *)
+  epsilon : float;  (** TE approximation knob. *)
 }
 
 val quick : opts
@@ -24,6 +28,11 @@ val full : opts
 (** [sizes = \[50; 200; 1000; 2000\]], a quarter sim-day — the
     solver-time-vs-fleet-size series the ROADMAP asks for, in a few
     minutes of wall clock. *)
+
+val hyperscale : opts
+(** [sizes = \[50000\]] — a fleet serving millions of users, tuned so
+    the sequential TE slice stays bounded (few demands, coarse
+    epsilon) and meant to run with [domains > 1]. *)
 
 val run : opts -> Rwc_perf.Trajectory.t
 (** Arms the profiler and metrics registry for the duration (restoring

@@ -27,6 +27,7 @@ type config = {
   guard : Rwc_guard.plan;
   journal : Rwc_journal.t;
   progress : bool;  (* stderr heartbeat for long runs *)
+  domains : int;  (* Rwc_par pool width; 1 = plain sequential loop *)
 }
 
 let default_config =
@@ -43,6 +44,7 @@ let default_config =
     guard = Rwc_guard.none;
     journal = Rwc_journal.disarmed;
     progress = false;
+    domains = 1;
   }
 
 type fault_stats = {
@@ -142,8 +144,25 @@ let journal_verdict_of = function
    checkpoint instead of from scratch.  Both default to [None], and
    every recovery hook below is gated so the disarmed path stays
    byte-identical to a build without the recover layer. *)
+(* The control loop splits into two kinds of state, and the split is
+   what makes [--domains N] byte-identical to the sequential run:
+
+   - {e shard-local} (safe to touch from any domain, owned by one
+     duct): the duct's SNR trace and its RNG substream, its controller
+     and detectors, its slot in the per-duct scratch arrays.  The
+     parallel phases below — trace generation at init, the per-sweep
+     observe pass — touch only this.
+   - {e fleet-global} (domain 0 only): the TE state, the DES queue,
+     the journal, the guard, every counter and float accumulator
+     (float addition does not reassociate), and the shared fault /
+     reconfig RNG streams whose draw order is part of the byte
+     contract.  Decisions always commit through this path in
+     duct-index order. *)
 let run_policy ~config ~backbone ?recover ?restore policy =
   assert (config.days > 0.0 && config.te_interval_h > 0.0);
+  assert (config.domains >= 1);
+  let pool = Rwc_par.create ~domains:config.domains in
+  Fun.protect ~finally:(fun () -> Rwc_par.shutdown pool) @@ fun () ->
   (* One injector per policy run, compiled from the plan seed: every
      policy sees the same fault pattern, and a plan with no rules is a
      disarmed injector that draws nothing — keeping the fault-free run
@@ -209,32 +228,50 @@ let run_policy ~config ~backbone ?recover ?restore policy =
   (* EWMA alarms persist while the level shift lasts; journal the
      onset, not every alarming sample (CUSUM already self-resets). *)
   let ewma_alarming = Array.make n_ducts false in
+  (* Per-sweep scratch filled by the (possibly parallel) observe pass
+     — each duct writes only its own slot — and consumed by the
+     sequential commit pass in duct-index order.  Dead between sweeps,
+     so checkpoints never carry it. *)
+  let obs_ewma = Array.make n_ducts false in
+  let obs_cusum = Array.make n_ducts false in
+  let obs_now_up = Array.make n_ducts false in
   let years = config.days /. 365.25 in
   let trace_root = Rwc_stats.Rng.create (config.seed + 1) in
   let reconfig_rng = Rwc_stats.Rng.create (config.seed + 2) in
+  (* Fleet SNR/telemetry generation, fanned out over the pool: each
+     duct's trace comes from its own [Rng.substream] (a pure hash of
+     the root state and the duct index, no draw from the shared
+     stream), so the result is independent of which domain generates
+     which duct.  Everything mutated here is the duct's own state. *)
   let ducts =
-    Array.map
-      (fun (d : Netstate.duct_state) ->
-        let rng = Rwc_stats.Rng.substream trace_root d.Netstate.duct_index in
-        let trace, _ = Snr_model.generate rng d.Netstate.snr_params ~years in
-        (* Policy-specific initialisation. *)
-        let controller =
-          match policy with
-          | Static_100 ->
-              d.Netstate.per_lambda_gbps <- Modulation.default_gbps;
-              None
-          | Static_max ->
-              (* Fix at the day-one feasible denomination, never adapt. *)
-              d.Netstate.per_lambda_gbps <-
-                max Modulation.default_gbps
-                  (Modulation.feasible_gbps
-                     d.Netstate.snr_params.Snr_model.baseline_db);
-              None
-          | Adaptive _ ->
-              Some (Adapt.create ~initial_gbps:Modulation.default_gbps ())
-        in
-        { state = d; trace; controller; reconfiguring = false })
-      net.Netstate.ducts
+    let busy0, wall0 = Rwc_par.totals pool in
+    let ducts =
+      Rwc_par.parallel_init pool n_ducts (fun i ->
+          let d = net.Netstate.ducts.(i) in
+          let rng = Rwc_stats.Rng.substream trace_root d.Netstate.duct_index in
+          let trace, _ = Snr_model.generate rng d.Netstate.snr_params ~years in
+          (* Policy-specific initialisation. *)
+          let controller =
+            match policy with
+            | Static_100 ->
+                d.Netstate.per_lambda_gbps <- Modulation.default_gbps;
+                None
+            | Static_max ->
+                (* Fix at the day-one feasible denomination, never adapt. *)
+                d.Netstate.per_lambda_gbps <-
+                  max Modulation.default_gbps
+                    (Modulation.feasible_gbps
+                       d.Netstate.snr_params.Snr_model.baseline_db);
+                None
+            | Adaptive _ ->
+                Some (Adapt.create ~initial_gbps:Modulation.default_gbps ())
+          in
+          { state = d; trace; controller; reconfiguring = false })
+    in
+    let busy1, wall1 = Rwc_par.totals pool in
+    Rwc_perf.par_add Rwc_perf.Telemetry_gen ~busy_s:(busy1 -. busy0)
+      ~wall_s:(wall1 -. wall0);
+    ducts
   in
   (* On restore the segment header and opening commits are already in
      the journal's retained prefix; re-emitting them would duplicate
@@ -262,9 +299,8 @@ let run_policy ~config ~backbone ?recover ?restore policy =
      rescaled so the OFFERED load (not the pre-truncation total) is the
      requested fraction of the static network's capacity. *)
   let demands =
-    Rwc_topology.Traffic.top_k
-      (Rwc_topology.Traffic.gravity backbone ~total_gbps:1.0)
-      config.top_demands
+    Rwc_topology.Traffic.gravity_top_k backbone ~total_gbps:1.0
+      ~k:config.top_demands
   in
   let kept = List.fold_left (fun acc d -> acc +. d.Rwc_topology.Traffic.gbps) 0.0 demands in
   let scale = config.demand_fraction *. static_total /. kept in
@@ -467,7 +503,36 @@ let run_policy ~config ~backbone ?recover ?restore policy =
       end
     end
   in
-  (* One SNR-tick event sweeps all ducts. *)
+  (* Shard-local half of a sweep: advance the duct's own detectors and
+     evaluate its static threshold.  No shared RNG, no journal, no
+     counters — safe on any domain; results land in the duct's scratch
+     slots.  Per-duct detector state makes the outcome independent of
+     cross-duct evaluation order, so observe-all-then-commit-all
+     produces the same values the old interleaved loop did. *)
+  let observe_duct dr k =
+    let d = dr.state in
+    (match detectors with
+    | None -> ()
+    | Some arr ->
+        let i = d.Netstate.duct_index in
+        let v = dr.trace.(k) in
+        let ew, cu = arr.(i) in
+        obs_ewma.(i) <- Detect.Ewma.observe ew v;
+        obs_cusum.(i) <- Detect.Cusum.observe cu v);
+    match policy with
+    | Static_100 | Static_max ->
+        (* Static denominations never change after init, so the
+           threshold compare is pure per-duct work. *)
+        let threshold =
+          match Modulation.of_gbps d.Netstate.per_lambda_gbps with
+          | Some m -> m.Modulation.min_snr_db
+          | None -> Modulation.threshold_100g
+        in
+        obs_now_up.(d.Netstate.duct_index) <- dr.trace.(k) >= threshold
+    | Adaptive _ -> ()
+  in
+  (* Fleet-global half: commit duct [dr]'s sample in duct-index order
+     through the sequential journal/guard/TE/DES path. *)
   let apply_sample dr k sweep_lost =
     let d = dr.state in
     let now = float_of_int k *. sample_s in
@@ -476,25 +541,19 @@ let run_policy ~config ~backbone ?recover ?restore policy =
        the controller did about the same sample. *)
     (match detectors with
     | None -> ()
-    | Some arr ->
+    | Some _ ->
         let i = d.Netstate.duct_index in
         let v = dr.trace.(k) in
-        let ew, cu = arr.(i) in
-        let ew_alarm = Detect.Ewma.observe ew v in
+        let ew_alarm = obs_ewma.(i) in
         if ew_alarm && not ewma_alarming.(i) then
           Rwc_journal.anomaly jnl ~link:i ~now Rwc_journal.Ewma ~snr_db:v;
         ewma_alarming.(i) <- ew_alarm;
-        if Detect.Cusum.observe cu v then
+        if obs_cusum.(i) then
           Rwc_journal.anomaly jnl ~link:i ~now Rwc_journal.Cusum ~snr_db:v);
     match policy with
     | Static_100 | Static_max ->
         d.Netstate.current_snr_db <- dr.trace.(k);
-        let threshold =
-          match Modulation.of_gbps d.Netstate.per_lambda_gbps with
-          | Some m -> m.Modulation.min_snr_db
-          | None -> Modulation.threshold_100g
-        in
-        let now_up = dr.trace.(k) >= threshold in
+        let now_up = obs_now_up.(d.Netstate.duct_index) in
         if d.Netstate.up && not now_up then begin
           incr failures;
           Metrics.incr m_failures
@@ -795,6 +854,16 @@ let run_policy ~config ~backbone ?recover ?restore policy =
                      ~now:(float_of_int k *. sample_s)
               in
               Rwc_perf.record Rwc_perf.Adapt_step (fun () ->
+                  (* Observe in parallel (shard-local state only),
+                     then commit sequentially in duct-index order. *)
+                  let busy0, wall0 = Rwc_par.totals pool in
+                  Rwc_par.iter_ranges pool ~n:n_ducts (fun ~lo ~hi ->
+                      for i = lo to hi - 1 do
+                        observe_duct ducts.(i) k
+                      done);
+                  let busy1, wall1 = Rwc_par.totals pool in
+                  Rwc_perf.par_add Rwc_perf.Adapt_step
+                    ~busy_s:(busy1 -. busy0) ~wall_s:(wall1 -. wall0);
                   Array.iter (fun dr -> apply_sample dr k sweep_lost) ducts);
               Array.iter
                 (fun dr ->

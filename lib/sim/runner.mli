@@ -68,12 +68,22 @@ type config = {
       (** Single-line stderr heartbeat (sim-day, events/s, ETA),
           redrawn at most twice a second.  Off by default; purely
           cosmetic — results are identical either way. *)
+  domains : int;
+      (** Width of the {!Rwc_par} pool the run fans its shard-local
+          phases over (per-duct trace generation, the per-sweep
+          observe pass).  Decisions always commit through the
+          sequential TE/DES/journal path in duct-index order, and
+          every shard draws from its own RNG substream, so reports,
+          journals, manifests and checkpoints are byte-identical for
+          any value.  [1] (the default) spawns nothing and runs the
+          plain sequential loop. *)
 }
 
 val default_config : config
 (** 60 days, 6-hourly TE, seed 7, 4 wavelengths/duct, offered load
     0.75, top 40 demands, epsilon 0.12, no faults,
-    {!Orchestrator.default_retry_policy}, no guard, disarmed journal. *)
+    {!Orchestrator.default_retry_policy}, no guard, disarmed journal,
+    1 domain. *)
 
 type fault_stats = {
   injected : int;  (** Total faults the injector fired. *)

@@ -27,6 +27,84 @@ let top_k demands k =
   in
   List.filteri (fun i _ -> i < k) sorted
 
+(* [top_k (gravity t ~total_gbps) k] without materializing the n²
+   pair list: a hyperscale synthetic backbone has ~17k cities, i.e.
+   ~280M ordered pairs — building (and sorting) that list costs tens
+   of gigabytes where this bounded selection costs O(k) memory and
+   two passes.  Equivalence with the list pipeline is exact, ties
+   included: [weight_sum] accumulates in the same generation order,
+   selection compares the {e scaled} gbps (distinct raw weights can
+   round to equal gbps after scaling — [top_k] sorts the scaled
+   values, so we must too), replacement requires a strictly larger
+   value (so the earliest-generated pairs survive at the boundary,
+   as under [List.sort]'s stable descending sort), and the eviction
+   candidate among equal-value slots is the latest-generated one. *)
+let gravity_top_k t ~total_gbps ~k =
+  assert (total_gbps > 0.0);
+  let n = Backbone.n_cities t in
+  if k <= 0 then []
+  else begin
+    let pop i = t.Backbone.cities.(i).Backbone.population_m in
+    let weight_sum = ref 0.0 in
+    for s = 0 to n - 1 do
+      for d = 0 to n - 1 do
+        if s <> d then weight_sum := !weight_sum +. (pop s *. pop d)
+      done
+    done;
+    let cap = min k (n * (n - 1)) in
+    let w_arr = Array.make cap 0.0 in
+    let s_arr = Array.make cap 0 in
+    let d_arr = Array.make cap 0 in
+    let ord_arr = Array.make cap 0 in
+    let filled = ref 0 in
+    let min_idx = ref 0 in
+    let rescan_min () =
+      let mi = ref 0 in
+      for i = 1 to !filled - 1 do
+        if
+          w_arr.(i) < w_arr.(!mi)
+          || (w_arr.(i) = w_arr.(!mi) && ord_arr.(i) > ord_arr.(!mi))
+        then mi := i
+      done;
+      min_idx := !mi
+    in
+    let ord = ref 0 in
+    for s = 0 to n - 1 do
+      for d = 0 to n - 1 do
+        if s <> d then begin
+          let w = total_gbps *. (pop s *. pop d) /. !weight_sum in
+          if !filled < cap then begin
+            w_arr.(!filled) <- w;
+            s_arr.(!filled) <- s;
+            d_arr.(!filled) <- d;
+            ord_arr.(!filled) <- !ord;
+            incr filled;
+            if !filled = cap then rescan_min ()
+          end
+          else if w > w_arr.(!min_idx) then begin
+            w_arr.(!min_idx) <- w;
+            s_arr.(!min_idx) <- s;
+            d_arr.(!min_idx) <- d;
+            ord_arr.(!min_idx) <- !ord;
+            rescan_min ()
+          end;
+          incr ord
+        end
+      done
+    done;
+    let idx = Array.init !filled Fun.id in
+    Array.sort
+      (fun a b ->
+        match Float.compare w_arr.(b) w_arr.(a) with
+        | 0 -> compare ord_arr.(a) ord_arr.(b)
+        | c -> c)
+      idx;
+    Array.to_list
+      (Array.map
+         (fun i -> { src = s_arr.(i); dst = d_arr.(i); gbps = w_arr.(i) })
+         idx)
+  end
+
 let perturb rng demands ~cv =
   List.map
     (fun d ->

@@ -19,6 +19,14 @@ val top_k : demand list -> int -> demand list
 (** The [k] largest demands, preserving relative order by size
     (descending). *)
 
+val gravity_top_k :
+  Backbone.t -> total_gbps:float -> k:int -> demand list
+(** [gravity_top_k t ~total_gbps ~k] = [top_k (gravity t ~total_gbps) k]
+    — exactly, ties and float scaling included (pinned by test) — in
+    O(k) memory instead of O(n²): the full pair list for a hyperscale
+    synthetic backbone (~17k cities) would cost hundreds of millions
+    of allocations before the sort even starts. *)
+
 val perturb :
   Rwc_stats.Rng.t -> demand list -> cv:float -> demand list
 (** Multiply every demand by an independent lognormal factor with mean

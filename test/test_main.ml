@@ -29,4 +29,5 @@ let () =
       ("journal", Test_journal.suite);
       ("recover", Test_recover.suite);
       ("figures", Test_figures.suite);
+      ("par", Test_par.suite);
     ]

@@ -251,6 +251,49 @@ let test_span_rebalances_on_exception () =
   Alcotest.(check int) "span still recorded" 1 (List.length (Trace.spans ()));
   Trace.disable ()
 
+(* Spans opened on worker domains must carry their domain's id as
+   [tid] and each distinct tid must get its own thread_name track in
+   the export, so Perfetto renders parallel sections as parallel. *)
+let test_span_tids_across_domains () =
+  Trace.enable ();
+  Fun.protect ~finally:Trace.disable (fun () ->
+      Trace.reset ();
+      Trace.with_span "control" (fun () -> ignore (Sys.opaque_identity 1));
+      (* One index per domain: the caller keeps one range (tid 0), the
+         two workers get the others. *)
+      Rwc_par.with_pool ~domains:3 (fun pool ->
+          Rwc_par.iter_ranges pool ~n:3 (fun ~lo ~hi:_ ->
+              Trace.with_span (Printf.sprintf "range-%d" lo) (fun () ->
+                  ignore (Sys.opaque_identity lo))));
+      let spans = Trace.spans () in
+      Alcotest.(check int) "four spans" 4 (List.length spans);
+      let control = List.find (fun s -> s.Trace.name = "control") spans in
+      Alcotest.(check int) "control-loop span on tid 0" 0 control.Trace.tid;
+      let all_tids =
+        List.sort_uniq compare (List.map (fun s -> s.Trace.tid) spans)
+      in
+      Alcotest.(check int) "three distinct tids" 3 (List.length all_tids);
+      Alcotest.(check int) "worker spans off the control loop" 2
+        (List.length (List.filter (fun t -> t > 0) all_tids));
+      match Json.parse (Json.to_string (Trace.to_json ())) with
+      | Error e -> Alcotest.fail e
+      | Ok doc -> (
+          match Json.member "traceEvents" doc with
+          | Some (Json.List events) ->
+              let thread_name_tids =
+                List.filter_map
+                  (fun e ->
+                    match (Json.member "name" e, Json.member "tid" e) with
+                    | Some (Json.String "thread_name"), Some (Json.Int t) ->
+                        Some t
+                    | _ -> None)
+                  events
+                |> List.sort_uniq compare
+              in
+              Alcotest.(check (list int)) "one track per tid" all_tids
+                thread_name_tids
+          | _ -> Alcotest.fail "traceEvents missing"))
+
 let test_span_disabled_is_identity () =
   Trace.disable ();
   Trace.reset ();
@@ -360,6 +403,7 @@ let test_runner_metrics_match_report () =
       guard = Rwc_guard.none;
       journal = Rwc_journal.disarmed;
       progress = false;
+      domains = 1;
     }
   in
   let r =
@@ -394,6 +438,8 @@ let suite =
     Alcotest.test_case "span nesting" `Quick test_span_nesting;
     Alcotest.test_case "span exception balance" `Quick
       test_span_rebalances_on_exception;
+    Alcotest.test_case "span tids across domains" `Quick
+      test_span_tids_across_domains;
     Alcotest.test_case "span disabled identity" `Quick
       test_span_disabled_is_identity;
     Alcotest.test_case "manifest round trip" `Quick test_manifest_round_trip;

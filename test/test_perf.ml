@@ -80,6 +80,8 @@ let phase_point =
     ph_p95_s = 0.02;
     ph_max_s = 0.05;
     ph_alloc_words = 1e6;
+    ph_par_busy_s = 0.0;
+    ph_par_wall_s = 0.0;
   }
 
 let point ?(phases = [ ("te_solve", phase_point) ]) ?(wall = 10.0)
@@ -165,6 +167,28 @@ let test_nonfinite_handling () =
               Alcotest.(check bool) "error names wall_s" true
                 (contains e "wall_s")
           | Ok _ -> Alcotest.fail "accepted a null metric"))
+
+(* A v1 file (no domains, no per-phase par fields) still reads, with
+   sequential defaults, normalized to the current schema. *)
+let test_v1_compat () =
+  let raw =
+    {|{"schema": "rwc-bench/1", "label": "old", "points": [{"n_links": 50, "wall_s": 2.0, "events": 10, "events_per_s": 5.0, "peak_heap_words": 1, "phases": {"te_solve": {"count": 3, "total_s": 1.0, "p50_s": 0.3, "p95_s": 0.4, "max_s": 0.5, "alloc_words": 100.0}}}]}|}
+  in
+  match Json.parse raw with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+      match T.of_json j with
+      | Error e -> Alcotest.fail e
+      | Ok t ->
+          Alcotest.(check string) "normalized schema" T.schema_version
+            t.T.schema;
+          Alcotest.(check int) "domains defaults to 1" 1 t.T.domains;
+          let p = List.hd t.T.points in
+          let ph = List.assoc "te_solve" p.T.phases in
+          Alcotest.(check (float 0.0)) "par busy defaults" 0.0
+            ph.T.ph_par_busy_s;
+          Alcotest.(check (float 0.0)) "par wall defaults" 0.0
+            ph.T.ph_par_wall_s)
 
 (* --- diff thresholds ---------------------------------------------------- *)
 
@@ -255,6 +279,22 @@ let test_diff_structure () =
   Alcotest.(check lvl) "10x fails even at CI tolerance" D.Fail
     (D.worst (diff_exn ~tol:D.ci old_t slow))
 
+(* Trajectories from different --domains are only comparable under an
+   explicit opt-in: wall-clock changed because parallelism did. *)
+let test_diff_cross_domains () =
+  let old_t = T.make ~label:"a" ~domains:1 [ point 50 ] in
+  let new_t = T.make ~label:"b" ~domains:4 [ point 50 ] in
+  (match D.compare old_t new_t with
+  | Error e ->
+      Alcotest.(check bool) "error names domains" true (contains e "domains");
+      Alcotest.(check bool) "error suggests the flag" true
+        (contains e "--cross-domains")
+  | Ok _ -> Alcotest.fail "compared across domains without opt-in");
+  match D.compare ~cross_domains:true old_t new_t with
+  | Ok findings ->
+      Alcotest.(check lvl) "opt-in compares cleanly" D.Pass (D.worst findings)
+  | Error e -> Alcotest.fail e
+
 (* --- disarmed-is-free golden -------------------------------------------- *)
 
 (* The acceptance pin: report and journal of an instrumented run are
@@ -322,6 +362,9 @@ let suite =
     Alcotest.test_case "trajectory round-trip" `Quick test_trajectory_roundtrip;
     Alcotest.test_case "schema rejection" `Quick test_schema_rejection;
     Alcotest.test_case "NaN/Inf handling" `Quick test_nonfinite_handling;
+    Alcotest.test_case "rwc-bench/1 read compat" `Quick test_v1_compat;
+    Alcotest.test_case "diff: cross-domains opt-in" `Quick
+      test_diff_cross_domains;
     Alcotest.test_case "diff: identical passes" `Quick test_diff_identical;
     Alcotest.test_case "diff: time boundaries" `Quick test_diff_time_boundaries;
     Alcotest.test_case "diff: count boundaries" `Quick test_diff_count_boundaries;

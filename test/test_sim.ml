@@ -143,6 +143,7 @@ let fast_config =
     guard = Rwc_guard.none;
     journal = Rwc_journal.disarmed;
     progress = false;
+    domains = 1;
   }
 
 let reports = lazy (Runner.compare_policies ~config:fast_config ())

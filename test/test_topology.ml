@@ -134,6 +134,28 @@ let test_top_k () =
   in
   Alcotest.(check (float 1e-9)) "true maximum" max_all (List.hd top).Traffic.gbps
 
+(* The bounded selection must equal the list pipeline exactly —
+   structural equality, so float scaling and tie order included — on
+   embedded and synthetic backbones, across k values below, at and
+   above the pair count. *)
+let test_gravity_top_k_equivalence () =
+  List.iter
+    (fun (name, b) ->
+      let all = Traffic.gravity b ~total_gbps:750.0 in
+      List.iter
+        (fun k ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s k=%d equals top_k∘gravity" name k)
+            true
+            (Traffic.gravity_top_k b ~total_gbps:750.0 ~k
+            = Traffic.top_k all k))
+        [ 0; 1; 5; 40; 10_000 ])
+    [
+      ("north-america", bb);
+      ("europe", Backbone.europe);
+      ("synthetic", Backbone.synthetic ~ducts:200 ~seed:3);
+    ]
+
 let test_perturb_preserves_mean () =
   let rng = Rwc_stats.Rng.create 17 in
   let demands = Traffic.gravity bb ~total_gbps:1000.0 in
@@ -168,6 +190,8 @@ let suite =
     Alcotest.test_case "gravity total" `Quick test_gravity_total;
     Alcotest.test_case "gravity proportionality" `Quick test_gravity_proportionality;
     Alcotest.test_case "top_k" `Quick test_top_k;
+    Alcotest.test_case "gravity_top_k ≡ top_k∘gravity" `Quick
+      test_gravity_top_k_equivalence;
     Alcotest.test_case "perturb mean" `Quick test_perturb_preserves_mean;
     Alcotest.test_case "to_commodities" `Quick test_to_commodities;
   ]
