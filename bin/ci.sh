@@ -93,6 +93,32 @@ dune exec bin/rwc.exe -- chaos --days 1 --factor 1 --policy adaptive-stock \
 diff "$SEQ_OUT" "$PAR_OUT"
 rm -f "$SEQ_OUT" "$PAR_OUT" "$SEQ_JOURNAL" "$PAR_JOURNAL"
 
+echo "== torture smoke: kill/repair/resume at sampled storage boundaries =="
+# Every sampled crash point must recover to the byte-identical report
+# and journal through fsck + checkpoint/journal resume (exit 1 if any
+# boundary fails; `rwc torture` without --quick enumerates them all).
+dune exec bin/rwc.exe -- torture --quick
+
+echo "== fsck smoke: repair a deliberately damaged journal, then reverify =="
+FSCK_JOURNAL="$(mktemp)"
+FSCK_REPORT="$(mktemp)"
+dune exec bin/rwc.exe -- simulate --days 2 --policy adaptive-stock \
+  --faults default --journal "$FSCK_JOURNAL" > /dev/null
+# Tear the tail mid-line (a crashed writer's torn final record) and
+# verify fsck truncates it back, the repair report says so, explain
+# reads the repaired journal, and a second fsck pass is clean.
+FSCK_BYTES="$(wc -c < "$FSCK_JOURNAL")"
+truncate -s "$((FSCK_BYTES - 17))" "$FSCK_JOURNAL"
+printf '{"torn":tr' >> "$FSCK_JOURNAL"
+dune exec bin/rwc.exe -- fsck --journal "$FSCK_JOURNAL" --json "$FSCK_REPORT"
+grep -q '"torn journal tail"' "$FSCK_REPORT"
+grep -q '"action": "repaired"' "$FSCK_REPORT"
+dune exec bin/rwc.exe -- explain --journal "$FSCK_JOURNAL" --strict --link 0 \
+  > /dev/null
+dune exec bin/rwc.exe -- fsck --journal "$FSCK_JOURNAL" --json "$FSCK_REPORT"
+grep -q '"findings": \[\]' "$FSCK_REPORT"
+rm -f "$FSCK_JOURNAL" "$FSCK_REPORT"
+
 echo "== obs overhead gate: bench --obs-only (ns budgets) =="
 dune exec bench/main.exe -- --obs-only
 

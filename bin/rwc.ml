@@ -6,7 +6,9 @@
      simulate       WAN policy simulation (throughput + availability)
      chaos          fault-rate sweep: throughput degradation per policy
      bvt            modulation-change latency experiment (Section 3.1)
-     constellation  render one constellation panel (Figure 5) *)
+     constellation  render one constellation panel (Figure 5)
+     torture        crash-point torture across every storage boundary
+     fsck           detect and repair damaged journals / checkpoint dirs *)
 
 open Cmdliner
 module Obs = Rwc_obs
@@ -137,10 +139,13 @@ let fresh_temp_dir prefix =
   Sys.mkdir path 0o700;
   path
 
-let rm_rf_dir dir =
+let rec rm_rf_dir dir =
   if Sys.file_exists dir && Sys.is_directory dir then begin
     Array.iter
-      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (fun f ->
+        let p = Filename.concat dir f in
+        if Sys.is_directory p then rm_rf_dir p
+        else try Sys.remove p with Sys_error _ -> ())
       (Sys.readdir dir);
     try Sys.rmdir dir with Sys_error _ -> ()
   end
@@ -362,6 +367,31 @@ let faults_arg =
            $(b,bvt-fail=0.3,te-delay=0.1:1800,seed=99).  With $(b,none) the \
            run is bit-identical to one without the fault layer.")
 
+let storm_conv =
+  let parse s =
+    match Rwc_storm.plan_of_string s with
+    | Ok plan -> Ok plan
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt p -> Format.fprintf fmt "%s" (Rwc_fault.to_string p))
+
+let storm_arg =
+  Arg.(
+    value
+    & opt storm_conv Rwc_fault.none
+    & info [ "storm" ] ~docv:"PLAN"
+        ~doc:
+          "Storage-fault plan applied to every durable write the run \
+           performs: $(b,none) (default) or a comma-separated rule list \
+           drawn from the $(b,io_*) components, like \
+           $(b,io_short=0.1,io_bitflip=0.01,seed=13).  Keys: $(b,io_short) \
+           (flushed chunk lands half-written), $(b,io_enospc) (chunk \
+           dropped entirely), $(b,io_bitflip) (one bit inverted), \
+           $(b,io_torn_rename) (atomic-replace rename lost).  Window \
+           positions count storage boundaries, not seconds.  Incompatible \
+           with $(b,--checkpoint); use $(b,rwc torture) for crash-recovery \
+           testing.")
+
 let guard_conv =
   let parse s =
     match Rwc_guard.of_string s with
@@ -449,10 +479,21 @@ let backbone_of = function
           Printf.eprintf "%s: %s\n" path e;
           exit 2)
 
-let run_simulate () days policy seed faults guard journal_path slo backbone_file
-    manifest_path checkpoint checkpoint_every resume progress domains =
+let run_simulate () days policy seed faults storm guard journal_path slo
+    backbone_file manifest_path checkpoint checkpoint_every resume progress
+    domains =
   Option.iter (check_writable "--manifest") manifest_path;
   let domains = clamp_domains "rwc simulate" domains in
+  if not (Rwc_fault.is_none storm) then begin
+    if checkpoint <> None then begin
+      prerr_endline
+        "rwc simulate: --storm cannot be combined with --checkpoint (storage \
+         faults would damage the artifacts recovery depends on; use rwc \
+         torture for crash-recovery testing)";
+      exit 2
+    end;
+    Rwc_storm.inject (Rwc_fault.compile storm)
+  end;
   (* Recovery-flag coherence, checked before any expensive work.  A
      crash fault without a checkpoint directory would kill the run with
      nothing to restart from; an online SLO tracker without a journal
@@ -720,9 +761,9 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"WAN policy simulation (throughput/availability)")
     Term.(
       const run_simulate $ obs_term $ days_arg $ policy_arg $ sim_seed_arg
-      $ faults_arg $ guard_arg $ journal_arg $ slo_arg $ backbone_file_arg
-      $ manifest_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_flag
-      $ progress_flag $ domains_arg)
+      $ faults_arg $ storm_arg $ guard_arg $ journal_arg $ slo_arg
+      $ backbone_file_arg $ manifest_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ resume_flag $ progress_flag $ domains_arg)
 
 (* ---- chaos ------------------------------------------------------------- *)
 
@@ -1162,7 +1203,7 @@ let chain_at events at =
   in
   pick None chains
 
-let run_explain () journal_file run_idx link at recovered slo =
+let run_explain () journal_file run_idx link at recovered strict slo =
   if at <> None && link = None then begin
     prerr_endline "rwc explain: --at requires --link";
     exit 2
@@ -1188,14 +1229,14 @@ let run_explain () journal_file run_idx link at recovered slo =
             in
             fun i -> i >= hwm)
   in
-  match J.read_file journal_file with
+  match J.read_file ~strict journal_file with
   | Error e ->
       Printf.eprintf "rwc explain: %s: %s\n" journal_file e;
       exit 2
-  | Ok [] ->
+  | Ok ([], _) ->
       Printf.eprintf "rwc explain: %s: empty journal\n" journal_file;
       exit 2
-  | Ok records -> (
+  | Ok (records, _skipped) -> (
       let segs = J.segments records in
       (* Segments partition the record list in order, so a running
          offset recovers each record's global ordinal — the unit the
@@ -1383,13 +1424,23 @@ let explain_recovered_arg =
            resumed or crash-restarted process — are flagged \
            $(b,[replayed]).")
 
+let explain_strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Fail on the first malformed journal line instead of the default \
+           skip-and-count (skipped lines are reported on stderr and in the \
+           $(b,journal/bad_lines) metric).")
+
 let explain_cmd =
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Reconstruct why links changed capacity from a decision journal")
     Term.(
       const run_explain $ obs_term $ explain_journal_arg $ explain_run_arg
-      $ explain_link_arg $ explain_at_arg $ explain_recovered_arg $ slo_arg)
+      $ explain_link_arg $ explain_at_arg $ explain_recovered_arg
+      $ explain_strict_arg $ slo_arg)
 
 (* ---- bvt -------------------------------------------------------------- *)
 
@@ -1838,6 +1889,188 @@ let perf_cmd =
     (Cmd.info "perf" ~doc:"Perf-trajectory tooling (see also $(b,rwc bench))")
     [ perf_diff_cmd ]
 
+(* ---- fsck -------------------------------------------------------------- *)
+
+let run_fsck () journal checkpoints dry_run json_path =
+  if journal = None && checkpoints = None then begin
+    prerr_endline
+      "rwc fsck: nothing to check (pass --journal FILE and/or --checkpoints \
+       DIR)";
+    exit 2
+  end;
+  Option.iter (check_writable "--json") json_path;
+  match Rwc_fsck.scan ~repair:(not dry_run) ?journal ?checkpoints () with
+  | Error e ->
+      Printf.eprintf "rwc fsck: %s\n" e;
+      exit 2
+  | Ok report ->
+      Format.printf "%a" Rwc_fsck.pp_report report;
+      Option.iter
+        (fun p -> Obs.Json.to_file p (Rwc_fsck.report_to_json report))
+        json_path;
+      if Rwc_fsck.unrepaired report > 0 then exit 1
+
+let fsck_journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Decision journal to check: a damaged tail (torn final line from a \
+           crashed writer) is truncated back to the last valid line, \
+           atomically.  Interior bad lines are reported but left in place — \
+           readers skip and count them.")
+
+let fsck_checkpoints_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoints" ] ~docv:"DIR"
+        ~doc:
+          "Checkpoint directory to check: orphaned $(b,*.tmp) files are \
+           removed and checkpoints failing CRC/version/JSON validation are \
+           quarantined to $(b,*.corrupt), dropping them from the resume \
+           fallback chain.")
+
+let fsck_dry_run_flag =
+  Arg.(
+    value & flag
+    & info [ "dry-run"; "n" ]
+        ~doc:"Report findings without touching anything.")
+
+let fsck_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:
+          "Write the machine-readable repair report (schema \
+           $(b,rwc-fsck/1)) to $(docv).")
+
+let fsck_cmd =
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Detect and repair storage damage in durable run artifacts \
+          (journals, checkpoint directories); exits 1 when unrepairable \
+          findings remain")
+    Term.(
+      const run_fsck $ obs_term $ fsck_journal_arg $ fsck_checkpoints_arg
+      $ fsck_dry_run_flag $ fsck_json_arg)
+
+(* ---- torture ----------------------------------------------------------- *)
+
+let run_torture () days ducts seed every quick sample keep json_path =
+  Option.iter (check_writable "--json") json_path;
+  let sample =
+    match sample with
+    | Some n when n < 1 ->
+        prerr_endline "rwc torture: --sample must be >= 1";
+        exit 2
+    | Some _ as s -> s
+    | None -> if quick then Some 8 else None
+  in
+  let root = fresh_temp_dir "rwc-torture" in
+  let cleanup () =
+    if keep then Printf.printf "torture artifacts kept in %s\n" root
+    else rm_rf_dir root
+  in
+  match Rwc_sim.Torture.run ~days ~ducts ~seed ~every ?sample ~root () with
+  | Error e ->
+      Printf.eprintf "rwc torture: %s\n" e;
+      cleanup ();
+      exit 2
+  | exception e ->
+      Printf.eprintf "rwc torture: %s\n" (Printexc.to_string e);
+      cleanup ();
+      exit 2
+  | Ok s ->
+      List.iter
+        (fun c ->
+          let open Rwc_sim.Torture in
+          if not c.ok then
+            Printf.printf "boundary %3d (%s): FAIL — %s\n" c.ordinal c.kind
+              c.detail
+          else
+            Printf.printf "boundary %3d (%s): ok (%d repaired)\n" c.ordinal
+              c.kind c.findings)
+        s.Rwc_sim.Torture.cases;
+      Printf.printf
+        "torture: %d boundaries, %d killed, %d recovered byte-identical, %d \
+         failed\n"
+        s.Rwc_sim.Torture.boundaries
+        (List.length s.Rwc_sim.Torture.cases)
+        s.Rwc_sim.Torture.passed s.Rwc_sim.Torture.failed;
+      Option.iter
+        (fun p -> Obs.Json.to_file p (Rwc_sim.Torture.summary_to_json s))
+        json_path;
+      cleanup ();
+      if s.Rwc_sim.Torture.failed > 0 then exit 1
+
+let torture_days_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "days" ] ~docv:"D" ~doc:"Horizon of the tortured run in days.")
+
+let torture_ducts_arg =
+  Arg.(
+    value & opt int 12
+    & info [ "ducts" ] ~docv:"N"
+        ~doc:"Size of the synthetic backbone the run is driven over.")
+
+let torture_every_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "every" ] ~docv:"N"
+        ~doc:"Checkpoint cadence in telemetry sweeps.")
+
+let torture_quick_flag =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:
+          "Kill at ~8 evenly-spaced boundaries (including the first and \
+           last) instead of every one — the CI smoke mode.  Overridden by \
+           $(b,--sample).")
+
+let torture_sample_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sample" ] ~docv:"N"
+        ~doc:
+          "Kill at $(docv) evenly-spaced boundaries instead of every one.")
+
+let torture_keep_flag =
+  Arg.(
+    value & flag
+    & info [ "keep" ]
+        ~doc:
+          "Keep the scratch directory (golden journal, per-kill artifacts) \
+           instead of deleting it; its path is printed.")
+
+let torture_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:
+          "Write the machine-readable per-boundary summary (schema \
+           $(b,rwc-torture/1)) to $(docv).")
+
+let torture_cmd =
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:
+         "Crash-point torture: kill a seeded run at every storage boundary \
+          (write/sync/rename), repair with fsck, resume, and demand the \
+          recovered report and journal are byte-identical to a crash-free \
+          run")
+    Term.(
+      const run_torture $ obs_term $ torture_days_arg $ torture_ducts_arg
+      $ sim_seed_arg $ torture_every_arg $ torture_quick_flag
+      $ torture_sample_arg $ torture_keep_flag $ torture_json_arg)
+
 (* ---- main -------------------------------------------------------------- *)
 
 let () =
@@ -1849,5 +2082,5 @@ let () =
           [
             figures_cmd; analyze_cmd; simulate_cmd; chaos_cmd; explain_cmd;
             bvt_cmd; constellation_cmd; export_cmd; detect_cmd; topology_cmd;
-            bench_cmd; perf_cmd;
+            bench_cmd; perf_cmd; torture_cmd; fsck_cmd;
           ]))

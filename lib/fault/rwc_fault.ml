@@ -6,11 +6,16 @@ type component =
   | Adapt_stuck
   | Te_delay
   | Crash
+  | Io_short
+  | Io_torn_rename
+  | Io_enospc
+  | Io_bitflip
 
 let all_components =
   [
     Bvt_reconfig; Bvt_timeout; Collector_outage; Collector_corrupt;
-    Adapt_stuck; Te_delay; Crash;
+    Adapt_stuck; Te_delay; Crash; Io_short; Io_torn_rename; Io_enospc;
+    Io_bitflip;
   ]
 
 let component_index = function
@@ -21,6 +26,10 @@ let component_index = function
   | Adapt_stuck -> 4
   | Te_delay -> 5
   | Crash -> 6
+  | Io_short -> 7
+  | Io_torn_rename -> 8
+  | Io_enospc -> 9
+  | Io_bitflip -> 10
 
 let n_components = List.length all_components
 
@@ -32,6 +41,10 @@ let component_name = function
   | Adapt_stuck -> "adapt-stuck"
   | Te_delay -> "te-delay"
   | Crash -> "crash"
+  | Io_short -> "io_short"
+  | Io_torn_rename -> "io_torn_rename"
+  | Io_enospc -> "io_enospc"
+  | Io_bitflip -> "io_bitflip"
 
 let component_of_name = function
   | "bvt-fail" -> Some Bvt_reconfig
@@ -41,7 +54,19 @@ let component_of_name = function
   | "adapt-stuck" -> Some Adapt_stuck
   | "te-delay" -> Some Te_delay
   | "crash" -> Some Crash
+  | "io_short" -> Some Io_short
+  | "io_torn_rename" -> Some Io_torn_rename
+  | "io_enospc" -> Some Io_enospc
+  | "io_bitflip" -> Some Io_bitflip
   | _ -> None
+
+let io_components = [ Io_short; Io_torn_rename; Io_enospc; Io_bitflip ]
+
+let is_io = function
+  | Io_short | Io_torn_rename | Io_enospc | Io_bitflip -> true
+  | Bvt_reconfig | Bvt_timeout | Collector_outage | Collector_corrupt
+  | Adapt_stuck | Te_delay | Crash ->
+      false
 
 type window = { start_s : float; stop_s : float }
 
@@ -270,6 +295,11 @@ let jitter t component =
   | Some s ->
       if s.s_param = 0.0 then 0.0
       else Rwc_stats.Rng.uniform s.s_rng ~lo:(-.s.s_param) ~hi:s.s_param
+
+let draw t component =
+  match t.slots.(component_index component) with
+  | None -> 0.0
+  | Some s -> Rwc_stats.Rng.float s.s_rng
 
 let injected t = t.total
 

@@ -47,9 +47,28 @@ type component =
   | Crash
       (** The controller process dies at a sample boundary and must be
           restarted from its last checkpoint (see {!Rwc_recover}). *)
+  | Io_short
+      (** A buffered write reaches the disk torn: only the first half
+          of the flushed chunk lands (see {!Rwc_storm}). *)
+  | Io_torn_rename
+      (** An atomic-replace rename is lost: the temp file stays, the
+          destination is never updated. *)
+  | Io_enospc
+      (** A flushed chunk is dropped entirely, as if the device
+          returned ENOSPC and the writer could not retry. *)
+  | Io_bitflip
+      (** One bit of the flushed chunk is inverted in flight
+          (simulated media corruption). *)
 
 val all_components : component list
 val component_name : component -> string
+
+val io_components : component list
+(** The storage-fault components, in index order — the subset a
+    [--storm] plan may use (see {!Rwc_storm.plan_of_string}). *)
+
+val is_io : component -> bool
+(** True exactly for members of {!io_components}. *)
 
 type window = { start_s : float; stop_s : float }
 (** Half-open activity interval in simulation seconds. *)
@@ -89,7 +108,10 @@ val of_string : string -> (plan, string) result
     - ["NAME=PROB"], ["NAME=PROB:PARAM"], each optionally suffixed
       with ["@START..STOP"] (seconds): one rule, where [NAME] is one
       of [bvt-fail], [bvt-timeout], [collector-outage],
-      [collector-corrupt], [adapt-stuck], [te-delay], [crash].
+      [collector-corrupt], [adapt-stuck], [te-delay], [crash],
+      [io_short], [io_torn_rename], [io_enospc], [io_bitflip] (the
+      [io_*] components drive the {!Rwc_storm} storage layer; their
+      window positions are boundary ordinals, not seconds).
 
     Example: ["bvt-fail=0.3,te-delay=0.1:1800,seed=99"], or
     ["bvt-fail=0.5@86400..172800"] for day-two-only failures. *)
@@ -125,6 +147,11 @@ val param : injector -> component -> float
 val jitter : injector -> component -> float
 (** Deterministic perturbation draw in [-param, +param], from the
     component's own stream (used for corrupt sample values). *)
+
+val draw : injector -> component -> float
+(** Deterministic uniform draw in [\[0, 1)] from the component's own
+    stream; 0 without drawing when the component has no rule.  Used by
+    {!Rwc_storm} to pick corruption positions. *)
 
 val injected : injector -> int
 (** Total faults this injector has fired, across components. *)

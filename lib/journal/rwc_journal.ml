@@ -226,24 +226,45 @@ let record_of_json json =
   in
   Ok { t; link; span; kind }
 
-let read_file path =
+let m_bad_lines = Rwc_obs.Metrics.counter "journal/bad_lines"
+
+let read_file ?(strict = false) path =
   match In_channel.with_open_text path In_channel.input_lines with
   | exception Sys_error e -> Error e
   | lines ->
+      let bad = ref 0 in
       let rec go n acc = function
-        | [] -> Ok (List.rev acc)
+        | [] -> Ok (List.rev acc, !bad)
         | line :: rest ->
             if String.trim line = "" then go (n + 1) acc rest
             else begin
-              match Json.parse line with
-              | Error e -> Error (Printf.sprintf "line %d: %s" n e)
-              | Ok json -> (
-                  match record_of_json json with
-                  | Error e -> Error (Printf.sprintf "line %d: %s" n e)
-                  | Ok r -> go (n + 1) (r :: acc) rest)
+              let parsed =
+                match Json.parse line with
+                | Error _ as e -> e
+                | Ok json -> record_of_json json
+              in
+              match parsed with
+              | Ok r -> go (n + 1) (r :: acc) rest
+              | Error e ->
+                  if strict then Error (Printf.sprintf "line %d: %s" n e)
+                  else begin
+                    (* Ingest hardening, same convention as the
+                       telemetry store: a damaged line costs one
+                       record, not the whole journal — but never
+                       silently. *)
+                    incr bad;
+                    Rwc_obs.Metrics.incr m_bad_lines;
+                    go (n + 1) acc rest
+                  end
             end
       in
-      go 1 [] lines
+      let result = go 1 [] lines in
+      (match result with
+      | Ok (_, n) when n > 0 ->
+          Printf.eprintf "warning: %s: skipped %d bad journal line%s\n%!" path n
+            (if n = 1 then "" else "s")
+      | _ -> ());
+      result
 
 let segments records =
   (* Split on run headers; any records before the first header (a
@@ -574,7 +595,7 @@ end
 
 type t = {
   sink_armed : bool;
-  oc : out_channel option;
+  w : Rwc_storm.Writer.t option;
   slo : Slo.config option;
   mutable tracker : Slo.tracker option;
   mutable horizon_s : float;
@@ -585,7 +606,7 @@ type t = {
 let disarmed =
   {
     sink_armed = false;
-    oc = None;
+    w = None;
     slo = None;
     tracker = None;
     horizon_s = 0.0;
@@ -599,7 +620,10 @@ let create ?path ?(slo = Slo.none) () =
   | _ ->
       {
         sink_armed = true;
-        oc = Option.map open_out path;
+        (* The live journal is written in place (truncate, not
+           tmp+rename): a crash must leave the partial journal at the
+           configured path where --resume and fsck can find it. *)
+        w = Option.map Rwc_storm.Writer.create path;
         slo;
         tracker = None;
         horizon_s = 0.0;
@@ -612,17 +636,17 @@ let armed t = t.sink_armed
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    match t.oc with Some oc -> close_out oc | None -> ()
+    match t.w with Some w -> Rwc_storm.Writer.close w | None -> ()
   end
 
 let events_emitted t = t.n_events
 
 let byte_offset t =
-  match t.oc with
+  match t.w with
   | None -> 0
-  | Some oc ->
-      flush oc;
-      pos_out oc
+  | Some w ->
+      Rwc_storm.Writer.flush w;
+      Rwc_storm.Writer.logical_bytes w
 
 let resume ?path ?(slo = Slo.none) ~at ~events () =
   match (path, slo) with
@@ -682,18 +706,21 @@ let resume ?path ?(slo = Slo.none) ~at ~events () =
                       in
                       (horizon_s, tracker)
                 in
-                let oc = open_out_bin p in
-                output_string oc prefix;
-                flush oc;
-                Ok (Some oc, tracker, horizon_s)))
+                (* Atomic truncate-and-replay: the retained prefix is
+                   written to a temp file, synced, and renamed over the
+                   journal, so a crash during recovery itself cannot
+                   shred the prefix being recovered from; then reopen
+                   for appending. *)
+                Rwc_storm.atomic_write p prefix;
+                Ok (Some (Rwc_storm.Writer.append p), tracker, horizon_s)))
       in
       match reopened with
       | Error e -> Error e
-      | Ok (oc, tracker, horizon_s) ->
+      | Ok (w, tracker, horizon_s) ->
           Ok
             {
               sink_armed = true;
-              oc;
+              w;
               slo;
               tracker;
               horizon_s;
@@ -707,10 +734,10 @@ let resume ?path ?(slo = Slo.none) ~at ~events () =
 let emit t r =
   let tok = Rwc_perf.start () in
   t.n_events <- t.n_events + 1;
-  (match t.oc with
-  | Some oc ->
-      output_string oc (Json.to_string (record_to_json r));
-      output_char oc '\n'
+  (match t.w with
+  | Some w ->
+      Rwc_storm.Writer.write w (Json.to_string (record_to_json r));
+      Rwc_storm.Writer.write w "\n"
   | None -> ());
   (match t.tracker with Some tr -> Slo.feed tr r | None -> ());
   Rwc_perf.stop Rwc_perf.Journal_emit tok
@@ -735,7 +762,7 @@ let finish_run t =
   | None -> None
   | Some tr ->
       t.tracker <- None;
-      (match t.oc with Some oc -> flush oc | None -> ());
+      (match t.w with Some w -> Rwc_storm.Writer.flush w | None -> ());
       Some (Slo.evaluate tr ~horizon_s:t.horizon_s)
 
 (* Each emitter checks the armed flag before building its record, so

@@ -97,9 +97,15 @@ val record_to_json : record -> Rwc_obs.Json.t
 val record_of_json : Rwc_obs.Json.t -> (record, string) result
 (** Inverse of {!record_to_json}. *)
 
-val read_file : string -> (record list, string) result
-(** Parse a JSONL journal, in file order.  Blank lines are skipped;
-    the first malformed line is an error carrying its line number. *)
+val read_file : ?strict:bool -> string -> (record list * int, string) result
+(** Parse a JSONL journal, in file order, returning the records plus
+    the count of malformed lines skipped.  Blank lines are free.  By
+    default a malformed line (torn tail, bit rot) costs one record,
+    not the whole journal: it is skipped, counted in the result and
+    the [journal/bad_lines] metric, and summarized on stderr — the
+    same convention as the telemetry store's bad-row handling.  With
+    [~strict:true] the first malformed line is an error carrying its
+    line number. *)
 
 val segments : record list -> record list list
 (** Split a journal into per-run segments at {!Run_start} headers.
@@ -180,22 +186,25 @@ val disarmed : t
 
 val create : ?path:string -> ?slo:Slo.plan -> unit -> t
 (** Armed sink.  With [path], every event is appended to the file as
-    one compact JSON line (truncating an existing file).  With an
-    armed [slo] plan, the sink also folds events into a per-run SLO
-    tracker ({!finish_run}).  [create] with neither is {!disarmed}.
-    Raises [Sys_error] when the file cannot be opened. *)
+    one compact JSON line (truncating an existing file); writes go
+    through the {!Rwc_storm.Writer} I/O layer, in place (no
+    tmp+rename) so a crash leaves the partial journal where [--resume]
+    and [rwc fsck] can find it.  With an armed [slo] plan, the sink
+    also folds events into a per-run SLO tracker ({!finish_run}).
+    [create] with neither is {!disarmed}.  Raises [Sys_error] when the
+    file cannot be opened. *)
 
 val armed : t -> bool
 
 val close : t -> unit
-(** Flush and close the underlying file; idempotent, no-op for
+(** Flush, fsync and close the underlying file; idempotent, no-op for
     {!disarmed} and path-less sinks. *)
 
 val events_emitted : t -> int
 (** Events emitted since [create]; 0 for {!disarmed}. *)
 
 val byte_offset : t -> int
-(** Flush and report the current size of the journal file — the
+(** Flush and report the journal's logical write position — the
     high-water mark a checkpoint records so a resumed run can truncate
     the file back to a consistent point.  0 for path-less sinks. *)
 
@@ -203,10 +212,12 @@ val resume :
   ?path:string -> ?slo:Slo.plan -> at:int -> events:int -> unit -> (t, string) result
 (** Reopen a journal for a resumed run.  The file at [path] is
     truncated to [at] bytes (events past the mark belong to the crashed
-    attempt and are re-emitted byte-identically by the resumed run),
-    the online SLO tracker is rebuilt by replaying the retained prefix
-    of the current segment, and the event counter restarts at
-    [events].  Errors if the file is missing or shorter than [at]. *)
+    attempt and are re-emitted byte-identically by the resumed run) via
+    an atomic rewrite (tmp + fsync + rename, so a crash during recovery
+    cannot shred the prefix being recovered from), the online SLO
+    tracker is rebuilt by replaying the retained prefix of the current
+    segment, and the event counter restarts at [events].  Errors if the
+    file is missing or shorter than [at]. *)
 
 (** {1 Run segmentation} *)
 

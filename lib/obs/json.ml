@@ -83,13 +83,18 @@ let render ~indent v =
 let to_string v = render ~indent:false v
 let to_string_pretty v = render ~indent:true v
 
-let to_file path v =
+let default_file_writer path content =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_string_pretty v);
-      output_char oc '\n')
+    (fun () -> output_string oc content)
+
+(* Indirection point for the I/O layer: lib/obs sits below lib/storm
+   in the dependency order, so the storm writer (fault injection,
+   crash-boundary accounting) installs itself here at link time. *)
+let file_writer = ref default_file_writer
+let set_file_writer f = file_writer := f
+let to_file path v = !file_writer path (to_string_pretty v ^ "\n")
 
 let member key = function
   | Assoc fields -> List.assoc_opt key fields

@@ -31,4 +31,15 @@ val member : string -> t -> t option
 (** Field lookup in an [Assoc]; [None] otherwise. *)
 
 val to_file : string -> t -> unit
-(** Pretty-print to [path] (truncating), with a trailing newline. *)
+(** Pretty-print to [path] (truncating), with a trailing newline.
+    Routed through the writer installed with {!set_file_writer}. *)
+
+val set_file_writer : (string -> string -> unit) -> unit
+(** [set_file_writer f] makes {!to_file} call [f path content]
+    instead of writing [path] itself.  lib/obs sits below the storm
+    I/O layer in the dependency order; {!Rwc_storm} installs its
+    routed writer here at module-initialization time so JSON sinks
+    (metrics, traces, manifests, perf trajectories) share the same
+    fault-injection and crash-boundary surface as the journal and
+    checkpoints.  The writer must write [path] in place (no
+    tmp+rename): callers pass device paths like [/dev/null]. *)

@@ -72,7 +72,12 @@ type ctx = {
   mutable restarts : int;
 }
 
-let version = 1
+(* Version 2: the fault-injector snapshot gained the four io_* slots
+   (PR 8), so a v1 snapshot's slot list no longer matches a compiled
+   injector's shape.  Old checkpoints are rejected cleanly at decode
+   time — falling back to older files or a scratch start — instead of
+   blowing up inside [Rwc_fault.restore]. *)
+let version = 2
 let keep_checkpoints = 3
 
 (* ---- CRC32 (reflected, polynomial 0xEDB88320) ------------------------- *)
@@ -451,7 +456,7 @@ let read_file path =
   | s -> Some s
   | exception Sys_error _ -> None
 
-let load_latest dir =
+let load_first dir ~usable =
   Rwc_perf.record Rwc_perf.Checkpoint_restore (fun () ->
       let rec first_valid = function
         | [] -> Ok None
@@ -460,13 +465,35 @@ let load_latest dir =
             | None -> first_valid rest
             | Some s -> (
                 match checkpoint_of_string s with
-                | Ok c -> Ok (Some c)
-                | Error _ ->
-                    (* A torn or truncated file: fall back to the previous
-                       checkpoint rather than refusing to resume. *)
+                | Ok c when usable c -> Ok (Some c)
+                | Ok _ | Error _ ->
+                    (* A torn, truncated, stale-version or unusable
+                       file: fall back to the previous checkpoint
+                       rather than refusing to resume. *)
                     first_valid rest))
       in
       first_valid (list_seqs dir))
+
+let load_latest dir = load_first dir ~usable:(fun _ -> true)
+
+let file_length path =
+  match In_channel.with_open_bin path In_channel.length with
+  | n -> Int64.to_int n
+  | exception Sys_error _ -> 0
+
+let load_resumable ?journal_path dir =
+  (* A checkpoint whose journal high-water mark lies beyond the
+     current journal file is unusable: the bytes it would replay from
+     are gone (truncated journal, damage cut back by fsck).  Skip it
+     in favor of an older checkpoint whose mark the surviving prefix
+     still covers — or a scratch start, which rewrites the journal in
+     full.  Either way the resumed run re-emits byte-identically. *)
+  let usable c =
+    match journal_path with
+    | None -> true
+    | Some p -> c.ck_journal_bytes <= file_length p
+  in
+  load_first dir ~usable
 
 let save ctx ~seed ~days ~journal_events ~journal_bytes ~completed ~run =
   Rwc_perf.record Rwc_perf.Checkpoint_write (fun () ->
@@ -484,20 +511,13 @@ let save ctx ~seed ~days ~journal_events ~journal_bytes ~completed ~run =
         }
       in
       let path = file_of_seq ctx.dir seq in
-      let tmp = path ^ ".tmp" in
-      let oc = open_out_bin tmp in
-      (try output_string oc (checkpoint_to_string c)
-       with e ->
-         close_out_noerr oc;
-         raise e);
-      close_out oc;
-      Sys.rename tmp path;
+      Rwc_storm.atomic_write path (checkpoint_to_string c);
       (* Prune: keep the newest [keep_checkpoints] so a corrupted newest
          file still has valid predecessors to fall back to. *)
       List.iteri
         (fun i seq ->
           if i >= keep_checkpoints then
-            try Sys.remove (file_of_seq ctx.dir seq) with Sys_error _ -> ())
+            Rwc_storm.remove (file_of_seq ctx.dir seq))
         (list_seqs ctx.dir))
 
 (* ---- Resume provenance --------------------------------------------------
@@ -512,10 +532,11 @@ let save ctx ~seed ~days ~journal_events ~journal_bytes ~completed ~run =
 let mark_file dir = Filename.concat dir "resumed.txt"
 
 let record_resume ~dir ~journal_events ~journal_bytes =
-  match open_out_gen [ Open_append; Open_creat ] 0o644 (mark_file dir) with
-  | oc ->
-      Printf.fprintf oc "%d %d\n" journal_events journal_bytes;
-      close_out oc
+  match Rwc_storm.Writer.append (mark_file dir) with
+  | w ->
+      Rwc_storm.Writer.write w
+        (Printf.sprintf "%d %d\n" journal_events journal_bytes);
+      Rwc_storm.Writer.close w
   | exception Sys_error _ -> ()
 
 let resume_marks dir =
@@ -536,6 +557,33 @@ let resume_marks dir =
             | _ -> go acc)
       in
       go []
+
+(* ---- Orphaned temp files ------------------------------------------------
+
+   A crash between a checkpoint's temp-file write and its rename (or a
+   lost rename under io_torn_rename) leaves a `*.tmp` in the directory.
+   They are dead weight — never part of the prune-fallback chain — so
+   opening the directory sweeps them, counted in the
+   [recover/orphan_tmps_cleaned] metric and `rwc fsck`'s report. *)
+
+let m_orphan_tmps = Rwc_obs.Metrics.counter "recover/orphan_tmps_cleaned"
+
+let orphan_tmps dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter (fun n -> Filename.check_suffix n ".tmp")
+      |> List.sort compare
+
+let clean_orphan_tmps dir =
+  let tmps = orphan_tmps dir in
+  List.iter
+    (fun n ->
+      (try Sys.remove (Filename.concat dir n) with Sys_error _ -> ());
+      Rwc_obs.Metrics.incr m_orphan_tmps)
+    tmps;
+  tmps
 
 (* ---- Context ----------------------------------------------------------- *)
 
@@ -559,6 +607,7 @@ let create ~dir ~every ?journal_path ?(slo = Rwc_journal.Slo.none) ~faults
     match ready with
     | Error e -> Error e
     | Ok () -> (
+        let (_ : string list) = clean_orphan_tmps dir in
         (* The crash oracle: a separate injector over the same plan, so
            its [crash] substream is independent of the run's own
            injector and — crucially — never checkpointed.  A restored
@@ -588,7 +637,7 @@ let create ~dir ~every ?journal_path ?(slo = Rwc_journal.Slo.none) ~faults
           Ok (ctx, None)
         end
         else
-          match load_latest dir with
+          match load_resumable ?journal_path dir with
           | Error e -> Error e
           | Ok c ->
               (match c with

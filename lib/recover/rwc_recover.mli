@@ -143,12 +143,18 @@ val create :
   resume:bool ->
   unit ->
   (ctx * checkpoint option, string) result
-(** Open (creating the directory if needed) a recovery context.  With
-    [resume:true] the newest valid checkpoint is returned for the
-    caller to restart from; otherwise any stale checkpoints are left
-    alone and numbering continues past them.  The crash oracle is
-    compiled from [faults] exactly when the plan carries a [crash]
-    rule. *)
+(** Open (creating the directory if needed) a recovery context.
+    Orphaned [*.tmp] files in the directory are swept on open (see
+    {!clean_orphan_tmps}).  With [resume:true] the newest usable
+    checkpoint is returned for the caller to restart from — usable
+    meaning it passes CRC/version validation {e and}, when
+    [journal_path] is given, its journal high-water mark does not
+    exceed the current journal file length (a truncated or
+    fsck-repaired journal falls back to an older checkpoint, or to a
+    scratch start, and the resumed run re-emits byte-identically
+    either way).  Otherwise any stale checkpoints are left alone and
+    numbering continues past them.  The crash oracle is compiled from
+    [faults] exactly when the plan carries a [crash] rule. *)
 
 val request_stop : ctx -> unit
 (** Signal-handler entry point: flags the context so the runner exits
@@ -209,3 +215,26 @@ val load_latest : string -> (checkpoint option, string) result
     validation; silently skips corrupt or truncated files in favor of
     older ones.  [Ok None] when the directory is missing or holds no
     valid checkpoint. *)
+
+val load_resumable :
+  ?journal_path:string -> string -> (checkpoint option, string) result
+(** {!load_latest} restricted, when [journal_path] is given, to
+    checkpoints whose journal high-water mark the current journal file
+    still covers — the selection {!create} uses on resume. *)
+
+val file_seq : string -> int option
+(** [file_seq "ckpt-000042.json"] is [Some 42]; [None] for any name
+    that is not a checkpoint file.  Exposed for [rwc fsck]. *)
+
+(** {1 Directory hygiene} *)
+
+val orphan_tmps : string -> string list
+(** Basenames of [*.tmp] files in the directory (sorted) — debris of a
+    crash between a checkpoint's temp write and its rename, or of a
+    lost rename under [io_torn_rename].  [] if the directory is
+    unreadable. *)
+
+val clean_orphan_tmps : string -> string list
+(** Remove and return them, counting each in the
+    [recover/orphan_tmps_cleaned] metric.  Also performed by {!create}
+    on directory open. *)

@@ -1,0 +1,53 @@
+(** Exhaustive crash-point torture for the durability stack.
+
+    A short seeded run crosses a deterministic sequence of storage
+    boundaries ({!Rwc_storm}: non-empty flushes, fsyncs, renames).
+    {!run} counts them on a crash-free pass, then replays the run once
+    per boundary with a kill armed there, repairs the damaged
+    artifacts offline with {!Rwc_fsck}, resumes through the ordinary
+    checkpoint/journal machinery, and passes the case only if the
+    recovered report and journal are byte-identical to the crash-free
+    golden and a second fsck pass finds nothing.
+
+    Owns the process-global {!Rwc_storm} mode for its duration
+    (restored on exit); do not run concurrently with other storm
+    users. *)
+
+type case = {
+  ordinal : int;  (** Boundary the kill was armed at. *)
+  kind : string;  (** "write" / "sync" / "rename" — what died there. *)
+  findings : int;  (** fsck findings on the damaged artifacts. *)
+  residual : int;  (** fsck findings on re-run after repair; 0 to pass. *)
+  ok : bool;
+  detail : string;  (** Failure description when not [ok]. *)
+}
+
+type summary = {
+  boundaries : int;  (** Boundaries the crash-free run crosses. *)
+  cases : case list;
+  passed : int;
+  failed : int;
+}
+
+val run :
+  ?days:float ->
+  ?ducts:int ->
+  ?seed:int ->
+  ?every:int ->
+  ?sample:int ->
+  root:string ->
+  unit ->
+  (summary, string) result
+(** Torture a seeded synthetic-backbone run ([days] defaults to 0.25,
+    [ducts] to 12, [seed] to 7, checkpoint cadence [every] to 8
+    sweeps) under the default fault plan.  [sample] bounds the
+    boundary set to an evenly-spaced subset including both ends (the
+    [--quick] mode); omitted, every boundary is killed.  All artifacts
+    live under [root] (created if missing): the golden journal, a
+    census run, and one [kill-NNN/] directory per case — the caller
+    owns cleanup.  [Error] means the harness itself could not be set
+    up (e.g. the census run's bytes diverged from the golden);
+    per-boundary failures are reported in the summary instead. *)
+
+val summary_to_json : summary -> Rwc_obs.Json.t
+(** Machine-readable form (schema [rwc-torture/1]). *)

@@ -63,7 +63,8 @@ let test_read_file_and_segments () =
   J.close jnl;
   (match J.read_file path with
   | Error e -> Alcotest.fail e
-  | Ok records ->
+  | Ok (records, skipped) ->
+      Alcotest.(check int) "no lines skipped" 0 skipped;
       Alcotest.(check int) "all lines parsed" 5 (List.length records);
       let segs = J.segments records in
       Alcotest.(check int) "two segments" 2 (List.length segs);
@@ -73,15 +74,21 @@ let test_read_file_and_segments () =
       (* A headerless prefix forms its own leading segment. *)
       let headerless = J.segments (List.tl records) in
       Alcotest.(check int) "headerless prefix splits" 2 (List.length headerless));
-  (* A malformed line is an error carrying its line number. *)
+  (* A malformed line is skipped and counted by default, and a
+     fail-fast error carrying its line number under ~strict. *)
   let oc = open_out_gen [ Open_append ] 0o644 path in
   output_string oc "not json\n";
   close_out oc;
   (match J.read_file path with
-  | Ok _ -> Alcotest.fail "malformed line accepted"
+  | Error e -> Alcotest.fail e
+  | Ok (records, skipped) ->
+      Alcotest.(check int) "bad line skipped" 1 skipped;
+      Alcotest.(check int) "good lines survive" 5 (List.length records));
+  (match J.read_file ~strict:true path with
+  | Ok _ -> Alcotest.fail "strict accepted a malformed line"
   | Error e ->
       Alcotest.(check bool)
-        (Printf.sprintf "error names the line (%s)" e)
+        (Printf.sprintf "strict error names the line (%s)" e)
         true
         (String.length e > 0));
   Sys.remove path
@@ -186,7 +193,7 @@ let run_with_journal () =
   in
   J.close jnl;
   let records =
-    match J.read_file path with Ok r -> r | Error e -> Alcotest.fail e
+    match J.read_file path with Ok (r, _) -> r | Error e -> Alcotest.fail e
   in
   Sys.remove path;
   (report, records)
@@ -345,7 +352,7 @@ let test_span_ids_follow_tracing () =
   in
   J.close jnl;
   let traced =
-    match J.read_file path with Ok r -> r | Error e -> Alcotest.fail e
+    match J.read_file path with Ok (r, _) -> r | Error e -> Alcotest.fail e
   in
   Sys.remove path;
   Alcotest.(check bool) "all spans positive when tracing" true

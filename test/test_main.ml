@@ -28,6 +28,7 @@ let () =
       ("perf", Test_perf.suite);
       ("journal", Test_journal.suite);
       ("recover", Test_recover.suite);
+      ("storm", Test_storm.suite);
       ("figures", Test_figures.suite);
       ("par", Test_par.suite);
     ]
