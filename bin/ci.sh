@@ -119,6 +119,34 @@ dune exec bin/rwc.exe -- fsck --journal "$FSCK_JOURNAL" --json "$FSCK_REPORT"
 grep -q '"findings": \[\]' "$FSCK_REPORT"
 rm -f "$FSCK_JOURNAL" "$FSCK_REPORT"
 
+echo "== serve smoke: live daemon RPCs, stream catch-up, SIGTERM checkpoint =="
+# The daemon and its clients run from the already-built binary: dune
+# exec would contend for the build lock with the backgrounded server.
+RWC=./_build/default/bin/rwc.exe
+SERVE_DIR="$(mktemp -d)"
+SERVE_SOCK="$SERVE_DIR/rwc.sock"
+"$RWC" serve --days 60 --policy adaptive-stock --faults default \
+  --guard default --slo default --journal "$SERVE_DIR/journal.jsonl" \
+  --socket "$SERVE_SOCK" --checkpoint "$SERVE_DIR/ckpt" \
+  > "$SERVE_DIR/serve.out" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+[ -S "$SERVE_SOCK" ]
+# Query and what-if RPCs answer while the run is live.
+"$RWC" watch --socket "$SERVE_SOCK" --rpc fleet.status | grep -q '"policy"'
+"$RWC" watch --socket "$SERVE_SOCK" --rpc whatif.capacity \
+  --params '{"link":0,"gbps":150}' | grep -q '"routed_gbps_after"'
+# A subscriber catches up from the journal and receives events.
+[ "$("$RWC" watch --socket "$SERVE_SOCK" --raw --from 0 --max-events 3 \
+  | wc -l)" -eq 3 ]
+# SIGTERM: stop at the next sample boundary, cut a final checkpoint,
+# unlink the socket, exit 0.
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+ls "$SERVE_DIR/ckpt" | grep -q 'ckpt-'
+[ ! -e "$SERVE_SOCK" ]
+rm -rf "$SERVE_DIR"
+
 echo "== obs overhead gate: bench --obs-only (ns budgets) =="
 dune exec bench/main.exe -- --obs-only
 

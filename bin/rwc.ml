@@ -481,7 +481,7 @@ let backbone_of = function
 
 let run_simulate () days policy seed faults storm guard journal_path slo
     backbone_file manifest_path checkpoint checkpoint_every resume progress
-    domains =
+    domains metrics_interval =
   Option.iter (check_writable "--manifest") manifest_path;
   let domains = clamp_domains "rwc simulate" domains in
   if not (Rwc_fault.is_none storm) then begin
@@ -521,6 +521,56 @@ let run_simulate () days policy seed faults storm guard journal_path slo
          file)";
       exit 2
   | _ -> ());
+  (* --metrics-interval: instead of one registry snapshot at exit, the
+     --metrics file becomes a JSONL trajectory — a full snapshot at the
+     first due sweep, then one incremental delta per interval. *)
+  let sim_hooks =
+    match metrics_interval with
+    | None -> Rwc_sim.Runner.no_hooks
+    | Some n ->
+        if n <= 0 then begin
+          prerr_endline "rwc simulate: --metrics-interval must be >= 1";
+          exit 2
+        end;
+        let path =
+          match !metrics_dest with
+          | Some p when p <> "-" -> p
+          | _ ->
+              prerr_endline
+                "rwc simulate: --metrics-interval requires --metrics PATH \
+                 (the snapshot trajectory is written there as JSONL)";
+              exit 2
+        in
+        (* The at_exit finalizer keeps only the stderr summary; the file
+           now carries the trajectory, not a final snapshot. *)
+        metrics_dest := Some "-";
+        let oc = open_out path in
+        at_exit (fun () -> try close_out oc with Sys_error _ -> ());
+        let last = ref (Obs.Json.Assoc []) in
+        {
+          Rwc_sim.Runner.no_hooks with
+          Rwc_sim.Runner.on_sweep =
+            Some
+              (fun ~k ~now_s ~events:_ ->
+                if k mod n = 0 then begin
+                  let snap = Obs.Metrics.to_json () in
+                  let delta = Obs.Metrics.snapshot_delta !last snap in
+                  last := snap;
+                  match delta with
+                  | Obs.Json.Assoc [] -> ()
+                  | _ ->
+                      output_string oc
+                        (Obs.Json.to_string
+                           (Obs.Json.Assoc
+                              [
+                                ("now_s", Obs.Json.Float now_s);
+                                ("delta", delta);
+                              ]));
+                      output_char oc '\n';
+                      flush oc
+                end);
+        }
+  in
   let backbone = backbone_of backbone_file in
   let config_of jnl =
     {
@@ -532,6 +582,7 @@ let run_simulate () days policy seed faults storm guard journal_path slo
       journal = jnl;
       progress;
       domains;
+      hooks = sim_hooks;
     }
   in
   (* Both the plain and the checkpointed path reduce their results to
@@ -756,6 +807,18 @@ let progress_flag =
            and ETA, redrawn in place.  Purely cosmetic — results are \
            identical with or without it.")
 
+let sim_metrics_interval_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-interval" ] ~docv:"N"
+        ~doc:
+          "With $(b,--metrics PATH): write the metric registry to $(docv) as \
+           a JSONL trajectory instead of one final snapshot — a full \
+           snapshot at the first due sweep, then one incremental delta \
+           (changed series only) every $(docv) telemetry sweeps (96 = one \
+           simulated day at the 15-minute cadence).")
+
 let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"WAN policy simulation (throughput/availability)")
@@ -763,7 +826,8 @@ let simulate_cmd =
       const run_simulate $ obs_term $ days_arg $ policy_arg $ sim_seed_arg
       $ faults_arg $ storm_arg $ guard_arg $ journal_arg $ slo_arg
       $ backbone_file_arg $ manifest_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ resume_flag $ progress_flag $ domains_arg)
+      $ checkpoint_every_arg $ resume_flag $ progress_flag $ domains_arg
+      $ sim_metrics_interval_arg)
 
 (* ---- chaos ------------------------------------------------------------- *)
 
@@ -1203,10 +1267,52 @@ let chain_at events at =
   in
   pick None chains
 
-let run_explain () journal_file run_idx link at recovered strict slo =
+let run_explain () journal_file run_idx link at recovered strict slo follow =
   if at <> None && link = None then begin
     prerr_endline "rwc explain: --at requires --link";
     exit 2
+  end;
+  if follow then begin
+    if at <> None || run_idx <> None || recovered <> None || strict then begin
+      prerr_endline
+        "rwc explain: --follow cannot be combined with --at, --run, \
+         --recovered or --strict";
+      exit 2
+    end;
+    if slo <> None then begin
+      prerr_endline "rwc explain: --follow cannot be combined with --slo";
+      exit 2
+    end;
+    let stop = ref false in
+    let handler = Sys.Signal_handle (fun _ -> stop := true) in
+    Sys.set_signal Sys.sigint handler;
+    Sys.set_signal Sys.sigterm handler;
+    (* Poll-and-seek tail.  read_from consumes complete lines only, so
+       a torn tail (concurrent writer mid-record, or a storm fault)
+       stays in the file for the next round instead of being fatal. *)
+    let offset = ref 0 in
+    while not !stop do
+      (match J.read_from journal_file ~offset:!offset with
+      | Ok (records, _bad, next) ->
+          offset := next;
+          List.iter
+            (fun (r : J.record) ->
+              match link with
+              | Some id when r.J.link <> id -> ()
+              | _ ->
+                  if r.J.link >= 0 then Printf.printf "link=%-4d" r.J.link
+                  else print_string "run     ";
+                  pp_journal_record r)
+            records;
+          flush stdout
+      | Error _ when !offset > 0 ->
+          (* The file shrank under us (truncated or rotated — a resume
+             does exactly this): start over from the top. *)
+          offset := 0
+      | Error _ -> () (* not created yet: keep polling *));
+      if not !stop then try Unix.sleepf 0.25 with Unix.Unix_error _ -> ()
+    done;
+    exit 0
   end;
   (* --recovered: the checkpoint directory's resume marks record the
      journal high-water mark each resume (or in-process crash restart)
@@ -1433,6 +1539,18 @@ let explain_strict_arg =
            skip-and-count (skipped lines are reported on stderr and in the \
            $(b,journal/bad_lines) metric).")
 
+let explain_follow_arg =
+  Arg.(
+    value & flag
+    & info [ "follow" ]
+        ~doc:
+          "Tail the journal live: print existing events, then poll for new \
+           complete lines four times a second (optionally filtered with \
+           $(b,--link)).  Torn tails — a record mid-write under a \
+           concurrent $(b,simulate) or $(b,serve) — are skipped until \
+           their newline lands, and a truncated file restarts the tail \
+           from the top.  Stop with Ctrl-C.")
+
 let explain_cmd =
   Cmd.v
     (Cmd.info "explain"
@@ -1440,7 +1558,7 @@ let explain_cmd =
     Term.(
       const run_explain $ obs_term $ explain_journal_arg $ explain_run_arg
       $ explain_link_arg $ explain_at_arg $ explain_recovered_arg
-      $ explain_strict_arg $ slo_arg)
+      $ explain_strict_arg $ slo_arg $ explain_follow_arg)
 
 (* ---- bvt -------------------------------------------------------------- *)
 
@@ -2071,6 +2189,476 @@ let torture_cmd =
       $ sim_seed_arg $ torture_every_arg $ torture_quick_flag
       $ torture_sample_arg $ torture_keep_flag $ torture_json_arg)
 
+(* ---- serve / watch ----------------------------------------------------- *)
+
+(* The live control-plane daemon: the same run [simulate] performs,
+   with a JSON-RPC window onto it.  The simulation is the source of
+   truth; the daemon only reads (and previews what-ifs on reverted
+   state), so a seeded serve run's report and journal are byte-identical
+   to the batch run's. *)
+
+let run_serve () days policy seed faults guard journal_path slo backbone_file
+    checkpoint checkpoint_every resume progress domains socket_path stdio
+    metrics_interval max_queue =
+  let domains = clamp_domains "rwc serve" domains in
+  let journal_path =
+    match journal_path with
+    | Some p -> p
+    | None ->
+        prerr_endline
+          "rwc serve: --journal FILE is required (the journal is the \
+           subscribers' catch-up log)";
+        exit 2
+  in
+  let mode =
+    match (socket_path, stdio) with
+    | Some p, false -> Rwc_serve.Daemon.Socket p
+    | None, true -> Rwc_serve.Daemon.Stdio
+    | None, false ->
+        prerr_endline "rwc serve: pass --socket PATH or --stdio";
+        exit 2
+    | Some _, true ->
+        prerr_endline "rwc serve: --socket and --stdio are mutually exclusive";
+        exit 2
+  in
+  if metrics_interval <= 0 then begin
+    prerr_endline "rwc serve: --metrics-interval must be >= 1";
+    exit 2
+  end;
+  if max_queue <= 0 then begin
+    prerr_endline "rwc serve: --max-queue must be >= 1";
+    exit 2
+  end;
+  if Rwc_recover.plan_has_crash faults then begin
+    prerr_endline
+      "rwc serve: crash= fault rules are not supported (the in-process \
+       restart would swap the journal out from under the live stream); \
+       stopping the daemon and rerunning with --resume is its crash story";
+    exit 2
+  end;
+  if resume && checkpoint = None then begin
+    prerr_endline "rwc serve: --resume requires --checkpoint DIR";
+    exit 2
+  end;
+  if checkpoint <> None && checkpoint_every <= 0 then begin
+    prerr_endline "rwc serve: --checkpoint-every must be >= 1";
+    exit 2
+  end;
+  (* The metrics topic streams registry deltas; make sure the registry
+     counts even when the operator did not pass --metrics. *)
+  Obs.Metrics.enable ();
+  let backbone = backbone_of backbone_file in
+  let policies =
+    match policy with Some p -> [ p ] | None -> Rwc_sim.Runner.all_policies
+  in
+  let config_of jnl =
+    {
+      Rwc_sim.Runner.default_config with
+      Rwc_sim.Runner.days;
+      seed;
+      faults;
+      guard;
+      journal = jnl;
+      progress;
+      domains;
+    }
+  in
+  match checkpoint with
+  | None ->
+      let jnl = journal_sink (Some journal_path) slo in
+      exit
+        (Rwc_serve.Daemon.serve ~mode ~metrics_interval ~max_queue
+           ~config:(config_of jnl) ~backbone ~policies ~journal_path ~slo
+           ~run_mode:Rwc_serve.Daemon.Fresh ())
+  | Some dir -> (
+      match
+        Rwc_recover.create ~dir ~every:checkpoint_every ~journal_path ~slo
+          ~faults ~resume ()
+      with
+      | Error e ->
+          Printf.eprintf "rwc serve: --checkpoint %s: %s\n" dir e;
+          exit 2
+      | Ok (ctx, resume_from) ->
+          (match resume_from with
+          | Some c ->
+              if c.Rwc_recover.ck_seed <> seed || c.Rwc_recover.ck_days <> days
+              then begin
+                Printf.eprintf
+                  "rwc serve: --resume: checkpoint in %s belongs to a run \
+                   with seed %d over %g days, not seed %d over %g days\n"
+                  dir c.Rwc_recover.ck_seed c.Rwc_recover.ck_days seed days;
+                exit 2
+              end
+          | None ->
+              if resume then
+                Printf.eprintf
+                  "rwc serve: --resume: no valid checkpoint in %s; starting \
+                   from scratch\n%!"
+                  dir);
+          let jnl =
+            match resume_from with
+            | Some c -> (
+                match
+                  Rwc_journal.resume ~path:journal_path ~slo
+                    ~at:c.Rwc_recover.ck_journal_bytes
+                    ~events:c.Rwc_recover.ck_journal_events ()
+                with
+                | Ok j -> j
+                | Error e ->
+                    Printf.eprintf "rwc serve: --resume: %s: %s\n" journal_path
+                      e;
+                    exit 2)
+            | None -> journal_sink (Some journal_path) slo
+          in
+          exit
+            (Rwc_serve.Daemon.serve ~mode ~metrics_interval ~max_queue
+               ~config:(config_of jnl) ~backbone ~policies ~journal_path ~slo
+               ~run_mode:(Rwc_serve.Daemon.Checkpointed (ctx, resume_from)) ()))
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix socket to listen on (serve) or connect to (watch).")
+
+let stdio_flag =
+  Arg.(
+    value & flag
+    & info [ "stdio" ]
+        ~doc:
+          "Speak JSON-RPC on stdin/stdout instead of a socket (reports then \
+           only appear via $(b,fleet.status)).")
+
+let serve_metrics_interval_arg =
+  Arg.(
+    value & opt int 96
+    & info [ "metrics-interval" ] ~docv:"N"
+        ~doc:
+          "Telemetry sweeps between streamed metric deltas and online SLO \
+           verdicts (default 96: one simulated day).")
+
+let serve_max_queue_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Default per-subscriber event queue bound; a slow consumer's \
+           overflow is dropped and counted ($(b,serve/dropped_events)).")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Live control-plane daemon: run the simulation and serve telemetry \
+          streams, decision events, SLO verdicts and what-if queries over \
+          JSON-RPC")
+    Term.(
+      const run_serve $ obs_term $ days_arg $ policy_arg $ sim_seed_arg
+      $ faults_arg $ guard_arg $ journal_arg $ slo_arg $ backbone_file_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_flag $ progress_flag
+      $ domains_arg $ socket_arg $ stdio_flag $ serve_metrics_interval_arg
+      $ serve_max_queue_arg)
+
+(* watch: thin client over the serve socket — one-shot RPCs, a raw
+   JSONL event tail, or a live fleet table. *)
+
+let run_watch () socket_path raw from topics max_queue max_events rpc_meth
+    rpc_params progress =
+  let socket_path =
+    match socket_path with
+    | Some p -> p
+    | None ->
+        prerr_endline "rwc watch: --socket PATH is required";
+        exit 2
+  in
+  let module C = Rwc_serve.Daemon.Client in
+  let client =
+    (* The daemon may still be binding its socket: retry briefly. *)
+    let rec conn tries =
+      match C.connect socket_path with
+      | c -> c
+      | exception Unix.Unix_error (e, _, _) ->
+          if tries > 0 then begin
+            (try Unix.sleepf 0.25 with Unix.Unix_error _ -> ());
+            conn (tries - 1)
+          end
+          else begin
+            Printf.eprintf "rwc watch: %s: %s\n" socket_path
+              (Unix.error_message e);
+            exit 2
+          end
+    in
+    conn 20
+  in
+  let fail msg =
+    Printf.eprintf "rwc watch: %s\n" msg;
+    C.close client;
+    exit 1
+  in
+  match rpc_meth with
+  | Some meth -> (
+      let params =
+        match rpc_params with
+        | None -> None
+        | Some s -> (
+            match Obs.Json.parse s with
+            | Ok j -> Some j
+            | Error e ->
+                Printf.eprintf "rwc watch: --params: %s\n" e;
+                exit 2)
+      in
+      match C.call client ~meth ?params () with
+      | Ok r ->
+          print_endline (Obs.Json.to_string r);
+          C.close client
+      | Error e -> fail e)
+  | None ->
+      (* Table base state before subscribing, so the replayed/live
+         events only ever move the view forward. *)
+      let status =
+        match C.call client ~meth:"fleet.status" () with
+        | Ok s -> s
+        | Error e -> fail e
+      in
+      let tbl = Hashtbl.create 64 in
+      (match Obs.Json.member "links" status with
+      | Some (Obs.Json.List l) ->
+          List.iter
+            (fun row ->
+              match
+                ( Obs.Json.member "link" row,
+                  Obs.Json.member "gbps" row,
+                  Obs.Json.member "up" row,
+                  Obs.Json.member "snr_db" row )
+              with
+              | ( Some (Obs.Json.Int id),
+                  Some (Obs.Json.Int g),
+                  Some (Obs.Json.Bool up),
+                  Some (Obs.Json.Float s) ) ->
+                  Hashtbl.replace tbl id (g, up, s)
+              | _ -> ())
+            l
+      | _ -> ());
+      let params =
+        Obs.Json.Assoc
+          ((match topics with
+           | [] -> []
+           | ts ->
+               [
+                 ( "topics",
+                   Obs.Json.List (List.map (fun s -> Obs.Json.String s) ts) );
+               ])
+          @ (match from with
+            | Some n -> [ ("from", Obs.Json.Int n) ]
+            | None -> [])
+          @
+          match max_queue with
+          | Some n -> [ ("max_queue", Obs.Json.Int n) ]
+          | None -> [])
+      in
+      (match C.call client ~meth:"stream.subscribe" ~params () with
+      | Ok _ -> ()
+      | Error e -> fail e);
+      let hb =
+        if progress then
+          Some (Rwc_perf.Progress.create ~label:"watch" ~total_days:0.0 ())
+        else None
+      in
+      let tty = try Unix.isatty Unix.stdout with Unix.Unix_error _ -> false in
+      let policy =
+        ref
+          (match Obs.Json.member "policy" status with
+          | Some (Obs.Json.String p) -> p
+          | _ -> "-")
+      in
+      let now = ref 0.0 in
+      let slo_line = ref "" in
+      let n_events = ref 0 in
+      let last_draw = ref 0.0 in
+      let redraw ~force () =
+        let t = Unix.gettimeofday () in
+        if force || t -. !last_draw >= 0.5 then begin
+          last_draw := t;
+          if tty then print_string "\027[H\027[2J" else print_newline ();
+          Printf.printf "fleet @ t=%.0fs  policy=%s  events=%d%s\n" !now
+            !policy !n_events
+            (if !slo_line = "" then "" else "  slo: " ^ !slo_line);
+          Printf.printf "%-5s %6s %-5s %8s\n" "link" "gbps" "up" "snr_db";
+          List.iter
+            (fun (id, (g, up, s)) ->
+              Printf.printf "%-5d %6d %-5s %8.2f\n" id g
+                (if up then "up" else "dark")
+                s)
+            (List.sort compare
+               (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []));
+          flush stdout
+        end
+      in
+      let int_of j = match j with Some (Obs.Json.Int n) -> Some n | _ -> None in
+      let handle env =
+        if raw then begin
+          (* Line-buffered even into a pipe: this is a live tail. *)
+          print_endline (Obs.Json.to_string env);
+          flush stdout
+        end
+        else begin
+          (match (Obs.Json.member "topic" env, Obs.Json.member "data" env) with
+          | Some (Obs.Json.String "decision"), Some data -> (
+              (match Obs.Json.member "t" data with
+              | Some (Obs.Json.Float t) -> now := t
+              | Some (Obs.Json.Int t) -> now := float_of_int t
+              | _ -> ());
+              match (int_of (Obs.Json.member "link" data), Obs.Json.member "ev" data) with
+              | Some id, Some (Obs.Json.String "commit") -> (
+                  match
+                    (int_of (Obs.Json.member "gbps" data),
+                     Obs.Json.member "up" data)
+                  with
+                  | Some g, Some (Obs.Json.Bool up) ->
+                      let _, _, snr =
+                        Option.value (Hashtbl.find_opt tbl id)
+                          ~default:(0, false, 0.0)
+                      in
+                      Hashtbl.replace tbl id (g, up, snr)
+                  | _ -> ())
+              | Some id, Some (Obs.Json.String "outage") -> (
+                  match Obs.Json.member "up" data with
+                  | Some (Obs.Json.Bool up) ->
+                      let g, _, snr =
+                        Option.value (Hashtbl.find_opt tbl id)
+                          ~default:(0, false, 0.0)
+                      in
+                      Hashtbl.replace tbl id (g, up, snr)
+                  | _ -> ())
+              | Some id, Some (Obs.Json.String "observe") -> (
+                  match Obs.Json.member "snr_db" data with
+                  | Some (Obs.Json.Float s) ->
+                      let g, up, _ =
+                        Option.value (Hashtbl.find_opt tbl id)
+                          ~default:(0, false, 0.0)
+                      in
+                      Hashtbl.replace tbl id (g, up, s)
+                  | _ -> ())
+              | _, Some (Obs.Json.String "run") -> (
+                  match Obs.Json.member "policy" data with
+                  | Some (Obs.Json.String p) -> policy := p
+                  | _ -> ())
+              | _ -> ())
+          | Some (Obs.Json.String "lifecycle"), Some data -> (
+              match
+                (Obs.Json.member "event" data, Obs.Json.member "policy" data)
+              with
+              | Some (Obs.Json.String "run-start"), Some (Obs.Json.String p) ->
+                  policy := p
+              | _ -> ())
+          | Some (Obs.Json.String "slo"), Some data -> (
+              match Obs.Json.member "scorecard" data with
+              | Some card -> (
+                  match
+                    ( int_of (Obs.Json.member "links_met" card),
+                      int_of (Obs.Json.member "links_violated" card) )
+                  with
+                  | Some met, Some violated ->
+                      slo_line :=
+                        Printf.sprintf "%d met / %d violated" met violated
+                  | _ -> ())
+              | None -> ())
+          | _ -> ());
+          redraw ~force:false ()
+        end
+      in
+      let rec loop () =
+        if match max_events with Some m -> !n_events < m | None -> true then
+          match C.recv client with
+          | Error e ->
+              (* Server shut down (or the link dropped): end of stream. *)
+              if not raw then redraw ~force:true ();
+              Printf.eprintf "rwc watch: %s\n" e
+          | Ok msg -> (
+              match
+                (Obs.Json.member "method" msg, Obs.Json.member "params" msg)
+              with
+              | Some (Obs.Json.String "stream.event"), Some env ->
+                  incr n_events;
+                  handle env;
+                  (match hb with
+                  | Some p ->
+                      Rwc_perf.Progress.tick p ~day:0.0 ~events:!n_events
+                  | None -> ());
+                  loop ()
+              | _ -> loop ())
+      in
+      loop ();
+      (match hb with Some p -> Rwc_perf.Progress.finish p | None -> ());
+      C.close client
+
+let watch_raw_flag =
+  Arg.(
+    value & flag
+    & info [ "raw" ]
+        ~doc:
+          "Print each stream event as one JSON line instead of the live \
+           fleet table.")
+
+let watch_from_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "from" ] ~docv:"SEQ"
+        ~doc:
+          "Catch up first: replay journal decision events with ordinal >= \
+           $(docv) (0 = the whole journal) before the live stream.")
+
+let watch_topics_arg =
+  Arg.(
+    value & opt (list string) []
+    & info [ "topics" ] ~docv:"T,.."
+        ~doc:
+          "Comma-separated topic filter: decision, metrics, slo, lifecycle \
+           (default: all).")
+
+let watch_max_queue_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:"Server-side queue bound for this subscription.")
+
+let watch_max_events_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-events" ] ~docv:"N"
+        ~doc:"Exit after receiving $(docv) stream events.")
+
+let watch_rpc_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rpc" ] ~docv:"METHOD"
+        ~doc:
+          "One-shot mode: call $(docv) (with $(b,--params)), print the \
+           result as JSON and exit.")
+
+let watch_params_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "params" ] ~docv:"JSON"
+        ~doc:"Parameters for $(b,--rpc), as a JSON object.")
+
+let watch_cmd =
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Thin client for a running $(b,rwc serve): live fleet table, raw \
+          event tail, or one-shot RPCs")
+    Term.(
+      const run_watch $ obs_term $ socket_arg $ watch_raw_flag $ watch_from_arg
+      $ watch_topics_arg $ watch_max_queue_arg $ watch_max_events_arg
+      $ watch_rpc_arg $ watch_params_arg $ progress_flag)
+
 (* ---- main -------------------------------------------------------------- *)
 
 let () =
@@ -2081,6 +2669,7 @@ let () =
        (Cmd.group info
           [
             figures_cmd; analyze_cmd; simulate_cmd; chaos_cmd; explain_cmd;
-            bvt_cmd; constellation_cmd; export_cmd; detect_cmd; topology_cmd;
-            bench_cmd; perf_cmd; torture_cmd; fsck_cmd;
+            serve_cmd; watch_cmd; bvt_cmd; constellation_cmd; export_cmd;
+            detect_cmd; topology_cmd; bench_cmd; perf_cmd; torture_cmd;
+            fsck_cmd;
           ]))

@@ -266,6 +266,64 @@ let read_file ?(strict = false) path =
       | _ -> ());
       result
 
+let read_from ?(strict = false) path ~offset =
+  (* Incremental companion to [read_file] for live tails: read from a
+     byte offset, consume only complete (newline-terminated) lines, and
+     report where the next poll should pick up.  A torn tail — a
+     record mid-write, exactly what storm faults produce — is simply
+     not consumed yet, so followers skip it this round instead of
+     dying on it. *)
+  match
+    In_channel.with_open_bin path (fun ic ->
+        let len = Int64.to_int (In_channel.length ic) in
+        if offset < 0 || offset > len then Error (`Out_of_range len)
+        else begin
+          In_channel.seek ic (Int64.of_int offset);
+          Ok (really_input_string ic (len - offset))
+        end)
+  with
+  | exception Sys_error e -> Error e
+  | Error (`Out_of_range len) ->
+      Error
+        (Printf.sprintf
+           "journal: offset %d outside %s (%d bytes — truncated since last \
+            read?)"
+           offset path len)
+  | Ok chunk ->
+      let consumed =
+        match String.rindex_opt chunk '\n' with
+        | None -> 0
+        | Some i -> i + 1
+      in
+      let bad = ref 0 in
+      let rec go n acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest ->
+            if String.trim line = "" then go (n + 1) acc rest
+            else begin
+              let parsed =
+                match Json.parse line with
+                | Error _ as e -> e
+                | Ok json -> record_of_json json
+              in
+              match parsed with
+              | Ok r -> go (n + 1) (r :: acc) rest
+              | Error e ->
+                  if strict then
+                    Error (Printf.sprintf "line %d after offset %d: %s" n offset e)
+                  else begin
+                    incr bad;
+                    Rwc_obs.Metrics.incr m_bad_lines;
+                    go (n + 1) acc rest
+                  end
+            end
+      in
+      let lines =
+        if consumed = 0 then []
+        else String.split_on_char '\n' (String.sub chunk 0 (consumed - 1))
+      in
+      Result.map (fun records -> (records, !bad, offset + consumed)) (go 1 [] lines)
+
 let segments records =
   (* Split on run headers; any records before the first header (a
      headerless file) form their own leading segment. *)
@@ -601,6 +659,7 @@ type t = {
   mutable horizon_s : float;
   mutable n_events : int;
   mutable closed : bool;
+  mutable tee : (seq:int -> record -> unit) option;
 }
 
 let disarmed =
@@ -612,6 +671,7 @@ let disarmed =
     horizon_s = 0.0;
     n_events = 0;
     closed = false;
+    tee = None;
   }
 
 let create ?path ?(slo = Slo.none) () =
@@ -629,6 +689,7 @@ let create ?path ?(slo = Slo.none) () =
         horizon_s = 0.0;
         n_events = 0;
         closed = false;
+        tee = None;
       }
 
 let armed t = t.sink_armed
@@ -726,6 +787,7 @@ let resume ?path ?(slo = Slo.none) ~at ~events () =
               horizon_s;
               n_events = events;
               closed = false;
+              tee = None;
             })
 
 (* Token-style profiling: [emit] runs once per journaled decision, so
@@ -740,7 +802,37 @@ let emit t r =
       Rwc_storm.Writer.write w "\n"
   | None -> ());
   (match t.tracker with Some tr -> Slo.feed tr r | None -> ());
+  (* The tee fires after the write: a live-stream subscriber can never
+     observe a decision the durable log does not yet contain. *)
+  (match t.tee with Some f -> f ~seq:(t.n_events - 1) r | None -> ());
   Rwc_perf.stop Rwc_perf.Journal_emit tok
+
+let set_tee t f =
+  if not t.sink_armed then
+    invalid_arg "Rwc_journal.set_tee: cannot tee a disarmed sink";
+  t.tee <- Some f
+
+let clear_tee t = if t.sink_armed then t.tee <- None
+
+let adopt_tee t ~from = if t.sink_armed then t.tee <- from.tee
+
+let online_slo t ~at =
+  match t.tracker with
+  | None -> None
+  | Some tr ->
+      (* [Slo.evaluate] charges every accumulator up to the horizon —
+         a mutation — so score a deep copy and leave the live tracker
+         folding undisturbed. *)
+      let copy =
+        {
+          Slo.cfg = tr.Slo.cfg;
+          accs =
+            Array.map
+              (fun a -> { a with Slo.last_t = a.Slo.last_t })
+              tr.Slo.accs;
+        }
+      in
+      Some (Slo.evaluate copy ~horizon_s:at)
 
 let start_run t ~policy ~seed ~horizon_s ~n_links =
   if t.sink_armed then begin

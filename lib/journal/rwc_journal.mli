@@ -107,6 +107,22 @@ val read_file : ?strict:bool -> string -> (record list * int, string) result
     [~strict:true] the first malformed line is an error carrying its
     line number. *)
 
+val read_from :
+  ?strict:bool -> string -> offset:int -> (record list * int * int, string) result
+(** Incremental companion to {!read_file} for live tails ([rwc explain
+    --follow], the serve catch-up replay): read the journal from byte
+    [offset], consuming only {b complete} (newline-terminated) lines,
+    and return [(records, bad_lines, next_offset)] where
+    [next_offset] is where the next poll should resume.  A torn tail —
+    a record mid-write, exactly what a concurrent writer or a storm
+    fault produces — is deliberately {e not} consumed: it stays in the
+    file past [next_offset] until its newline lands, so followers skip
+    it this round instead of dying on it.  Complete-but-malformed
+    lines follow the {!read_file} convention (skip, count, metric) but
+    without the stderr summary, since a follower polls repeatedly.
+    Errors if the file cannot be opened or [offset] lies outside it
+    (the file was truncated since the last read — restart from 0). *)
+
 val segments : record list -> record list list
 (** Split a journal into per-run segments at {!Run_start} headers.
     Records before the first header (a headerless file) form their own
@@ -207,6 +223,31 @@ val byte_offset : t -> int
 (** Flush and report the journal's logical write position — the
     high-water mark a checkpoint records so a resumed run can truncate
     the file back to a consistent point.  0 for path-less sinks. *)
+
+val set_tee : t -> (seq:int -> record -> unit) -> unit
+(** Attach a live tap: called once per emitted record, {e after} the
+    record is written to the file, with [seq] the record's global
+    ordinal in this sink (the value {!events_emitted} reports {e
+    after} the emit) — so a streaming subscriber can never observe a
+    decision the durable log does not yet contain, and the ordinal
+    doubles as the subscriber's high-water mark for catch-up replay.
+    The tee must not re-enter the sink.  At most one tee is attached;
+    a second call replaces the first.  Raises [Invalid_argument] on a
+    {!disarmed} sink (its emitters never run). *)
+
+val clear_tee : t -> unit
+
+val adopt_tee : t -> from:t -> unit
+(** Carry [from]'s tee (if any) over to [t] — used when a crash-restart
+    replaces the sink via {!resume} so an attached stream survives the
+    swap. *)
+
+val online_slo : t -> at:float -> Slo.summary option
+(** Mid-run SLO scorecard: evaluate the sink's live tracker as of
+    simulation time [at] without disturbing it (the tracker keeps
+    folding; evaluation charges a copy).  [None] unless the sink has
+    an armed SLO plan with an open segment ({!start_run} called,
+    {!finish_run} not yet). *)
 
 val resume :
   ?path:string -> ?slo:Slo.plan -> at:int -> events:int -> unit -> (t, string) result

@@ -208,6 +208,18 @@ let metric_to_json = function
 let to_json () =
   Json.Assoc (List.map (fun (name, m) -> (name, metric_to_json m)) (sorted_metrics ()))
 
+let snapshot_delta before after =
+  match (before, after) with
+  | Json.Assoc old_series, Json.Assoc new_series ->
+      Json.Assoc
+        (List.filter
+           (fun (name, m) ->
+             match List.assoc_opt name old_series with
+             | Some prev -> prev <> m
+             | None -> true)
+           new_series)
+  | _ -> after
+
 let write_json path = Json.to_file path (to_json ())
 
 let pp_duration fmt s =

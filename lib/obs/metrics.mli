@@ -88,6 +88,17 @@ val to_json : unit -> Json.t
 (** Snapshot of every registered metric, sorted by name.  Histograms
     carry count/sum/min/max and p50/p95/p99. *)
 
+val snapshot_delta : Json.t -> Json.t -> Json.t
+(** [snapshot_delta before after] diffs two {!to_json} snapshots into
+    only the changed series: entries of [after] that are new or differ
+    structurally from their [before] counterpart, in [after]'s (sorted)
+    order.  Names present only in [before] (a {!reset} between
+    snapshots) are dropped — consumers treat the next full snapshot as
+    a re-baseline.  The live stream layer and [--metrics-interval]
+    periodic flush ship these deltas instead of re-serializing the
+    whole registry each tick.  If either argument is not an object the
+    full [after] snapshot is returned. *)
+
 val write_json : string -> unit
 (** [to_json] pretty-printed to a file. *)
 

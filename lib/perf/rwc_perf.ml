@@ -686,16 +686,30 @@ end
 module Progress = struct
   type t = {
     out : out_channel;
+    tty : bool;
     min_interval_s : float;
     label : string;
     total_days : float;
+    extra : (unit -> string) option;
     t_start : float;
     mutable t_last : float;
     mutable drew : bool;
   }
 
-  let create ?(out = stderr) ?(min_interval_s = 0.5) ~label ~total_days () =
-    { out; min_interval_s; label; total_days;
+  let create ?(out = stderr) ?min_interval_s ?extra ~label ~total_days () =
+    let tty =
+      try Unix.isatty (Unix.descr_of_out_channel out) with
+      | Unix.Unix_error _ | Sys_error _ -> false
+    in
+    (* A non-TTY sink (a pipe, a CI log) gets newline-terminated lines
+       instead of \r-redraws, so the redraw cadence would spam the log;
+       throttle it an order of magnitude harder by default. *)
+    let min_interval_s =
+      match min_interval_s with
+      | Some s -> s
+      | None -> if tty then 0.5 else 5.0
+    in
+    { out; tty; min_interval_s; label; total_days; extra;
       t_start = Unix.gettimeofday (); t_last = neg_infinity; drew = false }
 
   let fmt_eta s =
@@ -707,27 +721,38 @@ module Progress = struct
       else Printf.sprintf "%02d:%02d" (s / 60) (s mod 60)
 
   let render ~label ~day ~total_days ~events ~elapsed_s =
-    let pct =
-      if total_days > 0.0 then day /. total_days *. 100.0 else 100.0
-    in
     let evps =
       if elapsed_s > 0.0 then float_of_int events /. elapsed_s else 0.0
     in
-    let eta =
-      if day > 0.0 && total_days > day then
-        elapsed_s /. day *. (total_days -. day)
-      else 0.0
-    in
-    Printf.sprintf "%s: day %.1f/%.1f (%3.0f%%) | %d events | %.0f ev/s | ETA %s"
-      label day total_days pct events evps (fmt_eta eta)
+    if total_days <= 0.0 then
+      (* No horizon (e.g. an open-ended watch stream): day/pct/ETA are
+         meaningless, report only the event flow. *)
+      Printf.sprintf "%s: %d events | %.0f ev/s" label events evps
+    else begin
+      let pct = day /. total_days *. 100.0 in
+      let eta =
+        if day > 0.0 && total_days > day then
+          elapsed_s /. day *. (total_days -. day)
+        else 0.0
+      in
+      Printf.sprintf "%s: day %.1f/%.1f (%3.0f%%) | %d events | %.0f ev/s | ETA %s"
+        label day total_days pct events evps (fmt_eta eta)
+    end
 
   let draw t ~day ~events ~now =
     let line =
       render ~label:t.label ~day ~total_days:t.total_days ~events
         ~elapsed_s:(now -. t.t_start)
     in
-    (* Pad to wipe leftovers of a longer previous line. *)
-    Printf.fprintf t.out "\r%-78s" line;
+    let line =
+      match t.extra with
+      | None -> line
+      | Some f -> (match f () with "" -> line | e -> line ^ " | " ^ e)
+    in
+    if t.tty then
+      (* Pad to wipe leftovers of a longer previous line. *)
+      Printf.fprintf t.out "\r%-78s" line
+    else Printf.fprintf t.out "%s\n" line;
     flush t.out;
     t.drew <- true;
     t.t_last <- now
@@ -737,8 +762,6 @@ module Progress = struct
     if now -. t.t_last >= t.min_interval_s then draw t ~day ~events ~now
 
   let finish t =
-    if t.drew then begin
-      output_char t.out '\n';
-      flush t.out
-    end
+    if t.drew && t.tty then output_char t.out '\n';
+    if t.drew then flush t.out
 end

@@ -230,26 +230,38 @@ end
 (** {1 Progress heartbeat} *)
 
 module Progress : sig
-  (** Single-line stderr heartbeat for long [simulate]/[chaos] runs:
-      sim-day, events/s and ETA, redrawn in place ([\r]) at most
-      every [min_interval_s].  Rendering is split out pure so tests
-      cover the formatting without a clock. *)
+  (** Single-line stderr heartbeat for long [simulate]/[chaos]/[serve]
+      runs: sim-day, events/s and ETA, redrawn in place ([\r]) at most
+      every [min_interval_s] when the sink is a terminal.  When it is
+      not (a pipe, a CI log), lines are newline-terminated instead of
+      \r-overdrawn and the default throttle widens to 5 s so the log
+      stays readable.  Rendering is split out pure so tests cover the
+      formatting without a clock. *)
 
   type t
 
   val create :
     ?out:out_channel -> ?min_interval_s:float ->
+    ?extra:(unit -> string) ->
     label:string -> total_days:float -> unit -> t
+  (** [min_interval_s] defaults to 0.5 on a TTY, 5.0 otherwise.
+      [extra], when given, is called at each draw and its non-empty
+      result is appended as one more [" | ..."] segment — the serve
+      daemon uses it to report subscriber count and stream event
+      rate on the same heartbeat line. *)
 
   val tick : t -> day:float -> events:int -> unit
   (** Throttled redraw; cheap to call every sweep. *)
 
   val finish : t -> unit
   (** Terminate the heartbeat line with a newline (only if one was
-      drawn) so subsequent output starts clean. *)
+      drawn, and only in TTY mode — non-TTY lines are already
+      newline-terminated) so subsequent output starts clean. *)
 
   val render :
     label:string -> day:float -> total_days:float ->
     events:int -> elapsed_s:float -> string
-  (** The heartbeat line, sans carriage control. *)
+  (** The heartbeat line, sans carriage control.  [total_days <= 0]
+      renders an open-ended form (events and rate only) for streams
+      with no known horizon. *)
 end

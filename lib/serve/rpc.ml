@@ -1,0 +1,159 @@
+module Json = Rwc_obs.Json
+
+type request = {
+  id : Json.t option;
+  meth : string;
+  params : Json.t option;
+}
+
+type error_code =
+  | Parse_error
+  | Invalid_request
+  | Method_not_found
+  | Invalid_params
+  | Internal_error
+
+let code = function
+  | Parse_error -> -32700
+  | Invalid_request -> -32600
+  | Method_not_found -> -32601
+  | Invalid_params -> -32602
+  | Internal_error -> -32603
+
+let request_of_json json =
+  match json with
+  | Json.Assoc _ -> (
+      let version_ok =
+        match Json.member "jsonrpc" json with
+        | Some (Json.String "2.0") -> true
+        | _ -> false
+      in
+      if not version_ok then
+        Error (Invalid_request, "jsonrpc must be the string \"2.0\"")
+      else
+        (* A present-but-ill-typed id is indistinguishable from "no id"
+           only by silently dropping the error, so reject it instead of
+           treating the request as a notification. *)
+        let id =
+          match Json.member "id" json with
+          | None -> Ok None
+          | Some ((Json.Int _ | Json.String _ | Json.Null) as v) -> Ok (Some v)
+          | Some _ -> Error (Invalid_request, "id must be a number, string or null")
+        in
+        match id with
+        | Error (c, m) -> Error (c, m)
+        | Ok id -> (
+            match Json.member "method" json with
+            | Some (Json.String meth) -> (
+                match Json.member "params" json with
+                | None -> Ok { id; meth; params = None }
+                | Some ((Json.Assoc _ | Json.List _) as p) ->
+                    Ok { id; meth; params = Some p }
+                | Some _ ->
+                    Error (Invalid_request, "params must be an object or array"))
+            | Some _ | None -> Error (Invalid_request, "method must be a string")))
+  | _ -> Error (Invalid_request, "request must be an object")
+
+let response ~id result =
+  Json.Assoc
+    [ ("jsonrpc", Json.String "2.0"); ("id", id); ("result", result) ]
+
+let error_response ?data ~id ecode msg =
+  let id = Option.value id ~default:Json.Null in
+  let err =
+    [ ("code", Json.Int (code ecode)); ("message", Json.String msg) ]
+    @ match data with None -> [] | Some d -> [ ("data", d) ]
+  in
+  Json.Assoc
+    [ ("jsonrpc", Json.String "2.0"); ("id", id); ("error", Json.Assoc err) ]
+
+let notification ~meth params =
+  Json.Assoc
+    [
+      ("jsonrpc", Json.String "2.0");
+      ("method", Json.String meth);
+      ("params", params);
+    ]
+
+let request ~id ~meth ?params () =
+  Json.Assoc
+    ([ ("jsonrpc", Json.String "2.0"); ("id", id); ("method", Json.String meth) ]
+    @ match params with None -> [] | Some p -> [ ("params", p) ])
+
+type handler = Json.t option -> (Json.t, error_code * string) result
+
+let dispatch handlers raw =
+  match Json.parse raw with
+  | Error e -> Some (error_response ~id:None Parse_error ("parse error: " ^ e))
+  | Ok json -> (
+      match request_of_json json with
+      | Error (c, m) -> Some (error_response ~id:None c m)
+      | Ok req -> (
+          let reply f = Option.map f req.id in
+          match List.assoc_opt req.meth handlers with
+          | None ->
+              reply (fun id ->
+                  error_response ~id:(Some id) Method_not_found
+                    (Printf.sprintf "unknown method %S" req.meth))
+          | Some h -> (
+              let result =
+                (* Handlers lean on state accessors that raise
+                   [Invalid_argument] on bad indices; surface those as
+                   the caller's fault, not a server crash. *)
+                match h req.params with
+                | r -> r
+                | exception Invalid_argument m -> Error (Invalid_params, m)
+                | exception Failure m -> Error (Internal_error, m)
+              in
+              match result with
+              | Ok v -> reply (fun id -> response ~id v)
+              | Error (c, m) ->
+                  reply (fun id -> error_response ~id:(Some id) c m))))
+
+module Params = struct
+  let field params key =
+    match params with None -> None | Some p -> Json.member key p
+
+  let int_opt params key =
+    match field params key with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.Int n) -> Ok (Some n)
+    | Some _ ->
+        Error (Invalid_params, Printf.sprintf "%s must be an integer" key)
+
+  let req_int params key =
+    match int_opt params key with
+    | Ok (Some n) -> Ok n
+    | Ok None ->
+        Error (Invalid_params, Printf.sprintf "missing required param %S" key)
+    | Error (c, m) -> Error (c, m)
+
+  let float_opt params key =
+    match field params key with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.Float f) -> Ok (Some f)
+    | Some (Json.Int n) -> Ok (Some (float_of_int n))
+    | Some _ -> Error (Invalid_params, Printf.sprintf "%s must be a number" key)
+
+  let string_opt params key =
+    match field params key with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.String s) -> Ok (Some s)
+    | Some _ -> Error (Invalid_params, Printf.sprintf "%s must be a string" key)
+
+  let string_list_opt params key =
+    match field params key with
+    | None | Some Json.Null -> Ok None
+    | Some (Json.List items) ->
+        let rec go acc = function
+          | [] -> Ok (Some (List.rev acc))
+          | Json.String s :: rest -> go (s :: acc) rest
+          | _ ->
+              Error
+                ( Invalid_params,
+                  Printf.sprintf "%s must be a list of strings" key )
+        in
+        go [] items
+    | Some _ ->
+        Error (Invalid_params, Printf.sprintf "%s must be a list of strings" key)
+end

@@ -1,0 +1,110 @@
+type framing = Jsonl | Content_length
+
+let framing_name = function
+  | Jsonl -> "jsonl"
+  | Content_length -> "content-length"
+
+let encode framing payload =
+  match framing with
+  | Jsonl -> payload ^ "\n"
+  | Content_length ->
+      Printf.sprintf "Content-Length: %d\r\n\r\n%s" (String.length payload)
+        payload
+
+(* Pending bytes live in one string rebuilt per consume: messages are
+   small (a JSON-RPC line) and arrive whole or nearly so, so the
+   simplicity wins over a ring buffer. *)
+type decoder = { framing : framing; mutable pending : string }
+
+let decoder framing = { framing; pending = "" }
+
+let feed d s = if s <> "" then d.pending <- d.pending ^ s
+
+let consume d n =
+  d.pending <- String.sub d.pending n (String.length d.pending - n)
+
+(* Index just past the first header/body separator: \r\n\r\n or, for
+   hand-typed clients, bare \n\n. *)
+let header_end s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then None
+    else if
+      i + 3 < n && s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+      && s.[i + 3] = '\n'
+    then Some (i, i + 4)
+    else if i + 1 < n && s.[i] = '\n' && s.[i + 1] = '\n' then Some (i, i + 2)
+    else go (i + 1)
+  in
+  go 0
+
+let max_header_bytes = 4096
+
+let content_length_of headers =
+  let lines = String.split_on_char '\n' headers in
+  List.find_map
+    (fun line ->
+      let line = String.trim line in
+      match String.index_opt line ':' with
+      | None -> None
+      | Some i ->
+          let key = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+          if key <> "content-length" then None
+          else
+            let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+            int_of_string_opt v)
+    lines
+
+let next d =
+  match d.framing with
+  | Jsonl -> (
+      match String.index_opt d.pending '\n' with
+      | None -> Ok None
+      | Some i ->
+          let line = String.sub d.pending 0 i in
+          consume d (i + 1);
+          let line =
+            if line <> "" && line.[String.length line - 1] = '\r' then
+              String.sub line 0 (String.length line - 1)
+            else line
+          in
+          Ok (Some line))
+  | Content_length -> (
+      match header_end d.pending with
+      | None ->
+          if String.length d.pending > max_header_bytes then
+            Error "header block exceeds 4096 bytes without terminating"
+          else Ok None
+      | Some (hdr_len, body_start) -> (
+          match content_length_of (String.sub d.pending 0 hdr_len) with
+          | None -> Error "header block has no valid Content-Length"
+          | Some len when len < 0 -> Error "negative Content-Length"
+          | Some len ->
+              if String.length d.pending < body_start + len then Ok None
+              else begin
+                let payload = String.sub d.pending body_start len in
+                consume d (body_start + len);
+                Ok (Some payload)
+              end))
+
+let detect s =
+  let n = String.length s in
+  let is_ws c = c = ' ' || c = '\t' || c = '\r' || c = '\n' in
+  let rec skip i = if i < n && is_ws s.[i] then skip (i + 1) else i in
+  let i = skip 0 in
+  if i >= n then None
+  else if s.[i] = '{' || s.[i] = '[' then Some Jsonl
+  else begin
+    let prefix = "content-length" in
+    let avail = min (n - i) (String.length prefix) in
+    let matches = ref true in
+    for j = 0 to avail - 1 do
+      if Char.lowercase_ascii s.[i + j] <> prefix.[j] then matches := false
+    done;
+    if not !matches then
+      (* Neither JSON nor an LSP header: let the Jsonl path hand the
+         garbage to the JSON parser, which answers with -32700. *)
+      Some Jsonl
+    else if avail = String.length prefix then Some Content_length
+    else None
+  end

@@ -14,6 +14,42 @@ let policy_name = function
   | Adaptive Stock -> "adaptive-stock-bvt"
   | Adaptive Efficient -> "adaptive-efficient-bvt"
 
+(* A read-only (plus one explicitly-reverting what-if) window onto a
+   running — or just-finished — policy run, handed to [hooks.on_run_start].
+   The serve daemon is the intended consumer: the closures stay valid
+   after [run_policy] returns, so RPCs keep answering from the final
+   state while the daemon lingers. *)
+type duct_view = {
+  dv_link : int;
+  dv_gbps : int;  (* per-wavelength denomination; 0 = dark *)
+  dv_up : bool;
+  dv_snr_db : float;
+  dv_reconfiguring : bool;
+}
+
+type live = {
+  lv_policy : string;
+  lv_n_ducts : int;
+  lv_now : unit -> float;  (* simulation seconds *)
+  lv_duct : int -> duct_view;  (* Invalid_argument out of range *)
+  lv_peek : link:int -> snr_db:float -> Rwc_core.Adapt.action option;
+      (* pure controller preview; None on a static policy *)
+  lv_routed_gbps : unit -> float;
+  lv_capacity_gbps : unit -> float;
+  lv_whatif : link:int -> gbps:int -> float * float;
+      (* (routed now, routed if the link ran at [gbps]); reverts *)
+}
+
+type hooks = {
+  on_run_start : (live -> unit) option;
+  on_sweep : (k:int -> now_s:float -> events:int -> unit) option;
+      (* every SNR sample boundary, before the sweep's mutations *)
+  progress_extra : (unit -> string) option;
+      (* extra segment for the --progress heartbeat line *)
+}
+
+let no_hooks = { on_run_start = None; on_sweep = None; progress_extra = None }
+
 type config = {
   days : float;
   te_interval_h : float;
@@ -28,6 +64,7 @@ type config = {
   journal : Rwc_journal.t;
   progress : bool;  (* stderr heartbeat for long runs *)
   domains : int;  (* Rwc_par pool width; 1 = plain sequential loop *)
+  hooks : hooks;  (* all None (the default) = byte-identical run *)
 }
 
 let default_config =
@@ -45,6 +82,7 @@ let default_config =
     journal = Rwc_journal.disarmed;
     progress = false;
     domains = 1;
+    hooks = no_hooks;
   }
 
 type fault_stats = {
@@ -792,11 +830,64 @@ let run_policy ~config ~backbone ?recover ?restore policy =
       r_guard = Rwc_guard.snapshot guard;
     }
   in
+  (* The live window the hooks consumer (the serve daemon) sees.  Pure
+     reads except [lv_whatif], which previews a capacity change by
+     mutating the duct, rerunning TE on the hypothetical graph and
+     reverting — guaranteed even on exceptions, so a hooked run stays
+     byte-identical to an unhooked one. *)
+  let live =
+    let check link =
+      if link < 0 || link >= Array.length ducts then
+        invalid_arg (Printf.sprintf "Runner.live: link %d out of range" link)
+    in
+    {
+      lv_policy = policy_name policy;
+      lv_n_ducts = Array.length ducts;
+      lv_now = (fun () -> Des.now engine);
+      lv_duct =
+        (fun link ->
+          check link;
+          let dr = ducts.(link) in
+          {
+            dv_link = link;
+            dv_gbps = dr.state.Netstate.per_lambda_gbps;
+            dv_up = dr.state.Netstate.up;
+            dv_snr_db = dr.state.Netstate.current_snr_db;
+            dv_reconfiguring = dr.reconfiguring;
+          });
+      lv_peek =
+        (fun ~link ~snr_db ->
+          check link;
+          Option.map (fun ctl -> Adapt.peek ctl ~snr_db) ducts.(link).controller);
+      lv_routed_gbps = (fun () -> !current_total);
+      lv_capacity_gbps = (fun () -> !current_capacity);
+      lv_whatif =
+        (fun ~link ~gbps ->
+          check link;
+          let d = ducts.(link).state in
+          let saved_gbps = d.Netstate.per_lambda_gbps in
+          let saved_up = d.Netstate.up in
+          let before = !current_total in
+          Fun.protect
+            ~finally:(fun () ->
+              d.Netstate.per_lambda_gbps <- saved_gbps;
+              d.Netstate.up <- saved_up)
+            (fun () ->
+              d.Netstate.per_lambda_gbps <- gbps;
+              d.Netstate.up <- gbps > 0;
+              let te =
+                Rwc_core.Te.mcf ~epsilon:config.epsilon (Netstate.graph net)
+                  commodities
+              in
+              (before, te.Rwc_core.Te.total_gbps)));
+    }
+  in
+  (match config.hooks.on_run_start with Some f -> f live | None -> ());
   let heartbeat =
     if config.progress then
       Some
-        (Rwc_perf.Progress.create ~label:(policy_name policy)
-           ~total_days:config.days ())
+        (Rwc_perf.Progress.create ?extra:config.hooks.progress_extra
+           ~label:(policy_name policy) ~total_days:config.days ())
     else None
   in
   let rec snr_tick k engine =
@@ -805,6 +896,14 @@ let run_policy ~config ~backbone ?recover ?restore policy =
         Rwc_perf.Progress.tick hb
           ~day:(float_of_int k *. sample_s /. 86400.0)
           ~events:(Des.dispatched engine)
+    | None -> ());
+    (* The sweep hook runs before any of this sample's mutations (and
+       before the recovery cut), so a server pumping its clients here
+       sees a consistent state, and a stop it requests via the recovery
+       context is honored at this very boundary. *)
+    (match config.hooks.on_sweep with
+    | Some f ->
+        f ~k ~now_s:(float_of_int k *. sample_s) ~events:(Des.dispatched engine)
     | None -> ());
     (match recover with
     | None -> ()
@@ -1217,7 +1316,12 @@ let run_recoverable ?(config = default_config)
         Rwc_journal.resume ?path:ctx.Rwc_recover.journal_path
           ~slo:ctx.Rwc_recover.slo ~at:bytes ~events ()
       with
-      | Ok j -> jnl := j
+      | Ok j ->
+          (* A live-stream tee attached to the replaced sink must
+             survive the swap, or subscribers silently stop hearing
+             decisions after the first crash restart. *)
+          Rwc_journal.adopt_tee j ~from:!jnl;
+          jnl := j
       | Error e -> failwith ("Runner: cannot reopen journal: " ^ e)
     end
   in

@@ -30,6 +30,61 @@ type policy =
 
 val policy_name : policy -> string
 
+(** {1 Live hooks}
+
+    A run can carry observer hooks ({!config.hooks}) for a control
+    plane that watches it while it executes — the [rwc serve] daemon.
+    With {!no_hooks} (the default) each hook site is one [match] on
+    [None] and the run is byte-identical to a build without this
+    layer, the same contract as the fault/guard/journal layers. *)
+
+type duct_view = {
+  dv_link : int;
+  dv_gbps : int;  (** Per-wavelength denomination; 0 = dark. *)
+  dv_up : bool;
+  dv_snr_db : float;
+  dv_reconfiguring : bool;
+}
+
+type live = {
+  lv_policy : string;
+  lv_n_ducts : int;
+  lv_now : unit -> float;  (** Simulation seconds. *)
+  lv_duct : int -> duct_view;
+      (** Raises [Invalid_argument] out of range. *)
+  lv_peek : link:int -> snr_db:float -> Rwc_core.Adapt.action option;
+      (** {!Rwc_core.Adapt.peek} on the link's controller: a pure
+          preview of what the controller would decide at [snr_db];
+          [None] on a static policy. *)
+  lv_routed_gbps : unit -> float;  (** Current TE-routed total. *)
+  lv_capacity_gbps : unit -> float;
+  lv_whatif : link:int -> gbps:int -> float * float;
+      (** [(routed_now, routed_if)]: rerun TE with the link forced to
+          per-wavelength denomination [gbps] (0 = dark), then revert —
+          guaranteed even on exceptions, so the run's own state and
+          byte-identity are untouched.  TE consumes no randomness, so
+          a what-if mid-run perturbs nothing downstream. *)
+}
+(** A window onto a running policy run, handed to
+    [hooks.on_run_start].  The closures remain valid after the run
+    returns (answering from its final state), which is what lets a
+    lingering daemon keep serving queries between and after runs. *)
+
+type hooks = {
+  on_run_start : (live -> unit) option;
+  on_sweep : (k:int -> now_s:float -> events:int -> unit) option;
+      (** Called at every SNR sample boundary [k] (including the final
+          one), before the sweep's mutations and before the recovery
+          machinery's stop/checkpoint/crash cut — so a stop the hook
+          requests via {!Rwc_recover.request_stop} is honored with a
+          final checkpoint at this very boundary.  [events] is the DES
+          dispatch count so far. *)
+  progress_extra : (unit -> string) option;
+      (** Extra [" | ..."] segment for the [--progress] heartbeat. *)
+}
+
+val no_hooks : hooks
+
 type config = {
   days : float;
   te_interval_h : float;  (** How often TE recomputes routing. *)
@@ -77,13 +132,16 @@ type config = {
           journals, manifests and checkpoints are byte-identical for
           any value.  [1] (the default) spawns nothing and runs the
           plain sequential loop. *)
+  hooks : hooks;
+      (** Live observer hooks; {!no_hooks} (the default) keeps the run
+          byte-identical to a build without the hook layer. *)
 }
 
 val default_config : config
 (** 60 days, 6-hourly TE, seed 7, 4 wavelengths/duct, offered load
     0.75, top 40 demands, epsilon 0.12, no faults,
     {!Orchestrator.default_retry_policy}, no guard, disarmed journal,
-    1 domain. *)
+    1 domain, no hooks. *)
 
 type fault_stats = {
   injected : int;  (** Total faults the injector fired. *)

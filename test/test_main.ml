@@ -29,6 +29,7 @@ let () =
       ("journal", Test_journal.suite);
       ("recover", Test_recover.suite);
       ("storm", Test_storm.suite);
+      ("serve", Test_serve.suite);
       ("figures", Test_figures.suite);
       ("par", Test_par.suite);
     ]

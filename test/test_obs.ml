@@ -404,6 +404,7 @@ let test_runner_metrics_match_report () =
       journal = Rwc_journal.disarmed;
       progress = false;
       domains = 1;
+      hooks = Rwc_sim.Runner.no_hooks;
     }
   in
   let r =

@@ -144,6 +144,7 @@ let fast_config =
     journal = Rwc_journal.disarmed;
     progress = false;
     domains = 1;
+    hooks = Runner.no_hooks;
   }
 
 let reports = lazy (Runner.compare_policies ~config:fast_config ())
