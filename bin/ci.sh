@@ -32,6 +32,19 @@ grep -q '"rows"' "$CHAOS_JSON"
 grep -q '"vs_baseline_pct"' "$CHAOS_JSON"
 rm -f "$CHAOS_JSON"
 
+echo "== chaos rollout smoke: gated rows carry rollout counters in --json =="
+CHAOS_JSON="$(mktemp)"
+dune exec bin/rwc.exe -- chaos --days 1 --factor 1 --policy adaptive-stock \
+  --rollout default --json "$CHAOS_JSON"
+# Arming --rollout doubles the sweep into a (gated x ungated) grid: the
+# JSON rows must flag which half they belong to, and the gated rows must
+# surface the staged-commit counters alongside the degradation numbers.
+grep -q '"gated": true' "$CHAOS_JSON"
+grep -q '"gated": false' "$CHAOS_JSON"
+grep -q '"links_admitted"' "$CHAOS_JSON"
+grep -q '"waves_committed"' "$CHAOS_JSON"
+rm -f "$CHAOS_JSON"
+
 echo "== guard smoke: rwc simulate --days 2 --faults default --guard default =="
 dune exec bin/rwc.exe -- simulate --days 2 --faults default --guard default \
   --metrics /dev/null
@@ -98,6 +111,10 @@ echo "== torture smoke: kill/repair/resume at sampled storage boundaries =="
 # and journal through fsck + checkpoint/journal resume (exit 1 if any
 # boundary fails; `rwc torture` without --quick enumerates them all).
 dune exec bin/rwc.exe -- torture --quick
+# Same battery with a staged rollout armed and its first gate forced to
+# fail: crash points now land mid-wave, mid-bake and mid-rollback, and
+# the resumed run must still replay to byte-identical output.
+dune exec bin/rwc.exe -- torture --quick --rollout wave=2,bake=1800,fail-gate=1
 
 echo "== fsck smoke: repair a deliberately damaged journal, then reverify =="
 FSCK_JOURNAL="$(mktemp)"
@@ -146,6 +163,51 @@ wait "$SERVE_PID"
 ls "$SERVE_DIR/ckpt" | grep -q 'ckpt-'
 [ ! -e "$SERVE_SOCK" ]
 rm -rf "$SERVE_DIR"
+
+echo "== serve rollout smoke: propose/approve RPCs, forced gate, rollback =="
+# Full staged-rollout lifecycle against a live daemon: the plan's first
+# health gate is forced to fail, so the run must commit a wave, fail the
+# gate, roll every admitted link back, and journal the whole chain.
+ROLL_DIR="$(mktemp -d)"
+ROLL_SOCK="$ROLL_DIR/rwc.sock"
+"$RWC" serve --days 2 --policy adaptive-stock --faults default --slo default \
+  --journal "$ROLL_DIR/journal.jsonl" --socket "$ROLL_SOCK" \
+  > "$ROLL_DIR/serve.out" &
+ROLL_PID=$!
+for _ in $(seq 1 100); do [ -S "$ROLL_SOCK" ] && break; sleep 0.1; done
+[ -S "$ROLL_SOCK" ]
+# Propose (retrying across the socket-up -> run-live startup gap), then
+# approve.  Both are journal-first: the intent lands in the journal at
+# RPC time and the effect applies at the next sample boundary.
+PROPOSED=no
+for _ in $(seq 1 50); do
+  if "$RWC" watch --socket "$ROLL_SOCK" --rpc rollout.propose \
+    --params '{"plan":"wave=2,bake=1800,fail-gate=1"}' 2>/dev/null \
+    | grep -q '"rid"'; then PROPOSED=yes; break; fi
+  sleep 0.1
+done
+[ "$PROPOSED" = yes ]
+"$RWC" watch --socket "$ROLL_SOCK" --rpc rollout.approve | grep -q '"queued"'
+# The run is short enough to finish on its own; its report must show the
+# forced gate failure and the rollback it triggered.
+for _ in $(seq 1 300); do
+  grep -q 'rollout:' "$ROLL_DIR/serve.out" 2>/dev/null && break; sleep 0.2
+done
+grep -q 'gate-fail=1' "$ROLL_DIR/serve.out"
+grep -Eq 'rolled-back= *[1-9]' "$ROLL_DIR/serve.out"
+"$RWC" watch --socket "$ROLL_SOCK" --rpc server.shutdown > /dev/null
+wait "$ROLL_PID"
+# The journal must reconstruct the full chain for rollout 1.
+ROLL_EXPLAIN="$(mktemp)"
+"$RWC" explain --journal "$ROLL_DIR/journal.jsonl" --rollout 1 > "$ROLL_EXPLAIN"
+grep -q 'rollout 1 chain:' "$ROLL_EXPLAIN"
+grep -q '\[rollout\] proposed' "$ROLL_EXPLAIN"
+grep -q '\[rollout\] approved' "$ROLL_EXPLAIN"
+grep -q '\[rollout\] wave-committed' "$ROLL_EXPLAIN"
+grep -q '\[rollout\] gate-failed' "$ROLL_EXPLAIN"
+grep -q '\[rolled-back\] rolled-back' "$ROLL_EXPLAIN"
+rm -f "$ROLL_EXPLAIN"
+rm -rf "$ROLL_DIR"
 
 echo "== obs overhead gate: bench --obs-only (ns budgets) =="
 dune exec bench/main.exe -- --obs-only

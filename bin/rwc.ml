@@ -413,6 +413,31 @@ let guard_arg =
            osc-cycles, hold).  With $(b,none) the run is bit-identical to \
            one without the guard layer.")
 
+let rollout_conv =
+  let parse s =
+    match Rwc_rollout.of_string s with
+    | Ok plan -> Ok plan
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    (parse, fun fmt p -> Format.fprintf fmt "%s" (Rwc_rollout.to_string p))
+
+let rollout_arg =
+  Arg.(
+    value
+    & opt rollout_conv Rwc_rollout.none
+    & info [ "rollout" ] ~docv:"PLAN"
+        ~doc:
+          "Staged-commit plan for capacity upgrades: $(b,none) (default), \
+           $(b,default), or comma-separated knob overrides like \
+           $(b,wave=2,bake=1800,fail-gate=1) (keys: wave, group-budget, \
+           bake, gate-flaps, gate-quar, gate-slo, hold, settle, \
+           freeze=START..STOP, maint, fail-gate).  Upgrades commit in \
+           budgeted waves with a health-gated bake window between them; a \
+           failed gate rolls every committed link back to its pre-rollout \
+           modulation.  With $(b,none) the run is byte-identical to one \
+           without the rollout layer.")
+
 let slo_conv =
   let parse s =
     match Rwc_journal.Slo.of_string s with
@@ -479,8 +504,8 @@ let backbone_of = function
           Printf.eprintf "%s: %s\n" path e;
           exit 2)
 
-let run_simulate () days policy seed faults storm guard journal_path slo
-    backbone_file manifest_path checkpoint checkpoint_every resume progress
+let run_simulate () days policy seed faults storm guard rollout journal_path
+    slo backbone_file manifest_path checkpoint checkpoint_every resume progress
     domains metrics_interval =
   Option.iter (check_writable "--manifest") manifest_path;
   let domains = clamp_domains "rwc simulate" domains in
@@ -579,6 +604,7 @@ let run_simulate () days policy seed faults storm guard journal_path slo
       seed;
       faults;
       guard;
+      rollout;
       journal = jnl;
       progress;
       domains;
@@ -611,6 +637,7 @@ let run_simulate () days policy seed faults storm guard journal_path slo
                   String (Option.value backbone_file ~default:"north-america") );
                 ("faults", String (Rwc_fault.to_string faults));
                 ("guard", String (Rwc_guard.to_string guard));
+                ("rollout", String (Rwc_rollout.to_string rollout));
               ]
               @ extra_config
               @ journal_manifest_fields jnl journal_path slo)
@@ -824,8 +851,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"WAN policy simulation (throughput/availability)")
     Term.(
       const run_simulate $ obs_term $ days_arg $ policy_arg $ sim_seed_arg
-      $ faults_arg $ storm_arg $ guard_arg $ journal_arg $ slo_arg
-      $ backbone_file_arg $ manifest_arg $ checkpoint_arg
+      $ faults_arg $ storm_arg $ guard_arg $ rollout_arg $ journal_arg
+      $ slo_arg $ backbone_file_arg $ manifest_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_flag $ progress_flag $ domains_arg
       $ sim_metrics_interval_arg)
 
@@ -836,8 +863,8 @@ let simulate_cmd =
    reliable.  Factor 0 is the fault-free baseline every other row is
    compared against. *)
 
-let run_chaos () days seed factors policy guard journal_path slo backbone_file
-    manifest_path json_path crash_rates progress domains =
+let run_chaos () days seed factors policy guard rollout journal_path slo
+    backbone_file manifest_path json_path crash_rates progress domains =
   Option.iter (check_writable "--manifest") manifest_path;
   Option.iter (check_writable "--json") json_path;
   let domains = clamp_domains "rwc chaos" domains in
@@ -864,7 +891,13 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
   let variants =
     if Rwc_guard.is_none guard then [ false ] else [ false; true ]
   in
-  let run_at ~guarded factor =
+  (* Same doubling for --rollout: each (factor, guard) cell runs with
+     upgrades committing instantly and again staged behind the gated
+     plan, so the table shows what the bake windows cost under faults. *)
+  let gate_variants =
+    if Rwc_rollout.is_none rollout then [ false ] else [ false; true ]
+  in
+  let run_at ~guarded ~gated factor =
     let faults =
       if factor = 0.0 then Rwc_fault.none
       else Rwc_fault.scaled Rwc_fault.default ~factor
@@ -876,6 +909,7 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
         seed;
         faults;
         guard = (if guarded then guard else Rwc_guard.none);
+        rollout = (if gated then rollout else Rwc_rollout.none);
         journal = jnl;
         progress;
         domains;
@@ -888,13 +922,21 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
   let sweep =
     List.concat_map
       (fun factor ->
-        List.map (fun guarded -> (factor, guarded, run_at ~guarded factor)) variants)
+        List.concat_map
+          (fun guarded ->
+            List.map
+              (fun gated ->
+                (factor, guarded, gated, run_at ~guarded ~gated factor))
+              gate_variants)
+          variants)
       factors
   in
   Rwc_journal.close jnl;
   let baseline =
-    let _, _, reports =
-      List.find (fun (f, guarded, _) -> f = 0.0 && not guarded) sweep
+    let _, _, _, reports =
+      List.find
+        (fun (f, guarded, gated, _) -> f = 0.0 && (not guarded) && not gated)
+        sweep
     in
     reports
   in
@@ -909,10 +951,10 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
   Printf.printf
     "chaos sweep: %.1f days, seed %d, plan 'default' scaled per factor\n" days
     seed;
-  Printf.printf "%-7s %-5s %-22s %15s %11s %5s %6s %9s\n" "factor" "guard"
-    "policy" "delivered(Pbit)" "vs-baseline" "inj" "retry" "fallback";
+  Printf.printf "%-7s %-5s %-5s %-22s %15s %11s %5s %6s %9s\n" "factor" "guard"
+    "roll" "policy" "delivered(Pbit)" "vs-baseline" "inj" "retry" "fallback";
   List.iter
-    (fun (factor, guarded, reports) ->
+    (fun (factor, guarded, gated, reports) ->
       List.iter
         (fun r ->
           let inj, retry, fallback =
@@ -923,9 +965,10 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
                   string_of_int f.Rwc_sim.Runner.retries,
                   string_of_int f.Rwc_sim.Runner.fallbacks )
           in
-          Printf.printf "%-7.2f %-5s %-22s %15.2f %+10.3f%% %5s %6s %9s\n"
+          Printf.printf "%-7.2f %-5s %-5s %-22s %15.2f %+10.3f%% %5s %6s %9s\n"
             factor
             (if guarded then "on" else "off")
+            (if gated then "on" else "off")
             (Rwc_sim.Runner.policy_name r.Rwc_sim.Runner.policy)
             r.Rwc_sim.Runner.delivered_pbit (degradation_of r) inj retry
             fallback)
@@ -941,9 +984,12 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
     else begin
       let reference =
         match
-          List.find_opt (fun (f, guarded, _) -> f = 1.0 && not guarded) sweep
+          List.find_opt
+            (fun (f, guarded, gated, _) ->
+              f = 1.0 && (not guarded) && not gated)
+            sweep
         with
-        | Some (_, _, reports) -> reports
+        | Some (_, _, _, reports) -> reports
         | None ->
             (* 1.0 was excluded from --factor: run the crash-free
                reference once, journal disarmed. *)
@@ -1032,9 +1078,10 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
             (Rwc_sim.Runner.policy_name r.Rwc_sim.Runner.policy)
             r.Rwc_sim.Runner.delivered_pbit vs)
         rows);
-  let row_label factor guarded r =
-    Printf.sprintf "f%.2f%s/%s" factor
+  let row_label factor guarded gated r =
+    Printf.sprintf "f%.2f%s%s/%s" factor
       (if guarded then "+guard" else "")
+      (if gated then "+rollout" else "")
       (Rwc_sim.Runner.policy_name r.Rwc_sim.Runner.policy)
   in
   (match json_path with
@@ -1045,21 +1092,29 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
       let open Obs.Json in
       let rows =
         List.concat_map
-          (fun (factor, guarded, reports) ->
+          (fun (factor, guarded, gated, reports) ->
             List.map
               (fun r ->
+                let rollout_fields =
+                  match r.Rwc_sim.Runner.rollout_stats with
+                  | None -> []
+                  | Some s -> [ ("rollout", Rwc_rollout.stats_to_json s) ]
+                in
                 Assoc
-                  [
-                    ("factor", Float factor);
-                    ("guarded", Bool guarded);
-                    ( "policy",
-                      String (Rwc_sim.Runner.policy_name r.Rwc_sim.Runner.policy)
-                    );
-                    ( "delivered_pbit",
-                      Float r.Rwc_sim.Runner.delivered_pbit );
-                    ("vs_baseline_pct", Float (degradation_of r));
-                    ("report", Rwc_sim.Runner.json_of_report r);
-                  ])
+                  ([
+                     ("factor", Float factor);
+                     ("guarded", Bool guarded);
+                     ("gated", Bool gated);
+                     ( "policy",
+                       String
+                         (Rwc_sim.Runner.policy_name r.Rwc_sim.Runner.policy)
+                     );
+                     ( "delivered_pbit",
+                       Float r.Rwc_sim.Runner.delivered_pbit );
+                     ("vs_baseline_pct", Float (degradation_of r));
+                   ]
+                  @ rollout_fields
+                  @ [ ("report", Rwc_sim.Runner.json_of_report r) ]))
               reports)
           sweep
       in
@@ -1094,6 +1149,7 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
               ("days", Float days);
               ("seed", Int seed);
               ("guard", String (Rwc_guard.to_string guard));
+              ("rollout", String (Rwc_rollout.to_string rollout));
               ("rows", List rows);
             ]
            @ crash_fields)));
@@ -1112,6 +1168,7 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
                  | Some p -> String (Rwc_sim.Runner.policy_name p)
                  | None -> Null );
                ("guard", String (Rwc_guard.to_string guard));
+               ("rollout", String (Rwc_rollout.to_string rollout));
                ( "backbone",
                  String (Option.value backbone_file ~default:"north-america")
                );
@@ -1119,10 +1176,10 @@ let run_chaos () days seed factors policy guard journal_path slo backbone_file
             @ journal_manifest_fields jnl journal_path slo)
           ~reports:
             (List.concat_map
-               (fun (factor, guarded, reports) ->
+               (fun (factor, guarded, gated, reports) ->
                  List.map
                    (fun r ->
-                     ( row_label factor guarded r,
+                     ( row_label factor guarded gated r,
                        Rwc_sim.Runner.json_of_report r ))
                    reports)
                sweep
@@ -1178,9 +1235,9 @@ let chaos_cmd =
        ~doc:"Sweep fault-injection rates and report throughput degradation")
     Term.(
       const run_chaos $ obs_term $ chaos_days_arg $ sim_seed_arg $ factors_arg
-      $ policy_arg $ guard_arg $ journal_arg $ slo_arg $ backbone_file_arg
-      $ manifest_arg $ chaos_json_arg $ chaos_crash_arg $ progress_flag
-      $ domains_arg)
+      $ policy_arg $ guard_arg $ rollout_arg $ journal_arg $ slo_arg
+      $ backbone_file_arg $ manifest_arg $ chaos_json_arg $ chaos_crash_arg
+      $ progress_flag $ domains_arg)
 
 (* ---- explain ----------------------------------------------------------- *)
 
@@ -1214,6 +1271,14 @@ let pp_journal_record ?(replayed = false) (r : J.record) =
     | J.Anomaly { detector; snr_db } ->
         Printf.sprintf "anomaly  %s alarm, snr=%.2f dB" (J.detector_name detector)
           snr_db
+    | J.Rollout { rid; revent; wave; gbps } ->
+        let marker =
+          match revent with
+          | J.R_rolled_back -> "[rolled-back]"
+          | _ -> "[rollout]"
+        in
+        Printf.sprintf "rollout  %s %s rid=%d wave=%d %dG" marker
+          (J.rollout_event_name revent) rid wave gbps
   in
   Printf.printf "  t=%12.1f  span=%-6d %s%s\n" r.t r.span detail
     (if replayed then "  [replayed]" else "")
@@ -1267,11 +1332,27 @@ let chain_at events at =
   in
   pick None chains
 
-let run_explain () journal_file run_idx link at recovered strict slo follow =
+let run_explain () journal_file run_idx link at recovered strict slo rollout_id
+    follow =
   if at <> None && link = None then begin
     prerr_endline "rwc explain: --at requires --link";
     exit 2
   end;
+  if at <> None && rollout_id <> None then begin
+    prerr_endline "rwc explain: --at cannot be combined with --rollout";
+    exit 2
+  end;
+  (* --rollout ID: keep only the staged-commit chain of that rollout —
+     its proposal, waves, gate verdicts and any rollback — dropping the
+     per-sample observe/intent noise around it. *)
+  let rollout_keep (r : J.record) =
+    match rollout_id with
+    | None -> true
+    | Some rid -> (
+        match r.J.kind with
+        | J.Rollout { rid = rid'; _ } -> rid' = rid
+        | _ -> false)
+  in
   if follow then begin
     if at <> None || run_idx <> None || recovered <> None || strict then begin
       prerr_endline
@@ -1297,12 +1378,13 @@ let run_explain () journal_file run_idx link at recovered strict slo follow =
           offset := next;
           List.iter
             (fun (r : J.record) ->
-              match link with
-              | Some id when r.J.link <> id -> ()
-              | _ ->
-                  if r.J.link >= 0 then Printf.printf "link=%-4d" r.J.link
-                  else print_string "run     ";
-                  pp_journal_record r)
+              if rollout_keep r then
+                match link with
+                | Some id when r.J.link <> id -> ()
+                | _ ->
+                    if r.J.link >= 0 then Printf.printf "link=%-4d" r.J.link
+                    else print_string "run     ";
+                    pp_journal_record r)
             records;
           flush stdout
       | Error _ when !offset > 0 ->
@@ -1389,10 +1471,15 @@ let run_explain () journal_file run_idx link at recovered strict slo follow =
       (match link with
       | Some id -> (
           let events =
-            List.filter (fun (_, (r : J.record)) -> r.J.link = id) seg_pairs
+            List.filter
+              (fun (_, (r : J.record)) -> r.J.link = id && rollout_keep r)
+              seg_pairs
           in
           if events = [] then begin
-            Printf.eprintf "rwc explain: no events for link %d in run %d\n" id
+            Printf.eprintf "rwc explain: no events for link %d%s in run %d\n" id
+              (match rollout_id with
+              | None -> ""
+              | Some rid -> Printf.sprintf " (rollout %d)" rid)
               idx;
             exit 1
           end;
@@ -1435,6 +1522,24 @@ let run_explain () journal_file run_idx link at recovered strict slo follow =
                       Printf.printf "state at t=%.1f: %dG %s\n" t gbps
                         (if up then "up" else "dark")
                   | None -> Printf.printf "state at t=%.1f: no commit yet\n" t)))
+      | None when rollout_id <> None ->
+          (* The rollout's full chain across the fleet, in journal
+             order: run-scoped lifecycle events interleaved with the
+             per-link admissions, commits and rollbacks. *)
+          let rid = Option.get rollout_id in
+          let events = List.filter (fun (_, r) -> rollout_keep r) seg_pairs in
+          if events = [] then begin
+            Printf.eprintf "rwc explain: no events for rollout %d in run %d\n"
+              rid idx;
+            exit 1
+          end;
+          Printf.printf "rollout %d chain:\n" rid;
+          List.iter
+            (fun (i, (r : J.record)) ->
+              if r.J.link >= 0 then Printf.printf "link=%-4d" r.J.link
+              else print_string "run     ";
+              pp_journal_record ~replayed:(mark i) r)
+            events
       | None ->
           (* Fleet view: one row per link that has events. *)
           let tbl = Hashtbl.create 64 in
@@ -1539,6 +1644,17 @@ let explain_strict_arg =
            skip-and-count (skipped lines are reported on stderr and in the \
            $(b,journal/bad_lines) metric).")
 
+let explain_rollout_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "rollout" ] ~docv:"ID"
+        ~doc:
+          "Show only the staged-rollout chain with this plan id: its \
+           proposal, wave commits, gate verdicts and any $(b,[rolled-back]) \
+           events.  Combines with $(b,--link) to restrict the chain to one \
+           link, and with $(b,--follow) to tail it live.")
+
 let explain_follow_arg =
   Arg.(
     value & flag
@@ -1558,7 +1674,8 @@ let explain_cmd =
     Term.(
       const run_explain $ obs_term $ explain_journal_arg $ explain_run_arg
       $ explain_link_arg $ explain_at_arg $ explain_recovered_arg
-      $ explain_strict_arg $ slo_arg $ explain_follow_arg)
+      $ explain_strict_arg $ slo_arg $ explain_rollout_arg
+      $ explain_follow_arg)
 
 (* ---- bvt -------------------------------------------------------------- *)
 
@@ -2078,7 +2195,7 @@ let fsck_cmd =
 
 (* ---- torture ----------------------------------------------------------- *)
 
-let run_torture () days ducts seed every quick sample keep json_path =
+let run_torture () days ducts seed every quick sample keep rollout json_path =
   Option.iter (check_writable "--json") json_path;
   let sample =
     match sample with
@@ -2093,7 +2210,9 @@ let run_torture () days ducts seed every quick sample keep json_path =
     if keep then Printf.printf "torture artifacts kept in %s\n" root
     else rm_rf_dir root
   in
-  match Rwc_sim.Torture.run ~days ~ducts ~seed ~every ?sample ~root () with
+  match
+    Rwc_sim.Torture.run ~days ~ducts ~seed ~every ~rollout ?sample ~root ()
+  with
   | Error e ->
       Printf.eprintf "rwc torture: %s\n" e;
       cleanup ();
@@ -2167,6 +2286,17 @@ let torture_keep_flag =
           "Keep the scratch directory (golden journal, per-kill artifacts) \
            instead of deleting it; its path is printed.")
 
+let torture_rollout_arg =
+  Arg.(
+    value
+    & opt rollout_conv Rwc_rollout.none
+    & info [ "rollout" ] ~docv:"PLAN"
+        ~doc:
+          "Arm a staged-rollout plan (same grammar as $(b,simulate \
+           --rollout)) in the tortured run, so kill points land mid-wave \
+           and mid-bake and recovery must replay the same gate verdicts \
+           and rollbacks byte-identically.")
+
 let torture_json_arg =
   Arg.(
     value
@@ -2187,7 +2317,8 @@ let torture_cmd =
     Term.(
       const run_torture $ obs_term $ torture_days_arg $ torture_ducts_arg
       $ sim_seed_arg $ torture_every_arg $ torture_quick_flag
-      $ torture_sample_arg $ torture_keep_flag $ torture_json_arg)
+      $ torture_sample_arg $ torture_keep_flag $ torture_rollout_arg
+      $ torture_json_arg)
 
 (* ---- serve / watch ----------------------------------------------------- *)
 
@@ -2197,9 +2328,9 @@ let torture_cmd =
    state), so a seeded serve run's report and journal are byte-identical
    to the batch run's. *)
 
-let run_serve () days policy seed faults guard journal_path slo backbone_file
-    checkpoint checkpoint_every resume progress domains socket_path stdio
-    metrics_interval max_queue =
+let run_serve () days policy seed faults guard rollout journal_path slo
+    backbone_file checkpoint checkpoint_every resume progress domains
+    socket_path stdio metrics_interval max_queue =
   let domains = clamp_domains "rwc serve" domains in
   let journal_path =
     match journal_path with
@@ -2258,6 +2389,7 @@ let run_serve () days policy seed faults guard journal_path slo backbone_file
       seed;
       faults;
       guard;
+      rollout;
       journal = jnl;
       progress;
       domains;
@@ -2355,10 +2487,10 @@ let serve_cmd =
           JSON-RPC")
     Term.(
       const run_serve $ obs_term $ days_arg $ policy_arg $ sim_seed_arg
-      $ faults_arg $ guard_arg $ journal_arg $ slo_arg $ backbone_file_arg
-      $ checkpoint_arg $ checkpoint_every_arg $ resume_flag $ progress_flag
-      $ domains_arg $ socket_arg $ stdio_flag $ serve_metrics_interval_arg
-      $ serve_max_queue_arg)
+      $ faults_arg $ guard_arg $ rollout_arg $ journal_arg $ slo_arg
+      $ backbone_file_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_flag
+      $ progress_flag $ domains_arg $ socket_arg $ stdio_flag
+      $ serve_metrics_interval_arg $ serve_max_queue_arg)
 
 (* watch: thin client over the serve socket — one-shot RPCs, a raw
    JSONL event tail, or a live fleet table. *)
@@ -2414,51 +2546,67 @@ let run_watch () socket_path raw from topics max_queue max_events rpc_meth
           C.close client
       | Error e -> fail e)
   | None ->
-      (* Table base state before subscribing, so the replayed/live
-         events only ever move the view forward. *)
-      let status =
-        match C.call client ~meth:"fleet.status" () with
-        | Ok s -> s
-        | Error e -> fail e
-      in
       let tbl = Hashtbl.create 64 in
-      (match Obs.Json.member "links" status with
-      | Some (Obs.Json.List l) ->
-          List.iter
-            (fun row ->
-              match
-                ( Obs.Json.member "link" row,
-                  Obs.Json.member "gbps" row,
-                  Obs.Json.member "up" row,
-                  Obs.Json.member "snr_db" row )
-              with
-              | ( Some (Obs.Json.Int id),
-                  Some (Obs.Json.Int g),
-                  Some (Obs.Json.Bool up),
-                  Some (Obs.Json.Float s) ) ->
-                  Hashtbl.replace tbl id (g, up, s)
-              | _ -> ())
-            l
-      | _ -> ());
-      let params =
-        Obs.Json.Assoc
-          ((match topics with
-           | [] -> []
-           | ts ->
-               [
-                 ( "topics",
-                   Obs.Json.List (List.map (fun s -> Obs.Json.String s) ts) );
-               ])
-          @ (match from with
-            | Some n -> [ ("from", Obs.Json.Int n) ]
-            | None -> [])
-          @
-          match max_queue with
-          | Some n -> [ ("max_queue", Obs.Json.Int n) ]
-          | None -> [])
+      let policy = ref "-" in
+      (* Table base state before subscribing, so the replayed/live
+         events only ever move the view forward.  Factored out because a
+         reconnect after a daemon restart must re-seed the table too. *)
+      let load_status client =
+        match C.call client ~meth:"fleet.status" () with
+        | Error e -> Error e
+        | Ok status ->
+            (match Obs.Json.member "policy" status with
+            | Some (Obs.Json.String p) -> policy := p
+            | _ -> ());
+            (match Obs.Json.member "links" status with
+            | Some (Obs.Json.List l) ->
+                List.iter
+                  (fun row ->
+                    match
+                      ( Obs.Json.member "link" row,
+                        Obs.Json.member "gbps" row,
+                        Obs.Json.member "up" row,
+                        Obs.Json.member "snr_db" row )
+                    with
+                    | ( Some (Obs.Json.Int id),
+                        Some (Obs.Json.Int g),
+                        Some (Obs.Json.Bool up),
+                        Some (Obs.Json.Float s) ) ->
+                        Hashtbl.replace tbl id (g, up, s)
+                    | _ -> ())
+                  l
+            | _ -> ());
+            Ok ()
       in
-      (match C.call client ~meth:"stream.subscribe" ~params () with
-      | Ok _ -> ()
+      (* [replay:false] after a reconnect: the restarted daemon's journal
+         replay would double-count events the table already absorbed, so
+         a resumed subscription is live-only. *)
+      let subscribe client ~replay =
+        let params =
+          Obs.Json.Assoc
+            ((match topics with
+             | [] -> []
+             | ts ->
+                 [
+                   ( "topics",
+                     Obs.Json.List (List.map (fun s -> Obs.Json.String s) ts)
+                   );
+                 ])
+            @ (match if replay then from else None with
+              | Some n -> [ ("from", Obs.Json.Int n) ]
+              | None -> [])
+            @
+            match max_queue with
+            | Some n -> [ ("max_queue", Obs.Json.Int n) ]
+            | None -> [])
+        in
+        match C.call client ~meth:"stream.subscribe" ~params () with
+        | Ok _ -> Ok ()
+        | Error e -> Error e
+      in
+      (match load_status client with Ok () -> () | Error e -> fail e);
+      (match subscribe client ~replay:true with
+      | Ok () -> ()
       | Error e -> fail e);
       let hb =
         if progress then
@@ -2466,12 +2614,6 @@ let run_watch () socket_path raw from topics max_queue max_events rpc_meth
         else None
       in
       let tty = try Unix.isatty Unix.stdout with Unix.Unix_error _ -> false in
-      let policy =
-        ref
-          (match Obs.Json.member "policy" status with
-          | Some (Obs.Json.String p) -> p
-          | _ -> "-")
-      in
       let now = ref 0.0 in
       let slo_line = ref "" in
       let n_events = ref 0 in
@@ -2568,13 +2710,48 @@ let run_watch () socket_path raw from topics max_queue max_events rpc_meth
           redraw ~force:false ()
         end
       in
-      let rec loop () =
+      (* A dropped stream (daemon restart, upgrade, transient socket
+         error) is survivable: retry the connect on the orchestrator's
+         capped exponential backoff schedule before giving up. *)
+      let rp = Rwc_sim.Orchestrator.default_reconnect_policy in
+      let reconnect () =
+        let rec go attempt =
+          if attempt > rp.Rwc_sim.Orchestrator.max_attempts then None
+          else begin
+            let delay = Rwc_sim.Orchestrator.backoff_delay rp ~attempt in
+            (try Unix.sleepf delay with Unix.Unix_error _ -> ());
+            match C.connect socket_path with
+            | c -> Some c
+            | exception Unix.Unix_error _ -> go (attempt + 1)
+          end
+        in
+        go 1
+      in
+      let rec loop client =
         if match max_events with Some m -> !n_events < m | None -> true then
           match C.recv client with
-          | Error e ->
-              (* Server shut down (or the link dropped): end of stream. *)
-              if not raw then redraw ~force:true ();
-              Printf.eprintf "rwc watch: %s\n" e
+          | Error e -> (
+              C.close client;
+              Printf.eprintf
+                "rwc watch: %s: stream dropped (%s); reconnecting...\n%!"
+                socket_path e;
+              match reconnect () with
+              | None ->
+                  if not raw then redraw ~force:true ();
+                  Printf.eprintf
+                    "rwc watch: %s: gave up after %d reconnect attempts\n"
+                    socket_path rp.Rwc_sim.Orchestrator.max_attempts;
+                  None
+              | Some client -> (
+                  Printf.eprintf "rwc watch: %s: reconnected\n%!" socket_path;
+                  match
+                    Result.bind (load_status client) (fun () ->
+                        subscribe client ~replay:false)
+                  with
+                  | Ok () -> loop client
+                  | Error e ->
+                      Printf.eprintf "rwc watch: %s\n" e;
+                      Some client))
           | Ok msg -> (
               match
                 (Obs.Json.member "method" msg, Obs.Json.member "params" msg)
@@ -2586,12 +2763,13 @@ let run_watch () socket_path raw from topics max_queue max_events rpc_meth
                   | Some p ->
                       Rwc_perf.Progress.tick p ~day:0.0 ~events:!n_events
                   | None -> ());
-                  loop ()
-              | _ -> loop ())
+                  loop client
+              | _ -> loop client)
+        else Some client
       in
-      loop ();
+      let last = loop client in
       (match hb with Some p -> Rwc_perf.Progress.finish p | None -> ());
-      C.close client
+      match last with Some c -> C.close c | None -> ()
 
 let watch_raw_flag =
   Arg.(
@@ -2653,7 +2831,9 @@ let watch_cmd =
     (Cmd.info "watch"
        ~doc:
          "Thin client for a running $(b,rwc serve): live fleet table, raw \
-          event tail, or one-shot RPCs")
+          event tail, or one-shot RPCs.  Streaming modes survive daemon \
+          restarts: a dropped socket is re-dialed with capped exponential \
+          backoff (noticed on stderr) before the client gives up")
     Term.(
       const run_watch $ obs_term $ socket_arg $ watch_raw_flag $ watch_from_arg
       $ watch_topics_arg $ watch_max_queue_arg $ watch_max_events_arg

@@ -115,6 +115,10 @@ let peek t ~snr_db =
   | D_none | D_reset_streak | D_qualify -> No_change
   | D_move { action; _ } -> action
 
+let is_upgrade = function
+  | Step_up _ -> true
+  | No_change | Step_down _ | Go_dark _ | Come_back _ | Stuck _ -> false
+
 let step ?(faults = Rwc_fault.disarmed) ?(now = 0.0) t ~snr_db =
   match decide t ~snr_db with
   | D_none -> No_change

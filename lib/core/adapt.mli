@@ -71,6 +71,12 @@ val peek : state -> snr_db:float -> action
     suppressed decision leaves the qualification streak intact, so the
     controller re-validates against fresh SNR on the next sample. *)
 
+val is_upgrade : action -> bool
+(** Whether the action raises capacity on a live link ({!Step_up} only).
+    Upgrades are the discretionary moves a change-management layer
+    ({!Rwc_rollout}-style) may stage or defer; every other action is a
+    safety or recovery move that must never queue. *)
+
 val step :
   ?faults:Rwc_fault.injector -> ?now:float -> state -> snr_db:float -> action
 (** Feed one SNR sample; mutates the state and reports what the

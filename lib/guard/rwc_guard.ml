@@ -496,3 +496,41 @@ let restore t snap =
               + Option.value ~default:0 (Hashtbl.find_opt t.in_flight_per_group g))
           end)
         t.links
+
+let restore_links t snap ~links =
+  match t.cfg with
+  | None -> invalid_arg "Rwc_guard.restore_links: disarmed guard"
+  | Some _ ->
+      if List.length snap.gs_links <> Array.length t.links then
+        invalid_arg "Rwc_guard.restore_links: fleet size mismatch";
+      let snaps = Array.of_list snap.gs_links in
+      List.iter
+        (fun i ->
+          if i < 0 || i >= Array.length t.links then
+            invalid_arg "Rwc_guard.restore_links: link index out of range";
+          let ls = snaps.(i) in
+          let l = t.links.(i) in
+          l.penalty <- ls.ls_penalty;
+          l.penalty_at <- ls.ls_penalty_at;
+          l.is_quarantined <- ls.ls_quarantined;
+          l.fresh <- ls.ls_fresh;
+          l.last_ok_s <- ls.ls_last_ok_s;
+          l.stage <- stage_of_int ls.ls_stage;
+          l.in_flight <- ls.ls_in_flight;
+          l.h1 <- ls.ls_h1;
+          l.h2 <- ls.ls_h2)
+        links;
+      (* Fleet-wide hold/oscillation/stats state is left as-is: a
+         rollback un-does specific links' upgrades, not the fleet's
+         accumulated history.  The token table is derived from the
+         in-flight flags, some of which just changed — rebuild it. *)
+      Hashtbl.reset t.in_flight_per_group;
+      Array.iteri
+        (fun i l ->
+          if l.in_flight then begin
+            let g = t.group_of i in
+            Hashtbl.replace t.in_flight_per_group g
+              (1
+              + Option.value ~default:0 (Hashtbl.find_opt t.in_flight_per_group g))
+          end)
+        t.links

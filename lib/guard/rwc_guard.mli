@@ -222,3 +222,12 @@ val restore : t -> snapshot -> unit
     of the same size; the per-group admission-token table is rebuilt
     from the restored in-flight flags.  Raises [Invalid_argument] on a
     disarmed guard, a fleet-size mismatch, or a bad stage code. *)
+
+val restore_links : t -> snapshot -> links:int list -> unit
+(** Selective {!restore} for a staged-rollout rollback: overwrite only
+    the listed links' per-link state from the snapshot, leaving the
+    fleet-wide hold, oscillation window and stats untouched (a rollback
+    un-does specific upgrades, not the fleet's accumulated history).
+    The per-group token table is rebuilt from {e all} links' in-flight
+    flags afterwards.  Raises [Invalid_argument] on a disarmed guard, a
+    fleet-size mismatch, a bad stage code, or an out-of-range index. *)

@@ -79,6 +79,46 @@ let detector_of_name = function
   | "cusum" -> Some Cusum
   | _ -> None
 
+type rollout_event =
+  | R_proposed
+  | R_approved
+  | R_started
+  | R_admitted
+  | R_deferred
+  | R_wave_committed
+  | R_gate_failed
+  | R_rolled_back
+  | R_completed
+  | R_paused
+  | R_aborted
+
+let rollout_event_name = function
+  | R_proposed -> "proposed"
+  | R_approved -> "approved"
+  | R_started -> "started"
+  | R_admitted -> "admitted"
+  | R_deferred -> "deferred"
+  | R_wave_committed -> "wave-committed"
+  | R_gate_failed -> "gate-failed"
+  | R_rolled_back -> "rolled-back"
+  | R_completed -> "completed"
+  | R_paused -> "paused"
+  | R_aborted -> "aborted"
+
+let rollout_event_of_name = function
+  | "proposed" -> Some R_proposed
+  | "approved" -> Some R_approved
+  | "started" -> Some R_started
+  | "admitted" -> Some R_admitted
+  | "deferred" -> Some R_deferred
+  | "wave-committed" -> Some R_wave_committed
+  | "gate-failed" -> Some R_gate_failed
+  | "rolled-back" -> Some R_rolled_back
+  | "completed" -> Some R_completed
+  | "paused" -> Some R_paused
+  | "aborted" -> Some R_aborted
+  | _ -> None
+
 type kind =
   | Run_start of {
       policy : string;
@@ -93,6 +133,9 @@ type kind =
   | Commit of { gbps : int; up : bool }
   | Outage of { up : bool }
   | Anomaly of { detector : detector; snr_db : float }
+  | Rollout of { rid : int; revent : rollout_event; wave : int; gbps : int }
+      (* Fleet-level rollout events carry [link = -1]; per-link ones
+         (admitted / deferred / rolled-back) ride the record's link. *)
 
 type record = { t : float; link : int; span : int; kind : kind }
 
@@ -142,6 +185,14 @@ let record_to_json r =
         [
           ("detector", Json.String (detector_name detector));
           ("snr_db", Json.Float snr_db);
+        ]
+  | Rollout { rid; revent; wave; gbps } ->
+      common "rollout"
+        [
+          ("rid", Json.Int rid);
+          ("what", Json.String (rollout_event_name revent));
+          ("wave", Json.Int wave);
+          ("gbps", Json.Int gbps);
         ]
 
 let record_of_json json =
@@ -222,6 +273,16 @@ let record_of_json json =
             ~none:(Printf.sprintf "journal: unknown detector %S" name)
         in
         Ok (Anomaly { detector; snr_db })
+    | "rollout" ->
+        let* rid = int "rid" in
+        let* name = str "what" in
+        let* wave = int "wave" in
+        let* gbps = int "gbps" in
+        let* revent =
+          Option.to_result (rollout_event_of_name name)
+            ~none:(Printf.sprintf "journal: unknown rollout event %S" name)
+        in
+        Ok (Rollout { rid; revent; wave; gbps })
     | other -> Error (Printf.sprintf "journal: unknown event kind %S" other)
   in
   Ok { t; link; span; kind }
@@ -505,7 +566,7 @@ module Slo = struct
       let a = tracker.accs.(r.link) in
       charge tracker.cfg a r.t;
       match r.kind with
-      | Run_start _ | Observe _ | Anomaly _ -> ()
+      | Run_start _ | Observe _ | Anomaly _ | Rollout _ -> ()
       | Intent { action; _ } -> a.intent <- Some action
       | Guard { verdict } -> (
           match verdict with
@@ -904,6 +965,16 @@ let commit t ~link ~now ~gbps ~up =
 let outage t ~link ~now ~up =
   if t.sink_armed then
     emit t { t = now; link; span = Trace.current_id (); kind = Outage { up } }
+
+let rollout t ~link ~now ~rid revent ~wave ~gbps =
+  if t.sink_armed then
+    emit t
+      {
+        t = now;
+        link;
+        span = Trace.current_id ();
+        kind = Rollout { rid; revent; wave; gbps };
+      }
 
 let anomaly t ~link ~now detector ~snr_db =
   if t.sink_armed then

@@ -64,10 +64,25 @@ type outcome =
 
 type detector = Ewma | Cusum
 
+type rollout_event =
+  | R_proposed  (** A plan was proposed over RPC (not yet armed). *)
+  | R_approved  (** The proposed plan was approved and armed. *)
+  | R_started  (** First admission: the rollout opened its first wave. *)
+  | R_admitted  (** Per-link: an upgrade was enrolled into the open wave. *)
+  | R_deferred  (** Per-link: an upgrade was queued out of this wave. *)
+  | R_wave_committed  (** The open wave closed; the bake window starts. *)
+  | R_gate_failed  (** The health gate failed at the end of a bake. *)
+  | R_rolled_back
+      (** Per-link: the link was reverted to its pre-rollout rate. *)
+  | R_completed  (** Gate passed with nothing left to upgrade. *)
+  | R_paused  (** An operator paused new admissions over RPC. *)
+  | R_aborted  (** An operator aborted the rollout over RPC. *)
+
 val action_name : action -> string
 val verdict_name : verdict -> string
 val outcome_name : outcome -> string
 val detector_name : detector -> string
+val rollout_event_name : rollout_event -> string
 
 type kind =
   | Run_start of {
@@ -85,6 +100,12 @@ type kind =
   | Outage of { up : bool }
       (** Medium up/down transition on a static (non-adaptive) link. *)
   | Anomaly of { detector : detector; snr_db : float }
+  | Rollout of { rid : int; revent : rollout_event; wave : int; gbps : int }
+      (** Staged-rollout lifecycle ({!Rwc_rollout} upstream).  Fleet-level
+          events ([R_started], [R_wave_committed], [R_gate_failed],
+          [R_completed], RPC intents) carry [link = -1]; per-link events
+          ride the record's link with [gbps] the target (admitted) or
+          restored (rolled-back) rate. *)
 
 type record = {
   t : float;  (** Simulation seconds. *)
@@ -282,3 +303,15 @@ val fault : t -> link:int -> now:float -> outcome -> attempt:int -> unit
 val commit : t -> link:int -> now:float -> gbps:int -> up:bool -> unit
 val outage : t -> link:int -> now:float -> up:bool -> unit
 val anomaly : t -> link:int -> now:float -> detector -> snr_db:float -> unit
+
+val rollout :
+  t ->
+  link:int ->
+  now:float ->
+  rid:int ->
+  rollout_event ->
+  wave:int ->
+  gbps:int ->
+  unit
+(** Emit one staged-rollout lifecycle event; [link = -1] for
+    fleet-level events, [wave]/[gbps] 0 where not meaningful. *)

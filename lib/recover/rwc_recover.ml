@@ -49,6 +49,7 @@ type run_state = {
   r_pending : pending list;
   r_faults : (int * (int64 * int) option list) option;
   r_guard : Rwc_guard.snapshot option;
+  r_rollout : Rwc_rollout.snapshot option;
 }
 
 type checkpoint = {
@@ -76,8 +77,12 @@ type ctx = {
    (PR 8), so a v1 snapshot's slot list no longer matches a compiled
    injector's shape.  Old checkpoints are rejected cleanly at decode
    time — falling back to older files or a scratch start — instead of
-   blowing up inside [Rwc_fault.restore]. *)
-let version = 2
+   blowing up inside [Rwc_fault.restore].
+   Version 3: the run state gained the staged-rollout engine slot
+   (PR 10), so an in-flight rollout — enrolled links, bake window,
+   queued mutating-RPC commands, pre-rollout guard snapshot — survives
+   a crash and the resumed run replays the same gate outcome. *)
+let version = 3
 let keep_checkpoints = 3
 
 (* ---- CRC32 (reflected, polynomial 0xEDB88320) ------------------------- *)
@@ -312,6 +317,137 @@ let guard_of_json j : Rwc_guard.snapshot =
     gs_stats = guard_stats_of_json (mem "stats" j);
   }
 
+let rollout_config_to_json (c : Rwc_rollout.config) =
+  J.Assoc
+    [
+      ("wave", J.Int c.Rwc_rollout.wave_links);
+      ("group_budget", J.Int c.Rwc_rollout.group_budget);
+      ("bake", jfloat c.Rwc_rollout.bake_s);
+      ("gate_flaps", J.Int c.Rwc_rollout.gate_flaps);
+      ("gate_quars", J.Int c.Rwc_rollout.gate_quars);
+      ("gate_slo", opt_to_json (fun n -> J.Int n) c.Rwc_rollout.gate_slo);
+      ("hold", jfloat c.Rwc_rollout.hold_s);
+      ("settle", jfloat c.Rwc_rollout.settle_s);
+      ( "freezes",
+        J.List
+          (List.map
+             (fun (a, b) -> J.List [ jfloat a; jfloat b ])
+             c.Rwc_rollout.freezes) );
+      ("maint", J.Int c.Rwc_rollout.maint_tickets);
+      ("fail_gate", J.Int c.Rwc_rollout.fail_gate);
+    ]
+
+let rollout_config_of_json j : Rwc_rollout.config =
+  {
+    Rwc_rollout.wave_links = to_int (mem "wave" j);
+    group_budget = to_int (mem "group_budget" j);
+    bake_s = to_float (mem "bake" j);
+    gate_flaps = to_int (mem "gate_flaps" j);
+    gate_quars = to_int (mem "gate_quars" j);
+    gate_slo = opt_of_json to_int (mem "gate_slo" j);
+    hold_s = to_float (mem "hold" j);
+    settle_s = to_float (mem "settle" j);
+    freezes =
+      List.map
+        (fun j ->
+          match to_list j with
+          | [ a; b ] -> (to_float a, to_float b)
+          | _ -> bad "bad freeze window")
+        (to_list (mem "freezes" j));
+    maint_tickets = to_int (mem "maint" j);
+    fail_gate = to_int (mem "fail_gate" j);
+  }
+
+let rollout_stats_to_json (s : Rwc_rollout.stats) =
+  J.List
+    [
+      J.Int s.Rwc_rollout.rollouts_started;
+      J.Int s.Rwc_rollout.waves_committed;
+      J.Int s.Rwc_rollout.gates_passed;
+      J.Int s.Rwc_rollout.gates_failed;
+      J.Int s.Rwc_rollout.links_admitted;
+      J.Int s.Rwc_rollout.links_deferred;
+      J.Int s.Rwc_rollout.links_rolled_back;
+    ]
+
+let rollout_stats_of_json j : Rwc_rollout.stats =
+  match to_list j with
+  | [ a; b; c; d; e; f; g ] ->
+      {
+        Rwc_rollout.rollouts_started = to_int a;
+        waves_committed = to_int b;
+        gates_passed = to_int c;
+        gates_failed = to_int d;
+        links_admitted = to_int e;
+        links_deferred = to_int f;
+        links_rolled_back = to_int g;
+      }
+  | _ -> bad "bad rollout stats"
+
+let int_pair_to_json (a, b) = J.List [ J.Int a; J.Int b ]
+
+let int_pair_of_json j =
+  match to_list j with
+  | [ a; b ] -> (to_int a, to_int b)
+  | _ -> bad "bad int pair"
+
+let rollout_to_json (r : Rwc_rollout.snapshot) =
+  J.Assoc
+    [
+      ("cfg", opt_to_json rollout_config_to_json r.Rwc_rollout.rs_cfg);
+      ("proposed", opt_to_json rollout_config_to_json r.Rwc_rollout.rs_proposed);
+      ("paused", J.Bool r.Rwc_rollout.rs_paused);
+      ("next_rid", J.Int r.Rwc_rollout.rs_next_rid);
+      ("rid", J.Int r.Rwc_rollout.rs_rid);
+      ("wave", J.Int r.Rwc_rollout.rs_wave);
+      ("phase", J.Int r.Rwc_rollout.rs_phase);
+      ("until", jfloat r.Rwc_rollout.rs_until);
+      ("wave_used", J.Int r.Rwc_rollout.rs_wave_used);
+      ("group_used", J.List (List.map int_pair_to_json r.Rwc_rollout.rs_group_used));
+      ("bake_flaps", J.Int r.Rwc_rollout.rs_bake_flaps);
+      ("bake_quars", J.Int r.Rwc_rollout.rs_bake_quars);
+      ("gates_seen", J.Int r.Rwc_rollout.rs_gates_seen);
+      ("enrolled", J.List (List.map int_pair_to_json r.Rwc_rollout.rs_enrolled));
+      ("overrides", J.List (List.map int_pair_to_json r.Rwc_rollout.rs_overrides));
+      ( "pending",
+        J.List
+          (List.map
+             (fun (code, cfg) ->
+               J.List [ J.Int code; opt_to_json rollout_config_to_json cfg ])
+             r.Rwc_rollout.rs_pending) );
+      ("guard_pre", opt_to_json guard_to_json r.Rwc_rollout.rs_guard_pre);
+      ("stats", rollout_stats_to_json r.Rwc_rollout.rs_stats);
+    ]
+
+let rollout_of_json j : Rwc_rollout.snapshot =
+  {
+    Rwc_rollout.rs_cfg = opt_of_json rollout_config_of_json (mem "cfg" j);
+    rs_proposed = opt_of_json rollout_config_of_json (mem "proposed" j);
+    rs_paused = to_bool (mem "paused" j);
+    rs_next_rid = to_int (mem "next_rid" j);
+    rs_rid = to_int (mem "rid" j);
+    rs_wave = to_int (mem "wave" j);
+    rs_phase = to_int (mem "phase" j);
+    rs_until = to_float (mem "until" j);
+    rs_wave_used = to_int (mem "wave_used" j);
+    rs_group_used = List.map int_pair_of_json (to_list (mem "group_used" j));
+    rs_bake_flaps = to_int (mem "bake_flaps" j);
+    rs_bake_quars = to_int (mem "bake_quars" j);
+    rs_gates_seen = to_int (mem "gates_seen" j);
+    rs_enrolled = List.map int_pair_of_json (to_list (mem "enrolled" j));
+    rs_overrides = List.map int_pair_of_json (to_list (mem "overrides" j));
+    rs_pending =
+      List.map
+        (fun j ->
+          match to_list j with
+          | [ code; cfg ] ->
+              (to_int code, opt_of_json rollout_config_of_json cfg)
+          | _ -> bad "bad pending rollout command")
+        (to_list (mem "pending" j));
+    rs_guard_pre = opt_of_json guard_of_json (mem "guard_pre" j);
+    rs_stats = rollout_stats_of_json (mem "stats" j);
+  }
+
 let run_state_to_json r =
   J.Assoc
     [
@@ -337,6 +473,7 @@ let run_state_to_json r =
       ("pending", J.List (List.map pending_to_json r.r_pending));
       ("faults", opt_to_json faults_to_json r.r_faults);
       ("guard", opt_to_json guard_to_json r.r_guard);
+      ("rollout", opt_to_json rollout_to_json r.r_rollout);
     ]
 
 let run_state_of_json j =
@@ -363,6 +500,7 @@ let run_state_of_json j =
     r_pending = List.map pending_of_json (to_list (mem "pending" j));
     r_faults = opt_of_json faults_of_json (mem "faults" j);
     r_guard = opt_of_json guard_of_json (mem "guard" j);
+    r_rollout = opt_of_json rollout_of_json (mem "rollout" j);
   }
 
 let checkpoint_to_json c =

@@ -101,6 +101,10 @@ type run_state = {
       (** {!Rwc_fault.snapshot_to_list} of the run's injector; [None]
           when the run had no fault plan. *)
   r_guard : Rwc_guard.snapshot option;
+  r_rollout : Rwc_rollout.snapshot option;
+      (** Staged-rollout engine state ({!Rwc_rollout.snapshot});
+          [None] when the engine was never armed or touched, so
+          rollout-free checkpoints carry no payload for it. *)
 }
 
 type checkpoint = {

@@ -1,0 +1,705 @@
+module J = Rwc_journal
+module Tickets = Rwc_telemetry.Tickets
+
+(* ---- plan -------------------------------------------------------------- *)
+
+type config = {
+  wave_links : int;
+  group_budget : int;
+  bake_s : float;
+  gate_flaps : int;
+  gate_quars : int;
+  gate_slo : int option;
+  hold_s : float;
+  settle_s : float;
+  freezes : (float * float) list;
+  maint_tickets : int;
+  fail_gate : int;
+}
+
+let default_config =
+  {
+    wave_links = 4;
+    group_budget = 2;
+    bake_s = 1800.0;
+    gate_flaps = 2;
+    gate_quars = 0;
+    gate_slo = None;
+    hold_s = 7200.0;
+    settle_s = 3600.0;
+    freezes = [];
+    maint_tickets = 0;
+    fail_gate = 0;
+  }
+
+type plan = config option
+
+let none : plan = None
+let default : plan = Some default_config
+let is_none p = p = None
+
+let of_string s =
+  let s = String.trim s in
+  if s = "" || s = "none" then Ok none
+  else begin
+    let tokens = String.split_on_char ',' s |> List.map String.trim in
+    let parse_pos_int key v =
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> Ok n
+      | _ -> Error (Printf.sprintf "rollout: bad value %S for %s" v key)
+    in
+    let parse_pos_float key v =
+      match float_of_string_opt v with
+      | Some f when f >= 0.0 -> Ok f
+      | _ -> Error (Printf.sprintf "rollout: bad value %S for %s" v key)
+    in
+    let rec fold cfg = function
+      | [] -> Ok (Some cfg)
+      | "default" :: rest -> fold cfg rest
+      | tok :: rest -> (
+          match String.index_opt tok '=' with
+          | None ->
+              Error (Printf.sprintf "rollout: expected KEY=VALUE, got %S" tok)
+          | Some i -> (
+              let key = String.sub tok 0 i in
+              let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+              let ( let* ) = Result.bind in
+              match key with
+              | "wave" ->
+                  let* n = parse_pos_int key v in
+                  if n < 1 then Error "rollout: wave must be >= 1"
+                  else fold { cfg with wave_links = n } rest
+              | "group-budget" ->
+                  let* n = parse_pos_int key v in
+                  if n < 1 then Error "rollout: group-budget must be >= 1"
+                  else fold { cfg with group_budget = n } rest
+              | "bake" ->
+                  let* f = parse_pos_float key v in
+                  fold { cfg with bake_s = f } rest
+              | "gate-flaps" ->
+                  let* n = parse_pos_int key v in
+                  fold { cfg with gate_flaps = n } rest
+              | "gate-quar" ->
+                  let* n = parse_pos_int key v in
+                  fold { cfg with gate_quars = n } rest
+              | "gate-slo" ->
+                  let* n = parse_pos_int key v in
+                  fold { cfg with gate_slo = Some n } rest
+              | "hold" ->
+                  let* f = parse_pos_float key v in
+                  fold { cfg with hold_s = f } rest
+              | "settle" ->
+                  let* f = parse_pos_float key v in
+                  fold { cfg with settle_s = f } rest
+              | "maint" ->
+                  let* n = parse_pos_int key v in
+                  fold { cfg with maint_tickets = n } rest
+              | "fail-gate" ->
+                  let* n = parse_pos_int key v in
+                  fold { cfg with fail_gate = n } rest
+              | "freeze" -> (
+                  let n = String.length v in
+                  let rec dots j =
+                    if j + 1 >= n then None
+                    else if v.[j] = '.' && v.[j + 1] = '.' then Some j
+                    else dots (j + 1)
+                  in
+                  match dots 0 with
+                  | None ->
+                      Error
+                        (Printf.sprintf
+                           "rollout: freeze wants START..STOP, got %S" v)
+                  | Some j -> (
+                      let a = String.sub v 0 j in
+                      let b = String.sub v (j + 2) (n - j - 2) in
+                      match (float_of_string_opt a, float_of_string_opt b) with
+                      | Some lo, Some hi when lo >= 0.0 && hi > lo ->
+                          fold
+                            { cfg with freezes = cfg.freezes @ [ (lo, hi) ] }
+                            rest
+                      | _ ->
+                          Error
+                            (Printf.sprintf "rollout: bad freeze window %S" v)))
+              | _ -> Error (Printf.sprintf "rollout: unknown key %S" key)))
+    in
+    fold default_config tokens
+  end
+
+let to_string = function
+  | None -> "none"
+  | Some c ->
+      let d = default_config in
+      let diffs =
+        List.concat
+          [
+            (if c.wave_links <> d.wave_links then
+               [ Printf.sprintf "wave=%d" c.wave_links ]
+             else []);
+            (if c.group_budget <> d.group_budget then
+               [ Printf.sprintf "group-budget=%d" c.group_budget ]
+             else []);
+            (if c.bake_s <> d.bake_s then [ Printf.sprintf "bake=%g" c.bake_s ]
+             else []);
+            (if c.gate_flaps <> d.gate_flaps then
+               [ Printf.sprintf "gate-flaps=%d" c.gate_flaps ]
+             else []);
+            (if c.gate_quars <> d.gate_quars then
+               [ Printf.sprintf "gate-quar=%d" c.gate_quars ]
+             else []);
+            (match c.gate_slo with
+            | Some n -> [ Printf.sprintf "gate-slo=%d" n ]
+            | None -> []);
+            (if c.hold_s <> d.hold_s then [ Printf.sprintf "hold=%g" c.hold_s ]
+             else []);
+            (if c.settle_s <> d.settle_s then
+               [ Printf.sprintf "settle=%g" c.settle_s ]
+             else []);
+            List.map
+              (fun (lo, hi) -> Printf.sprintf "freeze=%g..%g" lo hi)
+              c.freezes;
+            (if c.maint_tickets <> d.maint_tickets then
+               [ Printf.sprintf "maint=%d" c.maint_tickets ]
+             else []);
+            (if c.fail_gate <> d.fail_gate then
+               [ Printf.sprintf "fail-gate=%d" c.fail_gate ]
+             else []);
+          ]
+      in
+      if diffs = [] then "default" else String.concat "," diffs
+
+(* ---- engine ------------------------------------------------------------ *)
+
+type stats = {
+  rollouts_started : int;
+  waves_committed : int;
+  gates_passed : int;
+  gates_failed : int;
+  links_admitted : int;
+  links_deferred : int;
+  links_rolled_back : int;
+}
+
+let zero_stats =
+  {
+    rollouts_started = 0;
+    waves_committed = 0;
+    gates_passed = 0;
+    gates_failed = 0;
+    links_admitted = 0;
+    links_deferred = 0;
+    links_rolled_back = 0;
+  }
+
+let stats_to_json s =
+  Rwc_obs.Json.Assoc
+    [
+      ("rollouts_started", Rwc_obs.Json.Int s.rollouts_started);
+      ("waves_committed", Rwc_obs.Json.Int s.waves_committed);
+      ("gates_passed", Rwc_obs.Json.Int s.gates_passed);
+      ("gates_failed", Rwc_obs.Json.Int s.gates_failed);
+      ("links_admitted", Rwc_obs.Json.Int s.links_admitted);
+      ("links_deferred", Rwc_obs.Json.Int s.links_deferred);
+      ("links_rolled_back", Rwc_obs.Json.Int s.links_rolled_back);
+    ]
+
+type phase =
+  | Idle
+  | Wave_open
+  | Baking of float  (** gate evaluates at this time *)
+  | Settled of float  (** completes at this time unless re-admitted *)
+  | Held of float  (** post-rollback cooldown until this time *)
+
+type cmd = C_propose of config | C_approve | C_pause | C_abort
+
+type t = {
+  n_links : int;
+  group_of : int -> int;
+  seed : int;
+  horizon_s : float;
+  jnl : J.t;
+  guard : Rwc_guard.t;
+  mutable cfg : config option;  (** the armed plan *)
+  mutable proposed : config option;
+  mutable is_paused : bool;
+  mutable pending : cmd list;  (** FIFO command queue, sweep-applied *)
+  mutable touched : bool;  (** anything to checkpoint at all? *)
+  mutable next_rid : int;
+  mutable rid : int;  (** active rollout id; 0 = none *)
+  mutable wave : int;
+  mutable phase : phase;
+  mutable wave_used : int;
+  group_used : (int, int) Hashtbl.t;
+  mutable bake_flaps : int;
+  mutable bake_quars : int;
+  mutable gates_seen : int;
+  enrolled : (int, int) Hashtbl.t;  (** link -> pre-rollout gbps *)
+  overrides : (int, int) Hashtbl.t;
+  mutable guard_pre : Rwc_guard.snapshot option;
+  mutable maint : (int * float * float) list;  (** link, start, stop *)
+  mutable st : stats;
+}
+
+let m_admitted = Rwc_obs.Metrics.counter "rollout/links_admitted"
+let m_deferred = Rwc_obs.Metrics.counter "rollout/links_deferred"
+let m_waves = Rwc_obs.Metrics.counter "rollout/waves_committed"
+let m_gates_failed = Rwc_obs.Metrics.counter "rollout/gates_failed"
+let m_rolled_back = Rwc_obs.Metrics.counter "rollout/links_rolled_back"
+
+(* The maintenance calendar is derived state: drawn from a private RNG
+   stream seeded off the run seed, so arming the same plan on the same
+   run always yields the same windows — restore just recomputes. *)
+let maint_windows ~seed ~horizon_s ~n_links n =
+  if n <= 0 || n_links = 0 then []
+  else begin
+    let rng = Rwc_stats.Rng.create (seed + 7919) in
+    Tickets.generate rng ~n
+    |> List.filter_map (fun tk ->
+           if tk.Tickets.cause = Tickets.Maintenance then begin
+             let link = Rwc_stats.Rng.int rng n_links in
+             let start =
+               Rwc_stats.Rng.uniform rng ~lo:0.0 ~hi:(Float.max horizon_s 1.0)
+             in
+             Some (link, start, start +. (tk.Tickets.duration_h *. 3600.0))
+           end
+           else None)
+  end
+
+let create plan ~n_links ~group_of ~seed ~horizon_s ~journal ~guard =
+  let t =
+    {
+      n_links;
+      group_of;
+      seed;
+      horizon_s;
+      jnl = journal;
+      guard;
+      cfg = None;
+      proposed = None;
+      is_paused = false;
+      pending = [];
+      touched = false;
+      next_rid = 1;
+      rid = 0;
+      wave = 0;
+      phase = Idle;
+      wave_used = 0;
+      group_used = Hashtbl.create 8;
+      bake_flaps = 0;
+      bake_quars = 0;
+      gates_seen = 0;
+      enrolled = Hashtbl.create 16;
+      overrides = Hashtbl.create 4;
+      guard_pre = None;
+      maint = [];
+      st = zero_stats;
+    }
+  in
+  (match plan with
+  | None -> ()
+  | Some cfg ->
+      t.cfg <- Some cfg;
+      t.touched <- true;
+      t.maint <- maint_windows ~seed ~horizon_s ~n_links cfg.maint_tickets);
+  t
+
+let armed t = t.cfg <> None
+let proposed t = t.proposed
+let paused t = t.is_paused
+let stats t = t.st
+
+let in_window ~now (lo, hi) = now >= lo && now < hi
+
+let in_freeze t ~now =
+  match t.cfg with
+  | None -> false
+  | Some cfg -> List.exists (in_window ~now) cfg.freezes
+
+let in_maintenance t ~link ~now =
+  List.exists (fun (l, lo, hi) -> l = link && in_window ~now (lo, hi)) t.maint
+
+type admission = Admit | Defer
+
+let defer t ~link ~now ~to_gbps =
+  t.st <- { t.st with links_deferred = t.st.links_deferred + 1 };
+  Rwc_obs.Metrics.incr m_deferred;
+  J.rollout t.jnl ~link ~now ~rid:(if t.rid > 0 then t.rid else t.next_rid)
+    J.R_deferred ~wave:t.wave ~gbps:to_gbps;
+  Defer
+
+let admit t ~link ~now ~from_gbps ~to_gbps =
+  match t.cfg with
+  | None -> Admit
+  | Some cfg -> (
+      let blocked_phase =
+        match t.phase with
+        | Baking _ | Held _ -> true
+        | Idle | Wave_open | Settled _ -> false
+      in
+      if
+        t.is_paused || blocked_phase
+        || in_freeze t ~now
+        || in_maintenance t ~link ~now
+      then defer t ~link ~now ~to_gbps
+      else begin
+        (* The first admission of an idle engine starts a new rollout;
+           an admission in the settle window opens the next wave of the
+           same rollout.  Either way the wave counters reset before the
+           budget check, so a fresh wave always has room (budgets are
+           validated >= 1). *)
+        (match t.phase with
+        | Idle ->
+            t.rid <- t.next_rid;
+            t.next_rid <- t.next_rid + 1;
+            t.wave <- 1;
+            t.wave_used <- 0;
+            Hashtbl.reset t.group_used;
+            t.guard_pre <- Rwc_guard.snapshot t.guard;
+            t.st <- { t.st with rollouts_started = t.st.rollouts_started + 1 };
+            J.rollout t.jnl ~link:(-1) ~now ~rid:t.rid J.R_started ~wave:0
+              ~gbps:0;
+            t.phase <- Wave_open
+        | Settled _ ->
+            t.wave <- t.wave + 1;
+            t.wave_used <- 0;
+            Hashtbl.reset t.group_used;
+            t.phase <- Wave_open
+        | Wave_open | Baking _ | Held _ -> ());
+        let g = t.group_of link in
+        let g_used =
+          Option.value ~default:0 (Hashtbl.find_opt t.group_used g)
+        in
+        if t.wave_used >= cfg.wave_links || g_used >= cfg.group_budget then
+          defer t ~link ~now ~to_gbps
+        else begin
+          if not (Hashtbl.mem t.enrolled link) then
+            Hashtbl.replace t.enrolled link from_gbps;
+          t.wave_used <- t.wave_used + 1;
+          Hashtbl.replace t.group_used g (g_used + 1);
+          t.st <- { t.st with links_admitted = t.st.links_admitted + 1 };
+          Rwc_obs.Metrics.incr m_admitted;
+          J.rollout t.jnl ~link ~now ~rid:t.rid J.R_admitted ~wave:t.wave
+            ~gbps:to_gbps;
+          Admit
+        end
+      end)
+
+let note_flap t ~now:_ =
+  if t.cfg <> None then
+    match t.phase with
+    | Baking _ -> t.bake_flaps <- t.bake_flaps + 1
+    | Idle | Wave_open | Settled _ | Held _ -> ()
+
+let note_quarantine t ~now:_ =
+  if t.cfg <> None then
+    match t.phase with
+    | Baking _ -> t.bake_quars <- t.bake_quars + 1
+    | Idle | Wave_open | Settled _ | Held _ -> ()
+
+let note_rolled_back t ~link ~now ~gbps =
+  t.st <- { t.st with links_rolled_back = t.st.links_rolled_back + 1 };
+  Rwc_obs.Metrics.incr m_rolled_back;
+  J.rollout t.jnl ~link ~now ~rid:t.rid J.R_rolled_back ~wave:t.wave ~gbps
+
+let set_override t ~link ~gbps = Hashtbl.replace t.overrides link gbps
+
+let take_override t ~link =
+  match Hashtbl.find_opt t.overrides link with
+  | Some g ->
+      Hashtbl.remove t.overrides link;
+      Some g
+  | None -> None
+
+(* Rollback: collect every enrolled link's pre-rollout rate, restore
+   the guard's per-link state from the rollout-start snapshot, and let
+   the caller apply the physical reverts.  No RNG draw, no DES event —
+   the revert is instant and deterministic, modeled on the
+   retries-exhausted fallback path. *)
+let start_rollback t =
+  let directives =
+    Hashtbl.fold (fun link pre acc -> (link, pre) :: acc) t.enrolled []
+    |> List.sort compare
+  in
+  (match t.guard_pre with
+  | Some snap when directives <> [] ->
+      Rwc_guard.restore_links t.guard snap ~links:(List.map fst directives)
+  | Some _ | None -> ());
+  Hashtbl.reset t.enrolled;
+  t.guard_pre <- None;
+  directives
+
+let apply_cmd t ~now cmd directives =
+  match cmd with
+  | C_propose cfg ->
+      t.proposed <- Some cfg;
+      directives
+  | C_approve -> (
+      match t.proposed with
+      | None -> directives
+      | Some cfg ->
+          t.proposed <- None;
+          t.cfg <- Some cfg;
+          t.maint <-
+            maint_windows ~seed:t.seed ~horizon_s:t.horizon_s
+              ~n_links:t.n_links cfg.maint_tickets;
+          directives)
+  | C_pause ->
+      t.is_paused <- true;
+      directives
+  | C_abort -> (
+      match t.cfg with
+      | None -> directives
+      | Some cfg ->
+          if Hashtbl.length t.enrolled > 0 then begin
+            let d = start_rollback t in
+            t.phase <- Held (now +. cfg.hold_s);
+            directives @ d
+          end
+          else begin
+            t.rid <- 0;
+            t.wave <- 0;
+            t.phase <- Idle;
+            directives
+          end)
+
+let gate_failed t cfg ~now =
+  t.gates_seen <- t.gates_seen + 1;
+  let forced = cfg.fail_gate > 0 && t.gates_seen = cfg.fail_gate in
+  let slo_bad =
+    match cfg.gate_slo with
+    | None -> false
+    | Some max_violated -> (
+        match J.online_slo t.jnl ~at:now with
+        | Some summary -> summary.J.Slo.violated > max_violated
+        | None -> false)
+  in
+  forced || t.bake_flaps > cfg.gate_flaps || t.bake_quars > cfg.gate_quars
+  || slo_bad
+
+let sweep t ~now =
+  if (not t.touched) && t.pending = [] then []
+  else begin
+    (* Journal-first: the RPC already appended the intent event; the
+       sweep applies the queued effect so a checkpoint cut between the
+       two replays consistently (queue travels in the snapshot). *)
+    let cmds = t.pending in
+    t.pending <- [];
+    if cmds <> [] then t.touched <- true;
+    let directives = List.fold_left (fun d c -> apply_cmd t ~now c d) [] cmds in
+    match t.cfg with
+    | None -> directives
+    | Some cfg -> (
+        match t.phase with
+        | Idle -> directives
+        | Wave_open ->
+            (* Close the wave committed since the last sweep and start
+               its bake window. *)
+            t.st <- { t.st with waves_committed = t.st.waves_committed + 1 };
+            Rwc_obs.Metrics.incr m_waves;
+            J.rollout t.jnl ~link:(-1) ~now ~rid:t.rid J.R_wave_committed
+              ~wave:t.wave ~gbps:t.wave_used;
+            t.bake_flaps <- 0;
+            t.bake_quars <- 0;
+            t.phase <- Baking (now +. cfg.bake_s);
+            directives
+        | Baking until when now >= until ->
+            if gate_failed t cfg ~now then begin
+              t.st <- { t.st with gates_failed = t.st.gates_failed + 1 };
+              Rwc_obs.Metrics.incr m_gates_failed;
+              J.rollout t.jnl ~link:(-1) ~now ~rid:t.rid J.R_gate_failed
+                ~wave:t.wave ~gbps:0;
+              let d = start_rollback t in
+              t.phase <- Held (now +. cfg.hold_s);
+              directives @ d
+            end
+            else begin
+              t.st <- { t.st with gates_passed = t.st.gates_passed + 1 };
+              t.phase <- Settled (now +. cfg.settle_s);
+              directives
+            end
+        | Settled until when now >= until ->
+            J.rollout t.jnl ~link:(-1) ~now ~rid:t.rid J.R_completed
+              ~wave:t.wave ~gbps:0;
+            Hashtbl.reset t.enrolled;
+            t.guard_pre <- None;
+            t.rid <- 0;
+            t.wave <- 0;
+            t.phase <- Idle;
+            directives
+        | Held until when now >= until ->
+            t.rid <- 0;
+            t.wave <- 0;
+            t.phase <- Idle;
+            directives
+        | Baking _ | Settled _ | Held _ -> directives)
+  end
+
+(* ---- mutating RPCs ----------------------------------------------------- *)
+
+let queue t cmd =
+  t.pending <- t.pending @ [ cmd ];
+  t.touched <- true
+
+let request_propose t ~now cfg =
+  if not (J.armed t.jnl) then
+    Error "rollout.propose: journal-first RPCs need an armed --journal"
+  else if t.proposed <> None then
+    Error "rollout.propose: a proposal is already pending approval"
+  else begin
+    J.rollout t.jnl ~link:(-1) ~now ~rid:t.next_rid J.R_proposed ~wave:0
+      ~gbps:0;
+    queue t (C_propose cfg);
+    Ok t.next_rid
+  end
+
+let request_approve t ~now =
+  if not (J.armed t.jnl) then
+    Error "rollout.approve: journal-first RPCs need an armed --journal"
+  else if
+    t.proposed = None
+    && not (List.exists (function C_propose _ -> true | _ -> false) t.pending)
+  then Error "rollout.approve: no proposal pending"
+  else begin
+    J.rollout t.jnl ~link:(-1) ~now ~rid:t.next_rid J.R_approved ~wave:0
+      ~gbps:0;
+    queue t C_approve;
+    Ok ()
+  end
+
+let request_pause t ~now =
+  if not (J.armed t.jnl) then
+    Error "rollout.pause: journal-first RPCs need an armed --journal"
+  else if t.cfg = None then Error "rollout.pause: no plan armed"
+  else begin
+    J.rollout t.jnl ~link:(-1) ~now
+      ~rid:(if t.rid > 0 then t.rid else t.next_rid)
+      J.R_paused ~wave:t.wave ~gbps:0;
+    queue t C_pause;
+    Ok ()
+  end
+
+let request_abort t ~now =
+  if not (J.armed t.jnl) then
+    Error "rollout.abort: journal-first RPCs need an armed --journal"
+  else if t.cfg = None then Error "rollout.abort: no plan armed"
+  else begin
+    J.rollout t.jnl ~link:(-1) ~now
+      ~rid:(if t.rid > 0 then t.rid else t.next_rid)
+      J.R_aborted ~wave:t.wave ~gbps:0;
+    queue t C_abort;
+    Ok ()
+  end
+
+(* ---- checkpointing ----------------------------------------------------- *)
+
+type snapshot = {
+  rs_cfg : config option;
+  rs_proposed : config option;
+  rs_paused : bool;
+  rs_next_rid : int;
+  rs_rid : int;
+  rs_wave : int;
+  rs_phase : int;
+  rs_until : float;
+  rs_wave_used : int;
+  rs_group_used : (int * int) list;
+  rs_bake_flaps : int;
+  rs_bake_quars : int;
+  rs_gates_seen : int;
+  rs_enrolled : (int * int) list;
+  rs_overrides : (int * int) list;
+  rs_pending : (int * config option) list;
+  rs_guard_pre : Rwc_guard.snapshot option;
+  rs_stats : stats;
+}
+
+let phase_code = function
+  | Idle -> (0, 0.0)
+  | Wave_open -> (1, 0.0)
+  | Baking u -> (2, u)
+  | Settled u -> (3, u)
+  | Held u -> (4, u)
+
+let phase_of_code code until =
+  match code with
+  | 0 -> Idle
+  | 1 -> Wave_open
+  | 2 -> Baking until
+  | 3 -> Settled until
+  | 4 -> Held until
+  | n -> invalid_arg (Printf.sprintf "Rwc_rollout.restore: bad phase %d" n)
+
+let cmd_code = function
+  | C_propose cfg -> (0, Some cfg)
+  | C_approve -> (1, None)
+  | C_pause -> (2, None)
+  | C_abort -> (3, None)
+
+let cmd_of_code (code, cfg) =
+  match (code, cfg) with
+  | 0, Some c -> C_propose c
+  | 1, None -> C_approve
+  | 2, None -> C_pause
+  | 3, None -> C_abort
+  | n, _ -> invalid_arg (Printf.sprintf "Rwc_rollout.restore: bad command %d" n)
+
+let snapshot t =
+  if not t.touched then None
+  else begin
+    let code, until = phase_code t.phase in
+    let tbl h = Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] |> List.sort compare in
+    Some
+      {
+        rs_cfg = t.cfg;
+        rs_proposed = t.proposed;
+        rs_paused = t.is_paused;
+        rs_next_rid = t.next_rid;
+        rs_rid = t.rid;
+        rs_wave = t.wave;
+        rs_phase = code;
+        rs_until = until;
+        rs_wave_used = t.wave_used;
+        rs_group_used = tbl t.group_used;
+        rs_bake_flaps = t.bake_flaps;
+        rs_bake_quars = t.bake_quars;
+        rs_gates_seen = t.gates_seen;
+        rs_enrolled = tbl t.enrolled;
+        rs_overrides = tbl t.overrides;
+        rs_pending = List.map cmd_code t.pending;
+        rs_guard_pre = t.guard_pre;
+        rs_stats = t.st;
+      }
+  end
+
+let restore t snap =
+  List.iter
+    (fun (link, _) ->
+      if link < 0 || link >= t.n_links then
+        invalid_arg "Rwc_rollout.restore: link index out of range")
+    snap.rs_enrolled;
+  t.cfg <- snap.rs_cfg;
+  t.proposed <- snap.rs_proposed;
+  t.is_paused <- snap.rs_paused;
+  t.pending <- List.map cmd_of_code snap.rs_pending;
+  t.touched <- true;
+  t.next_rid <- snap.rs_next_rid;
+  t.rid <- snap.rs_rid;
+  t.wave <- snap.rs_wave;
+  t.phase <- phase_of_code snap.rs_phase snap.rs_until;
+  t.wave_used <- snap.rs_wave_used;
+  Hashtbl.reset t.group_used;
+  List.iter (fun (g, n) -> Hashtbl.replace t.group_used g n) snap.rs_group_used;
+  t.bake_flaps <- snap.rs_bake_flaps;
+  t.bake_quars <- snap.rs_bake_quars;
+  t.gates_seen <- snap.rs_gates_seen;
+  Hashtbl.reset t.enrolled;
+  List.iter (fun (l, g) -> Hashtbl.replace t.enrolled l g) snap.rs_enrolled;
+  Hashtbl.reset t.overrides;
+  List.iter (fun (l, g) -> Hashtbl.replace t.overrides l g) snap.rs_overrides;
+  t.guard_pre <- snap.rs_guard_pre;
+  t.maint <-
+    (match t.cfg with
+    | Some cfg ->
+        maint_windows ~seed:t.seed ~horizon_s:t.horizon_s ~n_links:t.n_links
+          cfg.maint_tickets
+    | None -> []);
+  t.st <- snap.rs_stats

@@ -1,0 +1,240 @@
+(** Health-gated staged rollouts with automatic rollback.
+
+    The paper's measurement study shows that raising capacity without
+    care {e causes} failures (the failure-rate jump at 200 Gbps,
+    Section 2) and that ~25% of failure events are maintenance-related
+    (Figure 4) — yet the control loop otherwise commits every
+    {!Rwc_core.Adapt} up-shift fleet-wide in one shot.  This module is
+    the change-management layer between Adapt's fleet-global commit
+    half and BVT reconfiguration: capacity {e upgrades} (and only
+    upgrades — down-shifts, go-dark and recovery are safety moves that
+    must never queue) are grouped into a {b rollout}:
+
+    - admissions open a {b wave}, bounded by a per-wave link budget and
+      a per-fiber-group blast-radius budget;
+    - a committed wave {b bakes} for a configurable window during which
+      further admissions are deferred and fleet health (guard flaps,
+      quarantine entries, optionally the online SLO scorecard) is
+      watched;
+    - a passed {b gate} reopens admissions for the next wave of the
+      same rollout; a failed gate triggers {b automatic rollback} of
+      every link the rollout committed, restoring each to its
+      pre-rollout modulation and its guard state to the pre-rollout
+      snapshot, followed by a cooldown hold;
+    - a {b maintenance calendar} derived from {!Rwc_telemetry.Tickets}
+      (plus explicit freeze windows) denies admission to links inside a
+      maintenance window.
+
+    Every lifecycle step is journaled as a first-class
+    {!Rwc_journal.Rollout} event, so [rwc explain] reconstructs the
+    full chain and crash-resume restores in-flight rollouts from the
+    checkpoint ({!snapshot}/{!restore}).
+
+    Like every other layer, {b disarmed is free}: with {!none} (and no
+    RPC-installed plan) the engine holds no state, draws no RNG,
+    journals nothing, and the run is byte-identical to a build without
+    this layer.  In [rwc serve] the engine is additionally the target
+    of the first {e mutating} RPCs ([rollout.propose] / [approve] /
+    [pause] / [abort]), implemented journal-first: the RPC appends the
+    intent event and queues a command; the sweep loop applies it at the
+    next boundary, so the journal is the source of truth and a
+    checkpoint cut between intent and effect replays consistently. *)
+
+type config = {
+  wave_links : int;  (** Max links admitted into one wave. *)
+  group_budget : int;
+      (** Max links per shared-risk fiber group per wave. *)
+  bake_s : float;  (** Health-gate bake window after each wave. *)
+  gate_flaps : int;
+      (** Max fleet-wide flaps tolerated during a bake; more fails the
+          gate. *)
+  gate_quars : int;
+      (** Max quarantine entries tolerated during a bake. *)
+  gate_slo : int option;
+      (** When set, the gate also fails if the online SLO scorecard
+          reports more than this many violated links at bake end
+          (requires an armed [--slo] journal). *)
+  hold_s : float;  (** Cooldown after a rollback before new waves. *)
+  settle_s : float;
+      (** Quiet period after a passed gate with no new admissions
+          before the rollout is declared complete. *)
+  freezes : (float * float) list;
+      (** Explicit global change-freeze windows, in simulation
+          seconds. *)
+  maint_tickets : int;
+      (** Draw this many tickets from {!Rwc_telemetry.Tickets} (seeded
+          deterministically from the run seed); the maintenance-cause
+          ones become per-link maintenance windows that deny
+          admission. *)
+  fail_gate : int;
+      (** Test/CI knob: force the Nth gate evaluation to fail
+          (0 = never).  Deterministic rollback on demand. *)
+}
+
+val default_config : config
+(** Wave of 4 links, 2 per fiber group, 30 min bake, gate at >2 flaps
+    or >0 quarantines, no SLO term, 2 h hold, 1 h settle, no freezes,
+    no maintenance calendar, never forced. *)
+
+type plan = config option
+(** [None] is the disarmed plan; [Some config] arms staged commits. *)
+
+val none : plan
+val default : plan
+val is_none : plan -> bool
+
+val of_string : string -> (plan, string) result
+(** Same grammar family as [--faults]/[--guard]/[--slo]: ["none"],
+    ["default"], or comma-separated tokens over the default.  Keys:
+    [wave], [group-budget], [bake], [gate-flaps], [gate-quar],
+    [gate-slo], [hold], [settle], [freeze=START..STOP] (repeatable),
+    [maint=N], [fail-gate=K].
+    Example: ["wave=2,bake=1800,fail-gate=1"]. *)
+
+val to_string : plan -> string
+(** Round-trips through {!of_string}; prints only non-default knobs. *)
+
+type t
+(** A per-run staged-commit engine. *)
+
+val create :
+  plan ->
+  n_links:int ->
+  group_of:(int -> int) ->
+  seed:int ->
+  horizon_s:float ->
+  journal:Rwc_journal.t ->
+  guard:Rwc_guard.t ->
+  t
+(** Fresh engine.  [group_of] maps a link to its shared-risk group
+    (same mapping the guard uses); [seed] and [horizon_s] seed the
+    deterministic maintenance calendar; [journal] receives lifecycle
+    events; [guard] is snapshotted at rollout start and selectively
+    restored on rollback.  [create none] is disarmed but {e not} inert
+    forever: an RPC-proposed plan can arm it later. *)
+
+val armed : t -> bool
+(** Whether a plan is currently armed (CLI plan, or an approved RPC
+    proposal). *)
+
+type admission = Admit | Defer
+(** {!Admit}: proceed with the normal commit path (the link is
+    enrolled in the open wave).  {!Defer}: skip the commit entirely —
+    like a guard suppression, the controller's qualification streak
+    stays intact and it re-decides against fresh SNR next sample. *)
+
+val admit :
+  t -> link:int -> now:float -> from_gbps:int -> to_gbps:int -> admission
+(** Screen one intended capacity upgrade.  Disarmed: {!Admit} with no
+    side effects.  Armed: defers when paused, baking, holding, inside
+    a freeze or maintenance window, or over the wave/group budget;
+    otherwise enrolls the link (recording its pre-rollout rate on
+    first enrollment) and journals the admission.  The first admission
+    of a rollout journals [R_started] and snapshots the guard. *)
+
+val note_flap : t -> now:float -> unit
+(** A capacity flap committed somewhere in the fleet; counted against
+    the health gate while a wave is baking.  Free when disarmed. *)
+
+val note_quarantine : t -> now:float -> unit
+(** A link entered guard quarantine; counted like {!note_flap}. *)
+
+val sweep : t -> now:float -> (int * int) list
+(** Advance the state machine at a sweep boundary: apply queued RPC
+    commands, close an open wave (journaling [R_wave_committed]),
+    evaluate the health gate at bake end, expire holds and settle
+    windows.  Returns rollback directives [(link, pre_gbps)] — empty
+    unless a gate just failed or an abort was applied — with
+    [R_gate_failed] already journaled and the guard already restored
+    for the listed links; the caller applies the physical revert and
+    journals each link via {!note_rolled_back}. *)
+
+val note_rolled_back : t -> link:int -> now:float -> gbps:int -> unit
+(** Journal one link's completed rollback ([R_rolled_back]) and count
+    it.  Called by the runner as it applies each directive. *)
+
+val set_override : t -> link:int -> gbps:int -> unit
+(** A rollback directive hit a link mid-reconfiguration (the DES has
+    no cancel): record that its in-flight attempt, when it completes,
+    must land on [gbps] instead of its target. *)
+
+val take_override : t -> link:int -> int option
+(** Consume the pending override for the link, if any. *)
+
+(** {1 Mutating RPCs (journal-first)} *)
+
+val request_propose : t -> now:float -> config -> (int, string) result
+(** Journal [R_proposed] and queue the plan for installation at the
+    next sweep.  Returns the rollout id the proposal will use.  Errors
+    when the journal sink is disarmed (journal-first needs a journal)
+    or a proposal is already pending approval. *)
+
+val request_approve : t -> now:float -> (unit, string) result
+(** Journal [R_approved] and queue arming of the pending proposal. *)
+
+val request_pause : t -> now:float -> (unit, string) result
+(** Journal [R_paused] and queue a pause of new admissions and waves
+    (gates still evaluate). *)
+
+val request_abort : t -> now:float -> (unit, string) result
+(** Journal [R_aborted] and queue a full rollback of the active
+    rollout at the next sweep, followed by the cooldown hold. *)
+
+val proposed : t -> config option
+(** The plan pending approval, if any. *)
+
+val paused : t -> bool
+
+(** {1 Reporting} *)
+
+type stats = {
+  rollouts_started : int;
+  waves_committed : int;
+  gates_passed : int;
+  gates_failed : int;
+  links_admitted : int;
+  links_deferred : int;
+  links_rolled_back : int;
+}
+
+val stats : t -> stats
+(** All zeros for a never-armed engine. *)
+
+val stats_to_json : stats -> Rwc_obs.Json.t
+
+(** {1 Checkpointing} *)
+
+type snapshot = {
+  rs_cfg : config option;
+  rs_proposed : config option;
+  rs_paused : bool;
+  rs_next_rid : int;
+  rs_rid : int;
+  rs_wave : int;
+  rs_phase : int;  (** 0 idle, 1 wave-open, 2 baking, 3 settled, 4 held. *)
+  rs_until : float;
+  rs_wave_used : int;
+  rs_group_used : (int * int) list;
+  rs_bake_flaps : int;
+  rs_bake_quars : int;
+  rs_gates_seen : int;
+  rs_enrolled : (int * int) list;  (** link, pre-rollout gbps. *)
+  rs_overrides : (int * int) list;
+  rs_pending : (int * config option) list;
+      (** Queued commands: 0 propose (with plan), 1 approve, 2 pause,
+          3 abort. *)
+  rs_guard_pre : Rwc_guard.snapshot option;
+  rs_stats : stats;
+}
+(** Engine state as plain data for the checkpoint codec. *)
+
+val snapshot : t -> snapshot option
+(** [None] for a pristine never-armed engine (so disarmed checkpoints
+    carry no rollout payload); [Some] as soon as any plan or command
+    has touched it. *)
+
+val restore : t -> snapshot -> unit
+(** Overwrite the engine from a snapshot taken on a fleet of the same
+    size; the maintenance calendar is rebuilt deterministically from
+    the seed.  Raises [Invalid_argument] on malformed phase codes or
+    out-of-range links. *)

@@ -434,6 +434,55 @@ module Engine = struct
                ("next_seq", Json.Int (J.events_emitted t.journal));
              ])
 
+  (* The first mutating RPCs, and they mutate {e journal-first}: the
+     handler validates, appends the intent event ([R_proposed] /
+     [R_approved] / ...) and queues a command on the run's rollout
+     engine — nothing else.  The sweep loop applies the command at the
+     next sample boundary, exactly as a crash-resumed run would replay
+     it from the checkpointed queue, so the journal stays the source
+     of truth and an RPC landing between a checkpoint cut and a crash
+     is lost {e atomically} (intent and effect together, never one
+     without the other). *)
+  let rollout_engine t =
+    match t.live with
+    | None -> Error (Rpc.Internal_error, "no run has started yet")
+    | Some lv -> (
+        match lv.Runner.lv_rollout with
+        | Some eng -> Ok (lv, eng)
+        | None ->
+            Error
+              ( Rpc.Invalid_params,
+                "policy is static: there are no capacity upgrades to stage" ))
+
+  let rollout_propose t params =
+    let* plan = Rpc.Params.string_opt params "plan" in
+    let* lv, eng = rollout_engine t in
+    let* cfg =
+      match plan with
+      | None -> Ok Rwc_rollout.default_config
+      | Some s -> (
+          match Rwc_rollout.of_string s with
+          | Ok (Some c) -> Ok c
+          | Ok None -> invalid "plan \"none\" cannot be proposed"
+          | Error e -> invalid e)
+    in
+    match Rwc_rollout.request_propose eng ~now:(lv.Runner.lv_now ()) cfg with
+    | Error e -> Error (Rpc.Invalid_params, e)
+    | Ok rid ->
+        ok
+          (Json.Assoc
+             [
+               ("rid", Json.Int rid);
+               ("plan", Json.String (Rwc_rollout.to_string (Some cfg)));
+               ("queued", Json.Bool true);
+             ])
+
+  let rollout_apply t req _params =
+    let* lv, eng = rollout_engine t in
+    match req eng ~now:(lv.Runner.lv_now ()) with
+    | Error e -> Error (Rpc.Invalid_params, e)
+    | Ok () -> ok (Json.Assoc [ ("queued", Json.Bool true) ])
+
   let dispatch t ?(on_subscribe = fun _ -> ()) raw =
     Rpc.dispatch
       [
@@ -446,6 +495,10 @@ module Engine = struct
         ("link.timeline", link_timeline t);
         ("slo.scorecard", slo_scorecard t);
         ("whatif.capacity", whatif_capacity t);
+        ("rollout.propose", rollout_propose t);
+        ("rollout.approve", rollout_apply t Rwc_rollout.request_approve);
+        ("rollout.pause", rollout_apply t Rwc_rollout.request_pause);
+        ("rollout.abort", rollout_apply t Rwc_rollout.request_abort);
         ("stream.subscribe", stream_subscribe t ~on_subscribe);
       ]
       raw

@@ -23,6 +23,12 @@ type retry_policy = {
 let default_retry_policy =
   { max_attempts = 4; base_s = 5.0; factor = 2.0; cap_s = 60.0 }
 
+(* Client-side reconnect schedule (rwc watch): patient where the BVT
+   retry schedule is aggressive — a daemon restart takes seconds, and
+   a watcher that hammers the socket buys nothing. *)
+let default_reconnect_policy =
+  { max_attempts = 8; base_s = 0.25; factor = 2.0; cap_s = 5.0 }
+
 let backoff_delay p ~attempt =
   if attempt < 1 then invalid_arg "Orchestrator.backoff_delay: attempt < 1";
   Float.min p.cap_s (p.base_s *. (p.factor ** float_of_int (attempt - 1)))

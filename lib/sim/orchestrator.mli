@@ -52,6 +52,11 @@ type retry_policy = {
 val default_retry_policy : retry_policy
 (** 4 attempts, 5 s base, doubling, capped at 60 s. *)
 
+val default_reconnect_policy : retry_policy
+(** The same shape reused client-side: the schedule [rwc watch]
+    follows when its daemon socket drops (a restart, an upgrade) —
+    8 attempts, 0.25 s base, doubling, capped at 5 s per wait. *)
+
 val backoff_delay : retry_policy -> attempt:int -> float
 (** Delay before the attempt following failure number [attempt]
     (1-based): [min cap_s (base_s *. factor ^ (attempt - 1))].

@@ -30,6 +30,9 @@ type duct_view = {
 type live = {
   lv_policy : string;
   lv_n_ducts : int;
+  lv_rollout : Rwc_rollout.t option;
+      (* the run's staged-commit engine; None on a static policy, where
+         there are no discretionary upgrades to stage *)
   lv_now : unit -> float;  (* simulation seconds *)
   lv_duct : int -> duct_view;  (* Invalid_argument out of range *)
   lv_peek : link:int -> snr_db:float -> Rwc_core.Adapt.action option;
@@ -61,6 +64,7 @@ type config = {
   faults : Rwc_fault.plan;
   retry : Orchestrator.retry_policy;
   guard : Rwc_guard.plan;
+  rollout : Rwc_rollout.plan;
   journal : Rwc_journal.t;
   progress : bool;  (* stderr heartbeat for long runs *)
   domains : int;  (* Rwc_par pool width; 1 = plain sequential loop *)
@@ -79,6 +83,7 @@ let default_config =
     faults = Rwc_fault.none;
     retry = Orchestrator.default_retry_policy;
     guard = Rwc_guard.none;
+    rollout = Rwc_rollout.none;
     journal = Rwc_journal.disarmed;
     progress = false;
     domains = 1;
@@ -107,6 +112,7 @@ type report = {
   reconfig_downtime_s : float;
   fault_stats : fault_stats option;
   guard_stats : Rwc_guard.stats option;
+  rollout_stats : Rwc_rollout.stats option;
   slo : Rwc_journal.Slo.summary option;
 }
 
@@ -237,6 +243,21 @@ let run_policy ~config ~backbone ?recover ?restore policy =
      build without the journal layer. *)
   let jnl = config.journal in
   let jarmed = Rwc_journal.armed jnl in
+  (* The staged-rollout engine sits between the controller's decision
+     and the BVT commit: guard-allowed capacity {e upgrades} are
+     screened through [admit] below, and the engine's [sweep] runs at
+     every sample boundary to close waves, evaluate health gates and
+     direct rollbacks.  With the plan [none] (and no RPC-installed
+     proposal) every call is a flag check and the run stays
+     byte-identical to a build without this layer. *)
+  let rollout =
+    Rwc_rollout.create config.rollout
+      ~n_links:(Array.length net.Netstate.ducts)
+      ~group_of:(fun i -> net.Netstate.ducts.(i).Netstate.duct.Backbone.a)
+      ~seed:config.seed
+      ~horizon_s:(config.days *. 86_400.0)
+      ~journal:jnl ~guard
+  in
   (* Online anomaly detection rides the journal: one EWMA and one
      CUSUM detector per duct, tuned to the duct's own baseline and
      stationary wander, firing first-class [Anomaly] events.  Only
@@ -496,8 +517,18 @@ let run_policy ~config ~backbone ?recover ?restore policy =
     in
     if not failed then begin
       Rwc_journal.fault jnl ~link:i ~now Rwc_journal.Committed ~attempt:n;
-      finish_duct dr new_gbps;
-      Rwc_journal.commit jnl ~link:i ~now ~gbps:new_gbps ~up:true
+      (* A rollback directive may have hit this link mid-attempt; the
+         DES has no cancel, so the attempt completes and then lands on
+         the pre-rollout rate — but only downward: an override never
+         raises capacity over an in-flight down-shift. *)
+      let final =
+        match Rwc_rollout.take_override rollout ~link:i with
+        | Some pre when pre < new_gbps -> pre
+        | Some _ | None -> new_gbps
+      in
+      if final <> new_gbps then Adapt.force ctl ~gbps:final;
+      finish_duct dr final;
+      Rwc_journal.commit jnl ~link:i ~now ~gbps:final ~up:true
     end
     else begin
       if timed_out then charge_duct d (Rwc_fault.param inj Rwc_fault.Bvt_timeout);
@@ -534,12 +565,43 @@ let run_policy ~config ~backbone ?recover ?restore policy =
         Metrics.incr m_fallbacks;
         incr flaps;
         Metrics.incr m_flaps;
+        Rwc_rollout.note_flap rollout ~now;
+        (* The chain died at its pre-upgrade rate, which is where any
+           pending rollback override wanted it anyway. *)
+        ignore (Rwc_rollout.take_override rollout ~link:i);
         Rwc_journal.fault jnl ~link:i ~now Rwc_journal.Fell_back ~attempt:n;
         Adapt.force ctl ~gbps:prev_gbps;
         finish_duct dr prev_gbps;
         Rwc_journal.commit jnl ~link:i ~now ~gbps:prev_gbps ~up:true
       end
     end
+  in
+  (* Apply one rollback directive from a failed gate (or abort).  The
+     revert is modeled as an administrative re-program at the sweep
+     boundary — no RNG draw, no DES event — so an armed rollout stays
+     deterministic and checkpoint-exact.  Links already at or below
+     their pre-rollout rate (the controller down-shifted meanwhile) and
+     dark links are left alone; a link mid-reconfiguration gets an
+     override consumed when its attempt chain completes. *)
+  let apply_rollback now (link, pre) =
+    let dr = ducts.(link) in
+    let d = dr.state in
+    match dr.controller with
+    | None -> ()
+    | Some ctl ->
+        if dr.reconfiguring then begin
+          Rwc_rollout.set_override rollout ~link ~gbps:pre;
+          Rwc_rollout.note_rolled_back rollout ~link ~now ~gbps:pre
+        end
+        else if d.Netstate.up && d.Netstate.per_lambda_gbps > pre then begin
+          incr flaps;
+          Metrics.incr m_flaps;
+          Adapt.force ctl ~gbps:pre;
+          d.Netstate.per_lambda_gbps <- pre;
+          te_dirty := true;
+          Rwc_rollout.note_rolled_back rollout ~link ~now ~gbps:pre;
+          Rwc_journal.commit jnl ~link ~now ~gbps:pre ~up:true
+        end
   in
   (* Shard-local half of a sweep: advance the duct's own detectors and
      evaluate its static threshold.  No shared RNG, no journal, no
@@ -618,13 +680,15 @@ let run_policy ~config ~backbone ?recover ?restore policy =
               (* Quarantine is guard state that decays with time, so
                  its boundaries are found by polling (the query draws
                  no randomness and mutates nothing). *)
-              (if jarmed && Rwc_guard.armed guard then
+              (if (jarmed || Rwc_rollout.armed rollout) && Rwc_guard.armed guard
+               then
                  let q = Rwc_guard.quarantined guard ~link:i ~now in
                  if q <> quar_seen.(i) then begin
                    quar_seen.(i) <- q;
                    Rwc_journal.guard jnl ~link:i ~now
                      (if q then Rwc_journal.Quarantined
-                      else Rwc_journal.Released)
+                      else Rwc_journal.Released);
+                   if q then Rwc_rollout.note_quarantine rollout ~now
                  end);
               let start_reconfig new_gbps =
                 let prev_gbps = d.Netstate.per_lambda_gbps in
@@ -695,6 +759,7 @@ let run_policy ~config ~backbone ?recover ?restore policy =
                         Adapt.force ctl ~gbps:Modulation.default_gbps;
                         incr flaps;
                         Metrics.incr m_flaps;
+                        Rwc_rollout.note_flap rollout ~now;
                         start_reconfig Modulation.default_gbps
                       end
                       else
@@ -714,8 +779,9 @@ let run_policy ~config ~backbone ?recover ?restore policy =
                      (no randomness, no state), so consulting it for
                      the journal alone changes nothing. *)
                   let decision =
-                    if jarmed || Rwc_guard.armed guard then
-                      Some (Adapt.peek ctl ~snr_db)
+                    if jarmed || Rwc_guard.armed guard
+                       || Rwc_rollout.armed rollout
+                    then Some (Adapt.peek ctl ~snr_db)
                     else None
                   in
                   let verdict =
@@ -747,7 +813,26 @@ let run_policy ~config ~backbone ?recover ?restore policy =
                     | Some (Rwc_guard.Suppress _) -> false
                     | Some Rwc_guard.Allow | None -> true
                   in
-                  if allowed then
+                  (* Change management screens last: of everything the
+                     controller can want, only a guard-allowed upgrade
+                     is discretionary, and the rollout engine may defer
+                     it (over budget, baking, frozen, in maintenance).
+                     A deferred decision is dropped exactly like a
+                     guard suppression — the streak survives and the
+                     controller re-decides against fresh SNR. *)
+                  let admitted =
+                    match decision with
+                    | Some (Adapt.Step_up { from_gbps; to_gbps } as a)
+                      when allowed && Adapt.is_upgrade a -> (
+                        match
+                          Rwc_rollout.admit rollout ~link:i ~now ~from_gbps
+                            ~to_gbps
+                        with
+                        | Rwc_rollout.Admit -> true
+                        | Rwc_rollout.Defer -> false)
+                    | _ -> true
+                  in
+                  if allowed && admitted then
                     match Adapt.step ~faults:inj ~now ctl ~snr_db with
                     | Adapt.No_change -> ()
                     | Adapt.Stuck _ ->
@@ -771,6 +856,7 @@ let run_policy ~config ~backbone ?recover ?restore policy =
                     | Adapt.Step_down { to_gbps; _ } ->
                         incr flaps;
                         Metrics.incr m_flaps;
+                        Rwc_rollout.note_flap rollout ~now;
                         start_reconfig to_gbps
                     | Adapt.Step_up { to_gbps; _ } -> start_reconfig to_gbps
                     | Adapt.Come_back { to_gbps } -> start_reconfig to_gbps)))
@@ -828,6 +914,7 @@ let run_policy ~config ~backbone ?recover ?restore policy =
         (if Rwc_fault.is_none config.faults then None
          else Some (Rwc_fault.snapshot_to_list (Rwc_fault.snapshot inj)));
       r_guard = Rwc_guard.snapshot guard;
+      r_rollout = Rwc_rollout.snapshot rollout;
     }
   in
   (* The live window the hooks consumer (the serve daemon) sees.  Pure
@@ -843,6 +930,10 @@ let run_policy ~config ~backbone ?recover ?restore policy =
     {
       lv_policy = policy_name policy;
       lv_n_ducts = Array.length ducts;
+      lv_rollout =
+        (match policy with
+        | Adaptive _ -> Some rollout
+        | Static_100 | Static_max -> None);
       lv_now = (fun () -> Des.now engine);
       lv_duct =
         (fun link ->
@@ -928,6 +1019,18 @@ let run_policy ~config ~backbone ?recover ?restore policy =
         let now = float_of_int k *. sample_s in
         if Rwc_fault.fires ctx.Rwc_recover.crash Rwc_fault.Crash ~now then
           raise (Rwc_recover.Crashed now));
+    (* Staged-rollout boundary, after the recovery cut (so a resumed
+       run re-enters here and repeats exactly this sweep's rollout
+       work): apply queued mutating-RPC commands, close and bake
+       waves, evaluate health gates, and physically revert whatever a
+       failed gate or abort directed back.  Returns [] — without even
+       allocating — while the engine is untouched. *)
+    (match Rwc_rollout.sweep rollout ~now:(float_of_int k *. sample_s) with
+    | [] -> ()
+    | directives ->
+        List.iter
+          (apply_rollback (float_of_int k *. sample_s))
+          directives);
     if k < n_samples then begin
       Trace.with_span "sim/snr_sweep" (fun () ->
           Metrics.time m_snr_sweep (fun () ->
@@ -1054,6 +1157,9 @@ let run_policy ~config ~backbone ?recover ?restore policy =
     (match rs.Rwc_recover.r_guard with
     | None -> ()
     | Some snap -> Rwc_guard.restore guard snap);
+    (match rs.Rwc_recover.r_rollout with
+    | None -> ()
+    | Some snap -> Rwc_rollout.restore rollout snap);
     List.iteri
       (fun i (dd : Rwc_recover.duct) ->
         let dr = ducts.(i) in
@@ -1141,6 +1247,14 @@ let run_policy ~config ~backbone ?recover ?restore policy =
     if Rwc_guard.is_none config.guard then None
     else Some (Rwc_guard.stats guard)
   in
+  (* Present exactly when the engine was ever touched — a CLI plan, or
+     a mutating RPC arriving mid-run — so a rollout-free report stays
+     byte-identical to a pre-rollout one. *)
+  let rollout_stats =
+    if Option.is_some (Rwc_rollout.snapshot rollout) then
+      Some (Rwc_rollout.stats rollout)
+    else None
+  in
   (* Close the journal segment.  [Some] only when the sink carries an
      armed SLO plan — the report then grows an slo block and the
      scorecard counts land in the slo/* metrics. *)
@@ -1164,6 +1278,7 @@ let run_policy ~config ~backbone ?recover ?restore policy =
     reconfig_downtime_s = !downtime;
     fault_stats;
     guard_stats;
+    rollout_stats;
     slo;
   }
 
@@ -1227,6 +1342,14 @@ let json_of_report r =
               ] );
         ]
   in
+  (* The rollout block follows the same present-iff-touched contract:
+     a run that never staged anything serializes byte-identically to a
+     pre-rollout report. *)
+  let rollout_fields =
+    match r.rollout_stats with
+    | None -> []
+    | Some s -> [ ("rollout", Rwc_rollout.stats_to_json s) ]
+  in
   (* And again for the SLO scorecard: present exactly when the run
      evaluated a plan, absent otherwise, so journal-off reports stay
      byte-identical to pre-journal output. *)
@@ -1248,7 +1371,7 @@ let json_of_report r =
        ("reconfigurations", Rwc_obs.Json.Int r.reconfigurations);
        ("reconfig_downtime_s", Rwc_obs.Json.Float r.reconfig_downtime_s);
      ]
-    @ fault_fields @ guard_fields @ slo_fields)
+    @ fault_fields @ guard_fields @ rollout_fields @ slo_fields)
 
 let pp_report fmt r =
   Format.fprintf fmt
@@ -1270,6 +1393,14 @@ let pp_report fmt r =
         g.Rwc_guard.suppressed_upshifts g.Rwc_guard.quarantines
         g.Rwc_guard.admission_deferred g.Rwc_guard.stale_freezes
         g.Rwc_guard.static_fallbacks g.Rwc_guard.watchdog_trips);
+  (match r.rollout_stats with
+  | None -> ()
+  | Some s ->
+      Format.fprintf fmt
+        "  rollout: waves=%2d gate-fail=%d admit=%3d defer=%3d rolled-back=%3d"
+        s.Rwc_rollout.waves_committed s.Rwc_rollout.gates_failed
+        s.Rwc_rollout.links_admitted s.Rwc_rollout.links_deferred
+        s.Rwc_rollout.links_rolled_back);
   match r.slo with
   | None -> ()
   | Some s ->

@@ -49,6 +49,11 @@ type duct_view = {
 type live = {
   lv_policy : string;
   lv_n_ducts : int;
+  lv_rollout : Rwc_rollout.t option;
+      (** The run's staged-commit engine — the target of the mutating
+          [rollout.*] RPCs ({!Rwc_rollout.request_propose} and
+          friends).  [None] on a static policy, where there are no
+          discretionary upgrades to stage. *)
   lv_now : unit -> float;  (** Simulation seconds. *)
   lv_duct : int -> duct_view;
       (** Raises [Invalid_argument] out of range. *)
@@ -110,6 +115,14 @@ type config = {
           is bit-identical to a build without the guard layer — even
           under an armed fault plan, because the collector fault
           channels are only queried for an armed guard. *)
+  rollout : Rwc_rollout.plan;
+      (** Staged-commit plan for capacity upgrades: wave and
+          blast-radius budgets, a post-wave bake window with a health
+          gate, automatic rollback on a failed gate, and
+          maintenance-aware change freezes.  With {!Rwc_rollout.none}
+          (the default) the engine holds no state and the run is
+          byte-identical to a build without the rollout layer; an
+          [rwc serve] RPC can still arm it mid-run. *)
   journal : Rwc_journal.t;
       (** Decision-provenance sink shared by consecutive runs: each
           policy run emits one {!Rwc_journal.Run_start}-headed segment.
@@ -140,8 +153,8 @@ type config = {
 val default_config : config
 (** 60 days, 6-hourly TE, seed 7, 4 wavelengths/duct, offered load
     0.75, top 40 demands, epsilon 0.12, no faults,
-    {!Orchestrator.default_retry_policy}, no guard, disarmed journal,
-    1 domain, no hooks. *)
+    {!Orchestrator.default_retry_policy}, no guard, no rollout,
+    disarmed journal, 1 domain, no hooks. *)
 
 type fault_stats = {
   injected : int;  (** Total faults the injector fired. *)
@@ -173,6 +186,10 @@ type report = {
   guard_stats : Rwc_guard.stats option;
       (** [Some] exactly when the run had a guard plan, under the same
           byte-identity contract as [fault_stats]. *)
+  rollout_stats : Rwc_rollout.stats option;
+      (** [Some] exactly when the rollout engine was touched — a CLI
+          [--rollout] plan, or a mutating RPC that arrived mid-run;
+          same byte-identity contract. *)
   slo : Rwc_journal.Slo.summary option;
       (** [Some] exactly when the run's journal sink carried an armed
           SLO plan; same byte-identity contract. *)

@@ -44,8 +44,8 @@ let sample_targets ~total = function
       List.sort_uniq compare
         (List.init n (fun i -> i * (total - 1) / (n - 1)))
 
-let run ?(days = 0.25) ?(ducts = 12) ?(seed = 7) ?(every = 8) ?sample ~root ()
-    =
+let run ?(days = 0.25) ?(ducts = 12) ?(seed = 7) ?(every = 8)
+    ?(rollout = Rwc_rollout.none) ?sample ~root () =
   let policy = Runner.Adaptive Runner.Efficient in
   let backbone = Rwc_topology.Backbone.synthetic ~ducts ~seed in
   let config journal =
@@ -54,6 +54,7 @@ let run ?(days = 0.25) ?(ducts = 12) ?(seed = 7) ?(every = 8) ?sample ~root ()
       Runner.days;
       seed;
       faults = Rwc_fault.default;
+      rollout;
       journal;
     }
   in

@@ -34,13 +34,18 @@ val run :
   ?ducts:int ->
   ?seed:int ->
   ?every:int ->
+  ?rollout:Rwc_rollout.plan ->
   ?sample:int ->
   root:string ->
   unit ->
   (summary, string) result
 (** Torture a seeded synthetic-backbone run ([days] defaults to 0.25,
     [ducts] to 12, [seed] to 7, checkpoint cadence [every] to 8
-    sweeps) under the default fault plan.  [sample] bounds the
+    sweeps) under the default fault plan.  [rollout] (default
+    {!Rwc_rollout.none}) arms a staged-rollout plan for the tortured
+    run, putting mid-wave and mid-bake checkpoint cuts — enrolled
+    links, queued commands, the pre-rollout guard snapshot — on the
+    kill-boundary menu.  [sample] bounds the
     boundary set to an evenly-spaced subset including both ends (the
     [--quick] mode); omitted, every boundary is killed.  All artifacts
     live under [root] (created if missing): the golden journal, a

@@ -32,4 +32,5 @@ let () =
       ("serve", Test_serve.suite);
       ("figures", Test_figures.suite);
       ("par", Test_par.suite);
+      ("rollout", Test_rollout.suite);
     ]

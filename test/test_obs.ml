@@ -401,6 +401,7 @@ let test_runner_metrics_match_report () =
       faults = Rwc_fault.none;
       retry = Rwc_sim.Orchestrator.default_retry_policy;
       guard = Rwc_guard.none;
+      rollout = Rwc_rollout.none;
       journal = Rwc_journal.disarmed;
       progress = false;
       domains = 1;

@@ -82,6 +82,7 @@ let sample_checkpoint () =
         ];
       r_faults = Some (5, [ Some (123456789L, 2); None; Some (-1L, 0) ]);
       r_guard = None;
+      r_rollout = None;
     }
   in
   {

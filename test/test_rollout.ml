@@ -1,0 +1,612 @@
+(* The staged-commit engine between Adapt's fleet-global commit half
+   and BVT reconfiguration: plan grammar, the wave/bake/gate state
+   machine, forced and health-driven rollbacks, journal-first mutating
+   RPCs, checkpoint snapshots, and the cross-layer contracts — disarmed
+   is free (a rollout-off run is byte-identical across pool widths,
+   rollout block absent from the report), and any rollback or abort
+   restores every enrolled link's modulation and guard state to the
+   pre-rollout snapshot.  The qcheck property at the bottom drives
+   random multi-wave rollouts, with random admission subsets and gate
+   outcome sequences, against a model of the fleet's rates and a
+   control guard. *)
+
+module RO = Rwc_rollout
+module G = Rwc_guard
+module J = Rwc_journal
+module Runner = Rwc_sim.Runner
+module R = Rwc_recover
+
+let ok_plan s =
+  match RO.of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "of_string %S: %s" s e
+
+let err_plan s =
+  match RO.of_string s with
+  | Ok _ -> Alcotest.failf "of_string %S: expected an error" s
+  | Error e -> e
+
+let cfg_of s =
+  match ok_plan s with
+  | Some c -> c
+  | None -> Alcotest.failf "plan %S parsed to none" s
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "rwc_test_rollout" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      try Sys.rmdir path with Sys_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f dir)
+
+let slurp p = In_channel.with_open_bin p In_channel.input_all
+
+let zero_stats =
+  {
+    RO.rollouts_started = 0;
+    waves_committed = 0;
+    gates_passed = 0;
+    gates_failed = 0;
+    links_admitted = 0;
+    links_deferred = 0;
+    links_rolled_back = 0;
+  }
+
+(* A small engine over a disarmed journal and guard unless a test needs
+   them armed. *)
+let engine ?(plan = RO.default) ?(n = 8) ?(journal = J.disarmed)
+    ?(guard = G.disarmed) () =
+  RO.create plan ~n_links:n
+    ~group_of:(fun i -> i mod 3)
+    ~seed:7 ~horizon_s:604_800.0 ~journal ~guard
+
+(* --- plan grammar -------------------------------------------------------- *)
+
+let test_plan_parse () =
+  Alcotest.(check bool) "none is none" true (RO.is_none (ok_plan "none"));
+  Alcotest.(check bool) "empty is none" true (RO.is_none (ok_plan ""));
+  Alcotest.(check bool) "default knobs" true
+    (cfg_of "default" = RO.default_config);
+  let c = cfg_of "wave=2,bake=1800,fail-gate=1,freeze=100..200,freeze=3e3..4e3" in
+  Alcotest.(check int) "wave" 2 c.RO.wave_links;
+  Alcotest.(check (float 1e-9)) "bake" 1800.0 c.RO.bake_s;
+  Alcotest.(check int) "fail-gate" 1 c.RO.fail_gate;
+  Alcotest.(check int) "freeze windows" 2 (List.length c.RO.freezes);
+  Alcotest.(check int) "untouched knob keeps default"
+    RO.default_config.RO.group_budget c.RO.group_budget
+
+let test_plan_round_trip () =
+  Alcotest.(check string) "none" "none" (RO.to_string RO.none);
+  Alcotest.(check string) "default" "default" (RO.to_string RO.default);
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool) spec true
+        (ok_plan (RO.to_string (ok_plan spec)) = ok_plan spec))
+    [
+      "wave=2,bake=1800,fail-gate=1";
+      "group-budget=1,gate-flaps=0,gate-quar=3";
+      "freeze=100..200,maint=5,gate-slo=2";
+      "hold=60,settle=120";
+    ]
+
+let test_plan_errors () =
+  ignore (err_plan "bogus=1");
+  ignore (err_plan "wave");
+  ignore (err_plan "wave=abc");
+  ignore (err_plan "wave=0");
+  ignore (err_plan "group-budget=0");
+  ignore (err_plan "freeze=5");
+  ignore (err_plan "freeze=10..abc")
+
+(* --- disarmed is free ---------------------------------------------------- *)
+
+let test_disarmed_is_free () =
+  let t = engine ~plan:RO.none () in
+  Alcotest.(check bool) "not armed" false (RO.armed t);
+  Alcotest.(check bool) "admit passes" true
+    (RO.admit t ~link:0 ~now:0.0 ~from_gbps:100 ~to_gbps:200 = RO.Admit);
+  RO.note_flap t ~now:0.0;
+  RO.note_quarantine t ~now:0.0;
+  Alcotest.(check bool) "sweep empty" true (RO.sweep t ~now:900.0 = []);
+  Alcotest.(check bool) "no override" true (RO.take_override t ~link:0 = None);
+  Alcotest.(check bool) "stats all zero" true (RO.stats t = zero_stats);
+  Alcotest.(check bool) "pristine snapshot is None" true
+    (RO.snapshot t = None)
+
+(* --- wave / bake / gate state machine ------------------------------------ *)
+
+let test_wave_gate_pass_completes () =
+  let t = engine ~plan:(ok_plan "wave=2,group-budget=2,bake=900,settle=900") () in
+  Alcotest.(check bool) "link 0 admitted" true
+    (RO.admit t ~link:0 ~now:0.0 ~from_gbps:100 ~to_gbps:150 = RO.Admit);
+  Alcotest.(check bool) "link 1 admitted" true
+    (RO.admit t ~link:1 ~now:0.0 ~from_gbps:125 ~to_gbps:150 = RO.Admit);
+  Alcotest.(check bool) "wave full: link 2 deferred" true
+    (RO.admit t ~link:2 ~now:0.0 ~from_gbps:100 ~to_gbps:150 = RO.Defer);
+  Alcotest.(check bool) "wave close returns no directives" true
+    (RO.sweep t ~now:100.0 = []);
+  Alcotest.(check int) "one wave committed" 1 (RO.stats t).RO.waves_committed;
+  Alcotest.(check bool) "baking: admissions deferred" true
+    (RO.admit t ~link:2 ~now:200.0 ~from_gbps:100 ~to_gbps:150 = RO.Defer);
+  Alcotest.(check bool) "gate passes clean" true (RO.sweep t ~now:1100.0 = []);
+  Alcotest.(check int) "gate counted" 1 (RO.stats t).RO.gates_passed;
+  (* Settled: the next admission opens wave 2 of the same rollout. *)
+  Alcotest.(check bool) "wave 2 opens" true
+    (RO.admit t ~link:2 ~now:1200.0 ~from_gbps:100 ~to_gbps:150 = RO.Admit);
+  Alcotest.(check bool) "wave 2 closes" true (RO.sweep t ~now:1300.0 = []);
+  Alcotest.(check bool) "gate 2 passes" true (RO.sweep t ~now:2300.0 = []);
+  (* A quiet settle window completes the rollout. *)
+  Alcotest.(check bool) "settle expiry" true (RO.sweep t ~now:3300.0 = []);
+  let st = RO.stats t in
+  Alcotest.(check int) "one rollout" 1 st.RO.rollouts_started;
+  Alcotest.(check int) "two waves" 2 st.RO.waves_committed;
+  Alcotest.(check int) "three admissions" 3 st.RO.links_admitted;
+  Alcotest.(check int) "nothing rolled back" 0 st.RO.links_rolled_back
+
+let test_flap_gate_fails_and_rolls_back () =
+  let guard = G.create G.default ~n_links:8 ~group_of:(fun i -> i mod 3) in
+  let t =
+    engine ~guard
+      ~plan:(ok_plan "wave=4,group-budget=4,gate-flaps=0,bake=900,hold=3600")
+      ()
+  in
+  ignore (RO.admit t ~link:0 ~now:0.0 ~from_gbps:100 ~to_gbps:150);
+  ignore (RO.admit t ~link:1 ~now:0.0 ~from_gbps:150 ~to_gbps:200);
+  (* The runner records the committed upgrades against the guard; a
+     rollback must wind that state back too. *)
+  List.iter
+    (fun link ->
+      G.record_commit guard ~link ~now:0.0 G.Up_shift;
+      G.release guard ~link)
+    [ 0; 1 ];
+  Alcotest.(check bool) "wave closes" true (RO.sweep t ~now:100.0 = []);
+  RO.note_flap t ~now:500.0;
+  let directives = RO.sweep t ~now:1100.0 in
+  Alcotest.(check bool) "both links revert to pre-rollout rates" true
+    (directives = [ (0, 100); (1, 150) ]);
+  Alcotest.(check int) "gate failure counted" 1 (RO.stats t).RO.gates_failed;
+  List.iter
+    (fun (link, gbps) -> RO.note_rolled_back t ~link ~now:1100.0 ~gbps)
+    directives;
+  Alcotest.(check int) "rollbacks counted" 2 (RO.stats t).RO.links_rolled_back;
+  List.iter
+    (fun link ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "link %d guard penalty restored" link)
+        0.0
+        (G.penalty guard ~link ~now:1100.0))
+    [ 0; 1 ];
+  (* Cooldown hold, then a fresh rollout. *)
+  Alcotest.(check bool) "held: admission deferred" true
+    (RO.admit t ~link:2 ~now:1200.0 ~from_gbps:100 ~to_gbps:150 = RO.Defer);
+  Alcotest.(check bool) "hold expires" true (RO.sweep t ~now:4701.0 = []);
+  Alcotest.(check bool) "idle again: admission starts rollout 2" true
+    (RO.admit t ~link:2 ~now:4800.0 ~from_gbps:100 ~to_gbps:150 = RO.Admit);
+  Alcotest.(check int) "second rollout" 2 (RO.stats t).RO.rollouts_started
+
+let test_freeze_window_defers () =
+  let t = engine ~plan:(ok_plan "freeze=1000..2000") () in
+  Alcotest.(check bool) "inside freeze" true
+    (RO.admit t ~link:0 ~now:1500.0 ~from_gbps:100 ~to_gbps:150 = RO.Defer);
+  Alcotest.(check bool) "after freeze" true
+    (RO.admit t ~link:0 ~now:2500.0 ~from_gbps:100 ~to_gbps:150 = RO.Admit);
+  Alcotest.(check int) "deferral counted" 1 (RO.stats t).RO.links_deferred
+
+let test_maintenance_calendar_deterministic () =
+  (* The calendar is recomputed from the seed, never stored: two
+     engines with the same seed must make identical admission
+     decisions. *)
+  let decisions () =
+    let t = engine ~plan:(ok_plan "maint=25,wave=64,group-budget=64") ~n:16 () in
+    List.init 160 (fun k ->
+        let link = k mod 16 and now = float_of_int k *. 3600.0 in
+        RO.admit t ~link ~now ~from_gbps:100 ~to_gbps:150 = RO.Admit)
+  in
+  Alcotest.(check bool) "same seed, same calendar" true
+    (decisions () = decisions ())
+
+(* --- journal-first mutating RPCs ----------------------------------------- *)
+
+let rollout_events records =
+  List.filter_map
+    (fun (r : J.record) ->
+      match r.J.kind with
+      | J.Rollout { revent; _ } -> Some (J.rollout_event_name revent)
+      | _ -> None)
+    records
+
+let test_rpc_lifecycle () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "rpc.jsonl" in
+      let jnl = J.create ~path () in
+      let t = engine ~plan:RO.none ~journal:jnl () in
+      (match RO.request_approve t ~now:0.0 with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "approve without proposal must fail");
+      let rid =
+        match RO.request_propose t ~now:10.0 RO.default_config with
+        | Ok rid -> rid
+        | Error e -> Alcotest.failf "propose: %s" e
+      in
+      Alcotest.(check int) "first rollout id" 1 rid;
+      (* Journal-first: the intent is on disk, the effect waits for the
+         sweep boundary. *)
+      Alcotest.(check bool) "not armed before sweep" false (RO.armed t);
+      Alcotest.(check bool) "propose applies at sweep" true
+        (RO.sweep t ~now:900.0 = []);
+      Alcotest.(check bool) "pending approval" true (RO.proposed t <> None);
+      Alcotest.(check bool) "still not armed" false (RO.armed t);
+      (match RO.request_approve t ~now:1000.0 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "approve: %s" e);
+      Alcotest.(check bool) "approve applies at sweep" true
+        (RO.sweep t ~now:1800.0 = []);
+      Alcotest.(check bool) "armed after approval" true (RO.armed t);
+      ignore (RO.admit t ~link:0 ~now:2000.0 ~from_gbps:100 ~to_gbps:150);
+      (match RO.request_pause t ~now:2100.0 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "pause: %s" e);
+      (match RO.request_abort t ~now:2200.0 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "abort: %s" e);
+      (* One sweep applies the queue in order: pause, then abort rolls
+         the enrolled link back. *)
+      let directives = RO.sweep t ~now:2700.0 in
+      Alcotest.(check bool) "abort reverts the enrolled link" true
+        (directives = [ (0, 100) ]);
+      J.close jnl;
+      match J.read_file path with
+      | Error e -> Alcotest.failf "read_file: %s" e
+      | Ok (records, _) ->
+          (* The abort lands while the wave is still open, so no
+             wave-committed event is ever written. *)
+          Alcotest.(check (list string)) "journal chain"
+            [ "proposed"; "approved"; "started"; "admitted"; "paused";
+              "aborted" ]
+            (rollout_events records))
+
+let test_rpc_requires_armed_journal () =
+  let t = engine ~plan:RO.default () in
+  List.iter
+    (fun (name, r) ->
+      match r with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "%s on a disarmed journal must fail" name)
+    [
+      ("approve", RO.request_approve t ~now:0.0);
+      ("pause", RO.request_pause t ~now:0.0);
+      ("abort", RO.request_abort t ~now:0.0);
+    ];
+  match RO.request_propose t ~now:0.0 RO.default_config with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "propose on a disarmed journal must fail"
+
+(* --- checkpoint snapshot / restore --------------------------------------- *)
+
+let test_snapshot_restore_round_trip () =
+  let plan = ok_plan "wave=2,group-budget=2,bake=900,fail-gate=1" in
+  let drive t =
+    ignore (RO.admit t ~link:0 ~now:0.0 ~from_gbps:100 ~to_gbps:150);
+    ignore (RO.admit t ~link:1 ~now:0.0 ~from_gbps:125 ~to_gbps:150);
+    ignore (RO.sweep t ~now:100.0);
+    RO.note_flap t ~now:200.0;
+    RO.set_override t ~link:1 ~gbps:125
+  in
+  let a = engine ~plan () in
+  drive a;
+  let snap =
+    match RO.snapshot a with
+    | Some s -> s
+    | None -> Alcotest.fail "mid-bake engine must snapshot"
+  in
+  let b = engine ~plan () in
+  RO.restore b snap;
+  Alcotest.(check bool) "restored snapshot identical" true
+    (RO.snapshot b = Some snap);
+  (* Both twins must make the same forced-gate decision with the same
+     directives. *)
+  let da = RO.sweep a ~now:1100.0 and db = RO.sweep b ~now:1100.0 in
+  Alcotest.(check bool) "twin directives" true (da = db && da <> []);
+  Alcotest.(check bool) "twin overrides" true
+    (RO.take_override a ~link:1 = RO.take_override b ~link:1);
+  Alcotest.(check bool) "twin stats" true (RO.stats a = RO.stats b)
+
+(* --- runner integration: disarmed-off identity, armed determinism -------- *)
+
+let policy = Runner.Adaptive Runner.Efficient
+
+let fault_plan s =
+  match Rwc_fault.of_string s with Ok p -> p | Error e -> failwith e
+
+(* One journaled faulted run; returns the report, its renderings and
+   the journal bytes. *)
+let run_once dir ~name ~rollout ~domains =
+  let jpath = Filename.concat dir (name ^ ".jsonl") in
+  let jnl = J.create ~path:jpath ~slo:J.Slo.default () in
+  let config =
+    {
+      Runner.default_config with
+      Runner.days = 0.5;
+      seed = 11;
+      faults = fault_plan "default";
+      rollout;
+      journal = jnl;
+      domains;
+    }
+  in
+  let r = Runner.run ~config policy in
+  J.close jnl;
+  ( r,
+    Format.asprintf "%a" Runner.pp_report r,
+    Rwc_obs.Json.to_string (Runner.json_of_report r),
+    slurp jpath )
+
+let test_off_run_identical_across_domains () =
+  with_temp_dir (fun dir ->
+      let r1, pp1, js1, jn1 =
+        run_once dir ~name:"off-d1" ~rollout:RO.none ~domains:1
+      in
+      let _, pp4, js4, jn4 =
+        run_once dir ~name:"off-d4" ~rollout:RO.none ~domains:4
+      in
+      Alcotest.(check string) "report rendering" pp1 pp4;
+      Alcotest.(check string) "report JSON" js1 js4;
+      Alcotest.(check string) "journal bytes" jn1 jn4;
+      (* Rollout-off: the optional block must be absent, from both the
+         report record and its JSON rendering. *)
+      Alcotest.(check bool) "no rollout stats" true
+        (r1.Runner.rollout_stats = None);
+      Alcotest.(check bool) "no rollout JSON field" true
+        (Rwc_obs.Json.member "rollout" (Runner.json_of_report r1) = None))
+
+let test_armed_run_identical_across_domains () =
+  with_temp_dir (fun dir ->
+      let plan = ok_plan "wave=2,group-budget=2,bake=7200" in
+      let r1, pp1, js1, jn1 =
+        run_once dir ~name:"on-d1" ~rollout:plan ~domains:1
+      in
+      let _, pp4, js4, jn4 =
+        run_once dir ~name:"on-d4" ~rollout:plan ~domains:4
+      in
+      Alcotest.(check string) "report rendering" pp1 pp4;
+      Alcotest.(check string) "report JSON" js1 js4;
+      Alcotest.(check string) "journal bytes" jn1 jn4;
+      match r1.Runner.rollout_stats with
+      | None -> Alcotest.fail "armed run must report rollout stats"
+      | Some st ->
+          Alcotest.(check bool) "links staged" true (st.RO.links_admitted > 0);
+          Alcotest.(check bool) "waves committed" true
+            (st.RO.waves_committed > 0))
+
+let test_forced_gate_rolls_back_in_runner () =
+  with_temp_dir (fun dir ->
+      let r, _, _, journal_bytes =
+        run_once dir ~name:"forced"
+          ~rollout:(ok_plan "wave=2,group-budget=2,bake=1800,fail-gate=1")
+          ~domains:1
+      in
+      (match r.Runner.rollout_stats with
+      | None -> Alcotest.fail "armed run must report rollout stats"
+      | Some st ->
+          Alcotest.(check int) "forced gate failed" 1 st.RO.gates_failed;
+          Alcotest.(check bool) "links rolled back" true
+            (st.RO.links_rolled_back > 0));
+      (* The journal carries the whole chain for rwc explain. *)
+      let jpath = Filename.concat dir "forced.jsonl" in
+      ignore journal_bytes;
+      match J.read_file jpath with
+      | Error e -> Alcotest.failf "read_file: %s" e
+      | Ok (records, _) ->
+          let events = rollout_events records in
+          List.iter
+            (fun ev ->
+              Alcotest.(check bool) (ev ^ " journaled") true
+                (List.mem ev events))
+            [ "started"; "admitted"; "wave-committed"; "gate-failed";
+              "rolled-back" ])
+
+(* Kill-mid-wave + resume: an armed rollout must survive the crash
+   oracle — the recovered run's report and journal byte-identical to
+   the uninterrupted twin, gate verdicts and rollbacks included. *)
+let test_armed_crash_resume_golden () =
+  with_temp_dir (fun dir ->
+      let plan = ok_plan "wave=2,group-budget=2,bake=1800,fail-gate=2" in
+      (* The same plan both sides: Runner.run ignores crash rules, so
+         the reference shares the non-crash injector stream exactly. *)
+      let faults = fault_plan "default,crash=0.08,seed=99" in
+      let config journal =
+        {
+          Runner.default_config with
+          Runner.days = 0.75;
+          seed = 11;
+          faults;
+          rollout = plan;
+          journal;
+        }
+      in
+      let ref_journal = Filename.concat dir "ref.jsonl" in
+      let reference =
+        let jnl = J.create ~path:ref_journal () in
+        let r = Runner.run ~config:(config jnl) policy in
+        J.close jnl;
+        r
+      in
+      let crash_journal = Filename.concat dir "crash.jsonl" in
+      let ckdir = Filename.concat dir "ck" in
+      let ctx, _ =
+        match
+          R.create ~dir:ckdir ~every:16 ~journal_path:crash_journal ~faults
+            ~resume:false ()
+        with
+        | Ok pair -> pair
+        | Error e -> Alcotest.failf "create: %s" e
+      in
+      let jnl = J.create ~path:crash_journal () in
+      let outcomes =
+        Runner.run_recoverable ~config:(config jnl) ~ctx ~resume_from:None
+          ~policies:[ policy ] ()
+      in
+      Alcotest.(check bool) "the crash oracle actually fired" true
+        (ctx.R.restarts > 0);
+      (match outcomes with
+      | [ Runner.Ran r ] ->
+          Alcotest.(check string) "report byte-identical"
+            (Format.asprintf "%a" Runner.pp_report reference)
+            (Format.asprintf "%a" Runner.pp_report r);
+          Alcotest.(check bool) "rollout stats identical" true
+            (r.Runner.rollout_stats = reference.Runner.rollout_stats)
+      | _ -> Alcotest.fail "expected one Ran outcome");
+      Alcotest.(check string) "journal byte-identical" (slurp ref_journal)
+        (slurp crash_journal))
+
+(* --- property: rollback restores the pre-rollout snapshot ---------------- *)
+
+(* Drive a random multi-wave rollout — random admission subsets, a
+   random number of passed gates, ending in either a forced gate
+   failure or an RPC abort — against a model: an array of link rates,
+   a table of pre-rollout rates, and a control guard that never sees
+   the rollout-era commits.  After the rollback directives are
+   applied, every link the rollout ever touched must be back at its
+   pre-rollout rate, and its guard state must match the control's. *)
+let arb_rollout =
+  QCheck.make
+    ~print:(fun (n, wave, gb, passes, salt, abort) ->
+      Printf.sprintf "links=%d wave=%d group=%d passes=%d salt=%d abort=%b" n
+        wave gb passes salt abort)
+    QCheck.Gen.(
+      let* n = int_range 2 12 in
+      let* wave = int_range 1 4 in
+      let* gb = int_range 1 3 in
+      let* passes = int_range 0 3 in
+      let* salt = int_range 0 1_000_000 in
+      let* abort = bool in
+      return (n, wave, gb, passes, salt, abort))
+
+let prop_rollback_restores_pre_state =
+  QCheck.Test.make
+    ~name:"rollout: rollback/abort restores pre-rollout rates and guard"
+    ~count:40 arb_rollout (fun (n, wave, gb, passes, salt, abort) ->
+      with_temp_dir (fun dir ->
+          let group_of i = i mod 3 in
+          let guard = G.create G.default ~n_links:n ~group_of in
+          let control = G.create G.default ~n_links:n ~group_of in
+          (* Pre-rollout guard history both twins share. *)
+          List.iter
+            (fun g ->
+              G.record_commit g ~link:0 ~now:0.0 G.Up_shift;
+              G.release g ~link:0)
+            [ guard; control ];
+          let jnl =
+            if abort then J.create ~path:(Filename.concat dir "j.jsonl") ()
+            else J.disarmed
+          in
+          let cfg =
+            {
+              RO.default_config with
+              RO.wave_links = wave;
+              group_budget = gb;
+              bake_s = 900.0;
+              gate_flaps = 1_000_000;
+              gate_quars = 1_000_000;
+              settle_s = 1e9;
+              (* Forced failure at the gate after [passes] clean ones;
+                 irrelevant when the run ends in an abort instead. *)
+              fail_gate = (if abort then 0 else passes + 1);
+            }
+          in
+          let t =
+            RO.create (Some cfg) ~n_links:n ~group_of ~seed:7
+              ~horizon_s:604_800.0 ~journal:jnl ~guard
+          in
+          let rates = Array.make n 100 in
+          let pre = Hashtbl.create 8 in
+          let now = ref 0.0 in
+          let directives = ref [] in
+          let sweep () =
+            directives := !directives @ RO.sweep t ~now:!now
+          in
+          let admit_round w =
+            for link = 0 to n - 1 do
+              if (link * 7) + (w * 13) + salt mod 97 mod 3 <> 1 then
+                let from_gbps = rates.(link) in
+                match
+                  RO.admit t ~link ~now:!now ~from_gbps ~to_gbps:(from_gbps + 50)
+                with
+                | RO.Admit ->
+                    if not (Hashtbl.mem pre link) then
+                      Hashtbl.replace pre link from_gbps;
+                    rates.(link) <- from_gbps + 50;
+                    G.record_commit guard ~link ~now:!now G.Up_shift;
+                    G.release guard ~link
+                | RO.Defer -> ()
+            done
+          in
+          for w = 1 to passes + 1 do
+            admit_round w;
+            now := !now +. 100.0;
+            sweep ();
+            (* harmless health noise during the bake *)
+            RO.note_flap t ~now:!now;
+            now := !now +. cfg.RO.bake_s +. 1.0;
+            if w <= passes then sweep ()
+          done;
+          if abort then begin
+            (match RO.request_abort t ~now:!now with
+            | Ok () -> ()
+            | Error e -> QCheck.Test.fail_reportf "abort: %s" e);
+            sweep ()
+          end
+          else sweep ();
+          J.close jnl;
+          let enrolled =
+            Hashtbl.fold (fun l p acc -> (l, p) :: acc) pre []
+            |> List.sort compare
+          in
+          let got = List.sort compare !directives in
+          (* Apply the physical reverts the way the runner would. *)
+          List.iter (fun (l, p) -> rates.(l) <- p) got;
+          got = enrolled
+          && Array.for_all (( = ) 100) rates
+          && List.for_all
+               (fun (l, _) ->
+                 G.penalty guard ~link:l ~now:!now
+                 = G.penalty control ~link:l ~now:!now
+                 && G.quarantined guard ~link:l ~now:!now
+                    = G.quarantined control ~link:l ~now:!now)
+               enrolled))
+
+let suite =
+  [
+    Alcotest.test_case "plan parse" `Quick test_plan_parse;
+    Alcotest.test_case "plan round trip" `Quick test_plan_round_trip;
+    Alcotest.test_case "plan errors" `Quick test_plan_errors;
+    Alcotest.test_case "disarmed is free" `Quick test_disarmed_is_free;
+    Alcotest.test_case "wave/gate/settle lifecycle" `Quick
+      test_wave_gate_pass_completes;
+    Alcotest.test_case "flap gate fails and rolls back" `Quick
+      test_flap_gate_fails_and_rolls_back;
+    Alcotest.test_case "freeze window defers" `Quick test_freeze_window_defers;
+    Alcotest.test_case "maintenance calendar deterministic" `Quick
+      test_maintenance_calendar_deterministic;
+    Alcotest.test_case "journal-first RPC lifecycle" `Quick test_rpc_lifecycle;
+    Alcotest.test_case "RPCs need an armed journal" `Quick
+      test_rpc_requires_armed_journal;
+    Alcotest.test_case "snapshot/restore round trip" `Quick
+      test_snapshot_restore_round_trip;
+    Alcotest.test_case "rollout-off identical across domains" `Slow
+      test_off_run_identical_across_domains;
+    Alcotest.test_case "armed run identical across domains" `Slow
+      test_armed_run_identical_across_domains;
+    Alcotest.test_case "forced gate rolls back in the runner" `Slow
+      test_forced_gate_rolls_back_in_runner;
+    Alcotest.test_case "armed crash+resume golden" `Slow
+      test_armed_crash_resume_golden;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_rollback_restores_pre_state ]

@@ -141,6 +141,7 @@ let fast_config =
     faults = Rwc_fault.none;
     retry = Orchestrator.default_retry_policy;
     guard = Rwc_guard.none;
+    rollout = Rwc_rollout.none;
     journal = Rwc_journal.disarmed;
     progress = false;
     domains = 1;
